@@ -1,0 +1,214 @@
+"""A1 -- ablations of the Theorem 1.1 design choices (DESIGN.md §4).
+
+The Section 6 algorithm is a machine with three load-bearing parts; each
+ablation removes one and shows the failure the paper's analysis predicts:
+
+* **No Phase I** (high-degree BFS off): a cycle whose vertices are all
+  high-degree becomes invisible -- Phase II deletes those nodes, so the
+  properly-colored cycle is never reported.  (Corollary 6.2 is exactly the
+  claim that Phase I covers this case.)
+* **No layer filter** (the ``ℓ(u_0) >= ℓ(v)`` check at colors 1/2k-1 off):
+  detection still works, but the number of prefixes a node must forward is
+  no longer capped by its up-degree -- measured peak queue sizes grow,
+  which is the quantity the Phase II round bound ``d * n^{δ(k-2)}`` caps.
+* **Edge-budget constant**: the smaller the assumed ``M``, the shorter the
+  schedule but the sooner dense-but-legal graphs get rejected via the
+  ``|E| > M`` escape hatch -- we sweep the constant to expose the
+  soundness/latency trade the paper's ``ex(n, C_{2k})`` bound settles.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.core.color_coding import OracleColorSource, proper_coloring_for_cycle
+from repro.core.even_cycle import IterationSchedule, detect_even_cycle
+from repro.graphs import generators as gen
+
+
+def _high_degree_cycle_instance(n=60, k=2, rng_seed=0):
+    """A C_4 whose four vertices all have degree >= n^{1/(k-1)} = n."""
+    rng = np.random.default_rng(rng_seed)
+    g = nx.Graph()
+    cycle = [0, 1, 2, 3]
+    for i in range(4):
+        g.add_edge(cycle[i], cycle[(i + 1) % 4])
+    # Give every cycle vertex n/4 pendant leaves -> degree ~ n/4 + 2.
+    nxt = 4
+    for v in cycle:
+        for _ in range(n // 4):
+            g.add_edge(v, nxt)
+            nxt += 1
+    return g, cycle
+
+
+class TestAblationPhase1:
+    def test_phase1_required_for_high_degree_cycles(self, benchmark):
+        g, cycle = _high_degree_cycle_instance()
+        # n = |V|; high threshold = n^{1/(k-1)} = |V| -- make the cycle
+        # vertices high by padding so their degree exceeds sqrt-ish sizes.
+        # With k=2 the threshold is n itself, so shrink it via a denser
+        # instance: use k=2 on a graph where deg(cycle) ~ n/4... the
+        # schedule computes threshold = ceil(n^{1/(k-1)}) = |V|; to place
+        # the cycle above it we instead use the clique-on-cycle trick:
+        n = g.number_of_nodes()
+        # For k=2, delta = 1 and the high-degree threshold equals n, which
+        # no node reaches; Phase I only matters for k >= 3 thresholds or
+        # denser graphs.  Use k=3 (threshold n^{1/2}) on the same instance.
+        src = OracleColorSource(
+            3, proper_coloring_for_cycle([0, 1, 2, 3, 4, 5], 3), default=5
+        )
+        # Build a C_6 variant with high-degree vertices for k=3.
+        g6 = nx.Graph()
+        six = list(range(6))
+        for i in range(6):
+            g6.add_edge(six[i], six[(i + 1) % 6])
+        nxt = 6
+        target = 12  # > sqrt(|V|) once padded
+        for v in six:
+            for _ in range(target):
+                g6.add_edge(v, nxt)
+                nxt += 1
+        n6 = g6.number_of_nodes()
+        thresh = int(np.ceil(n6 ** 0.5))
+        assert all(g6.degree(v) >= thresh for v in six), "cycle must be high-degree"
+
+        def run_both():
+            with_p1 = detect_even_cycle(
+                g6, 3, iterations=1, color_source=src, enable_phase1=True
+            )
+            without_p1 = detect_even_cycle(
+                g6, 3, iterations=1, color_source=src, enable_phase1=False
+            )
+            return with_p1.detected, without_p1.detected
+
+        got, lost = benchmark.pedantic(run_both, rounds=1, iterations=1)
+        print_table(
+            "A1: Phase I ablation on an all-high-degree C_6 (k=3)",
+            ["variant", "detected"],
+            [("full algorithm", got), ("Phase I disabled", lost)],
+        )
+        assert got and not lost  # Corollary 6.2's case is really Phase I's
+
+
+class TestAblationLayerFilter:
+    def test_layer_filter_caps_queue_growth(self, benchmark):
+        """Without the ℓ(u0) >= ℓ(v) filter, more prefixes flow.
+
+        The filter only bites when the decomposition is non-trivial (several
+        layers), so the instance is core-periphery: a dense core on top of a
+        sparse fringe, run with a lean edge budget so τ sits below the core
+        degrees."""
+        rng = np.random.default_rng(5)
+        core = gen.erdos_renyi(60, 0.25, rng)
+        fringe = gen.erdos_renyi(120, 0.02, np.random.default_rng(7))
+        g = nx.disjoint_union(
+            nx.convert_node_labels_to_integers(core),
+            nx.convert_node_labels_to_integers(fringe),
+        )
+        for i in range(60, 180, 3):
+            g.add_edge(i, int(rng.integers(0, 60)))
+
+        def traffic(layer_filter):
+            rep = detect_even_cycle(
+                g, 2, iterations=3, seed=9, layer_filter=layer_filter,
+                stop_on_detect=False, keep_results=True, edge_constant=0.3,
+            )
+            total = sum(
+                ctx.state.get("pfx_enqueued", 0)
+                for res in rep.results
+                for ctx in res.contexts.values()
+            )
+            peak = max(
+                ctx.state.get("max_pfx_queue", 0)
+                for res in rep.results
+                for ctx in res.contexts.values()
+            )
+            return total, peak
+
+        def run_both():
+            return traffic(True), traffic(False)
+
+        (on_total, on_peak), (off_total, off_peak) = benchmark.pedantic(
+            run_both, rounds=1, iterations=1
+        )
+        print_table(
+            "A1: layer-filter ablation — prefix traffic (3 iterations)",
+            ["variant", "prefixes enqueued", "peak queue"],
+            [("filter on", on_total, on_peak), ("filter off", off_total, off_peak)],
+        )
+        assert off_total > on_total  # the filter really drops work
+        assert off_peak >= on_peak
+
+    def test_detection_survives_without_filter_but_unboundedly(self, benchmark):
+        """Completeness is not what the filter buys (it may even find more);
+        the round *bound* is.  Sanity: planted cycle still found."""
+        g, verts = gen.planted_cycle_graph(40, 4, 0.02, np.random.default_rng(2))
+        best = max(range(4), key=lambda i: g.degree(verts[i]))
+        rot = verts[best:] + verts[:best]
+        src = OracleColorSource(2, proper_coloring_for_cycle(rot, 2), default=3)
+        rep = benchmark(
+            lambda: detect_even_cycle(
+                g, 2, iterations=1, color_source=src, layer_filter=False
+            )
+        )
+        assert rep.detected
+
+
+class TestAblationEdgeBudget:
+    def test_budget_constant_latency_trade(self, benchmark):
+        """Every phase budget (R1, τ, R2) scales with M, so the schedule
+        length is linear-ish in the assumed Turán constant -- the price of
+        using the safe literature constant (~80·sqrt(k)·log k) over the
+        lean one.  Soundness on a C_4-free graph must hold at EVERY
+        constant: rejection is only ever a certificate of a cycle or of a
+        genuine |E| > M queue overflow, and PG(2,3) (degree 4, C_4-free)
+        triggers neither."""
+        from repro.graphs.extremal import projective_plane_incidence
+
+        g = projective_plane_incidence(3)
+
+        def run():
+            rows = []
+            for const in (0.2, 1.0, 4.0, 16.0):
+                sched = IterationSchedule.build(g.number_of_nodes(), 2, const)
+                rep = detect_even_cycle(
+                    g, 2, iterations=10, seed=1, edge_constant=const
+                )
+                rows.append(
+                    (const, sched.edge_budget, g.number_of_edges(),
+                     sched.total_rounds, rep.detected)
+                )
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table(
+            "A1: edge-budget constant on the C_4-free PG(2,3) incidence graph",
+            ["constant", "M", "|E|", "schedule rounds", "rejected (False is correct)"],
+            rows,
+        )
+        # Soundness at every constant: no false rejection of a C_4-free graph.
+        for r in rows:
+            assert r[4] is False
+        # The latency trade: schedule rounds grow monotonically with M.
+        scheds = [r[3] for r in rows]
+        assert scheds == sorted(scheds)
+        assert scheds[-1] > 5 * scheds[0]
+
+    def test_budget_escape_hatch_fires_on_real_overload(self, benchmark):
+        """The other side of the trade: on a graph that IS too dense for
+        the budget (K_30, where a C_4 genuinely exists), the escape hatch
+        (queue overflow / unassigned layer) fires and rejection is sound."""
+        g = gen.clique(30)
+
+        def run():
+            return detect_even_cycle(g, 2, iterations=3, seed=0, edge_constant=0.2)
+
+        rep = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table(
+            "A1: escape hatch on K_30 with a starved budget",
+            ["detected", "witness kinds"],
+            [(rep.detected, sorted({w[0] for w in rep.witnesses if w}))],
+        )
+        assert rep.detected  # K_30 has C_4s; rejection is correct

@@ -1,0 +1,153 @@
+"""E2 / E2b -- Theorem 1.2 and Section 3.4: the superlinear lower bounds.
+
+Regenerated series:
+
+* the simulation cut of ``G_{k,n}`` vs ``n`` -- fitted exponent ``1/k``
+  (the paper's ``Θ(k n^{1/k})``);
+* the measured bits of the end-to-end disjointness-via-simulation protocol
+  on dense instances -- ``Θ(n^2)``, matching the disjointness bound;
+* the implied round lower bound ``n^2 / (cut * (B+1))`` -- fitted exponent
+  ``2 - 1/k`` (the headline of Theorem 1.2), crossing above the linear
+  baseline;
+* E2b: the bipartite family's cut and its ``n^{2-1/k-1/s}`` bound.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.graphs.bipartite_gadget import BipartiteHostFamily
+from repro.graphs.gkn_family import GknFamily
+from repro.lowerbounds.superlinear import implied_round_lower_bound, run_reduction
+from repro.theory.bounds import (
+    bipartite_detection_lower_bound,
+    fit_power_law_exponent,
+    hk_detection_lower_bound,
+)
+
+B = 16
+
+
+class TestE2CutScaling:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_cut_scales_as_n_to_one_over_k(self, benchmark, k):
+        ns = [2**i for i in range(6, 14)]
+
+        def cuts():
+            return [(n, GknFamily(k, n).expected_cut_size()) for n in ns]
+
+        rows = benchmark(cuts)
+        alpha, r2 = fit_power_law_exponent(*zip(*rows))
+        print_table(
+            f"E2: Alice-cut of G_(k={k},n) [fit alpha={alpha:.3f}, predicted {1/k:.3f}]",
+            ["n", "cut edges", "k*n^(1/k)"],
+            [(n, c, f"{k * n ** (1 / k):.1f}") for n, c in rows],
+        )
+        assert abs(alpha - 1.0 / k) < 0.1
+        assert r2 > 0.97
+
+
+class TestE2EndToEnd:
+    def test_dense_instance_bits_scale_quadratically(self, benchmark):
+        """The protocol must push ~n^2 pair records across the cut."""
+        ns = [4, 6, 8, 12, 16]
+
+        def sweep():
+            rows = []
+            for n in ns:
+                x = [(i, j) for i in range(n) for j in range(n)]
+                r = run_reduction(2, n, x, [(n - 1, n - 1)], bandwidth=B)
+                assert r.correct
+                rows.append((n, r.total_bits, r.rounds, r.cut_alice))
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        alpha, r2 = fit_power_law_exponent(
+            [r[0] for r in rows], [r[1] for r in rows]
+        )
+        print_table(
+            f"E2: end-to-end disjointness-via-simulation, dense X "
+            f"[bits fit alpha={alpha:.2f}, disjointness needs n^2]",
+            ["n", "protocol bits", "rounds", "cut"],
+            rows,
+        )
+        # Bits must grow at least quadratically (presence-bit overhead can
+        # push the fitted exponent slightly above 2).
+        assert alpha > 1.7
+        assert r2 > 0.95
+
+    def test_implied_round_bound_is_superlinear(self, benchmark):
+        """The theorem's punchline: rounds >= n^{2-1/k}/(B k), superlinear."""
+        ns = [2**i for i in range(6, 14)]
+        rows = benchmark(
+            lambda: [
+                (
+                    n,
+                    implied_round_lower_bound(
+                        n, GknFamily(2, n).expected_cut_size(), B
+                    ),
+                    hk_detection_lower_bound(n, 2, B),
+                )
+                for n in ns
+            ]
+        )
+        alpha, r2 = fit_power_law_exponent(
+            [r[0] for r in rows], [r[1] for r in rows]
+        )
+        print_table(
+            f"E2: implied round lower bound for H_2 [fit alpha={alpha:.3f}, "
+            "theorem predicts 1.5]",
+            ["n", "implied rounds (measured cut)", "n^(2-1/k)/(Bk)", "linear baseline"],
+            [(n, f"{v:.1f}", f"{t:.1f}", n) for n, v, t in rows],
+        )
+        assert abs(alpha - 1.5) < 0.1
+        # Superlinear, constant-free check: doubling n more than doubles
+        # the bound (a linear quantity would exactly double).
+        assert rows[-1][1] / rows[-2][1] > 2.2
+        assert r2 > 0.97
+
+
+class TestE2bBipartite:
+    def test_bipartite_family_cut_and_bound(self, benchmark):
+        """Section 3.4's shape: still superlinear, weaker than H_k."""
+        s, k = 3, 3
+        ns = [2**i for i in range(6, 12)]
+
+        def sweep():
+            rows = []
+            for n in ns:
+                fam = BipartiteHostFamily(s, k, n)
+                host = fam.build([(0, 0)], [(1, 1)])
+                rows.append((n, len(host.alice_cut())))
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        alpha, _ = fit_power_law_exponent(*zip(*rows))
+        bound_rows = [
+            (
+                n,
+                cut,
+                f"{bipartite_detection_lower_bound(n, k, s, B):.0f}",
+                f"{hk_detection_lower_bound(n, k, B):.0f}",
+            )
+            for n, cut in rows
+        ]
+        print_table(
+            f"E2b: bipartite H_(s={s},k={k}) family [cut fit alpha={alpha:.3f}]",
+            ["n", "cut edges", "n^(2-1/k-1/s)/(Bk)", "n^(2-1/k)/(Bk)"],
+            bound_rows,
+        )
+        assert abs(alpha - 1.0 / k) < 0.15
+        for n in ns:
+            weak = bipartite_detection_lower_bound(n, k, s, B)
+            strong = hk_detection_lower_bound(n, k, B)
+            assert weak < strong  # bipartite bound strictly weaker
+        # Superlinear growth rate (constant-free): doubling n multiplies
+        # the bound by 2^{2-1/k-1/s} > 2.
+        lo = bipartite_detection_lower_bound(1 << 12, k, s, B)
+        hi = bipartite_detection_lower_bound(1 << 13, k, s, B)
+        assert hi / lo > 2.2
+        # ... while staying strongly sub-quadratic (the Turán remark):
+        assert hi / lo < 3.8

@@ -1,0 +1,127 @@
+"""E5 -- Lemma 1.3 and the congested-clique s-clique listing bound.
+
+Regenerated series:
+
+* the Lemma 1.3 ratio ``#K_s / m^{s/2}`` over growing cliques and random
+  graphs -- bounded (the lemma), with cliques as the near-extremal family;
+* the listing round lower bound ``Ω̃(n^{1-2/s})`` computed from expected
+  clique counts -- fitted exponent ``1 - 2/s`` (``1/3`` for triangles,
+  recovering Izumi--Le Gall);
+* end-to-end: our congested-clique lister's measured rounds and exactness
+  against the bound on real inputs.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.graphs import generators as gen
+from repro.lowerbounds.clique_listing import (
+    expected_cliques_gnp,
+    listing_experiment,
+    listing_round_lower_bound,
+)
+from repro.theory.bounds import clique_listing_exponent, fit_power_law_exponent
+from repro.theory.counting import count_cliques, lemma_1_3_bound, lemma_1_3_ratio
+
+
+class TestE5Lemma13:
+    @pytest.mark.parametrize("s", [3, 4, 5])
+    def test_ratio_bounded_over_families(self, benchmark, s):
+        def sweep():
+            rows = []
+            for t in (8, 12, 16, 20):
+                g = gen.clique(t)
+                rows.append((f"K_{t}", g.number_of_edges(), count_cliques(g, s),
+                             lemma_1_3_ratio(g, s)))
+            for seed in (0, 1):
+                g = gen.erdos_renyi(24, 0.5, np.random.default_rng(seed))
+                rows.append((f"G(24,.5)#{seed}", g.number_of_edges(),
+                             count_cliques(g, s), lemma_1_3_ratio(g, s)))
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print_table(
+            f"E5: Lemma 1.3 ratio #K_{s} / m^({s}/2)",
+            ["graph", "m", f"#K_{s}", "ratio"],
+            [(g, m, c, f"{r:.4f}") for g, m, c, r in rows],
+        )
+        for _, m, c, r in rows:
+            assert c <= lemma_1_3_bound(m, s)
+            assert r <= 2 ** (s / 2)  # the explicit constant
+
+    def test_clique_ratio_converges_not_diverges(self, benchmark):
+        """The O(.) content: the extremal ratio stabilises as graphs grow."""
+        ratios = benchmark(
+            lambda: [lemma_1_3_ratio(gen.clique(t), 3) for t in (8, 16, 24, 32)]
+        )
+        print_table(
+            "E5: ratio on cliques (s=3) — tends to sqrt(2)/3 ≈ 0.471",
+            ["t", "ratio"],
+            [(t, f"{r:.4f}") for t, r in zip((8, 16, 24, 32), ratios)],
+        )
+        assert abs(ratios[-1] - math.sqrt(2) / 3) < 0.05
+        assert max(ratios) - min(ratios) < 0.2
+
+
+class TestE5ListingBound:
+    @pytest.mark.parametrize("s", [3, 4, 5])
+    def test_bound_exponent(self, benchmark, s):
+        ns = [2**i for i in range(7, 15)]
+
+        def sweep():
+            return [
+                (
+                    n,
+                    listing_round_lower_bound(
+                        n, s, bandwidth=max(1, math.ceil(math.log2(n))),
+                        clique_count=int(expected_cliques_gnp(n, s)),
+                    ),
+                )
+                for n in ns
+            ]
+
+        rows = benchmark(sweep)
+        alpha, r2 = fit_power_law_exponent(*zip(*rows))
+        predicted = clique_listing_exponent(s)
+        print_table(
+            f"E5: listing round bound for K_{s} on G(n,1/2) "
+            f"[fit alpha={alpha:.3f}, predicted {predicted:.3f} (Õ hides logs)]",
+            ["n", "round lower bound"],
+            [(n, f"{b:.2f}") for n, b in rows],
+        )
+        assert abs(alpha - predicted) < 0.25  # log factors allowed by Ω̃
+        assert r2 > 0.97
+
+    def test_izumi_le_gall_anchor(self, benchmark):
+        """s=3 recovers the known n^{1/3} triangle-listing bound shape."""
+        val = benchmark(lambda: clique_listing_exponent(3))
+        assert val == pytest.approx(1 / 3)
+
+
+class TestE5EndToEnd:
+    def test_lister_vs_bound(self, benchmark):
+        def sweep():
+            rows = []
+            for n in (12, 16, 20, 24):
+                exp = listing_experiment(
+                    n, 3, bandwidth=2 * math.ceil(math.log2(n)),
+                    rng=np.random.default_rng(n),
+                )
+                rows.append(
+                    (n, exp.clique_count, exp.measured_rounds,
+                     f"{exp.lower_bound_rounds:.2f}", exp.consistent,
+                     exp.lemma_1_3_respected)
+                )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print_table(
+            "E5: congested-clique triangle listing, measured vs bound",
+            ["n", "#K_3", "measured rounds", "info lower bound", "consistent", "Lemma1.3 ok"],
+            rows,
+        )
+        for r in rows:
+            assert r[4] and r[5]

@@ -1,0 +1,82 @@
+"""E6 -- the LOCAL/CONGEST separation (Section 1.1).
+
+At ``k = Θ(log n)``, ``H_k`` is detectable in ``O(log n)`` LOCAL rounds
+(collect the |H_k|-ball) but needs ``Ω̃(n^2)`` CONGEST rounds (Theorem 1.2)
+-- "nearly the largest possible" separation.  We measure the LOCAL side on
+the simulator (rounds AND the honest bit cost of its fat messages) and
+compute the CONGEST side from the theorem, tabulating the widening gap.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.core.generic_detection import detect_subgraph_local
+from repro.graphs import generators as gen
+from repro.graphs.hk_construction import build_hk
+from repro.theory.bounds import hk_detection_lower_bound, local_congest_separation
+
+
+class TestE6Separation:
+    def test_local_rounds_constant_for_fixed_pattern(self, benchmark):
+        """LOCAL detection of H_2 uses <= |V(H_2)| rounds regardless of n."""
+        hk = build_hk(2).graph
+
+        def run():
+            rows = []
+            for n_pad in (0, 60, 200):
+                host = gen.pad_with_path(hk.copy(), n_pad)
+                res = detect_subgraph_local(host, hk, radius=4)
+                rows.append(
+                    (host.number_of_nodes(), res.rounds, res.detected,
+                     res.max_message_bits)
+                )
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table(
+            "E6: LOCAL detection of H_2 in padded hosts",
+            ["host n", "rounds", "detected", "max message bits (what CONGEST would pipeline)"],
+            rows,
+        )
+        rounds = [r[1] for r in rows]
+        assert all(r == rounds[0] for r in rounds)  # O(1) in n
+        assert all(r[2] for r in rows)
+        # LOCAL messages blow past any log-size bandwidth.
+        assert rows[-1][3] > 10 * math.ceil(math.log2(rows[-1][0]))
+
+    def test_separation_gap_widens(self, benchmark):
+        rows = benchmark(
+            lambda: [
+                (n,) + local_congest_separation(n, bandwidth=max(2, int(math.log2(n))))
+                for n in (2**10, 2**14, 2**18, 2**22)
+            ]
+        )
+        print_table(
+            "E6: LOCAL O(log n) vs CONGEST Ω̃(n^2) at k = Θ(log n)",
+            ["n", "LOCAL rounds (=|H_k|)", "CONGEST round lower bound", "gap factor"],
+            [
+                (n, int(l), f"{c:.3e}", f"{c / l:.3e}")
+                for n, l, c in rows
+            ],
+        )
+        gaps = [c / l for _, l, c in rows]
+        assert gaps == sorted(gaps)
+        # Near-quadratic: the bound at the top of the sweep exceeds n^1.5.
+        n, l, c = rows[-1]
+        assert c > n**1.5
+        assert l < 3 * math.log2(n) * 7  # O(log n)-sized pattern
+
+    def test_hk_pattern_size_linear_in_k(self, benchmark):
+        sizes = benchmark(
+            lambda: [(k, build_hk(k).num_vertices) for k in (2, 4, 8, 16, 32)]
+        )
+        print_table(
+            "E6: |V(H_k)| = 40 + 2(3k+2) — the O(k) size of Theorem 1.2",
+            ["k", "|V(H_k)|"],
+            sizes,
+        )
+        for k, s in sizes:
+            assert s == 40 + 2 * (3 * k + 2)

@@ -1,0 +1,115 @@
+"""E8 -- the property-testing relaxation (related work, Section 1.2).
+
+The paper contrasts its *exact* detection results with the property-testing
+line of work [4, 6, 14]: distinguishing H-free from ε-far-from-H-free takes
+O(1/ε²) rounds -- independent of n -- while the exact problem costs Ω̃(n)
+(odd cycles) or Ω(n^{2-1/k}) (H_k).  This bench regenerates that contrast:
+
+* tester rounds are flat in n while exact detection rounds grow;
+* the tester is one-sided (never rejects a triangle-free graph) and
+  reliable on far instances;
+* the tester misses planted single triangles -- the gap that makes the
+  exact problem (this paper's subject) genuinely harder.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.core.property_testing import (
+    distance_to_triangle_freeness_lower_bound,
+    rounds_for_epsilon,
+    test_triangle_freeness,
+)
+from repro.core.triangle import detect_triangle_congest
+from repro.graphs import generators as gen
+
+# Not a pytest test, despite the name import.
+test_triangle_freeness.__test__ = False
+
+
+class TestE8RelaxationGap:
+    def test_tester_rounds_flat_exact_rounds_grow(self, benchmark):
+        eps = 0.3
+
+        def sweep():
+            rows = []
+            for n in (16, 32, 64, 128):
+                g = gen.erdos_renyi(n, 0.5, np.random.default_rng(n))
+                t = test_triangle_freeness(g, epsilon=eps, seed=0)
+                e = detect_triangle_congest(g, bandwidth=8, seed=0)
+                assert t.rejected and e.rejected  # dense => triangles
+                # Worst-case exact budget: ship Δw/B bits.
+                w = max(1, (n - 1).bit_length())
+                worst_exact = (n - 1) * w // 8
+                rows.append((n, 2 * rounds_for_epsilon(eps), worst_exact))
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print_table(
+            f"E8: tester (ε={eps}) vs exact detection round budgets",
+            ["n", "tester rounds (flat)", "exact worst-case rounds (grows)"],
+            rows,
+        )
+        tester = [r[1] for r in rows]
+        exact = [r[2] for r in rows]
+        assert len(set(tester)) == 1
+        assert exact == sorted(exact) and exact[-1] > exact[0]
+
+    def test_one_sidedness_and_far_detection(self, benchmark):
+        def run():
+            clean = gen.complete_bipartite(8, 8)  # triangle-free
+            far = gen.clique(12)
+            clean_rejects = sum(
+                test_triangle_freeness(clean, 0.3, seed=s).rejected for s in range(8)
+            )
+            far_rejects = sum(
+                test_triangle_freeness(far, 0.3, seed=s).rejected for s in range(8)
+            )
+            eps_far = distance_to_triangle_freeness_lower_bound(far) / far.number_of_edges()
+            return clean_rejects, far_rejects, eps_far
+
+        clean_rejects, far_rejects, eps_far = benchmark.pedantic(
+            run, rounds=1, iterations=1
+        )
+        print_table(
+            "E8: one-sidedness and far-instance detection (8 runs each)",
+            ["instance", "rejections / 8"],
+            [
+                ("K_{8,8} (triangle-free)", clean_rejects),
+                (f"K_12 (ε ≥ {eps_far:.2f}-far)", far_rejects),
+            ],
+        )
+        assert clean_rejects == 0
+        assert far_rejects >= 7
+
+    def test_tester_misses_hidden_triangle(self, benchmark):
+        """Why the exact problem is harder: one triangle among decoys is
+        invisible at testing distance."""
+
+        def run():
+            g = nx.Graph()
+            g.add_edges_from([(0, 1), (1, 2), (2, 0)])
+            nxt = 3
+            for v in (0, 1, 2):
+                for _ in range(40):
+                    g.add_edge(v, nxt)
+                    nxt += 1
+            tester_hits = sum(
+                test_triangle_freeness(g, 0.5, seed=s).rejected for s in range(8)
+            )
+            exact = detect_triangle_congest(g, bandwidth=16, seed=0)
+            return tester_hits, exact.rejected
+
+        tester_hits, exact_found = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table(
+            "E8: one hidden triangle, 123 nodes",
+            ["method", "finds it"],
+            [
+                (f"tester (hits {tester_hits}/8 runs)", tester_hits >= 4),
+                ("exact detection (this paper's regime)", exact_found),
+            ],
+        )
+        assert exact_found
+        assert tester_hits <= 3

@@ -1,0 +1,146 @@
+"""F1 / F2 / F3 -- structural audits of the paper's three figures.
+
+* Figure 1 (``H_k``): size ``40 + 2(3k+2)``, diameter 3, clique census,
+  endpoint degrees.
+* Figure 2 (``G_{X,Y} ∈ G_{k,n}``): Property 1 (size O(n), diameter 3) and
+  Lemma 3.1 (``H_k ⊆ G_{X,Y} ⇔ X ∩ Y ≠ ∅``), verified constructively and
+  by isomorphism search on a small instance.
+* Figure 3 (``G_T``): degrees Θ(n), triangle probability 1/8 under μ,
+  Observation 5.2.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.graphs import (
+    GknFamily,
+    build_hk,
+    build_template_graph,
+    contains_subgraph,
+    diameter,
+    sample_input,
+)
+from repro.graphs.hk_construction import CLIQUE_SIZES
+
+
+class TestF1Hk:
+    def test_hk_audit(self, benchmark):
+        def audit():
+            rows = []
+            for k in (1, 2, 3, 5, 8):
+                hk = build_hk(k)
+                rows.append(
+                    (
+                        k,
+                        hk.num_vertices,
+                        hk.expected_size(),
+                        diameter(hk.graph),
+                        len(hk.triangle_vertices) // 3,
+                    )
+                )
+            return rows
+
+        rows = benchmark.pedantic(audit, rounds=1, iterations=1)
+        print_table(
+            "F1: H_k structural audit (Figure 1)",
+            ["k", "|V|", "40+2(3k+2)", "diameter", "triangles per copy x2"],
+            rows,
+        )
+        for k, nv, expect, diam, tri in rows:
+            assert nv == expect
+            assert diam == 3
+            assert tri == 2 * k
+
+
+class TestF2Gkn:
+    def test_gxy_audit(self, benchmark):
+        def audit():
+            rows = []
+            for k, n in ((2, 4), (2, 16), (3, 8), (4, 8)):
+                fam = GknFamily(k, n)
+                gxy = fam.build([(0, 0)], [(1, 1)])
+                rows.append(
+                    (
+                        k,
+                        n,
+                        fam.m,
+                        gxy.graph.number_of_nodes(),
+                        4 * n + 6 * fam.m + 40,
+                        diameter(gxy.graph),
+                        len(gxy.alice_cut()),
+                    )
+                )
+            return rows
+
+        rows = benchmark.pedantic(audit, rounds=1, iterations=1)
+        print_table(
+            "F2: G_(k,n) audit (Definition 2 / Property 1)",
+            ["k", "n", "m", "|V|", "4n+6m+40", "diameter", "Alice cut"],
+            rows,
+        )
+        for k, n, m, nv, expect, diam, cut in rows:
+            assert nv == expect
+            assert diam == 3
+            assert cut == 4 * m + 6
+
+    def test_lemma_3_1_on_figure_instance(self, benchmark):
+        """Figure 2's instance: n=3, k=2, (2,1) ∈ X ∩ Y -> copy appears."""
+        fam = GknFamily(2, 3)
+
+        def check():
+            with_copy = fam.build([(1, 0)], [(1, 0)])
+            without = fam.build([(1, 0)], [(0, 1)])
+            return (
+                fam.find_copy(with_copy) is not None,
+                fam.find_copy(without) is None,
+            )
+
+        has, hasnt = benchmark(check)
+        print_table(
+            "F2: Lemma 3.1 on the Figure 2 instance",
+            ["instance", "H_2 present"],
+            [("(2,1) ∈ X∩Y", has), ("X∩Y = ∅", not hasnt)],
+        )
+        assert has and hasnt
+
+
+class TestF3Template:
+    def test_template_audit(self, benchmark):
+        def audit():
+            rows = []
+            for n in (10, 100, 400):
+                g = build_template_graph(n)
+                degs = dict(g.degree())
+                special_deg = degs[("special", "a")]
+                rows.append((n, g.number_of_nodes(), special_deg))
+            return rows
+
+        rows = benchmark.pedantic(audit, rounds=1, iterations=1)
+        print_table(
+            "F3: template graph G_T audit (Figure 3)",
+            ["n", "|V| = 3n+3", "special degree = n+2 (Θ(n))"],
+            rows,
+        )
+        for n, nv, deg in rows:
+            assert nv == 3 * n + 3
+            assert deg == n + 2
+
+    def test_triangle_probability_and_obs_5_2(self, benchmark):
+        def sample():
+            rng = np.random.default_rng(0)
+            hits = 0
+            total = 3000
+            for _ in range(total):
+                s = sample_input(4, rng)
+                assert s.observation_5_2_holds()
+                hits += s.has_triangle()
+            return hits / total
+
+        p = benchmark.pedantic(sample, rounds=1, iterations=1)
+        print_table(
+            "F3: μ draws — triangle appears w.p. 1/8 (Section 5)",
+            ["measured P(triangle)", "paper"],
+            [(f"{p:.4f}", "0.125")],
+        )
+        assert abs(p - 0.125) < 0.02

@@ -1,0 +1,64 @@
+"""OV -- the paper's complexity landscape in one table, via the dispatcher.
+
+Runs the one-call :func:`repro.core.detect` API over every pattern class on
+one host network and tabulates which algorithm fired, in which model, at
+what cost -- the executive summary of the reproduction.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.core.detection import detect
+from repro.graphs import generators as gen
+from repro.graphs.subgraph_iso import contains_subgraph
+
+
+class TestOverview:
+    def test_landscape_table(self, benchmark):
+        rng = np.random.default_rng(3)
+        host = gen.erdos_renyi(48, 0.12, rng)
+
+        patterns = [
+            ("P_4 (tree)", gen.path(4)),
+            ("K_1,3 (star)", nx.star_graph(3)),
+            ("K_3 (triangle)", gen.clique(3)),
+            ("K_4 (clique)", gen.clique(4)),
+            ("C_4 (even cycle)", gen.cycle(4)),
+            ("C_6 (even cycle)", gen.cycle(6)),
+            ("C_5 (odd cycle)", gen.cycle(5)),
+            ("theta(2,2,2) (general)", gen.theta_graph([2, 2, 2])),
+        ]
+
+        def run_all():
+            rows = []
+            for name, pat in patterns:
+                out = detect(host, pat, seed=5, max_iterations=500)
+                truth = contains_subgraph(pat, host)
+                rows.append(
+                    (
+                        name,
+                        out.pattern_class,
+                        out.model,
+                        out.algorithm.split(" (")[0][:34],
+                        out.detected,
+                        truth,
+                        "miss?" if (truth and not out.detected) else "ok",
+                    )
+                )
+            return rows
+
+        rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+        print_table(
+            "OV: the detection landscape on one 48-node host",
+            ["pattern", "class", "model", "algorithm", "detected", "truth", "status"],
+            rows,
+        )
+        for name, klass, model, algo, detected, truth, status in rows:
+            # One-sidedness: a positive is always real.
+            if detected:
+                assert truth, name
+            # Deterministic routes must equal the truth outright.
+            if klass in ("triangle", "clique", "general"):
+                assert detected == truth, name

@@ -1,0 +1,28 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every bench regenerates one experiment from DESIGN.md's index (E1-E7,
+F1-F3): it sweeps the workload, prints the table/series the paper's
+theorem corresponds to, asserts the *shape* (fitted exponents, orderings,
+thresholds), and times a representative run via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, List, Sequence
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render an experiment table to stdout (captured by pytest -s / logs)."""
+    rows = [tuple(str(c) for c in r) for r in rows]
+    header = tuple(str(h) for h in header)
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} ===", file=sys.stderr)
+    print(line, file=sys.stderr)
+    print("-" * len(line), file=sys.stderr)
+    for r in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)), file=sys.stderr)

@@ -1,0 +1,60 @@
+"""The Theorem 4.1 adversary in action: fooling a low-bandwidth algorithm.
+
+A deterministic CONGEST algorithm on degree-2 graphs must tell a triangle
+from a hexagon.  If its nodes send too few bits, many different triangles
+produce the *same* transcript; Erdős's hypergraph theorem then yields two
+"compatible" triangles that splice into a hexagon every node mistakes for
+its triangle -- so the algorithm rejects a triangle-free graph.
+
+This example attacks the truncated-identifier-exchange family at several
+fingerprint widths and shows the Θ(log N) threshold.
+
+Run:  python examples/fooling_adversary.py
+"""
+
+import math
+
+from repro.congest.identifiers import partitioned_namespace
+from repro.lowerbounds.fooling import attack
+from repro.lowerbounds.transcripts import FullIdExchange, TruncatedIdExchange
+
+
+def main() -> None:
+    n_per_part = 12
+    parts = partitioned_namespace(n_per_part)
+    print(f"namespace: N = {3 * n_per_part} identifiers in three parts of {n_per_part}")
+    print(f"triangle class: {n_per_part ** 3} triangles Δ(u0,u1,u2)")
+    print(f"Erdős box threshold: n^2.75 = {n_per_part ** 2.75:.0f} bucket edges\n")
+
+    print(f"{'fingerprint bits':18s} {'bits/node (C+1)':16s} {'largest |S_t|':14s} "
+          f"{'fooled':7s} hexagon")
+    print("-" * 90)
+    for bits in range(1, 7):
+        rep = attack(TruncatedIdExchange(bits), parts)
+        hexagon = rep.certificate.hexagon_ids if rep.certificate else "-"
+        print(f"{bits:<18d} {rep.max_bits_per_node:<16d} {rep.largest_bucket:<14d} "
+              f"{str(rep.fooled):7s} {hexagon}")
+
+    full = attack(FullIdExchange(3 * n_per_part), parts)
+    print(f"{'full ids':18s} {full.max_bits_per_node:<16d} {full.largest_bucket:<14d} "
+          f"{str(full.fooled):7s} -")
+
+    print(f"\nlog2(N) = {math.log2(3 * n_per_part):.1f}: below it the adversary wins, "
+          "at full identifiers the transcript pins the triangle uniquely "
+          "(largest bucket = 1) and fooling is impossible — the Ω(log N) of "
+          "Theorem 4.1.")
+
+    rep = attack(TruncatedIdExchange(2), parts)
+    if rep.fooled:
+        c = rep.certificate
+        print(f"\nanatomy of one fooling certificate (2-bit fingerprints):")
+        print(f"  box sides        : {c.box.sides}")
+        print(f"  spliced hexagon  : {c.hexagon_ids}")
+        print(f"  Claim 4.4 holds  : {c.claim_4_4_verified} "
+              "(every hexagon node saw exactly its triangle view)")
+        print(f"  rejecting nodes  : {c.rejecting_nodes} "
+              "— they 'detected' a triangle that is not there.")
+
+
+if __name__ == "__main__":
+    main()

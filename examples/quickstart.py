@@ -1,0 +1,51 @@
+"""Quickstart: detect an even cycle in a CONGEST network.
+
+This is the paper's headline algorithm (Theorem 1.1): ``C_{2k}`` detection
+in ``O(n^{1 - 1/(k(k-1))})`` rounds -- sublinear, unlike odd cycles which
+need ``Ω̃(n)``.  We build a network with a planted 4-cycle, run the
+algorithm on the bit-exact simulator, and inspect the report.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import detect_even_cycle, detect_cycle_linear
+from repro.graphs import generators
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # A 150-node network with sparse background edges and one planted C_4.
+    graph, cycle = generators.planted_cycle_graph(150, 4, p=0.01, rng=rng)
+    print(f"network: {graph.number_of_nodes()} nodes, "
+          f"{graph.number_of_edges()} edges; planted C_4 on {cycle}")
+
+    # Theorem 1.1 detection (k=2 -> C_4), amplified over random colorings.
+    report = detect_even_cycle(graph, k=2, iterations=600, seed=1)
+    print(f"\nTheorem 1.1 algorithm (sublinear, O(n^0.5) rounds/iteration):")
+    print(f"  detected          : {report.detected}")
+    print(f"  iterations used   : {report.iterations_run}")
+    print(f"  rounds/iteration  : {report.rounds_per_iteration}")
+    print(f"  schedule          : R1={report.schedule.r1} "
+          f"peel={report.schedule.peel_steps} R2={report.schedule.r2} "
+          f"(M={report.schedule.edge_budget}, tau={report.schedule.tau})")
+    if report.witnesses:
+        print(f"  witness           : {report.witnesses[0]}")
+
+    # The linear baseline, for contrast.
+    baseline = detect_cycle_linear(graph, 4, iterations=600, seed=1)
+    print(f"\nlinear baseline (O(n) rounds/iteration):")
+    print(f"  detected          : {baseline.detected}")
+    print(f"  rounds/iteration  : {baseline.rounds_per_iteration}")
+
+    # A negative control: trees have no cycles at all.
+    tree = generators.random_tree(150, rng)
+    clean = detect_even_cycle(tree, k=2, iterations=50, seed=2)
+    print(f"\nnegative control on a tree: detected = {clean.detected} "
+          "(soundness: the algorithm never rejects a C_4-free sparse graph)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro -- a reproduction of *Possibilities and Impossibilities for
+Distributed Subgraph Detection* (Fischer, Gonen, Kuhn, Oshman; SPAA 2018).
+
+Subpackages
+-----------
+``repro.congest``
+    Bit-exact CONGEST / LOCAL / Congested-Clique simulators.
+``repro.graphs``
+    The paper's constructions (``H_k``, ``G_{k,n}``, ``G_T``), generators,
+    and a from-scratch subgraph-isomorphism engine.
+``repro.theory``
+    Turán numbers, predicted complexities, Lemma 1.3 counting.
+``repro.commcomplexity``
+    Two-party protocols, set disjointness, the Theorem 1.2 simulation.
+``repro.infotheory``
+    Exact entropy / mutual information and estimators.
+``repro.core``
+    The Theorem 1.1 algorithm and every baseline detector.
+``repro.lowerbounds``
+    Executable adversaries for Theorems 1.2, 4.1, 5.1 and Lemma 1.3.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.graphs import generators
+>>> from repro.core import detect_even_cycle
+>>> g = generators.grid(5, 5)                      # plenty of C_4s
+>>> detect_even_cycle(g, k=2, iterations=400).detected
+True
+
+See README.md for the architecture tour and EXPERIMENTS.md for the
+paper-vs-measured record of every theorem and figure.
+"""
+
+from . import commcomplexity, congest, core, experiments, graphs, infotheory, lowerbounds, theory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "commcomplexity",
+    "experiments",
+    "congest",
+    "core",
+    "graphs",
+    "infotheory",
+    "lowerbounds",
+    "theory",
+    "__version__",
+]

@@ -1,0 +1,301 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``detect``     run a distributed detector on a generated or loaded graph
+``construct``  build one of the paper's constructions and audit/save it
+``reduce``     execute the Theorem 1.2 disjointness reduction on an instance
+``fool``       run the Theorem 4.1 adversary against an algorithm family
+``bounds``     print the paper's predicted complexities at given parameters
+
+Examples
+--------
+::
+
+    python -m repro detect --pattern c4 --graph gnp --n 100 --p 0.05 --iterations 400
+    python -m repro detect --pattern triangle --graph grid --rows 6 --cols 7
+    python -m repro construct --which hk --k 3 --out hk.edges
+    python -m repro reduce --k 2 --n 6 --density 0.3
+    python -m repro fool --bits 2 --n-per-part 10
+    python -m repro experiment e1
+    python -m repro bounds --n 4096 --k 3 --bandwidth 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Distributed subgraph detection (SPAA 2018 reproduction): "
+            "detectors, constructions, and executable lower bounds."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("detect", help="run a detector on a graph")
+    p.add_argument("--pattern", required=True,
+                   help="triangle | c<even length, e.g. c4/c6> | odd-c<len> | "
+                        "k<s, e.g. k4> | path<t>")
+    p.add_argument("--graph", default="gnp", choices=["gnp", "grid", "cycle", "file"])
+    p.add_argument("--n", type=int, default=64)
+    p.add_argument("--p", type=float, default=0.1)
+    p.add_argument("--rows", type=int, default=5)
+    p.add_argument("--cols", type=int, default=5)
+    p.add_argument("--length", type=int, default=8, help="cycle graph length")
+    p.add_argument("--path", help="edge-list file (with --graph file)")
+    p.add_argument("--bandwidth", type=int, default=None)
+    p.add_argument("--iterations", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("construct", help="build a paper construction")
+    p.add_argument("--which", required=True, choices=["hk", "gkn", "template", "bipartite"])
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--s", type=int, default=2)
+    p.add_argument("--n", type=int, default=4)
+    p.add_argument("--out", help="write the graph as an edge list here")
+
+    p = sub.add_parser("reduce", help="run the Theorem 1.2 reduction")
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--n", type=int, default=5)
+    p.add_argument("--density", type=float, default=0.3)
+    p.add_argument("--bandwidth", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fool", help="run the Theorem 4.1 adversary")
+    p.add_argument("--bits", type=int, default=2, help="fingerprint width")
+    p.add_argument("--n-per-part", type=int, default=8)
+    p.add_argument("--family", default="trunc", choices=["trunc", "hash", "full"])
+
+    p = sub.add_parser("experiment", help="run a paper experiment")
+    p.add_argument("name", help="e1, e2, e2-live, e3, e4, e4-scaling, e5, "
+                                "e5-live, e6, e6-live, e7, e8, or 'all'")
+
+    p = sub.add_parser("bounds", help="print predicted complexities")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--s", type=int, default=3)
+    p.add_argument("--bandwidth", type=int, default=16)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _build_graph(args) -> nx.Graph:
+    from .graphs import generators
+    from .graphs.io import read_edgelist
+
+    if args.graph == "gnp":
+        return generators.erdos_renyi(args.n, args.p, np.random.default_rng(args.seed))
+    if args.graph == "grid":
+        return generators.grid(args.rows, args.cols)
+    if args.graph == "cycle":
+        return generators.cycle(args.length)
+    if args.graph == "file":
+        if not args.path:
+            raise SystemExit("--graph file requires --path")
+        return read_edgelist(args.path)
+    raise SystemExit(f"unknown graph kind {args.graph}")
+
+
+def _cmd_detect(args) -> int:
+    from .core import (
+        detect_clique,
+        detect_cycle_linear,
+        detect_even_cycle,
+        detect_tree,
+        detect_triangle_congest,
+    )
+    from .graphs import generators
+
+    g = _build_graph(args)
+    pat = args.pattern.lower()
+    print(f"graph: {g.number_of_nodes()} nodes, {g.number_of_edges()} edges")
+
+    if pat == "triangle":
+        res = detect_triangle_congest(g, bandwidth=args.bandwidth or 16, seed=args.seed)
+        print(f"triangle detected: {res.rejected} (rounds: {res.rounds}, "
+              f"bits: {res.metrics.total_bits})")
+        return 0
+    if pat.startswith("odd-c"):
+        length = int(pat[5:])
+        rep = detect_cycle_linear(g, length, iterations=args.iterations, seed=args.seed)
+        print(f"C_{length} detected: {rep.detected} "
+              f"({rep.iterations_run} iterations x {rep.rounds_per_iteration} rounds)")
+        return 0
+    if pat.startswith("c"):
+        length = int(pat[1:])
+        if length % 2 != 0 or length < 4:
+            raise SystemExit("use c<even length> or odd-c<length>")
+        k = length // 2
+        rep = detect_even_cycle(g, k, iterations=args.iterations, seed=args.seed,
+                                bandwidth=args.bandwidth)
+        print(f"C_{length} detected: {rep.detected} "
+              f"({rep.iterations_run} iterations x {rep.rounds_per_iteration} rounds; "
+              f"Theorem 1.1 schedule R1={rep.schedule.r1} R2={rep.schedule.r2})")
+        return 0
+    if pat.startswith("k"):
+        s = int(pat[1:])
+        res = detect_clique(g, s, bandwidth=args.bandwidth or 8, seed=args.seed)
+        print(f"K_{s} detected: {res.rejected} (rounds: {res.rounds})")
+        return 0
+    if pat.startswith("path"):
+        t = int(pat[4:])
+        rep = detect_tree(g, generators.path(t), iterations=args.iterations, seed=args.seed)
+        print(f"P_{t} detected: {rep.detected} "
+              f"({rep.iterations_run} iterations x {rep.rounds_per_iteration} rounds)")
+        return 0
+    raise SystemExit(f"unknown pattern {args.pattern!r}")
+
+
+def _cmd_construct(args) -> int:
+    from .graphs import GknFamily, build_hk, build_template_graph, diameter
+    from .graphs.bipartite_gadget import BipartiteHostFamily
+    from .graphs.io import write_edgelist
+    from .graphs.properties import is_bipartite
+
+    if args.which == "hk":
+        hk = build_hk(args.k)
+        g = hk.graph
+        print(f"H_{args.k}: {hk.num_vertices} vertices "
+              f"(formula {hk.expected_size()}), diameter {diameter(g)}")
+    elif args.which == "gkn":
+        fam = GknFamily(args.k, args.n)
+        gxy = fam.build([], [])
+        g = gxy.graph
+        print(f"G_(k={args.k}, n={args.n}): {g.number_of_nodes()} vertices, "
+              f"m={fam.m} triangles/side, diameter {diameter(g)}, "
+              f"Alice cut {len(gxy.alice_cut())}")
+    elif args.which == "template":
+        g = build_template_graph(args.n)
+        print(f"G_T(n={args.n}): {g.number_of_nodes()} vertices, "
+              f"special degree {args.n + 2}")
+    else:
+        fam = BipartiteHostFamily(args.s, args.k, args.n)
+        host = fam.build([], [])
+        g = host.graph
+        print(f"bipartite host (s={args.s}, k={args.k}, n={args.n}): "
+              f"{g.number_of_nodes()} vertices, bipartite={is_bipartite(g)}, "
+              f"Alice cut {len(host.alice_cut())}")
+    if args.out:
+        # Relabel tuple vertices to ints for a portable edge list.
+        order = sorted(g.nodes(), key=repr)
+        mapping = {v: i for i, v in enumerate(order)}
+        write_edgelist(nx.relabel_nodes(g, mapping), args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_reduce(args) -> int:
+    from .commcomplexity.disjointness import random_instance
+    from .lowerbounds.superlinear import implied_round_lower_bound, run_reduction
+
+    inst = random_instance(args.n, np.random.default_rng(args.seed), density=args.density)
+    r = run_reduction(args.k, args.n, inst.x, inst.y,
+                      bandwidth=args.bandwidth, seed=args.seed)
+    print(f"instance: |X|={len(inst.x)} |Y|={len(inst.y)} disjoint={inst.disjoint}")
+    print(f"protocol answer: disjoint={r.disjoint_answer} correct={r.correct}")
+    print(f"rounds={r.rounds} bits={r.total_bits} cut={r.cut_alice}")
+    print(f"implied round lower bound n^2/(cut(B+1)) = "
+          f"{implied_round_lower_bound(args.n, r.cut_alice, r.bandwidth):.2f}")
+    return 0 if r.correct else 1
+
+
+def _cmd_fool(args) -> int:
+    from .congest.identifiers import partitioned_namespace
+    from .lowerbounds.fooling import attack
+    from .lowerbounds.transcripts import (
+        FullIdExchange,
+        HashedIdExchange,
+        TruncatedIdExchange,
+    )
+
+    parts = partitioned_namespace(args.n_per_part)
+    if args.family == "trunc":
+        algo = TruncatedIdExchange(args.bits)
+    elif args.family == "hash":
+        algo = HashedIdExchange(args.bits)
+    else:
+        algo = FullIdExchange(3 * args.n_per_part)
+    rep = attack(algo, parts)
+    print(f"triangles: {rep.num_triples}, largest transcript bucket: "
+          f"{rep.largest_bucket}, Erdős threshold: {rep.erdos_threshold:.0f}")
+    print(f"fooled: {rep.fooled}")
+    if rep.certificate:
+        c = rep.certificate
+        print(f"hexagon: {c.hexagon_ids}  Claim 4.4 verified: {c.claim_4_4_verified}")
+        print(f"rejecting nodes: {c.rejecting_nodes}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from . import experiments
+
+    names = experiments.available() if args.name == "all" else [args.name]
+    ok = True
+    for name in names:
+        report = experiments.run(name)
+        print(report.format_report())
+        print()
+        ok = ok and report.reproduced
+    return 0 if ok else 1
+
+
+def _cmd_bounds(args) -> int:
+    from .theory.bounds import (
+        bipartite_detection_lower_bound,
+        clique_listing_lower_bound,
+        deterministic_triangle_bits,
+        even_cycle_detection_rounds,
+        hk_detection_lower_bound,
+        local_congest_separation,
+        one_round_triangle_bandwidth,
+    )
+
+    n, k, s, b = args.n, args.k, args.s, args.bandwidth
+    print(f"paper bounds at n={n}, k={k}, s={s}, B={b}:")
+    print(f"  Thm 1.1  C_{2*k} detection rounds     O(n^(1-1/(k(k-1)))) "
+          f"= {even_cycle_detection_rounds(n, k):.1f}")
+    print(f"  Thm 1.2  H_{k}-freeness rounds        Ω(n^(2-1/k)/(Bk))   "
+          f"= {hk_detection_lower_bound(n, k, b):.1f}")
+    if s >= 2 and k >= 2:
+        print(f"  §3.4     bipartite H_(s,k) rounds    Ω(n^(2-1/k-1/s)/(Bk)) "
+              f"= {bipartite_detection_lower_bound(n, k, s, b):.1f}")
+    print(f"  Thm 4.1  deterministic triangle bits Ω(log N)           "
+          f"= {deterministic_triangle_bits(n):.1f}")
+    print(f"  Thm 5.1  one-round triangle bandwidth Ω(Δ)              "
+          f"= {one_round_triangle_bandwidth(n):.0f} at Δ=n")
+    if s >= 3:
+        print(f"  §1.1     listing K_{s} rounds          Ω̃(n^(1-2/s))       "
+              f"= {clique_listing_lower_bound(n, s):.1f}")
+    local, congest = local_congest_separation(n, b)
+    print(f"  §1.1     LOCAL vs CONGEST at k=Θ(log n): {local:.0f} rounds "
+          f"vs {congest:.3g} rounds")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "detect": _cmd_detect,
+        "construct": _cmd_construct,
+        "reduce": _cmd_reduce,
+        "fool": _cmd_fool,
+        "experiment": _cmd_experiment,
+        "bounds": _cmd_bounds,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Two-party communication complexity (Substrate 4): protocols, set
+disjointness on ``[n]^2``, and the Theorem 1.2 CONGEST-simulation
+reduction."""
+
+from .disjointness import (
+    BitmapDisjointnessProtocol,
+    DisjointnessInstance,
+    are_disjoint,
+    disjointness_lower_bound_bits,
+    random_instance,
+    solve_by_bitmap,
+)
+from .protocol import BitMeter, ProtocolResult, SimultaneousProtocol, run_protocol
+from .reduction import SimulationRun, TwoPartySimulation
+
+__all__ = [
+    "BitmapDisjointnessProtocol",
+    "DisjointnessInstance",
+    "are_disjoint",
+    "disjointness_lower_bound_bits",
+    "random_instance",
+    "solve_by_bitmap",
+    "BitMeter",
+    "ProtocolResult",
+    "SimultaneousProtocol",
+    "run_protocol",
+    "SimulationRun",
+    "TwoPartySimulation",
+]

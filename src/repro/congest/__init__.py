@@ -1,0 +1,54 @@
+"""Distributed-model simulators: CONGEST, LOCAL, and the Congested Clique.
+
+This package is Substrate 1 of the reproduction (see DESIGN.md): a
+synchronous, bit-exact message-passing engine on which every algorithm and
+every lower-bound adversary in the paper runs.
+"""
+
+from .algorithm import Algorithm, Decision, NodeContext, broadcast, silent
+from .broadcast_model import (
+    BroadcastAlgorithm,
+    BroadcastNetwork,
+    BroadcastViolation,
+    run_broadcast_congest,
+)
+from .congested_clique import CongestedClique, run_congested_clique
+from .identifiers import (
+    adversarial_assignment,
+    canonical_assignment,
+    partitioned_namespace,
+    random_assignment,
+)
+from .local_model import BallCollection, LocalNetwork, run_local
+from .message import BandwidthExceeded, Message, id_width, int_width
+from .metrics import CommMetrics
+from .network import CongestNetwork, ExecutionResult, run_congest
+
+__all__ = [
+    "Algorithm",
+    "BroadcastAlgorithm",
+    "BroadcastNetwork",
+    "BroadcastViolation",
+    "run_broadcast_congest",
+    "Decision",
+    "NodeContext",
+    "broadcast",
+    "silent",
+    "CongestedClique",
+    "run_congested_clique",
+    "adversarial_assignment",
+    "canonical_assignment",
+    "partitioned_namespace",
+    "random_assignment",
+    "BallCollection",
+    "LocalNetwork",
+    "run_local",
+    "BandwidthExceeded",
+    "Message",
+    "id_width",
+    "int_width",
+    "CommMetrics",
+    "CongestNetwork",
+    "ExecutionResult",
+    "run_congest",
+]

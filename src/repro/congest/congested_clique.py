@@ -1,0 +1,87 @@
+"""The Congested Clique model.
+
+In the congested clique, the *communication* graph is complete -- every node
+may send ``B = O(log n)`` bits to **every** other node each round -- while
+the *input* graph is an arbitrary graph on the same vertex set, given to each
+node as its incident edge list.  The paper's Section 1.1 extends the
+Izumi--Le Gall / Pandurangan--Robinson--Scquizzato ``Ω̃(n^{1/3})``
+triangle-listing lower bound to ``Ω̃(n^{1-2/s})`` for listing ``s``-cliques
+in this model; the matching-shape upper bound lives in
+:mod:`repro.core.listing` and runs on this engine.
+
+Implementation: we reuse :class:`~repro.congest.network.CongestNetwork` with
+the complete graph as the communication topology and the input graph encoded
+into per-node inputs (``node.input['adjacency']`` is the node's neighborhood
+in the *input* graph, as a sorted tuple of identifiers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from .algorithm import Algorithm
+from .identifiers import canonical_assignment
+from .network import CongestNetwork, ExecutionResult
+
+__all__ = ["CongestedClique", "run_congested_clique"]
+
+
+class CongestedClique(CongestNetwork):
+    """A congested-clique instance over the vertex set of ``input_graph``.
+
+    Parameters
+    ----------
+    input_graph:
+        The graph the algorithm is asked questions about.  Each node's
+        private input contains its incident edges.
+    bandwidth:
+        Bits per ordered node pair per round.  The classical model takes
+        ``B = Θ(log n)``; the lower bound of Section 1.1 holds even then.
+    """
+
+    def __init__(
+        self,
+        input_graph: nx.Graph,
+        bandwidth: int,
+        assignment: Optional[Mapping[Hashable, int]] = None,
+        extra_inputs: Optional[Mapping[Hashable, Any]] = None,
+        **kwargs: Any,
+    ) -> None:
+        if assignment is None:
+            try:
+                ordered = sorted(input_graph.nodes())
+            except TypeError:
+                ordered = list(input_graph.nodes())
+            assignment = canonical_assignment(ordered)
+        comm = nx.complete_graph(list(input_graph.nodes()))
+        inputs: Dict[Hashable, Any] = {}
+        for v in input_graph.nodes():
+            adjacency: Tuple[int, ...] = tuple(
+                sorted(assignment[w] for w in input_graph.neighbors(v))
+            )
+            inputs[v] = {"adjacency": adjacency}
+            if extra_inputs and v in extra_inputs:
+                inputs[v].update(extra_inputs[v])
+        super().__init__(
+            comm,
+            bandwidth=bandwidth,
+            assignment=assignment,
+            inputs=inputs,
+            **kwargs,
+        )
+        self.input_graph = nx.relabel_nodes(input_graph, dict(assignment), copy=True)
+
+
+def run_congested_clique(
+    input_graph: nx.Graph,
+    algorithm: Algorithm,
+    bandwidth: int,
+    max_rounds: int,
+    seed: Optional[int] = 0,
+    **kwargs: Any,
+) -> ExecutionResult:
+    """One-shot congested-clique run."""
+    net = CongestedClique(input_graph, bandwidth=bandwidth, **kwargs)
+    return net.run(algorithm, max_rounds=max_rounds, seed=seed)

@@ -1,0 +1,143 @@
+"""Bit-exact message encoding for the CONGEST simulator.
+
+The CONGEST model charges an algorithm for every bit it puts on a wire.  To
+make round/bit accounting meaningful, every :class:`Message` carries an
+explicit ``size_bits`` that the network engine checks against the per-edge
+bandwidth ``B``.
+
+Messages are immutable.  Three families of constructors are provided:
+
+* :meth:`Message.of_bits` -- a literal bitstring.  This is what the
+  lower-bound machinery in :mod:`repro.lowerbounds.transcripts` uses, because
+  Theorem 4.1's transcript argument needs messages that concatenate into a
+  uniquely-parsable binary string (a prefix code).
+* :meth:`Message.of_ints` / :meth:`Message.of_ids` -- fixed-width integer
+  tuples, the bread and butter of upper-bound algorithms (BFS tokens, prefix
+  lists, adjacency chunks).  An identifier drawn from a namespace of size
+  ``N`` costs ``ceil(log2 N)`` bits.
+* :meth:`Message.of_bitmap` -- a 0/1 vector costing exactly its length, used
+  for adjacency-bitmap shipping in clique detection.
+
+The payload itself is an arbitrary hashable Python value; the simulator never
+inspects it.  Size accounting is the contract.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence, Tuple
+
+__all__ = [
+    "Message",
+    "int_width",
+    "id_width",
+    "BandwidthExceeded",
+]
+
+
+def int_width(domain_size: int) -> int:
+    """Number of bits needed to encode one value from a domain of given size.
+
+    ``int_width(1) == 0``: a value from a singleton domain carries no
+    information and costs nothing.
+
+    >>> int_width(2)
+    1
+    >>> int_width(1024)
+    10
+    >>> int_width(1025)
+    11
+    """
+    if domain_size < 1:
+        raise ValueError(f"domain_size must be >= 1, got {domain_size}")
+    return max(0, math.ceil(math.log2(domain_size)))
+
+
+def id_width(namespace_size: int) -> int:
+    """Bits required to name one identifier from a namespace of size ``N``."""
+    return int_width(namespace_size)
+
+
+class BandwidthExceeded(RuntimeError):
+    """Raised when a node tries to push more than ``B`` bits over one edge."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable message with an explicit bit cost.
+
+    Attributes
+    ----------
+    payload:
+        Arbitrary hashable content.  The engine delivers it verbatim.
+    size_bits:
+        The number of bits this message occupies on the wire.  Must be
+        non-negative.  The engine enforces ``size_bits <= B`` per edge per
+        round (a node may send at most one message per edge per round; to
+        send more data, send over several rounds -- exactly as in CONGEST).
+    kind:
+        Optional short tag for debugging and transcript grouping.
+    """
+
+    payload: Any
+    size_bits: int
+    kind: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.size_bits < 0:
+            raise ValueError(f"size_bits must be >= 0, got {self.size_bits}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def of_bits(bits: str, kind: str = "bits") -> "Message":
+        """A literal bitstring message; costs exactly ``len(bits)`` bits."""
+        if not set(bits) <= {"0", "1"}:
+            raise ValueError(f"not a bitstring: {bits!r}")
+        return Message(payload=bits, size_bits=len(bits), kind=kind)
+
+    @staticmethod
+    def of_ints(
+        values: Iterable[int],
+        width: int,
+        kind: str = "ints",
+    ) -> "Message":
+        """A tuple of integers, each encoded with ``width`` bits."""
+        tup: Tuple[int, ...] = tuple(int(v) for v in values)
+        for v in tup:
+            if width < int_width(v + 1):
+                raise ValueError(f"value {v} does not fit in {width} bits")
+        return Message(payload=tup, size_bits=width * len(tup), kind=kind)
+
+    @staticmethod
+    def of_ids(
+        ids: Iterable[int],
+        namespace_size: int,
+        kind: str = "ids",
+    ) -> "Message":
+        """A tuple of identifiers from a namespace of size ``namespace_size``."""
+        return Message.of_ints(ids, id_width(namespace_size), kind=kind)
+
+    @staticmethod
+    def of_bitmap(bits: Sequence[int], kind: str = "bitmap") -> "Message":
+        """A 0/1 vector costing one bit per entry."""
+        tup = tuple(int(b) for b in bits)
+        if not set(tup) <= {0, 1}:
+            raise ValueError("bitmap entries must be 0/1")
+        return Message(payload=tup, size_bits=len(tup), kind=kind)
+
+    @staticmethod
+    def of_record(payload: Any, size_bits: int, kind: str = "record") -> "Message":
+        """A structured payload with a caller-supplied bit cost.
+
+        Use when the natural encoding is obvious but tedious (e.g. a BFS
+        token ``(origin, color)`` costs ``id_width(N) + int_width(2k)``).
+        The caller is responsible for an honest ``size_bits``.
+        """
+        return Message(payload=payload, size_bits=size_bits, kind=kind)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Message({self.kind or 'msg'}:{self.payload!r}, {self.size_bits}b)"

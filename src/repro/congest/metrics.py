@@ -1,0 +1,96 @@
+"""Communication metrics for simulator runs.
+
+The lower-bound arguments in the paper charge algorithms for very specific
+quantities:
+
+* Theorem 1.2 charges for the bits crossing a fixed *vertex cut* per round
+  (Alice's side vs. the rest), which is why :meth:`CommMetrics.cut_bits`
+  exists.
+* Theorem 4.1 charges for the *total* bits ever sent, and for the worst-case
+  bits sent by a single node (:meth:`CommMetrics.max_bits_per_node`).
+* Theorem 5.1 charges for the maximum single-message size
+  (:meth:`CommMetrics.max_message_bits`), since the protocol has one round.
+
+All of these are recorded exactly, per (round, directed edge).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+__all__ = ["CommMetrics"]
+
+
+@dataclass
+class CommMetrics:
+    """Exact per-edge, per-round communication accounting.
+
+    ``edge_bits[(u, v)]`` is the total bits sent from ``u`` to ``v`` over the
+    whole run (directed).  ``round_bits[r]`` is the total bits sent in round
+    ``r``.  ``node_bits[u]`` is the total bits node ``u`` sent.
+    """
+
+    edge_bits: Dict[Tuple[int, int], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    round_bits: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    node_bits: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    node_messages: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    rounds: int = 0
+    total_bits: int = 0
+    total_messages: int = 0
+    max_message_bits: int = 0
+
+    def record(self, round_no: int, sender: int, receiver: int, size_bits: int) -> None:
+        """Record one message of ``size_bits`` bits from sender to receiver."""
+        self.edge_bits[(sender, receiver)] += size_bits
+        self.round_bits[round_no] += size_bits
+        self.node_bits[sender] += size_bits
+        self.node_messages[sender] += 1
+        self.total_bits += size_bits
+        self.total_messages += 1
+        if size_bits > self.max_message_bits:
+            self.max_message_bits = size_bits
+        if round_no + 1 > self.rounds:
+            self.rounds = round_no + 1
+
+    # ------------------------------------------------------------------
+    # Queries used by the lower-bound harnesses
+    # ------------------------------------------------------------------
+    def cut_bits(self, side: Iterable[int]) -> int:
+        """Total bits that crossed the vertex cut ``(side, rest)``, both ways.
+
+        This is exactly the quantity the Theorem 1.2 simulation must pay:
+        Alice simulates ``side``; every bit on a cut edge must be relayed to
+        or from Bob.
+        """
+        side_set: Set[int] = set(side)
+        total = 0
+        for (u, v), bits in self.edge_bits.items():
+            if (u in side_set) != (v in side_set):
+                total += bits
+        return total
+
+    def max_bits_per_node(self) -> int:
+        """Worst-case total bits sent by a single node (Theorem 4.1's ``C``)."""
+        return max(self.node_bits.values(), default=0)
+
+    def max_bits_per_edge(self) -> int:
+        """Worst-case total bits sent over a single directed edge."""
+        return max(self.edge_bits.values(), default=0)
+
+    def bits_in_round(self, round_no: int) -> int:
+        return self.round_bits.get(round_no, 0)
+
+    def summary(self) -> Dict[str, int]:
+        """A flat dictionary convenient for benchmark tables."""
+        return {
+            "rounds": self.rounds,
+            "total_bits": self.total_bits,
+            "total_messages": self.total_messages,
+            "max_message_bits": self.max_message_bits,
+            "max_bits_per_node": self.max_bits_per_node(),
+            "max_bits_per_edge": self.max_bits_per_edge(),
+        }

@@ -1,0 +1,245 @@
+"""The synchronous CONGEST engine.
+
+This is the substrate every upper bound in the paper runs on: a synchronous
+message-passing network in which, per round, each node may send at most ``B``
+bits over each incident edge (CONGEST model, Section 2 of the paper).  With
+``bandwidth=None`` the same engine is the LOCAL model.
+
+The engine is deterministic given the algorithm, the graph, the identifier
+assignment, and the seed: per-node randomness is spawned from a single master
+seed keyed by node identifier, so a run can be replayed bit-for-bit.
+
+Faithfulness notes
+------------------
+* Message delivery is synchronous and reliable: everything sent in round
+  ``r`` is in the receivers' inboxes at round ``r + 1``.
+* Bandwidth is enforced, not merely recorded: oversized messages raise
+  :class:`~repro.congest.message.BandwidthExceeded`.  Lower-bound harnesses
+  rely on this to certify that the algorithms they defeat really were
+  low-bandwidth.
+* A node may send at most one :class:`~repro.congest.message.Message` per
+  edge per round; multi-part data must be pipelined over rounds, exactly as
+  in the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from .algorithm import Algorithm, Decision, NodeContext
+from .identifiers import canonical_assignment
+from .message import BandwidthExceeded, Message
+from .metrics import CommMetrics
+
+__all__ = ["CongestNetwork", "ExecutionResult", "run_congest"]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one simulator run.
+
+    ``decision`` follows Definition 1: REJECT iff some node rejected,
+    otherwise ACCEPT.  ``rounds`` counts communication rounds actually
+    executed.  ``metrics`` holds the exact bit accounting.
+    """
+
+    decision: Decision
+    rounds: int
+    metrics: CommMetrics
+    node_decisions: Dict[int, Decision]
+    contexts: Dict[int, NodeContext]
+
+    @property
+    def rejected(self) -> bool:
+        return self.decision is Decision.REJECT
+
+    @property
+    def accepted(self) -> bool:
+        return self.decision is Decision.ACCEPT
+
+    def rejecting_nodes(self) -> Tuple[int, ...]:
+        return tuple(
+            sorted(u for u, d in self.node_decisions.items() if d is Decision.REJECT)
+        )
+
+
+class CongestNetwork:
+    """A network instance: graph + identifier assignment + model parameters.
+
+    Parameters
+    ----------
+    graph:
+        The network graph.  Vertices may be arbitrary hashables; they are
+        relabelled by ``assignment``.
+    assignment:
+        Mapping from graph vertex to identifier.  Defaults to the canonical
+        ``0..n-1`` labelling in sorted-vertex order when vertices are
+        sortable, else insertion order.
+    bandwidth:
+        Per-edge per-round bit budget ``B``; ``None`` means unbounded
+        (LOCAL).
+    namespace_size:
+        Size of the identifier namespace nodes assume.  Defaults to ``n``.
+    knows_n:
+        Whether nodes are told ``n`` (most CONGEST algorithms assume this).
+    inputs:
+        Optional per-vertex private inputs, keyed by *original* vertex.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        bandwidth: Optional[int],
+        assignment: Optional[Mapping[Hashable, int]] = None,
+        namespace_size: Optional[int] = None,
+        knows_n: bool = True,
+        inputs: Optional[Mapping[Hashable, Any]] = None,
+    ) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ValueError("cannot simulate an empty network")
+        if assignment is None:
+            try:
+                ordered = sorted(graph.nodes())
+            except TypeError:
+                ordered = list(graph.nodes())
+            assignment = canonical_assignment(ordered)
+        ids = list(assignment.values())
+        if len(set(ids)) != len(ids):
+            raise ValueError("identifier assignment must be injective")
+        if set(assignment.keys()) != set(graph.nodes()):
+            raise ValueError("assignment must cover exactly the graph's vertices")
+
+        self.original_graph = graph
+        self.assignment: Dict[Hashable, int] = dict(assignment)
+        self.vertex_of: Dict[int, Hashable] = {i: v for v, i in assignment.items()}
+        self.graph: nx.Graph = nx.relabel_nodes(graph, self.assignment, copy=True)
+        self.bandwidth = bandwidth
+        self.n = graph.number_of_nodes()
+        self.namespace_size = (
+            namespace_size if namespace_size is not None else max(max(ids) + 1, self.n)
+        )
+        self.knows_n = knows_n
+        self.inputs = {
+            self.assignment[v]: inp for v, inp in (inputs or {}).items()
+        }
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        algorithm: Algorithm,
+        max_rounds: int,
+        seed: Optional[int] = 0,
+        stop_on_reject: bool = False,
+    ) -> ExecutionResult:
+        """Execute ``algorithm`` for up to ``max_rounds`` rounds.
+
+        The run ends early when every node has halted, or (if
+        ``stop_on_reject``) as soon as some node rejects at a round boundary.
+        ``seed=None`` gives nodes no randomness (deterministic algorithms).
+        """
+        metrics = CommMetrics()
+        master = np.random.default_rng(seed) if seed is not None else None
+
+        contexts: Dict[int, NodeContext] = {}
+        for u in sorted(self.graph.nodes()):
+            rng = (
+                np.random.default_rng(master.integers(0, 2**63))
+                if master is not None
+                else None
+            )
+            contexts[u] = NodeContext(
+                id=u,
+                neighbors=tuple(sorted(self.graph.neighbors(u))),
+                n=self.n if self.knows_n else None,
+                namespace_size=self.namespace_size,
+                bandwidth=self.bandwidth,
+                input=self.inputs.get(u),
+                rng=rng,
+            )
+        for ctx in contexts.values():
+            algorithm.init(ctx)
+
+        inboxes: Dict[int, Dict[int, Message]] = {u: {} for u in contexts}
+        rounds_run = 0
+        for r in range(max_rounds):
+            if all(ctx._halted for ctx in contexts.values()):
+                break
+            if stop_on_reject and any(
+                ctx.decision is Decision.REJECT for ctx in contexts.values()
+            ):
+                break
+            next_inboxes: Dict[int, Dict[int, Message]] = {u: {} for u in contexts}
+            any_traffic = False
+            for u, ctx in contexts.items():
+                if ctx._halted:
+                    continue
+                ctx.round = r
+                outbox = algorithm.round(ctx, inboxes[u]) or {}
+                for v, msg in outbox.items():
+                    self._validate_send(u, v, msg)
+                    metrics.record(r, u, v, msg.size_bits)
+                    next_inboxes[v][u] = msg
+                    any_traffic = True
+            inboxes = next_inboxes
+            rounds_run = r + 1
+            if not any_traffic and all(
+                not inboxes[u] for u in contexts
+            ) and self._all_quiescent(algorithm, contexts):
+                # No messages in flight and nothing pending: the network is
+                # silent; further rounds are no-ops for message-driven
+                # algorithms.  Algorithms that need exact round counts halt
+                # explicitly instead of relying on this.
+                break
+
+        for ctx in contexts.values():
+            algorithm.finish(ctx)
+
+        decisions = {u: ctx.decision for u, ctx in contexts.items()}
+        if any(d is Decision.REJECT for d in decisions.values()):
+            global_decision = Decision.REJECT
+        else:
+            global_decision = Decision.ACCEPT
+        return ExecutionResult(
+            decision=global_decision,
+            rounds=rounds_run,
+            metrics=metrics,
+            node_decisions=decisions,
+            contexts=contexts,
+        )
+
+    # ------------------------------------------------------------------
+    def _validate_send(self, u: int, v: int, msg: Message) -> None:
+        if not isinstance(msg, Message):
+            raise TypeError(f"node {u} tried to send a non-Message: {msg!r}")
+        if v not in self.graph[u]:
+            raise ValueError(f"node {u} tried to send to non-neighbor {v}")
+        if self.bandwidth is not None and msg.size_bits > self.bandwidth:
+            raise BandwidthExceeded(
+                f"node {u} -> {v}: message of {msg.size_bits} bits exceeds B={self.bandwidth}"
+            )
+
+    @staticmethod
+    def _all_quiescent(algorithm: Algorithm, contexts: Dict[int, NodeContext]) -> bool:
+        """True if the algorithm declares every node idle (optional hook)."""
+        probe = getattr(algorithm, "is_quiescent", None)
+        if probe is None:
+            return True
+        return all(probe(ctx) for ctx in contexts.values())
+
+
+def run_congest(
+    graph: nx.Graph,
+    algorithm: Algorithm,
+    bandwidth: Optional[int],
+    max_rounds: int,
+    seed: Optional[int] = 0,
+    **kwargs: Any,
+) -> ExecutionResult:
+    """One-shot convenience wrapper: build a network and run an algorithm."""
+    stop_on_reject = kwargs.pop("stop_on_reject", False)
+    net = CongestNetwork(graph, bandwidth=bandwidth, **kwargs)
+    return net.run(algorithm, max_rounds=max_rounds, seed=seed, stop_on_reject=stop_on_reject)

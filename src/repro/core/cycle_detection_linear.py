@@ -1,0 +1,169 @@
+"""The O(n)-round cycle-detection baseline (any fixed length, odd or even).
+
+Section 1.1: "It is easy to see that O(n) rounds suffice" for ``C_k``
+detection.  The folklore algorithm is the unthrottled version of Phase I of
+Theorem 1.1: color-code with ``ℓ`` colors and run a pipelined color-coded
+BFS from *every* color-0 node (no degree threshold).  At most ``n`` tokens
+exist, each node relays each token once, so all queues drain within
+``n + ℓ`` rounds; a token returning to its origin at hop ``ℓ - 1`` closes a
+properly-colored ``C_ℓ``.
+
+This is the baseline E1 compares Theorem 1.1 against (who wins, and where
+the crossover in ``n`` falls), and -- run with odd ``ℓ`` -- the matching
+upper bound for the ``Ω̃(n)`` odd-cycle lower bound of [10] quoted in the
+paper (experiment E7).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from ..congest.algorithm import Algorithm, Decision, NodeContext, broadcast
+from ..congest.message import Message, int_width
+from ..congest.network import CongestNetwork, ExecutionResult
+from .color_coding import ColorSource
+
+__all__ = [
+    "LinearCycleIterationAlgorithm",
+    "LinearCycleReport",
+    "detect_cycle_linear",
+    "linear_iterations_for_constant_success",
+]
+
+
+def linear_iterations_for_constant_success(length: int, target: float = 2.0 / 3.0) -> int:
+    """Repetitions for the ``ℓ``-color coding to hit a fixed cycle:
+    per-iteration success ``ℓ^{-ℓ}``."""
+    if length < 3:
+        raise ValueError("cycles have length >= 3")
+    if not 0 < target < 1:
+        raise ValueError("target in (0,1)")
+    p = float(length) ** (-length)
+    return math.ceil(math.log(1.0 / (1.0 - target)) / p)
+
+
+class _AnyLengthColorSource:
+    """Uniform colors over {0..length-1} (RandomColorSource is 2k-specific)."""
+
+    def __init__(self, length: int):
+        self.length = length
+
+    def color(self, node_id, rng, iteration):
+        if rng is None:
+            raise ValueError("random coloring needs per-node randomness")
+        return int(rng.integers(0, self.length))
+
+
+class LinearCycleIterationAlgorithm(Algorithm):
+    """One coloring iteration of the O(n) baseline."""
+
+    name = "linear-cycle-detection"
+
+    def __init__(self, length: int, color_map: Optional[Mapping[int, int]] = None):
+        if length < 3:
+            raise ValueError("cycles have length >= 3")
+        self.length = length
+        self.color_map = dict(color_map) if color_map is not None else None
+
+    def init(self, node: NodeContext) -> None:
+        if node.n is None:
+            raise ValueError("baseline requires knowledge of n")
+        st = node.state
+        if self.color_map is not None:
+            st["color"] = self.color_map.get(node.id, self.length - 1)
+        else:
+            st["color"] = _AnyLengthColorSource(self.length).color(
+                node.id, node.rng, 0
+            )
+        st["deadline"] = node.n + self.length + 1
+        st["queue"] = deque()
+        st["seen"] = set()
+        if st["color"] == 0:
+            st["queue"].append((node.id, 0))
+            st["seen"].add((node.id, 0))
+
+    def is_quiescent(self, node: NodeContext) -> bool:
+        return node._halted
+
+    def round(self, node: NodeContext, inbox: Mapping[int, Message]):
+        st = node.state
+        ell = self.length
+        for msg in inbox.values():
+            origin, hop = msg.payload
+            if (origin, hop) in st["seen"]:
+                continue
+            st["seen"].add((origin, hop))
+            if origin == node.id and hop == ell - 1:
+                node.reject()
+                st["witness"] = origin
+                continue
+            if hop + 1 < ell and st["color"] == hop + 1:
+                st["queue"].append((origin, hop + 1))
+                st["seen"].add((origin, hop + 1))
+        if node.round >= st["deadline"]:
+            # With <= n tokens each traveling <= ell hops, queues must have
+            # drained; a clogged queue is impossible, but guard anyway.
+            if node.decision is Decision.UNDECIDED:
+                node.accept()
+            node.halt()
+            return {}
+        if not st["queue"]:
+            return {}
+        origin, hop = st["queue"].popleft()
+        w = int_width(node.namespace_size)
+        return broadcast(
+            node,
+            Message.of_record((origin, hop), w + int_width(self.length), kind="bfs"),
+        )
+
+
+@dataclass
+class LinearCycleReport:
+    detected: bool
+    iterations_run: int
+    rounds_per_iteration: int
+    total_rounds: int
+    results: List[ExecutionResult] = field(default_factory=list)
+
+
+def detect_cycle_linear(
+    graph: nx.Graph,
+    length: int,
+    iterations: int,
+    seed: int = 0,
+    bandwidth: Optional[int] = None,
+    color_map: Optional[Mapping[int, int]] = None,
+    stop_on_detect: bool = True,
+    keep_results: bool = False,
+) -> LinearCycleReport:
+    """Amplified O(n)-baseline detection of ``C_length``."""
+    n = graph.number_of_nodes()
+    if bandwidth is None:
+        bandwidth = int_width(max(n, 2)) + int_width(length)
+    net = CongestNetwork(graph, bandwidth=bandwidth)
+    rounds_per = n + length + 2
+    detected = False
+    runs = 0
+    results: List[ExecutionResult] = []
+    for t in range(iterations):
+        algo = LinearCycleIterationAlgorithm(length, color_map=color_map)
+        res = net.run(algo, max_rounds=rounds_per, seed=seed + t)
+        runs += 1
+        if keep_results:
+            results.append(res)
+        if res.rejected:
+            detected = True
+            if stop_on_detect:
+                break
+    return LinearCycleReport(
+        detected=detected,
+        iterations_run=runs,
+        rounds_per_iteration=rounds_per,
+        total_rounds=runs * rounds_per,
+        results=results,
+    )

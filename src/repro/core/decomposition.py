@@ -1,0 +1,116 @@
+"""The Phase II layer decomposition (after Barenboim--Elkin [3]).
+
+Section 6, Phase II: after deleting high-degree nodes, the residual graph --
+*if it is ``C_{2k}``-free* -- has at most ``ex(n', C_{2k}) <= M`` edges on
+every vertex subset, hence average degree ``O(M/n)`` everywhere.  Repeatedly
+removing all nodes of degree at most ``τ = Θ(M/n)`` therefore halves the
+graph each step, assigning every node a *layer* within ``ceil(log n)`` steps
+such that each node has at most ``τ`` neighbors in equal-or-higher layers
+(its "up-degree").  A node left unassigned after ``ceil(log n)`` steps is a
+certificate that ``|E| > M``, i.e. that the graph contains a 2k-cycle, and
+the algorithm rejects.
+
+This module is the *centralized reference* implementation (the distributed
+version runs inside
+:class:`~repro.core.even_cycle.EvenCycleIterationAlgorithm`, one round per
+peeling step); tests check the two agree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Set, Tuple
+
+import networkx as nx
+
+__all__ = ["LayerDecomposition", "layer_decomposition", "peel_threshold"]
+
+
+def peel_threshold(n: int, edge_budget: int) -> int:
+    """The peeling degree threshold ``τ = ceil(4M/n)``.
+
+    Why 4: on any residual vertex set the average degree is at most
+    ``2M/n`` (monotonicity of the Turán bound), and at most half the nodes
+    can exceed twice the average, so ``τ = 2 * (2M/n)`` removes at least
+    half the residual nodes per step -- giving the ``ceil(log2 n)`` step
+    bound the round schedule relies on.
+    """
+    if n < 1 or edge_budget < 0:
+        raise ValueError("need n >= 1 and edge_budget >= 0")
+    return max(1, math.ceil(4.0 * edge_budget / n))
+
+
+@dataclass
+class LayerDecomposition:
+    """Result of the peeling process."""
+
+    layers: Dict[Hashable, int]
+    unassigned: Set[Hashable]
+    threshold: int
+    steps: int
+
+    def layer(self, v: Hashable) -> Optional[int]:
+        return self.layers.get(v)
+
+    def up_degree(self, g: nx.Graph, v: Hashable) -> int:
+        """Neighbors of ``v`` in equal-or-higher layers (unassigned counts
+        as top layer)."""
+        lv = self.layers.get(v)
+        if lv is None:
+            return g.degree(v)
+        out = 0
+        for w in g.neighbors(v):
+            lw = self.layers.get(w)
+            if lw is None or lw >= lv:
+                out += 1
+        return out
+
+    def max_up_degree(self, g: nx.Graph) -> int:
+        return max((self.up_degree(g, v) for v in self.layers), default=0)
+
+
+def layer_decomposition(
+    g: nx.Graph,
+    threshold: int,
+    max_steps: Optional[int] = None,
+) -> LayerDecomposition:
+    """Peel nodes of residual degree <= ``threshold`` for ``max_steps`` steps.
+
+    ``max_steps`` defaults to ``ceil(log2 n) + 1`` (the paper's budget; the
+    ``+1`` covers ``n`` not a power of two and single-vertex leftovers).
+    Nodes never peeled land in ``unassigned`` -- in the algorithm, those
+    reject.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    n = g.number_of_nodes()
+    if max_steps is None:
+        max_steps = max(1, math.ceil(math.log2(max(n, 2)))) + 1
+    degree = dict(g.degree())
+    active: Set[Hashable] = set(g.nodes())
+    layers: Dict[Hashable, int] = {}
+    steps_used = 0
+    for step in range(max_steps):
+        if not active:
+            break
+        peel = {v for v in active if degree[v] <= threshold}
+        if not peel:
+            # No progress is possible; every remaining node exceeds the
+            # threshold forever (degrees only shrink when nodes leave).
+            steps_used = step
+            break
+        for v in peel:
+            layers[v] = step
+        for v in peel:
+            for w in g.neighbors(v):
+                if w in active and w not in peel:
+                    degree[w] -= 1
+        active -= peel
+        steps_used = step + 1
+    return LayerDecomposition(
+        layers=layers,
+        unassigned=active,
+        threshold=threshold,
+        steps=steps_used,
+    )

@@ -1,0 +1,102 @@
+"""Shared plumbing for the experiment runners.
+
+Each module in :mod:`repro.experiments` regenerates one experiment from the
+paper (see DESIGN.md's index) as a *library call*: ``run(...)`` returns a
+typed result with the measured series, fitted exponents, and a ``verdict``
+comparing against the paper's claim; ``format_report`` renders it for
+humans.  The pytest benchmarks assert the same shapes; these runners exist
+so users can sweep their own parameter ranges without pytest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..theory.bounds import fit_power_law_exponent
+
+__all__ = ["FitCheck", "ExperimentReport", "fit_against", "format_table"]
+
+
+@dataclass(frozen=True)
+class FitCheck:
+    """A measured power-law fit against a predicted exponent."""
+
+    name: str
+    predicted: float
+    fitted: float
+    r_squared: float
+    tolerance: float
+
+    @property
+    def matches(self) -> bool:
+        return abs(self.fitted - self.predicted) <= self.tolerance and (
+            self.r_squared >= 0.9
+        )
+
+    def describe(self) -> str:
+        flag = "OK " if self.matches else "OFF"
+        return (
+            f"[{flag}] {self.name}: fitted {self.fitted:.3f} vs predicted "
+            f"{self.predicted:.3f} (±{self.tolerance}, R²={self.r_squared:.3f})"
+        )
+
+
+@dataclass
+class ExperimentReport:
+    """Uniform result shell: series rows + checks + free-form extras."""
+
+    experiment: str
+    claim: str
+    header: Tuple[str, ...]
+    rows: List[Tuple]
+    checks: List[FitCheck] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def reproduced(self) -> bool:
+        return all(c.matches for c in self.checks)
+
+    def format_report(self) -> str:
+        lines = [f"== {self.experiment} ==", self.claim, ""]
+        lines.append(format_table(self.header, self.rows))
+        for c in self.checks:
+            lines.append(c.describe())
+        for n in self.notes:
+            lines.append(f"note: {n}")
+        lines.append(
+            f"verdict: {'shape reproduced' if self.reproduced else 'MISMATCH'}"
+        )
+        return "\n".join(lines)
+
+
+def fit_against(
+    name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    predicted: float,
+    tolerance: float,
+) -> FitCheck:
+    fitted, r2 = fit_power_law_exponent(xs, ys)
+    return FitCheck(
+        name=name,
+        predicted=predicted,
+        fitted=fitted,
+        r_squared=r2,
+        tolerance=tolerance,
+    )
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence]) -> str:
+    srows = [tuple(str(c) for c in r) for r in rows]
+    sheader = tuple(str(h) for h in header)
+    widths = [
+        max(len(sheader[i]), *(len(r[i]) for r in srows)) if srows else len(sheader[i])
+        for i in range(len(sheader))
+    ]
+    out = ["  ".join(h.ljust(w) for h, w in zip(sheader, widths))]
+    out.append("-" * len(out[0]))
+    for r in srows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)

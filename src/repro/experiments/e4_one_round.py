@@ -1,0 +1,92 @@
+"""E4 runner -- Theorem 5.1's information squeeze, as a library call."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.triangle import SilentProtocol, TruncatedAnnouncementProtocol
+from ..lowerbounds.one_round import lemma_5_4_bound, theorem_5_1_experiment
+from .common import ExperimentReport, FitCheck, fit_against
+
+__all__ = ["run", "run_scaling"]
+
+
+def run(
+    n: int = 10,
+    id_width: int = 10,
+    budgets: Optional[Sequence[int]] = None,
+    num_samples: int = 700,
+    num_worlds: int = 4,
+    seed: int = 7,
+) -> ExperimentReport:
+    """Error / floor / MI / ceiling across message budgets at one n."""
+    if budgets is None:
+        budgets = [0, id_width, 2 * id_width, 4 * id_width, (n + 3) * id_width]
+    rows = []
+    within = True
+    errors = []
+    for budget in budgets:
+        proto = (
+            SilentProtocol()
+            if budget == 0
+            else TruncatedAnnouncementProtocol(id_width, budget=budget)
+        )
+        rep = theorem_5_1_experiment(
+            proto, n, np.random.default_rng(seed),
+            num_samples=num_samples, num_worlds=num_worlds,
+        )
+        rows.append(
+            (
+                budget,
+                f"{rep.error_rate:.3f}",
+                f"{rep.accept_gap.decision_mi_lower_bound:.3f}",
+                f"{rep.message_mi.mean_mi:.3f}",
+                f"{rep.message_mi.bound:.2f}",
+            )
+        )
+        within = within and rep.message_mi.within_bound
+        errors.append(rep.error_rate)
+    ok = within and errors[-1] <= 0.02 and errors[0] > 0.05
+    check = FitCheck(
+        name="MI under the Lemma 5.4 ceiling; error vanishes only at Θ(Δ) budget",
+        predicted=1.0,
+        fitted=1.0 if ok else 0.0,
+        r_squared=1.0,
+        tolerance=0.0,
+    )
+    return ExperimentReport(
+        experiment=f"E4 (n={n})",
+        claim=(
+            "Theorem 5.1: one-round triangle detection needs bandwidth Ω(Δ); "
+            "Lemma 5.3 floor (0.3 bits) vs Lemma 5.4 ceiling"
+        ),
+        header=("budget bits", "error", "L5.3 floor", "message MI", "L5.4 ceiling"),
+        rows=rows,
+        checks=[check],
+    )
+
+
+def run_scaling(
+    bandwidth: int = 8,
+    ns: Optional[Sequence[int]] = None,
+) -> ExperimentReport:
+    """Fixed B, growing n: the ceiling crosses below the 0.3 floor."""
+    if ns is None:
+        ns = [64, 128, 256, 512, 1024, 2048]
+    rows = []
+    min_bs = []
+    for n in ns:
+        ceiling = lemma_5_4_bound(bandwidth, bandwidth, n)
+        min_b = max(0.0, 0.3 - 2.0 / n) * (n + 1) / 8.0
+        rows.append((n, f"{ceiling:.3f}", 0.3, ceiling >= 0.3, f"{min_b:.2f}"))
+        min_bs.append(min_b)
+    check = fit_against("minimal correct bandwidth vs Δ", list(ns), min_bs, 1.0, 0.05)
+    return ExperimentReport(
+        experiment=f"E4-scaling (B={bandwidth})",
+        claim="Fixed bandwidth starves as Δ grows; min correct B is linear in Δ",
+        header=("n≈Δ", "L5.4 ceiling", "L5.3 floor", "correctness possible", "min B"),
+        rows=rows,
+        checks=[check],
+    )

@@ -1,0 +1,75 @@
+"""E6 runner -- the LOCAL/CONGEST separation, as a library call."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ..core.generic_detection import detect_subgraph_local
+from ..graphs import generators as gen
+from ..graphs.hk_construction import build_hk
+from ..theory.bounds import local_congest_separation
+from .common import ExperimentReport, FitCheck
+
+__all__ = ["run", "run_live"]
+
+
+def run(ns: Optional[Sequence[int]] = None, bandwidth_log: bool = True) -> ExperimentReport:
+    """Analytic separation table at ``k = Θ(log n)``."""
+    if ns is None:
+        ns = [2**10, 2**14, 2**18, 2**22]
+    rows = []
+    gaps = []
+    for n in ns:
+        b = max(2, int(math.log2(n))) if bandwidth_log else 16
+        local, congest = local_congest_separation(n, b)
+        rows.append((n, int(local), f"{congest:.3e}", f"{congest / local:.3e}"))
+        gaps.append(congest / local)
+    widening = all(b > a for a, b in zip(gaps, gaps[1:]))
+    check = FitCheck(
+        name="separation gap widens monotonically",
+        predicted=1.0,
+        fitted=1.0 if widening else 0.0,
+        r_squared=1.0,
+        tolerance=0.0,
+    )
+    return ExperimentReport(
+        experiment="E6",
+        claim=(
+            "At k = Θ(log n): LOCAL detects H_k in O(log n) rounds, CONGEST "
+            "needs Ω̃(n²) -- nearly the largest possible separation"
+        ),
+        header=("n", "LOCAL rounds (=|H_k|)", "CONGEST bound", "gap"),
+        rows=rows,
+        checks=[check],
+    )
+
+
+def run_live(pad_sizes: Optional[Sequence[int]] = None) -> ExperimentReport:
+    """Measured LOCAL detection of H_2 in padded hosts (flat rounds, fat
+    messages)."""
+    if pad_sizes is None:
+        pad_sizes = [0, 60, 200]
+    hk = build_hk(2).graph
+    rows = []
+    rounds = []
+    for pad in pad_sizes:
+        host = gen.pad_with_path(hk.copy(), pad)
+        res = detect_subgraph_local(host, hk, radius=4)
+        rows.append((host.number_of_nodes(), res.rounds, res.detected, res.max_message_bits))
+        rounds.append(res.rounds)
+    flat = len(set(rounds)) == 1 and all(r[2] for r in rows)
+    check = FitCheck(
+        name="LOCAL rounds flat in n; H_2 always found",
+        predicted=1.0,
+        fitted=1.0 if flat else 0.0,
+        r_squared=1.0,
+        tolerance=0.0,
+    )
+    return ExperimentReport(
+        experiment="E6-live",
+        claim="LOCAL ball-collection detection of H_2 (measured on the engine)",
+        header=("host n", "rounds", "detected", "max message bits"),
+        rows=rows,
+        checks=[check],
+    )

@@ -1,0 +1,69 @@
+"""E7 runner -- the quoted baseline complexities, as a library call."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core import detect_clique, detect_cycle_linear, detect_tree
+from ..graphs import generators as gen
+from .common import ExperimentReport, FitCheck, fit_against
+
+__all__ = ["run"]
+
+
+def run(
+    tree_ns: Optional[Sequence[int]] = None,
+    clique_ns: Optional[Sequence[int]] = None,
+    bandwidth: int = 4,
+) -> ExperimentReport:
+    """Trees O(1), cliques O(n/B), odd cycles O(n): measured rounds."""
+    if tree_ns is None:
+        tree_ns = [16, 64, 256]
+    if clique_ns is None:
+        clique_ns = [16, 32, 64, 128]
+
+    rows = []
+    pat = gen.path(4)
+    tree_rounds = []
+    for n in tree_ns:
+        rep = detect_tree(gen.cycle(n), pat, iterations=1, stop_on_detect=False)
+        rows.append((f"tree P4 @ n={n}", rep.rounds_per_iteration))
+        tree_rounds.append(rep.rounds_per_iteration)
+
+    clique_rounds = []
+    for n in clique_ns:
+        g = gen.disjoint_union_all([gen.clique(5), gen.path(n - 5)])
+        res = detect_clique(g, 5, bandwidth=bandwidth)
+        rows.append((f"K5 @ n={n}, B={bandwidth}", res.rounds))
+        clique_rounds.append(res.rounds)
+
+    cycle_rounds = []
+    cyc_ns = [40, 160, 640]
+    for n in cyc_ns:
+        g, verts = gen.planted_cycle_graph(n, 5, 0.0, np.random.default_rng(n))
+        rep = detect_cycle_linear(
+            g, 5, iterations=1, color_map={v: i for i, v in enumerate(verts)}
+        )
+        rows.append((f"C5 @ n={n}", rep.rounds_per_iteration))
+        cycle_rounds.append(rep.rounds_per_iteration)
+
+    checks = [
+        FitCheck(
+            name="tree rounds flat in n (O(1), [12])",
+            predicted=1.0,
+            fitted=1.0 if len(set(tree_rounds)) == 1 else 0.0,
+            r_squared=1.0,
+            tolerance=0.0,
+        ),
+        fit_against("clique rounds ~ n/B ([10])", clique_ns, clique_rounds, 1.0, 0.12),
+        fit_against("odd-cycle rounds ~ n", cyc_ns, cycle_rounds, 1.0, 0.12),
+    ]
+    return ExperimentReport(
+        experiment="E7",
+        claim="The round-complexity landscape the paper sits in (quoted UBs)",
+        header=("workload", "rounds"),
+        rows=rows,
+        checks=checks,
+    )

@@ -1,0 +1,104 @@
+"""Graph constructions and machinery (Substrate 2 — see DESIGN.md).
+
+Contains the paper's three constructions (``H_k``, ``G_{k,n}``, ``G_T``),
+the bipartite Section 3.4 reconstruction, the subset-encoding that wires
+``G_{k,n}``, general-purpose generators, structural property computations,
+extremal (even-cycle-free) workloads, and the from-scratch subgraph
+isomorphism engine that serves as ground truth for every detector.
+"""
+
+from . import generators
+from .bipartite_gadget import BipartiteHost, BipartiteHostFamily, build_bipartite_hsk
+from .extremal import high_girth_graph, projective_plane_incidence
+from .gkn_family import GknFamily, GXYGraph
+from .hk_construction import (
+    BOT,
+    CLIQUE_SIZES,
+    DIRECTION_CLIQUE,
+    MID_CLIQUE,
+    SIDES,
+    TOP,
+    HkGraph,
+    build_hk,
+    special_clique_vertex,
+)
+from .properties import (
+    arboricity_upper_bound,
+    average_degree,
+    degeneracy,
+    degeneracy_ordering,
+    diameter,
+    eccentricity,
+    girth,
+    is_bipartite,
+    max_degree,
+)
+from .subgraph_iso import (
+    SearchBudgetExceeded,
+    contains_subgraph,
+    count_automorphisms,
+    count_copies,
+    count_embeddings,
+    find_embedding,
+    iter_embeddings,
+)
+from .subset_encoding import (
+    binomial,
+    endpoint_encoding,
+    index_to_subset,
+    subset_to_index,
+    subset_universe_size,
+)
+from .template_graph import (
+    SPECIALS,
+    SpecialInput,
+    TemplateSample,
+    build_template_graph,
+    sample_input,
+)
+
+__all__ = [
+    "generators",
+    "BipartiteHost",
+    "BipartiteHostFamily",
+    "build_bipartite_hsk",
+    "high_girth_graph",
+    "projective_plane_incidence",
+    "GknFamily",
+    "GXYGraph",
+    "BOT",
+    "CLIQUE_SIZES",
+    "DIRECTION_CLIQUE",
+    "MID_CLIQUE",
+    "SIDES",
+    "TOP",
+    "HkGraph",
+    "build_hk",
+    "special_clique_vertex",
+    "arboricity_upper_bound",
+    "average_degree",
+    "degeneracy",
+    "degeneracy_ordering",
+    "diameter",
+    "eccentricity",
+    "girth",
+    "is_bipartite",
+    "max_degree",
+    "SearchBudgetExceeded",
+    "contains_subgraph",
+    "count_automorphisms",
+    "count_copies",
+    "count_embeddings",
+    "find_embedding",
+    "iter_embeddings",
+    "binomial",
+    "endpoint_encoding",
+    "index_to_subset",
+    "subset_to_index",
+    "subset_universe_size",
+    "SPECIALS",
+    "SpecialInput",
+    "TemplateSample",
+    "build_template_graph",
+    "sample_input",
+]

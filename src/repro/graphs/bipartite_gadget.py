@@ -1,0 +1,304 @@
+"""The bipartite superlinear lower bound of Section 3.4 (reconstruction).
+
+Section 3.4 states: for any ``s, k > 1`` there is a *bipartite* graph
+``H_{s,k}`` of size ``Θ((s!)^2 k)`` whose detection requires
+``Ω(n^{2-1/k-1/s} / (Bk))`` rounds.  The construction "follows the same
+approach as the non-bipartite one" but replaces the triangles (and the
+marking cliques, which are not bipartite) with a bipartite gadget, and
+"restricts the edges Alice and Bob can receive"; the details live in the
+full version only.
+
+RECONSTRUCTION NOTE (see DESIGN.md §5).  We implement a faithful *shape*
+reconstruction honouring every property the sketch states:
+
+* ``H_{s,k}^{bip}`` is bipartite;
+* its body consists of ``k`` *rungs*, each an even cycle ``C_{2s}`` taking
+  the structural role the triangles played (an ``A``-end and a ``B``-end at
+  antipodal positions), so the two sides of the body remain distinguishable
+  without odd cycles;
+* endpoints have degree exactly ``k`` into the rungs, as the sketch
+  emphasises;
+* parts are *marked* by complete-bipartite gadgets ``K_{t, t+1}`` of
+  pairwise-distinct sizes ``t ≥ k + 2`` (bipartite stand-ins for the
+  cliques; the size floor keeps them from embedding into the degree-``k``
+  wiring);
+* the host family restricts Alice's and Bob's edges to *partial matchings*
+  between top and bottom endpoint copies ("we restrict the edges that Alice
+  and Bob can receive"), keeping all endpoint degrees ``≤ k + 2``.
+
+The "if" direction of the Lemma 3.1 analogue is verified constructively
+here; the "only if" direction is checked *empirically* on small instances by
+the isomorphism engine in the test suite.  The resulting cut and bound
+calculators reproduce the claimed ``Ω(n^{2-1/k-1/s}/(Bk))`` shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from .gkn_family import Pair, PairSet
+from .hk_construction import BOT, SIDES, TOP
+from .subset_encoding import endpoint_encoding, subset_universe_size
+
+__all__ = ["build_bipartite_hsk", "BipartiteHostFamily", "BipartiteHost"]
+
+#: role -> marking gadget index.  Mirrors DIRECTION_CLIQUE in spirit:
+#: Alice owns the A-side markers, Bob the B-side ones, Mid markers shared.
+_MARKER_OF = {
+    (TOP, "A"): 0,
+    (BOT, "A"): 1,
+    (TOP, "B"): 2,
+    (BOT, "B"): 3,
+    ("shared", "Mid"): 4,
+}
+
+
+def _marker_sizes(k: int, s: int) -> List[int]:
+    """Five pairwise-distinct biclique sizes, all ≥ k + 2 and ≥ s + 2."""
+    base = max(k, s) + 2
+    return [base + i for i in range(5)]
+
+
+def _add_marker(g: nx.Graph, idx: int, t: int) -> Hashable:
+    """Add marking gadget ``K_{t, t+1}`` number ``idx``; return its anchor.
+
+    The anchor (left vertex 0) is the vertex the marked part attaches to,
+    playing the role the special clique vertex played in ``H_k``.
+    """
+    left = [("Mark", idx, "L", i) for i in range(t)]
+    right = [("Mark", idx, "R", i) for i in range(t + 1)]
+    g.add_nodes_from(left)
+    g.add_nodes_from(right)
+    g.add_edges_from((u, v) for u in left for v in right)
+    return left[0]
+
+
+def _add_rung(g: nx.Graph, side: str, j: int, s: int) -> Dict[str, Hashable]:
+    """Add one rung: the even cycle ``C_{2s}`` with A/B ends at positions
+    0 and ``s - (s % 2)``.
+
+    The B end sits at an *even* position so that both ends lie in the same
+    side of the rung's bipartition; together with the global 2-coloring
+    plan (see module doc) this keeps the whole construction bipartite for
+    every ``s`` -- with the paper-antipodal position ``s`` the endpoint
+    attachments create odd cycles whenever ``s`` is odd.
+    """
+    verts = [("Rung", side, j, p) for p in range(2 * s)]
+    g.add_edges_from(
+        (verts[p], verts[(p + 1) % (2 * s)]) for p in range(2 * s)
+    )
+    return {"A": verts[0], "B": verts[s - (s % 2)]}
+
+
+def build_bipartite_hsk(s: int, k: int) -> nx.Graph:
+    """The bipartite pattern ``H_{s,k}^{bip}`` (reconstruction, see module doc).
+
+    Structure mirrors ``H_k``: five marking gadgets with mutually attached
+    anchors replaced by an anchor *path* (to stay bipartite), two copies
+    (top/bottom) of a body with ``k`` rungs and two endpoints, and the two
+    top-bottom endpoint edges.
+    """
+    if s < 2 or k < 2:
+        raise ValueError("need s, k >= 2")
+    g = nx.Graph()
+    sizes = _marker_sizes(k, s)
+    anchors = [_add_marker(g, idx, t) for idx, t in enumerate(sizes)]
+    # Bipartite replacement for the special-vertex 5-clique: a plain path
+    # over the anchors.  Under the global 2-coloring (top-side anchors in
+    # one class, bottom-side in the other, alternating along the chain)
+    # direct edges respect the bipartition.
+    for idx in range(4):
+        g.add_edge(anchors[idx], anchors[idx + 1])
+
+    for side in SIDES:
+        end_a = ("End", side, "A")
+        end_b = ("End", side, "B")
+        g.add_edge(end_a, anchors[_MARKER_OF[(side, "A")]])
+        g.add_edge(end_b, anchors[_MARKER_OF[(side, "B")]])
+        for i in range(1, k + 1):
+            roles = _add_rung(g, side, i, s)
+            g.add_edge(end_a, roles["A"])
+            g.add_edge(end_b, roles["B"])
+            # Mark the rung ends like the triangle roles were marked.  The
+            # attachments go through per-rung link vertices to preserve
+            # bipartiteness regardless of parity.
+            for role, anchor_idx in (
+                ("A", _MARKER_OF[(side, "A")]),
+                ("B", _MARKER_OF[(side, "B")]),
+            ):
+                link = ("RungLink", side, i, role)
+                g.add_edge(roles[role], link)
+                g.add_edge(link, anchors[anchor_idx])
+
+    g.add_edge(("End", TOP, "A"), ("End", BOT, "A"))
+    g.add_edge(("End", TOP, "B"), ("End", BOT, "B"))
+    return g
+
+
+@dataclass
+class BipartiteHost:
+    """A member of the bipartite host family, with simulation anatomy."""
+
+    s: int
+    k: int
+    n: int
+    m: int
+    graph: nx.Graph
+    x: PairSet
+    y: PairSet
+    alice_vertices: FrozenSet[Hashable]
+    bob_vertices: FrozenSet[Hashable]
+    shared_vertices: FrozenSet[Hashable]
+
+    def alice_cut(self) -> List[Tuple[Hashable, Hashable]]:
+        side = self.alice_vertices
+        return [
+            (u, v) for u, v in self.graph.edges() if (u in side) != (v in side)
+        ]
+
+
+class BipartiteHostFamily:
+    """Host family for the Section 3.4 bound (reconstruction).
+
+    Mirrors :class:`~repro.graphs.gkn_family.GknFamily` with rungs instead
+    of triangles.  Inputs are restricted to partial matchings over
+    ``[n] x [n]`` ("we restrict the edges that Alice and Bob can receive").
+    """
+
+    def __init__(self, s: int, k: int, n: int) -> None:
+        if s < 2 or k < 2 or n < 1:
+            raise ValueError("need s, k >= 2 and n >= 1")
+        self.s = s
+        self.k = k
+        self.n = n
+        self.m = subset_universe_size(n, k)
+        self.encoding = endpoint_encoding(n, k)
+        self._skeleton: Optional[nx.Graph] = None
+
+    @staticmethod
+    def endpoint(side: str, part: str, i: int) -> Tuple[str, str, str, int]:
+        return ("End'", side, part, i)
+
+    def skeleton(self) -> nx.Graph:
+        if self._skeleton is not None:
+            return self._skeleton
+        g = nx.Graph()
+        sizes = _marker_sizes(self.k, self.s)
+        anchors = [_add_marker(g, idx, t) for idx, t in enumerate(sizes)]
+        for idx in range(4):
+            g.add_edge(anchors[idx], anchors[idx + 1])
+        for side in SIDES:
+            rung_roles = {}
+            for j in range(self.m):
+                roles = _add_rung(g, side, j, self.s)
+                rung_roles[j] = roles
+                for role in ("A", "B"):
+                    link = ("RungLink", side, j, role)
+                    g.add_edge(roles[role], link)
+                    g.add_edge(link, anchors[_MARKER_OF[(side, role)]])
+            for part in ("A", "B"):
+                for i in range(self.n):
+                    e = self.endpoint(side, part, i)
+                    g.add_edge(e, anchors[_MARKER_OF[(side, part)]])
+                    for j in self.encoding[i]:
+                        g.add_edge(e, rung_roles[j][part])
+        self._skeleton = g
+        return g
+
+    @staticmethod
+    def _check_matching(pairs: PairSet, who: str) -> None:
+        tops = [i for i, _ in pairs]
+        bots = [j for _, j in pairs]
+        if len(set(tops)) != len(tops) or len(set(bots)) != len(bots):
+            raise ValueError(
+                f"{who}'s input must be a partial matching on [n] x [n] "
+                "(the Section 3.4 edge restriction)"
+            )
+
+    def build(self, x: Iterable[Pair], y: Iterable[Pair]) -> BipartiteHost:
+        xs: PairSet = frozenset((int(i), int(j)) for i, j in x)
+        ys: PairSet = frozenset((int(i), int(j)) for i, j in y)
+        for (i, j) in xs | ys:
+            if not (0 <= i < self.n and 0 <= j < self.n):
+                raise ValueError(f"pair {(i, j)} outside universe")
+        self._check_matching(xs, "Alice")
+        self._check_matching(ys, "Bob")
+        g = self.skeleton().copy()
+        for (i, j) in xs:
+            g.add_edge(self.endpoint(TOP, "A", i), self.endpoint(BOT, "A", j))
+        for (i, j) in ys:
+            g.add_edge(self.endpoint(TOP, "B", i), self.endpoint(BOT, "B", j))
+
+        alice: Set[Hashable] = set()
+        bob: Set[Hashable] = set()
+        shared: Set[Hashable] = set()
+        for v in g.nodes():
+            tag = v[0]
+            if tag == "Mark":
+                idx = v[1]
+                (alice if idx in (0, 1) else bob if idx in (2, 3) else shared).add(v)
+            elif tag == "End'":
+                (alice if v[2] == "A" else bob).add(v)
+            elif tag == "RungLink":
+                (alice if v[3] == "A" else bob).add(v)
+            elif tag == "Rung":
+                side_, j_, p = v[1], v[2], v[3]
+                if p == 0:
+                    alice.add(v)
+                elif p == self.s:
+                    bob.add(v)
+                else:
+                    shared.add(v)
+            else:  # pragma: no cover
+                raise AssertionError(f"unexpected vertex {v!r}")
+        return BipartiteHost(
+            s=self.s,
+            k=self.k,
+            n=self.n,
+            m=self.m,
+            graph=g,
+            x=xs,
+            y=ys,
+            alice_vertices=frozenset(alice),
+            bob_vertices=frozenset(bob),
+            shared_vertices=frozenset(shared),
+        )
+
+    # ------------------------------------------------------------------
+    def embedding(self, i_top: int, i_bot: int) -> Dict[Hashable, Hashable]:
+        """Canonical embedding of ``H_{s,k}^{bip}`` for witness ``(i_top, i_bot)``."""
+        pattern = build_bipartite_hsk(self.s, self.k)
+        phi: Dict[Hashable, Hashable] = {}
+        sizes = _marker_sizes(self.k, self.s)
+        for idx, t in enumerate(sizes):
+            for i in range(t):
+                phi[("Mark", idx, "L", i)] = ("Mark", idx, "L", i)
+            for i in range(t + 1):
+                phi[("Mark", idx, "R", i)] = ("Mark", idx, "R", i)
+        chosen = {TOP: sorted(self.encoding[i_top]), BOT: sorted(self.encoding[i_bot])}
+        idxmap = {TOP: i_top, BOT: i_bot}
+        for side in SIDES:
+            for part in ("A", "B"):
+                phi[("End", side, part)] = self.endpoint(side, part, idxmap[side])
+            for i in range(1, self.k + 1):
+                j = chosen[side][i - 1]
+                for p in range(2 * self.s):
+                    phi[("Rung", side, i, p)] = ("Rung", side, j, p)
+                for role in ("A", "B"):
+                    phi[("RungLink", side, i, role)] = ("RungLink", side, j, role)
+        assert set(phi.keys()) == set(pattern.nodes())
+        assert len(set(phi.values())) == len(phi)
+        return phi
+
+    def verify_embedding(self, host: BipartiteHost, phi: Dict) -> bool:
+        pattern = build_bipartite_hsk(self.s, self.k)
+        return all(host.graph.has_edge(phi[u], phi[v]) for u, v in pattern.edges())
+
+    def pattern_size(self) -> int:
+        """|V(H_{s,k}^{bip})|; the paper's is Θ((s!)^2 k), ours is Θ((k+s) s k)
+        -- smaller because our markers are bicliques, not the full-version
+        gadget; the *bound shape* in n is unaffected."""
+        return build_bipartite_hsk(self.s, self.k).number_of_nodes()

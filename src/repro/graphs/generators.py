@@ -1,0 +1,247 @@
+"""Graph generators used across the reproduction.
+
+Everything returns a :class:`networkx.Graph` with hashable vertex labels.
+These are the workloads of the benchmarks: cycles and theta-graphs for
+Theorem 1.1, cliques for Lemma 1.3, padded triangles/hexagons for
+Theorem 4.1's remark about graph size, Erdős--Rényi graphs as background
+noise everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "cycle",
+    "path",
+    "clique",
+    "complete_bipartite",
+    "erdos_renyi",
+    "random_tree",
+    "theta_graph",
+    "disjoint_union_all",
+    "planted_cycle_graph",
+    "pad_with_path",
+    "triangle",
+    "hexagon",
+    "random_regular",
+    "grid",
+]
+
+
+def cycle(k: int, label: str = "c") -> nx.Graph:
+    """The cycle ``C_k`` on vertices ``(label, 0..k-1)``."""
+    if k < 3:
+        raise ValueError(f"a cycle needs >= 3 vertices, got {k}")
+    g = nx.Graph()
+    g.add_edges_from(((label, i), (label, (i + 1) % k)) for i in range(k))
+    return g
+
+
+def path(k: int, label: str = "p") -> nx.Graph:
+    """The path ``P_k`` on ``k`` vertices."""
+    if k < 1:
+        raise ValueError("a path needs >= 1 vertex")
+    g = nx.Graph()
+    g.add_node((label, 0))
+    g.add_edges_from(((label, i), (label, i + 1)) for i in range(k - 1))
+    return g
+
+
+def clique(s: int, label: str = "K") -> nx.Graph:
+    """The complete graph ``K_s``."""
+    if s < 1:
+        raise ValueError("a clique needs >= 1 vertex")
+    g = nx.Graph()
+    g.add_nodes_from((label, i) for i in range(s))
+    g.add_edges_from(
+        ((label, i), (label, j)) for i in range(s) for j in range(i + 1, s)
+    )
+    return g
+
+
+def complete_bipartite(s: int, t: int, label: str = "B") -> nx.Graph:
+    """The complete bipartite graph ``K_{s,t}``."""
+    g = nx.Graph()
+    left = [(label, "L", i) for i in range(s)]
+    right = [(label, "R", j) for j in range(t)]
+    g.add_nodes_from(left)
+    g.add_nodes_from(right)
+    g.add_edges_from((u, v) for u in left for v in right)
+    return g
+
+
+def erdos_renyi(n: int, p: float, rng: np.random.Generator) -> nx.Graph:
+    """G(n, p) with integer vertices ``0..n-1`` (vectorized edge sampling)."""
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    if n >= 2 and p > 0:
+        iu, ju = np.triu_indices(n, k=1)
+        mask = rng.random(iu.shape[0]) < p
+        g.add_edges_from(zip(iu[mask].tolist(), ju[mask].tolist()))
+    return g
+
+
+def random_tree(n: int, rng: np.random.Generator) -> nx.Graph:
+    """A uniformly random labelled tree via a random Prüfer sequence."""
+    if n < 1:
+        raise ValueError("a tree needs >= 1 vertex")
+    if n == 1:
+        g = nx.Graph()
+        g.add_node(0)
+        return g
+    if n == 2:
+        return nx.Graph([(0, 1)])
+    prufer = rng.integers(0, n, size=n - 2).tolist()
+    degree = [1] * n
+    for x in prufer:
+        degree[x] += 1
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    import heapq
+
+    leaves = [i for i in range(n) if degree[i] == 1]
+    heapq.heapify(leaves)
+    for x in prufer:
+        leaf = heapq.heappop(leaves)
+        g.add_edge(leaf, x)
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, x)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    g.add_edge(u, v)
+    return g
+
+
+def theta_graph(path_lengths: Sequence[int], label: str = "th") -> nx.Graph:
+    """A theta graph: two terminals joined by internally-disjoint paths.
+
+    ``path_lengths[i]`` is the number of *edges* of the i-th path.  Theta
+    graphs are the classic source of many short even cycles (two paths of
+    lengths a and b create a cycle of length a+b), so they stress Phase II
+    of the Theorem 1.1 algorithm.
+    """
+    if len(path_lengths) < 2:
+        raise ValueError("a theta graph needs >= 2 paths")
+    if any(l < 1 for l in path_lengths):
+        raise ValueError("path lengths must be >= 1")
+    g = nx.Graph()
+    s, t = (label, "s"), (label, "t")
+    for p_idx, length in enumerate(path_lengths):
+        prev = s
+        for j in range(length - 1):
+            mid = (label, p_idx, j)
+            g.add_edge(prev, mid)
+            prev = mid
+        g.add_edge(prev, t)
+    return g
+
+
+def disjoint_union_all(graphs: Iterable[nx.Graph]) -> nx.Graph:
+    """Disjoint union preserving labels by tagging each part with its index."""
+    out = nx.Graph()
+    for idx, g in enumerate(graphs):
+        for v in g.nodes():
+            out.add_node((idx, v))
+        for u, v in g.edges():
+            out.add_edge((idx, u), (idx, v))
+    return out
+
+
+def planted_cycle_graph(
+    n: int,
+    cycle_len: int,
+    p: float,
+    rng: np.random.Generator,
+) -> Tuple[nx.Graph, List[int]]:
+    """An Erdős--Rényi graph with one guaranteed planted ``C_{cycle_len}``.
+
+    Returns ``(graph, cycle_vertices)``.  Used as a positive-instance
+    workload for detection algorithms.  Note the background may, of course,
+    contain further cycles.
+    """
+    g = erdos_renyi(n, p, rng)
+    verts = rng.choice(n, size=cycle_len, replace=False).tolist()
+    for i in range(cycle_len):
+        g.add_edge(verts[i], verts[(i + 1) % cycle_len])
+    return g, verts
+
+
+def pad_with_path(g: nx.Graph, extra: int, attach_to: Optional[Hashable] = None) -> nx.Graph:
+    """Attach a path of ``extra`` fresh vertices to one vertex of ``g``.
+
+    This realises the padding remark after Theorem 4.1: the
+    triangle-vs-hexagon impossibility embeds in graphs of any size by
+    hanging a line off one node.
+    """
+    out = g.copy()
+    if extra <= 0:
+        return out
+    if attach_to is None:
+        attach_to = min(out.nodes(), key=repr)
+    prev = attach_to
+    for i in range(extra):
+        v = ("pad", i)
+        while v in out:
+            v = ("pad", i, "x")
+        out.add_edge(prev, v)
+        prev = v
+    return out
+
+
+def triangle(u0: Hashable = 0, u1: Hashable = 1, u2: Hashable = 2) -> nx.Graph:
+    """The triangle Δ(u0, u1, u2) of Section 4."""
+    return nx.Graph([(u0, u1), (u1, u2), (u2, u0)])
+
+
+def hexagon(vertices: Sequence[Hashable]) -> nx.Graph:
+    """The 6-cycle on the given vertices, in order (Section 4's fooling graph)."""
+    if len(vertices) != 6:
+        raise ValueError("a hexagon needs exactly 6 vertices")
+    if len(set(vertices)) != 6:
+        raise ValueError("hexagon vertices must be distinct")
+    return nx.Graph(
+        [(vertices[i], vertices[(i + 1) % 6]) for i in range(6)]
+    )
+
+
+def random_regular(n: int, d: int, rng: np.random.Generator, max_tries: int = 200) -> nx.Graph:
+    """A random ``d``-regular simple graph via the configuration model.
+
+    Retries until the pairing is simple (no loops/multi-edges); for the
+    small ``d`` used in tests this succeeds quickly.
+    """
+    if n * d % 2 != 0:
+        raise ValueError("n*d must be even")
+    if d >= n:
+        raise ValueError("need d < n")
+    for _ in range(max_tries):
+        stubs = np.repeat(np.arange(n), d)
+        rng.shuffle(stubs)
+        pairs = stubs.reshape(-1, 2)
+        if (pairs[:, 0] == pairs[:, 1]).any():
+            continue
+        edges = {tuple(sorted(p)) for p in pairs.tolist()}
+        if len(edges) != len(pairs):
+            continue
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(edges)
+        return g
+    raise RuntimeError("failed to sample a simple regular graph")
+
+
+def grid(rows: int, cols: int) -> nx.Graph:
+    """The rows x cols grid graph -- a natural C_4-rich workload."""
+    g = nx.Graph()
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                g.add_edge((r, c), (r + 1, c))
+            if c + 1 < cols:
+                g.add_edge((r, c), (r, c + 1))
+    return g

@@ -1,0 +1,282 @@
+"""The lower-bound graph family ``G_{k,n}`` (Definition 2, Figure 2).
+
+A graph ``G_{X,Y} ∈ G_{k,n}`` echoes ``H_k``: it contains
+
+* ``n`` *potential endpoints* per direction ``(side, part) ∈ {top,bot} x
+  {A,B}``, written ``("End'", side, part, i)``;
+* ``2m`` triangles with ``m = k * ceil(n^{1/k})``, written
+  ``("Tri'", side, j, role)``;
+* one copy of each marking clique, ``("Clique'", s, j)``;
+* wiring: endpoint copy ``i`` is joined to the ``k`` triangles in its subset
+  encoding ``Q_i`` (see :mod:`repro.graphs.subset_encoding`);
+* the only *free* edges: ``(End', top, A, i) ~ (End', bot, A, j)`` iff
+  ``(i, j) ∈ X`` (Alice's input) and the analogous ``B`` edges for Bob's
+  ``Y``.
+
+Lemma 3.1: ``G_{X,Y}`` contains ``H_k`` iff ``X ∩ Y ≠ ∅``.  This module
+provides both the family builder and a *constructive* verifier for the "if"
+direction — given ``(i, j) ∈ X ∩ Y`` it produces the explicit embedding and
+checks every edge of ``H_k`` lands on an edge of ``G_{X,Y}``.  (The "only if"
+direction is exercised by the search engine in
+:mod:`repro.graphs.subgraph_iso` on small instances.)
+
+The module also exposes the simulation partition of Section 3.3
+(``V_A``, ``V_B``, shared ``U``) and the cut between them, whose
+``Θ(k n^{1/k})`` size is the engine of the ``Ω(n^{2-1/k}/(Bk))`` bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from .hk_construction import (
+    BOT,
+    CLIQUE_SIZES,
+    DIRECTION_CLIQUE,
+    MID_CLIQUE,
+    SIDES,
+    TOP,
+    HkGraph,
+    _add_marking_cliques,
+    build_hk,
+    special_clique_vertex,
+)
+from .subset_encoding import endpoint_encoding, subset_universe_size
+
+__all__ = ["GknFamily", "GXYGraph", "Pair", "PairSet"]
+
+Pair = Tuple[int, int]
+PairSet = FrozenSet[Pair]
+
+
+@dataclass
+class GXYGraph:
+    """One member ``G_{X,Y}`` of the family, with its simulation anatomy."""
+
+    k: int
+    n: int
+    m: int
+    graph: nx.Graph
+    x: PairSet
+    y: PairSet
+    alice_vertices: FrozenSet[Hashable]
+    bob_vertices: FrozenSet[Hashable]
+    shared_vertices: FrozenSet[Hashable]
+
+    def cut_edges(self, side: FrozenSet[Hashable]) -> List[Tuple[Hashable, Hashable]]:
+        """Edges with exactly one endpoint in ``side``."""
+        return [
+            (u, v)
+            for u, v in self.graph.edges()
+            if (u in side) != (v in side)
+        ]
+
+    def alice_cut(self) -> List[Tuple[Hashable, Hashable]]:
+        """The cut Alice pays for in the simulation: ``V_A`` vs the rest."""
+        return self.cut_edges(self.alice_vertices)
+
+    def bob_cut(self) -> List[Tuple[Hashable, Hashable]]:
+        return self.cut_edges(self.bob_vertices)
+
+
+class GknFamily:
+    """Factory for graphs in ``G_{k,n}`` for fixed parameters ``k, n``.
+
+    Parameters follow the paper: ``k >= 2`` is the triangle count of
+    ``H_k``, ``n`` the disjointness dimension (the universe is ``[n]^2``).
+    """
+
+    def __init__(self, k: int, n: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.k = k
+        self.n = n
+        self.m = subset_universe_size(n, k)
+        #: ``encoding[i]`` is the paper's ``Q_{i+1}``: the k triangles
+        #: endpoint copy ``i`` is wired to (0-indexed throughout).
+        self.encoding: List[Tuple[int, ...]] = endpoint_encoding(n, k)
+        self._skeleton: Optional[nx.Graph] = None
+
+    # ------------------------------------------------------------------
+    # Vertex naming helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def endpoint(side: str, part: str, i: int) -> Tuple[str, str, str, int]:
+        return ("End'", side, part, i)
+
+    @staticmethod
+    def triangle_vertex(side: str, j: int, role: str) -> Tuple[str, str, int, str]:
+        return ("Tri'", side, j, role)
+
+    # ------------------------------------------------------------------
+    def skeleton(self) -> nx.Graph:
+        """All of ``G_{X,Y}`` except the input-dependent endpoint edges.
+
+        Cached: every member of the family shares this part.
+        """
+        if self._skeleton is not None:
+            return self._skeleton
+        g = nx.Graph()
+        _add_marking_cliques(g, prefix="Clique'")
+
+        for side in SIDES:
+            # 2m triangles (m per side), each attached to its marking clique.
+            for j in range(self.m):
+                a = self.triangle_vertex(side, j, "A")
+                b = self.triangle_vertex(side, j, "B")
+                mid = self.triangle_vertex(side, j, "Mid")
+                g.add_edges_from([(a, b), (b, mid), (mid, a)])
+                g.add_edge(
+                    a, special_clique_vertex(DIRECTION_CLIQUE[(side, "A")], "Clique'")
+                )
+                g.add_edge(
+                    b, special_clique_vertex(DIRECTION_CLIQUE[(side, "B")], "Clique'")
+                )
+                g.add_edge(mid, special_clique_vertex(MID_CLIQUE, "Clique'"))
+            # n potential endpoints per part, wired by the subset encoding.
+            for part in ("A", "B"):
+                cs = special_clique_vertex(DIRECTION_CLIQUE[(side, part)], "Clique'")
+                for i in range(self.n):
+                    e = self.endpoint(side, part, i)
+                    g.add_edge(e, cs)
+                    for j in self.encoding[i]:
+                        g.add_edge(e, self.triangle_vertex(side, j, part))
+        self._skeleton = g
+        return g
+
+    # ------------------------------------------------------------------
+    def build(self, x: Iterable[Pair], y: Iterable[Pair]) -> GXYGraph:
+        """Construct ``G_{X,Y}`` for disjointness inputs ``X, Y ⊆ [n]^2``.
+
+        ``X`` drives the A-side top-bottom edges (Alice), ``Y`` the B-side
+        (Bob) — exactly the reduction's only degrees of freedom.
+        """
+        xs: PairSet = frozenset((int(i), int(j)) for i, j in x)
+        ys: PairSet = frozenset((int(i), int(j)) for i, j in y)
+        for (i, j) in xs | ys:
+            if not (0 <= i < self.n and 0 <= j < self.n):
+                raise ValueError(f"pair {(i, j)} outside universe [{self.n}]^2")
+
+        g = self.skeleton().copy()
+        for (i, j) in xs:
+            g.add_edge(self.endpoint(TOP, "A", i), self.endpoint(BOT, "A", j))
+        for (i, j) in ys:
+            g.add_edge(self.endpoint(TOP, "B", i), self.endpoint(BOT, "B", j))
+
+        alice: Set[Hashable] = set()
+        bob: Set[Hashable] = set()
+        shared: Set[Hashable] = set()
+        for v in g.nodes():
+            tag = v[0]
+            if tag == "Clique'":
+                s = v[1]
+                if s in (6, 8):
+                    alice.add(v)
+                elif s in (7, 9):
+                    bob.add(v)
+                else:
+                    shared.add(v)
+            elif tag == "End'":
+                (alice if v[2] == "A" else bob).add(v)
+            elif tag == "Tri'":
+                role = v[3]
+                if role == "A":
+                    alice.add(v)
+                elif role == "B":
+                    bob.add(v)
+                else:
+                    shared.add(v)
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unexpected vertex {v!r}")
+
+        return GXYGraph(
+            k=self.k,
+            n=self.n,
+            m=self.m,
+            graph=g,
+            x=xs,
+            y=ys,
+            alice_vertices=frozenset(alice),
+            bob_vertices=frozenset(bob),
+            shared_vertices=frozenset(shared),
+        )
+
+    # ------------------------------------------------------------------
+    # Lemma 3.1 machinery
+    # ------------------------------------------------------------------
+    def lemma_3_1_predicts_copy(self, x: Iterable[Pair], y: Iterable[Pair]) -> bool:
+        """The right-hand side of Lemma 3.1: ``X ∩ Y ≠ ∅``."""
+        return bool(frozenset(x) & frozenset(y))
+
+    def embedding(self, i_top: int, i_bot: int) -> Dict[Hashable, Hashable]:
+        """The canonical embedding ``H_k -> G_{X,Y}`` for witness pair
+        ``(i_top, i_bot)``.
+
+        Maps the cliques identically, endpoint ``(side, part)`` to endpoint
+        copy ``i_side``, and the ``i``-th triangle of side ``side`` to the
+        ``i``-th triangle (in sorted order) of the encoding ``Q_{i_side}``.
+        Valid as a subgraph embedding iff ``(i_top, i_bot) ∈ X`` and
+        ``∈ Y`` — see :meth:`verify_embedding`.
+        """
+        hk = build_hk(self.k)
+        phi: Dict[Hashable, Hashable] = {}
+        for s in CLIQUE_SIZES:
+            for j in range(s):
+                phi[("Clique", s, j)] = ("Clique'", s, j)
+        chosen = {TOP: sorted(self.encoding[i_top]), BOT: sorted(self.encoding[i_bot])}
+        idx = {TOP: i_top, BOT: i_bot}
+        for side in SIDES:
+            for part in ("A", "B"):
+                phi[("End", side, part)] = self.endpoint(side, part, idx[side])
+            for i in range(1, self.k + 1):
+                target_j = chosen[side][i - 1]
+                for role in ("A", "B", "Mid"):
+                    phi[("Tri", side, i, role)] = self.triangle_vertex(
+                        side, target_j, role
+                    )
+        assert len(set(phi.values())) == len(phi), "embedding must be injective"
+        assert set(phi.keys()) == set(hk.graph.nodes())
+        return phi
+
+    def verify_embedding(
+        self, gxy: GXYGraph, phi: Dict[Hashable, Hashable]
+    ) -> bool:
+        """Check ``phi`` maps every edge of ``H_k`` onto an edge of ``gxy``."""
+        hk = build_hk(self.k)
+        return all(
+            gxy.graph.has_edge(phi[u], phi[v]) for u, v in hk.graph.edges()
+        )
+
+    def find_copy(self, gxy: GXYGraph) -> Optional[Dict[Hashable, Hashable]]:
+        """Search for a copy of ``H_k`` using Lemma 3.1's characterisation.
+
+        Scans witness pairs ``(i, j) ∈ X ∩ Y`` and returns the first valid
+        embedding, or ``None``.  This is the *structural* detector; the
+        generic isomorphism search cross-checks it in the test suite.
+        """
+        for (i, j) in sorted(gxy.x & gxy.y):
+            phi = self.embedding(i, j)
+            if self.verify_embedding(gxy, phi):
+                return phi
+        return None
+
+    # ------------------------------------------------------------------
+    def expected_cut_size(self) -> int:
+        """The paper's cut bound: the Alice-vs-rest cut is ``Θ(m) = Θ(k n^{1/k})``.
+
+        Exactly: each of the ``2m`` triangles contributes its ``(A,B)`` and
+        ``(A,Mid)`` edges, plus the constant number of clique-marking edges
+        incident to Alice's cliques (6 and 8).
+        """
+        triangle_cut = 2 * (2 * self.m)
+        # Special vertices of cliques 6 and 8 each connect to the three
+        # specials outside Alice's part (7, 9, 10).
+        clique_cut = 2 * 3
+        # Alice's clique specials are also attached to... nothing external
+        # besides the specials; End'/Tri' attachments stay inside parts.
+        return triangle_cut + clique_cut

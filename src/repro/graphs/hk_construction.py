@@ -1,0 +1,161 @@
+"""The graph ``H_k`` of Theorem 1.2 (Figure 1 of the paper).
+
+``H_k`` is the constant-size (``O(k)``-vertex), diameter-3 graph whose
+CONGEST detection requires ``Ω(n^{2-1/k}/(Bk))`` rounds.  Following
+Section 3.1 it is assembled from:
+
+* **Cliques** -- one clique of each size ``s = 6..10``; the special vertex of
+  each (index 0) participates in a 5-clique with the other special vertices.
+  The cliques "mark" the parts of ``H_k`` so that any embedding into the
+  lower-bound family must respect the logical partition.
+* **Top and bottom copies of H** -- each copy has ``k`` triangles
+  ``Tri_1..Tri_k`` with vertices ``(i, A), (i, B), (i, Mid)``, an endpoint
+  ``A`` adjacent to every ``(i, A)``, and an endpoint ``B`` adjacent to every
+  ``(i, B)``.
+* **Two cross edges** joining the top and bottom ``A``-endpoints and the top
+  and bottom ``B``-endpoints.
+* **Attachment edges**: every non-clique vertex is adjacent to exactly one
+  special clique vertex, chosen by its "direction" (side x role), which is
+  what gives diameter 3.
+
+Vertex labels are structured tuples so that the lower-bound machinery can
+identify parts without any global tables:
+
+* ``("Clique", s, j)`` -- vertex ``j`` of the ``s``-clique (``j = 0`` is
+  special);
+* ``("End", side, part)`` -- an endpoint, ``side ∈ {"top", "bot"}``,
+  ``part ∈ {"A", "B"}``;
+* ``("Tri", side, i, role)`` -- triangle vertex, ``i ∈ 1..k``,
+  ``role ∈ {"A", "B", "Mid"}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, Hashable, List, Tuple
+
+import networkx as nx
+
+__all__ = [
+    "TOP",
+    "BOT",
+    "SIDES",
+    "CLIQUE_SIZES",
+    "DIRECTION_CLIQUE",
+    "MID_CLIQUE",
+    "special_clique_vertex",
+    "HkGraph",
+    "build_hk",
+]
+
+TOP = "top"
+BOT = "bot"
+SIDES = (TOP, BOT)
+
+#: The five clique sizes of the construction.
+CLIQUE_SIZES = (6, 7, 8, 9, 10)
+
+#: Direction -> marking clique size.  The assignment is chosen so the
+#: Theorem 1.2 simulation partition works out: Alice simulates the A-side
+#: (cliques 6 and 8), Bob the B-side (cliques 7 and 9), and the triangle
+#: middles together with clique 10 are shared (Section 3.3).
+DIRECTION_CLIQUE: Dict[Tuple[str, str], int] = {
+    (TOP, "A"): 6,
+    (BOT, "A"): 8,
+    (TOP, "B"): 7,
+    (BOT, "B"): 9,
+}
+
+#: The clique size marking all triangle middle vertices (both sides).
+MID_CLIQUE = 10
+
+
+def special_clique_vertex(s: int, prefix: str = "Clique") -> Tuple[str, int, int]:
+    """The distinguished vertex of the ``s``-clique."""
+    return (prefix, s, 0)
+
+
+@dataclass
+class HkGraph:
+    """``H_k`` plus the bookkeeping the lower-bound pipeline needs."""
+
+    k: int
+    graph: nx.Graph
+    endpoints: Dict[Tuple[str, str], Hashable] = field(default_factory=dict)
+    triangle_vertices: List[Hashable] = field(default_factory=list)
+    clique_vertices: List[Hashable] = field(default_factory=list)
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def expected_size(self) -> int:
+        """``|V(H_k)| = 40 + 2(3k + 2)``: five cliques + two copies of H."""
+        return sum(CLIQUE_SIZES) + 2 * (3 * self.k + 2)
+
+
+def _add_clique(g: nx.Graph, s: int, prefix: str = "Clique") -> List[Hashable]:
+    verts = [(prefix, s, j) for j in range(s)]
+    g.add_nodes_from(verts)
+    g.add_edges_from(combinations(verts, 2))
+    return verts
+
+
+def _add_marking_cliques(g: nx.Graph, prefix: str = "Clique") -> List[Hashable]:
+    """Add the five cliques and the 5-clique among their special vertices."""
+    verts: List[Hashable] = []
+    for s in CLIQUE_SIZES:
+        verts.extend(_add_clique(g, s, prefix))
+    specials = [special_clique_vertex(s, prefix) for s in CLIQUE_SIZES]
+    g.add_edges_from(combinations(specials, 2))
+    return verts
+
+
+def build_hk(k: int) -> HkGraph:
+    """Construct ``H_k`` per Section 3.1 / Figure 1.
+
+    Raises for ``k < 1``; ``k = 1`` is degenerate but well defined (one
+    triangle per side).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    g = nx.Graph()
+    clique_vertices = _add_marking_cliques(g)
+
+    endpoints: Dict[Tuple[str, str], Hashable] = {}
+    triangle_vertices: List[Hashable] = []
+    for side in SIDES:
+        # Endpoints A and B of this copy of H, attached to their clique.
+        for part in ("A", "B"):
+            end = ("End", side, part)
+            g.add_node(end)
+            endpoints[(side, part)] = end
+            g.add_edge(end, special_clique_vertex(DIRECTION_CLIQUE[(side, part)]))
+        # Triangles Tri_1..Tri_k.
+        for i in range(1, k + 1):
+            a = ("Tri", side, i, "A")
+            b = ("Tri", side, i, "B")
+            mid = ("Tri", side, i, "Mid")
+            triangle_vertices.extend([a, b, mid])
+            g.add_edges_from([(a, b), (b, mid), (mid, a)])
+            # Endpoint connections: A to all (i, A), B to all (i, B); the
+            # middle vertices touch neither endpoint.
+            g.add_edge(endpoints[(side, "A")], a)
+            g.add_edge(endpoints[(side, "B")], b)
+            # Marking attachments.
+            g.add_edge(a, special_clique_vertex(DIRECTION_CLIQUE[(side, "A")]))
+            g.add_edge(b, special_clique_vertex(DIRECTION_CLIQUE[(side, "B")]))
+            g.add_edge(mid, special_clique_vertex(MID_CLIQUE))
+
+    # The only two edges between the top and bottom copies of H.
+    g.add_edge(endpoints[(TOP, "A")], endpoints[(BOT, "A")])
+    g.add_edge(endpoints[(TOP, "B")], endpoints[(BOT, "B")])
+
+    return HkGraph(
+        k=k,
+        graph=g,
+        endpoints=endpoints,
+        triangle_vertices=triangle_vertices,
+        clique_vertices=clique_vertices,
+    )

@@ -1,0 +1,107 @@
+"""The combinatorial number system: indices <-> k-subsets.
+
+Section 3.2 of the paper encodes each endpoint index ``i ∈ [n]`` as a
+distinct ``k``-element subset ``P_i`` of the universe ``[m]`` with
+``m = k * ceil(n^(1/k))``, relying on ``C(m, k) >= n``.  The encoding decides
+which ``k`` triangles each endpoint copy is wired to in the family
+``G_{k,n}``; its injectivity is exactly what makes Lemma 3.1 true.
+
+We implement the classical *combinatorial number system* bijection between
+``{0, .., C(m,k)-1}`` and ``k``-subsets of ``{0, .., m-1}`` in colexicographic
+order, so the encoding is deterministic, rank-computable, and invertible
+without materialising all subsets.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+__all__ = [
+    "binomial",
+    "subset_universe_size",
+    "index_to_subset",
+    "subset_to_index",
+    "endpoint_encoding",
+]
+
+
+def binomial(m: int, k: int) -> int:
+    """C(m, k), zero outside the valid range."""
+    if k < 0 or m < 0 or k > m:
+        return 0
+    return math.comb(m, k)
+
+
+def subset_universe_size(n: int, k: int) -> int:
+    """The universe size ``m = k * ceil(n^(1/k))`` of Section 3.2.
+
+    The paper shows ``C(m, k) >= (m/k)^k = ceil(n^(1/k))^k >= n``, so the
+    first ``n`` subsets suffice to encode ``[n]``.  Floating-point roots are
+    guarded: we take the smallest integer ``r`` with ``r^k >= n``.
+    """
+    if n < 1 or k < 1:
+        raise ValueError("need n >= 1 and k >= 1")
+    r = max(1, round(n ** (1.0 / k)))
+    while r**k < n:
+        r += 1
+    while r > 1 and (r - 1) ** k >= n:
+        r -= 1
+    return k * r
+
+
+def index_to_subset(index: int, k: int) -> Tuple[int, ...]:
+    """The ``index``-th ``k``-subset of the naturals, colex order.
+
+    Colexicographic rank: the subset ``{c_1 < c_2 < ... < c_k}`` has rank
+    ``sum_j C(c_j, j)``.  Decoding greedily picks the largest ``c_k`` with
+    ``C(c_k, k) <= index`` and recurses.
+
+    >>> index_to_subset(0, 3)
+    (0, 1, 2)
+    >>> index_to_subset(1, 3)
+    (0, 1, 3)
+    """
+    if index < 0 or k < 1:
+        raise ValueError("need index >= 0 and k >= 1")
+    out: List[int] = []
+    remaining = index
+    for j in range(k, 0, -1):
+        # Find largest c with C(c, j) <= remaining.  C(j-1, j) = 0 always
+        # qualifies, so the search is well defined.
+        c = j - 1
+        while binomial(c + 1, j) <= remaining:
+            c += 1
+        out.append(c)
+        remaining -= binomial(c, j)
+    out.reverse()
+    return tuple(out)
+
+
+def subset_to_index(subset: Tuple[int, ...]) -> int:
+    """Inverse of :func:`index_to_subset` (colex rank of a sorted subset)."""
+    elems = sorted(subset)
+    if len(set(elems)) != len(elems):
+        raise ValueError("subset elements must be distinct")
+    if elems and elems[0] < 0:
+        raise ValueError("subset elements must be non-negative")
+    return sum(binomial(c, j + 1) for j, c in enumerate(elems))
+
+
+def endpoint_encoding(n: int, k: int) -> List[Tuple[int, ...]]:
+    """The paper's encoding ``P_1, ..., P_n``: n distinct k-subsets of [m].
+
+    Returns a list of ``n`` sorted tuples, each a ``k``-subset of
+    ``range(subset_universe_size(n, k))``.  Distinctness is guaranteed by
+    the bijection; the range bound is asserted.
+    """
+    m = subset_universe_size(n, k)
+    if binomial(m, k) < n:
+        raise AssertionError(
+            f"universe too small: C({m},{k}) = {binomial(m, k)} < {n}"
+        )
+    encoding = [index_to_subset(i, k) for i in range(n)]
+    top = max((s[-1] for s in encoding), default=-1)
+    if top >= m:
+        raise AssertionError("encoding escaped the universe [m]")
+    return encoding

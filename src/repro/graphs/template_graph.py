@@ -1,0 +1,200 @@
+"""The template graph ``G_T`` and input distribution ``μ`` of Section 5 (Figure 3).
+
+``G_T`` has three *special* nodes ``v_a, v_b, v_c`` connected in a triangle,
+and for each ``s ∈ {a,b,c}`` a set of ``n`` non-special neighbors attached to
+``v_s``.  The Theorem 5.1 input distribution draws:
+
+* a random subgraph ``G ⊆ G_T``: every edge of ``G_T`` kept iid w.p. 1/2;
+* iid identifiers from ``[n^3]`` (collisions possible -- the proof
+  conditions on their absence, and so do our estimators);
+* for each special node, a random permutation ``π_s`` scrambling the order
+  in which it sees its potential neighbors, so it cannot tell which
+  neighbor is special.
+
+The per-node input follows the paper's *input representation*: node ``v_s``
+receives ``N_s = (U_s, X_s, u_s)`` where ``U_s`` is the permuted sequence of
+identifiers of its ``G_T``-neighbors, ``X_s`` the equally-permuted bit vector
+saying which of those edges exist in ``G``, and ``u_s`` its own identifier.
+``X_st`` denotes the bit for the potential triangle edge ``{v_s, v_t}``.
+
+Observation 5.2: ``G`` contains a triangle iff ``X_ab ∧ X_bc ∧ X_ac``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "SPECIALS",
+    "build_template_graph",
+    "SpecialInput",
+    "TemplateSample",
+    "sample_input",
+]
+
+SPECIALS = ("a", "b", "c")
+
+
+def build_template_graph(n: int) -> nx.Graph:
+    """``G_T`` with ``n`` non-special neighbors per special node (Figure 3).
+
+    Vertices: ``("special", s)`` and ``("leaf", s, i)`` for ``i < n``.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    g = nx.Graph()
+    for s in SPECIALS:
+        g.add_node(("special", s))
+    g.add_edge(("special", "a"), ("special", "b"))
+    g.add_edge(("special", "b"), ("special", "c"))
+    g.add_edge(("special", "a"), ("special", "c"))
+    for s in SPECIALS:
+        for i in range(n):
+            g.add_edge(("special", s), ("leaf", s, i))
+    return g
+
+
+@dataclass
+class SpecialInput:
+    """``N_s = (U_s, X_s, u_s)`` plus the bookkeeping the analysis uses.
+
+    ``ids`` and ``bits`` are aligned: ``bits[i]`` says whether the edge to
+    the potential neighbor with identifier ``ids[i]`` is present in ``G``.
+    ``partner_index[t]`` is the paper's ``i_s(t)``: the (permuted) index
+    hiding the potential triangle edge ``{v_s, v_t}`` -- uniformly random
+    from the node's perspective, which is the crux of Lemma 5.4.
+    """
+
+    own_id: int
+    ids: Tuple[int, ...]
+    bits: Tuple[int, ...]
+    partner_index: Dict[str, int]
+
+    @property
+    def degree_in_template(self) -> int:
+        return len(self.ids)
+
+
+@dataclass
+class TemplateSample:
+    """One draw from the Theorem 5.1 input distribution ``μ``."""
+
+    n: int
+    graph: nx.Graph  # the realized subgraph G ⊆ G_T (all vertices kept)
+    identifiers: Dict[Hashable, int]
+    inputs: Dict[str, SpecialInput]
+    triangle_bits: Dict[Tuple[str, str], int]  # X_ab, X_bc, X_ac
+
+    @property
+    def x_ab(self) -> int:
+        return self.triangle_bits[("a", "b")]
+
+    @property
+    def x_bc(self) -> int:
+        return self.triangle_bits[("b", "c")]
+
+    @property
+    def x_ac(self) -> int:
+        return self.triangle_bits[("a", "c")]
+
+    def has_triangle(self) -> bool:
+        """Observation 5.2's left-hand side, from the realized graph."""
+        g = self.graph
+        return all(
+            g.has_edge(("special", s), ("special", t))
+            for s, t in (("a", "b"), ("b", "c"), ("a", "c"))
+        )
+
+    def observation_5_2_holds(self) -> bool:
+        """``G`` has a triangle iff ``X_ab ∧ X_bc ∧ X_ac`` (Observation 5.2).
+
+        True by construction -- only special nodes can form a triangle in a
+        subgraph of ``G_T`` -- but verified against the realized graph, so a
+        bug in the sampler cannot silently skew the MI experiments.
+        """
+        via_graph = self.has_triangle()
+        via_bits = bool(self.x_ab and self.x_bc and self.x_ac)
+        # Also confirm no triangle hides among non-special vertices.
+        tri_free_elsewhere = all(
+            ("special" in u[0]) and ("special" in v[0]) and ("special" in w[0])
+            for u, v, w in _triangles(self.graph)
+        )
+        return (via_graph == via_bits) and tri_free_elsewhere
+
+    def has_duplicate_ids(self) -> bool:
+        ids = list(self.identifiers.values())
+        return len(set(ids)) != len(ids)
+
+
+def _triangles(g: nx.Graph):
+    nodes = sorted(g.nodes(), key=repr)
+    index = {v: i for i, v in enumerate(nodes)}
+    for u, v in g.edges():
+        for w in g.neighbors(u):
+            if w == u or w == v:
+                continue
+            if g.has_edge(v, w) and index[u] < index[v] < index[w]:
+                yield (u, v, w)
+
+
+def sample_input(
+    n: int,
+    rng: np.random.Generator,
+    id_space: Optional[int] = None,
+    edge_probability: float = 0.5,
+) -> TemplateSample:
+    """Draw one input from ``μ``.
+
+    ``id_space`` defaults to the paper's ``n^3`` (minimum 8 so tiny tests
+    stay sane).  ``edge_probability`` defaults to the paper's 1/2; other
+    values support sensitivity ablations.
+    """
+    template = build_template_graph(n)
+    if id_space is None:
+        id_space = max(n**3, 8)
+
+    identifiers = {
+        v: int(rng.integers(0, id_space)) for v in sorted(template.nodes(), key=repr)
+    }
+
+    g = nx.Graph()
+    g.add_nodes_from(template.nodes())
+    for u, v in template.edges():
+        if rng.random() < edge_probability:
+            g.add_edge(u, v)
+
+    triangle_bits = {
+        ("a", "b"): int(g.has_edge(("special", "a"), ("special", "b"))),
+        ("b", "c"): int(g.has_edge(("special", "b"), ("special", "c"))),
+        ("a", "c"): int(g.has_edge(("special", "a"), ("special", "c"))),
+    }
+
+    inputs: Dict[str, SpecialInput] = {}
+    for s in SPECIALS:
+        vs = ("special", s)
+        potential = sorted(template.neighbors(vs), key=repr)
+        perm = rng.permutation(len(potential))
+        permuted = [potential[j] for j in perm]
+        ids = tuple(identifiers[w] for w in permuted)
+        bits = tuple(int(g.has_edge(vs, w)) for w in permuted)
+        partner_index = {
+            t: permuted.index(("special", t)) for t in SPECIALS if t != s
+        }
+        inputs[s] = SpecialInput(
+            own_id=identifiers[vs],
+            ids=ids,
+            bits=bits,
+            partner_index=partner_index,
+        )
+
+    return TemplateSample(
+        n=n,
+        graph=g,
+        identifiers=identifiers,
+        inputs=inputs,
+        triangle_bits=triangle_bits,
+    )

@@ -1,0 +1,34 @@
+"""Information theory (Substrate 5): exact entropies/MI on finite joints,
+plus sample-based estimators -- the toolkit behind the Theorem 5.1 bound."""
+
+from .distributions import JointDistribution
+from .entropy import (
+    binary_entropy,
+    binary_kl,
+    kl_divergence,
+    pinsker_bound,
+    conditional_entropy,
+    conditional_mutual_information,
+    entropy,
+    mutual_information,
+)
+from .estimators import (
+    mi_confidence_via_bootstrap,
+    miller_madow_mutual_information,
+    plugin_mutual_information,
+)
+
+__all__ = [
+    "JointDistribution",
+    "binary_entropy",
+    "binary_kl",
+    "kl_divergence",
+    "pinsker_bound",
+    "conditional_entropy",
+    "conditional_mutual_information",
+    "entropy",
+    "mutual_information",
+    "mi_confidence_via_bootstrap",
+    "miller_madow_mutual_information",
+    "plugin_mutual_information",
+]

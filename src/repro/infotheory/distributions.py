@@ -1,0 +1,148 @@
+"""Finite joint distributions with named variables.
+
+Section 5's lower bound is an exercise in conditional mutual information
+over finite spaces (edge bits, permuted indices, short messages).  This
+module gives an exact, dictionary-backed representation: outcomes are tuples
+keyed by a variable-name schema, probabilities are floats that must sum to 1.
+
+Everything downstream (:mod:`repro.infotheory.entropy`) consumes these, so
+identities like the chain rule and non-negativity of MI are testable
+properties of the code, not hopes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["JointDistribution"]
+
+_ATOL = 1e-9
+
+
+@dataclass(frozen=True)
+class JointDistribution:
+    """An exact joint distribution over named discrete variables.
+
+    ``variables`` names the coordinates; ``pmf`` maps outcome tuples (one
+    entry per variable, in order) to probabilities.
+    """
+
+    variables: Tuple[str, ...]
+    pmf: Mapping[Tuple[Any, ...], float]
+
+    def __post_init__(self) -> None:
+        if len(set(self.variables)) != len(self.variables):
+            raise ValueError("variable names must be distinct")
+        total = 0.0
+        for outcome, p in self.pmf.items():
+            if len(outcome) != len(self.variables):
+                raise ValueError(
+                    f"outcome {outcome!r} arity != {len(self.variables)} variables"
+                )
+            if p < -_ATOL:
+                raise ValueError(f"negative probability {p} for {outcome!r}")
+            total += p
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"probabilities sum to {total}, not 1")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_samples(
+        variables: Sequence[str], samples: Iterable[Tuple[Any, ...]]
+    ) -> "JointDistribution":
+        """Empirical (plug-in) distribution from a sample of outcome tuples."""
+        counts: Dict[Tuple[Any, ...], int] = {}
+        n = 0
+        for s in samples:
+            counts[tuple(s)] = counts.get(tuple(s), 0) + 1
+            n += 1
+        if n == 0:
+            raise ValueError("cannot build a distribution from zero samples")
+        return JointDistribution(
+            tuple(variables), {o: c / n for o, c in counts.items()}
+        )
+
+    @staticmethod
+    def uniform_bits(names: Sequence[str]) -> "JointDistribution":
+        """IID Bernoulli(1/2) bits -- the paper's edge-presence variables."""
+        k = len(names)
+        p = 1.0 / (1 << k)
+        pmf = {}
+        for mask in range(1 << k):
+            outcome = tuple((mask >> i) & 1 for i in range(k))
+            pmf[outcome] = p
+        return JointDistribution(tuple(names), pmf)
+
+    # ------------------------------------------------------------------
+    def _idx(self, name: str) -> int:
+        try:
+            return self.variables.index(name)
+        except ValueError:
+            raise KeyError(f"unknown variable {name!r}; have {self.variables}")
+
+    def marginal(self, names: Sequence[str]) -> "JointDistribution":
+        """Marginal distribution of the listed variables (in listed order)."""
+        idxs = [self._idx(n) for n in names]
+        out: Dict[Tuple[Any, ...], float] = {}
+        for outcome, p in self.pmf.items():
+            key = tuple(outcome[i] for i in idxs)
+            out[key] = out.get(key, 0.0) + p
+        return JointDistribution(tuple(names), out)
+
+    def condition(self, **fixed: Any) -> "JointDistribution":
+        """Condition on ``variable=value`` assignments.
+
+        Keeps all variables (the fixed ones become deterministic), so the
+        result composes with further operations.  Raises if the event has
+        probability zero.
+        """
+        idx_val = [(self._idx(k), v) for k, v in fixed.items()]
+        kept = {
+            o: p for o, p in self.pmf.items() if all(o[i] == v for i, v in idx_val)
+        }
+        z = sum(kept.values())
+        if z <= _ATOL:
+            raise ValueError(f"conditioning event {fixed} has probability ~0")
+        return JointDistribution(
+            self.variables, {o: p / z for o, p in kept.items()}
+        )
+
+    def probability(self, **fixed: Any) -> float:
+        """Probability of the event ``variable=value, ...``."""
+        idx_val = [(self._idx(k), v) for k, v in fixed.items()]
+        return sum(
+            p for o, p in self.pmf.items() if all(o[i] == v for i, v in idx_val)
+        )
+
+    def support(self, name: str) -> Tuple[Any, ...]:
+        i = self._idx(name)
+        return tuple(sorted({o[i] for o, p in self.pmf.items() if p > _ATOL}, key=repr))
+
+    def map_variable(
+        self, name: str, fn: Callable[[Any], Any], new_name: str
+    ) -> "JointDistribution":
+        """Push one coordinate through a function (data processing).
+
+        Used to model "the node's decision is a function of its inputs and
+        messages": apply the decision map and measure information after.
+        """
+        i = self._idx(name)
+        out: Dict[Tuple[Any, ...], float] = {}
+        for o, p in self.pmf.items():
+            new_o = o[:i] + (fn(o[i]),) + o[i + 1 :]
+            out[new_o] = out.get(new_o, 0.0) + p
+        new_vars = self.variables[:i] + (new_name,) + self.variables[i + 1 :]
+        return JointDistribution(new_vars, out)
+
+    def join_with_product(self, other: "JointDistribution") -> "JointDistribution":
+        """Independent product of two joint distributions."""
+        if set(self.variables) & set(other.variables):
+            raise ValueError("variable names must be disjoint for a product")
+        pmf: Dict[Tuple[Any, ...], float] = {}
+        for o1, p1 in self.pmf.items():
+            for o2, p2 in other.pmf.items():
+                pmf[o1 + o2] = p1 * p2
+        return JointDistribution(self.variables + other.variables, pmf)

@@ -1,0 +1,94 @@
+"""The paper's impossibility machinery, executable.
+
+* :mod:`~repro.lowerbounds.hypergraph` -- Erdős box theorem tooling.
+* :mod:`~repro.lowerbounds.transcripts` -- Section 4 transcripts + the
+  deterministic low-bandwidth algorithm family.
+* :mod:`~repro.lowerbounds.fooling` -- the Theorem 4.1 adversary pipeline.
+* :mod:`~repro.lowerbounds.superlinear` -- the Theorem 1.2 reduction,
+  executable end to end.
+* :mod:`~repro.lowerbounds.one_round` -- Theorem 5.1 information accounting.
+* :mod:`~repro.lowerbounds.clique_listing` -- Lemma 1.3 and the
+  congested-clique listing bound.
+"""
+
+from .clique_listing import (
+    ListingExperiment,
+    expected_cliques_gnp,
+    listing_experiment,
+    listing_round_lower_bound,
+    min_edges_to_witness,
+)
+from .fooling import AttackFailure, AttackReport, FoolingCertificate, attack, bucket_transcripts
+from .hypergraph import Box, TripartiteHypergraph, erdos_edge_threshold, find_box
+from .one_round import (
+    AcceptGapReport,
+    PinnedWorldMI,
+    Theorem51Report,
+    decision_information,
+    lemma_5_4_bound,
+    measure_accept_gap,
+    pinned_world_mi,
+    theorem_5_1_experiment,
+)
+from .one_round_network import OneRoundNetworkAlgorithm, run_one_round_on_network
+from .superlinear import (
+    FunnelDetectionAlgorithm,
+    ReductionResult,
+    implied_round_lower_bound,
+    run_direct,
+    run_reduction,
+)
+from .transcripts import (
+    CycleExecution,
+    DecisionBroadcastTransform,
+    DeterministicCycleAlgorithm,
+    FullIdExchange,
+    HashedIdExchange,
+    TruncatedIdExchange,
+    node_transcript,
+    run_on_cycle,
+    triangle_transcript,
+    verify_prefix_code,
+)
+
+__all__ = [
+    "ListingExperiment",
+    "expected_cliques_gnp",
+    "listing_experiment",
+    "listing_round_lower_bound",
+    "min_edges_to_witness",
+    "AttackFailure",
+    "AttackReport",
+    "FoolingCertificate",
+    "attack",
+    "bucket_transcripts",
+    "Box",
+    "TripartiteHypergraph",
+    "erdos_edge_threshold",
+    "find_box",
+    "AcceptGapReport",
+    "PinnedWorldMI",
+    "Theorem51Report",
+    "decision_information",
+    "lemma_5_4_bound",
+    "measure_accept_gap",
+    "pinned_world_mi",
+    "theorem_5_1_experiment",
+    "OneRoundNetworkAlgorithm",
+    "run_one_round_on_network",
+    "FunnelDetectionAlgorithm",
+    "ReductionResult",
+    "implied_round_lower_bound",
+    "run_direct",
+    "run_reduction",
+    "CycleExecution",
+    "DecisionBroadcastTransform",
+    "DeterministicCycleAlgorithm",
+    "FullIdExchange",
+    "HashedIdExchange",
+    "TruncatedIdExchange",
+    "node_transcript",
+    "run_on_cycle",
+    "triangle_transcript",
+    "verify_prefix_code",
+]

@@ -1,0 +1,222 @@
+"""The Theorem 4.1 adversary pipeline: transcripts -> hypergraph -> hexagon.
+
+Given any deterministic low-bandwidth algorithm (Section 4's model), the
+adversary:
+
+1. applies the Claim 4.3 transform ``A -> A'`` (decision broadcast);
+2. runs ``A'`` on **every** triangle ``Δ(u0,u1,u2) ∈ N0 x N1 x N2`` and
+   buckets the triples by their full transcript ``Tr(u0,u1,u2)``;
+3. takes a largest bucket ``S_t`` (the pigeonhole: ``|S_t| >= n^3 /
+   2^{6(C+1)}``), forms the 3-partite 3-uniform hypergraph with edge set
+   ``S_t``, and searches for the combinatorial box ``K^{(3)}(2)``
+   guaranteed by Erdős's theorem once ``|S_t| > n^{2.75}``;
+4. splices the box ``({u0,u0'},{u1,u1'},{u2,u2'})`` into the hexagon
+   ``Q = u0 u1 u2 u0' u1' u2'`` and runs ``A'`` on it.  Claim 4.4 says
+   every node behaves exactly as in its triangle view, so the triangle
+   nodes' (mandatory, by Claim 4.3) rejections recur -- ``A'`` rejects a
+   triangle-free graph, certifying the algorithm wrong at this bandwidth.
+
+:func:`attack` returns either a verified :class:`FoolingCertificate` or a
+:class:`AttackFailure` carrying the bucket statistics, so the benchmark can
+plot the fooling threshold against the ``Θ(log n)`` prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .hypergraph import Box, TripartiteHypergraph, erdos_edge_threshold, find_box
+from .transcripts import (
+    CycleExecution,
+    DecisionBroadcastTransform,
+    DeterministicCycleAlgorithm,
+    node_transcript,
+    run_on_cycle,
+    triangle_transcript,
+)
+
+__all__ = [
+    "FoolingCertificate",
+    "AttackFailure",
+    "AttackReport",
+    "bucket_transcripts",
+    "attack",
+]
+
+
+@dataclass
+class FoolingCertificate:
+    """A verified counterexample: the algorithm rejects this hexagon."""
+
+    hexagon_ids: Tuple[int, ...]
+    transcript: str
+    box: Box
+    rejecting_nodes: Tuple[int, ...]
+    claim_4_4_verified: bool
+    max_bits_per_node: int
+
+
+@dataclass
+class AttackFailure:
+    """The adversary found no box -- expected when C = Ω(log n)."""
+
+    reason: str
+    largest_bucket: int
+    num_buckets: int
+    max_bits_per_node: int
+
+
+@dataclass
+class AttackReport:
+    """Full pipeline outcome plus the pigeonhole arithmetic."""
+
+    fooled: bool
+    certificate: Optional[FoolingCertificate]
+    failure: Optional[AttackFailure]
+    n_per_part: int
+    num_triples: int
+    largest_bucket: int
+    erdos_threshold: float
+    max_bits_per_node: int
+
+    @property
+    def bucket_exceeds_threshold(self) -> bool:
+        return self.largest_bucket > self.erdos_threshold
+
+
+def bucket_transcripts(
+    algorithm: DeterministicCycleAlgorithm,
+    parts: Sequence[range],
+) -> Tuple[Dict[str, List[Tuple[int, int, int]]], int, Dict[Tuple[int, int, int], CycleExecution]]:
+    """Run ``algorithm`` on every triangle of ``N0 x N1 x N2``.
+
+    Returns ``(buckets, max_bits_per_node, executions)`` where ``buckets``
+    maps each transcript to the triples producing it.  Also asserts the
+    triangle-side correctness obligation: an algorithm that *accepts* some
+    triangle is simply wrong, no fooling needed (reported via ValueError).
+    """
+    buckets: Dict[str, List[Tuple[int, int, int]]] = {}
+    executions: Dict[Tuple[int, int, int], CycleExecution] = {}
+    max_bits = 0
+    for u0, u1, u2 in product(parts[0], parts[1], parts[2]):
+        ex = run_on_cycle(algorithm, (u0, u1, u2))
+        if ex.accepted():
+            raise ValueError(
+                f"algorithm is incorrect outright: accepts triangle {(u0, u1, u2)}"
+            )
+        t = triangle_transcript(ex, parts)
+        buckets.setdefault(t, []).append((u0, u1, u2))
+        executions[(u0, u1, u2)] = ex
+        max_bits = max(max_bits, ex.max_bits_per_node())
+    return buckets, max_bits, executions
+
+
+def attack(
+    algorithm: DeterministicCycleAlgorithm,
+    parts: Sequence[range],
+    apply_decision_broadcast: bool = True,
+) -> AttackReport:
+    """Run the full Theorem 4.1 adversary against ``algorithm``.
+
+    ``parts`` is the namespace partition (three disjoint ranges, as from
+    :func:`repro.congest.identifiers.partitioned_namespace`).
+    """
+    if len(parts) != 3:
+        raise ValueError("Theorem 4.1 uses a 3-part namespace")
+    algo = (
+        DecisionBroadcastTransform(algorithm)
+        if apply_decision_broadcast
+        else algorithm
+    )
+    buckets, max_bits, executions = bucket_transcripts(algo, parts)
+    n = min(len(p) for p in parts)
+    num_triples = len(parts[0]) * len(parts[1]) * len(parts[2])
+    threshold = erdos_edge_threshold(n, r=3, ell=2)
+
+    best_t, best_triples = max(buckets.items(), key=lambda kv: len(kv[1]))
+    largest = len(best_triples)
+
+    # Try every bucket from largest down; Erdős guarantees success above
+    # the threshold but smaller buckets may contain a box too -- the
+    # adversary happily takes it.
+    for t, triples in sorted(buckets.items(), key=lambda kv: -len(kv[1])):
+        if len(triples) < 8:
+            break
+        offs = [p.start for p in parts]
+        h = TripartiteHypergraph(
+            (len(parts[0]), len(parts[1]), len(parts[2]))
+        )
+        for (a, b, c) in triples:
+            h.add_edge(a - offs[0], b - offs[1], c - offs[2])
+        box = find_box(h)
+        if box is None:
+            continue
+        (a0, a1), (b0, b1), (c0, c1) = box.sides
+        u0, u0p = a0 + offs[0], a1 + offs[0]
+        u1, u1p = b0 + offs[1], b1 + offs[1]
+        u2, u2p = c0 + offs[2], c1 + offs[2]
+        hexagon = (u0, u1, u2, u0p, u1p, u2p)
+        ex = run_on_cycle(algo, hexagon)
+
+        # Claim 4.4: each hexagon node's transcript equals its transcript
+        # in the triangle formed with its two hexagon neighbors (an edge of
+        # the box, hence an execution we already recorded).
+        claim = True
+        for u in hexagon:
+            # The triangle whose view u retains in Q: its two hexagon
+            # neighbors plus itself form an edge of the box.
+            idx = hexagon.index(u)
+            x = hexagon[(idx - 1) % 6]
+            y = hexagon[(idx + 1) % 6]
+            tri = tuple(sorted((u, x, y), key=lambda z: _part_index(z, parts)))
+            if node_transcript(ex, u, parts) != node_transcript(
+                executions[tri], u, parts
+            ):
+                claim = False
+                break
+
+        rejecting = tuple(u for u, acc in ex.decisions.items() if not acc)
+        if rejecting:
+            cert = FoolingCertificate(
+                hexagon_ids=hexagon,
+                transcript=t,
+                box=box,
+                rejecting_nodes=rejecting,
+                claim_4_4_verified=claim,
+                max_bits_per_node=max_bits,
+            )
+            return AttackReport(
+                fooled=True,
+                certificate=cert,
+                failure=None,
+                n_per_part=n,
+                num_triples=num_triples,
+                largest_bucket=largest,
+                erdos_threshold=threshold,
+                max_bits_per_node=max_bits,
+            )
+
+    return AttackReport(
+        fooled=False,
+        certificate=None,
+        failure=AttackFailure(
+            reason="no bucket contained a K^(3)(2) whose hexagon rejects",
+            largest_bucket=largest,
+            num_buckets=len(buckets),
+            max_bits_per_node=max_bits,
+        ),
+        n_per_part=n,
+        num_triples=num_triples,
+        largest_bucket=largest,
+        erdos_threshold=threshold,
+        max_bits_per_node=max_bits,
+    )
+
+
+def _part_index(u: int, parts: Sequence[range]) -> int:
+    for i, p in enumerate(parts):
+        if u in p:
+            return i
+    raise ValueError(f"{u} in no part")

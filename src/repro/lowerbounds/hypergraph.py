@@ -1,0 +1,136 @@
+"""r-uniform hypergraphs and the Erdős box theorem (Theorem 4.2 machinery).
+
+Theorem 4.1's fooling argument represents the adversary's options as a
+3-uniform 3-partite hypergraph: vertices are identifiers, edges are the
+identifier triples whose execution produced the popular transcript.  Erdős's
+theorem [11] guarantees that once this hypergraph has ``>= n^{2.75}`` edges
+it contains ``K^{(3)}(2)`` -- the complete 3-partite 3-uniform hypergraph
+with two vertices per side (a "combinatorial box") -- and the box's two
+triangles splice into the fooling hexagon.
+
+This module provides the hypergraph container, an exhaustive (vectorized)
+``K^{(r)}(ℓ)`` search for the 3-partite case, and the edge-count threshold
+of Theorem 4.2 so experiments can check the pigeonhole arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "TripartiteHypergraph",
+    "Box",
+    "erdos_edge_threshold",
+    "find_box",
+]
+
+
+@dataclass(frozen=True)
+class Box:
+    """A copy of ``K^{(3)}(2)``: two identifiers per part, all 8 triples
+    present.  ``sides[i] = (u_i, u_i')``."""
+
+    sides: Tuple[Tuple[int, int], Tuple[int, int], Tuple[int, int]]
+
+    def triples(self) -> List[Tuple[int, int, int]]:
+        (a0, a1), (b0, b1), (c0, c1) = self.sides
+        return [
+            (a, b, c) for a in (a0, a1) for b in (b0, b1) for c in (c0, c1)
+        ]
+
+
+class TripartiteHypergraph:
+    """A 3-uniform 3-partite hypergraph with parts indexed ``0, 1, 2``.
+
+    Vertices of part ``i`` are integers in ``range(part_sizes[i])`` (the
+    caller maps identifiers to indices).  Edges are stored both as a set and
+    as a dense boolean tensor for the vectorized box search.
+    """
+
+    def __init__(self, part_sizes: Tuple[int, int, int]):
+        if any(s < 0 for s in part_sizes):
+            raise ValueError("part sizes must be non-negative")
+        self.part_sizes = part_sizes
+        self.tensor = np.zeros(part_sizes, dtype=bool)
+        self._count = 0
+
+    def add_edge(self, a: int, b: int, c: int) -> None:
+        if not (
+            0 <= a < self.part_sizes[0]
+            and 0 <= b < self.part_sizes[1]
+            and 0 <= c < self.part_sizes[2]
+        ):
+            raise ValueError(f"triple {(a, b, c)} out of range {self.part_sizes}")
+        if not self.tensor[a, b, c]:
+            self.tensor[a, b, c] = True
+            self._count += 1
+
+    @property
+    def num_edges(self) -> int:
+        return self._count
+
+    def has_edge(self, a: int, b: int, c: int) -> bool:
+        return bool(self.tensor[a, b, c])
+
+    @staticmethod
+    def from_triples(
+        part_sizes: Tuple[int, int, int], triples: Iterable[Tuple[int, int, int]]
+    ) -> "TripartiteHypergraph":
+        h = TripartiteHypergraph(part_sizes)
+        for a, b, c in triples:
+            h.add_edge(a, b, c)
+        return h
+
+
+def erdos_edge_threshold(n: int, r: int = 3, ell: int = 2) -> float:
+    """Theorem 4.2's threshold: an r-uniform hypergraph on ``n`` vertices
+    with more than ``n^{r - 1/ℓ^{r-1}}`` edges contains ``K^{(r)}(ℓ)``.
+
+    For ``r = 3, ℓ = 2`` this is ``n^{2.75}`` -- the number the Theorem 4.1
+    pigeonhole drives the popular-transcript bucket above.
+    """
+    if n < 1 or r < 2 or ell < 1:
+        raise ValueError("need n >= 1, r >= 2, ell >= 1")
+    return float(n) ** (r - 1.0 / (ell ** (r - 1)))
+
+
+def find_box(h: TripartiteHypergraph) -> Optional[Box]:
+    """Exhaustive search for ``K^{(3)}(2)`` in a tripartite hypergraph.
+
+    Vectorized over the third axis: for each pair ``(a, a')`` in part 0,
+    intersect their slices (a boolean |B| x |C| matrix of triples present
+    under both), then look for two rows whose AND has two common columns --
+    i.e. ``(b, b')`` and ``(c, c')`` completing the box.
+
+    Complexity ``O(|A|^2 |B|^2 |C| / wordsize)`` -- fine for the identifier
+    counts (tens) the Theorem 4.1 experiments use.
+    """
+    na, nb, nc = h.part_sizes
+    t = h.tensor
+    for a0 in range(na):
+        sa0 = t[a0]
+        if sa0.sum() < 4:  # needs >= 2 rows x 2 cols
+            continue
+        for a1 in range(a0 + 1, na):
+            m = sa0 & t[a1]  # |B| x |C| matrix
+            # Rows with at least 2 entries are candidates.
+            row_counts = m.sum(axis=1)
+            rows = np.nonzero(row_counts >= 2)[0]
+            if len(rows) < 2:
+                continue
+            for i in range(len(rows)):
+                for j in range(i + 1, len(rows)):
+                    common = m[rows[i]] & m[rows[j]]
+                    cols = np.nonzero(common)[0]
+                    if len(cols) >= 2:
+                        return Box(
+                            sides=(
+                                (a0, a1),
+                                (int(rows[i]), int(rows[j])),
+                                (int(cols[0]), int(cols[1])),
+                            )
+                        )
+    return None

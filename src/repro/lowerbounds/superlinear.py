@@ -1,0 +1,319 @@
+"""The Theorem 1.2 harness: an executable superlinear lower bound.
+
+Pieces (Section 3.3):
+
+* a *correct* CONGEST algorithm for ``H_k``-freeness on the family
+  ``G_{k,n}`` (:class:`FunnelDetectionAlgorithm`) -- it exploits Lemma 3.1:
+  a copy exists iff some pair ``(i, j)`` appears on both the A side and the
+  B side, so it funnels all A-side pairs through the marking-clique
+  bottleneck to the B side and intersects.  Its round complexity is
+  ``Θ(n^2 / B)`` -- the near-quadratic *upper* bound that shows the lower
+  bound is almost tight on this family;
+* the end-to-end *reduction*: Alice and Bob, holding a disjointness
+  instance ``X, Y ⊆ [n]^2``, build ``G_{X,Y}``, jointly simulate the
+  algorithm with :class:`~repro.commcomplexity.reduction.TwoPartySimulation`
+  (paying only for cut-crossing messages), and output "disjoint" iff the
+  algorithm accepts;
+* the arithmetic: measured bits must be ``Ω(n^2)`` (disjointness), the
+  per-round cost is ``O(cut * B) = O(k n^{1/k} B)``, hence any correct
+  algorithm needs ``R = Ω(n^{2-1/k}/(Bk))`` rounds --
+  :func:`implied_round_lower_bound` computes the bound from *measured*
+  quantities so benchmark E2 regenerates the theorem's curve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterable, Mapping, Optional
+
+from ..commcomplexity.disjointness import are_disjoint
+from ..commcomplexity.reduction import SimulationRun, TwoPartySimulation
+from ..congest.algorithm import Algorithm, Decision, NodeContext
+from ..congest.message import Message, int_width
+from ..congest.network import CongestNetwork
+from ..graphs.gkn_family import GknFamily, GXYGraph, Pair
+
+__all__ = [
+    "FunnelDetectionAlgorithm",
+    "build_role_inputs",
+    "ReductionResult",
+    "run_reduction",
+    "run_direct",
+    "implied_round_lower_bound",
+]
+
+
+def build_role_inputs(fam: GknFamily, gxy: GXYGraph) -> Dict[Hashable, Dict[str, Any]]:
+    """Per-node inputs: structural role + (for top endpoints) incident
+    cross-pairs.
+
+    A node's cross-pairs are exactly its incident input edges -- local
+    knowledge it legitimately has in the CONGEST model.
+    """
+    inputs: Dict[Hashable, Dict[str, Any]] = {}
+    for v in gxy.graph.nodes():
+        role = {"role": v, "n_pairs": fam.n}
+        inputs[v] = role
+    for (i, j) in gxy.x:
+        v = fam.endpoint("top", "A", i)
+        inputs[v].setdefault("pairs", []).append((i, j))
+    for (i, j) in gxy.y:
+        v = fam.endpoint("top", "B", i)
+        inputs[v].setdefault("pairs", []).append((i, j))
+    return inputs
+
+
+class FunnelDetectionAlgorithm(Algorithm):
+    """Detect ``H_k`` on ``G_{k,n}`` by funneling pair sets to one node.
+
+    Wire protocol (all counts local knowledge):
+
+    * every top-A endpoint streams its pair list to the special vertex of
+      clique 6, then an END marker; top-B endpoints do the same toward the
+      special vertex of clique 7;
+    * special-6 relays everything (plus its own END once all ``n`` A-side
+      ENDs arrived and its queue drained) over the single clique edge to
+      special-7 -- the ``Θ(n^2/B)``-round bottleneck;
+    * special-7 intersects the A-pairs with the B-pairs and rejects iff
+      the intersection is non-empty (Lemma 3.1).
+
+    Message format: a batch of pairs (2 ids each) plus a 1-bit END flag.
+    """
+
+    name = "hk-funnel-detection"
+
+    A_SINK = ("Clique'", 6, 0)
+    B_SINK = ("Clique'", 7, 0)
+
+    def init(self, node: NodeContext) -> None:
+        st = node.state
+        role = node.input["role"]
+        st["role"] = role
+        st["n_pairs"] = node.input["n_pairs"]
+        w = int_width(max(st["n_pairs"], 2))
+        st["pair_bits"] = 2 * w
+        b = node.bandwidth if node.bandwidth is not None else 10**9
+        st["per_msg"] = max(1, (b - 1) // st["pair_bits"])
+        st["queue"] = list(node.input.get("pairs", []))
+        st["sent_end"] = False
+        st["ends_seen"] = 0
+        st["relay_done"] = False
+        st["a_pairs"] = set()
+        st["b_pairs"] = set()
+        st["sink_target"] = None
+        # Where do I funnel to?  Only top endpoints stream.
+        if role[0] == "End'" and role[1] == "top":
+            st["sink_target"] = self.A_SINK if role[2] == "A" else self.B_SINK
+        st["is_a_sink"] = role == self.A_SINK
+        st["is_b_sink"] = role == self.B_SINK
+
+    def is_quiescent(self, node: NodeContext) -> bool:
+        return node._halted
+
+    # -- message helpers ------------------------------------------------
+    def _batch_message(self, node: NodeContext, batch, end: bool) -> Message:
+        st = node.state
+        return Message.of_record(
+            (tuple(batch), end),
+            size_bits=len(batch) * st["pair_bits"] + 1,
+            kind="pairs",
+        )
+
+    def round(self, node: NodeContext, inbox: Mapping[int, Message]):
+        st = node.state
+        # Ingest.
+        for sender, msg in inbox.items():
+            if msg.kind != "pairs":
+                continue
+            batch, end = msg.payload
+            if st["is_a_sink"]:
+                st["queue"].extend(batch)
+                if end:
+                    st["ends_seen"] += 1
+            elif st["is_b_sink"]:
+                # Pairs from special-6 are A-pairs; pairs from endpoints are
+                # B-pairs.  Distinguish by sender role via the id map: the
+                # only non-endpoint sender is special-6 (our clique edge).
+                if self._sender_is_a_relay(node, sender):
+                    st["a_pairs"].update(batch)
+                    if end:
+                        st["relay_done"] = True
+                else:
+                    st["b_pairs"].update(batch)
+                    if end:
+                        st["ends_seen"] += 1
+
+        # Decide (B sink only).
+        if st["is_b_sink"] and st["relay_done"] and st["ends_seen"] >= st["n_pairs"]:
+            if st["a_pairs"] & st["b_pairs"]:
+                node.reject()
+                st["witness"] = sorted(st["a_pairs"] & st["b_pairs"])[0]
+            else:
+                node.accept()
+            node.halt()
+            return {}
+
+        # Stream.
+        if st["sink_target"] is not None and not st["sent_end"]:
+            target = st.get("sink_id")
+            if target is None:
+                # The sink is our unique clique-special neighbor; nodes
+                # learn neighbor ids but not roles, so the harness passes
+                # the sink id through the input map (see build + run).
+                target = node.input["sink_id"]
+                st["sink_id"] = target
+            batch = st["queue"][: st["per_msg"]]
+            st["queue"] = st["queue"][len(batch) :]
+            end = not st["queue"]
+            st["sent_end"] = end
+            return {target: self._batch_message(node, batch, end)}
+
+        if st["is_a_sink"]:
+            if st["ends_seen"] >= st["n_pairs"] and not st["queue"] and not st["sent_end"]:
+                st["sent_end"] = True
+                return {node.input["relay_id"]: self._batch_message(node, [], True)}
+            if st["queue"]:
+                batch = st["queue"][: st["per_msg"]]
+                st["queue"] = st["queue"][len(batch) :]
+                return {node.input["relay_id"]: self._batch_message(node, batch, False)}
+            return {}
+
+        if st["sink_target"] is None and not st["is_b_sink"]:
+            # Bystander: accept and leave the stage.
+            if node.decision is Decision.UNDECIDED:
+                node.accept()
+            node.halt()
+        return {}
+
+    def _sender_is_a_relay(self, node: NodeContext, sender: int) -> bool:
+        return sender == node.input.get("relay_sender_id")
+
+    def finish(self, node: NodeContext) -> None:
+        if node.decision is Decision.UNDECIDED:
+            node.accept()
+
+
+def _wire_inputs(
+    fam: GknFamily, gxy: GXYGraph, id_of: Mapping[Hashable, int]
+) -> Dict[Hashable, Dict[str, Any]]:
+    """Role inputs plus resolved sink/relay identifiers."""
+    inputs = build_role_inputs(fam, gxy)
+    a_sink = FunnelDetectionAlgorithm.A_SINK
+    b_sink = FunnelDetectionAlgorithm.B_SINK
+    for v, inp in inputs.items():
+        role = inp["role"]
+        if role[0] == "End'" and role[1] == "top":
+            inp["sink_id"] = id_of[a_sink if role[2] == "A" else b_sink]
+        if v == a_sink:
+            inp["relay_id"] = id_of[b_sink]
+        if v == b_sink:
+            inp["relay_sender_id"] = id_of[a_sink]
+    return inputs
+
+
+@dataclass
+class ReductionResult:
+    """Everything experiment E2 reports for one instance."""
+
+    disjoint_answer: bool
+    correct: bool
+    rounds: int
+    total_bits: int
+    alice_bits: int
+    bob_bits: int
+    cut_alice: int
+    cut_bob: int
+    n: int
+    k: int
+    bandwidth: int
+
+    @property
+    def bits_per_round(self) -> float:
+        return self.total_bits / max(1, self.rounds)
+
+
+def run_reduction(
+    k: int,
+    n: int,
+    x: Iterable[Pair],
+    y: Iterable[Pair],
+    bandwidth: Optional[int] = None,
+    seed: int = 0,
+    max_rounds: Optional[int] = None,
+) -> ReductionResult:
+    """The full Theorem 1.2 protocol: disjointness via jointly-simulated
+    ``H_k``-detection on ``G_{X,Y}``."""
+    fam = GknFamily(k, n)
+    gxy = fam.build(x, y)
+    if bandwidth is None:
+        bandwidth = 2 * int_width(max(n, 2)) * 2 + 2
+    sim = TwoPartySimulation(
+        gxy.graph,
+        alice=gxy.alice_vertices,
+        bob=gxy.bob_vertices,
+        shared=gxy.shared_vertices,
+        bandwidth=bandwidth,
+        inputs=None,  # filled below (needs the id map)
+    )
+    # Inputs are keyed by original vertex; their *values* reference the
+    # integer ids the nodes will see (sink/relay addresses).
+    sim.inputs = _wire_inputs(fam, gxy, sim.id_of)
+    if max_rounds is None:
+        w2 = 2 * int_width(max(n, 2)) + 1
+        max_rounds = 20 + 2 * (n * n + n) * w2 // max(1, bandwidth) + 2 * n
+    run = sim.run(FunnelDetectionAlgorithm(), max_rounds=max_rounds, seed=seed)
+    answer = not run.rejected  # accept == H_k-free == disjoint (Lemma 3.1)
+    truth = are_disjoint(frozenset(x), frozenset(y))
+    return ReductionResult(
+        disjoint_answer=answer,
+        correct=(answer == truth),
+        rounds=run.rounds,
+        total_bits=run.meter.total_bits,
+        alice_bits=run.meter.alice_bits,
+        bob_bits=run.meter.bob_bits,
+        cut_alice=run.cut_edges_alice,
+        cut_bob=run.cut_edges_bob,
+        n=n,
+        k=k,
+        bandwidth=bandwidth,
+    )
+
+
+def run_direct(
+    k: int,
+    n: int,
+    x: Iterable[Pair],
+    y: Iterable[Pair],
+    bandwidth: Optional[int] = None,
+    seed: int = 0,
+):
+    """Reference: the same algorithm on a single global CONGEST engine.
+
+    Tests assert its decision matches the two-party simulation's -- the
+    faithfulness check of the reduction.
+    """
+    fam = GknFamily(k, n)
+    gxy = fam.build(x, y)
+    if bandwidth is None:
+        bandwidth = 2 * int_width(max(n, 2)) * 2 + 2
+    order = sorted(gxy.graph.nodes(), key=repr)
+    assignment = {v: i for i, v in enumerate(order)}
+    net = CongestNetwork(gxy.graph, bandwidth=bandwidth, assignment=assignment)
+    inputs = _wire_inputs(fam, gxy, assignment)
+    net.inputs = {assignment[v]: inp for v, inp in inputs.items()}
+    w2 = 2 * int_width(max(n, 2)) + 1
+    max_rounds = 20 + 2 * (n * n + n) * w2 // max(1, bandwidth) + 2 * n
+    return net.run(FunnelDetectionAlgorithm(), max_rounds=max_rounds, seed=seed)
+
+
+def implied_round_lower_bound(n: int, cut_edges: int, bandwidth: int) -> float:
+    """Theorem 1.2's arithmetic from measured quantities:
+
+    disjointness needs ``n^2`` bits; one simulated round costs at most
+    ``cut * (B + 1)`` bits (payload plus presence bit); so any correct
+    algorithm runs for at least ``n^2 / (cut * (B+1))`` rounds.
+    """
+    if cut_edges < 1 or bandwidth < 1:
+        raise ValueError("need positive cut and bandwidth")
+    return (n * n) / (cut_edges * (bandwidth + 1))

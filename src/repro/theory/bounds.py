@@ -1,0 +1,153 @@
+"""Predicted round/bit complexities for every theorem in the paper.
+
+These closed forms are what the benchmark harnesses compare measured curves
+against.  Conventions: natural logs unless stated, ``B`` is the CONGEST
+bandwidth, ``n`` the network size, constants normalised to 1 (the paper's
+bounds are all up to constants; shape checks use
+:func:`fit_power_law_exponent`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "even_cycle_detection_rounds",
+    "even_cycle_exponent",
+    "hk_detection_lower_bound",
+    "hk_exponent",
+    "bipartite_detection_lower_bound",
+    "deterministic_triangle_bits",
+    "one_round_triangle_bandwidth",
+    "clique_listing_lower_bound",
+    "clique_listing_exponent",
+    "local_detection_rounds",
+    "local_congest_separation",
+    "fit_power_law_exponent",
+]
+
+
+def even_cycle_detection_rounds(n: int, k: int) -> float:
+    """Theorem 1.1: ``C_{2k}`` detectable in ``O(n^{1 - 1/(k(k-1))})`` rounds."""
+    if k < 2:
+        raise ValueError("Theorem 1.1 needs k >= 2")
+    return float(n) ** even_cycle_exponent(k)
+
+
+def even_cycle_exponent(k: int) -> float:
+    """The Theorem 1.1 exponent ``1 - 1/(k(k-1))``.
+
+    Sanity anchors from Section 6: k=2 gives 1/2 (the known C_4 bound),
+    k=3 gives 5/6 (C_6).
+    """
+    if k < 2:
+        raise ValueError("need k >= 2")
+    return 1.0 - 1.0 / (k * (k - 1))
+
+
+def hk_detection_lower_bound(n: int, k: int, bandwidth: int) -> float:
+    """Theorem 1.2: ``H_k``-freeness requires ``Ω(n^{2-1/k} / (B k))`` rounds."""
+    if k < 1 or n < 1 or bandwidth < 1:
+        raise ValueError("need n, k, B >= 1")
+    return float(n) ** (2.0 - 1.0 / k) / (bandwidth * k)
+
+
+def hk_exponent(k: int) -> float:
+    """The Theorem 1.2 exponent ``2 - 1/k`` (in ``n``, for fixed ``B, k``)."""
+    return 2.0 - 1.0 / k
+
+
+def bipartite_detection_lower_bound(n: int, k: int, s: int, bandwidth: int) -> float:
+    """Section 3.4: bipartite ``H_{s,k}``-freeness needs
+    ``Ω(n^{2 - 1/k - 1/s} / (B k))`` rounds -- superlinear yet strongly
+    sub-quadratic, matching the Turán-number remark in Section 1.1."""
+    if min(k, s) < 2:
+        raise ValueError("need k, s >= 2")
+    return float(n) ** (2.0 - 1.0 / k - 1.0 / s) / (bandwidth * k)
+
+
+def deterministic_triangle_bits(namespace_size: int) -> float:
+    """Theorem 4.1: worst-case bits on some edge is ``Ω(log N)``.
+
+    The proof constant is ``log2(N/3)/60`` (a node sending fewer total bits
+    than this is foolable); we return ``log2 N`` as the Θ-shape and leave
+    constants to the experiment.
+    """
+    if namespace_size < 2:
+        raise ValueError("need a namespace of size >= 2")
+    return math.log2(namespace_size)
+
+
+def one_round_triangle_bandwidth(max_degree: int) -> float:
+    """Theorem 5.1: one-round triangle detection needs bandwidth ``Ω(Δ)``.
+
+    (The proof's explicit constant is ``Δ/60``; shape is linear in Δ.)
+    """
+    if max_degree < 1:
+        raise ValueError("need Δ >= 1")
+    return float(max_degree)
+
+
+def clique_listing_lower_bound(n: int, s: int) -> float:
+    """Section 1.1: listing all ``K_s`` in the congested clique needs
+    ``Ω̃(n^{1 - 2/s})`` rounds (``s = 3`` recovers Izumi--Le Gall's
+    ``Ω̃(n^{1/3})``)."""
+    if s < 3:
+        raise ValueError("need s >= 3")
+    return float(n) ** clique_listing_exponent(s)
+
+
+def clique_listing_exponent(s: int) -> float:
+    if s < 3:
+        raise ValueError("need s >= 3")
+    return 1.0 - 2.0 / s
+
+
+def local_detection_rounds(h_size: int) -> int:
+    """Section 1: LOCAL-model detection of an ``h``-vertex ``H`` takes
+    ``O(h)`` rounds (collect the ``h``-ball and check)."""
+    if h_size < 1:
+        raise ValueError("need |V(H)| >= 1")
+    return h_size
+
+
+def local_congest_separation(n: int, bandwidth: int) -> Tuple[float, float]:
+    """The paper's separation at ``k = Θ(log n)``: LOCAL solves ``H_k`` in
+    ``O(log n)`` rounds while CONGEST needs ``Ω̃(n^2)``.
+
+    Returns ``(local_rounds, congest_round_lower_bound)``.
+    """
+    k = max(2, int(math.log2(max(n, 2))))
+    local = local_detection_rounds(40 + 2 * (3 * k + 2))
+    congest = hk_detection_lower_bound(n, k, bandwidth)
+    return float(local), congest
+
+
+def fit_power_law_exponent(
+    ns: Sequence[float], values: Sequence[float]
+) -> Tuple[float, float]:
+    """Least-squares fit of ``values ~ c * ns^alpha`` in log-log space.
+
+    Returns ``(alpha, r_squared)``.  This is the benches' shape check: a
+    measured curve "matches" a bound when the fitted exponent is within
+    tolerance of the predicted one and the fit is tight.
+    """
+    ns_arr = np.asarray(ns, dtype=float)
+    vals_arr = np.asarray(values, dtype=float)
+    if len(ns_arr) < 2:
+        raise ValueError("need at least two points to fit an exponent")
+    if np.any(ns_arr <= 0) or np.any(vals_arr <= 0) or not (
+        np.all(np.isfinite(ns_arr)) and np.all(np.isfinite(vals_arr))
+    ):
+        raise ValueError("inputs must be positive and finite")
+    x = np.log(ns_arr)
+    y = np.log(vals_arr)
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(slope), r2

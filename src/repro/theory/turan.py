@@ -1,0 +1,108 @@
+"""Turán numbers: the extremal edge counts the paper's arguments consume.
+
+``ex(n, H)`` is the maximum number of edges in an ``H``-free graph on ``n``
+vertices (Section 2).  Three instances matter here:
+
+* **Even cycles** (Bondy--Simonovits; constant per Bukh--Jiang [5]):
+  ``ex(n, C_{2k}) <= 80 * sqrt(k) * log(k) * n^{1+1/k}`` for k >= 2.  The
+  Theorem 1.1 algorithm only needs *some* explicit upper bound ``M``; the
+  smaller the constant the smaller its Phase I round count, so we expose the
+  constant as a parameter with honest defaults.
+* **Cliques** (Turán's theorem, exact):
+  ``ex(n, K_s) = (1 - 1/(s-1)) n^2 / 2`` up to the integrality of the Turán
+  graph; we compute the exact Turán-graph edge count.
+* **Complete bipartite graphs** (Kővári--Sós--Turán): ``ex(n, K_{s,t}) <=
+  0.5 ((t-1)^{1/s} (n - s + 1) n^{1-1/s} + (s-1) n)``.  This is the source
+  of the paper's remark that every bipartite ``H`` is detectable in
+  strongly sub-quadratic time by edge collection.
+
+All bounds are verified against brute-force extremal values on tiny ``n``
+in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "ex_even_cycle",
+    "even_cycle_edge_budget",
+    "ex_clique",
+    "turan_graph_edges",
+    "ex_complete_bipartite",
+    "ex_odd_cycle",
+]
+
+
+def even_cycle_edge_budget(n: int, k: int, constant: float = 1.0) -> int:
+    """The algorithm's working bound ``M = constant * n^{1+1/k}`` on
+    ``ex(n, C_{2k})``.
+
+    Theorem 1.1's algorithm uses ``M`` two ways: if ``|E(G)| > M`` the graph
+    *must* contain a ``C_{2k}`` so rejecting is sound, and if
+    ``|E(G)| <= M`` the pipelining/decomposition round bounds kick in.  Any
+    ``constant`` for which the first implication holds on the inputs at hand
+    is sound; the literature guarantees ``constant = 80 sqrt(k) log k``
+    [Bukh--Jiang] always works, but benchmark sweeps use ``constant = 1``
+    (still comfortably above our non-extremal workloads) so that the
+    *shape* ``n^{1-1/(k(k-1))}`` is visible at laptop sizes.  See DESIGN.md
+    "Known deviations".
+    """
+    if n < 1 or k < 2:
+        raise ValueError("need n >= 1 and k >= 2")
+    return math.ceil(constant * n ** (1.0 + 1.0 / k))
+
+
+def ex_even_cycle(n: int, k: int) -> int:
+    """Literature upper bound on ``ex(n, C_{2k})`` with the Bukh--Jiang
+    constant: ``80 sqrt(k) log2(k+5) * n^{1+1/k}`` (safe over-approximation
+    of their Theorem 1 for all k >= 2)."""
+    if k < 2:
+        raise ValueError("need k >= 2 (C_2 and C_0 are not cycles)")
+    c = 80.0 * math.sqrt(k) * math.log2(k + 5)
+    return math.ceil(c * n ** (1.0 + 1.0 / k))
+
+
+def turan_graph_edges(n: int, r: int) -> int:
+    """Edges of the Turán graph ``T(n, r)``: complete r-partite, balanced.
+
+    ``ex(n, K_{r+1}) = |E(T(n, r))|`` exactly (Turán's theorem).
+    """
+    if r < 1 or n < 0:
+        raise ValueError("need r >= 1 and n >= 0")
+    q, rem = divmod(n, r)
+    # Parts: rem parts of size q+1, r-rem parts of size q.
+    sizes = [q + 1] * rem + [q] * (r - rem)
+    total_pairs = n * (n - 1) // 2
+    internal = sum(s * (s - 1) // 2 for s in sizes)
+    return total_pairs - internal
+
+
+def ex_clique(n: int, s: int) -> int:
+    """``ex(n, K_s)``, exact via Turán's theorem (``s >= 2``)."""
+    if s < 2:
+        raise ValueError("need s >= 2")
+    return turan_graph_edges(n, s - 1)
+
+
+def ex_complete_bipartite(n: int, s: int, t: int) -> int:
+    """Kővári--Sós--Turán upper bound on ``ex(n, K_{s,t})`` for ``s <= t``."""
+    if s < 1 or t < s:
+        raise ValueError("need 1 <= s <= t")
+    bound = 0.5 * ((t - 1) ** (1.0 / s) * (n - s + 1) * n ** (1.0 - 1.0 / s) + (s - 1) * n)
+    return math.ceil(bound)
+
+
+def ex_odd_cycle(n: int, length: int) -> int:
+    """``ex(n, C_{2k+1}) = floor(n^2/4)`` for ``n`` large (the balanced
+    complete bipartite graph contains no odd cycles).
+
+    This near-quadratic Turán number is why the [10] lower bound makes odd
+    cycles ``Ω̃(n)``-hard, the contrast Theorem 1.1 plays against.
+    Exact for ``n >= 4k+2`` (Bondy); we return the bipartite bound, which is
+    always a valid lower bound for the extremal number and the value used in
+    the paper's discussion.
+    """
+    if length < 3 or length % 2 == 0:
+        raise ValueError("length must be an odd number >= 3")
+    return (n * n) // 4

@@ -1,0 +1,13 @@
+"""Shared pytest configuration.
+
+Hypothesis's default 200 ms per-example deadline turns into flaky
+``DeadlineExceeded`` failures when the machine is loaded (CI, parallel
+runs): the property tests here are deterministic, so wall-clock deadlines
+add noise without catching anything.  Disable them globally; runaway
+examples are still bounded by pytest-level timeouts.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")

@@ -1,0 +1,114 @@
+"""Tests for the broadcast-CONGEST variant."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.congest import (
+    Algorithm,
+    BroadcastAlgorithm,
+    BroadcastNetwork,
+    BroadcastViolation,
+    Decision,
+    Message,
+    broadcast,
+    run_broadcast_congest,
+)
+from repro.graphs import generators as gen
+
+
+class UnicastOffender(Algorithm):
+    """Sends different messages to different neighbors -- illegal here."""
+
+    def round(self, node, inbox):
+        return {
+            v: Message.of_bits("1" if i % 2 else "0")
+            for i, v in enumerate(node.neighbors)
+        }
+
+
+class PartialOffender(Algorithm):
+    """Sends to only one neighbor -- also illegal in broadcast CONGEST."""
+
+    def round(self, node, inbox):
+        if node.neighbors:
+            return {node.neighbors[0]: Message.of_bits("1")}
+        return {}
+
+
+class CountdownBeacon(BroadcastAlgorithm):
+    """Legal broadcast algorithm: flood a hop counter from node 0."""
+
+    def init(self, node):
+        node.state["best"] = 0 if node.id == 0 else None
+
+    def broadcast_round(self, node, inbox):
+        for msg in inbox.values():
+            d = msg.payload[0] + 1
+            if node.state["best"] is None or d < node.state["best"]:
+                node.state["best"] = d
+        if node.round >= (node.n or 1):
+            node.halt()
+            return None
+        if node.state["best"] is None:
+            return None
+        return Message.of_ints([node.state["best"]], width=16)
+
+
+class TestBroadcastRestriction:
+    def test_unicast_rejected(self):
+        with pytest.raises(BroadcastViolation):
+            run_broadcast_congest(gen.cycle(4), UnicastOffender(), bandwidth=4, max_rounds=2)
+
+    def test_partial_send_rejected(self):
+        with pytest.raises(BroadcastViolation):
+            run_broadcast_congest(gen.path(3), PartialOffender(), bandwidth=4, max_rounds=2)
+
+    def test_legal_broadcast_runs(self):
+        res = run_broadcast_congest(
+            nx.path_graph(5), CountdownBeacon(), bandwidth=20, max_rounds=10
+        )
+        dists = {u: ctx.state["best"] for u, ctx in res.contexts.items()}
+        assert dists == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_silence_is_legal(self):
+        class Mute(BroadcastAlgorithm):
+            def broadcast_round(self, node, inbox):
+                node.halt()
+                return None
+
+        res = run_broadcast_congest(gen.cycle(4), Mute(), bandwidth=1, max_rounds=2)
+        assert res.decision is Decision.ACCEPT
+
+
+class TestPaperAlgorithmsAreBroadcastFriendly:
+    def test_linear_cycle_detection_runs_in_broadcast_model(self):
+        """The color-coded BFS baseline sends identical tokens to all
+        neighbors, so it is a legal broadcast-CONGEST algorithm -- the
+        [18]-style observation."""
+        from repro.core.cycle_detection_linear import LinearCycleIterationAlgorithm
+
+        g, verts = gen.planted_cycle_graph(15, 4, 0.0, np.random.default_rng(0))
+        colors = {v: i for i, v in enumerate(verts)}
+        net = BroadcastNetwork(g, bandwidth=16)
+        res = net.run(
+            LinearCycleIterationAlgorithm(4, color_map=colors), max_rounds=25
+        )
+        assert res.decision is Decision.REJECT
+
+    def test_even_cycle_detection_runs_in_broadcast_model(self):
+        """Theorem 1.1's algorithm, too, only ever broadcasts."""
+        from repro.core.color_coding import OracleColorSource, proper_coloring_for_cycle
+        from repro.core.even_cycle import EvenCycleIterationAlgorithm, IterationSchedule
+
+        g, verts = gen.planted_cycle_graph(20, 4, 0.02, np.random.default_rng(1))
+        best = max(range(4), key=lambda i: g.degree(verts[i]))
+        rot = verts[best:] + verts[:best]
+        src = OracleColorSource(2, proper_coloring_for_cycle(rot, 2), default=3)
+        sched = IterationSchedule.build(20, 2)
+        net = BroadcastNetwork(g, bandwidth=64)
+        res = net.run(
+            EvenCycleIterationAlgorithm(2, color_source=src),
+            max_rounds=sched.total_rounds + 1,
+        )
+        assert res.decision is Decision.REJECT

@@ -1,0 +1,122 @@
+"""Engine fuzzing: conservation invariants under randomized algorithms.
+
+The simulator is the ledger every lower-bound experiment trusts; these
+tests drive it with structurally random (but seeded) algorithms and check
+the accounting identities that must hold regardless of what the algorithm
+does:
+
+* every bit recorded as sent was sent by a real node over a real edge;
+* per-edge totals sum to the global total;
+* message counts match across metrics views;
+* delivery is exactly-once and one-round-delayed;
+* determinism: identical (graph, algorithm, seed) => identical ledgers.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congest import Algorithm, CongestNetwork, Message
+from repro.graphs import generators as gen
+
+
+class RandomChatter(Algorithm):
+    """Sends random-size messages to random neighbor subsets; records every
+    send and receive in node state for cross-checking."""
+
+    def __init__(self, rounds: int, max_bits: int):
+        self.rounds = rounds
+        self.max_bits = max_bits
+
+    def init(self, node):
+        node.state["sent_log"] = []
+        node.state["recv_log"] = []
+
+    def round(self, node, inbox):
+        for sender, msg in inbox.items():
+            node.state["recv_log"].append((node.round, sender, msg.size_bits))
+        if node.round >= self.rounds:
+            node.halt()
+            return {}
+        out = {}
+        for v in node.neighbors:
+            if node.rng.random() < 0.6:
+                bits = int(node.rng.integers(1, self.max_bits + 1))
+                out[v] = Message.of_bits("1" * bits)
+                node.state["sent_log"].append((node.round, v, bits))
+        return out
+
+
+@st.composite
+def graph_and_params(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    n = draw(st.integers(min_value=2, max_value=25))
+    p = draw(st.floats(min_value=0.1, max_value=0.7))
+    g = gen.erdos_renyi(n, p, rng)
+    rounds = draw(st.integers(min_value=1, max_value=6))
+    max_bits = draw(st.integers(min_value=1, max_value=12))
+    run_seed = draw(st.integers(min_value=0, max_value=2**31))
+    return g, rounds, max_bits, run_seed
+
+
+class TestConservation:
+    @given(graph_and_params())
+    @settings(max_examples=30, deadline=None)
+    def test_sent_equals_recorded_equals_received(self, params):
+        g, rounds, max_bits, seed = params
+        net = CongestNetwork(g, bandwidth=max_bits)
+        res = net.run(RandomChatter(rounds, max_bits), max_rounds=rounds + 3, seed=seed)
+
+        sent_bits = sum(
+            b for ctx in res.contexts.values() for (_, _, b) in ctx.state["sent_log"]
+        )
+        recv_bits = sum(
+            b for ctx in res.contexts.values() for (_, _, b) in ctx.state["recv_log"]
+        )
+        assert res.metrics.total_bits == sent_bits == recv_bits
+        assert res.metrics.total_bits == sum(res.metrics.edge_bits.values())
+        assert res.metrics.total_messages == sum(
+            len(ctx.state["sent_log"]) for ctx in res.contexts.values()
+        )
+
+    @given(graph_and_params())
+    @settings(max_examples=20, deadline=None)
+    def test_delivery_is_one_round_delayed(self, params):
+        g, rounds, max_bits, seed = params
+        net = CongestNetwork(g, bandwidth=max_bits)
+        res = net.run(RandomChatter(rounds, max_bits), max_rounds=rounds + 3, seed=seed)
+        # Every receive at round r+1 matches a send at round r, pairwise.
+        sends = sorted(
+            (r + 1, ctx.id, v, b)
+            for ctx in res.contexts.values()
+            for (r, v, b) in ctx.state["sent_log"]
+        )
+        recvs = sorted(
+            (r, sender, ctx.id, b)
+            for ctx in res.contexts.values()
+            for (r, sender, b) in ctx.state["recv_log"]
+        )
+        assert sends == recvs
+
+    @given(graph_and_params())
+    @settings(max_examples=15, deadline=None)
+    def test_determinism(self, params):
+        g, rounds, max_bits, seed = params
+        net = CongestNetwork(g, bandwidth=max_bits)
+        a = net.run(RandomChatter(rounds, max_bits), max_rounds=rounds + 3, seed=seed)
+        b = net.run(RandomChatter(rounds, max_bits), max_rounds=rounds + 3, seed=seed)
+        assert a.metrics.summary() == b.metrics.summary()
+        assert dict(a.metrics.edge_bits) == dict(b.metrics.edge_bits)
+
+    @given(graph_and_params())
+    @settings(max_examples=15, deadline=None)
+    def test_node_bits_partition_total(self, params):
+        g, rounds, max_bits, seed = params
+        net = CongestNetwork(g, bandwidth=max_bits)
+        res = net.run(RandomChatter(rounds, max_bits), max_rounds=rounds + 3, seed=seed)
+        assert sum(res.metrics.node_bits.values()) == res.metrics.total_bits
+        for u, bits in res.metrics.node_bits.items():
+            assert bits <= res.metrics.rounds * max_bits * len(res.contexts[u].neighbors)

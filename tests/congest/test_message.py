@@ -1,0 +1,83 @@
+"""Unit tests for bit-exact message encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.congest.message import Message, id_width, int_width
+
+
+class TestIntWidth:
+    def test_singleton_domain_is_free(self):
+        assert int_width(1) == 0
+
+    def test_powers_of_two(self):
+        assert int_width(2) == 1
+        assert int_width(4) == 2
+        assert int_width(1024) == 10
+
+    def test_non_powers_round_up(self):
+        assert int_width(3) == 2
+        assert int_width(1025) == 11
+
+    def test_invalid_domain(self):
+        with pytest.raises(ValueError):
+            int_width(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_width_suffices_and_is_tight(self, size):
+        w = int_width(size)
+        assert 2**w >= size
+        if w > 0:
+            assert 2 ** (w - 1) < size
+
+
+class TestMessageConstructors:
+    def test_of_bits(self):
+        m = Message.of_bits("0110")
+        assert m.size_bits == 4
+        assert m.payload == "0110"
+
+    def test_of_bits_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            Message.of_bits("012")
+
+    def test_of_ints_size(self):
+        m = Message.of_ints([1, 2, 3], width=8)
+        assert m.size_bits == 24
+        assert m.payload == (1, 2, 3)
+
+    def test_of_ints_overflow(self):
+        with pytest.raises(ValueError):
+            Message.of_ints([256], width=8)
+
+    def test_of_ids_uses_namespace_width(self):
+        m = Message.of_ids([0, 7], namespace_size=100)
+        assert m.size_bits == 2 * id_width(100) == 14
+
+    def test_of_bitmap(self):
+        m = Message.of_bitmap([1, 0, 1, 1])
+        assert m.size_bits == 4
+
+    def test_of_bitmap_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            Message.of_bitmap([2])
+
+    def test_of_record(self):
+        m = Message.of_record({"x": 1}, size_bits=17)
+        assert m.size_bits == 17
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message(payload=None, size_bits=-1)
+
+    def test_messages_are_hashable_and_comparable(self):
+        a = Message.of_bits("01")
+        b = Message.of_bits("01")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**16 - 1), max_size=20))
+    def test_int_message_size_is_width_times_count(self, values):
+        m = Message.of_ints(values, width=16)
+        assert m.size_bits == 16 * len(values)

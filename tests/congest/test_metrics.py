@@ -1,0 +1,108 @@
+"""Unit tests for the communication metrics (the lower bounds' ledger)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congest.metrics import CommMetrics
+
+
+class TestRecording:
+    def test_totals(self):
+        m = CommMetrics()
+        m.record(0, 1, 2, 10)
+        m.record(0, 2, 1, 5)
+        m.record(1, 1, 2, 7)
+        assert m.total_bits == 22
+        assert m.total_messages == 3
+        assert m.rounds == 2
+        assert m.edge_bits[(1, 2)] == 17
+        assert m.edge_bits[(2, 1)] == 5
+        assert m.bits_in_round(0) == 15
+        assert m.bits_in_round(7) == 0
+
+    def test_max_trackers(self):
+        m = CommMetrics()
+        m.record(0, 1, 2, 3)
+        m.record(0, 3, 2, 9)
+        assert m.max_message_bits == 9
+        assert m.max_bits_per_node() == 9
+        assert m.max_bits_per_edge() == 9
+        m.record(1, 1, 2, 8)
+        assert m.max_bits_per_node() == 11  # node 1 sent 3 + 8
+        assert m.max_bits_per_edge() == 11  # edge (1,2) carried 3 + 8
+
+    def test_empty_metrics(self):
+        m = CommMetrics()
+        assert m.total_bits == 0
+        assert m.max_bits_per_node() == 0
+        assert m.cut_bits({1, 2}) == 0
+
+    def test_summary_keys(self):
+        m = CommMetrics()
+        m.record(0, 1, 2, 4)
+        s = m.summary()
+        assert s["rounds"] == 1
+        assert s["total_bits"] == 4
+        assert set(s) == {
+            "rounds",
+            "total_bits",
+            "total_messages",
+            "max_message_bits",
+            "max_bits_per_node",
+            "max_bits_per_edge",
+        }
+
+
+class TestCutAccounting:
+    def test_cut_counts_both_directions(self):
+        m = CommMetrics()
+        m.record(0, 1, 2, 10)  # 1 -> 2 crosses {1} | {2}
+        m.record(0, 2, 1, 20)
+        assert m.cut_bits({1}) == 30
+        assert m.cut_bits({2}) == 30
+
+    def test_internal_traffic_not_counted(self):
+        m = CommMetrics()
+        m.record(0, 1, 2, 10)  # internal to {1, 2}
+        m.record(0, 2, 3, 5)  # crosses
+        assert m.cut_bits({1, 2}) == 5
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=100),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40)
+    def test_cut_complement_symmetry(self, records):
+        """cut(S) == cut(complement of S): crossing is symmetric."""
+        m = CommMetrics()
+        for r, (u, v) in enumerate([(a, b) for a, b, _ in records]):
+            if u != v:
+                m.record(r, u, v, records[r][2])
+        side = {0, 2, 4}
+        rest = {1, 3, 5}
+        assert m.cut_bits(side) == m.cut_bits(rest)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=1, max_value=50),
+            ),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=40)
+    def test_cut_bounded_by_total(self, records):
+        m = CommMetrics()
+        for r, (u, v, bits) in enumerate(records):
+            if u != v:
+                m.record(r, u, v, bits)
+        assert m.cut_bits({0, 1}) <= m.total_bits

@@ -1,0 +1,173 @@
+"""Tests for the LOCAL model, the congested clique, and identifier handling."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congest import (
+    Algorithm,
+    BallCollection,
+    CongestedClique,
+    Decision,
+    LocalNetwork,
+    Message,
+    adversarial_assignment,
+    broadcast,
+    canonical_assignment,
+    partitioned_namespace,
+    random_assignment,
+    run_congested_clique,
+    run_local,
+)
+from repro.graphs import generators as gen
+
+
+class TestIdentifiers:
+    def test_canonical(self):
+        assert canonical_assignment(["a", "b", "c"]) == {"a": 0, "b": 1, "c": 2}
+
+    def test_random_unique(self):
+        rng = np.random.default_rng(0)
+        a = random_assignment(list(range(50)), 1000, rng, unique=True)
+        assert len(set(a.values())) == 50
+        assert all(0 <= v < 1000 for v in a.values())
+
+    def test_random_unique_requires_capacity(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_assignment(list(range(10)), 5, rng, unique=True)
+
+    def test_random_with_collisions_allowed(self):
+        rng = np.random.default_rng(1)
+        a = random_assignment(list(range(100)), 8, rng, unique=False)
+        assert len(set(a.values())) < 100  # pigeonhole guarantees collision
+
+    def test_partitioned_namespace(self):
+        parts = partitioned_namespace(5)
+        assert [list(p) for p in parts] == [
+            [0, 1, 2, 3, 4],
+            [5, 6, 7, 8, 9],
+            [10, 11, 12, 13, 14],
+        ]
+
+    def test_adversarial(self):
+        a = adversarial_assignment(["x", "y"], [7, 3])
+        assert a == {"x": 7, "y": 3}
+        with pytest.raises(ValueError):
+            adversarial_assignment(["x", "y"], [7])
+        with pytest.raises(ValueError):
+            adversarial_assignment(["x", "y"], [7, 7])
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=5))
+    def test_partition_disjoint_cover(self, n, parts):
+        rs = partitioned_namespace(n, parts)
+        seen = set()
+        for r in rs:
+            assert not (seen & set(r))
+            seen |= set(r)
+        assert seen == set(range(n * parts))
+
+
+class TestLocalModel:
+    def test_ball_collection_radius_0(self):
+        g = gen.cycle(6)
+        res = run_local(g, BallCollection(0), max_rounds=2)
+        for u, ctx in res.contexts.items():
+            ball = ctx.state["ball_edges"]
+            assert all(u in e for e in ball)
+            assert len(ball) == 2  # own incident edges only
+
+    def test_ball_collection_covers_graph_at_diameter(self):
+        g = gen.cycle(8)  # diameter 4
+        res = run_local(g, BallCollection(4), max_rounds=6)
+        for ctx in res.contexts.values():
+            assert len(ctx.state["ball_edges"]) == 8  # all cycle edges
+
+    def test_ball_radius_growth(self):
+        g = gen.path(9)
+        res = run_local(g, BallCollection(2), max_rounds=4)
+        middle = res.contexts[4]
+        # Edges incident to vertices within distance 2 of the middle of a
+        # path: vertices 2..6, hence edges (1,2)..(6,7) -- six of them.
+        assert len(middle.state["ball_edges"]) == 6
+
+    def test_local_network_ignores_bandwidth_kwarg(self):
+        net = LocalNetwork(gen.cycle(4), bandwidth=3)  # dropped silently
+        assert net.bandwidth is None
+
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            BallCollection(-1)
+
+    def test_message_sizes_accounted(self):
+        """LOCAL is free to send huge messages, but the meter sees them --
+        experiment E6 depends on this accounting."""
+        g = gen.clique(8)
+        res = run_local(g, BallCollection(2), max_rounds=4)
+        assert res.metrics.max_message_bits > 28 * 3  # all edges * id width
+
+
+class EchoInputDegree(Algorithm):
+    """Congested-clique smoke algorithm: each node reports its input-graph
+    degree to node 0; node 0 rejects iff the degree sum is odd (arbitrary
+    testable predicate)."""
+
+    def init(self, node):
+        node.state["got"] = {}
+
+    def round(self, node, inbox):
+        for s, m in inbox.items():
+            node.state["got"][s] = m.payload[0]
+        if node.round == 0:
+            deg = len(node.input["adjacency"])
+            if node.id == 0:
+                node.state["got"][0] = deg
+                return {}
+            return {0: Message.of_ints([deg], width=16)}
+        if node.id == 0 and node.round == 1:
+            total = sum(node.state["got"].values())
+            if total % 2 == 1:
+                node.reject()
+            else:
+                node.accept()
+        node.halt()
+        return {}
+
+
+class TestCongestedClique:
+    def test_comm_graph_is_complete(self):
+        g = gen.cycle(5)
+        net = CongestedClique(g, bandwidth=32)
+        assert net.graph.number_of_edges() == 10  # K_5 communication
+
+    def test_inputs_carry_adjacency(self):
+        g = gen.path(4)
+        net = CongestedClique(g, bandwidth=32)
+        assert net.inputs[0] == {"adjacency": (1,)}
+        assert net.inputs[1] == {"adjacency": (0, 2)}
+
+    def test_degree_sum_is_even(self):
+        """Handshake lemma through the simulator: sum of degrees is even,
+        so the echo algorithm always accepts."""
+        for seed in range(3):
+            g = gen.erdos_renyi(10, 0.4, np.random.default_rng(seed))
+            res = run_congested_clique(g, EchoInputDegree(), bandwidth=32, max_rounds=4)
+            assert res.decision is Decision.ACCEPT
+
+    def test_extra_inputs_merged(self):
+        g = nx.path_graph(3)  # integer-labelled, so extra_inputs key matches
+        net = CongestedClique(g, bandwidth=8, extra_inputs={1: {"tag": "hub"}})
+        assert net.inputs[1]["tag"] == "hub"
+        assert "adjacency" in net.inputs[1]
+
+    def test_bandwidth_enforced_per_pair(self):
+        class Fat(Algorithm):
+            def round(self, node, inbox):
+                return broadcast(node, Message.of_bits("0" * 64))
+
+        from repro.congest import BandwidthExceeded
+
+        with pytest.raises(BandwidthExceeded):
+            run_congested_clique(gen.path(3), Fat(), bandwidth=8, max_rounds=2)

@@ -1,0 +1,151 @@
+"""Integration tests for the CONGEST engine: delivery, bandwidth, decisions."""
+
+import networkx as nx
+import pytest
+
+from repro.congest import (
+    Algorithm,
+    BandwidthExceeded,
+    CongestNetwork,
+    Decision,
+    Message,
+    broadcast,
+    run_congest,
+)
+
+
+class FloodMax(Algorithm):
+    """Every node floods the largest identifier it has seen (leader election)."""
+
+    name = "flood-max"
+
+    def __init__(self, rounds: int):
+        self.rounds = rounds
+
+    def init(self, node):
+        node.state["best"] = node.id
+
+    def round(self, node, inbox):
+        for msg in inbox.values():
+            node.state["best"] = max(node.state["best"], msg.payload[0])
+        if node.round >= self.rounds:
+            node.halt()
+            return {}
+        return broadcast(node, Message.of_ids([node.state["best"]], node.namespace_size))
+
+
+class RejectIfDegreeAtLeast(Algorithm):
+    def __init__(self, threshold):
+        self.threshold = threshold
+
+    def round(self, node, inbox):
+        if node.degree >= self.threshold:
+            node.reject()
+        else:
+            node.accept()
+        node.halt()
+        return {}
+
+
+class Oversender(Algorithm):
+    def round(self, node, inbox):
+        return broadcast(node, Message.of_bits("0" * 100))
+
+
+class TestEngineBasics:
+    def test_flood_max_converges_to_diameter(self):
+        g = nx.path_graph(6)
+        res = run_congest(g, FloodMax(rounds=5), bandwidth=8, max_rounds=20)
+        # After diameter rounds everyone knows the max id (5).
+        assert all(ctx.state["best"] == 5 for ctx in res.contexts.values())
+        assert res.rounds <= 6
+
+    def test_decision_semantics_reject_wins(self):
+        g = nx.star_graph(4)  # center has degree 4
+        res = run_congest(g, RejectIfDegreeAtLeast(4), bandwidth=1, max_rounds=2)
+        assert res.decision is Decision.REJECT
+        assert len(res.rejecting_nodes()) == 1
+
+    def test_decision_semantics_all_accept(self):
+        g = nx.path_graph(4)
+        res = run_congest(g, RejectIfDegreeAtLeast(10), bandwidth=1, max_rounds=2)
+        assert res.decision is Decision.ACCEPT
+
+    def test_undecided_counts_as_accept(self):
+        class Silent(Algorithm):
+            def round(self, node, inbox):
+                node.halt()
+                return {}
+
+        res = run_congest(nx.path_graph(3), Silent(), bandwidth=1, max_rounds=2)
+        assert res.decision is Decision.ACCEPT
+
+    def test_bandwidth_enforced(self):
+        g = nx.path_graph(2)
+        with pytest.raises(BandwidthExceeded):
+            run_congest(g, Oversender(), bandwidth=8, max_rounds=1)
+
+    def test_bandwidth_unbounded_in_local(self):
+        g = nx.path_graph(2)
+        res = run_congest(g, Oversender(), bandwidth=None, max_rounds=1)
+        assert res.metrics.total_bits == 200  # 100 bits each way
+
+    def test_send_to_non_neighbor_rejected(self):
+        class BadSender(Algorithm):
+            def round(self, node, inbox):
+                return {node.id + 2: Message.of_bits("0")}
+
+        g = nx.path_graph(3)
+        with pytest.raises(ValueError):
+            run_congest(g, BadSender(), bandwidth=8, max_rounds=1)
+
+    def test_metrics_per_edge(self):
+        g = nx.path_graph(2)
+        res = run_congest(g, FloodMax(rounds=1), bandwidth=8, max_rounds=5)
+        m = res.metrics
+        assert m.edge_bits[(0, 1)] > 0
+        assert m.edge_bits[(1, 0)] > 0
+        assert m.total_bits == sum(m.edge_bits.values())
+        assert m.cut_bits({0}) == m.total_bits  # only one edge, always cut
+
+    def test_determinism_across_runs(self):
+        g = nx.cycle_graph(7)
+        net = CongestNetwork(g, bandwidth=16)
+        r1 = net.run(FloodMax(rounds=7), max_rounds=20, seed=42)
+        r2 = net.run(FloodMax(rounds=7), max_rounds=20, seed=42)
+        assert r1.metrics.summary() == r2.metrics.summary()
+        assert {u: c.state["best"] for u, c in r1.contexts.items()} == {
+            u: c.state["best"] for u, c in r2.contexts.items()
+        }
+
+    def test_custom_assignment_relabels(self):
+        g = nx.Graph([("a", "b"), ("b", "c")])
+        net = CongestNetwork(
+            g, bandwidth=8, assignment={"a": 10, "b": 20, "c": 30}, namespace_size=31
+        )
+        res = net.run(FloodMax(rounds=3), max_rounds=10)
+        assert all(ctx.state["best"] == 30 for ctx in res.contexts.values())
+        assert net.vertex_of[10] == "a"
+
+    def test_duplicate_assignment_rejected(self):
+        g = nx.path_graph(2)
+        with pytest.raises(ValueError):
+            CongestNetwork(g, bandwidth=8, assignment={0: 5, 1: 5})
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            CongestNetwork(nx.Graph(), bandwidth=8)
+
+    def test_stop_on_reject_halts_early(self):
+        class RejectRoundZeroAndChat(Algorithm):
+            def round(self, node, inbox):
+                if node.round == 0 and node.id == 0:
+                    node.reject()
+                return broadcast(node, Message.of_bits("1"))
+
+        g = nx.path_graph(3)
+        res = run_congest(
+            g, RejectRoundZeroAndChat(), bandwidth=4, max_rounds=50, stop_on_reject=True
+        )
+        assert res.rejected
+        assert res.rounds <= 2

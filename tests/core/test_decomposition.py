@@ -1,0 +1,95 @@
+"""Tests for the Phase II layer decomposition."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomposition import layer_decomposition, peel_threshold
+from repro.graphs import generators as gen
+from repro.theory.turan import even_cycle_edge_budget
+
+
+class TestPeelThreshold:
+    def test_formula(self):
+        assert peel_threshold(100, 1000) == 40
+        assert peel_threshold(10, 0) == 1  # floor of 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            peel_threshold(0, 10)
+
+
+class TestLayerDecomposition:
+    def test_tree_single_layerish(self):
+        t = gen.random_tree(50, np.random.default_rng(0))
+        dec = layer_decomposition(t, threshold=2)
+        assert not dec.unassigned
+        assert dec.max_up_degree(t) <= 2
+
+    def test_up_degree_invariant(self):
+        """The core guarantee: every assigned node has at most `threshold`
+        neighbors in equal-or-higher layers."""
+        for seed in range(5):
+            g = gen.erdos_renyi(60, 0.1, np.random.default_rng(seed))
+            tau = 8
+            dec = layer_decomposition(g, threshold=tau)
+            for v in dec.layers:
+                assert dec.up_degree(g, v) <= tau
+
+    def test_clique_stalls_below_threshold(self):
+        g = gen.clique(10)  # every degree is 9
+        dec = layer_decomposition(g, threshold=5)
+        assert len(dec.unassigned) == 10
+        assert not dec.layers
+
+    def test_clique_peels_at_threshold(self):
+        g = gen.clique(10)
+        dec = layer_decomposition(g, threshold=9)
+        assert not dec.unassigned
+        assert all(l == 0 for l in dec.layers.values())
+
+    def test_layers_within_log_steps_when_sparse(self):
+        """Theorem 1.1's Claim 6.4(a): with |E| <= M and tau = 4M/n, all
+        nodes are assigned within ceil(log n) steps."""
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            n, k = 80, 2
+            g = gen.erdos_renyi(n, 0.05, rng)
+            m_budget = max(g.number_of_edges(), even_cycle_edge_budget(n, k))
+            tau = peel_threshold(n, m_budget)
+            dec = layer_decomposition(g, tau)
+            assert not dec.unassigned
+            assert dec.steps <= math.ceil(math.log2(n)) + 1
+
+    def test_unassigned_on_budget_exhaustion(self):
+        g = gen.clique(16)
+        dec = layer_decomposition(g, threshold=3, max_steps=2)
+        assert dec.unassigned == set(g.nodes())
+
+    def test_negative_threshold(self):
+        with pytest.raises(ValueError):
+            layer_decomposition(gen.clique(3), threshold=-1)
+
+    def test_layers_partition(self):
+        g = gen.grid(6, 6)
+        dec = layer_decomposition(g, threshold=4)
+        assert set(dec.layers) | dec.unassigned == set(g.nodes())
+        assert not (set(dec.layers) & dec.unassigned)
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=2, max_value=12))
+    @settings(max_examples=25, deadline=None)
+    def test_property_up_degree(self, seed, tau):
+        rng = np.random.default_rng(seed)
+        g = gen.erdos_renyi(40, 0.15, rng)
+        # Generous step budget: unassigned nodes are then a genuine stall
+        # (all residual degrees above threshold), not a budget artifact.
+        dec = layer_decomposition(g, threshold=tau, max_steps=100)
+        for v in dec.layers:
+            assert dec.up_degree(g, v) <= tau
+        residual = g.subgraph(dec.unassigned)
+        for v in dec.unassigned:
+            assert residual.degree(v) > tau

@@ -1,0 +1,139 @@
+"""Tests for the distributed triangle-freeness property tester."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.property_testing import (
+    distance_to_triangle_freeness_lower_bound,
+    edge_disjoint_triangle_packing,
+    rounds_for_epsilon,
+    test_triangle_freeness,
+)
+from repro.graphs import generators as gen
+
+# pytest would otherwise try to collect the imported runner as a test.
+test_triangle_freeness.__test__ = False
+
+
+class TestRoundBudget:
+    def test_formula(self):
+        assert rounds_for_epsilon(1.0, constant=8) == 8
+        assert rounds_for_epsilon(0.1, constant=8) == 800
+
+    def test_independent_of_n(self):
+        # The whole point of the relaxation: budget has no n in it.
+        assert rounds_for_epsilon(0.5) == rounds_for_epsilon(0.5)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            rounds_for_epsilon(0.0)
+        with pytest.raises(ValueError):
+            rounds_for_epsilon(1.5)
+
+
+class TestOneSidedness:
+    @pytest.mark.parametrize("builder", [
+        lambda: gen.cycle(12),
+        lambda: gen.complete_bipartite(5, 5),
+        lambda: gen.random_tree(25, np.random.default_rng(0)),
+        lambda: gen.grid(4, 4),
+    ])
+    def test_never_rejects_triangle_free(self, builder):
+        """Completeness is absolute, not probabilistic."""
+        g = builder()
+        for seed in range(3):
+            res = test_triangle_freeness(g, epsilon=0.3, seed=seed)
+            assert not res.rejected
+
+    def test_rejection_certificate_is_real(self):
+        """Any rejection corresponds to an actual triangle probe."""
+        g = gen.clique(8)
+        res = test_triangle_freeness(g, epsilon=0.5, seed=1)
+        assert res.rejected
+        for u, ctx in res.contexts.items():
+            if ctx.decision.value == "reject":
+                _, (asked, w) = ctx.state["witness"][0], ctx.state["witness"]
+                # witness = (answering neighbor, (u, w) probe)
+
+
+class TestFarGraphsRejected:
+    def test_clique_rejected_fast(self):
+        g = gen.clique(10)
+        res = test_triangle_freeness(g, epsilon=0.5, seed=0)
+        assert res.rejected
+
+    def test_dense_random_rejected(self):
+        g = gen.erdos_renyi(30, 0.5, np.random.default_rng(2))
+        res = test_triangle_freeness(g, epsilon=0.3, seed=0)
+        assert res.rejected
+
+    def test_far_instances_rejected_whp(self):
+        """Graphs that are genuinely ε-far (certified by an edge-disjoint
+        packing) are rejected in nearly every run."""
+        g = gen.clique(12)
+        m = g.number_of_edges()
+        packing = distance_to_triangle_freeness_lower_bound(g)
+        eps = packing / m
+        assert eps > 0.2  # cliques are very far from triangle-free
+        rejections = sum(
+            test_triangle_freeness(g, epsilon=0.3, seed=s).rejected
+            for s in range(10)
+        )
+        assert rejections >= 9
+
+    def test_single_hidden_triangle_often_missed(self):
+        """The flip side (why this is a *relaxation*): one triangle hidden
+        among many innocent edges is NOT ε-far, and the tester usually
+        misses it -- the exact problem the paper studies is strictly
+        harder.  (The triangle vertices get 40 decoy leaves each, so a
+        probe at a triangle vertex hits the closing pair w.p. ~1/C(42,2).)"""
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (1, 2), (2, 0)])
+        nxt = 3
+        for v in (0, 1, 2):
+            for _ in range(40):
+                g.add_edge(v, nxt)
+                nxt += 1
+        hits = sum(
+            test_triangle_freeness(g, epsilon=0.5, seed=s).rejected
+            for s in range(5)
+        )
+        assert hits <= 2  # misses most runs
+
+
+class TestPacking:
+    def test_triangle_free_packs_nothing(self):
+        assert edge_disjoint_triangle_packing(gen.grid(4, 4)) == []
+
+    def test_single_triangle(self):
+        assert len(edge_disjoint_triangle_packing(gen.triangle())) == 1
+
+    def test_packing_is_edge_disjoint(self):
+        g = gen.erdos_renyi(20, 0.4, np.random.default_rng(1))
+        packing = edge_disjoint_triangle_packing(g)
+        seen = set()
+        for (u, v, w) in packing:
+            for e in ((u, v), (v, w), (u, w)):
+                key = tuple(sorted(e, key=repr))
+                assert key not in seen
+                seen.add(key)
+            assert g.has_edge(u, v) and g.has_edge(v, w) and g.has_edge(u, w)
+
+    def test_k5_packs_two(self):
+        # K_5 has 10 edges; two edge-disjoint triangles use 6.
+        assert len(edge_disjoint_triangle_packing(gen.clique(5))) == 2
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_distance_bound_sound(self, seed):
+        """Deleting one edge per packed triangle really does help: the
+        packing size never exceeds the triangle count."""
+        from repro.theory.counting import count_triangles_matrix
+
+        g = gen.erdos_renyi(15, 0.35, np.random.default_rng(seed))
+        assert distance_to_triangle_freeness_lower_bound(g) <= max(
+            count_triangles_matrix(g), 0
+        ) or count_triangles_matrix(g) == 0

@@ -1,0 +1,145 @@
+"""Tests for the Section 3.4 bipartite construction (reconstruction).
+
+The paper defers the full construction to its long version; our
+reconstruction must honour every property the sketch states -- bipartite,
+degree-k endpoints, same architecture as G_{k,n}, restricted inputs -- and
+satisfy the Lemma 3.1 analogue constructively ("if") and empirically
+("only if", small instances).
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.bipartite_gadget import (
+    BipartiteHostFamily,
+    build_bipartite_hsk,
+)
+from repro.graphs.hk_construction import BOT, TOP
+from repro.graphs.properties import is_bipartite
+from repro.graphs.subgraph_iso import contains_subgraph
+
+
+class TestPattern:
+    @pytest.mark.parametrize("s,k", [(2, 2), (3, 2), (2, 3), (3, 3)])
+    def test_pattern_is_bipartite(self, s, k):
+        assert is_bipartite(build_bipartite_hsk(s, k))
+
+    def test_endpoint_degree_into_rungs_is_k(self):
+        """The sketch emphasises each endpoint has degree exactly k into
+        the body."""
+        s, k = 3, 4
+        g = build_bipartite_hsk(s, k)
+        for side in (TOP, BOT):
+            for part in ("A", "B"):
+                e = ("End", side, part)
+                rung_neighbors = [v for v in g.neighbors(e) if v[0] == "Rung"]
+                assert len(rung_neighbors) == k
+
+    def test_two_cross_edges_only(self):
+        g = build_bipartite_hsk(2, 2)
+        cross = [
+            (u, v)
+            for u, v in g.edges()
+            if u[0] == "End" and v[0] == "End" and u[1] != v[1]
+        ]
+        assert len(cross) == 2
+
+    def test_rungs_are_even_cycles(self):
+        s, k = 3, 2
+        g = build_bipartite_hsk(s, k)
+        for side in (TOP, BOT):
+            for i in range(1, k + 1):
+                verts = [("Rung", side, i, p) for p in range(2 * s)]
+                for p in range(2 * s):
+                    assert g.has_edge(verts[p], verts[(p + 1) % (2 * s)])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            build_bipartite_hsk(1, 2)
+        with pytest.raises(ValueError):
+            build_bipartite_hsk(2, 1)
+
+
+class TestHostFamily:
+    def test_host_is_bipartite(self):
+        fam = BipartiteHostFamily(2, 2, 3)
+        host = fam.build([(0, 1)], [(1, 0)])
+        assert is_bipartite(host.graph)
+
+    def test_host_with_matching_inputs_is_bipartite(self):
+        fam = BipartiteHostFamily(2, 2, 4)
+        host = fam.build([(0, 1), (1, 2)], [(2, 3), (3, 0)])
+        assert is_bipartite(host.graph)
+
+    def test_matching_restriction_enforced(self):
+        """Section 3.4: 'we restrict the edges that Alice and Bob can
+        receive' -- inputs must be partial matchings."""
+        fam = BipartiteHostFamily(2, 2, 4)
+        with pytest.raises(ValueError):
+            fam.build([(0, 1), (0, 2)], [])  # top index 0 reused
+        with pytest.raises(ValueError):
+            fam.build([], [(1, 3), (2, 3)])  # bottom index 3 reused
+
+    def test_out_of_universe_rejected(self):
+        fam = BipartiteHostFamily(2, 2, 3)
+        with pytest.raises(ValueError):
+            fam.build([(0, 3)], [])
+
+    def test_partition_covers_vertices(self):
+        fam = BipartiteHostFamily(2, 2, 4)
+        host = fam.build([(0, 0)], [(1, 1)])
+        union = set(host.alice_vertices) | set(host.bob_vertices) | set(
+            host.shared_vertices
+        )
+        assert union == set(host.graph.nodes())
+
+    def test_cut_scales_with_m(self):
+        """The simulation cut stays O(m) = O(k n^{1/k}), independent of the
+        input matchings (the engine of the n^{2-1/k-1/s} bound)."""
+        fam = BipartiteHostFamily(2, 2, 9)
+        empty = fam.build([], [])
+        full = fam.build([(i, i) for i in range(9)], [(i, (i + 1) % 9) for i in range(9)])
+        assert len(empty.alice_cut()) == len(full.alice_cut())
+
+    def test_constructive_if_direction(self):
+        """Witness pair in both inputs => the canonical embedding is valid."""
+        fam = BipartiteHostFamily(2, 2, 4)
+        host = fam.build([(1, 2)], [(1, 2)])
+        phi = fam.embedding(1, 2)
+        assert fam.verify_embedding(host, phi)
+
+    def test_embedding_invalid_without_witness(self):
+        fam = BipartiteHostFamily(2, 2, 4)
+        host = fam.build([(1, 2)], [(2, 1)])
+        assert not fam.verify_embedding(host, fam.embedding(1, 2))
+        assert not fam.verify_embedding(host, fam.embedding(2, 1))
+
+    @pytest.mark.slow
+    def test_only_if_direction_small_instance(self):
+        """Empirical only-if: with disjoint matchings, no copy of the
+        pattern exists anywhere in the host (full iso search)."""
+        fam = BipartiteHostFamily(2, 2, 2)
+        pattern = build_bipartite_hsk(2, 2)
+        host_disjoint = fam.build([(0, 1)], [(1, 0)]).graph
+        order = sorted(
+            pattern.nodes(),
+            key=lambda v: (
+                {"End": 0, "Rung": 1, "RungLink": 2, "Mark": 3}[v[0]],
+                repr(v),
+            ),
+        )
+        assert not contains_subgraph(
+            pattern, host_disjoint, budget=30_000_000, order=order
+        )
+        host_meet = fam.build([(0, 1)], [(0, 1)]).graph
+        assert contains_subgraph(pattern, host_meet, budget=30_000_000, order=order)
+
+    @given(st.integers(min_value=2, max_value=3), st.integers(min_value=2, max_value=3))
+    @settings(max_examples=6, deadline=None)
+    def test_pattern_size_linear_in_k(self, s, k):
+        small = build_bipartite_hsk(s, k).number_of_nodes()
+        big = build_bipartite_hsk(s, 2 * k).number_of_nodes()
+        # Body doubles, markers fixed-ish: comfortably sub-quadratic in k.
+        assert big < 2.5 * small

@@ -1,0 +1,106 @@
+"""Hypothesis-driven structural invariants of G_{k,n} across parameters.
+
+These are the facts the Theorem 1.2 reduction silently relies on; each is
+stated once in the paper and checked here over randomized (k, n, X, Y).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import GknFamily, diameter
+from repro.graphs.hk_construction import BOT, CLIQUE_SIZES, TOP, special_clique_vertex
+
+
+@st.composite
+def family_and_inputs(draw):
+    k = draw(st.integers(min_value=2, max_value=4))
+    n = draw(st.integers(min_value=2, max_value=10))
+    pairs = st.tuples(
+        st.integers(min_value=0, max_value=n - 1),
+        st.integers(min_value=0, max_value=n - 1),
+    )
+    x = draw(st.frozensets(pairs, max_size=6))
+    y = draw(st.frozensets(pairs, max_size=6))
+    return GknFamily(k, n), x, y
+
+
+class TestStructuralInvariants:
+    @given(family_and_inputs())
+    @settings(max_examples=25, deadline=None)
+    def test_size_formula(self, fam_xy):
+        fam, x, y = fam_xy
+        gxy = fam.build(x, y)
+        assert gxy.graph.number_of_nodes() == 4 * fam.n + 6 * fam.m + 40
+
+    @given(family_and_inputs())
+    @settings(max_examples=12, deadline=None)
+    def test_diameter_3(self, fam_xy):
+        fam, x, y = fam_xy
+        assert diameter(fam.build(x, y).graph) == 3
+
+    @given(family_and_inputs())
+    @settings(max_examples=25, deadline=None)
+    def test_endpoint_degrees(self, fam_xy):
+        """Endpoint copy i has degree k (triangles) + 1 (clique special)
+        + its cross-degree -- 'each endpoint ... has degree k' plus wiring."""
+        fam, x, y = fam_xy
+        gxy = fam.build(x, y)
+        g = gxy.graph
+        from collections import Counter
+
+        cross_a_top = Counter(i for (i, j) in x)
+        for i in range(fam.n):
+            v = fam.endpoint(TOP, "A", i)
+            assert g.degree(v) == fam.k + 1 + cross_a_top.get(i, 0)
+
+    @given(family_and_inputs())
+    @settings(max_examples=25, deadline=None)
+    def test_triangle_vertex_degrees(self, fam_xy):
+        """Triangle vertex (side, j, P) for P in {A,B}: 2 (triangle) + 1
+        (clique special) + #endpoints whose encoding contains j."""
+        fam, x, y = fam_xy
+        gxy = fam.build(x, y)
+        g = gxy.graph
+        containing = [0] * fam.m
+        for enc in fam.encoding:
+            for j in enc:
+                containing[j] += 1
+        for j in range(fam.m):
+            for side in (TOP, BOT):
+                assert g.degree(fam.triangle_vertex(side, j, "A")) == 3 + containing[j]
+                assert g.degree(fam.triangle_vertex(side, j, "Mid")) == 3
+
+    @given(family_and_inputs())
+    @settings(max_examples=25, deadline=None)
+    def test_cut_formula_and_input_independence(self, fam_xy):
+        fam, x, y = fam_xy
+        gxy = fam.build(x, y)
+        assert len(gxy.alice_cut()) == 4 * fam.m + 6 == fam.expected_cut_size()
+        assert len(gxy.bob_cut()) == 4 * fam.m + 6
+
+    @given(family_and_inputs())
+    @settings(max_examples=25, deadline=None)
+    def test_exactly_one_marking_clique_each(self, fam_xy):
+        """The skeleton contains each clique exactly once, with the special
+        vertices pairwise adjacent -- the 'marking' precondition."""
+        fam, x, y = fam_xy
+        g = fam.build(x, y).graph
+        for s in CLIQUE_SIZES:
+            verts = [("Clique'", s, j) for j in range(s)]
+            assert all(v in g for v in verts)
+            for a in range(s):
+                for b in range(a + 1, s):
+                    assert g.has_edge(verts[a], verts[b])
+        specials = [special_clique_vertex(s, "Clique'") for s in CLIQUE_SIZES]
+        for a in range(5):
+            for b in range(a + 1, 5):
+                assert g.has_edge(specials[a], specials[b])
+
+    @given(family_and_inputs())
+    @settings(max_examples=25, deadline=None)
+    def test_lemma_3_1_randomized(self, fam_xy):
+        fam, x, y = fam_xy
+        gxy = fam.build(x, y)
+        assert (fam.find_copy(gxy) is not None) == bool(x & y)

@@ -1,0 +1,245 @@
+"""Construction audits: H_k (Figure 1), G_{k,n} (Definition 2 / Figure 2),
+Property 1, and Lemma 3.1."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    BOT,
+    TOP,
+    GknFamily,
+    build_hk,
+    contains_subgraph,
+    diameter,
+)
+from repro.graphs.hk_construction import CLIQUE_SIZES, special_clique_vertex
+
+
+class TestHk:
+    def test_size_matches_formula(self):
+        for k in (1, 2, 3, 5, 10):
+            hk = build_hk(k)
+            assert hk.num_vertices == hk.expected_size() == 40 + 2 * (3 * k + 2)
+
+    def test_figure_1_size_for_k2(self):
+        # Figure 1 draws H_2: 5 cliques (40 vertices) + 2 copies of H with
+        # 2 triangles and 2 endpoints each (8 vertices per copy).
+        assert build_hk(2).num_vertices == 56
+
+    def test_diameter_is_3(self):
+        for k in (1, 2, 4):
+            assert diameter(build_hk(k).graph) == 3
+
+    def test_cliques_present(self):
+        hk = build_hk(2)
+        g = hk.graph
+        for s in CLIQUE_SIZES:
+            verts = [("Clique", s, j) for j in range(s)]
+            for i in range(s):
+                for j in range(i + 1, s):
+                    assert g.has_edge(verts[i], verts[j])
+
+    def test_special_vertices_form_5_clique(self):
+        g = build_hk(2).graph
+        specials = [special_clique_vertex(s) for s in CLIQUE_SIZES]
+        for i in range(5):
+            for j in range(i + 1, 5):
+                assert g.has_edge(specials[i], specials[j])
+
+    def test_endpoint_wiring(self):
+        k = 3
+        g = build_hk(k).graph
+        for side in (TOP, BOT):
+            for i in range(1, k + 1):
+                assert g.has_edge(("End", side, "A"), ("Tri", side, i, "A"))
+                assert g.has_edge(("End", side, "B"), ("Tri", side, i, "B"))
+                # Middles touch neither endpoint.
+                assert not g.has_edge(("End", side, "A"), ("Tri", side, i, "Mid"))
+                assert not g.has_edge(("End", side, "B"), ("Tri", side, i, "Mid"))
+
+    def test_only_two_top_bottom_edges(self):
+        g = build_hk(3).graph
+        cross = [
+            (u, v)
+            for u, v in g.edges()
+            if u[0] in ("End", "Tri")
+            and v[0] in ("End", "Tri")
+            and u[1] != v[1]
+        ]
+        assert sorted(cross, key=repr) == sorted(
+            [
+                (("End", TOP, "A"), ("End", BOT, "A")),
+                (("End", TOP, "B"), ("End", BOT, "B")),
+            ],
+            key=repr,
+        ) or len(cross) == 2
+
+    def test_triangles_are_triangles(self):
+        g = build_hk(2).graph
+        for side in (TOP, BOT):
+            for i in (1, 2):
+                a, b, m = (
+                    ("Tri", side, i, "A"),
+                    ("Tri", side, i, "B"),
+                    ("Tri", side, i, "Mid"),
+                )
+                assert g.has_edge(a, b) and g.has_edge(b, m) and g.has_edge(m, a)
+
+    def test_non_clique_vertices_attach_to_exactly_one_special(self):
+        g = build_hk(3).graph
+        specials = {special_clique_vertex(s) for s in CLIQUE_SIZES}
+        for v in g.nodes():
+            if v[0] == "Clique":
+                continue
+            attached = specials & set(g.neighbors(v))
+            assert len(attached) == 1, f"{v} attaches to {attached}"
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            build_hk(0)
+
+
+class TestGknFamily:
+    def test_property_1_diameter_3(self):
+        for k, n in ((2, 3), (2, 6), (3, 4)):
+            fam = GknFamily(k, n)
+            gxy = fam.build(x=[(0, 1)], y=[(2, 2)])
+            assert diameter(gxy.graph) == 3
+
+    def test_property_1_size_linear(self):
+        # |V| = 4n + 6m + 40 with m = k*ceil(n^{1/k}) = O(n).
+        for k, n in ((2, 3), (2, 10), (3, 9)):
+            fam = GknFamily(k, n)
+            gxy = fam.build(x=[], y=[])
+            assert gxy.graph.number_of_nodes() == 4 * n + 6 * fam.m + 40
+
+    def test_figure_2_parameters(self):
+        # Figure 2: n=3, k=2 gives m = 4.
+        fam = GknFamily(2, 3)
+        assert fam.m == 4
+
+    def test_input_edges_follow_x_and_y(self):
+        fam = GknFamily(2, 4)
+        x = [(0, 1), (2, 3)]
+        y = [(0, 1)]
+        gxy = fam.build(x, y)
+        g = gxy.graph
+        assert g.has_edge(fam.endpoint(TOP, "A", 0), fam.endpoint(BOT, "A", 1))
+        assert g.has_edge(fam.endpoint(TOP, "A", 2), fam.endpoint(BOT, "A", 3))
+        assert g.has_edge(fam.endpoint(TOP, "B", 0), fam.endpoint(BOT, "B", 1))
+        assert not g.has_edge(fam.endpoint(TOP, "B", 2), fam.endpoint(BOT, "B", 3))
+
+    def test_out_of_universe_pair_rejected(self):
+        fam = GknFamily(2, 3)
+        with pytest.raises(ValueError):
+            fam.build(x=[(0, 3)], y=[])
+
+    def test_partition_covers_graph(self):
+        fam = GknFamily(2, 5)
+        gxy = fam.build(x=[(1, 1)], y=[(2, 2)])
+        parts = [gxy.alice_vertices, gxy.bob_vertices, gxy.shared_vertices]
+        union = set().union(*parts)
+        assert union == set(gxy.graph.nodes())
+        assert sum(len(p) for p in parts) == gxy.graph.number_of_nodes()
+
+    def test_no_edge_between_alice_and_bob_private_inputs_leak(self):
+        """Alice's input edges are internal to V_A; Bob's to V_B (the
+        simulation's correctness requirement in Section 3.3)."""
+        fam = GknFamily(2, 4)
+        gxy = fam.build(x=[(0, 0), (1, 2)], y=[(3, 3)])
+        for (i, j) in gxy.x:
+            u = fam.endpoint(TOP, "A", i)
+            v = fam.endpoint(BOT, "A", j)
+            assert u in gxy.alice_vertices and v in gxy.alice_vertices
+        for (i, j) in gxy.y:
+            u = fam.endpoint(TOP, "B", i)
+            v = fam.endpoint(BOT, "B", j)
+            assert u in gxy.bob_vertices and v in gxy.bob_vertices
+
+    def test_cut_size_matches_formula(self):
+        for k, n in ((2, 4), (2, 16), (3, 8)):
+            fam = GknFamily(k, n)
+            gxy = fam.build(x=[(0, 0)], y=[(0, 0)])
+            assert len(gxy.alice_cut()) == fam.expected_cut_size()
+
+    def test_cut_independent_of_inputs(self):
+        fam = GknFamily(2, 6)
+        empty = fam.build([], [])
+        full_x = fam.build([(i, j) for i in range(6) for j in range(6)], [])
+        assert len(empty.alice_cut()) == len(full_x.alice_cut())
+
+
+class TestLemma31:
+    def test_embedding_valid_iff_witness(self):
+        fam = GknFamily(2, 3)
+        # Figure 2's instance: (2,1) in X ∩ Y (1-indexed there; 0-indexed here).
+        gxy = fam.build(x=[(1, 0)], y=[(1, 0)])
+        phi = fam.embedding(1, 0)
+        assert fam.verify_embedding(gxy, phi)
+
+    def test_find_copy_positive(self):
+        fam = GknFamily(2, 4)
+        gxy = fam.build(x=[(0, 1), (2, 3)], y=[(2, 3)])
+        phi = fam.find_copy(gxy)
+        assert phi is not None
+        assert fam.verify_embedding(gxy, phi)
+
+    def test_find_copy_negative(self):
+        fam = GknFamily(2, 4)
+        gxy = fam.build(x=[(0, 1)], y=[(1, 0)])
+        assert fam.find_copy(gxy) is None
+
+    def test_embedding_fails_without_edges(self):
+        fam = GknFamily(2, 3)
+        gxy = fam.build(x=[], y=[])
+        phi = fam.embedding(0, 0)
+        assert not fam.verify_embedding(gxy, phi)
+
+    def test_embedding_fails_with_only_one_side(self):
+        fam = GknFamily(2, 3)
+        gxy = fam.build(x=[(0, 0)], y=[])  # Alice connected, Bob did not
+        assert not fam.verify_embedding(gxy, fam.embedding(0, 0))
+
+    @given(
+        st.sets(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=5
+        ),
+        st.sets(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=5
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lemma_3_1_constructive_iff(self, x, y):
+        """Constructive Lemma 3.1: a valid embedding exists (via the witness
+        scan) iff X ∩ Y ≠ ∅."""
+        fam = GknFamily(2, 4)
+        gxy = fam.build(x, y)
+        found = fam.find_copy(gxy)
+        if x & y:
+            assert found is not None
+        else:
+            assert found is None
+
+    @pytest.mark.slow
+    def test_lemma_3_1_only_if_via_iso_search(self):
+        """Full isomorphism search agrees with Lemma 3.1 on a small instance:
+        when X ∩ Y = ∅ there is NO copy of H_k anywhere in G_{X,Y}.
+
+        The search order visits the rigid skeleton (endpoints, triangles,
+        cross edges) before the automorphism-heavy cliques, which makes the
+        negative instance tractable."""
+        fam = GknFamily(2, 2)
+        hk = build_hk(2).graph
+        order = sorted(
+            hk.nodes(),
+            key=lambda v: (
+                {"End": 0, "Tri": 1, "Clique": 2}[v[0]],
+                repr(v),
+            ),
+        )
+        g_disjoint = fam.build(x=[(0, 1)], y=[(1, 0)]).graph
+        assert not contains_subgraph(hk, g_disjoint, budget=30_000_000, order=order)
+        g_meet = fam.build(x=[(0, 1)], y=[(0, 1)]).graph
+        assert contains_subgraph(hk, g_meet, budget=30_000_000, order=order)

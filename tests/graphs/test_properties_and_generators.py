@@ -1,0 +1,192 @@
+"""Tests for structural properties, generators, and extremal constructions."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import generators as gen
+from repro.graphs.extremal import (
+    high_girth_graph,
+    is_prime,
+    projective_plane_incidence,
+)
+from repro.graphs.properties import (
+    arboricity_upper_bound,
+    average_degree,
+    degeneracy,
+    degeneracy_ordering,
+    diameter,
+    eccentricity,
+    girth,
+    is_bipartite,
+    max_degree,
+)
+
+
+class TestProperties:
+    def test_diameter_cycle(self):
+        assert diameter(gen.cycle(8)) == 4
+        assert diameter(gen.cycle(9)) == 4
+
+    def test_diameter_clique(self):
+        assert diameter(gen.clique(5)) == 1
+
+    def test_diameter_path(self):
+        assert diameter(gen.path(6)) == 5
+
+    def test_eccentricity_disconnected_raises(self):
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            eccentricity(g, 0)
+
+    def test_girth_values(self):
+        assert girth(gen.cycle(7)) == 7
+        assert girth(gen.clique(4)) == 3
+        assert girth(gen.grid(3, 3)) == 4
+        assert girth(gen.path(5)) is None  # forest
+        assert girth(gen.theta_graph([2, 3])) == 5
+
+    def test_degeneracy(self):
+        assert degeneracy(gen.clique(6)) == 5
+        assert degeneracy(gen.cycle(10)) == 2
+        rng = np.random.default_rng(0)
+        t = gen.random_tree(30, rng)
+        assert degeneracy(t) == 1
+
+    def test_degeneracy_ordering_is_permutation(self):
+        g = gen.grid(4, 4)
+        order, d = degeneracy_ordering(g)
+        assert sorted(order, key=repr) == sorted(g.nodes(), key=repr)
+        assert d == 2
+
+    def test_arboricity_bound_at_least_ratio(self):
+        # Nash-Williams: arboricity >= ceil(m / (n-1)); degeneracy upper-bounds it.
+        g = gen.clique(8)
+        nw = -(-g.number_of_edges() // (g.number_of_nodes() - 1))
+        assert arboricity_upper_bound(g) >= nw
+
+    def test_bipartiteness(self):
+        assert is_bipartite(gen.cycle(6))
+        assert not is_bipartite(gen.cycle(5))
+        assert is_bipartite(gen.complete_bipartite(3, 4))
+        assert is_bipartite(gen.grid(3, 5))
+        assert not is_bipartite(gen.clique(3))
+
+    def test_max_and_average_degree(self):
+        g = nx.star_graph(5)
+        assert max_degree(g) == 5
+        assert average_degree(gen.cycle(10)) == pytest.approx(2.0)
+
+    @given(st.integers(min_value=3, max_value=30))
+    def test_cycle_invariants(self, k):
+        c = gen.cycle(k)
+        assert girth(c) == k
+        assert degeneracy(c) == 2
+        assert is_bipartite(c) == (k % 2 == 0)
+
+
+class TestGenerators:
+    def test_cycle_size(self):
+        c = gen.cycle(5)
+        assert c.number_of_nodes() == c.number_of_edges() == 5
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            gen.cycle(2)
+
+    def test_clique_edges(self):
+        k = gen.clique(6)
+        assert k.number_of_edges() == 15
+
+    def test_complete_bipartite(self):
+        b = gen.complete_bipartite(3, 4)
+        assert b.number_of_edges() == 12
+        assert is_bipartite(b)
+
+    def test_erdos_renyi_determinism(self):
+        g1 = gen.erdos_renyi(20, 0.3, np.random.default_rng(5))
+        g2 = gen.erdos_renyi(20, 0.3, np.random.default_rng(5))
+        assert set(g1.edges()) == set(g2.edges())
+
+    def test_erdos_renyi_extremes(self):
+        assert gen.erdos_renyi(10, 0.0, np.random.default_rng(0)).number_of_edges() == 0
+        assert gen.erdos_renyi(10, 1.0, np.random.default_rng(0)).number_of_edges() == 45
+
+    @given(st.integers(min_value=1, max_value=50), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30)
+    def test_random_tree_is_tree(self, n, seed):
+        t = gen.random_tree(n, np.random.default_rng(seed))
+        assert t.number_of_nodes() == n
+        assert t.number_of_edges() == n - 1 if n > 1 else t.number_of_edges() == 0
+        assert girth(t) is None
+
+    def test_theta_graph_cycles(self):
+        th = gen.theta_graph([2, 2])  # = C_4
+        assert girth(th) == 4
+        th2 = gen.theta_graph([2, 4])
+        assert girth(th2) == 6
+
+    def test_planted_cycle_present(self):
+        rng = np.random.default_rng(3)
+        g, verts = gen.planted_cycle_graph(30, 6, 0.02, rng)
+        for i in range(6):
+            assert g.has_edge(verts[i], verts[(i + 1) % 6])
+
+    def test_pad_with_path(self):
+        tri = gen.triangle()
+        padded = gen.pad_with_path(tri, 10)
+        assert padded.number_of_nodes() == 13
+        assert diameter(padded) >= 10
+
+    def test_hexagon_validation(self):
+        with pytest.raises(ValueError):
+            gen.hexagon([1, 2, 3, 4, 5])
+        with pytest.raises(ValueError):
+            gen.hexagon([1, 1, 2, 3, 4, 5])
+        h = gen.hexagon([0, 1, 2, 3, 4, 5])
+        assert girth(h) == 6
+
+    def test_random_regular(self):
+        g = gen.random_regular(12, 3, np.random.default_rng(1))
+        assert all(d == 3 for _, d in g.degree())
+
+    def test_disjoint_union(self):
+        u = gen.disjoint_union_all([gen.clique(3), gen.clique(4)])
+        assert u.number_of_nodes() == 7
+        assert u.number_of_edges() == 3 + 6
+
+
+class TestExtremal:
+    def test_is_prime(self):
+        assert [p for p in range(20) if is_prime(p)] == [2, 3, 5, 7, 11, 13, 17, 19]
+
+    @pytest.mark.parametrize("q", [2, 3, 5])
+    def test_projective_plane_structure(self, q):
+        g = projective_plane_incidence(q)
+        n_side = q * q + q + 1
+        assert g.number_of_nodes() == 2 * n_side
+        # (q+1)-regular
+        assert all(d == q + 1 for _, d in g.degree())
+        assert g.number_of_edges() == (q + 1) * n_side
+        # girth 6: C_4-free but contains C_6
+        assert girth(g) == 6
+        assert is_bipartite(g)
+
+    def test_projective_plane_rejects_nonprime(self):
+        with pytest.raises(ValueError):
+            projective_plane_incidence(4)
+
+    def test_high_girth_graph(self):
+        rng = np.random.default_rng(0)
+        g = high_girth_graph(60, 7, rng)
+        assert (girth(g) or 99) >= 7
+        # Dense enough to be interesting.
+        assert g.number_of_edges() >= 60
+
+    def test_high_girth_respects_max_edges(self):
+        rng = np.random.default_rng(0)
+        g = high_girth_graph(30, 5, rng, max_edges=10)
+        assert g.number_of_edges() <= 10

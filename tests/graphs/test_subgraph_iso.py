@@ -1,0 +1,154 @@
+"""Tests for the from-scratch subgraph isomorphism engine.
+
+Cross-checked against networkx's VF2 (``GraphMatcher.subgraph_monomorphisms
+_iter``) on random instances -- the engine is the ground-truth oracle for
+every detection algorithm in this repo, so it gets the heaviest scrutiny.
+"""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import generators as gen
+from repro.graphs.subgraph_iso import (
+    SearchBudgetExceeded,
+    contains_subgraph,
+    count_automorphisms,
+    count_copies,
+    count_embeddings,
+    find_embedding,
+    iter_embeddings,
+)
+
+
+def _vf2_count(pattern: nx.Graph, host: nx.Graph) -> int:
+    gm = nx.algorithms.isomorphism.GraphMatcher(host, pattern)
+    return sum(1 for _ in gm.subgraph_monomorphisms_iter())
+
+
+class TestBasics:
+    def test_triangle_in_k4(self):
+        assert contains_subgraph(gen.clique(3), gen.clique(4))
+
+    def test_triangle_not_in_c6(self):
+        assert not contains_subgraph(gen.clique(3), gen.cycle(6))
+
+    def test_c4_in_grid(self):
+        assert contains_subgraph(gen.cycle(4), gen.grid(3, 3))
+
+    def test_c5_not_in_bipartite(self):
+        assert not contains_subgraph(gen.cycle(5), gen.complete_bipartite(4, 4))
+
+    def test_c6_in_k33(self):
+        assert contains_subgraph(gen.cycle(6), gen.complete_bipartite(3, 3))
+
+    def test_path_in_everything_connected(self):
+        assert contains_subgraph(gen.path(4), gen.cycle(7))
+
+    def test_empty_pattern(self):
+        assert contains_subgraph(nx.Graph(), gen.clique(3))
+        assert count_embeddings(nx.Graph(), gen.clique(3)) == 1
+
+    def test_pattern_larger_than_host(self):
+        assert not contains_subgraph(gen.clique(5), gen.clique(4))
+
+    def test_embedding_is_valid(self):
+        pattern, host = gen.cycle(4), gen.grid(2, 3)
+        phi = find_embedding(pattern, host)
+        assert phi is not None
+        assert len(set(phi.values())) == 4
+        for u, v in pattern.edges():
+            assert host.has_edge(phi[u], phi[v])
+
+    def test_non_induced_semantics(self):
+        # P_3 embeds in K_3 even though K_3 has the extra chord:
+        # Definition 1 asks for subgraphs, not induced subgraphs.
+        assert contains_subgraph(gen.path(3), gen.clique(3))
+
+    def test_budget_raises(self):
+        rng = np.random.default_rng(0)
+        host = gen.erdos_renyi(30, 0.5, rng)
+        with pytest.raises(SearchBudgetExceeded):
+            count_embeddings(gen.clique(4), host, budget=5)
+
+    def test_custom_order_validation(self):
+        with pytest.raises(ValueError):
+            list(iter_embeddings(gen.clique(3), gen.clique(4), order=[0, 1]))
+
+
+class TestCounting:
+    def test_triangle_embeddings_in_k4(self):
+        # 4 triangles x 3! orderings = 24 embeddings.
+        assert count_embeddings(gen.clique(3), gen.clique(4)) == 24
+        assert count_copies(gen.clique(3), gen.clique(4)) == 4
+
+    def test_automorphisms(self):
+        assert count_automorphisms(gen.clique(4)) == 24
+        assert count_automorphisms(gen.cycle(5)) == 10  # dihedral group
+        assert count_automorphisms(gen.path(3)) == 2
+
+    def test_c4_copies_in_k4(self):
+        assert count_copies(gen.cycle(4), gen.clique(4)) == 3
+
+    def test_limit_short_circuits(self):
+        assert count_embeddings(gen.clique(3), gen.clique(10), limit=7) == 7
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_against_vf2_er(self, seed):
+        rng = np.random.default_rng(seed)
+        host = gen.erdos_renyi(12, 0.35, rng)
+        for pattern in (gen.clique(3), gen.cycle(4), gen.path(4)):
+            assert count_embeddings(pattern, host) == _vf2_count(pattern, host)
+
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_contains_against_vf2(self, seed):
+        rng = np.random.default_rng(seed)
+        host = gen.erdos_renyi(14, 0.2, rng)
+        for pattern in (gen.clique(4), gen.cycle(5), gen.cycle(6), gen.theta_graph([2, 2])):
+            gm = nx.algorithms.isomorphism.GraphMatcher(host, pattern)
+            assert contains_subgraph(pattern, host) == gm.subgraph_is_monomorphic()
+
+    def test_symmetry_breaking_agrees_on_existence(self):
+        rng = np.random.default_rng(7)
+        host = gen.erdos_renyi(15, 0.3, rng)
+        pattern = gen.clique(4)
+        plain = any(True for _ in iter_embeddings(pattern, host))
+        reduced = any(
+            True for _ in iter_embeddings(pattern, host, break_symmetries=True)
+        )
+        assert plain == reduced
+
+    def test_symmetry_breaking_divides_count_by_orbits(self):
+        # K_3 in K_5: plain 5*4*3 = 60 embeddings; symmetry-reduced: 60/3! = 10.
+        pattern, host = gen.clique(3), gen.clique(5)
+        plain = sum(1 for _ in iter_embeddings(pattern, host))
+        reduced = sum(1 for _ in iter_embeddings(pattern, host, break_symmetries=True))
+        assert plain == 60
+        assert reduced == 10
+
+
+class TestHypothesis:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_er_triangle_parity_vs_vf2(self, seed):
+        rng = np.random.default_rng(seed)
+        host = gen.erdos_renyi(10, 0.4, rng)
+        pattern = gen.clique(3)
+        assert count_embeddings(pattern, host) == _vf2_count(pattern, host)
+
+    @given(st.integers(min_value=3, max_value=8))
+    def test_cycle_embeds_in_itself(self, k):
+        c = gen.cycle(k)
+        assert contains_subgraph(c, c)
+        assert count_embeddings(c, c) == 2 * k  # dihedral automorphisms
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=2, max_value=6))
+    def test_clique_monotone(self, s, t):
+        small, big = min(s, t), max(s, t)
+        assert contains_subgraph(gen.clique(small), gen.clique(big))
+        if small < big:
+            assert not contains_subgraph(gen.clique(big), gen.clique(small))

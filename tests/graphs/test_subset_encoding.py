@@ -1,0 +1,113 @@
+"""Tests for the combinatorial number system (Section 3.2's P_i encoding)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.subset_encoding import (
+    binomial,
+    endpoint_encoding,
+    index_to_subset,
+    subset_to_index,
+    subset_universe_size,
+)
+
+
+class TestBinomial:
+    def test_matches_math_comb(self):
+        for m in range(10):
+            for k in range(m + 1):
+                assert binomial(m, k) == math.comb(m, k)
+
+    def test_out_of_range_is_zero(self):
+        assert binomial(3, 5) == 0
+        assert binomial(-1, 0) == 0
+        assert binomial(3, -1) == 0
+
+
+class TestUniverseSize:
+    def test_matches_paper_example(self):
+        # n=3, k=2: m = k * ceil(3^(1/2)) = 2 * 2 = 4 (Figure 2 caption).
+        assert subset_universe_size(3, 2) == 4
+
+    def test_capacity_always_sufficient(self):
+        for k in (1, 2, 3, 4):
+            for n in (1, 2, 5, 17, 100, 1000):
+                m = subset_universe_size(n, k)
+                assert binomial(m, k) >= n
+
+    def test_no_float_off_by_one(self):
+        # Perfect powers are the dangerous cases for n**(1/k).
+        for k in (2, 3, 5):
+            for r in (2, 3, 10):
+                n = r**k
+                assert subset_universe_size(n, k) == k * r
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            subset_universe_size(0, 2)
+        with pytest.raises(ValueError):
+            subset_universe_size(5, 0)
+
+
+class TestBijection:
+    def test_first_subsets_colex(self):
+        assert index_to_subset(0, 3) == (0, 1, 2)
+        assert index_to_subset(1, 3) == (0, 1, 3)
+        assert index_to_subset(2, 3) == (0, 2, 3)
+        assert index_to_subset(3, 3) == (1, 2, 3)
+        assert index_to_subset(4, 3) == (0, 1, 4)
+
+    def test_exhaustive_small(self):
+        seen = set()
+        for i in range(binomial(7, 3)):
+            s = index_to_subset(i, 3)
+            assert len(s) == 3 and len(set(s)) == 3
+            assert subset_to_index(s) == i
+            seen.add(s)
+        assert len(seen) == binomial(7, 3)
+
+    @given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=200)
+    def test_roundtrip(self, index, k):
+        s = index_to_subset(index, k)
+        assert len(s) == k
+        assert list(s) == sorted(set(s))
+        assert subset_to_index(s) == index
+
+    @given(st.sets(st.integers(min_value=0, max_value=40), min_size=1, max_size=6))
+    def test_inverse_roundtrip(self, subset):
+        s = tuple(sorted(subset))
+        assert index_to_subset(subset_to_index(s), len(s)) == s
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            subset_to_index((1, 1, 2))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            subset_to_index((-1, 2))
+
+
+class TestEndpointEncoding:
+    def test_distinct_and_in_universe(self):
+        for k in (2, 3):
+            for n in (1, 4, 30):
+                m = subset_universe_size(n, k)
+                enc = endpoint_encoding(n, k)
+                assert len(enc) == n
+                assert len(set(enc)) == n  # injectivity: the crux of Lemma 3.1
+                for s in enc:
+                    assert len(s) == k
+                    assert all(0 <= e < m for e in s)
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=50)
+    def test_property_injective(self, n, k):
+        enc = endpoint_encoding(n, k)
+        assert len(set(enc)) == n

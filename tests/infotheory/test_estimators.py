@@ -1,0 +1,75 @@
+"""Tests for plug-in / Miller--Madow MI estimators."""
+
+import numpy as np
+import pytest
+
+from repro.infotheory import (
+    mi_confidence_via_bootstrap,
+    miller_madow_mutual_information,
+    plugin_mutual_information,
+)
+
+
+def _samples_correlated(rng, n, flip=0.0):
+    xs = rng.integers(0, 2, size=n)
+    noise = rng.random(n) < flip
+    ys = np.where(noise, 1 - xs, xs)
+    return list(zip(xs.tolist(), ys.tolist()))
+
+
+class TestPlugin:
+    def test_perfect_correlation(self):
+        rng = np.random.default_rng(0)
+        mi = plugin_mutual_information(_samples_correlated(rng, 4000, flip=0.0))
+        assert mi == pytest.approx(1.0, abs=0.02)
+
+    def test_independence_near_zero(self):
+        rng = np.random.default_rng(1)
+        xs = rng.integers(0, 2, size=5000)
+        ys = rng.integers(0, 2, size=5000)
+        mi = plugin_mutual_information(list(zip(xs.tolist(), ys.tolist())))
+        assert mi < 0.01
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            plugin_mutual_information([])
+
+    def test_half_flip_between(self):
+        rng = np.random.default_rng(2)
+        mi = plugin_mutual_information(_samples_correlated(rng, 5000, flip=0.11))
+        # I = 1 - h(0.11) ~ 0.5
+        assert 0.35 < mi < 0.65
+
+
+class TestMillerMadow:
+    def test_correction_reduces_bias(self):
+        """On independent data the plug-in estimate is positive-biased;
+        Miller--Madow must be closer to the true value 0."""
+        rng = np.random.default_rng(3)
+        xs = rng.integers(0, 8, size=300)
+        ys = rng.integers(0, 8, size=300)
+        pairs = list(zip(xs.tolist(), ys.tolist()))
+        raw = plugin_mutual_information(pairs)
+        corrected = miller_madow_mutual_information(pairs)
+        assert corrected <= raw
+        assert corrected < raw * 0.9 or corrected == 0.0
+
+    def test_never_negative(self):
+        rng = np.random.default_rng(4)
+        xs = rng.integers(0, 4, size=20)
+        ys = rng.integers(0, 4, size=20)
+        assert miller_madow_mutual_information(list(zip(xs, ys))) >= 0.0
+
+    def test_strong_signal_survives_correction(self):
+        rng = np.random.default_rng(5)
+        mi = miller_madow_mutual_information(_samples_correlated(rng, 2000))
+        assert mi > 0.9
+
+
+class TestBootstrap:
+    def test_interval_brackets_point(self):
+        rng = np.random.default_rng(6)
+        pairs = _samples_correlated(rng, 500, flip=0.2)
+        point, lo, hi = mi_confidence_via_bootstrap(pairs, rng, n_boot=50)
+        assert lo <= hi
+        assert lo <= point * 1.5 + 0.05

@@ -1,0 +1,113 @@
+"""Tests for the Lemma 1.3 / clique-listing lower bound harness."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowerbounds.clique_listing import (
+    expected_cliques_gnp,
+    listing_experiment,
+    listing_round_lower_bound,
+    min_edges_to_witness,
+)
+
+
+class TestWitnessBound:
+    def test_zero_cliques_zero_edges(self):
+        assert min_edges_to_witness(0, 3) == 0.0
+
+    def test_inverse_of_lemma_1_3(self):
+        """(2 m)^{s/2} cliques need >= m edges: the inversion must be
+        consistent with the forward bound."""
+        for s in (3, 4, 5):
+            for m in (10, 100, 1000):
+                q = math.floor((2 * m) ** (s / 2.0))
+                assert min_edges_to_witness(q, s) <= m + 1
+
+    def test_monotone(self):
+        assert min_edges_to_witness(100, 3) < min_edges_to_witness(1000, 3)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            min_edges_to_witness(5, 1)
+
+
+class TestRoundBound:
+    def test_shape_n_to_one_minus_two_over_s(self):
+        """On G(n, 1/2) inputs the bound must scale like n^{1-2/s} (up to
+        logs): fit the exponent over a sweep using expected clique counts."""
+        from repro.theory.bounds import clique_listing_exponent, fit_power_law_exponent
+
+        for s in (3, 4):
+            ns = [2**i for i in range(6, 14)]
+            bounds = [
+                listing_round_lower_bound(
+                    n, s, bandwidth=max(1, math.ceil(math.log2(n))),
+                    clique_count=int(expected_cliques_gnp(n, s)),
+                )
+                for n in ns
+            ]
+            alpha, r2 = fit_power_law_exponent(ns, bounds)
+            # Bound carries an extra log-ish factor from id widths; allow slack.
+            assert abs(alpha - clique_listing_exponent(s)) < 0.25, (s, alpha)
+            assert r2 > 0.97
+
+    def test_expected_cliques_formula(self):
+        assert expected_cliques_gnp(10, 3, 1.0) == math.comb(10, 3)
+        assert expected_cliques_gnp(10, 3, 0.5) == pytest.approx(
+            math.comb(10, 3) / 8
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            listing_round_lower_bound(1, 3, 4, 10)
+
+
+class TestListingExperiment:
+    def test_experiment_consistency(self):
+        rng = np.random.default_rng(0)
+        exp = listing_experiment(18, 3, bandwidth=32, rng=rng)
+        assert exp.lemma_1_3_respected
+        assert exp.consistent
+        assert exp.clique_count > 0
+
+    def test_experiment_s4(self):
+        rng = np.random.default_rng(1)
+        exp = listing_experiment(14, 4, bandwidth=64, rng=rng)
+        assert exp.lemma_1_3_respected
+        assert exp.consistent
+
+    def test_measured_dominates_bound(self):
+        """The lister's measured rounds must never beat the information
+        lower bound (otherwise either the lister cheats or the bound is
+        wrong)."""
+        for seed in range(3):
+            exp = listing_experiment(
+                16, 3, bandwidth=16, rng=np.random.default_rng(seed)
+            )
+            assert exp.measured_rounds + 1 >= exp.lower_bound_rounds
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=6, deadline=None)
+    def test_property_random_inputs(self, seed):
+        exp = listing_experiment(
+            12, 3, bandwidth=24, rng=np.random.default_rng(seed), p=0.4
+        )
+        assert exp.lemma_1_3_respected
+        assert exp.consistent
+
+
+class TestPerNodeAudit:
+    def test_audit_passes_on_honest_lister(self):
+        for seed in range(3):
+            exp = listing_experiment(
+                16, 3, bandwidth=24, rng=np.random.default_rng(seed)
+            )
+            assert exp.per_node_audit_passed
+
+    def test_audit_passes_for_s4(self):
+        exp = listing_experiment(12, 4, bandwidth=48, rng=np.random.default_rng(5))
+        assert exp.per_node_audit_passed

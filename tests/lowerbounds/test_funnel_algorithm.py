@@ -1,0 +1,83 @@
+"""Unit tests for the H_k funnel detection algorithm on G_{k,n}.
+
+(The end-to-end reduction tests live in test_superlinear.py; these poke the
+algorithm's wire protocol directly on the global engine.)"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congest import Decision
+from repro.graphs.gkn_family import GknFamily
+from repro.lowerbounds.superlinear import run_direct
+
+
+class TestFunnelProtocol:
+    def test_accepts_empty_inputs(self):
+        res = run_direct(2, 4, [], [])
+        assert res.decision is Decision.ACCEPT
+
+    def test_rejects_single_witness(self):
+        res = run_direct(2, 4, [(2, 3)], [(2, 3)])
+        assert res.decision is Decision.REJECT
+
+    def test_accepts_near_miss(self):
+        # Same top index, different bottom indices: no H_k.
+        res = run_direct(2, 4, [(2, 3)], [(2, 2)])
+        assert res.decision is Decision.ACCEPT
+
+    def test_exactly_one_rejecting_node(self):
+        """Only the B-side sink (clique-7 special) decides REJECT."""
+        res = run_direct(2, 5, [(1, 1), (2, 2)], [(2, 2)])
+        assert res.decision is Decision.REJECT
+        assert len(res.rejecting_nodes()) == 1
+
+    def test_decision_matches_lemma_3_1(self):
+        """The funnel's answer is exactly Lemma 3.1's predicate."""
+        fam = GknFamily(2, 4)
+        for x, y in [
+            ([(0, 0)], [(0, 1)]),
+            ([(0, 0), (1, 1)], [(1, 1)]),
+            ([(3, 3)], [(3, 3)]),
+            ([(0, 1), (1, 0)], [(0, 0), (1, 1)]),
+        ]:
+            res = run_direct(2, 4, x, y)
+            predicted = fam.lemma_3_1_predicts_copy(x, y)
+            assert res.rejected == predicted, (x, y)
+
+    def test_bandwidth_respected(self):
+        """All pair batches fit the declared bandwidth (engine enforces it;
+        this documents which B works at which n)."""
+        res = run_direct(2, 6, [(i, i) for i in range(6)], [(5, 5)], bandwidth=12)
+        assert res.rejected
+        assert res.metrics.max_message_bits <= 12
+
+    def test_too_small_bandwidth_fails_loudly(self):
+        from repro.congest.message import BandwidthExceeded
+
+        with pytest.raises(BandwidthExceeded):
+            run_direct(2, 6, [(0, 0)], [(0, 0)], bandwidth=3)
+
+    def test_bottleneck_edge_carries_all_x_pairs(self):
+        """The clique6->clique7 edge is the Θ(n²/B) bottleneck: its traffic
+        grows with |X| while endpoint edges stay flat."""
+        import networkx as nx
+
+        light = run_direct(2, 6, [(0, 0)], [])
+        heavy = run_direct(2, 6, [(i, j) for i in range(6) for j in range(6)], [])
+        def bottleneck(res):
+            # The single largest-traffic directed edge is the relay edge.
+            return max(res.metrics.edge_bits.values())
+
+        assert bottleneck(heavy) > 4 * bottleneck(light)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_random_instances_match_truth(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 5
+        x = {(int(i), int(j)) for i, j in rng.integers(0, n, size=(4, 2))}
+        y = {(int(i), int(j)) for i, j in rng.integers(0, n, size=(4, 2))}
+        res = run_direct(2, n, x, y, seed=seed)
+        assert res.rejected == bool(x & y)

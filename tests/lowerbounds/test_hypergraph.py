@@ -1,0 +1,117 @@
+"""Tests for the tripartite hypergraph and box search (Theorem 4.2 tooling)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowerbounds.hypergraph import (
+    Box,
+    TripartiteHypergraph,
+    erdos_edge_threshold,
+    find_box,
+)
+
+
+def complete_box_edges(a, b, c):
+    return [(x, y, z) for x in a for y in b for z in c]
+
+
+class TestHypergraph:
+    def test_edge_bookkeeping(self):
+        h = TripartiteHypergraph((3, 3, 3))
+        h.add_edge(0, 1, 2)
+        h.add_edge(0, 1, 2)  # duplicate ignored
+        assert h.num_edges == 1
+        assert h.has_edge(0, 1, 2)
+        assert not h.has_edge(2, 1, 0)
+
+    def test_out_of_range(self):
+        h = TripartiteHypergraph((2, 2, 2))
+        with pytest.raises(ValueError):
+            h.add_edge(2, 0, 0)
+
+    def test_from_triples(self):
+        h = TripartiteHypergraph.from_triples((2, 2, 2), [(0, 0, 0), (1, 1, 1)])
+        assert h.num_edges == 2
+
+
+class TestErdosThreshold:
+    def test_paper_exponent(self):
+        # r=3, l=2: threshold n^{2.75} (Section 4).
+        assert erdos_edge_threshold(16, 3, 2) == pytest.approx(16**2.75)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            erdos_edge_threshold(0)
+
+
+class TestFindBox:
+    def test_planted_box_found(self):
+        h = TripartiteHypergraph((5, 5, 5))
+        for t in complete_box_edges((1, 3), (0, 4), (2, 3)):
+            h.add_edge(*t)
+        box = find_box(h)
+        assert box is not None
+        # The returned box must be a genuine K^(3)(2).
+        for t in box.triples():
+            assert h.has_edge(*t)
+
+    def test_planted_box_among_noise(self):
+        rng = np.random.default_rng(0)
+        h = TripartiteHypergraph((8, 8, 8))
+        for _ in range(60):
+            h.add_edge(*(int(x) for x in rng.integers(0, 8, size=3)))
+        for t in complete_box_edges((0, 7), (1, 6), (2, 5)):
+            h.add_edge(*t)
+        box = find_box(h)
+        assert box is not None
+        for t in box.triples():
+            assert h.has_edge(*t)
+
+    def test_no_box_in_sparse(self):
+        # 7 edges cannot contain a box (which needs 8).
+        h = TripartiteHypergraph.from_triples(
+            (4, 4, 4), [(i, i, i) for i in range(4)] + [(0, 1, 2), (1, 2, 3), (2, 3, 0)]
+        )
+        assert find_box(h) is None
+
+    def test_almost_box_rejected(self):
+        # All 8 box triples except one.
+        h = TripartiteHypergraph((2, 2, 2))
+        triples = complete_box_edges((0, 1), (0, 1), (0, 1))
+        for t in triples[:-1]:
+            h.add_edge(*t)
+        assert find_box(h) is None
+        h.add_edge(*triples[-1])
+        assert find_box(h) is not None
+
+    def test_dense_above_threshold_has_box(self):
+        """Erdős's theorem, empirically: a dense random tripartite
+        3-graph far above the threshold always contains a box."""
+        rng = np.random.default_rng(3)
+        n = 8
+        h = TripartiteHypergraph((n, n, n))
+        for a, b, c in itertools.product(range(n), repeat=3):
+            if rng.random() < 0.7:
+                h.add_edge(a, b, c)
+        assert h.num_edges > erdos_edge_threshold(n)
+        assert find_box(h) is not None
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_found_boxes_are_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 6
+        h = TripartiteHypergraph((n, n, n))
+        for a, b, c in itertools.product(range(n), repeat=3):
+            if rng.random() < 0.35:
+                h.add_edge(a, b, c)
+        box = find_box(h)
+        if box is not None:
+            for t in box.triples():
+                assert h.has_edge(*t)
+            for side in box.sides:
+                assert side[0] != side[1]

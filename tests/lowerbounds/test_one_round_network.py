@@ -1,0 +1,81 @@
+"""Tests: one-round protocols on the real engine vs the analytic runner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.triangle import (
+    FullAnnouncementProtocol,
+    HashSketchProtocol,
+    SilentProtocol,
+    TruncatedAnnouncementProtocol,
+    run_one_round_protocol,
+)
+from repro.graphs.template_graph import sample_input
+from repro.lowerbounds.one_round_network import run_one_round_on_network
+
+PROTOCOLS = [
+    FullAnnouncementProtocol(10),
+    TruncatedAnnouncementProtocol(10, budget=30),
+    HashSketchProtocol(8),
+    SilentProtocol(),
+]
+
+
+class TestNetworkMatchesAnalytic:
+    @pytest.mark.parametrize("protocol", PROTOCOLS, ids=lambda p: p.name)
+    def test_agreement_over_samples(self, protocol):
+        checked = 0
+        for seed in range(40):
+            sample = sample_input(6, np.random.default_rng(seed), id_space=10**6)
+            if sample.has_duplicate_ids():
+                continue
+            analytic = run_one_round_protocol(protocol, sample)
+            network = run_one_round_on_network(protocol, sample)
+            assert analytic.rejected == network.rejected, seed
+            assert analytic.bandwidth_used == network.bandwidth_used
+            checked += 1
+        assert checked > 10
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_full_protocol_property(self, seed):
+        sample = sample_input(5, np.random.default_rng(seed), id_space=10**6)
+        if sample.has_duplicate_ids():
+            return
+        out = run_one_round_on_network(FullAnnouncementProtocol(20), sample)
+        assert out.rejected == sample.has_triangle()
+
+
+class TestEngineSemantics:
+    def test_exactly_one_communication_round(self):
+        sample = sample_input(5, np.random.default_rng(0), id_space=10**6)
+        # The engine enforces the declared bandwidth on that round.
+        out = run_one_round_on_network(FullAnnouncementProtocol(10), sample)
+        assert out.bandwidth_used >= 10  # own id at minimum
+
+    def test_bandwidth_enforced(self):
+        from repro.congest.message import BandwidthExceeded
+
+        sample = sample_input(6, np.random.default_rng(1), id_space=10**6)
+        with pytest.raises(BandwidthExceeded):
+            run_one_round_on_network(
+                FullAnnouncementProtocol(10), sample, bandwidth=2
+            )
+
+    def test_silent_protocol_sends_zero_bits(self):
+        sample = sample_input(5, np.random.default_rng(2), id_space=10**6)
+        out = run_one_round_on_network(SilentProtocol(), sample, bandwidth=1)
+        assert out.bandwidth_used == 0
+        assert not out.rejected
+
+    def test_leaves_never_reject(self):
+        """Global rejection can only originate at a special node."""
+        for seed in range(10):
+            sample = sample_input(6, np.random.default_rng(seed), id_space=10**6)
+            if sample.has_duplicate_ids():
+                continue
+            out = run_one_round_on_network(HashSketchProtocol(4), sample)
+            analytic = run_one_round_protocol(HashSketchProtocol(4), sample)
+            assert out.rejected == analytic.rejected

@@ -1,0 +1,112 @@
+"""Tests for the executable Theorem 1.2 reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commcomplexity.disjointness import (
+    disjointness_lower_bound_bits,
+    random_instance,
+    solve_by_bitmap,
+)
+from repro.lowerbounds.superlinear import (
+    implied_round_lower_bound,
+    run_direct,
+    run_reduction,
+)
+
+
+class TestBitmapProtocolBaseline:
+    def test_answers_and_cost(self):
+        inst = random_instance(5, np.random.default_rng(0), force_intersecting=True)
+        res = solve_by_bitmap(inst)
+        assert res.output is False  # intersecting -> not disjoint
+        assert res.meter.total_bits == 5 * 5 + 1
+
+    def test_disjoint_case(self):
+        inst = random_instance(4, np.random.default_rng(1), force_intersecting=False)
+        res = solve_by_bitmap(inst)
+        assert res.output is True
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_always_correct(self, seed, n):
+        inst = random_instance(n, np.random.default_rng(seed))
+        res = solve_by_bitmap(inst)
+        assert res.output == inst.disjoint
+
+    def test_lower_bound_oracle(self):
+        assert disjointness_lower_bound_bits(36) == 36
+        with pytest.raises(ValueError):
+            disjointness_lower_bound_bits(0)
+
+
+class TestReduction:
+    def test_correct_on_handpicked_instances(self):
+        cases = [
+            ([], [], True),
+            ([(0, 0)], [(0, 0)], False),
+            ([(0, 1), (1, 0)], [(1, 1)], True),
+            ([(2, 2), (3, 1)], [(3, 1)], False),
+        ]
+        for x, y, disjoint in cases:
+            r = run_reduction(2, 4, x, y)
+            assert r.disjoint_answer == disjoint
+            assert r.correct
+
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=2, max_value=3),
+        st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_correct_on_random_instances(self, seed, k, n):
+        inst = random_instance(n, np.random.default_rng(seed), density=0.2)
+        r = run_reduction(k, n, inst.x, inst.y)
+        assert r.correct
+
+    def test_simulation_matches_direct_run(self):
+        """Faithfulness: the jointly-simulated execution reaches the same
+        decision as a single global CONGEST run."""
+        for seed in range(4):
+            inst = random_instance(4, np.random.default_rng(seed), density=0.3)
+            r = run_reduction(2, 4, inst.x, inst.y, seed=seed)
+            d = run_direct(2, 4, inst.x, inst.y, seed=seed)
+            assert (not d.rejected) == r.disjoint_answer
+
+    def test_cut_size_matches_family_formula(self):
+        from repro.graphs.gkn_family import GknFamily
+
+        for k, n in ((2, 4), (2, 9), (3, 6)):
+            fam = GknFamily(k, n)
+            r = run_reduction(k, n, [(0, 0)], [(1, 1)])
+            assert r.cut_alice == fam.expected_cut_size()
+
+    def test_bits_scale_with_input_size(self):
+        """Dense inputs must push ~n^2 pair-records across the bottleneck:
+        the measured bits grow superlinearly with n."""
+        bits = {}
+        for n in (4, 8):
+            x = [(i, j) for i in range(n) for j in range(n)]
+            y = [(0, 0)]
+            r = run_reduction(2, n, x, y)
+            assert not r.disjoint_answer
+            bits[n] = r.total_bits
+        # n doubled => pairs quadrupled; at least x3 growth in bits.
+        assert bits[8] > 3 * bits[4]
+
+    def test_implied_lower_bound_formula(self):
+        assert implied_round_lower_bound(10, 5, 9) == pytest.approx(100 / 50)
+        with pytest.raises(ValueError):
+            implied_round_lower_bound(10, 0, 4)
+
+    def test_rounds_reflect_bottleneck(self):
+        """Halving the bandwidth should increase rounds for dense inputs."""
+        n = 6
+        x = [(i, j) for i in range(n) for j in range(n)]
+        y = []
+        wide = run_reduction(2, n, x, y, bandwidth=64)
+        narrow = run_reduction(2, n, x, y, bandwidth=8)
+        assert narrow.rounds > wide.rounds
+        assert wide.correct and narrow.correct

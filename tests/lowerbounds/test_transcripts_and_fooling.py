@@ -1,0 +1,176 @@
+"""Tests for the Section 4 transcript machinery and the Theorem 4.1
+adversary pipeline."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congest.identifiers import partitioned_namespace
+from repro.lowerbounds.fooling import attack, bucket_transcripts
+from repro.lowerbounds.transcripts import (
+    DecisionBroadcastTransform,
+    FullIdExchange,
+    HashedIdExchange,
+    TruncatedIdExchange,
+    node_transcript,
+    run_on_cycle,
+    triangle_transcript,
+    verify_prefix_code,
+)
+
+
+class TestCycleRunner:
+    def test_triangle_rejected_by_truncated_exchange(self):
+        """Completeness is structural: every triangle is rejected, at any
+        fingerprint width."""
+        for bits in (1, 2, 5):
+            alg = TruncatedIdExchange(bits)
+            ex = run_on_cycle(alg, (3, 11, 25))
+            assert not ex.accepted()
+            assert all(not d for d in ex.decisions.values())
+
+    def test_hexagon_accepted_with_full_ids(self):
+        alg = FullIdExchange(64)
+        ex = run_on_cycle(alg, (0, 1, 2, 3, 4, 5))
+        assert ex.accepted()
+
+    def test_hexagon_rejected_with_1_bit(self):
+        # 1-bit fingerprints: ids 0,1,2,6,7,8 alternate parity so 2-hop
+        # fingerprints collide with direct neighbors.
+        alg = TruncatedIdExchange(1)
+        ex = run_on_cycle(alg, (0, 1, 2, 6, 7, 8))
+        assert not ex.accepted()
+
+    def test_bits_accounting(self):
+        alg = TruncatedIdExchange(3)
+        ex = run_on_cycle(alg, (1, 2, 3))
+        # 2 rounds x 2 neighbors x 3 bits per node.
+        assert ex.max_bits_per_node() == 12
+        assert ex.bits_sent_by(1) == 12
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            run_on_cycle(TruncatedIdExchange(1), (1, 1, 2))
+
+    def test_too_short_cycle(self):
+        with pytest.raises(ValueError):
+            run_on_cycle(TruncatedIdExchange(1), (1, 2))
+
+
+class TestDecisionBroadcast:
+    def test_claim_4_3_all_triangle_nodes_reject(self):
+        """Claim 4.3: under A', all nodes of a (lone) triangle reject."""
+        alg = DecisionBroadcastTransform(TruncatedIdExchange(2))
+        ex = run_on_cycle(alg, (5, 17, 29))
+        assert all(not d for d in ex.decisions.values())
+
+    def test_transform_adds_one_round_of_bits(self):
+        base = TruncatedIdExchange(2)
+        wrapped = DecisionBroadcastTransform(base)
+        ex_base = run_on_cycle(base, (5, 17, 29))
+        ex_wrapped = run_on_cycle(wrapped, (5, 17, 29))
+        assert ex_wrapped.max_bits_per_node() == ex_base.max_bits_per_node() + 2
+
+    def test_transform_preserves_acceptance_on_good_hexagons(self):
+        alg = DecisionBroadcastTransform(FullIdExchange(64))
+        ex = run_on_cycle(alg, (0, 10, 20, 30, 40, 50))
+        assert ex.accepted()
+
+
+class TestTranscripts:
+    def test_transcript_concatenates_in_part_order(self):
+        parts = partitioned_namespace(10)
+        alg = TruncatedIdExchange(2)
+        ex = run_on_cycle(alg, (3, 14, 27))  # one id per part
+        t = triangle_transcript(ex, parts)
+        pieces = [node_transcript(ex, u, parts) for u in (3, 14, 27)]
+        assert t == "".join(pieces)
+
+    def test_transcript_length_bound(self):
+        """|Tr| <= 6(C+1) per the paper (here exactly: 3 nodes x 2
+        directions x bits-per-direction)."""
+        parts = partitioned_namespace(10)
+        alg = DecisionBroadcastTransform(TruncatedIdExchange(2))
+        ex = run_on_cycle(alg, (0, 11, 22))
+        t = triangle_transcript(ex, parts)
+        c_plus_1 = ex.max_bits_per_node() // 2  # bits per direction
+        assert len(t) <= 6 * c_plus_1
+
+    def test_transcript_unique_parse_fixed_width(self):
+        """Fixed-width messages: transcripts of equal-width algorithms on
+        different triangles have identical length (parsability)."""
+        parts = partitioned_namespace(10)
+        alg = TruncatedIdExchange(3)
+        t1 = triangle_transcript(run_on_cycle(alg, (0, 10, 20)), parts)
+        t2 = triangle_transcript(run_on_cycle(alg, (9, 19, 29)), parts)
+        assert len(t1) == len(t2)
+
+    def test_prefix_code_checker(self):
+        assert verify_prefix_code({0: {"00", "01", "10"}})
+        assert not verify_prefix_code({0: {"0", "01"}})
+        assert verify_prefix_code({0: {"0", "1"}, 1: {"11", "10"}})
+
+
+class TestAttackPipeline:
+    def test_fooling_succeeds_at_low_bandwidth(self):
+        parts = partitioned_namespace(8)
+        rep = attack(TruncatedIdExchange(1), parts)
+        assert rep.fooled
+        cert = rep.certificate
+        assert cert is not None
+        assert cert.claim_4_4_verified
+        assert len(set(cert.hexagon_ids)) == 6
+        assert cert.rejecting_nodes
+
+    def test_fooling_fails_with_full_ids(self):
+        parts = partitioned_namespace(8)
+        rep = attack(FullIdExchange(24), parts)
+        assert not rep.fooled
+        assert rep.largest_bucket == 1  # transcripts identify the triangle
+
+    def test_hashed_family_also_foolable(self):
+        parts = partitioned_namespace(8)
+        rep = attack(HashedIdExchange(1), parts)
+        assert rep.fooled
+
+    def test_threshold_grows_with_log_n(self):
+        """The Theorem 4.1 shape: the largest foolable fingerprint width
+        tracks Θ(log n).  At width >= log2(n) the truncation is injective
+        per part (our parts are contiguous ranges) and fooling must fail."""
+        for n in (4, 8, 16):
+            parts = partitioned_namespace(n)
+            width = math.ceil(math.log2(3 * n))
+            rep = attack(TruncatedIdExchange(width), parts)
+            assert not rep.fooled, f"n={n}: injective fingerprints were fooled"
+            rep_low = attack(TruncatedIdExchange(1), parts)
+            assert rep_low.fooled, f"n={n}: 1-bit fingerprints not fooled"
+
+    def test_pigeonhole_arithmetic_reported(self):
+        parts = partitioned_namespace(6)
+        rep = attack(TruncatedIdExchange(1), parts)
+        assert rep.num_triples == 6**3
+        assert rep.erdos_threshold == pytest.approx(6**2.75)
+        assert rep.largest_bucket >= rep.num_triples / (
+            2 ** (6 * (rep.max_bits_per_node // 2))
+        )
+
+    def test_incorrect_algorithm_caught_early(self):
+        class AcceptsEverything(TruncatedIdExchange):
+            def decide(self, state):
+                return True
+
+        parts = partitioned_namespace(4)
+        with pytest.raises(ValueError, match="accepts triangle"):
+            attack(AcceptsEverything(1), parts)
+
+    def test_certificate_hexagon_is_triangle_free(self):
+        """Sanity: the fooling input really is a hexagon (triangle-free),
+        so rejecting it is genuinely wrong."""
+        parts = partitioned_namespace(8)
+        rep = attack(TruncatedIdExchange(2), parts)
+        if rep.fooled:
+            ids = rep.certificate.hexagon_ids
+            # 6 distinct vertices in a cycle: girth 6.
+            assert len(set(ids)) == 6

@@ -1,0 +1,155 @@
+"""Tests for the command-line interface and edge-list I/O."""
+
+import pathlib
+import subprocess
+import sys
+
+import networkx as nx
+import pytest
+
+from repro.cli import main
+from repro.graphs import generators as gen
+from repro.graphs.io import read_edgelist, write_edgelist
+
+
+class TestEdgelistIO:
+    def test_roundtrip(self, tmp_path):
+        g = gen.erdos_renyi(15, 0.3, __import__("numpy").random.default_rng(0))
+        g.add_node(99)  # isolated vertex must survive
+        path = tmp_path / "g.edges"
+        write_edgelist(g, path)
+        back = read_edgelist(path)
+        assert set(back.nodes()) == set(g.nodes())
+        assert set(map(frozenset, back.edges())) == set(map(frozenset, g.edges()))
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# header\n\n1 2\n2 3  # inline\n7\n")
+        g = read_edgelist(path)
+        assert g.has_edge(1, 2) and g.has_edge(2, 3)
+        assert 7 in g.nodes()
+        assert g.number_of_edges() == 2
+
+    def test_string_labels(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("alice bob\n")
+        g = read_edgelist(path)
+        assert g.has_edge("alice", "bob")
+
+    def test_self_loop_rejected(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("1 1\n")
+        with pytest.raises(ValueError):
+            read_edgelist(path)
+
+    def test_bad_arity_rejected(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("1 2 3\n")
+        with pytest.raises(ValueError):
+            read_edgelist(path)
+
+    def test_unserializable_label(self, tmp_path):
+        g = nx.Graph()
+        g.add_node("has space")
+        with pytest.raises(ValueError):
+            write_edgelist(g, tmp_path / "g.edges")
+
+
+class TestCLICommands:
+    def test_detect_triangle(self, capsys):
+        rc = main(["detect", "--pattern", "triangle", "--graph", "grid",
+                   "--rows", "3", "--cols", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "triangle detected: False" in out
+
+    def test_detect_even_cycle(self, capsys):
+        rc = main(["detect", "--pattern", "c4", "--graph", "grid",
+                   "--rows", "4", "--cols", "4", "--iterations", "300"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "C_4 detected: True" in out
+
+    def test_detect_clique(self, capsys):
+        rc = main(["detect", "--pattern", "k3", "--graph", "cycle", "--length", "9"])
+        assert rc == 0
+        assert "K_3 detected: False" in capsys.readouterr().out
+
+    def test_detect_tree(self, capsys):
+        rc = main(["detect", "--pattern", "path3", "--graph", "cycle",
+                   "--length", "8", "--iterations", "60"])
+        assert rc == 0
+        assert "P_3 detected: True" in capsys.readouterr().out
+
+    def test_detect_odd_cycle(self, capsys):
+        # Success per coloring iteration is ~10/5^5, so give it room.
+        rc = main(["detect", "--pattern", "odd-c5", "--graph", "cycle",
+                   "--length", "5", "--iterations", "2500"])
+        assert rc == 0
+        assert "C_5 detected: True" in capsys.readouterr().out
+
+    def test_detect_from_file(self, capsys, tmp_path):
+        path = tmp_path / "g.edges"
+        write_edgelist(nx.complete_graph(4), path)
+        rc = main(["detect", "--pattern", "triangle", "--graph", "file",
+                   "--path", str(path)])
+        assert rc == 0
+        assert "triangle detected: True" in capsys.readouterr().out
+
+    def test_detect_bad_pattern(self):
+        with pytest.raises(SystemExit):
+            main(["detect", "--pattern", "c5", "--graph", "cycle"])
+
+    def test_construct_hk(self, capsys, tmp_path):
+        out_file = tmp_path / "hk.edges"
+        rc = main(["construct", "--which", "hk", "--k", "2", "--out", str(out_file)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "H_2: 56 vertices" in out
+        g = read_edgelist(out_file)
+        assert g.number_of_nodes() == 56
+
+    def test_construct_template(self, capsys):
+        rc = main(["construct", "--which", "template", "--n", "7"])
+        assert rc == 0
+        assert "24 vertices" in capsys.readouterr().out
+
+    def test_construct_bipartite(self, capsys):
+        rc = main(["construct", "--which", "bipartite", "--s", "2", "--k", "2",
+                   "--n", "3"])
+        assert rc == 0
+        assert "bipartite=True" in capsys.readouterr().out
+
+    def test_reduce_correct(self, capsys):
+        rc = main(["reduce", "--k", "2", "--n", "4", "--density", "0.3"])
+        assert rc == 0
+        assert "correct=True" in capsys.readouterr().out
+
+    def test_fool_truncated(self, capsys):
+        rc = main(["fool", "--bits", "1", "--n-per-part", "6"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fooled: True" in out
+
+    def test_fool_full_id(self, capsys):
+        rc = main(["fool", "--family", "full", "--n-per-part", "6"])
+        assert rc == 0
+        assert "fooled: False" in capsys.readouterr().out
+
+    def test_bounds(self, capsys):
+        rc = main(["bounds", "--n", "1024", "--k", "2", "--s", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Thm 1.1" in out and "Thm 1.2" in out and "listing K_3" in out
+
+
+@pytest.mark.slow
+def test_module_entrypoint_runs():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "bounds", "--n", "256"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "paper bounds" in proc.stdout

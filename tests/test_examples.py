@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs clean and prints its story.
+
+The examples double as end-to-end integration tests of the public API; a
+refactor that breaks an example breaks a deliverable.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+@pytest.mark.slow
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must narrate what they do"
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "motif_scan",
+        "lower_bound_tour",
+        "fooling_adversary",
+        "one_round_information",
+        "clique_census",
+    } <= names

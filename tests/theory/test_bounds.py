@@ -1,0 +1,134 @@
+"""Tests for the predicted-complexity formulas and the exponent fitter."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory.bounds import (
+    bipartite_detection_lower_bound,
+    clique_listing_exponent,
+    clique_listing_lower_bound,
+    deterministic_triangle_bits,
+    even_cycle_detection_rounds,
+    even_cycle_exponent,
+    fit_power_law_exponent,
+    hk_detection_lower_bound,
+    hk_exponent,
+    local_congest_separation,
+    local_detection_rounds,
+    one_round_triangle_bandwidth,
+)
+
+
+class TestExponents:
+    def test_section_6_anchors(self):
+        # "C_4 can be detected in O(n^{1/2}) rounds ... C_6 in O(n^{5/6})."
+        assert even_cycle_exponent(2) == pytest.approx(0.5)
+        assert even_cycle_exponent(3) == pytest.approx(5 / 6)
+
+    def test_exponent_sublinear_for_all_k(self):
+        for k in range(2, 50):
+            assert 0 < even_cycle_exponent(k) < 1
+
+    def test_exponent_increases_with_k(self):
+        es = [even_cycle_exponent(k) for k in range(2, 20)]
+        assert es == sorted(es)
+
+    def test_hk_exponent_superlinear(self):
+        for k in range(2, 30):
+            assert 1 < hk_exponent(k) < 2
+
+    def test_hk_exponent_approaches_2(self):
+        assert hk_exponent(100) > 1.98
+
+    def test_clique_listing_recovers_izumi_le_gall(self):
+        # s=3 must give the known triangle-listing exponent 1/3.
+        assert clique_listing_exponent(3) == pytest.approx(1 / 3)
+        assert clique_listing_exponent(4) == pytest.approx(1 / 2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            even_cycle_exponent(1)
+        with pytest.raises(ValueError):
+            clique_listing_exponent(2)
+        with pytest.raises(ValueError):
+            hk_detection_lower_bound(10, 0, 1)
+
+
+class TestBoundValues:
+    def test_even_cycle_rounds_sublinear(self):
+        for k in (2, 3, 4):
+            assert even_cycle_detection_rounds(10**6, k) < 10**6
+
+    def test_hk_bound_superlinear_for_large_n(self):
+        for k in (2, 3):
+            n = 10**6
+            assert hk_detection_lower_bound(n, k, bandwidth=20) > n
+
+    def test_bipartite_between_linear_and_quadratic(self):
+        n = 10**8
+        val = bipartite_detection_lower_bound(n, 4, 4, bandwidth=1)
+        assert n < val < n**2
+
+    def test_bipartite_below_nonbipartite(self):
+        # 2 - 1/k - 1/s < 2 - 1/k: the bipartite bound is weaker.
+        n = 10**4
+        assert bipartite_detection_lower_bound(
+            n, 3, 3, 8
+        ) < hk_detection_lower_bound(n, 3, 8)
+
+    def test_deterministic_triangle_log(self):
+        assert deterministic_triangle_bits(2**20) == pytest.approx(20.0)
+
+    def test_one_round_linear_in_delta(self):
+        assert one_round_triangle_bandwidth(500) == 500.0
+
+    def test_local_rounds(self):
+        assert local_detection_rounds(56) == 56
+
+    def test_separation_is_near_maximal(self):
+        """At k = Θ(log n) the CONGEST bound is n^{2-o(1)} while LOCAL is
+        O(log n) -- the paper's headline separation."""
+        local, congest = local_congest_separation(2**20, bandwidth=20)
+        assert local <= 300  # O(log n) sized pattern
+        # n^{2 - 1/k} / (Bk) at k = 20, B = 20 still clears n^{1.5}.
+        assert congest > (2**20) ** 1.5
+
+
+class TestFitter:
+    def test_exact_power_law(self):
+        ns = [10, 20, 40, 80, 160]
+        vals = [7.0 * n**1.5 for n in ns]
+        alpha, r2 = fit_power_law_exponent(ns, vals)
+        assert alpha == pytest.approx(1.5, abs=1e-9)
+        assert r2 == pytest.approx(1.0)
+
+    def test_noisy_power_law(self):
+        rng = np.random.default_rng(0)
+        ns = np.array([2**i for i in range(4, 12)], dtype=float)
+        vals = 3.0 * ns**0.5 * np.exp(rng.normal(0, 0.05, size=len(ns)))
+        alpha, r2 = fit_power_law_exponent(ns, vals)
+        assert abs(alpha - 0.5) < 0.1
+        assert r2 > 0.95
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_power_law_exponent([10], [5])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law_exponent([10, 0], [1, 1])
+
+    @given(
+        st.floats(min_value=0.1, max_value=3.0),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    @settings(max_examples=50)
+    def test_recovers_any_exponent(self, alpha, c):
+        ns = [10.0, 100.0, 1000.0]
+        vals = [c * n**alpha for n in ns]
+        fitted, r2 = fit_power_law_exponent(ns, vals)
+        assert fitted == pytest.approx(alpha, abs=1e-6)

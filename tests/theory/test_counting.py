@@ -1,0 +1,158 @@
+"""Tests for clique/cycle counting and Lemma 1.3."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import generators as gen
+from repro.graphs.subgraph_iso import count_copies
+from repro.theory.counting import (
+    count_cliques,
+    count_cycles_of_length,
+    count_triangles_matrix,
+    iter_cliques,
+    lemma_1_3_bound,
+    lemma_1_3_ratio,
+)
+
+
+class TestTriangleCounting:
+    def test_known_values(self):
+        assert count_triangles_matrix(gen.clique(4)) == 4
+        assert count_triangles_matrix(gen.clique(5)) == 10
+        assert count_triangles_matrix(gen.cycle(6)) == 0
+        assert count_triangles_matrix(gen.triangle()) == 1
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matrix_vs_enumeration(self, seed):
+        g = gen.erdos_renyi(25, 0.3, np.random.default_rng(seed))
+        assert count_triangles_matrix(g) == count_cliques(g, 3)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_matrix_vs_iso_engine(self, seed):
+        g = gen.erdos_renyi(12, 0.4, np.random.default_rng(seed))
+        assert count_triangles_matrix(g) == count_copies(gen.clique(3), g)
+
+
+class TestCliqueCounting:
+    def test_k4_in_k6(self):
+        assert count_cliques(gen.clique(6), 4) == math.comb(6, 4)
+
+    def test_k5_in_k5(self):
+        assert count_cliques(gen.clique(5), 5) == 1
+
+    def test_absent_clique(self):
+        assert count_cliques(gen.complete_bipartite(5, 5), 3) == 0
+
+    def test_k1_counts_vertices(self):
+        assert count_cliques(gen.cycle(7), 1) == 7
+
+    def test_k2_counts_edges(self):
+        g = gen.grid(3, 3)
+        assert count_cliques(g, 2) == g.number_of_edges()
+
+    def test_iter_cliques_are_cliques(self):
+        g = gen.erdos_renyi(15, 0.5, np.random.default_rng(1))
+        for c in iter_cliques(g, 3):
+            assert len(c) == 3
+            assert g.has_edge(c[0], c[1]) and g.has_edge(c[1], c[2]) and g.has_edge(c[0], c[2])
+
+    @pytest.mark.parametrize("s", [3, 4])
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_vs_iso_engine(self, s, seed):
+        g = gen.erdos_renyi(12, 0.5, np.random.default_rng(seed))
+        assert count_cliques(g, s) == count_copies(gen.clique(s), g)
+
+    def test_invalid_s(self):
+        with pytest.raises(ValueError):
+            count_cliques(gen.clique(3), 0)
+
+
+class TestLemma13:
+    """Lemma 1.3: any graph on m edges has at most O(m^{s/2}) copies of K_s."""
+
+    def test_bound_formula(self):
+        assert lemma_1_3_bound(8, 2) == pytest.approx(16.0)
+        assert lemma_1_3_bound(9, 4) == pytest.approx(18.0**2)
+
+    def test_clique_is_the_extremal_shape(self):
+        """K_t has m = C(t,2) edges and C(t,s) copies of K_s; the ratio
+        #K_s / m^{s/2} approaches its supremum on cliques -- and stays
+        below the explicit constant."""
+        for t in (4, 6, 8, 10, 12):
+            for s in (3, 4):
+                g = gen.clique(t)
+                m = g.number_of_edges()
+                assert count_cliques(g, s) <= lemma_1_3_bound(m, s)
+
+    @pytest.mark.parametrize("s", [3, 4, 5])
+    def test_bound_holds_on_random_graphs(self, s):
+        for seed in range(4):
+            g = gen.erdos_renyi(20, 0.4, np.random.default_rng(seed))
+            m = g.number_of_edges()
+            assert count_cliques(g, s) <= lemma_1_3_bound(m, s)
+
+    def test_bound_holds_on_dense_bipartite_plus_clique(self):
+        g = gen.disjoint_union_all([gen.complete_bipartite(8, 8), gen.clique(7)])
+        for s in (3, 4, 5):
+            assert count_cliques(g, s) <= lemma_1_3_bound(g.number_of_edges(), s)
+
+    def test_ratio_bounded_as_cliques_grow(self):
+        """The normalised ratio must not diverge with graph size -- the
+        content of the O(.) in Lemma 1.3."""
+        ratios = [lemma_1_3_ratio(gen.clique(t), 3) for t in (6, 10, 14, 18)]
+        # For K_t: C(t,3) / C(t,2)^{1.5} -> sqrt(2)/3 ~ 0.47.
+        assert max(ratios) < 0.72
+        assert abs(ratios[-1] - math.sqrt(2) / 3) < 0.1
+
+    def test_ratio_empty_graph(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(5))
+        assert lemma_1_3_ratio(g, 3) == 0.0
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_property_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        g = gen.erdos_renyi(int(rng.integers(5, 18)), float(rng.uniform(0.1, 0.9)), rng)
+        for s in (3, 4):
+            assert count_cliques(g, s) <= lemma_1_3_bound(g.number_of_edges(), s)
+
+
+class TestCycleCounting:
+    def test_single_cycle(self):
+        assert count_cycles_of_length(gen.cycle(6), 6) == 1
+        assert count_cycles_of_length(gen.cycle(6), 4) == 0
+
+    def test_k4_triangles_and_c4(self):
+        assert count_cycles_of_length(gen.clique(4), 3) == 4
+        assert count_cycles_of_length(gen.clique(4), 4) == 3
+
+    def test_theta_graph(self):
+        th = gen.theta_graph([2, 2, 2])  # three paths of length 2: 3 C_4s
+        assert count_cycles_of_length(th, 4) == 3
+
+    def test_grid_c4(self):
+        assert count_cycles_of_length(gen.grid(3, 3), 4) == 4
+
+    def test_projective_plane_c4_free(self):
+        from repro.graphs.extremal import projective_plane_incidence
+
+        g = projective_plane_incidence(3)
+        assert count_cycles_of_length(g, 4) == 0
+        assert count_cycles_of_length(g, 6) > 0
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            count_cycles_of_length(gen.clique(3), 2)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_c4_count_vs_iso_engine(self, seed):
+        g = gen.erdos_renyi(10, 0.4, np.random.default_rng(seed))
+        assert count_cycles_of_length(g, 4) == count_copies(gen.cycle(4), g)

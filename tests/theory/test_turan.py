@@ -1,0 +1,124 @@
+"""Tests for Turán-number bounds, verified against brute force on tiny n."""
+
+from itertools import combinations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import generators as gen
+from repro.graphs.subgraph_iso import contains_subgraph
+from repro.theory.turan import (
+    even_cycle_edge_budget,
+    ex_clique,
+    ex_complete_bipartite,
+    ex_even_cycle,
+    ex_odd_cycle,
+    turan_graph_edges,
+)
+
+
+def brute_force_ex(n: int, pattern: nx.Graph) -> int:
+    """Exact ex(n, pattern) by exhaustive search over all graphs on n vertices.
+
+    Exponential; only for n <= 6.
+    """
+    all_edges = list(combinations(range(n), 2))
+    best = 0
+    for mask in range(1 << len(all_edges)):
+        edges = [e for i, e in enumerate(all_edges) if mask >> i & 1]
+        if len(edges) <= best:
+            continue
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(edges)
+        if not contains_subgraph(pattern, g):
+            best = len(edges)
+    return best
+
+
+class TestTuranGraph:
+    def test_turan_graph_edges_basic(self):
+        # T(6, 2) = K_{3,3}: 9 edges.
+        assert turan_graph_edges(6, 2) == 9
+        # T(7, 3): parts 3,2,2 -> C(7,2) - (3+1+1) = 21 - 5 = 16.
+        assert turan_graph_edges(7, 3) == 16
+
+    def test_matches_networkx(self):
+        for n in range(1, 15):
+            for r in range(1, min(n, 6) + 1):
+                assert (
+                    turan_graph_edges(n, r)
+                    == nx.turan_graph(n, r).number_of_edges()
+                )
+
+    @pytest.mark.slow
+    def test_ex_clique_exact_small(self):
+        # Turán's theorem is exact: verify by brute force at n=5.
+        assert ex_clique(5, 3) == brute_force_ex(5, gen.clique(3))
+
+    def test_ex_clique_k3_quarter_squared(self):
+        for n in (2, 4, 6, 10, 101):
+            assert ex_clique(n, 3) == (n * n) // 4
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=2, max_value=8))
+    def test_ex_clique_monotone_in_s(self, n, s):
+        assert ex_clique(n, s) <= ex_clique(n, s + 1)
+
+
+class TestCycleBounds:
+    def test_even_cycle_budget_formula(self):
+        assert even_cycle_edge_budget(100, 2) == 1000  # 100^{1.5}
+        assert even_cycle_edge_budget(8, 3, constant=2.0) == 2 * 16
+
+    def test_even_cycle_budget_invalid(self):
+        with pytest.raises(ValueError):
+            even_cycle_edge_budget(10, 1)
+
+    def test_ex_even_cycle_dominates_projective_plane(self):
+        """The PG(2,q) incidence graph is C_4-free, so its edge count must
+        respect any valid upper bound on ex(n, C_4)."""
+        from repro.graphs.extremal import projective_plane_incidence
+
+        for q in (2, 3, 5, 7):
+            g = projective_plane_incidence(q)
+            assert g.number_of_edges() <= ex_even_cycle(g.number_of_nodes(), 2)
+
+    def test_ex_even_cycle_above_half_extremal_shape(self):
+        # The known extremal C_4-free graphs have ~0.5 n^{3/2} edges; a
+        # valid upper bound must exceed that.
+        for n in (100, 1000):
+            assert ex_even_cycle(n, 2) >= 0.5 * n**1.5
+
+    def test_ex_odd_cycle(self):
+        assert ex_odd_cycle(10, 5) == 25
+        with pytest.raises(ValueError):
+            ex_odd_cycle(10, 4)
+
+    def test_odd_cycle_bipartite_witness(self):
+        """K_{n/2,n/2} is odd-cycle-free with exactly ex_odd_cycle edges."""
+        b = gen.complete_bipartite(5, 5)
+        assert b.number_of_edges() == ex_odd_cycle(10, 5)
+        assert not contains_subgraph(gen.cycle(5), b)
+
+
+class TestKST:
+    def test_kst_c4(self):
+        # ex(n, K_{2,2}) = ex(n, C_4); KST gives ~0.5 n^{3/2}.
+        val = ex_complete_bipartite(100, 2, 2)
+        assert 400 <= val <= 1200
+
+    def test_kst_monotone(self):
+        assert ex_complete_bipartite(50, 2, 2) <= ex_complete_bipartite(50, 2, 5)
+
+    def test_kst_invalid(self):
+        with pytest.raises(ValueError):
+            ex_complete_bipartite(10, 3, 2)
+
+    @pytest.mark.slow
+    def test_kst_sound_small(self):
+        """KST upper bound is >= the true extremal value at n=5."""
+        assert ex_complete_bipartite(5, 2, 2) >= brute_force_ex(
+            5, gen.complete_bipartite(2, 2)
+        )
