@@ -1,0 +1,345 @@
+"""Engine fast path vs. the seed engine: same bits, half the wall-clock.
+
+The fast-path work has three layers: (1) the engine precomputes adjacency
+sets / neighbor tuples and inlines send validation, (2) ``metrics="lite"``
+skips the per-(edge, round) ledger while keeping aggregate counters exact,
+and (3) the even-cycle algorithm caches its schedule's phase boundaries as
+plain ints instead of re-deriving property chains every round, with
+``jobs`` fanning independent colorings over a process pool.
+
+To measure the gain honestly this module embeds a *frozen snapshot* of the
+seed implementation -- the seed engine round loop (networkx adjacency
+queries, eager per-node inboxes, always-full metrics) and the seed
+even-cycle round dispatch (schedule property chains, per-node uncached
+schedule builds) -- and races it against the shipped fast path on an
+E1-style sweep.  The snapshot classes below are a deliberate copy of the
+seed code; do not "fix" them, they are the regression baseline.
+
+The workload uses odd cycle graphs (C_{2k}-free), so every iteration on
+both sides executes the full schedule and the comparison also checks that
+decisions and aggregate bit totals are identical.
+"""
+
+import time
+from collections import deque
+
+import networkx as nx
+import pytest
+
+from conftest import print_table
+from repro.congest.algorithm import Decision, NodeContext, broadcast
+from repro.congest.message import Message, int_width
+from repro.congest.metrics import CommMetrics
+from repro.congest.network import CongestNetwork, ExecutionResult
+from repro.core.even_cycle import (
+    EvenCycleIterationAlgorithm,
+    IterationSchedule,
+    _build_schedule,
+    detect_even_cycle,
+    required_bandwidth,
+)
+
+NS = [65, 97, 129]  # odd => C_4-free; >= 64 per the bench contract
+K = 2
+ITERATIONS = 12
+JOBS = 4
+SEED = 0
+REQUIRED_SPEEDUP = 2.0
+REPEATS = 2  # best-of timing damps single-core scheduler noise
+
+
+# ----------------------------------------------------------------------
+# Frozen seed snapshot (baseline) -- copied from the pre-fast-path code.
+# ----------------------------------------------------------------------
+class SeedEvenCycle(EvenCycleIterationAlgorithm):
+    """Seed round dispatch: schedule property chains, uncached builds."""
+
+    def init(self, node: NodeContext) -> None:
+        if node.n is None:
+            raise ValueError("the Theorem 1.1 algorithm requires knowledge of n")
+        # The seed rebuilt the schedule per node (no memoization).
+        sched = _build_schedule.__wrapped__(node.n, self.k, self.edge_constant)
+        st = node.state
+        st["sched"] = sched
+        st["color"] = self.colors.color(node.id, node.rng, iteration=0)
+        st["is_high"] = node.degree >= sched.high_threshold
+        st["high_neighbors"] = set()
+        st["queue"] = deque()
+        st["seen_tokens"] = set()
+        st["layer"] = None
+        st["removed_neighbors"] = set()
+        st["pfx_queue"] = deque()
+        st["inc_origins"] = set()
+        st["dec_origins"] = set()
+        st["witness"] = None
+        st["max_pfx_queue"] = 0
+        st["pfx_enqueued"] = 0
+
+    def round(self, node: NodeContext, inbox):
+        st = node.state
+        sched: IterationSchedule = st["sched"]
+        r = node.round
+
+        for sender, msg in inbox.items():
+            kind = msg.kind
+            if kind == "high":
+                st["high_neighbors"].add(sender)
+                st["removed_neighbors"].add(sender)
+            elif kind == "bfs":
+                self._ingest_bfs(node, msg)
+            elif kind == "peeled":
+                st["removed_neighbors"].add(sender)
+            elif kind == "pfx":
+                self._ingest_prefix(node, sender, msg)
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown message kind {kind!r}")
+
+        if r == 0:
+            if st["is_high"]:
+                if st["color"] == 0 and self.enable_phase1:
+                    st["queue"].append((node.id, 0))
+                    st["seen_tokens"].add((node.id, 0))
+                return broadcast(node, Message.of_record(None, 1, kind="high"))
+            return {}
+
+        if r < sched.phase_bfs_end:
+            out = self._phase_bfs_round(node)
+            if r == sched.phase_bfs_end - 1 and st["queue"]:
+                node.reject()
+                st["witness"] = ("queue-overflow-phase1", len(st["queue"]))
+            return out
+
+        if st["is_high"]:
+            if r >= sched.phase_prefix_end:
+                self._finish_iteration(node)
+            return {}
+
+        if r < sched.phase_peel_end:
+            return self._phase_peel_round(node, r - sched.phase_peel_start)
+
+        if r < sched.phase_prefix_end:
+            out = self._phase_prefix_round(node, r - sched.phase_prefix_start)
+            if r == sched.phase_prefix_end - 1 and st["pfx_queue"]:
+                node.reject()
+                st["witness"] = ("queue-overflow-phase2", len(st["pfx_queue"]))
+            return out
+
+        self._finish_iteration(node)
+        return {}
+
+    def _phase_bfs_round(self, node: NodeContext):
+        st = node.state
+        if not st["queue"]:
+            return {}
+        origin, hop = st["queue"].popleft()
+        w = int_width(node.namespace_size)
+        msg = Message.of_record(
+            (origin, hop), size_bits=w + int_width(2 * self.k), kind="bfs"
+        )
+        return broadcast(node, msg)
+
+    def _phase_peel_round(self, node: NodeContext, step: int):
+        st = node.state
+        sched: IterationSchedule = st["sched"]
+        if st["layer"] is not None:
+            return {}
+        if step > sched.peel_steps:
+            return {}
+        if step == sched.peel_steps:
+            node.reject()
+            st["witness"] = ("unassigned-layer", self._active_degree(node))
+            return {}
+        if self._active_degree(node) <= sched.tau:
+            st["layer"] = step
+            return broadcast(node, Message.of_record(None, 1, kind="peeled"))
+        return {}
+
+    def _prefix_message(self, node: NodeContext, direction, path, origin_layer):
+        w = int_width(node.namespace_size)
+        sched: IterationSchedule = node.state["sched"]
+        layer_bits = int_width(sched.peel_steps + 1)
+        size = len(path) * w + layer_bits + int_width(2 * self.k) + 2
+        return Message.of_record((direction, path, origin_layer), size, kind="pfx")
+
+
+class SeedNetwork(CongestNetwork):
+    """Seed round loop: networkx lookups, eager inboxes, full metrics."""
+
+    def run(self, algorithm, max_rounds, seed=0, stop_on_reject=False,
+            **_ignored) -> ExecutionResult:
+        import numpy as np
+
+        metrics = CommMetrics()
+        master = np.random.default_rng(seed) if seed is not None else None
+
+        contexts = {}
+        for u in sorted(self.graph.nodes()):
+            rng = (
+                np.random.default_rng(master.integers(0, 2**63))
+                if master is not None
+                else None
+            )
+            contexts[u] = NodeContext(
+                id=u,
+                neighbors=tuple(sorted(self.graph.neighbors(u))),
+                n=self.n if self.knows_n else None,
+                namespace_size=self.namespace_size,
+                bandwidth=self.bandwidth,
+                input=self.inputs.get(u),
+                rng=rng,
+            )
+        for ctx in contexts.values():
+            algorithm.init(ctx)
+
+        inboxes = {u: {} for u in contexts}
+        rounds_run = 0
+        for r in range(max_rounds):
+            if all(ctx._halted for ctx in contexts.values()):
+                break
+            if stop_on_reject and any(
+                ctx.decision is Decision.REJECT for ctx in contexts.values()
+            ):
+                break
+            next_inboxes = {u: {} for u in contexts}
+            any_traffic = False
+            for u, ctx in contexts.items():
+                if ctx._halted:
+                    continue
+                ctx.round = r
+                outbox = algorithm.round(ctx, inboxes[u]) or {}
+                for v, msg in outbox.items():
+                    self._seed_validate_send(u, v, msg)
+                    metrics.record(r, u, v, msg.size_bits)
+                    next_inboxes[v][u] = msg
+                    any_traffic = True
+            inboxes = next_inboxes
+            rounds_run = r + 1
+            if not any_traffic and all(
+                not inboxes[u] for u in contexts
+            ) and self._seed_all_quiescent(algorithm, contexts):
+                break
+
+        for ctx in contexts.values():
+            algorithm.finish(ctx)
+
+        decisions = {u: ctx.decision for u, ctx in contexts.items()}
+        if any(d is Decision.REJECT for d in decisions.values()):
+            global_decision = Decision.REJECT
+        else:
+            global_decision = Decision.ACCEPT
+        return ExecutionResult(
+            decision=global_decision,
+            rounds=rounds_run,
+            metrics=metrics,
+            node_decisions=decisions,
+            contexts=contexts,
+        )
+
+    def _seed_validate_send(self, u, v, msg):
+        if not isinstance(msg, Message):
+            raise TypeError(f"node {u} tried to send a non-Message: {msg!r}")
+        if v not in self.graph[u]:
+            raise ValueError(f"node {u} tried to send to non-neighbor {v}")
+        if self.bandwidth is not None and msg.size_bits > self.bandwidth:
+            raise Exception(
+                f"node {u} -> {v}: message of {msg.size_bits} bits exceeds "
+                f"B={self.bandwidth}"
+            )
+
+    @staticmethod
+    def _seed_all_quiescent(algorithm, contexts):
+        probe = getattr(algorithm, "is_quiescent", None)
+        if probe is None:
+            return True
+        return all(probe(ctx) for ctx in contexts.values())
+
+
+def run_seed_snapshot(graph: nx.Graph, k: int, iterations: int, seed: int):
+    """The seed detect_even_cycle loop on the seed engine snapshot."""
+    n = graph.number_of_nodes()
+    sched = _build_schedule.__wrapped__(n, k, 1.0)
+    net = SeedNetwork(graph, bandwidth=required_bandwidth(n, k))
+    detected = False
+    total_bits = 0
+    runs = 0
+    for t in range(iterations):
+        res = net.run(SeedEvenCycle(k), max_rounds=sched.total_rounds + 1,
+                      seed=seed + t)
+        runs += 1
+        total_bits += res.metrics.total_bits
+        if res.rejected:
+            detected = True
+            break
+    return detected, total_bits, runs
+
+
+def run_fastpath(graph: nx.Graph, k: int, iterations: int, seed: int,
+                 jobs: int = JOBS):
+    rep = detect_even_cycle(
+        graph, k, iterations=iterations, seed=seed, jobs=jobs, metrics="lite"
+    )
+    return rep.detected, rep.total_bits, rep.iterations_run
+
+
+# ----------------------------------------------------------------------
+class TestEngineFastpath:
+    def test_fastpath_equivalent_on_small_instance(self):
+        """Quick (non-slow) check: snapshot and fast path agree exactly."""
+        g = nx.cycle_graph(33)
+        seed_out = run_seed_snapshot(g, K, 2, SEED)
+        fast_out = run_fastpath(g, K, 2, SEED, jobs=2)
+        assert seed_out == fast_out
+
+    @pytest.mark.slow
+    def test_fastpath_at_least_2x_on_e1_sweep(self):
+        """The headline claim: >= 2x wall-clock on the E1-style sweep,
+        identical decisions and aggregate bit totals."""
+        def best_of(fn):
+            best, out = None, None
+            for _ in range(REPEATS):
+                t0 = time.perf_counter()
+                out = fn()
+                dt = time.perf_counter() - t0
+                best = dt if best is None else min(best, dt)
+            return best, out
+
+        rows = []
+        seed_total = 0.0
+        fast_total = 0.0
+        for n in NS:
+            g = nx.cycle_graph(n)
+            t_seed, seed_out = best_of(
+                lambda: run_seed_snapshot(g, K, ITERATIONS, SEED)
+            )
+            t_fast, fast_out = best_of(
+                lambda: run_fastpath(g, K, ITERATIONS, SEED)
+            )
+            assert seed_out == fast_out, (
+                f"n={n}: fast path diverged: seed {seed_out} vs {fast_out}"
+            )
+            assert seed_out[0] is False  # odd cycle: every iteration ran
+            seed_total += t_seed
+            fast_total += t_fast
+            rows.append(
+                (n, f"{t_seed:.3f}s", f"{t_fast:.3f}s",
+                 f"{t_seed / t_fast:.2f}x", seed_out[1])
+            )
+
+        speedup = seed_total / fast_total
+        print_table(
+            f"Engine fast path vs seed snapshot "
+            f"(k={K}, {ITERATIONS} iterations, jobs={JOBS}, lite metrics) "
+            f"[overall speedup {speedup:.2f}x]",
+            ["n", "seed", "fast path", "speedup", "total bits (both)"],
+            rows,
+        )
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"fast path only {speedup:.2f}x over the seed engine "
+            f"(need >= {REQUIRED_SPEEDUP}x)"
+        )
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-v", "-s"]))

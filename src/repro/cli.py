@@ -57,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bandwidth", type=int, default=None)
     p.add_argument("--iterations", type=int, default=300)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for amplified detectors "
+                        "(decision is identical to --jobs 1)")
+    p.add_argument("--metrics", default="full", choices=["full", "lite"],
+                   help="engine accounting: 'lite' keeps aggregate totals "
+                        "only (faster; same decision)")
 
     p = sub.add_parser("construct", help="build a paper construction")
     p.add_argument("--which", required=True, choices=["hk", "gkn", "template", "bipartite"])
@@ -78,8 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--family", default="trunc", choices=["trunc", "hash", "full"])
 
     p = sub.add_parser("experiment", help="run a paper experiment")
-    p.add_argument("name", help="e1, e2, e2-live, e3, e4, e4-scaling, e5, "
-                                "e5-live, e6, e6-live, e7, e8, or 'all'")
+    p.add_argument("name", help="e1, e1-live, e2, e2-live, e3, e4, e4-scaling, "
+                                "e5, e5-live, e6, e6-live, e7, e8, or 'all'")
 
     p = sub.add_parser("bounds", help="print predicted complexities")
     p.add_argument("--n", type=int, required=True)
@@ -123,13 +129,15 @@ def _cmd_detect(args) -> int:
     print(f"graph: {g.number_of_nodes()} nodes, {g.number_of_edges()} edges")
 
     if pat == "triangle":
-        res = detect_triangle_congest(g, bandwidth=args.bandwidth or 16, seed=args.seed)
+        res = detect_triangle_congest(g, bandwidth=args.bandwidth or 16,
+                                      seed=args.seed, metrics=args.metrics)
         print(f"triangle detected: {res.rejected} (rounds: {res.rounds}, "
               f"bits: {res.metrics.total_bits})")
         return 0
     if pat.startswith("odd-c"):
         length = int(pat[5:])
-        rep = detect_cycle_linear(g, length, iterations=args.iterations, seed=args.seed)
+        rep = detect_cycle_linear(g, length, iterations=args.iterations, seed=args.seed,
+                                  jobs=args.jobs, metrics=args.metrics)
         print(f"C_{length} detected: {rep.detected} "
               f"({rep.iterations_run} iterations x {rep.rounds_per_iteration} rounds)")
         return 0
@@ -139,14 +147,16 @@ def _cmd_detect(args) -> int:
             raise SystemExit("use c<even length> or odd-c<length>")
         k = length // 2
         rep = detect_even_cycle(g, k, iterations=args.iterations, seed=args.seed,
-                                bandwidth=args.bandwidth)
+                                bandwidth=args.bandwidth,
+                                jobs=args.jobs, metrics=args.metrics)
         print(f"C_{length} detected: {rep.detected} "
               f"({rep.iterations_run} iterations x {rep.rounds_per_iteration} rounds; "
               f"Theorem 1.1 schedule R1={rep.schedule.r1} R2={rep.schedule.r2})")
         return 0
     if pat.startswith("k"):
         s = int(pat[1:])
-        res = detect_clique(g, s, bandwidth=args.bandwidth or 8, seed=args.seed)
+        res = detect_clique(g, s, bandwidth=args.bandwidth or 8, seed=args.seed,
+                            metrics=args.metrics)
         print(f"K_{s} detected: {res.rejected} (rounds: {res.rounds})")
         return 0
     if pat.startswith("path"):

@@ -21,8 +21,9 @@ from .identifiers import (
 )
 from .local_model import BallCollection, LocalNetwork, run_local
 from .message import BandwidthExceeded, Message, id_width, int_width
-from .metrics import CommMetrics
+from .metrics import CommMetrics, MetricsModeError
 from .network import CongestNetwork, ExecutionResult, run_congest
+from .parallel import AmplifiedOutcome, IterationOutcome, run_amplified
 
 __all__ = [
     "Algorithm",
@@ -48,7 +49,11 @@ __all__ = [
     "id_width",
     "int_width",
     "CommMetrics",
+    "MetricsModeError",
     "CongestNetwork",
     "ExecutionResult",
     "run_congest",
+    "AmplifiedOutcome",
+    "IterationOutcome",
+    "run_amplified",
 ]

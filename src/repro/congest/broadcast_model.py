@@ -51,10 +51,15 @@ class BroadcastNetwork(CongestNetwork):
         max_rounds: int,
         seed: Optional[int] = 0,
         stop_on_reject: bool = False,
+        metrics: str = "full",
     ) -> ExecutionResult:
         checked = _BroadcastChecked(algorithm)
         return super().run(
-            checked, max_rounds=max_rounds, seed=seed, stop_on_reject=stop_on_reject
+            checked,
+            max_rounds=max_rounds,
+            seed=seed,
+            stop_on_reject=stop_on_reject,
+            metrics=metrics,
         )
 
 
@@ -64,13 +69,15 @@ class _BroadcastChecked(Algorithm):
     def __init__(self, inner: Algorithm):
         self.inner = inner
         self.name = f"broadcast({getattr(inner, 'name', 'algorithm')})"
+        # Forward the quiescence hook only if the inner algorithm has one:
+        # the engine treats a missing hook as "never assume quiescent", and
+        # the wrapper must not change that contract.
+        probe = getattr(inner, "is_quiescent", None)
+        if probe is not None:
+            self.is_quiescent = probe
 
     def init(self, node: NodeContext) -> None:
         self.inner.init(node)
-
-    def is_quiescent(self, node: NodeContext) -> bool:
-        probe = getattr(self.inner, "is_quiescent", None)
-        return probe(node) if probe else True
 
     def round(self, node: NodeContext, inbox: Mapping[int, Message]):
         outbox = self.inner.round(node, inbox) or {}
@@ -122,7 +129,12 @@ def run_broadcast_congest(
 ) -> ExecutionResult:
     """One-shot broadcast-CONGEST run with the restriction enforced."""
     stop_on_reject = kwargs.pop("stop_on_reject", False)
+    metrics = kwargs.pop("metrics", "full")
     net = BroadcastNetwork(graph, bandwidth=bandwidth, **kwargs)
     return net.run(
-        algorithm, max_rounds=max_rounds, seed=seed, stop_on_reject=stop_on_reject
+        algorithm,
+        max_rounds=max_rounds,
+        seed=seed,
+        stop_on_reject=stop_on_reject,
+        metrics=metrics,
     )

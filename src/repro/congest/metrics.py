@@ -11,25 +11,47 @@ quantities:
 * Theorem 5.1 charges for the maximum single-message size
   (:meth:`CommMetrics.max_message_bits`), since the protocol has one round.
 
-All of these are recorded exactly, per (round, directed edge).
+Metric modes
+------------
+``mode="full"`` (the default) records everything exactly, per (round,
+directed edge).  Every lower-bound harness requires this mode: the cut /
+per-node / per-edge queries are only defined over the full ledger.
+
+``mode="lite"`` is the fast path for upper-bound sweeps: it keeps the
+aggregate counters (``rounds``, ``total_bits``, ``total_messages``,
+``max_message_bits``, and the per-round totals ``round_bits``) but skips the
+per-edge and per-node dictionaries entirely.  The aggregates are *exact* --
+bit-identical to what a full-mode run of the same execution would report --
+only the per-edge breakdown is missing.  Calling a per-edge query
+(:meth:`cut_bits`, :meth:`max_bits_per_node`, :meth:`max_bits_per_edge`) on
+a lite ledger raises :class:`MetricsModeError`.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, Set, Tuple
 
-__all__ = ["CommMetrics"]
+__all__ = ["CommMetrics", "MetricsModeError", "METRIC_MODES"]
+
+#: The metric modes :class:`CommMetrics` (and the engine) accept.
+METRIC_MODES = ("full", "lite")
+
+
+class MetricsModeError(RuntimeError):
+    """A per-edge query was asked of a ``mode="lite"`` ledger."""
 
 
 @dataclass
 class CommMetrics:
-    """Exact per-edge, per-round communication accounting.
+    """Per-edge, per-round communication accounting.
 
     ``edge_bits[(u, v)]`` is the total bits sent from ``u`` to ``v`` over the
     whole run (directed).  ``round_bits[r]`` is the total bits sent in round
-    ``r``.  ``node_bits[u]`` is the total bits node ``u`` sent.
+    ``r``.  ``node_bits[u]`` is the total bits node ``u`` sent.  In
+    ``mode="lite"`` only the aggregate counters and ``round_bits`` are
+    maintained (see the module docstring for the contract).
     """
 
     edge_bits: Dict[Tuple[int, int], int] = field(
@@ -42,13 +64,19 @@ class CommMetrics:
     total_bits: int = 0
     total_messages: int = 0
     max_message_bits: int = 0
+    mode: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.mode not in METRIC_MODES:
+            raise ValueError(f"metrics mode must be one of {METRIC_MODES}, got {self.mode!r}")
 
     def record(self, round_no: int, sender: int, receiver: int, size_bits: int) -> None:
         """Record one message of ``size_bits`` bits from sender to receiver."""
-        self.edge_bits[(sender, receiver)] += size_bits
+        if self.mode == "full":
+            self.edge_bits[(sender, receiver)] += size_bits
+            self.node_bits[sender] += size_bits
+            self.node_messages[sender] += 1
         self.round_bits[round_no] += size_bits
-        self.node_bits[sender] += size_bits
-        self.node_messages[sender] += 1
         self.total_bits += size_bits
         self.total_messages += 1
         if size_bits > self.max_message_bits:
@@ -56,9 +84,36 @@ class CommMetrics:
         if round_no + 1 > self.rounds:
             self.rounds = round_no + 1
 
+    def add_round(
+        self, round_no: int, bits: int, messages: int, max_message_bits: int
+    ) -> None:
+        """Fold one round's pre-aggregated totals into the ledger.
+
+        The engine's lite fast path accumulates a round's traffic in local
+        counters and flushes once per round; the resulting aggregates are
+        identical to calling :meth:`record` per message.
+        """
+        if messages == 0:
+            return
+        self.round_bits[round_no] += bits
+        self.total_bits += bits
+        self.total_messages += messages
+        if max_message_bits > self.max_message_bits:
+            self.max_message_bits = max_message_bits
+        if round_no + 1 > self.rounds:
+            self.rounds = round_no + 1
+
     # ------------------------------------------------------------------
-    # Queries used by the lower-bound harnesses
+    # Queries used by the lower-bound harnesses (full mode only)
     # ------------------------------------------------------------------
+    def _require_full(self, query: str) -> None:
+        if self.mode != "full":
+            raise MetricsModeError(
+                f"CommMetrics.{query} needs the per-edge ledger; this run used "
+                "metrics='lite'.  Lower-bound harnesses must run with "
+                "metrics='full' (the default)."
+            )
+
     def cut_bits(self, side: Iterable[int]) -> int:
         """Total bits that crossed the vertex cut ``(side, rest)``, both ways.
 
@@ -66,6 +121,7 @@ class CommMetrics:
         Alice simulates ``side``; every bit on a cut edge must be relayed to
         or from Bob.
         """
+        self._require_full("cut_bits")
         side_set: Set[int] = set(side)
         total = 0
         for (u, v), bits in self.edge_bits.items():
@@ -75,22 +131,39 @@ class CommMetrics:
 
     def max_bits_per_node(self) -> int:
         """Worst-case total bits sent by a single node (Theorem 4.1's ``C``)."""
+        self._require_full("max_bits_per_node")
         return max(self.node_bits.values(), default=0)
 
     def max_bits_per_edge(self) -> int:
         """Worst-case total bits sent over a single directed edge."""
+        self._require_full("max_bits_per_edge")
         return max(self.edge_bits.values(), default=0)
 
     def bits_in_round(self, round_no: int) -> int:
         return self.round_bits.get(round_no, 0)
 
     def summary(self) -> Dict[str, int]:
-        """A flat dictionary convenient for benchmark tables."""
+        """A flat dictionary convenient for benchmark tables.
+
+        In lite mode the per-node / per-edge maxima are unavailable and are
+        omitted from the summary instead of raising.
+        """
+        out = {
+            "rounds": self.rounds,
+            "total_bits": self.total_bits,
+            "total_messages": self.total_messages,
+            "max_message_bits": self.max_message_bits,
+        }
+        if self.mode == "full":
+            out["max_bits_per_node"] = self.max_bits_per_node()
+            out["max_bits_per_edge"] = self.max_bits_per_edge()
+        return out
+
+    def aggregate_summary(self) -> Dict[str, int]:
+        """The mode-independent aggregate counters (lite/full comparable)."""
         return {
             "rounds": self.rounds,
             "total_bits": self.total_bits,
             "total_messages": self.total_messages,
             "max_message_bits": self.max_message_bits,
-            "max_bits_per_node": self.max_bits_per_node(),
-            "max_bits_per_edge": self.max_bits_per_edge(),
         }

@@ -20,11 +20,37 @@ Faithfulness notes
 * A node may send at most one :class:`~repro.congest.message.Message` per
   edge per round; multi-part data must be pipelined over rounds, exactly as
   in the model.
+
+Termination and round accounting
+--------------------------------
+The round loop ends when (a) ``max_rounds`` is reached, (b) every node has
+halted, (c) ``stop_on_reject`` is set and some node rejected, or (d) a round
+carries no traffic **and** the algorithm's optional ``is_quiescent`` hook
+affirms every non-halted node is idle.  An algorithm *without* the hook is
+never assumed quiescent: schedule-driven algorithms (peeling phases, round
+deadlines) have legitimately silent rounds mid-schedule and must run to
+completion or halt explicitly.
+
+``ExecutionResult.rounds`` bills every executed round *except* the terminal
+all-silent round that merely confirms quiescence (case (d)): nothing was
+sent in it and nothing was pending, so it is a probe, not a communication
+round.  For message-driven algorithms that fall silent only when done, this
+makes ``ExecutionResult.rounds == CommMetrics.rounds`` exactly.
+
+Fast path
+---------
+Adjacency sets and sorted neighbor tuples are precomputed once per
+:class:`CongestNetwork`, so per-message send validation and per-run context
+construction never touch networkx.  ``run(..., metrics="lite")`` keeps the
+aggregate bit counters but skips the per-edge metric dictionaries (see
+:mod:`repro.congest.metrics` for the exact contract); lower-bound harnesses
+must keep the default ``metrics="full"``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
 
 import networkx as nx
@@ -33,9 +59,12 @@ import numpy as np
 from .algorithm import Algorithm, Decision, NodeContext
 from .identifiers import canonical_assignment
 from .message import BandwidthExceeded, Message
-from .metrics import CommMetrics
+from .metrics import METRIC_MODES, CommMetrics
 
 __all__ = ["CongestNetwork", "ExecutionResult", "run_congest"]
+
+#: Shared read-only inbox for rounds in which a node received nothing.
+_EMPTY_INBOX: Mapping[int, Message] = MappingProxyType({})
 
 
 @dataclass
@@ -43,8 +72,9 @@ class ExecutionResult:
     """Outcome of one simulator run.
 
     ``decision`` follows Definition 1: REJECT iff some node rejected,
-    otherwise ACCEPT.  ``rounds`` counts communication rounds actually
-    executed.  ``metrics`` holds the exact bit accounting.
+    otherwise ACCEPT.  ``rounds`` counts billable communication rounds (all
+    executed rounds except a terminal silent quiescence probe -- see the
+    module docstring).  ``metrics`` holds the exact bit accounting.
     """
 
     decision: Decision
@@ -126,6 +156,17 @@ class CongestNetwork:
         self.inputs = {
             self.assignment[v]: inp for v, inp in (inputs or {}).items()
         }
+        # Fast-path precomputation: adjacency sets for send validation and
+        # sorted neighbor tuples for context construction, built once so the
+        # round loop (and repeated runs on the same network) never query
+        # networkx again.
+        self._node_ids: Tuple[int, ...] = tuple(sorted(self.graph.nodes()))
+        self._adj: Dict[int, frozenset] = {
+            u: frozenset(self.graph[u]) for u in self._node_ids
+        }
+        self._neighbor_tuples: Dict[int, Tuple[int, ...]] = {
+            u: tuple(sorted(self._adj[u])) for u in self._node_ids
+        }
 
     # ------------------------------------------------------------------
     def run(
@@ -134,18 +175,26 @@ class CongestNetwork:
         max_rounds: int,
         seed: Optional[int] = 0,
         stop_on_reject: bool = False,
+        metrics: str = "full",
     ) -> ExecutionResult:
         """Execute ``algorithm`` for up to ``max_rounds`` rounds.
 
-        The run ends early when every node has halted, or (if
-        ``stop_on_reject``) as soon as some node rejects at a round boundary.
+        The run ends early when every node has halted, when (if
+        ``stop_on_reject``) some node rejects at a round boundary, or when a
+        silent round is confirmed quiescent by the algorithm's
+        ``is_quiescent`` hook (never assumed when the hook is absent).
         ``seed=None`` gives nodes no randomness (deterministic algorithms).
+        ``metrics`` selects the accounting mode: ``"full"`` (exact per-edge
+        ledger, required by lower-bound harnesses) or ``"lite"`` (aggregate
+        counters only, the fast path for upper-bound sweeps).
         """
-        metrics = CommMetrics()
+        if metrics not in METRIC_MODES:
+            raise ValueError(f"metrics must be one of {METRIC_MODES}, got {metrics!r}")
+        comm = CommMetrics(mode=metrics)
         master = np.random.default_rng(seed) if seed is not None else None
 
         contexts: Dict[int, NodeContext] = {}
-        for u in sorted(self.graph.nodes()):
+        for u in self._node_ids:
             rng = (
                 np.random.default_rng(master.integers(0, 2**63))
                 if master is not None
@@ -153,7 +202,7 @@ class CongestNetwork:
             )
             contexts[u] = NodeContext(
                 id=u,
-                neighbors=tuple(sorted(self.graph.neighbors(u))),
+                neighbors=self._neighbor_tuples[u],
                 n=self.n if self.knows_n else None,
                 namespace_size=self.namespace_size,
                 bandwidth=self.bandwidth,
@@ -163,36 +212,79 @@ class CongestNetwork:
         for ctx in contexts.values():
             algorithm.init(ctx)
 
-        inboxes: Dict[int, Dict[int, Message]] = {u: {} for u in contexts}
+        # Hoisted hot-loop state.
+        probe = getattr(algorithm, "is_quiescent", None)
+        lite = metrics == "lite"
+        adj = self._adj
+        bandwidth = self.bandwidth
+        ctx_items = tuple(contexts.items())
+        ctx_values = tuple(contexts.values())
+        record = comm.record
+        round_fn = algorithm.round
+
+        inboxes: Dict[int, Dict[int, Message]] = {}
         rounds_run = 0
         for r in range(max_rounds):
-            if all(ctx._halted for ctx in contexts.values()):
+            if all(ctx._halted for ctx in ctx_values):
                 break
             if stop_on_reject and any(
-                ctx.decision is Decision.REJECT for ctx in contexts.values()
+                ctx.decision is Decision.REJECT for ctx in ctx_values
             ):
                 break
-            next_inboxes: Dict[int, Dict[int, Message]] = {u: {} for u in contexts}
+            next_inboxes: Dict[int, Dict[int, Message]] = {}
             any_traffic = False
-            for u, ctx in contexts.items():
+            round_total = 0
+            round_msgs = 0
+            round_max = 0
+            for u, ctx in ctx_items:
                 if ctx._halted:
                     continue
                 ctx.round = r
-                outbox = algorithm.round(ctx, inboxes[u]) or {}
+                outbox = round_fn(ctx, inboxes.get(u, _EMPTY_INBOX))
+                if not outbox:
+                    continue
+                u_adj = adj[u]
                 for v, msg in outbox.items():
-                    self._validate_send(u, v, msg)
-                    metrics.record(r, u, v, msg.size_bits)
-                    next_inboxes[v][u] = msg
+                    if not isinstance(msg, Message):
+                        raise TypeError(
+                            f"node {u} tried to send a non-Message: {msg!r}"
+                        )
+                    if v not in u_adj:
+                        raise ValueError(
+                            f"node {u} tried to send to non-neighbor {v}"
+                        )
+                    size = msg.size_bits
+                    if bandwidth is not None and size > bandwidth:
+                        raise BandwidthExceeded(
+                            f"node {u} -> {v}: message of {size} bits "
+                            f"exceeds B={bandwidth}"
+                        )
+                    if lite:
+                        round_total += size
+                        round_msgs += 1
+                        if size > round_max:
+                            round_max = size
+                    else:
+                        record(r, u, v, size)
+                    box = next_inboxes.get(v)
+                    if box is None:
+                        box = next_inboxes[v] = {}
+                    box[u] = msg
                     any_traffic = True
+            if lite and round_msgs:
+                comm.add_round(r, round_total, round_msgs, round_max)
             inboxes = next_inboxes
             rounds_run = r + 1
-            if not any_traffic and all(
-                not inboxes[u] for u in contexts
-            ) and self._all_quiescent(algorithm, contexts):
-                # No messages in flight and nothing pending: the network is
-                # silent; further rounds are no-ops for message-driven
-                # algorithms.  Algorithms that need exact round counts halt
-                # explicitly instead of relying on this.
+            if not any_traffic and (
+                probe is not None
+                and all(ctx._halted or probe(ctx) for ctx in ctx_values)
+            ):
+                # Nothing was sent, nothing is pending, and the algorithm
+                # affirms every node is idle: the network is quiescent.  The
+                # just-executed silent round was only a probe, so it is not
+                # billable -- roll it back so ExecutionResult.rounds agrees
+                # with CommMetrics.rounds for message-driven algorithms.
+                rounds_run = r
                 break
 
         for ctx in contexts.values():
@@ -206,16 +298,17 @@ class CongestNetwork:
         return ExecutionResult(
             decision=global_decision,
             rounds=rounds_run,
-            metrics=metrics,
+            metrics=comm,
             node_decisions=decisions,
             contexts=contexts,
         )
 
     # ------------------------------------------------------------------
     def _validate_send(self, u: int, v: int, msg: Message) -> None:
+        """Reference send validation (the round loop inlines these checks)."""
         if not isinstance(msg, Message):
             raise TypeError(f"node {u} tried to send a non-Message: {msg!r}")
-        if v not in self.graph[u]:
+        if v not in self._adj[u]:
             raise ValueError(f"node {u} tried to send to non-neighbor {v}")
         if self.bandwidth is not None and msg.size_bits > self.bandwidth:
             raise BandwidthExceeded(
@@ -224,11 +317,14 @@ class CongestNetwork:
 
     @staticmethod
     def _all_quiescent(algorithm: Algorithm, contexts: Dict[int, NodeContext]) -> bool:
-        """True if the algorithm declares every node idle (optional hook)."""
+        """True if the algorithm *affirms* every node idle via its optional
+        ``is_quiescent`` hook.  A missing hook means "do not assume
+        quiescent": schedule-driven algorithms have legitimately silent
+        rounds, so silence alone never ends a run."""
         probe = getattr(algorithm, "is_quiescent", None)
         if probe is None:
-            return True
-        return all(probe(ctx) for ctx in contexts.values())
+            return False
+        return all(ctx._halted or probe(ctx) for ctx in contexts.values())
 
 
 def run_congest(
@@ -241,5 +337,12 @@ def run_congest(
 ) -> ExecutionResult:
     """One-shot convenience wrapper: build a network and run an algorithm."""
     stop_on_reject = kwargs.pop("stop_on_reject", False)
+    metrics = kwargs.pop("metrics", "full")
     net = CongestNetwork(graph, bandwidth=bandwidth, **kwargs)
-    return net.run(algorithm, max_rounds=max_rounds, seed=seed, stop_on_reject=stop_on_reject)
+    return net.run(
+        algorithm,
+        max_rounds=max_rounds,
+        seed=seed,
+        stop_on_reject=stop_on_reject,
+        metrics=metrics,
+    )

@@ -1,0 +1,234 @@
+"""Parallel amplification for color-coding style detectors.
+
+The randomized upper bounds in the paper (Theorem 1.1 even-cycle detection,
+the linear color-BFS baseline, color-coded tree DP) all amplify a
+low-success-probability iteration over many *independent* colorings.  The
+iterations share nothing -- iteration ``t`` is a fresh run with seed
+``seed + t`` -- so they are embarrassingly parallel.  This module fans them
+out over a :class:`concurrent.futures.ProcessPoolExecutor` with *chunked
+seeds* and a *deterministic merge*:
+
+* the iteration range is split into contiguous chunks; each worker builds
+  the network once and runs its chunk sequentially (stopping at the chunk's
+  first rejection, exactly like the sequential loop would);
+* the merge takes the **first rejecting seed** (smallest iteration index
+  that rejected).  Because iteration ``t`` is bit-for-bit the same run the
+  sequential loop would have executed, the merged decision, witness set,
+  and per-iteration aggregates are identical to the sequential loop with
+  ``stop_on_detect`` -- independent of ``jobs`` and of chunk boundaries.
+
+Workers return compact :class:`IterationOutcome` summaries (decision,
+rounds, aggregate bits, witnesses) rather than full
+:class:`~repro.congest.network.ExecutionResult` objects, so the fan-out
+stays cheap to pickle.  The factory passed in must itself be picklable
+(a module-level function, a ``functools.partial`` of one, or a dataclass
+with ``__call__`` -- see ``_EvenCycleFactory`` in
+:mod:`repro.core.even_cycle` for the pattern).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from .algorithm import Algorithm, Decision
+from .network import CongestNetwork, ExecutionResult
+
+__all__ = ["IterationOutcome", "AmplifiedOutcome", "run_amplified"]
+
+
+@dataclass(frozen=True)
+class IterationOutcome:
+    """Picklable summary of one amplification iteration."""
+
+    index: int
+    rejected: bool
+    rounds: int
+    total_bits: int
+    total_messages: int
+    max_message_bits: int
+    witnesses: Tuple[Any, ...]
+    rejecting_nodes: Tuple[int, ...]
+
+
+@dataclass
+class AmplifiedOutcome:
+    """Merged outcome of an amplified run, sequential-equivalent.
+
+    ``outcomes`` lists exactly the iterations the *sequential* loop would
+    have executed (``0 .. iterations_run - 1``), in order; extra iterations
+    that parallel workers happened to run past the first rejecting seed are
+    discarded by the merge.
+    """
+
+    rejected: bool
+    first_reject: Optional[int]
+    iterations_run: int
+    outcomes: List[IterationOutcome] = field(default_factory=list)
+
+    @property
+    def witnesses(self) -> List[Any]:
+        out: List[Any] = []
+        for o in self.outcomes:
+            if o.rejected:
+                out.extend(o.witnesses)
+        return out
+
+    @property
+    def total_bits(self) -> int:
+        return sum(o.total_bits for o in self.outcomes)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(o.total_messages for o in self.outcomes)
+
+
+def _summarize(index: int, res: ExecutionResult) -> IterationOutcome:
+    witnesses = tuple(
+        ctx.state.get("witness")
+        for ctx in res.contexts.values()
+        if ctx.decision is Decision.REJECT
+    )
+    m = res.metrics
+    return IterationOutcome(
+        index=index,
+        rejected=res.rejected,
+        rounds=res.rounds,
+        total_bits=m.total_bits,
+        total_messages=m.total_messages,
+        max_message_bits=m.max_message_bits,
+        witnesses=witnesses,
+        rejecting_nodes=res.rejecting_nodes(),
+    )
+
+
+def _run_chunk(spec: Dict[str, Any]) -> List[IterationOutcome]:
+    """Worker: run a contiguous chunk of iterations on one network build.
+
+    Module-level so it pickles under every multiprocessing start method.
+    """
+    net = CongestNetwork(
+        spec["graph"], bandwidth=spec["bandwidth"], **spec["network_kwargs"]
+    )
+    factory: Callable[[int], Algorithm] = spec["algo_factory"]
+    out: List[IterationOutcome] = []
+    for t in range(spec["start"], spec["stop"]):
+        res = net.run(
+            factory(t),
+            max_rounds=spec["max_rounds"],
+            seed=spec["seed"] + t,
+            metrics=spec["metrics"],
+        )
+        out.append(_summarize(t, res))
+        if res.rejected and spec["stop_on_detect"]:
+            break
+    return out
+
+
+def run_amplified(
+    graph: nx.Graph,
+    algo_factory: Callable[[int], Algorithm],
+    iterations: int,
+    jobs: int = 1,
+    seed: int = 0,
+    *,
+    bandwidth: Optional[int],
+    max_rounds: int,
+    metrics: str = "lite",
+    stop_on_detect: bool = True,
+    chunks_per_job: int = 4,
+    network_kwargs: Optional[Dict[str, Any]] = None,
+) -> AmplifiedOutcome:
+    """Amplify ``algo_factory`` over ``iterations`` independent colorings.
+
+    Semantically equivalent -- decision, witness set, per-iteration
+    aggregates -- to the sequential loop::
+
+        net = CongestNetwork(graph, bandwidth=bandwidth, **network_kwargs)
+        for t in range(iterations):
+            res = net.run(algo_factory(t), max_rounds, seed=seed + t,
+                          metrics=metrics)
+            if res.rejected and stop_on_detect:
+                break
+
+    With ``jobs > 1`` chunks of the iteration range run in a process pool;
+    the first-rejecting-seed merge keeps the output independent of ``jobs``.
+    ``jobs <= 1`` runs inline with no executor (the exact sequential path).
+    """
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    network_kwargs = dict(network_kwargs or {})
+
+    spec_base: Dict[str, Any] = {
+        "graph": graph,
+        "algo_factory": algo_factory,
+        "seed": seed,
+        "bandwidth": bandwidth,
+        "max_rounds": max_rounds,
+        "metrics": metrics,
+        "stop_on_detect": stop_on_detect,
+        "network_kwargs": network_kwargs,
+    }
+
+    if jobs == 1 or iterations == 1:
+        outcomes = _run_chunk({**spec_base, "start": 0, "stop": iterations})
+        return _merge([outcomes], iterations, stop_on_detect)
+
+    jobs = min(jobs, iterations)
+    n_chunks = min(iterations, jobs * max(1, chunks_per_job))
+    bounds = [
+        (iterations * i) // n_chunks for i in range(n_chunks + 1)
+    ]
+    chunk_results: List[Optional[List[IterationOutcome]]] = [None] * n_chunks
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(_run_chunk, {**spec_base, "start": lo, "stop": hi})
+            for lo, hi in zip(bounds, bounds[1:])
+        ]
+        try:
+            for i, fut in enumerate(futures):
+                chunk_results[i] = fut.result()
+                if stop_on_detect and any(o.rejected for o in chunk_results[i]):
+                    # Everything before the first rejecting seed is in hand;
+                    # later chunks can only lose the first-reject race.
+                    for later in futures[i + 1 :]:
+                        later.cancel()
+                    break
+        finally:
+            for fut in futures:
+                fut.cancel()
+    return _merge(
+        [c for c in chunk_results if c is not None], iterations, stop_on_detect
+    )
+
+
+def _merge(
+    chunks: List[List[IterationOutcome]], iterations: int, stop_on_detect: bool
+) -> AmplifiedOutcome:
+    by_index: Dict[int, IterationOutcome] = {}
+    for chunk in chunks:
+        for o in chunk:
+            by_index[o.index] = o
+    rejecting = sorted(i for i, o in by_index.items() if o.rejected)
+    first_reject = rejecting[0] if rejecting else None
+    if first_reject is not None and stop_on_detect:
+        iterations_run = first_reject + 1
+    else:
+        iterations_run = iterations
+    outcomes = [by_index[i] for i in range(iterations_run) if i in by_index]
+    # Contiguity invariant: chunks are contiguous and only stop early at a
+    # rejection, so every index < iterations_run must be present.
+    if len(outcomes) != iterations_run:
+        missing = [i for i in range(iterations_run) if i not in by_index]
+        raise RuntimeError(f"amplification lost iterations {missing[:5]}")
+    return AmplifiedOutcome(
+        rejected=first_reject is not None,
+        first_reject=first_reject,
+        iterations_run=iterations_run,
+        outcomes=outcomes,
+    )

@@ -114,9 +114,14 @@ def detect_clique(
     s: int,
     bandwidth: int,
     seed: int = 0,
+    metrics: str = "full",
 ) -> ExecutionResult:
-    """Run the O(n) clique detector; deterministic, two-sided correct."""
+    """Run the O(n) clique detector; deterministic, two-sided correct.
+
+    ``metrics="lite"`` selects the engine fast path (aggregate counters
+    only); the decision and aggregate bit totals are unchanged.
+    """
     net = CongestNetwork(graph, bandwidth=bandwidth)
     n = graph.number_of_nodes()
     max_rounds = math.ceil(n / max(1, bandwidth)) + 2
-    return net.run(CliqueDetection(s), max_rounds=max_rounds, seed=seed)
+    return net.run(CliqueDetection(s), max_rounds=max_rounds, seed=seed, metrics=metrics)

@@ -26,6 +26,7 @@ import networkx as nx
 from ..congest.algorithm import Algorithm, Decision, NodeContext, broadcast
 from ..congest.message import Message, int_width
 from ..congest.network import CongestNetwork, ExecutionResult
+from ..congest.parallel import run_amplified
 from .color_coding import ColorSource
 
 __all__ = [
@@ -129,6 +130,20 @@ class LinearCycleReport:
     rounds_per_iteration: int
     total_rounds: int
     results: List[ExecutionResult] = field(default_factory=list)
+    total_bits: int = 0
+    total_messages: int = 0
+
+
+@dataclass(frozen=True)
+class _LinearCycleFactory:
+    """Picklable per-iteration algorithm factory for parallel amplification."""
+
+    length: int
+    color_map: Optional[Tuple[Tuple[int, int], ...]]
+
+    def __call__(self, iteration: int) -> LinearCycleIterationAlgorithm:
+        cmap = dict(self.color_map) if self.color_map is not None else None
+        return LinearCycleIterationAlgorithm(self.length, color_map=cmap)
 
 
 def detect_cycle_linear(
@@ -140,20 +155,63 @@ def detect_cycle_linear(
     color_map: Optional[Mapping[int, int]] = None,
     stop_on_detect: bool = True,
     keep_results: bool = False,
+    jobs: int = 1,
+    metrics: str = "full",
 ) -> LinearCycleReport:
-    """Amplified O(n)-baseline detection of ``C_length``."""
+    """Amplified O(n)-baseline detection of ``C_length``.
+
+    ``jobs`` / ``metrics`` mirror :func:`repro.core.even_cycle.detect_even_cycle`:
+    iterations fan out over a process pool with a first-rejecting-seed merge,
+    so the decision is bit-identical to the sequential loop.
+    """
     n = graph.number_of_nodes()
     if bandwidth is None:
         bandwidth = int_width(max(n, 2)) + int_width(length)
-    net = CongestNetwork(graph, bandwidth=bandwidth)
     rounds_per = n + length + 2
+
+    if jobs > 1:
+        if keep_results:
+            raise ValueError(
+                "keep_results needs jobs=1: full ExecutionResults are not "
+                "shipped back from worker processes"
+            )
+        factory = _LinearCycleFactory(
+            length,
+            tuple(sorted(color_map.items())) if color_map is not None else None,
+        )
+        amp = run_amplified(
+            graph,
+            factory,
+            iterations,
+            jobs=jobs,
+            seed=seed,
+            bandwidth=bandwidth,
+            max_rounds=rounds_per,
+            metrics=metrics,
+            stop_on_detect=stop_on_detect,
+        )
+        return LinearCycleReport(
+            detected=amp.rejected,
+            iterations_run=amp.iterations_run,
+            rounds_per_iteration=rounds_per,
+            total_rounds=amp.iterations_run * rounds_per,
+            results=[],
+            total_bits=amp.total_bits,
+            total_messages=amp.total_messages,
+        )
+
+    net = CongestNetwork(graph, bandwidth=bandwidth)
     detected = False
     runs = 0
+    total_bits = 0
+    total_messages = 0
     results: List[ExecutionResult] = []
     for t in range(iterations):
         algo = LinearCycleIterationAlgorithm(length, color_map=color_map)
-        res = net.run(algo, max_rounds=rounds_per, seed=seed + t)
+        res = net.run(algo, max_rounds=rounds_per, seed=seed + t, metrics=metrics)
         runs += 1
+        total_bits += res.metrics.total_bits
+        total_messages += res.metrics.total_messages
         if keep_results:
             results.append(res)
         if res.rejected:
@@ -166,4 +224,6 @@ def detect_cycle_linear(
         rounds_per_iteration=rounds_per,
         total_rounds=runs * rounds_per,
         results=results,
+        total_bits=total_bits,
+        total_messages=total_messages,
     )

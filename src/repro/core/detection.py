@@ -91,12 +91,18 @@ def detect(
     seed: int = 0,
     target_confidence: float = 2.0 / 3.0,
     max_iterations: Optional[int] = None,
+    jobs: int = 1,
+    metrics: str = "full",
 ) -> DetectOutcome:
     """Detect ``pattern`` in ``graph`` with the best algorithm we have.
 
     ``target_confidence`` sizes the amplification of the randomized
     detectors (capped by ``max_iterations`` to keep simulations finite at
     large k; the cap is reported through ``miss_probability``).
+    ``jobs``/``metrics`` select the fast-path engine for the amplified
+    detectors: iterations fan out over ``jobs`` worker processes, and
+    ``metrics="lite"`` skips the per-edge accounting (aggregate totals stay
+    exact).  Neither changes the detection decision.
     """
     kind = classify_pattern(pattern)
     n = graph.number_of_nodes()
@@ -120,7 +126,9 @@ def detect(
         )
 
     if kind == "triangle":
-        res = detect_triangle_congest(graph, bandwidth=bandwidth or 16, seed=seed)
+        res = detect_triangle_congest(
+            graph, bandwidth=bandwidth or 16, seed=seed, metrics=metrics
+        )
         return DetectOutcome(
             res.rejected, kind, "neighbor exchange", "CONGEST", res.rounds,
             {"bits": res.metrics.total_bits},
@@ -128,7 +136,9 @@ def detect(
 
     if kind == "clique":
         s = pattern.number_of_nodes()
-        res = detect_clique(graph, s, bandwidth=bandwidth or 8, seed=seed)
+        res = detect_clique(
+            graph, s, bandwidth=bandwidth or 8, seed=seed, metrics=metrics
+        )
         return DetectOutcome(
             res.rejected, kind, "bitmap shipping [10]", "CONGEST", res.rounds, {}
         )
@@ -137,7 +147,13 @@ def detect(
         k = pattern.number_of_nodes() // 2
         want = _amplify((2 * k) ** (2 * k), target_confidence, max_iterations)
         rep = detect_even_cycle(
-            graph, k, iterations=want.iterations, seed=seed, bandwidth=bandwidth
+            graph,
+            k,
+            iterations=want.iterations,
+            seed=seed,
+            bandwidth=bandwidth,
+            jobs=jobs,
+            metrics=metrics,
         )
         return DetectOutcome(
             rep.detected, kind, "Theorem 1.1 (sublinear)", "CONGEST",
@@ -151,7 +167,13 @@ def detect(
         length = pattern.number_of_nodes()
         want = _amplify(length**length, target_confidence, max_iterations)
         rep = detect_cycle_linear(
-            graph, length, iterations=want.iterations, seed=seed, bandwidth=bandwidth
+            graph,
+            length,
+            iterations=want.iterations,
+            seed=seed,
+            bandwidth=bandwidth,
+            jobs=jobs,
+            metrics=metrics,
         )
         return DetectOutcome(
             rep.detected, kind, "linear color-BFS", "CONGEST", rep.total_rounds,

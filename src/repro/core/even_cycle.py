@@ -38,6 +38,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import networkx as nx
@@ -46,6 +47,7 @@ import numpy as np
 from ..congest.algorithm import Algorithm, Decision, NodeContext, broadcast
 from ..congest.message import Message, int_width
 from ..congest.network import CongestNetwork, ExecutionResult
+from ..congest.parallel import run_amplified
 from ..theory.turan import even_cycle_edge_budget
 from .color_coding import ColorSource, RandomColorSource
 from .decomposition import peel_threshold
@@ -103,36 +105,43 @@ class IterationSchedule:
 
     @staticmethod
     def build(n: int, k: int, edge_constant: float = 1.0) -> "IterationSchedule":
-        if k < 2:
-            raise ValueError("Theorem 1.1 needs k >= 2")
-        if n < 2:
-            raise ValueError("need n >= 2")
-        m_budget = even_cycle_edge_budget(n, k, constant=edge_constant)
-        delta = 1.0 / (k - 1)
-        high = max(1, math.ceil(n**delta))
-        # At most 2M/n^delta nodes can have degree >= n^delta when |E| <= M
-        # (degree sum), and each injects one token traveling 2k hops.
-        r1 = math.ceil(2 * m_budget / high) + 2 * k
-        peel_steps = max(1, math.ceil(math.log2(n))) + 1
-        tau = peel_threshold(n, m_budget)
-        # Prefix count through a node: <= tau origins survive the layer
-        # filter, each extended through at most n^{delta(k-2)} low-degree
-        # continuations; 2k covers travel time.
-        r2 = (
-            2 * k
-            + tau
-            + math.ceil(2 * k * tau * (n ** (delta * max(0, k - 2))))
-        )
-        return IterationSchedule(
-            k=k,
-            n=n,
-            edge_budget=m_budget,
-            high_threshold=high,
-            r1=r1,
-            peel_steps=peel_steps,
-            tau=tau,
-            r2=r2,
-        )
+        # Every node of every iteration derives the same schedule from
+        # (n, k, M); memoized so per-node init stays O(1) on the fast path.
+        return _build_schedule(n, k, edge_constant)
+
+
+@lru_cache(maxsize=1024)
+def _build_schedule(n: int, k: int, edge_constant: float) -> IterationSchedule:
+    if k < 2:
+        raise ValueError("Theorem 1.1 needs k >= 2")
+    if n < 2:
+        raise ValueError("need n >= 2")
+    m_budget = even_cycle_edge_budget(n, k, constant=edge_constant)
+    delta = 1.0 / (k - 1)
+    high = max(1, math.ceil(n**delta))
+    # At most 2M/n^delta nodes can have degree >= n^delta when |E| <= M
+    # (degree sum), and each injects one token traveling 2k hops.
+    r1 = math.ceil(2 * m_budget / high) + 2 * k
+    peel_steps = max(1, math.ceil(math.log2(n))) + 1
+    tau = peel_threshold(n, m_budget)
+    # Prefix count through a node: <= tau origins survive the layer
+    # filter, each extended through at most n^{delta(k-2)} low-degree
+    # continuations; 2k covers travel time.
+    r2 = (
+        2 * k
+        + tau
+        + math.ceil(2 * k * tau * (n ** (delta * max(0, k - 2))))
+    )
+    return IterationSchedule(
+        k=k,
+        n=n,
+        edge_budget=m_budget,
+        high_threshold=high,
+        r1=r1,
+        peel_steps=peel_steps,
+        tau=tau,
+        r2=r2,
+    )
 
 
 def required_bandwidth(n: int, k: int, namespace_size: Optional[int] = None) -> int:
@@ -187,6 +196,18 @@ class EvenCycleIterationAlgorithm(Algorithm):
         sched = IterationSchedule.build(node.n, self.k, self.edge_constant)
         st = node.state
         st["sched"] = sched
+        # Phase boundaries and message widths as plain ints: the round
+        # dispatch below runs once per node per round, and re-deriving the
+        # schedule properties there dominates the engine's wall-clock.
+        st["bfs_end"] = sched.phase_bfs_end
+        st["peel_start"] = sched.phase_peel_start
+        st["peel_end"] = sched.phase_peel_end
+        st["prefix_start"] = sched.phase_prefix_start
+        st["prefix_end"] = sched.phase_prefix_end
+        st["peel_steps"] = sched.peel_steps
+        st["tau"] = sched.tau
+        st["id_width"] = int_width(node.namespace_size)
+        st["layer_bits"] = int_width(sched.peel_steps + 1)
         st["color"] = self.colors.color(node.id, node.rng, iteration=0)
         st["is_high"] = node.degree >= sched.high_threshold
         st["high_neighbors"] = set()
@@ -208,24 +229,23 @@ class EvenCycleIterationAlgorithm(Algorithm):
     # ------------------------------------------------------------------
     def round(self, node: NodeContext, inbox: Mapping[int, Message]):
         st = node.state
-        sched: IterationSchedule = st["sched"]
         r = node.round
-        k = self.k
 
         # ---- ingest ---------------------------------------------------
-        for sender, msg in inbox.items():
-            kind = msg.kind
-            if kind == "high":
-                st["high_neighbors"].add(sender)
-                st["removed_neighbors"].add(sender)
-            elif kind == "bfs":
-                self._ingest_bfs(node, msg)
-            elif kind == "peeled":
-                st["removed_neighbors"].add(sender)
-            elif kind == "pfx":
-                self._ingest_prefix(node, sender, msg)
-            else:  # pragma: no cover - defensive
-                raise AssertionError(f"unknown message kind {kind!r}")
+        if inbox:
+            for sender, msg in inbox.items():
+                kind = msg.kind
+                if kind == "high":
+                    st["high_neighbors"].add(sender)
+                    st["removed_neighbors"].add(sender)
+                elif kind == "bfs":
+                    self._ingest_bfs(node, msg)
+                elif kind == "peeled":
+                    st["removed_neighbors"].add(sender)
+                elif kind == "pfx":
+                    self._ingest_prefix(node, sender, msg)
+                else:  # pragma: no cover - defensive
+                    raise AssertionError(f"unknown message kind {kind!r}")
 
         # ---- act by phase ----------------------------------------------
         if r == 0:
@@ -237,26 +257,28 @@ class EvenCycleIterationAlgorithm(Algorithm):
                 return broadcast(node, Message.of_record(None, 1, kind="high"))
             return {}
 
-        if r < sched.phase_bfs_end:
+        bfs_end = st["bfs_end"]
+        if r < bfs_end:
             out = self._phase_bfs_round(node)
-            if r == sched.phase_bfs_end - 1 and st["queue"]:
+            if r == bfs_end - 1 and st["queue"]:
                 # Lemma 6.3: a clogged queue certifies |E| > M.
                 node.reject()
                 st["witness"] = ("queue-overflow-phase1", len(st["queue"]))
             return out
 
         # From here on, high-degree nodes are removed from the graph.
+        prefix_end = st["prefix_end"]
         if st["is_high"]:
-            if r >= sched.phase_prefix_end:
+            if r >= prefix_end:
                 self._finish_iteration(node)
             return {}
 
-        if r < sched.phase_peel_end:
-            return self._phase_peel_round(node, r - sched.phase_peel_start)
+        if r < st["peel_end"]:
+            return self._phase_peel_round(node, r - st["peel_start"])
 
-        if r < sched.phase_prefix_end:
-            out = self._phase_prefix_round(node, r - sched.phase_prefix_start)
-            if r == sched.phase_prefix_end - 1 and st["pfx_queue"]:
+        if r < prefix_end:
+            out = self._phase_prefix_round(node, r - st["prefix_start"])
+            if r == prefix_end - 1 and st["pfx_queue"]:
                 node.reject()
                 st["witness"] = ("queue-overflow-phase2", len(st["pfx_queue"]))
             return out
@@ -290,9 +312,10 @@ class EvenCycleIterationAlgorithm(Algorithm):
         if not st["queue"]:
             return {}
         origin, hop = st["queue"].popleft()
-        w = int_width(node.namespace_size)
         msg = Message.of_record(
-            (origin, hop), size_bits=w + int_width(2 * self.k), kind="bfs"
+            (origin, hop),
+            size_bits=st["id_width"] + int_width(2 * self.k),
+            kind="bfs",
         )
         return broadcast(node, msg)
 
@@ -305,17 +328,17 @@ class EvenCycleIterationAlgorithm(Algorithm):
 
     def _phase_peel_round(self, node: NodeContext, step: int):
         st = node.state
-        sched: IterationSchedule = st["sched"]
         if st["layer"] is not None:
             return {}
-        if step > sched.peel_steps:
+        peel_steps = st["peel_steps"]
+        if step > peel_steps:
             return {}
-        if step == sched.peel_steps:
+        if step == peel_steps:
             # Budget exhausted and still unassigned: |E| > M, reject.
             node.reject()
             st["witness"] = ("unassigned-layer", self._active_degree(node))
             return {}
-        if self._active_degree(node) <= sched.tau:
+        if self._active_degree(node) <= st["tau"]:
             st["layer"] = step
             return broadcast(node, Message.of_record(None, 1, kind="peeled"))
         return {}
@@ -324,10 +347,13 @@ class EvenCycleIterationAlgorithm(Algorithm):
     # Phase II part 2: prefix propagation
     # ------------------------------------------------------------------
     def _prefix_message(self, node: NodeContext, direction: str, path: Tuple[int, ...], origin_layer: int) -> Message:
-        w = int_width(node.namespace_size)
-        sched: IterationSchedule = node.state["sched"]
-        layer_bits = int_width(sched.peel_steps + 1)
-        size = len(path) * w + layer_bits + int_width(2 * self.k) + 2
+        st = node.state
+        size = (
+            len(path) * st["id_width"]
+            + st["layer_bits"]
+            + int_width(2 * self.k)
+            + 2
+        )
         return Message.of_record((direction, path, origin_layer), size, kind="pfx")
 
     def _ingest_prefix(self, node: NodeContext, sender: int, msg: Message) -> None:
@@ -400,7 +426,12 @@ class EvenCycleIterationAlgorithm(Algorithm):
 
 @dataclass
 class DetectionReport:
-    """Outcome of an amplified detection run."""
+    """Outcome of an amplified detection run.
+
+    ``total_bits`` / ``total_messages`` aggregate the exact communication of
+    every executed iteration; they are identical whichever ``metrics`` mode
+    or ``jobs`` count produced them.
+    """
 
     detected: bool
     iterations_run: int
@@ -409,6 +440,28 @@ class DetectionReport:
     schedule: IterationSchedule
     witnesses: List[Tuple] = field(default_factory=list)
     results: List[ExecutionResult] = field(default_factory=list)
+    total_bits: int = 0
+    total_messages: int = 0
+
+
+@dataclass(frozen=True)
+class _EvenCycleFactory:
+    """Picklable per-iteration algorithm factory for parallel amplification."""
+
+    k: int
+    edge_constant: float
+    color_source: Optional[ColorSource]
+    enable_phase1: bool
+    layer_filter: bool
+
+    def __call__(self, iteration: int) -> EvenCycleIterationAlgorithm:
+        return EvenCycleIterationAlgorithm(
+            self.k,
+            edge_constant=self.edge_constant,
+            color_source=self.color_source,
+            enable_phase1=self.enable_phase1,
+            layer_filter=self.layer_filter,
+        )
 
 
 def detect_even_cycle(
@@ -423,6 +476,8 @@ def detect_even_cycle(
     keep_results: bool = False,
     enable_phase1: bool = True,
     layer_filter: bool = True,
+    jobs: int = 1,
+    metrics: str = "full",
 ) -> DetectionReport:
     """Run the Theorem 1.1 algorithm for up to ``iterations`` colorings.
 
@@ -431,16 +486,57 @@ def detect_even_cycle(
     the minimum the algorithm needs (:func:`required_bandwidth`).
     ``enable_phase1`` / ``layer_filter`` are ablation switches (see
     :class:`EvenCycleIterationAlgorithm`).
+
+    ``jobs > 1`` fans the independent iterations out over a process pool
+    (:func:`repro.congest.parallel.run_amplified`); the first-rejecting-seed
+    merge keeps the decision and witness set bit-identical to the
+    sequential loop.  ``metrics`` selects the engine's accounting mode
+    (``"lite"`` skips the per-edge ledger; aggregates stay exact).
     """
     n = graph.number_of_nodes()
     sched = IterationSchedule.build(n, k, edge_constant)
     if bandwidth is None:
         bandwidth = required_bandwidth(n, k)
+
+    if jobs > 1:
+        if keep_results:
+            raise ValueError(
+                "keep_results needs jobs=1: full ExecutionResults are not "
+                "shipped back from worker processes"
+            )
+        factory = _EvenCycleFactory(
+            k, edge_constant, color_source, enable_phase1, layer_filter
+        )
+        amp = run_amplified(
+            graph,
+            factory,
+            iterations,
+            jobs=jobs,
+            seed=seed,
+            bandwidth=bandwidth,
+            max_rounds=sched.total_rounds + 1,
+            metrics=metrics,
+            stop_on_detect=stop_on_detect,
+        )
+        return DetectionReport(
+            detected=amp.rejected,
+            iterations_run=amp.iterations_run,
+            rounds_per_iteration=sched.total_rounds,
+            total_rounds=amp.iterations_run * sched.total_rounds,
+            schedule=sched,
+            witnesses=list(amp.witnesses),
+            results=[],
+            total_bits=amp.total_bits,
+            total_messages=amp.total_messages,
+        )
+
     net = CongestNetwork(graph, bandwidth=bandwidth)
     witnesses: List[Tuple] = []
     results: List[ExecutionResult] = []
     detected = False
     iterations_run = 0
+    total_bits = 0
+    total_messages = 0
     for t in range(iterations):
         algo = EvenCycleIterationAlgorithm(
             k,
@@ -449,8 +545,12 @@ def detect_even_cycle(
             enable_phase1=enable_phase1,
             layer_filter=layer_filter,
         )
-        res = net.run(algo, max_rounds=sched.total_rounds + 1, seed=seed + t)
+        res = net.run(
+            algo, max_rounds=sched.total_rounds + 1, seed=seed + t, metrics=metrics
+        )
         iterations_run += 1
+        total_bits += res.metrics.total_bits
+        total_messages += res.metrics.total_messages
         if keep_results:
             results.append(res)
         if res.rejected:
@@ -470,4 +570,6 @@ def detect_even_cycle(
         schedule=sched,
         witnesses=witnesses,
         results=results,
+        total_bits=total_bits,
+        total_messages=total_messages,
     )

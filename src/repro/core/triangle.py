@@ -109,8 +109,13 @@ def detect_triangle_congest(
     graph: nx.Graph,
     bandwidth: int,
     seed: int = 0,
+    metrics: str = "full",
 ) -> ExecutionResult:
-    """Run the neighbor-exchange detector; REJECT iff a triangle exists."""
+    """Run the neighbor-exchange detector; REJECT iff a triangle exists.
+
+    ``metrics="lite"`` selects the engine fast path (aggregate counters
+    only); the decision and aggregate bit totals are unchanged.
+    """
     n = graph.number_of_nodes()
     w = int_width(max(n, 2))
     if bandwidth < w:
@@ -119,7 +124,12 @@ def detect_triangle_congest(
         )
     net = CongestNetwork(graph, bandwidth=bandwidth)
     max_rounds = math.ceil(n * w / bandwidth) + 3
-    return net.run(NeighborExchangeTriangleDetection(), max_rounds=max_rounds, seed=seed)
+    return net.run(
+        NeighborExchangeTriangleDetection(),
+        max_rounds=max_rounds,
+        seed=seed,
+        metrics=metrics,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -30,6 +30,7 @@ from .common import ExperimentReport, FitCheck
 
 _REGISTRY: Dict[str, Callable[..., ExperimentReport]] = {
     "e1": e1_even_cycle.run,
+    "e1-live": e1_even_cycle.run_live,
     "e2": e2_superlinear.run,
     "e2-live": e2_superlinear.run_live,
     "e3": e3_fooling.run,

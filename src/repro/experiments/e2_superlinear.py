@@ -20,6 +20,7 @@ def run(
     ns: Optional[Sequence[int]] = None,
     bandwidth: int = 16,
     tolerance: float = 0.12,
+    r_squared_min: float = 0.9,
 ) -> ExperimentReport:
     """Analytic sweep: measured cut of ``G_{k,n}`` and the implied round
     lower bound; exponents fitted against ``1/k`` and ``2 - 1/k``."""
@@ -36,13 +37,21 @@ def run(
         cuts.append(cut)
         bounds.append(lb)
     checks = [
-        fit_against("simulation cut exponent", list(ns), cuts, 1.0 / k, tolerance),
+        fit_against(
+            "simulation cut exponent",
+            list(ns),
+            cuts,
+            1.0 / k,
+            tolerance,
+            r_squared_min=r_squared_min,
+        ),
         fit_against(
             "implied round-bound exponent",
             list(ns),
             bounds,
             hk_exponent(k),
             tolerance,
+            r_squared_min=r_squared_min,
         ),
     ]
     return ExperimentReport(

@@ -24,6 +24,7 @@ def run(
     s: int = 3,
     ns: Optional[Sequence[int]] = None,
     tolerance: float = 0.25,
+    r_squared_min: float = 0.9,
 ) -> ExperimentReport:
     """Bound-shape sweep (expected G(n,1/2) clique counts) plus a Lemma 1.3
     ratio audit on cliques."""
@@ -45,6 +46,7 @@ def run(
             bounds,
             clique_listing_exponent(s),
             tolerance,
+            r_squared_min=r_squared_min,
         )
     ]
     lemma_ok = all(

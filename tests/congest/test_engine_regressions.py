@@ -1,0 +1,138 @@
+"""Regression tests for two engine termination/accounting bugs.
+
+Bug 1 (quiescence default): the engine used to treat a *missing*
+``is_quiescent`` hook as "assume quiescent", so any all-silent round ended
+the run -- even a legitimately silent round in the middle of a
+schedule-driven algorithm (peeling phases, round deadlines).  A missing
+hook now means "never assume quiescent".
+
+Bug 2 (round accounting): when the quiescence break did fire, the engine
+billed the terminal all-silent probe round (``rounds = r + 1``), so
+``ExecutionResult.rounds`` disagreed with ``CommMetrics.rounds`` by one.
+The probe round carries no traffic and is no longer billed.
+
+Both tests fail against the seed engine and pin the fixed behavior.
+"""
+
+import networkx as nx
+
+from repro.congest import (
+    Algorithm,
+    CongestNetwork,
+    Decision,
+    Message,
+    broadcast,
+    run_congest,
+)
+
+
+class DelayedBeacon(Algorithm):
+    """Schedule-driven: silent until round 2, then node 0 broadcasts.
+
+    Deliberately has NO ``is_quiescent`` hook -- its silent rounds 0 and 1
+    are part of the schedule, not quiescence.  Any receiver of the beacon
+    rejects; everyone halts by round 4.
+    """
+
+    name = "delayed-beacon"
+
+    def round(self, node, inbox):
+        if inbox:
+            node.reject()
+            node.state["witness"] = node.id
+            node.halt()
+            return {}
+        if node.round >= 4:
+            node.accept()
+            node.halt()
+            return {}
+        if node.round == 2 and node.id == 0:
+            return broadcast(node, Message.of_bits("1"))
+        return {}
+
+
+class FixedChatter(Algorithm):
+    """Message-driven: broadcasts for ``send_rounds`` rounds, then idle.
+
+    Declares quiescence through the hook instead of halting, exercising the
+    engine's silence-break path.
+    """
+
+    name = "fixed-chatter"
+
+    def __init__(self, send_rounds: int):
+        self.send_rounds = send_rounds
+
+    def is_quiescent(self, node) -> bool:
+        return node.round >= self.send_rounds
+
+    def round(self, node, inbox):
+        if node.round < self.send_rounds:
+            return broadcast(node, Message.of_bits("1"))
+        return {}
+
+
+class StubbornChatter(FixedChatter):
+    """Same traffic pattern, but the hook refuses to affirm quiescence."""
+
+    def is_quiescent(self, node) -> bool:
+        return False
+
+
+class TestQuiescenceDefault:
+    def test_missing_hook_does_not_end_run_on_silent_round(self):
+        # Seed engine: breaks after the silent round 0 (missing hook treated
+        # as "assume quiescent"), the beacon never fires, decision ACCEPT.
+        g = nx.path_graph(3)
+        res = run_congest(g, DelayedBeacon(), bandwidth=4, max_rounds=10)
+        assert res.decision is Decision.REJECT
+        assert res.rejecting_nodes() == (1,)  # node 0's only neighbor
+        # The beacon went out in round 2 and was received in round 3.
+        assert res.metrics.total_messages == 1
+        assert res.rounds >= 3
+
+    def test_hook_returning_false_keeps_run_alive(self):
+        g = nx.path_graph(3)
+        res = run_congest(g, StubbornChatter(2), bandwidth=4, max_rounds=9)
+        # No quiescence break: the run only ends at max_rounds.
+        assert res.rounds == 9
+
+    def test_halting_still_terminates_hookless_algorithms(self):
+        class HaltImmediately(Algorithm):
+            def round(self, node, inbox):
+                node.accept()
+                node.halt()
+                return {}
+
+        g = nx.path_graph(3)
+        res = run_congest(g, HaltImmediately(), bandwidth=4, max_rounds=50)
+        assert res.rounds <= 1
+        assert res.decision is Decision.ACCEPT
+
+
+class TestRoundAccounting:
+    def test_silent_probe_round_is_not_billed(self):
+        # FixedChatter(3) sends in rounds 0..2; round 3 is the silent probe
+        # that confirms quiescence.  Seed engine billed it (rounds == 4).
+        g = nx.cycle_graph(5)
+        res = run_congest(g, FixedChatter(3), bandwidth=4, max_rounds=50)
+        assert res.rounds == 3
+        assert res.metrics.rounds == 3
+
+    def test_execution_rounds_agree_with_metrics_rounds(self):
+        # The documented contract: for message-driven algorithms that fall
+        # silent only when done, both counters are the billable round count.
+        for send_rounds in (1, 2, 5):
+            g = nx.path_graph(4)
+            res = run_congest(
+                g, FixedChatter(send_rounds), bandwidth=4, max_rounds=50
+            )
+            assert res.rounds == res.metrics.rounds == send_rounds
+
+    def test_accounting_matches_in_lite_mode(self):
+        g = nx.cycle_graph(6)
+        net = CongestNetwork(g, bandwidth=4)
+        full = net.run(FixedChatter(4), max_rounds=50, metrics="full")
+        lite = net.run(FixedChatter(4), max_rounds=50, metrics="lite")
+        assert full.rounds == lite.rounds == 4
+        assert full.metrics.aggregate_summary() == lite.metrics.aggregate_summary()

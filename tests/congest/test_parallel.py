@@ -1,0 +1,180 @@
+"""Tests for lite-mode metrics and the parallel amplification fan-out.
+
+Two contracts are pinned here:
+
+* ``metrics="lite"`` changes *what is recorded*, never *what happens*: the
+  aggregate counters (rounds, total bits/messages, max message size) are
+  bit-identical to a full-mode run, and the per-edge queries raise
+  :class:`MetricsModeError` instead of silently returning nothing.
+* ``run_amplified`` with any ``jobs`` reproduces the sequential
+  stop-on-detect loop exactly: same decision, same first rejecting seed,
+  same witness set, same per-iteration aggregates.
+"""
+
+from dataclasses import dataclass
+
+import networkx as nx
+import pytest
+
+from repro.congest import (
+    Algorithm,
+    CongestNetwork,
+    Message,
+    MetricsModeError,
+    broadcast,
+    run_amplified,
+)
+from repro.core.even_cycle import detect_even_cycle
+
+
+class Gossip(Algorithm):
+    """Deterministic chatter for ``rounds`` rounds with varying sizes."""
+
+    name = "gossip"
+
+    def __init__(self, rounds: int):
+        self.rounds = rounds
+
+    def is_quiescent(self, node) -> bool:
+        return node.round >= self.rounds
+
+    def round(self, node, inbox):
+        if node.round >= self.rounds:
+            return {}
+        width = 1 + (node.id + node.round) % 4
+        return broadcast(node, Message.of_bits("1" * width))
+
+
+@dataclass(frozen=True)
+class RejectAtIterations:
+    """Picklable factory: iteration ``t`` rejects iff ``t`` is targeted."""
+
+    targets: frozenset
+
+    def __call__(self, iteration: int) -> Algorithm:
+        return _MaybeReject(iteration in self.targets)
+
+
+class _MaybeReject(Algorithm):
+    name = "maybe-reject"
+
+    def __init__(self, reject: bool):
+        self.reject_flag = reject
+
+    def round(self, node, inbox):
+        if self.reject_flag and node.id == 0:
+            node.reject()
+            node.state["witness"] = ("it", node.id)
+        else:
+            node.accept()
+        node.halt()
+        return {}
+
+
+class TestLiteMetrics:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    @pytest.mark.parametrize("n,p", [(12, 0.3), (24, 0.15), (40, 0.1)])
+    def test_aggregates_identical_across_modes(self, n, p, seed):
+        g = nx.gnp_random_graph(n, p, seed=seed)
+        if g.number_of_edges() == 0:
+            pytest.skip("empty graph")
+        net = CongestNetwork(g, bandwidth=8)
+        full = net.run(Gossip(5), max_rounds=20, seed=seed, metrics="full")
+        lite = net.run(Gossip(5), max_rounds=20, seed=seed, metrics="lite")
+        assert full.metrics.aggregate_summary() == lite.metrics.aggregate_summary()
+        assert full.rounds == lite.rounds
+        assert full.decision == lite.decision
+
+    def test_lite_blocks_per_edge_queries(self):
+        g = nx.path_graph(4)
+        net = CongestNetwork(g, bandwidth=8)
+        res = net.run(Gossip(2), max_rounds=10, metrics="lite")
+        with pytest.raises(MetricsModeError):
+            res.metrics.cut_bits({0, 1})
+        with pytest.raises(MetricsModeError):
+            res.metrics.max_bits_per_node()
+        with pytest.raises(MetricsModeError):
+            res.metrics.max_bits_per_edge()
+        # Aggregates stay available, and the summary degrades gracefully.
+        assert res.metrics.total_bits > 0
+        assert "max_bits_per_node" not in res.metrics.summary()
+
+    def test_unknown_mode_rejected(self):
+        g = nx.path_graph(2)
+        net = CongestNetwork(g, bandwidth=8)
+        with pytest.raises(ValueError):
+            net.run(Gossip(1), max_rounds=5, metrics="medium")
+
+
+class TestRunAmplified:
+    def test_first_rejecting_seed_wins(self):
+        g = nx.path_graph(3)
+        amp = run_amplified(
+            g,
+            RejectAtIterations(frozenset({3, 6})),
+            iterations=10,
+            jobs=4,
+            bandwidth=8,
+            max_rounds=4,
+        )
+        assert amp.rejected
+        assert amp.first_reject == 3
+        assert amp.iterations_run == 4
+        assert [o.index for o in amp.outcomes] == [0, 1, 2, 3]
+        assert amp.witnesses == [("it", 0)]
+
+    def test_jobs_invariance_on_accept(self):
+        g = nx.path_graph(3)
+        runs = [
+            run_amplified(
+                g,
+                RejectAtIterations(frozenset()),
+                iterations=9,
+                jobs=jobs,
+                bandwidth=8,
+                max_rounds=4,
+            )
+            for jobs in (1, 2, 4)
+        ]
+        assert all(not amp.rejected for amp in runs)
+        assert all(amp.iterations_run == 9 for amp in runs)
+        base = [(o.index, o.total_bits, o.rounds) for o in runs[0].outcomes]
+        for amp in runs[1:]:
+            assert [(o.index, o.total_bits, o.rounds) for o in amp.outcomes] == base
+
+    def test_parallel_even_cycle_matches_sequential(self):
+        g = nx.gnp_random_graph(36, 0.12, seed=5)
+        seq = detect_even_cycle(g, 2, iterations=8, seed=0, metrics="full")
+        for jobs in (2, 4):
+            par = detect_even_cycle(
+                g, 2, iterations=8, seed=0, jobs=jobs, metrics="lite"
+            )
+            assert par.detected == seq.detected
+            assert par.iterations_run == seq.iterations_run
+            assert sorted(par.witnesses) == sorted(seq.witnesses)
+            assert par.total_bits == seq.total_bits
+            assert par.total_messages == seq.total_messages
+
+    def test_parallel_accept_case_matches_sequential(self):
+        # An odd cycle is C_4-free: every iteration runs, nothing rejects.
+        g = nx.cycle_graph(21)
+        seq = detect_even_cycle(g, 2, iterations=3, seed=2, metrics="full")
+        par = detect_even_cycle(g, 2, iterations=3, seed=2, jobs=3, metrics="lite")
+        assert not seq.detected and not par.detected
+        assert par.iterations_run == seq.iterations_run == 3
+        assert par.total_bits == seq.total_bits
+
+    def test_keep_results_requires_sequential(self):
+        g = nx.cycle_graph(9)
+        with pytest.raises(ValueError):
+            detect_even_cycle(g, 2, iterations=2, jobs=2, keep_results=True)
+
+    def test_input_validation(self):
+        g = nx.path_graph(2)
+        factory = RejectAtIterations(frozenset())
+        with pytest.raises(ValueError):
+            run_amplified(g, factory, iterations=0, bandwidth=8, max_rounds=2)
+        with pytest.raises(ValueError):
+            run_amplified(
+                g, factory, iterations=2, jobs=0, bandwidth=8, max_rounds=2
+            )
