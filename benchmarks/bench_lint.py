@@ -1,0 +1,65 @@
+"""Keeps the model-soundness gate cheap enough to run on every change.
+
+``repro lint`` is wired into ``scripts/verify.sh`` ahead of the test
+suite, so its cost is paid on every CI run: this bench asserts the
+*full-repo* walk (src + tests + benchmarks, every file parsed once, all
+six rules) stays under a wall-clock budget, and that the ``src/`` tree --
+the gated surface -- is clean.
+
+Only ``src/`` is gated for cleanliness: test and benchmark harness code
+legitimately pins RNG seeds (a test that doesn't pin its seed is flaky),
+which rule L3 rightly forbids in library code, and ``tests/lint/
+fixtures.py`` is deliberately full of violations.  The budget is
+deliberately loose (CI boxes are noisy); the point is catching an
+accidental O(files x rules x AST) blowup, not micro-regressions.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from conftest import print_table
+from repro.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Wall-clock ceiling for one full-repo walk.  Measured ~0.8 s on a
+#: development container; 10 s leaves an order of magnitude of headroom.
+TIME_BUDGET_SECONDS = 10.0
+REPEATS = 3  # best-of damps scheduler noise
+
+
+def test_full_repo_lint_under_budget():
+    targets = [str(REPO_ROOT / d) for d in ("src", "tests", "benchmarks")]
+    best = float("inf")
+    report = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        report = lint_paths(targets)
+        best = min(best, time.perf_counter() - t0)
+
+    src_report = lint_paths([str(REPO_ROOT / "src")])
+
+    print_table(
+        "LINT: full-repo model-soundness walk",
+        ["surface", "files", "errors", "suppressed", "best wall (s)"],
+        [
+            ("src+tests+benchmarks", report.files_checked,
+             len(report.errors), len(report.suppressed), f"{best:.3f}"),
+            ("src (gated)", src_report.files_checked,
+             len(src_report.errors), len(src_report.suppressed), "-"),
+        ],
+    )
+
+    assert report.files_checked > 100, "walk lost most of the repo"
+    assert best < TIME_BUDGET_SECONDS, (
+        f"full-repo lint took {best:.2f}s (budget {TIME_BUDGET_SECONDS}s); "
+        "the verify gate is no longer cheap"
+    )
+    assert src_report.errors == [], (
+        "gated surface has unsuppressed errors:\n" + src_report.render_text()
+    )
+    # the deliberate cheats in tests/lint/fixtures.py must keep tripping
+    # the linter -- an accidentally-pacified rule set would pass silently
+    assert any("fixtures.py" in f.path for f in report.errors)

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# CI / local verify gate: model-soundness lint, optional style/type
+# checkers, then the tier-1 test suite.
+#
+#   ./scripts/verify.sh          # everything
+#   ./scripts/verify.sh --fast   # skip the pytest tier (lint gates only)
+#
+# ruff and mypy run only when installed (the reproduction container ships
+# without them); `repro lint` and pytest are hard requirements.  Configs
+# for all three live in pyproject.toml.
+
+set -u
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+fail=0
+
+step() {
+    echo
+    echo "== $1"
+}
+
+step "repro lint (CONGEST model-soundness, rules L1-L6)"
+python -m repro lint src/ || fail=1
+
+if python -c "import ruff" >/dev/null 2>&1 || command -v ruff >/dev/null 2>&1; then
+    step "ruff (permissive baseline)"
+    if command -v ruff >/dev/null 2>&1; then
+        ruff check src tests benchmarks || fail=1
+    else
+        python -m ruff check src tests benchmarks || fail=1
+    fi
+else
+    step "ruff: SKIP (not installed)"
+fi
+
+if python -c "import mypy" >/dev/null 2>&1; then
+    step "mypy (permissive baseline)"
+    python -m mypy --config-file pyproject.toml || fail=1
+else
+    step "mypy: SKIP (not installed)"
+fi
+
+if [ "${1:-}" != "--fast" ]; then
+    step "pytest (tier-1)"
+    python -m pytest -x -q || fail=1
+fi
+
+echo
+if [ "$fail" -ne 0 ]; then
+    echo "verify: FAILED"
+else
+    echo "verify: OK"
+fi
+exit "$fail"

@@ -7,6 +7,7 @@ Commands
 ``reduce``     execute the Theorem 1.2 disjointness reduction on an instance
 ``fool``       run the Theorem 4.1 adversary against an algorithm family
 ``bounds``     print the paper's predicted complexities at given parameters
+``lint``       static CONGEST model-soundness check (rules L1-L6)
 
 Examples
 --------
@@ -19,6 +20,7 @@ Examples
     python -m repro fool --bits 2 --n-per-part 10
     python -m repro experiment e1
     python -m repro bounds --n 4096 --k 3 --bandwidth 16
+    python -m repro lint src/ --json
 """
 
 from __future__ import annotations
@@ -92,6 +94,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=2)
     p.add_argument("--s", type=int, default=3)
     p.add_argument("--bandwidth", type=int, default=16)
+
+    p = sub.add_parser(
+        "lint", help="static CONGEST model-soundness check (rules L1-L6)"
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable JSON report instead of text")
+    p.add_argument("--bandwidth", type=int, default=None,
+                   help="arm rule L5's exceeds-B check for constant-size "
+                        "messages")
+    p.add_argument("--rules", default=None,
+                   help="comma-separated subset of rule ids to run "
+                        "(e.g. L2,L3)")
 
     return parser
 
@@ -294,6 +310,19 @@ def _cmd_bounds(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .lint import lint_paths
+
+    include = args.rules.split(",") if args.rules else None
+    try:
+        report = lint_paths(args.paths, bandwidth=args.bandwidth, include=include)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    print(report.render_json() if args.as_json else report.render_text())
+    return report.exit_code()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -303,6 +332,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fool": _cmd_fool,
         "experiment": _cmd_experiment,
         "bounds": _cmd_bounds,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

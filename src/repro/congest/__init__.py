@@ -24,6 +24,7 @@ from .message import BandwidthExceeded, Message, id_width, int_width
 from .metrics import CommMetrics, MetricsModeError
 from .network import CongestNetwork, ExecutionResult, run_congest
 from .parallel import AmplifiedOutcome, IterationOutcome, run_amplified
+from .sanitizer import AliasGuard, SanitizerViolation
 
 __all__ = [
     "Algorithm",
@@ -56,4 +57,6 @@ __all__ = [
     "AmplifiedOutcome",
     "IterationOutcome",
     "run_amplified",
+    "AliasGuard",
+    "SanitizerViolation",
 ]

@@ -52,6 +52,7 @@ class BroadcastNetwork(CongestNetwork):
         seed: Optional[int] = 0,
         stop_on_reject: bool = False,
         metrics: str = "full",
+        sanitize: bool = False,
     ) -> ExecutionResult:
         checked = _BroadcastChecked(algorithm)
         return super().run(
@@ -60,6 +61,7 @@ class BroadcastNetwork(CongestNetwork):
             seed=seed,
             stop_on_reject=stop_on_reject,
             metrics=metrics,
+            sanitize=sanitize,
         )
 
 
@@ -130,6 +132,7 @@ def run_broadcast_congest(
     """One-shot broadcast-CONGEST run with the restriction enforced."""
     stop_on_reject = kwargs.pop("stop_on_reject", False)
     metrics = kwargs.pop("metrics", "full")
+    sanitize = kwargs.pop("sanitize", False)
     net = BroadcastNetwork(graph, bandwidth=bandwidth, **kwargs)
     return net.run(
         algorithm,
@@ -137,4 +140,5 @@ def run_broadcast_congest(
         seed=seed,
         stop_on_reject=stop_on_reject,
         metrics=metrics,
+        sanitize=sanitize,
     )

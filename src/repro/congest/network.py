@@ -176,6 +176,7 @@ class CongestNetwork:
         seed: Optional[int] = 0,
         stop_on_reject: bool = False,
         metrics: str = "full",
+        sanitize: bool = False,
     ) -> ExecutionResult:
         """Execute ``algorithm`` for up to ``max_rounds`` rounds.
 
@@ -187,7 +188,49 @@ class CongestNetwork:
         ``metrics`` selects the accounting mode: ``"full"`` (exact per-edge
         ledger, required by lower-bound harnesses) or ``"lite"`` (aggregate
         counters only, the fast path for upper-bound sweeps).
+
+        ``sanitize=True`` arms the runtime model-soundness sanitizer (see
+        :mod:`repro.congest.sanitizer`): the algorithm instance and node
+        states are audited for cross-node aliasing after ``init``, after
+        every round, and after ``finish``, and the whole run is replayed
+        with the same seed to detect hidden nondeterminism.  Violations
+        raise :class:`~repro.congest.sanitizer.SanitizerViolation` tagged
+        with the catalog rule (``L2`` aliasing, ``L3`` nondeterminism).
+        Sanitized runs execute the algorithm twice and must therefore only
+        be used with replayable algorithms (which the model demands
+        anyway).
         """
+        if not sanitize:
+            return self._execute(
+                algorithm, max_rounds, seed, stop_on_reject, metrics, observer=None
+            )
+        from .sanitizer import AliasGuard, TrafficDigest, verify_replay
+
+        guard = AliasGuard(algorithm)
+        first = TrafficDigest(guard=guard)
+        result = self._execute(
+            algorithm, max_rounds, seed, stop_on_reject, metrics, observer=first
+        )
+        replay = TrafficDigest()
+        self._execute(
+            algorithm, max_rounds, seed, stop_on_reject, metrics, observer=replay
+        )
+        verify_replay(first, replay)
+        return result
+
+    def _execute(
+        self,
+        algorithm: Algorithm,
+        max_rounds: int,
+        seed: Optional[int],
+        stop_on_reject: bool,
+        metrics: str,
+        observer: Optional[Any],
+    ) -> ExecutionResult:
+        """One pass of the round loop; ``observer`` (when set) receives
+        ``after_init`` / ``on_message`` / ``after_round`` / ``after_finish``
+        callbacks -- the sanitizer's attachment points.  ``observer=None``
+        keeps the hot loop free of per-message indirection."""
         if metrics not in METRIC_MODES:
             raise ValueError(f"metrics must be one of {METRIC_MODES}, got {metrics!r}")
         comm = CommMetrics(mode=metrics)
@@ -211,8 +254,11 @@ class CongestNetwork:
             )
         for ctx in contexts.values():
             algorithm.init(ctx)
+        if observer is not None:
+            observer.after_init(contexts)
 
         # Hoisted hot-loop state.
+        on_message = observer.on_message if observer is not None else None
         probe = getattr(algorithm, "is_quiescent", None)
         lite = metrics == "lite"
         adj = self._adj
@@ -266,6 +312,8 @@ class CongestNetwork:
                             round_max = size
                     else:
                         record(r, u, v, size)
+                    if on_message is not None:
+                        on_message(r, u, v, msg)
                     box = next_inboxes.get(v)
                     if box is None:
                         box = next_inboxes[v] = {}
@@ -275,6 +323,8 @@ class CongestNetwork:
                 comm.add_round(r, round_total, round_msgs, round_max)
             inboxes = next_inboxes
             rounds_run = r + 1
+            if observer is not None:
+                observer.after_round(r, contexts)
             if not any_traffic and (
                 probe is not None
                 and all(ctx._halted or probe(ctx) for ctx in ctx_values)
@@ -289,6 +339,8 @@ class CongestNetwork:
 
         for ctx in contexts.values():
             algorithm.finish(ctx)
+        if observer is not None:
+            observer.after_finish(contexts)
 
         decisions = {u: ctx.decision for u, ctx in contexts.items()}
         if any(d is Decision.REJECT for d in decisions.values()):
@@ -338,6 +390,7 @@ def run_congest(
     """One-shot convenience wrapper: build a network and run an algorithm."""
     stop_on_reject = kwargs.pop("stop_on_reject", False)
     metrics = kwargs.pop("metrics", "full")
+    sanitize = kwargs.pop("sanitize", False)
     net = CongestNetwork(graph, bandwidth=bandwidth, **kwargs)
     return net.run(
         algorithm,
@@ -345,4 +398,5 @@ def run_congest(
         seed=seed,
         stop_on_reject=stop_on_reject,
         metrics=metrics,
+        sanitize=sanitize,
     )

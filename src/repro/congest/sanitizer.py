@@ -1,0 +1,204 @@
+"""Runtime model-soundness sanitizer (``CongestNetwork.run(sanitize=True)``).
+
+The static pass in :mod:`repro.lint` proves what the AST can show; this
+module is the dynamic backstop for what it cannot.  Two properties are
+checked while an algorithm actually runs:
+
+**No cross-node state aliasing (rule L2).**  The engine drives every node
+with one shared ``Algorithm`` instance, so the only legal per-node storage
+is ``NodeContext.state``.  :class:`AliasGuard` snapshots the instance
+before the run and re-checks it after ``init``, after every round, and
+after ``finish``: a callback that creates or rebinds an instance
+attribute, mutates a shared mutable attribute (class- or instance-level),
+or plants the *same mutable object* into two nodes' ``state`` dicts has
+built a covert channel, and the guard raises
+:class:`SanitizerViolation` with ``rule_id == "L2"`` at the first check
+point that sees it.
+
+**No hidden nondeterminism (rule L3).**  A run is replayed with the same
+seed and every message (round, sender, receiver, kind, size, payload) plus
+the final decisions are folded into a running digest.  If the replay's
+digest diverges, the algorithm consulted entropy outside the engine's seed
+tree (global ``random``, wall clock, id-dependent hashing of unordered
+sets, ...) and a :class:`SanitizerViolation` with ``rule_id == "L3"``
+reports the first divergent round.
+
+Scope, honestly stated: aliasing detection tracks *mutable* objects
+(dict / list / set / deque / bytearray / ndarray) one container level deep
+-- sharing immutable values is not a channel; and replay detection sees
+nondeterminism only once it reaches a message or a decision, which is
+exactly when it can corrupt a result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from itertools import zip_longest
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .algorithm import NodeContext
+from .message import Message
+
+__all__ = ["SanitizerViolation", "AliasGuard", "TrafficDigest", "verify_replay"]
+
+#: Types whose sharing across nodes constitutes a writable covert channel.
+_MUTABLE_TYPES: Tuple[type, ...] = (dict, list, set, deque, bytearray, np.ndarray)
+
+
+class SanitizerViolation(RuntimeError):
+    """An algorithm broke the CONGEST contract at runtime.
+
+    ``rule_id`` names the catalog rule the violation falls under (``L2``
+    for shared state / aliasing, ``L3`` for nondeterminism) so tests and
+    tooling can match runtime findings against the static pass.
+    """
+
+    def __init__(self, rule_id: str, message: str):
+        super().__init__(f"[{rule_id}] {message}")
+        self.rule_id = rule_id
+        self.detail = message
+
+
+def _mutable_objects(value: Any, depth: int = 2) -> Iterator[Any]:
+    """Yield mutable objects reachable from ``value`` (containers one
+    level deep -- the practical hiding spots without a full object walk)."""
+    if isinstance(value, _MUTABLE_TYPES):
+        yield value
+    if depth <= 0:
+        return
+    if isinstance(value, dict):
+        for v in value.values():
+            yield from _mutable_objects(v, depth - 1)
+    elif isinstance(value, (list, tuple, set, frozenset, deque)):
+        for v in value:
+            yield from _mutable_objects(v, depth - 1)
+
+
+class AliasGuard:
+    """Snapshot of the shared algorithm instance + aliasing detector."""
+
+    def __init__(self, algorithm: Any):
+        self.algorithm = algorithm
+        self._attr_ids: Dict[str, int] = {
+            k: id(v) for k, v in vars(algorithm).items()
+        }
+        self._mutable_reprs: Dict[str, str] = {
+            k: repr(v) for k, v in self._shared_attrs()
+        }
+
+    def _shared_attrs(self) -> List[Tuple[str, Any]]:
+        """Mutable attributes every node can reach through ``self``:
+        instance attributes first, then class-level ones up the MRO."""
+        seen: Dict[str, Any] = dict(vars(self.algorithm))
+        for klass in type(self.algorithm).__mro__:
+            for k, v in vars(klass).items():
+                if k.startswith("__"):
+                    continue
+                seen.setdefault(k, v)
+        return [(k, v) for k, v in seen.items() if isinstance(v, _MUTABLE_TYPES)]
+
+    def check(self, contexts: Dict[int, NodeContext], where: str) -> None:
+        """Raise ``SanitizerViolation("L2", ...)`` on the first breach."""
+        current = {k: id(v) for k, v in vars(self.algorithm).items()}
+        for k, ident in current.items():
+            if k not in self._attr_ids:
+                raise SanitizerViolation(
+                    "L2",
+                    f"callback created instance attribute '{k}' (detected "
+                    f"after {where}); the algorithm instance is shared by "
+                    "every node -- per-node state belongs in node.state",
+                )
+            if ident != self._attr_ids[k]:
+                raise SanitizerViolation(
+                    "L2",
+                    f"callback rebound instance attribute '{k}' (detected "
+                    f"after {where}); the algorithm instance is shared by "
+                    "every node",
+                )
+        for k, v in self._shared_attrs():
+            baseline = self._mutable_reprs.get(k)
+            if baseline is not None and repr(v) != baseline:
+                raise SanitizerViolation(
+                    "L2",
+                    f"shared mutable attribute '{k}' mutated during the run "
+                    f"(detected after {where}); nodes are using the "
+                    "algorithm instance as a blackboard",
+                )
+        owners: Dict[int, int] = {}
+        owner_obj: Dict[int, Any] = {}
+        for u, ctx in contexts.items():
+            for obj in _mutable_objects(ctx.state):
+                ident = id(obj)
+                prev = owners.get(ident)
+                if prev is None:
+                    owners[ident] = u
+                    owner_obj[ident] = obj
+                elif prev != u:
+                    raise SanitizerViolation(
+                        "L2",
+                        f"nodes {prev} and {u} hold the *same* mutable "
+                        f"{type(obj).__name__} in their state (detected "
+                        f"after {where}); shared objects are a covert "
+                        "cross-node channel",
+                    )
+
+
+class TrafficDigest:
+    """Observer that folds a run's observable behavior into a digest.
+
+    Plugged into the engine's ``_execute`` observer slot.  With a
+    ``guard``, it also drives :class:`AliasGuard` checks at every hook
+    (first pass); without one it only digests (replay pass).
+    """
+
+    def __init__(self, guard: Optional[AliasGuard] = None):
+        self.guard = guard
+        self._h = hashlib.blake2b(digest_size=16)
+        #: running digest snapshot at the end of each round, in order.
+        self.round_digests: List[str] = []
+        self.final_digest: Optional[str] = None
+
+    # -- engine hooks --------------------------------------------------
+    def after_init(self, contexts: Dict[int, NodeContext]) -> None:
+        if self.guard is not None:
+            self.guard.check(contexts, "init")
+
+    def on_message(self, r: int, u: int, v: int, msg: Message) -> None:
+        rec = f"{r}|{u}|{v}|{msg.kind}|{msg.size_bits}|{msg.payload!r}"
+        self._h.update(rec.encode("utf-8", "backslashreplace"))
+
+    def after_round(self, r: int, contexts: Dict[int, NodeContext]) -> None:
+        self.round_digests.append(self._h.hexdigest())
+        if self.guard is not None:
+            self.guard.check(contexts, f"round {r}")
+
+    def after_finish(self, contexts: Dict[int, NodeContext]) -> None:
+        for u in sorted(contexts):
+            self._h.update(f"D|{u}|{contexts[u].decision}".encode("utf-8"))
+        self.final_digest = self._h.hexdigest()
+        if self.guard is not None:
+            self.guard.check(contexts, "finish")
+
+
+def verify_replay(first: TrafficDigest, replay: TrafficDigest) -> None:
+    """Raise ``SanitizerViolation("L3", ...)`` if the replay diverged."""
+    if first.final_digest == replay.final_digest:
+        return
+    for r, (a, b) in enumerate(
+        zip_longest(first.round_digests, replay.round_digests)
+    ):
+        if a != b:
+            raise SanitizerViolation(
+                "L3",
+                f"same-seed replay diverged at round {r}: the algorithm "
+                "used randomness outside node.rng (or other ambient "
+                "state), so its executions are not replayable",
+            )
+    raise SanitizerViolation(
+        "L3",
+        "same-seed replay produced identical traffic but different final "
+        "decisions; the finish phase is nondeterministic",
+    )

@@ -1,0 +1,58 @@
+"""Static model-soundness analysis for CONGEST algorithms (``repro lint``).
+
+The paper's round counts and lower bounds are statements about algorithms
+that *obey the model*.  This package proves, at the AST level, that the
+repo's ``Algorithm`` subclasses cannot cheat: no global-graph access (L1),
+no cross-node shared state (L2), no unseeded randomness (L3), no
+wall-clock/OS entropy (L4), honest compile-time message sizes (L5), and
+uniform broadcast payloads (L6).  The runtime complement lives in
+:mod:`repro.congest.sanitizer` and is armed with
+``CongestNetwork.run(..., sanitize=True)``.
+
+Typical use::
+
+    from repro.lint import lint_paths
+    report = lint_paths(["src"])
+    assert report.exit_code() == 0, report.render_text()
+
+or, from the shell, ``repro lint src/ --json``.
+"""
+
+from .findings import (
+    LintFinding,
+    NoqaDirectives,
+    Severity,
+    apply_suppressions,
+    parse_noqa_directives,
+)
+from .rules import ALL_RULE_IDS, RULE_CATALOG, build_rules
+from .runner import LintReport, discover_files, lint_file, lint_paths
+from .visitor import (
+    AlgorithmClass,
+    LintRule,
+    ModuleModel,
+    Reporter,
+    find_algorithm_classes,
+    run_rules,
+)
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "AlgorithmClass",
+    "LintFinding",
+    "LintReport",
+    "LintRule",
+    "ModuleModel",
+    "NoqaDirectives",
+    "Reporter",
+    "RULE_CATALOG",
+    "Severity",
+    "apply_suppressions",
+    "build_rules",
+    "discover_files",
+    "find_algorithm_classes",
+    "lint_file",
+    "lint_paths",
+    "parse_noqa_directives",
+    "run_rules",
+]

@@ -1,0 +1,164 @@
+"""Finding and suppression primitives for the model-soundness linter.
+
+A :class:`LintFinding` is one structured diagnostic: *this construct, at
+this location, violates this CONGEST-contract rule*.  Findings are plain
+data so the CLI can render them as text or JSON and tests can assert on
+them precisely.
+
+Suppression follows the familiar per-site ``noqa`` convention, namespaced
+so it cannot collide with other linters::
+
+    self.cache = {}          # repro: noqa[L2]  -- measured, read-only after init
+    coin = random.random()   # repro: noqa[L3,L4]
+    anything_at_all()        # repro: noqa
+
+A bare ``# repro: noqa`` suppresses every rule on that line; the bracketed
+form suppresses only the listed rule ids.  Suppressed findings are kept
+(with ``suppressed=True``) so reports can say how much is being waved
+through -- silence about suppressions would defeat the audit.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+__all__ = ["Severity", "LintFinding", "NoqaDirectives", "parse_noqa_directives"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.  Errors fail the lint run; warnings do not."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One diagnostic emitted by a rule.
+
+    Attributes
+    ----------
+    path:
+        File the finding is in (as given to the runner).
+    line / col:
+        1-based line and 0-based column of the offending node.
+    rule_id:
+        The rule catalog id (``L1`` .. ``L6``, or ``L0`` for parse errors).
+    severity:
+        :class:`Severity`; only errors make the run fail.
+    message:
+        Human-readable description of the violation.
+    symbol:
+        Dotted context (``Class.method``) the finding occurred in, when the
+        rule knows it; empty for module-level findings.
+    suppressed:
+        True when a ``# repro: noqa`` directive on the line covers this
+        rule.  Suppressed findings never fail a run.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+    symbol: str = ""
+    suppressed: bool = False
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def format(self) -> str:
+        where = f" [{self.symbol}]" if self.symbol else ""
+        tag = " (suppressed)" if self.suppressed else ""
+        return (
+            f"{self.location()}: {self.severity.value} {self.rule_id}: "
+            f"{self.message}{where}{tag}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "symbol": self.symbol,
+            "suppressed": self.suppressed,
+        }
+
+
+#: ``# repro: noqa`` or ``# repro: noqa[L1,L3]`` (spaces tolerated).
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\[\s*(?P<rules>[A-Za-z0-9_,\s]+?)\s*\])?", re.IGNORECASE
+)
+
+
+@dataclass
+class NoqaDirectives:
+    """Per-line suppression directives for one source file.
+
+    ``blanket`` lines suppress every rule; ``by_rule[line]`` is the set of
+    rule ids (upper-cased) a bracketed directive names.
+    """
+
+    blanket: FrozenSet[int] = frozenset()
+    by_rule: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    def covers(self, line: int, rule_id: str) -> bool:
+        if line in self.blanket:
+            return True
+        return rule_id.upper() in self.by_rule.get(line, frozenset())
+
+
+def parse_noqa_directives(source: str) -> NoqaDirectives:
+    """Scan source lines for ``# repro: noqa`` markers.
+
+    Line-based on purpose: directives attach to the physical line of the
+    finding, which is how every mainstream linter scopes suppression and
+    what makes a suppression reviewable in a diff.
+    """
+    blanket: List[int] = []
+    by_rule: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "#" not in text or "noqa" not in text:
+            continue
+        m = _NOQA_RE.search(text)
+        if m is None:
+            continue
+        rules = m.group("rules")
+        if rules is None:
+            blanket.append(lineno)
+        else:
+            ids = frozenset(r.strip().upper() for r in rules.split(",") if r.strip())
+            if ids:
+                by_rule[lineno] = ids
+    return NoqaDirectives(blanket=frozenset(blanket), by_rule=by_rule)
+
+
+def apply_suppressions(
+    findings: List[LintFinding], directives: NoqaDirectives
+) -> List[LintFinding]:
+    """Mark findings covered by a directive as suppressed (new instances)."""
+    out: List[LintFinding] = []
+    for f in findings:
+        if not f.suppressed and directives.covers(f.line, f.rule_id):
+            out.append(
+                LintFinding(
+                    path=f.path,
+                    line=f.line,
+                    col=f.col,
+                    rule_id=f.rule_id,
+                    severity=f.severity,
+                    message=f.message,
+                    symbol=f.symbol,
+                    suppressed=True,
+                )
+            )
+        else:
+            out.append(f)
+    return out

@@ -1,0 +1,688 @@
+"""The CONGEST model-soundness rule catalog (L1-L6).
+
+Every upper bound in this reproduction is a claim of the form "*per-node
+code obeying the CONGEST contract* decides H-freeness in R rounds", and
+every lower-bound harness defeats algorithms under the same contract.  The
+contract is documented in :mod:`repro.congest.algorithm`; these rules make
+it checkable:
+
+========  ============================================================
+rule      violation
+========  ============================================================
+``L1``    node callback reaches for the global graph or engine
+          internals (locality violation -- a node only knows its
+          id, neighbors, parameters, input, inbox)
+``L2``    state shared between nodes: mutable class-level attributes,
+          or callbacks writing/mutating attributes of the one
+          algorithm instance every node shares
+``L3``    randomness outside the engine's seed tree: ``random.*`` or
+          ``numpy.random.*`` in callbacks, module-level RNGs,
+          hardcoded generator seeds (breaks replay/derandomization)
+``L4``    wall-clock or OS entropy in round logic (``time.*``,
+          ``os.urandom``, ``uuid``, ``secrets``, ``datetime.now``)
+``L5``    messages whose compile-time-constant size is dishonest
+          (0 bits with a payload) or exceeds a configured bandwidth
+``L6``    broadcast-model algorithms constructing per-neighbor
+          payloads (a broadcast sends ONE message to all neighbors)
+========  ============================================================
+
+Suppress a deliberate exception per site with ``# repro: noqa[Lxx]``
+(see :mod:`repro.lint.findings`).
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .findings import Severity
+from .visitor import (
+    AlgorithmClass,
+    LintRule,
+    ModuleModel,
+    Reporter,
+    dotted_name,
+)
+
+__all__ = ["RULE_CATALOG", "build_rules", "ALL_RULE_IDS"]
+
+
+def _symbol(cls: AlgorithmClass, func: Optional[ast.FunctionDef] = None) -> str:
+    return f"{cls.name}.{func.name}" if func is not None else cls.name
+
+
+def _chain_root(node: ast.AST) -> Optional[ast.Name]:
+    """The root Name of an ``a.b[c].d`` access chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Call)):
+        node = node.func if isinstance(node, ast.Call) else node.value
+    return node if isinstance(node, ast.Name) else None
+
+
+def _is_self_chain(node: ast.AST) -> bool:
+    root = _chain_root(node)
+    return root is not None and root.id == "self"
+
+
+# ----------------------------------------------------------------------
+# L1 -- locality
+# ----------------------------------------------------------------------
+
+#: Engine entry points a node callback has no business touching.
+_ENGINE_NAMES = {
+    "CongestNetwork",
+    "BroadcastNetwork",
+    "LocalNetwork",
+    "CongestedClique",
+    "run_congest",
+    "run_local",
+    "run_broadcast_congest",
+    "run_congested_clique",
+}
+
+#: ``self.<attr>`` names that conventionally hold a global graph/engine.
+_GLOBAL_GRAPH_ATTRS = {"graph", "original_graph", "input_graph", "network", "topology"}
+
+
+class LocalityRule(LintRule):
+    rule_id = "L1"
+    severity = Severity.ERROR
+    description = (
+        "node callbacks must not access the global graph (networkx), the "
+        "engine, or a graph smuggled onto the algorithm instance"
+    )
+
+    def visit_callback(
+        self,
+        model: ModuleModel,
+        cls: AlgorithmClass,
+        func: ast.FunctionDef,
+        report: Reporter,
+    ) -> None:
+        seen: Set[Tuple[int, int]] = set()
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Attribute, ast.Name)):
+                path = model.expr_module_path(node)
+                if path is not None and (
+                    path == "networkx" or path.startswith("networkx.")
+                ):
+                    root = _chain_root(node) or node
+                    key = (root.lineno, root.col_offset)
+                    if key not in seen:
+                        seen.add(key)
+                        report.add(
+                            self,
+                            node,
+                            f"callback uses the global graph library ({path}); "
+                            "a node only sees its NodeContext",
+                            symbol=_symbol(cls, func),
+                        )
+            if isinstance(node, ast.Name) and node.id in _ENGINE_NAMES:
+                if model.original_name(node.id) in _ENGINE_NAMES:
+                    key = (node.lineno, node.col_offset)
+                    if key not in seen:
+                        seen.add(key)
+                        report.add(
+                            self,
+                            node,
+                            f"callback references engine entry point "
+                            f"'{node.id}'; nodes cannot construct or query "
+                            "the network they run in",
+                            symbol=_symbol(cls, func),
+                        )
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in _GLOBAL_GRAPH_ATTRS
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                key = (node.lineno, node.col_offset)
+                if key not in seen:
+                    seen.add(key)
+                    report.add(
+                        self,
+                        node,
+                        f"callback reads 'self.{node.attr}', which by its name "
+                        "holds global topology; a node's view is its "
+                        "NodeContext, not the whole graph",
+                        symbol=_symbol(cls, func),
+                    )
+
+
+# ----------------------------------------------------------------------
+# L2 -- cross-node state aliasing
+# ----------------------------------------------------------------------
+
+_MUTABLE_CALLS = {
+    "list",
+    "dict",
+    "set",
+    "deque",
+    "defaultdict",
+    "Counter",
+    "OrderedDict",
+    "bytearray",
+}
+
+_MUTATOR_METHODS = {
+    "append",
+    "appendleft",
+    "extend",
+    "extendleft",
+    "add",
+    "update",
+    "insert",
+    "setdefault",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "discard",
+    "clear",
+    "sort",
+    "reverse",
+}
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        fn = node.func
+        name = fn.id if isinstance(fn, ast.Name) else (
+            fn.attr if isinstance(fn, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+class SharedStateRule(LintRule):
+    rule_id = "L2"
+    severity = Severity.ERROR
+    description = (
+        "one Algorithm instance drives every node: mutable class attributes "
+        "and callback writes to self are covert cross-node channels"
+    )
+
+    def visit_class(
+        self, model: ModuleModel, cls: AlgorithmClass, report: Reporter
+    ) -> None:
+        for item in cls.node.body:
+            if isinstance(item, ast.Assign):
+                value, targets = item.value, item.targets
+            elif isinstance(item, ast.AnnAssign) and item.value is not None:
+                value, targets = item.value, [item.target]
+            else:
+                continue
+            if _is_mutable_value(value):
+                names = ", ".join(
+                    t.id for t in targets if isinstance(t, ast.Name)
+                ) or "<attribute>"
+                report.add(
+                    self,
+                    item,
+                    f"mutable class-level attribute '{names}' is shared by "
+                    "every node the instance drives; keep per-node state in "
+                    "node.state",
+                    symbol=_symbol(cls),
+                )
+
+    def visit_callback(
+        self,
+        model: ModuleModel,
+        cls: AlgorithmClass,
+        func: ast.FunctionDef,
+        report: Reporter,
+    ) -> None:
+        sym = _symbol(cls, func)
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets: Sequence[ast.expr]
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                else:
+                    targets = [node.target]
+                for t in targets:
+                    if isinstance(t, ast.Attribute) and _is_self_chain(t):
+                        report.add(
+                            self,
+                            t,
+                            f"callback assigns 'self.{t.attr}'; the instance "
+                            "is shared by all nodes, so this aliases state "
+                            "across the network",
+                            symbol=sym,
+                        )
+                    elif isinstance(t, ast.Subscript) and _is_self_chain(t):
+                        report.add(
+                            self,
+                            t,
+                            "callback writes through a subscript of a "
+                            "self attribute; the instance is shared by all "
+                            "nodes",
+                            symbol=sym,
+                        )
+            elif isinstance(node, ast.Delete):
+                for t in node.targets:
+                    if isinstance(t, (ast.Attribute, ast.Subscript)) and _is_self_chain(t):
+                        report.add(
+                            self,
+                            t,
+                            "callback deletes shared instance state",
+                            symbol=sym,
+                        )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATOR_METHODS
+                and _is_self_chain(node.func.value)
+            ):
+                report.add(
+                    self,
+                    node,
+                    f"callback calls mutating method "
+                    f"'.{node.func.attr}()' on shared instance state",
+                    symbol=sym,
+                )
+
+
+# ----------------------------------------------------------------------
+# L3 -- randomness discipline
+# ----------------------------------------------------------------------
+
+_SEEDED_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.seed",
+    "numpy.random.RandomState",
+    "random.seed",
+    "random.Random",
+}
+
+
+class RandomnessRule(LintRule):
+    rule_id = "L3"
+    severity = Severity.ERROR
+    description = (
+        "the only legal randomness in a callback is node.rng (spawned from "
+        "the run's master seed); global RNGs and hardcoded seeds break "
+        "bit-for-bit replay and the derandomization story"
+    )
+
+    def visit_module(self, model: ModuleModel, report: Reporter) -> None:
+        for node in ast.walk(model.tree):
+            if isinstance(node, ast.Call):
+                path = self._call_path(model, node)
+                if path in _SEEDED_CONSTRUCTORS and self._has_literal_seed(node):
+                    report.add(
+                        self,
+                        node,
+                        f"hardcoded RNG seed in {path}(...); thread a "
+                        "Generator from the caller (or node.rng) so runs "
+                        "stay replayable from one master seed",
+                    )
+        # Module-level RNG singletons: shared mutable state across every
+        # node and every run of the importing process.
+        for stmt in model.tree.body:
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                path = self._call_path(model, stmt.value)
+                if path in (
+                    "numpy.random.default_rng",
+                    "numpy.random.RandomState",
+                    "random.Random",
+                ):
+                    report.add(
+                        self,
+                        stmt,
+                        "module-level RNG is process-global mutable state; "
+                        "construct generators where a seed is in scope",
+                    )
+
+    @staticmethod
+    def _call_path(model: ModuleModel, node: ast.Call) -> Optional[str]:
+        return model.expr_module_path(node.func)
+
+    @staticmethod
+    def _has_literal_seed(node: ast.Call) -> bool:
+        args: List[ast.expr] = list(node.args)
+        for kw in node.keywords:
+            if kw.arg in (None, "seed", "a", "x"):
+                if kw.value is not None:
+                    args.append(kw.value)
+        return any(
+            isinstance(a, ast.Constant) and isinstance(a.value, (int, float))
+            for a in args
+        )
+
+    def visit_callback(
+        self,
+        model: ModuleModel,
+        cls: AlgorithmClass,
+        func: ast.FunctionDef,
+        report: Reporter,
+    ) -> None:
+        seen: Set[Tuple[int, int]] = set()
+        for node in ast.walk(func):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            path = model.expr_module_path(node)
+            if path is None:
+                continue
+            if path == "random" or path.startswith("random."):
+                kind = "the stdlib global RNG"
+            elif path == "numpy.random" or path.startswith("numpy.random."):
+                kind = "numpy's global RNG namespace"
+            else:
+                continue
+            root = _chain_root(node) or node
+            key = (root.lineno, root.col_offset)
+            if key in seen:
+                continue
+            seen.add(key)
+            report.add(
+                self,
+                node,
+                f"callback uses {kind} ({path}); use node.rng, which the "
+                "engine seeds per node from the master seed",
+                symbol=_symbol(cls, func),
+            )
+
+
+# ----------------------------------------------------------------------
+# L4 -- wall clock and OS entropy
+# ----------------------------------------------------------------------
+
+_FORBIDDEN_MODULE_PREFIXES = ("time", "uuid", "secrets")
+_FORBIDDEN_EXACT = {
+    "os.urandom",
+    "os.getrandom",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+class WallClockRule(LintRule):
+    rule_id = "L4"
+    severity = Severity.ERROR
+    description = (
+        "round logic must be a function of (state, inbox, rng): wall-clock "
+        "reads and OS entropy make executions unreproducible and smuggle "
+        "information the model does not grant"
+    )
+
+    def visit_callback(
+        self,
+        model: ModuleModel,
+        cls: AlgorithmClass,
+        func: ast.FunctionDef,
+        report: Reporter,
+    ) -> None:
+        seen: Set[Tuple[int, int]] = set()
+        for node in ast.walk(func):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            path = model.expr_module_path(node)
+            if path is None:
+                continue
+            bad = path in _FORBIDDEN_EXACT or any(
+                path == p or path.startswith(p + ".")
+                for p in _FORBIDDEN_MODULE_PREFIXES
+            )
+            if not bad:
+                continue
+            root = _chain_root(node) or node
+            key = (root.lineno, root.col_offset)
+            if key in seen:
+                continue
+            seen.add(key)
+            report.add(
+                self,
+                node,
+                f"callback reads wall clock / OS entropy ({path}); round "
+                "logic must depend only on state, inbox, and node.rng",
+                symbol=_symbol(cls, func),
+            )
+
+
+# ----------------------------------------------------------------------
+# L5 -- compile-time bandwidth accounting
+# ----------------------------------------------------------------------
+
+_MESSAGE_CONSTRUCTORS = {"of_bits", "of_ints", "of_ids", "of_bitmap", "of_record"}
+
+
+def _literal_len(node: ast.expr) -> Optional[int]:
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        return len(node.elts)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return len(node.value)
+    return None
+
+
+def _int_const(node: Optional[ast.expr]) -> Optional[int]:
+    if (
+        node is not None
+        and isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+    ):
+        return node.value
+    return None
+
+
+class MessageSizeRule(LintRule):
+    rule_id = "L5"
+    severity = Severity.ERROR
+    description = (
+        "messages whose bit size is knowable at lint time must be honest "
+        "(no 0-bit payloads) and fit the configured bandwidth"
+    )
+
+    def __init__(self, bandwidth: Optional[int] = None):
+        #: when set, constant-size messages larger than this are errors.
+        self.bandwidth = bandwidth
+
+    # -- constant-size extraction --------------------------------------
+    def _constant_size(
+        self, model: ModuleModel, call: ast.Call
+    ) -> Tuple[Optional[int], Optional[ast.expr]]:
+        """(size_bits, payload_expr) when statically known, else (None, _)."""
+        fn = call.func
+        kwargs: Dict[str, ast.expr] = {
+            kw.arg: kw.value for kw in call.keywords if kw.arg is not None
+        }
+        if isinstance(fn, ast.Attribute) and fn.attr in _MESSAGE_CONSTRUCTORS:
+            base = fn.value
+            if not (
+                isinstance(base, ast.Name)
+                and model.original_name(base.id) == "Message"
+            ):
+                return None, None
+            args = call.args
+            if fn.attr == "of_bits":
+                payload = args[0] if args else kwargs.get("bits")
+                n = _literal_len(payload) if payload is not None else None
+                return n, payload
+            if fn.attr == "of_bitmap":
+                payload = args[0] if args else kwargs.get("bits")
+                n = _literal_len(payload) if payload is not None else None
+                return n, payload
+            if fn.attr == "of_ints":
+                payload = args[0] if args else kwargs.get("values")
+                width = _int_const(args[1] if len(args) > 1 else kwargs.get("width"))
+                n = _literal_len(payload) if payload is not None else None
+                if n is not None and width is not None:
+                    return n * width, payload
+                return None, payload
+            if fn.attr == "of_ids":
+                payload = args[0] if args else kwargs.get("ids")
+                ns = _int_const(
+                    args[1] if len(args) > 1 else kwargs.get("namespace_size")
+                )
+                n = _literal_len(payload) if payload is not None else None
+                if n is not None and ns is not None and ns >= 1:
+                    width = max(0, math.ceil(math.log2(ns))) if ns > 1 else 0
+                    return n * width, payload
+                return None, payload
+            if fn.attr == "of_record":
+                payload = args[0] if args else kwargs.get("payload")
+                size = _int_const(
+                    args[1] if len(args) > 1 else kwargs.get("size_bits")
+                )
+                return size, payload
+        elif isinstance(fn, ast.Name) and model.original_name(fn.id) == "Message":
+            payload = call.args[0] if call.args else kwargs.get("payload")
+            size = _int_const(
+                call.args[1] if len(call.args) > 1 else kwargs.get("size_bits")
+            )
+            return size, payload
+        return None, None
+
+    @staticmethod
+    def _payload_is_empty(payload: Optional[ast.expr]) -> bool:
+        if payload is None:
+            return True
+        if isinstance(payload, ast.Constant):
+            return payload.value is None or payload.value in ("", b"", 0, False)
+        if isinstance(payload, (ast.List, ast.Tuple, ast.Set)):
+            return len(payload.elts) == 0
+        if isinstance(payload, ast.Dict):
+            return len(payload.keys) == 0
+        return False
+
+    def visit_callback(
+        self,
+        model: ModuleModel,
+        cls: AlgorithmClass,
+        func: ast.FunctionDef,
+        report: Reporter,
+    ) -> None:
+        sym = _symbol(cls, func)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            size, payload = self._constant_size(model, node)
+            if size is None:
+                continue
+            if size == 0 and not self._payload_is_empty(payload):
+                report.add(
+                    self,
+                    node,
+                    "message declares size_bits=0 but carries a payload; "
+                    "free information violates the bit-accounting contract",
+                    symbol=sym,
+                )
+            elif self.bandwidth is not None and size > self.bandwidth:
+                report.add(
+                    self,
+                    node,
+                    f"constant {size}-bit message exceeds the configured "
+                    f"bandwidth B={self.bandwidth}; pipeline it over rounds",
+                    symbol=sym,
+                )
+
+
+# ----------------------------------------------------------------------
+# L6 -- broadcast uniformity
+# ----------------------------------------------------------------------
+
+
+class BroadcastUniformityRule(LintRule):
+    rule_id = "L6"
+    severity = Severity.ERROR
+    description = (
+        "broadcast-CONGEST algorithms send ONE message per round, delivered "
+        "to all neighbors: per-neighbor payload construction (or bypassing "
+        "the broadcast_round adapter) silently upgrades the model to unicast"
+    )
+
+    def visit_class(
+        self, model: ModuleModel, cls: AlgorithmClass, report: Reporter
+    ) -> None:
+        if not cls.is_broadcast:
+            return
+        for item in cls.node.body:
+            if isinstance(item, ast.FunctionDef) and item.name == "round":
+                report.add(
+                    self,
+                    item,
+                    f"broadcast algorithm '{cls.name}' overrides round(); "
+                    "implement broadcast_round() so the adapter enforces "
+                    "one-message-to-all fan-out",
+                    symbol=_symbol(cls),
+                )
+
+    def visit_callback(
+        self,
+        model: ModuleModel,
+        cls: AlgorithmClass,
+        func: ast.FunctionDef,
+        report: Reporter,
+    ) -> None:
+        if not cls.is_broadcast:
+            return
+        sym = _symbol(cls, func)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.DictComp):
+                continue
+            if not node.generators:
+                continue
+            target = node.generators[0].target
+            if not isinstance(target, ast.Name):
+                continue
+            uses = [
+                n
+                for n in ast.walk(node.value)
+                if isinstance(n, ast.Name) and n.id == target.id
+            ]
+            if uses:
+                report.add(
+                    self,
+                    node,
+                    "outbox comprehension builds a different payload per "
+                    "neighbor; a broadcast sends the same message on every "
+                    "edge",
+                    symbol=sym,
+                )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+RULE_CATALOG: Dict[str, str] = {
+    "L1": LocalityRule.description,
+    "L2": SharedStateRule.description,
+    "L3": RandomnessRule.description,
+    "L4": WallClockRule.description,
+    "L5": MessageSizeRule.description,
+    "L6": BroadcastUniformityRule.description,
+}
+
+ALL_RULE_IDS: Tuple[str, ...] = tuple(sorted(RULE_CATALOG))
+
+
+def build_rules(
+    bandwidth: Optional[int] = None,
+    include: Optional[Iterable[str]] = None,
+) -> List[LintRule]:
+    """Instantiate the rule set.
+
+    ``bandwidth`` arms L5's exceeds-B check.  ``include`` restricts to a
+    subset of rule ids (unknown ids raise, so typos fail loudly).
+    """
+    rules: List[LintRule] = [
+        LocalityRule(),
+        SharedStateRule(),
+        RandomnessRule(),
+        WallClockRule(),
+        MessageSizeRule(bandwidth=bandwidth),
+        BroadcastUniformityRule(),
+    ]
+    if include is None:
+        return rules
+    wanted = {r.strip().upper() for r in include if r.strip()}
+    unknown = wanted - set(ALL_RULE_IDS)
+    if unknown:
+        raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+    return [r for r in rules if r.rule_id in wanted]

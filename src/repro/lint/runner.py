@@ -1,0 +1,162 @@
+"""File discovery, orchestration, and rendering for ``repro lint``.
+
+The runner is deliberately dumb: find ``.py`` files, parse each once, run
+the rule set, apply per-site suppressions, aggregate.  All judgment lives
+in :mod:`repro.lint.rules`; all policy about what fails a run lives in
+:meth:`LintReport.exit_code` (unsuppressed errors fail, warnings and
+suppressed findings do not -- but both are reported, so nothing is waved
+through silently).
+
+Files that do not parse yield a synthetic ``L0`` error rather than
+aborting the walk: a lint pass that dies on the first broken file is
+useless in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from .findings import LintFinding, Severity, apply_suppressions, parse_noqa_directives
+from .rules import RULE_CATALOG, build_rules
+from .visitor import LintRule, ModuleModel, Reporter, run_rules
+
+__all__ = ["LintReport", "discover_files", "lint_file", "lint_paths"]
+
+#: Directories never worth descending into.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "venv", "node_modules", ".mypy_cache"}
+
+
+@dataclass
+class LintReport:
+    """Aggregated outcome of one lint run."""
+
+    findings: List[LintFinding] = field(default_factory=list)
+    files_checked: int = 0
+
+    # -- tallies -------------------------------------------------------
+    @property
+    def errors(self) -> List[LintFinding]:
+        return [
+            f
+            for f in self.findings
+            if f.severity is Severity.ERROR and not f.suppressed
+        ]
+
+    @property
+    def warnings(self) -> List[LintFinding]:
+        return [
+            f
+            for f in self.findings
+            if f.severity is Severity.WARNING and not f.suppressed
+        ]
+
+    @property
+    def suppressed(self) -> List[LintFinding]:
+        return [f for f in self.findings if f.suppressed]
+
+    def exit_code(self) -> int:
+        """0 clean, 1 unsuppressed errors -- the CI contract."""
+        return 1 if self.errors else 0
+
+    # -- rendering -----------------------------------------------------
+    def render_text(self) -> str:
+        lines = [f.format() for f in self.findings]
+        lines.append(
+            f"{self.files_checked} file(s) checked: "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.suppressed)} suppressed"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "files_checked": self.files_checked,
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "suppressed": len(self.suppressed),
+                "rules": RULE_CATALOG,
+                "findings": [f.to_dict() for f in self.findings],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    out: List[str] = []
+    seen = set()
+    for path in paths:
+        if os.path.isfile(path):
+            candidates: Iterable[str] = [path]
+        elif os.path.isdir(path):
+            collected: List[str] = []
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in _SKIP_DIRS and not d.startswith(".")
+                )
+                for fn in sorted(filenames):
+                    if fn.endswith(".py"):
+                        collected.append(os.path.join(dirpath, fn))
+            candidates = collected
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+        for c in candidates:
+            norm = os.path.normpath(c)
+            if norm not in seen:
+                seen.add(norm)
+                out.append(norm)
+    return out
+
+
+def lint_file(path: str, rules: Sequence[LintRule]) -> List[LintFinding]:
+    """Lint one file; parse failures become a single L0 error finding."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        model = ModuleModel.parse(path, source)
+    except SyntaxError as exc:
+        return [
+            LintFinding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule_id="L0",
+                severity=Severity.ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    report = Reporter(path)
+    run_rules(model, rules, report)
+    findings = apply_suppressions(report.findings, parse_noqa_directives(source))
+    # One rule can hit the same construct from two hooks (e.g. L3 flags a
+    # hardcoded seed module-wide and again inside a callback); report each
+    # site once per rule.
+    unique: List[LintFinding] = []
+    seen = set()
+    for f in sorted(findings, key=lambda f: (f.line, f.col, f.rule_id, not f.symbol)):
+        key = (f.line, f.col, f.rule_id)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(f)
+    return unique
+
+
+def lint_paths(
+    paths: Sequence[str],
+    bandwidth: Optional[int] = None,
+    include: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` with the L1-L6 rule set."""
+    rules = build_rules(bandwidth=bandwidth, include=include)
+    report = LintReport()
+    for path in discover_files(paths):
+        report.findings.extend(lint_file(path, rules))
+        report.files_checked += 1
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return report

@@ -1,0 +1,297 @@
+"""The analysis framework under the model-soundness rules.
+
+The linter's job is scoping: the CONGEST contract constrains *per-node
+callback code* (``init`` / ``round`` / ``finish`` / ``broadcast_round`` /
+``is_quiescent`` and every helper method they call), not driver code, not
+test harnesses, not the engine itself.  This module builds that scope from
+the AST so the rules in :mod:`repro.lint.rules` can stay small:
+
+* :class:`ModuleModel` parses one file and resolves import aliases
+  (``import numpy as np`` means a later ``np.random`` is numpy's global
+  RNG; ``from repro.congest.network import CongestNetwork as Net`` means a
+  later ``Net`` is engine internals).
+* :func:`find_algorithm_classes` identifies ``Algorithm`` subclasses --
+  directly, transitively within the module, or via a broadcast-model
+  marker -- because those classes' methods are exactly the code the engine
+  will run once per node per round.
+* :class:`LintRule` is the visitor interface rules implement; the
+  :func:`run_rules` driver walks each scope once and fans out to every
+  registered rule, so adding a rule never costs another AST pass.
+
+Callback scope deliberately includes *all* methods except ``__init__`` and
+dunders: the constructor configures the one shared instance (global
+pre-knowledge, legal), while every other method either is an engine
+callback or is a helper reachable from one, and per-node discipline applies
+to all of them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .findings import LintFinding, Severity
+
+__all__ = [
+    "ModuleModel",
+    "AlgorithmClass",
+    "LintRule",
+    "Reporter",
+    "find_algorithm_classes",
+    "run_rules",
+    "dotted_name",
+]
+
+#: Class names that make a subclass an engine algorithm (per-node code).
+ALGORITHM_BASE_NAMES = {"Algorithm", "BroadcastAlgorithm"}
+#: Of those, the ones that additionally impose the broadcast restriction.
+BROADCAST_BASE_NAMES = {"BroadcastAlgorithm"}
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains; None for anything dynamic."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class ModuleModel:
+    """One parsed source file plus its import-resolution tables."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: local alias -> dotted module path (``np`` -> ``numpy``)
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: local name -> (source module, original name) for ``from X import Y``
+    imported_names: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+    @staticmethod
+    def parse(path: str, source: str) -> "ModuleModel":
+        tree = ast.parse(source, filename=path)
+        model = ModuleModel(path=path, source=source, tree=tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    model.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    model.imported_names[alias.asname or alias.name] = (
+                        node.module,
+                        alias.name,
+                    )
+        return model
+
+    # -- name resolution helpers ---------------------------------------
+    def resolves_to_module(self, name: str, module: str) -> bool:
+        """Does local ``name`` refer to ``module`` (or a submodule of it)?"""
+        target = self.module_aliases.get(name)
+        if target is not None and (
+            target == module or target.startswith(module + ".")
+        ):
+            return True
+        # ``from numpy import random`` style: local name is a submodule.
+        origin = self.imported_names.get(name)
+        if origin is not None:
+            src, orig = origin
+            full = f"{src}.{orig}"
+            return full == module or full.startswith(module + ".")
+        return False
+
+    def original_name(self, name: str) -> str:
+        """The pre-aliasing name of a ``from X import Y as Z`` binding."""
+        origin = self.imported_names.get(name)
+        return origin[1] if origin is not None else name
+
+    def expr_module_path(self, node: ast.AST) -> Optional[str]:
+        """Resolve an expression to the dotted module path it denotes.
+
+        ``np.random`` -> ``numpy.random``; ``random`` -> ``random`` (when
+        imported).  Returns None when the root name is not a known module.
+        """
+        dn = dotted_name(node)
+        if dn is None:
+            return None
+        root, _, rest = dn.partition(".")
+        if root in self.module_aliases:
+            base = self.module_aliases[root]
+        elif root in self.imported_names:
+            src, orig = self.imported_names[root]
+            base = f"{src}.{orig}"
+        else:
+            return None
+        return f"{base}.{rest}" if rest else base
+
+
+@dataclass
+class AlgorithmClass:
+    """One engine-algorithm class and its per-node callback scope."""
+
+    node: ast.ClassDef
+    name: str
+    is_broadcast: bool
+    callbacks: List[ast.FunctionDef] = field(default_factory=list)
+
+    def constructor(self) -> Optional[ast.FunctionDef]:
+        for item in self.node.body:
+            if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+                return item
+        return None
+
+
+def _base_class_names(model: ModuleModel, cls: ast.ClassDef) -> List[str]:
+    """Resolve each base to its original (un-aliased) terminal name."""
+    names: List[str] = []
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.append(model.original_name(base.id))
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _declares_broadcast_model(cls: ast.ClassDef) -> bool:
+    """``model = "broadcast"`` class attribute marks a broadcast algorithm
+    even without subclassing ``BroadcastAlgorithm``."""
+    for item in cls.body:
+        targets: Sequence[ast.expr] = ()
+        value: Optional[ast.expr] = None
+        if isinstance(item, ast.Assign):
+            targets, value = item.targets, item.value
+        elif isinstance(item, ast.AnnAssign) and item.value is not None:
+            targets, value = [item.target], item.value
+        for t in targets:
+            if (
+                isinstance(t, ast.Name)
+                and t.id == "model"
+                and isinstance(value, ast.Constant)
+                and value.value == "broadcast"
+            ):
+                return True
+    return False
+
+
+def find_algorithm_classes(model: ModuleModel) -> List[AlgorithmClass]:
+    """All engine-algorithm classes in the module, transitively.
+
+    A class is an algorithm class if a base resolves to ``Algorithm`` /
+    ``BroadcastAlgorithm`` (however imported) or to another algorithm class
+    defined earlier in the same module.  The ``BroadcastAlgorithm`` adapter
+    itself (defined, not imported) is excluded -- it *implements* the
+    fan-out, it does not run under it.
+    """
+    classes = [n for n in ast.walk(model.tree) if isinstance(n, ast.ClassDef)]
+    algo: Dict[str, bool] = {}  # name -> is_broadcast
+    changed = True
+    while changed:
+        changed = False
+        for cls in classes:
+            if cls.name in algo:
+                continue
+            bases = _base_class_names(model, cls)
+            hit = any(b in ALGORITHM_BASE_NAMES or b in algo for b in bases)
+            if not hit:
+                continue
+            is_broadcast = _declares_broadcast_model(cls) or any(
+                (b in BROADCAST_BASE_NAMES and b != cls.name) or algo.get(b, False)
+                for b in bases
+            )
+            algo[cls.name] = is_broadcast
+            changed = True
+
+    out: List[AlgorithmClass] = []
+    for cls in classes:
+        if cls.name not in algo:
+            continue
+        info = AlgorithmClass(node=cls, name=cls.name, is_broadcast=algo[cls.name])
+        for item in cls.body:
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            if item.name == "__init__":
+                continue
+            if item.name.startswith("__") and item.name.endswith("__"):
+                continue
+            info.callbacks.append(item)
+        out.append(info)
+    return out
+
+
+class Reporter:
+    """Collects findings for one module; rules call :meth:`add`."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: List[LintFinding] = []
+
+    def add(
+        self,
+        rule: "LintRule",
+        node: ast.AST,
+        message: str,
+        symbol: str = "",
+        severity: Optional[Severity] = None,
+    ) -> None:
+        self.findings.append(
+            LintFinding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule_id=rule.rule_id,
+                severity=severity if severity is not None else rule.severity,
+                message=message,
+                symbol=symbol,
+            )
+        )
+
+
+class LintRule:
+    """Base class for model-soundness rules.
+
+    Subclasses set ``rule_id`` / ``severity`` / ``description`` and
+    override any subset of the three hooks.  Hooks receive the same parsed
+    module, so rules share one AST.
+    """
+
+    rule_id: str = "L0"
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def visit_module(self, model: ModuleModel, report: Reporter) -> None:
+        """Called once per file, for rules with module-wide scope."""
+
+    def visit_class(
+        self, model: ModuleModel, cls: AlgorithmClass, report: Reporter
+    ) -> None:
+        """Called once per algorithm class."""
+
+    def visit_callback(
+        self,
+        model: ModuleModel,
+        cls: AlgorithmClass,
+        func: ast.FunctionDef,
+        report: Reporter,
+    ) -> None:
+        """Called once per per-node callback method of an algorithm class."""
+
+
+def run_rules(
+    model: ModuleModel, rules: Iterable[LintRule], report: Reporter
+) -> None:
+    """Drive every rule over one module (single parse, single class scan)."""
+    rules = list(rules)
+    classes = find_algorithm_classes(model)
+    for rule in rules:
+        rule.visit_module(model, report)
+        for cls in classes:
+            rule.visit_class(model, cls, report)
+            for func in cls.callbacks:
+                rule.visit_callback(model, cls, func, report)

@@ -164,13 +164,15 @@ def _message_distribution(
     pinned: Dict[int, int],
     x_bc_index: int,
     n_free_max: int,
+    rng: np.random.Generator,
 ) -> Dict[int, Dict[str, float]]:
     """Exact ``p(M | X_bc = b)`` for one sender, enumerating free leaf bits.
 
     ``pinned`` maps coordinate -> forced bit (the X_ab / X_ac = 1 pins);
     ``x_bc_index`` is the coordinate carrying ``X_bc``.  Free coordinates
-    are enumerated exhaustively (or sampled if there are more than
-    ``n_free_max`` of them -- still exact per sampled assignment).
+    are enumerated exhaustively (or sampled from the caller's ``rng`` if
+    there are more than ``n_free_max`` of them -- still exact per sampled
+    assignment, and replayable from the run's master seed).
     """
     m = len(ids)
     free = [i for i in range(m) if i not in pinned and i != x_bc_index]
@@ -180,7 +182,6 @@ def _message_distribution(
         assignments = range(1 << len(free))
         weight = 1.0 / (1 << len(free))
     else:  # pragma: no cover - large-n escape hatch
-        rng = np.random.default_rng(12345)
         assignments = [int(x) for x in rng.integers(0, 1 << len(free), size=4096)]
         weight = 1.0 / 4096
     for b in (0, 1):
@@ -227,6 +228,7 @@ def pinned_world_mi(
             pinned={inp_b.partner_index["a"]: 1},
             x_bc_index=inp_b.partner_index["c"],
             n_free_max=n_free_max,
+            rng=rng,
         )
         dist_c = _message_distribution(
             protocol,
@@ -235,6 +237,7 @@ def pinned_world_mi(
             pinned={inp_c.partner_index["a"]: 1},
             x_bc_index=inp_c.partner_index["b"],
             n_free_max=n_free_max,
+            rng=rng,
         )
         # Joint: X_bc uniform; M_ba, M_ca independent given X_bc.
         pmf: Dict[Tuple, float] = {}

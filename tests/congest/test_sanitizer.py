@@ -1,0 +1,168 @@
+"""Runtime sanitizer tests (``run(sanitize=True)``).
+
+The acceptance criterion for the model-soundness work is that the same
+cheats are caught by the static pass and at runtime, *by the same rule
+id*: the shared-dict and instance-scribble fixtures must raise
+``SanitizerViolation`` tagged L2, the unseeded-random fixture tagged L3,
+and the clean control must pass both gates with an unchanged decision.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest import (
+    Algorithm,
+    BroadcastAlgorithm,
+    CongestNetwork,
+    Decision,
+    Message,
+    MetricsModeError,
+    SanitizerViolation,
+    run_broadcast_congest,
+    run_congest,
+)
+from repro.core.even_cycle import EvenCycleIterationAlgorithm
+from repro.core.triangle import NeighborExchangeTriangleDetection
+
+from tests.lint.fixtures import (
+    CleanFloodAlgorithm,
+    InstanceScribbleCheat,
+    SharedDictCheat,
+    UnseededRandomCheat,
+)
+
+
+@pytest.fixture
+def net():
+    return CongestNetwork(nx.cycle_graph(6), bandwidth=64)
+
+
+@pytest.fixture(autouse=True)
+def _reset_shared_blackboard():
+    """The shared-dict cheat pollutes its class-level dict by design;
+    start every test from the pristine (empty) blackboard."""
+    SharedDictCheat.blackboard.clear()
+    yield
+    SharedDictCheat.blackboard.clear()
+
+
+class TestCheatsAreCaught:
+    def test_shared_class_dict_raises_l2(self, net):
+        with pytest.raises(SanitizerViolation) as exc:
+            net.run(SharedDictCheat(), max_rounds=10, sanitize=True)
+        assert exc.value.rule_id == "L2"
+        assert "blackboard" in str(exc.value)
+
+    def test_instance_attribute_write_raises_l2(self, net):
+        with pytest.raises(SanitizerViolation) as exc:
+            net.run(InstanceScribbleCheat(), max_rounds=10, sanitize=True)
+        assert exc.value.rule_id == "L2"
+        assert "last_seen" in str(exc.value)
+
+    def test_unseeded_randomness_raises_l3(self, net):
+        with pytest.raises(SanitizerViolation) as exc:
+            net.run(UnseededRandomCheat(), max_rounds=10, sanitize=True)
+        assert exc.value.rule_id == "L3"
+        assert "round 0" in str(exc.value)
+
+    def test_cross_node_object_aliasing_raises_l2(self, net):
+        class AliasCheat(Algorithm):
+            name = "cheat-alias"
+
+            def __init__(self):
+                self.scratch = []  # legal to *hold*; illegal to hand to nodes
+
+            def init(self, node):
+                node.state["buf"] = self.scratch
+
+            def round(self, node, inbox):
+                node.halt()
+                return {}
+
+            def finish(self, node):
+                node.accept()
+
+        with pytest.raises(SanitizerViolation) as exc:
+            net.run(AliasCheat(), max_rounds=5, sanitize=True)
+        assert exc.value.rule_id == "L2"
+        assert "same" in str(exc.value)
+
+    def test_cheats_pass_unsanitized(self, net):
+        """The violations are invisible without the sanitizer -- that is
+        exactly why the mode exists."""
+        assert net.run(SharedDictCheat(), max_rounds=10).accepted
+        assert net.run(UnseededRandomCheat(), max_rounds=10).accepted
+
+
+class TestCleanAlgorithmsPass:
+    def test_clean_fixture_passes_and_decision_is_unchanged(self, net):
+        plain = net.run(CleanFloodAlgorithm(), max_rounds=10, seed=3)
+        sanitized = net.run(
+            CleanFloodAlgorithm(), max_rounds=10, seed=3, sanitize=True
+        )
+        assert sanitized.decision is plain.decision
+        assert sanitized.rounds == plain.rounds
+        assert sanitized.metrics.total_bits == plain.metrics.total_bits
+
+    def test_triangle_detector_sanitized(self):
+        g = nx.complete_graph(5)
+        res = run_congest(
+            g, NeighborExchangeTriangleDetection(), bandwidth=None,
+            max_rounds=5, sanitize=True,
+        )
+        assert res.decision is Decision.REJECT
+
+    def test_even_cycle_algorithm_sanitized(self):
+        g = nx.erdos_renyi_graph(14, 0.3, seed=3)
+        res = CongestNetwork(g, bandwidth=None).run(
+            EvenCycleIterationAlgorithm(k=2), max_rounds=200, seed=1,
+            sanitize=True,
+        )
+        assert res.decision in (Decision.ACCEPT, Decision.REJECT)
+
+    def test_broadcast_entry_point_sanitized(self):
+        class Ping(BroadcastAlgorithm):
+            name = "ping"
+
+            def broadcast_round(self, node, inbox):
+                if node.round >= 2:
+                    node.halt()
+                    return None
+                return Message.of_ids([node.id], node.namespace_size)
+
+            def finish(self, node):
+                node.accept()
+
+        res = run_broadcast_congest(
+            nx.cycle_graph(5), Ping(), bandwidth=16, max_rounds=10,
+            sanitize=True,
+        )
+        assert res.accepted
+
+
+class TestLiteMetricsInteraction:
+    """Regression (PR 1 fast path x sanitize): lite accounting stays lite
+    even when the sanitizer is watching the run."""
+
+    def test_lite_sanitized_run_still_raises_on_per_edge_queries(self, net):
+        res = net.run(
+            CleanFloodAlgorithm(), max_rounds=10, seed=0,
+            metrics="lite", sanitize=True,
+        )
+        assert res.accepted
+        assert res.metrics.total_bits > 0
+        with pytest.raises(MetricsModeError):
+            res.metrics.cut_bits({0, 1, 2})
+        with pytest.raises(MetricsModeError):
+            res.metrics.max_bits_per_edge()
+        with pytest.raises(MetricsModeError):
+            res.metrics.max_bits_per_node()
+
+    def test_lite_sanitized_still_catches_cheats(self, net):
+        with pytest.raises(SanitizerViolation) as exc:
+            net.run(
+                SharedDictCheat(), max_rounds=10, metrics="lite", sanitize=True
+            )
+        assert exc.value.rule_id == "L2"

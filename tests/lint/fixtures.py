@@ -1,0 +1,192 @@
+"""Deliberately-cheating algorithms for the model-soundness test suite.
+
+Each class below violates the CONGEST contract in exactly one documented
+way.  The file is *both* linted (``tests/lint/test_rules.py`` asserts the
+static pass flags every marked line) and imported (``tests/congest/
+test_sanitizer.py`` asserts the runtime sanitizer catches the dynamic
+cheats) -- the acceptance criterion is that static and dynamic detection
+agree on the rule id.
+
+Lines carrying a deliberate violation are marked with a trailing
+``# EXPECT[Lxx]`` comment (or ``# EXPECT-B[L5]`` for findings that only
+appear when the linter's bandwidth check is armed).  Tests locate
+expectations by scanning for these markers, so the file can be edited
+without re-pinning line numbers.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import networkx as nx
+
+from repro.congest import Algorithm, BroadcastAlgorithm, Message
+
+
+class SharedDictCheat(Algorithm):
+    """Cheat: nodes coordinate through a class-level dict blackboard."""
+
+    name = "cheat-shared-dict"
+    blackboard = {}  # EXPECT[L2]
+
+    def init(self, node):
+        node.state["ready"] = True
+
+    def round(self, node, inbox):
+        self.blackboard[node.id] = node.round  # EXPECT[L2]
+        if len(self.blackboard) >= (node.n or 0):
+            node.halt()
+        return {}
+
+    def finish(self, node):
+        node.accept()
+
+
+class UnseededRandomCheat(Algorithm):
+    """Cheat: coins from the process-global RNG instead of node.rng."""
+
+    name = "cheat-unseeded-random"
+
+    def init(self, node):
+        pass
+
+    def round(self, node, inbox):
+        if node.round >= 1:
+            node.halt()
+            return {}
+        coin = random.random()  # EXPECT[L3]
+        return {v: Message.of_record(coin, 8, kind="coin") for v in node.neighbors}
+
+    def finish(self, node):
+        node.accept()
+
+
+class InstanceScribbleCheat(Algorithm):
+    """Cheat: per-node values parked on the shared instance."""
+
+    name = "cheat-instance-scribble"
+
+    def init(self, node):
+        self.last_seen = node.id  # EXPECT[L2]
+
+    def round(self, node, inbox):
+        node.halt()
+        return {}
+
+    def finish(self, node):
+        node.accept()
+
+
+class GraphPeekCheat(Algorithm):
+    """Cheat: decides by inspecting the global graph handed to __init__."""
+
+    name = "cheat-graph-peek"
+
+    def __init__(self, graph):
+        self.graph = graph  # configuring in __init__ is legal; *reading* below is not
+
+    def init(self, node):
+        pass
+
+    def round(self, node, inbox):
+        if nx.density(self.graph) > 0:  # EXPECT[L1,L1]
+            node.reject()
+        node.halt()
+        return {}
+
+    def finish(self, node):
+        pass
+
+
+class WallClockCheat(Algorithm):
+    """Cheat: round logic keyed to the wall clock."""
+
+    name = "cheat-wall-clock"
+
+    def init(self, node):
+        pass
+
+    def round(self, node, inbox):
+        node.state["t"] = time.time()  # EXPECT[L4]
+        node.halt()
+        return {}
+
+    def finish(self, node):
+        node.accept()
+
+
+class FreePayloadCheat(Algorithm):
+    """Cheat: ships a payload while declaring zero bits."""
+
+    name = "cheat-free-payload"
+
+    def init(self, node):
+        pass
+
+    def round(self, node, inbox):
+        if node.round >= 1:
+            node.halt()
+            return {}
+        msg = Message.of_record((1, 2, 3), 0, kind="free")  # EXPECT[L5]
+        wide = Message.of_bits("0110011001100110011001100110")  # EXPECT-B[L5]
+        return {v: (msg if v % 2 else wide) for v in node.neighbors}
+
+    def finish(self, node):
+        node.accept()
+
+
+class PerNeighborBroadcastCheat(BroadcastAlgorithm):
+    """Cheat: claims the broadcast model but unicasts per-neighbor data."""
+
+    name = "cheat-broadcast-unicast"
+
+    def round(self, node, inbox):  # EXPECT[L6]
+        if node.round >= 1:
+            node.halt()
+            return {}
+        out = {v: Message.of_ids([v], node.namespace_size) for v in node.neighbors}  # EXPECT[L6]
+        return out
+
+    def finish(self, node):
+        node.accept()
+
+
+class SuppressedCheat(Algorithm):
+    """A violation waved through with a reviewed per-site suppression."""
+
+    name = "cheat-suppressed"
+    lookup = {0: 0}  # repro: noqa[L2] -- written once here, read-only afterwards
+
+    def init(self, node):
+        node.state["x"] = self.lookup.get(node.id, 0)
+
+    def round(self, node, inbox):
+        node.halt()
+        return {}
+
+    def finish(self, node):
+        node.accept()
+
+
+class CleanFloodAlgorithm(Algorithm):
+    """Contract-abiding control: floods ids for three rounds, no cheats."""
+
+    name = "clean-flood"
+
+    def init(self, node):
+        node.state["seen"] = {node.id}
+        if node.rng is not None:
+            node.state["coin"] = int(node.rng.integers(0, 2))
+
+    def round(self, node, inbox):
+        for msg in inbox.values():
+            node.state["seen"].update(msg.payload)
+        if node.round >= 3:
+            node.halt()
+            return {}
+        msg = Message.of_ids(sorted(node.state["seen"]), node.namespace_size)
+        return {v: msg for v in node.neighbors}
+
+    def finish(self, node):
+        node.accept()

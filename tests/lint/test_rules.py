@@ -1,0 +1,156 @@
+"""Static-pass tests: every marked cheat in the fixture file is flagged
+with the right rule id, the clean algorithm and the real repo stay clean,
+and suppression works per site.
+
+Expectations are encoded in ``fixtures.py`` itself via trailing
+``# EXPECT[Lxx]`` (always) / ``# EXPECT-B[L5]`` (bandwidth-armed)
+markers, so the assertions below never pin line numbers.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Severity,
+    build_rules,
+    lint_file,
+    parse_noqa_directives,
+)
+
+FIXTURES = str(Path(__file__).parent / "fixtures.py")
+
+_MARKER = re.compile(r"#\s*EXPECT(?P<armed>-B)?\[(?P<ids>[^\]]+)\]")
+
+
+def _expected_markers(path: str):
+    """(always, bandwidth-armed) multisets of (line, rule_id) pairs."""
+    always, armed = [], []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, text in enumerate(fh, start=1):
+            m = _MARKER.search(text)
+            if m is None:
+                continue
+            for rid in m.group("ids").split(","):
+                rid = rid.strip()
+                if not re.fullmatch(r"L\d+", rid):
+                    continue  # prose mention (e.g. in a docstring), not a marker
+                (armed if m.group("armed") else always).append((lineno, rid))
+    return sorted(always), sorted(armed)
+
+
+def _flagged(path: str, bandwidth=None):
+    findings = lint_file(path, build_rules(bandwidth=bandwidth))
+    return sorted((f.line, f.rule_id) for f in findings if not f.suppressed)
+
+
+class TestFixtureCheatsAreFlagged:
+    def test_every_marked_cheat_and_nothing_else(self):
+        always, armed = _expected_markers(FIXTURES)
+        assert always, "fixture file lost its EXPECT markers"
+        assert _flagged(FIXTURES) == always
+
+    def test_bandwidth_armed_adds_exceeds_b_findings(self):
+        always, armed = _expected_markers(FIXTURES)
+        assert armed, "fixture file lost its EXPECT-B markers"
+        assert _flagged(FIXTURES, bandwidth=16) == sorted(always + armed)
+
+    def test_all_six_rules_exercised(self):
+        always, armed = _expected_markers(FIXTURES)
+        rules_hit = {rid for _, rid in always + armed}
+        assert rules_hit == {"L1", "L2", "L3", "L4", "L5", "L6"}
+
+    def test_findings_are_errors_with_symbols(self):
+        findings = [
+            f for f in lint_file(FIXTURES, build_rules()) if not f.suppressed
+        ]
+        assert all(f.severity is Severity.ERROR for f in findings)
+        # callback-scoped findings name their Class.method context
+        symbols = {f.symbol for f in findings if f.symbol}
+        assert "SharedDictCheat.round" in symbols
+        assert "UnseededRandomCheat.round" in symbols
+
+
+class TestSuppression:
+    def test_suppressed_cheat_is_reported_but_not_counted(self):
+        findings = lint_file(FIXTURES, build_rules())
+        suppressed = [f for f in findings if f.suppressed]
+        assert len(suppressed) == 1
+        assert suppressed[0].rule_id == "L2"
+        assert suppressed[0].symbol == "SuppressedCheat"
+        assert "(suppressed)" in suppressed[0].format()
+
+    def test_noqa_parsing_blanket_and_scoped(self):
+        src = "a = 1  # repro: noqa\nb = 2  # repro: noqa[L2, l3]\nc = 3\n"
+        d = parse_noqa_directives(src)
+        assert d.covers(1, "L1") and d.covers(1, "L6")
+        assert d.covers(2, "L2") and d.covers(2, "L3")
+        assert not d.covers(2, "L1")
+        assert not d.covers(3, "L2")
+
+    def test_site_scoped_noqa_does_not_leak_to_other_lines(self, tmp_path):
+        bad = tmp_path / "algo.py"
+        bad.write_text(
+            "from repro.congest import Algorithm\n"
+            "class A(Algorithm):\n"
+            "    shared = {}  # repro: noqa[L2]\n"
+            "    also_shared = {}\n"
+            "    def round(self, node, inbox):\n"
+            "        return {}\n"
+        )
+        findings = lint_file(str(bad), build_rules())
+        assert [(f.rule_id, f.suppressed) for f in findings] == [
+            ("L2", True),
+            ("L2", False),
+        ]
+
+
+class TestRuleConfiguration:
+    def test_rule_subset_selection(self):
+        only_l3 = lint_file(FIXTURES, build_rules(include=["L3"]))
+        assert {f.rule_id for f in only_l3} == {"L3"}
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(ValueError, match="L9"):
+            build_rules(include=["L9"])
+
+    def test_parse_error_becomes_l0_finding(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        findings = lint_file(str(broken), build_rules())
+        assert len(findings) == 1
+        assert findings[0].rule_id == "L0"
+        assert findings[0].severity is Severity.ERROR
+
+
+class TestCleanCode:
+    def test_clean_fixture_algorithm_has_no_findings(self):
+        findings = [
+            f
+            for f in lint_file(FIXTURES, build_rules(bandwidth=16))
+            if f.symbol.startswith("CleanFloodAlgorithm")
+        ]
+        assert findings == []
+
+    def test_hardcoded_seed_is_flagged_outside_callbacks_too(self, tmp_path):
+        mod = tmp_path / "harness.py"
+        mod.write_text(
+            "import numpy as np\n"
+            "def sweep():\n"
+            "    rng = np.random.default_rng(12345)\n"
+            "    return rng.random()\n"
+        )
+        findings = lint_file(str(mod), build_rules())
+        assert [(f.rule_id, f.line) for f in findings] == [("L3", 3)]
+
+    def test_threaded_generator_is_not_flagged(self, tmp_path):
+        mod = tmp_path / "harness.py"
+        mod.write_text(
+            "import numpy as np\n"
+            "def sweep(rng: np.random.Generator):\n"
+            "    return rng.integers(0, 2)\n"
+        )
+        assert lint_file(str(mod), build_rules()) == []

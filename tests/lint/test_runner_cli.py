@@ -1,0 +1,96 @@
+"""Runner and CLI tests: discovery, the repo-wide cleanliness gate,
+exit codes, and the machine-readable JSON report."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import discover_files, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = str(Path(__file__).parent / "fixtures.py")
+
+
+class TestDiscovery:
+    def test_walk_finds_nested_files_and_skips_caches(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "a.cpython-311.py").write_text("x = 1\n")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "b.py").write_text("x = 1\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        found = discover_files([str(tmp_path)])
+        assert found == [str(tmp_path / "pkg" / "a.py")]
+
+    def test_explicit_file_and_deduplication(self, tmp_path):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1\n")
+        assert discover_files([str(f), str(tmp_path)]) == [str(f)]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            discover_files(["definitely/not/a/path"])
+
+
+class TestRepoIsClean:
+    def test_src_has_zero_unsuppressed_errors(self):
+        """The acceptance criterion: `repro lint src/` runs clean."""
+        report = lint_paths([str(REPO_ROOT / "src")])
+        assert report.files_checked > 50
+        assert report.errors == [], report.render_text()
+
+    def test_fixture_file_fails_the_gate(self):
+        report = lint_paths([FIXTURES])
+        assert report.exit_code() == 1
+        assert len(report.errors) >= 6
+
+
+class TestCli:
+    def test_lint_clean_tree_exits_zero(self, capsys):
+        rc = main(["lint", str(REPO_ROOT / "src" / "repro" / "congest")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 error(s)" in out
+
+    def test_lint_fixtures_exits_nonzero_with_rule_ids(self, capsys):
+        rc = main(["lint", FIXTURES])
+        out = capsys.readouterr().out
+        assert rc == 1
+        for rid in ("L1", "L2", "L3", "L4", "L5", "L6"):
+            assert f" {rid}: " in out
+
+    def test_json_report_round_trips(self, capsys):
+        rc = main(["lint", FIXTURES, "--json", "--bandwidth", "16"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["files_checked"] == 1
+        assert payload["errors"] == len(
+            [f for f in payload["findings"] if not f["suppressed"]]
+        )
+        assert set(payload["rules"]) == {"L1", "L2", "L3", "L4", "L5", "L6"}
+        flagged = {f["rule"] for f in payload["findings"]}
+        assert {"L1", "L2", "L3", "L4", "L5", "L6"} <= flagged
+        # the armed bandwidth check contributes the wide of_bits finding
+        assert any(
+            f["rule"] == "L5" and "exceeds" in f["message"]
+            for f in payload["findings"]
+        )
+
+    def test_rule_subset_flag(self, capsys):
+        rc = main(["lint", FIXTURES, "--rules", "L4", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert {f["rule"] for f in payload["findings"]} == {"L4"}
+
+    def test_bad_path_exits_two(self, capsys):
+        rc = main(["lint", "definitely/not/a/path"])
+        assert rc == 2
+
+    def test_bad_rule_exits_two(self, capsys):
+        rc = main(["lint", FIXTURES, "--rules", "L99"])
+        assert rc == 2
