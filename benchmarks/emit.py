@@ -1,0 +1,60 @@
+"""Machine-readable benchmark snapshots (``BENCH_*.json`` at the repo root).
+
+Perf claims in this repo are asserted inside the benchmarks (a regression
+fails the run), but assertions alone leave no trail.  :func:`emit` writes
+the measured numbers -- keyed by benchmark name, stamped with the current
+commit -- into a JSON snapshot that future sessions can diff against.
+
+Merge semantics: each call updates only its own key inside
+``benchmarks``, so the engine benchmarks and the E1 sweep can write to
+the same file from different test runs without clobbering each other.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def current_commit() -> str:
+    """Current git commit hash, or "unknown" outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        )
+        return proc.stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def emit(snapshot: str, name: str, payload: Dict[str, Any]) -> Path:
+    """Merge ``payload`` under ``benchmarks[name]`` in ``<snapshot>.json``.
+
+    ``snapshot`` is the file stem (e.g. ``"BENCH_engine"``); the file
+    lives at the repo root.  Existing entries for other benchmark names
+    are preserved; the commit stamp and generation time are refreshed.
+    """
+    path = REPO_ROOT / f"{snapshot}.json"
+    data: Dict[str, Any] = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    if not isinstance(data, dict):
+        data = {}
+    data["commit"] = current_commit()
+    data["generated_unix"] = int(time.time())
+    data.setdefault("benchmarks", {})[name] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path

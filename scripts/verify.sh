@@ -44,6 +44,17 @@ fi
 if [ "${1:-}" != "--fast" ]; then
     step "pytest (tier-1)"
     python -m pytest -x -q || fail=1
+
+    # Time-budgeted bench smoke: one small vectorized-clique instance,
+    # checked bit-exact against the object lane.  Catches perf-lane
+    # regressions without paying for the full (slow) benchmark sweep.
+    step "bench smoke (vectorized clique, 120s budget)"
+    (
+        cd benchmarks &&
+        PYTHONPATH="../src${PYTHONPATH:+:$PYTHONPATH}" timeout 120 \
+            python -m pytest -q -p no:cacheprovider \
+            "bench_engine_fastpath.py::TestVectorizedCliqueLane::test_vectorized_clique_smoke"
+    ) || fail=1
 fi
 
 echo

@@ -62,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for amplified detectors "
                         "(decision is identical to --jobs 1)")
+    p.add_argument("--lane", default="object", choices=["object", "vectorized"],
+                   help="execution lane for k<s> cliques and odd-c<length> "
+                        "cycles (vectorized = batched numpy kernels, "
+                        "bit-identical to object)")
     p.add_argument("--metrics", default="full", choices=["full", "lite"],
                    help="engine accounting: 'lite' keeps aggregate totals "
                         "only (faster; same decision)")
@@ -153,7 +157,8 @@ def _cmd_detect(args) -> int:
     if pat.startswith("odd-c"):
         length = int(pat[5:])
         rep = detect_cycle_linear(g, length, iterations=args.iterations, seed=args.seed,
-                                  jobs=args.jobs, metrics=args.metrics)
+                                  jobs=args.jobs, metrics=args.metrics,
+                                  lane=args.lane)
         print(f"C_{length} detected: {rep.detected} "
               f"({rep.iterations_run} iterations x {rep.rounds_per_iteration} rounds)")
         return 0
@@ -172,7 +177,7 @@ def _cmd_detect(args) -> int:
     if pat.startswith("k"):
         s = int(pat[1:])
         res = detect_clique(g, s, bandwidth=args.bandwidth or 8, seed=args.seed,
-                            metrics=args.metrics)
+                            metrics=args.metrics, lane=args.lane)
         print(f"K_{s} detected: {res.rejected} (rounds: {res.rounds})")
         return 0
     if pat.startswith("path"):

@@ -23,8 +23,19 @@ from .local_model import BallCollection, LocalNetwork, run_local
 from .message import BandwidthExceeded, Message, id_width, int_width
 from .metrics import CommMetrics, MetricsModeError
 from .network import CongestNetwork, ExecutionResult, run_congest
-from .parallel import AmplifiedOutcome, IterationOutcome, run_amplified
-from .sanitizer import AliasGuard, SanitizerViolation
+from .parallel import AmplifiedOutcome, IterationOutcome, run_amplified, shutdown_pools
+from .sanitizer import AliasGuard, SanitizerViolation, VecTrafficDigest
+from .vectorized import (
+    VEC_ACCEPT,
+    VEC_REJECT,
+    VEC_UNDECIDED,
+    EdgeIndex,
+    VecInbox,
+    VecOutbox,
+    VecRun,
+    VectorizedAlgorithm,
+    execute_vectorized,
+)
 
 __all__ = [
     "Algorithm",
@@ -57,6 +68,17 @@ __all__ = [
     "AmplifiedOutcome",
     "IterationOutcome",
     "run_amplified",
+    "shutdown_pools",
     "AliasGuard",
     "SanitizerViolation",
+    "VecTrafficDigest",
+    "VEC_ACCEPT",
+    "VEC_REJECT",
+    "VEC_UNDECIDED",
+    "EdgeIndex",
+    "VecInbox",
+    "VecOutbox",
+    "VecRun",
+    "VectorizedAlgorithm",
+    "execute_vectorized",
 ]

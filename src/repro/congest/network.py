@@ -167,6 +167,17 @@ class CongestNetwork:
         self._neighbor_tuples: Dict[int, Tuple[int, ...]] = {
             u: tuple(sorted(self._adj[u])) for u in self._node_ids
         }
+        # CSR edge index for the vectorized lane, built lazily on first use
+        # and shared (read-only) by every vectorized run on this network.
+        self._edge_index_cache: Optional["EdgeIndex"] = None
+
+    def edge_index(self) -> "EdgeIndex":
+        """The network's read-only CSR edge index (vectorized lane)."""
+        if self._edge_index_cache is None:
+            from .vectorized import EdgeIndex
+
+            self._edge_index_cache = EdgeIndex(self._node_ids, self._neighbor_tuples)
+        return self._edge_index_cache
 
     # ------------------------------------------------------------------
     def run(
@@ -199,7 +210,35 @@ class CongestNetwork:
         Sanitized runs execute the algorithm twice and must therefore only
         be used with replayable algorithms (which the model demands
         anyway).
+
+        A :class:`~repro.congest.vectorized.VectorizedAlgorithm` is
+        dispatched to the vectorized lane (batched array kernels over the
+        precomputed edge index) with identical semantics -- decisions,
+        round accounting, metrics ledger, and ``sanitize`` support all
+        match the object lane bit-for-bit.
         """
+        from .vectorized import VectorizedAlgorithm, execute_vectorized
+
+        if isinstance(algorithm, VectorizedAlgorithm):
+            if not sanitize:
+                return execute_vectorized(
+                    self, algorithm, max_rounds, seed, stop_on_reject, metrics
+                )
+            from .sanitizer import AliasGuard, VecTrafficDigest, verify_replay
+
+            vguard = AliasGuard(algorithm)
+            vfirst = VecTrafficDigest(guard=vguard)
+            result = execute_vectorized(
+                self, algorithm, max_rounds, seed, stop_on_reject, metrics,
+                observer=vfirst,
+            )
+            vreplay = VecTrafficDigest()
+            execute_vectorized(
+                self, algorithm, max_rounds, seed, stop_on_reject, metrics,
+                observer=vreplay,
+            )
+            verify_replay(vfirst, vreplay)
+            return result
         if not sanitize:
             return self._execute(
                 algorithm, max_rounds, seed, stop_on_reject, metrics, observer=None

@@ -17,6 +17,15 @@ seeds* and a *deterministic merge*:
   and per-iteration aggregates are identical to the sequential loop with
   ``stop_on_detect`` -- independent of ``jobs`` and of chunk boundaries.
 
+The executor is **persistent**: pools are created once per worker count,
+kept in a module-level registry, and reused by every later
+:func:`run_amplified` call (shut down at interpreter exit, or explicitly
+via :func:`shutdown_pools`).  Workers additionally keep a small LRU cache
+of constructed networks keyed by a content token of (graph, bandwidth,
+network kwargs), so repeated amplification over the same instance skips
+both process spawn *and* network construction.  A worker crash breaks a
+pool; the next call discards it, rebuilds, and retries once.
+
 Workers return compact :class:`IterationOutcome` summaries (decision,
 rounds, aggregate bits, witnesses) rather than full
 :class:`~repro.congest.network.ExecutionResult` objects, so the fan-out
@@ -28,7 +37,11 @@ with ``__call__`` -- see ``_EvenCycleFactory`` in
 
 from __future__ import annotations
 
+import atexit
+import hashlib
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -37,7 +50,66 @@ import networkx as nx
 from .algorithm import Algorithm, Decision
 from .network import CongestNetwork, ExecutionResult
 
-__all__ = ["IterationOutcome", "AmplifiedOutcome", "run_amplified"]
+__all__ = [
+    "IterationOutcome",
+    "AmplifiedOutcome",
+    "run_amplified",
+    "shutdown_pools",
+]
+
+# -- persistent pool registry (parent process) ---------------------------
+
+_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_pool(jobs: int) -> ProcessPoolExecutor:
+    pool = _POOLS.get(jobs)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        _POOLS[jobs] = pool
+    return pool
+
+
+def _discard_pool(jobs: int) -> None:
+    pool = _POOLS.pop(jobs, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_pools() -> None:
+    """Shut down every persistent amplification pool (idempotent).
+
+    Registered with :mod:`atexit`; call it directly to reclaim the worker
+    processes early (e.g. between benchmark scenarios).
+    """
+    for jobs in list(_POOLS):
+        _discard_pool(jobs)
+
+
+atexit.register(shutdown_pools)
+
+# -- worker-side network cache -------------------------------------------
+
+_NET_CACHE: "OrderedDict[str, CongestNetwork]" = OrderedDict()
+_NET_CACHE_MAX = 8
+
+
+def _net_token(
+    graph: nx.Graph, bandwidth: Optional[int], network_kwargs: Dict[str, Any]
+) -> str:
+    """Content token for the worker-side network cache.
+
+    Built from reprs, so it assumes node objects have faithful reprs --
+    true for every graph family in this repo (ints, strings, tuples).
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr(bandwidth).encode())
+    h.update(repr(sorted(network_kwargs.items())).encode())
+    h.update(repr(sorted((repr(v) for v in graph.nodes()))).encode())
+    h.update(
+        repr(sorted(sorted((repr(u), repr(v))) for u, v in graph.edges())).encode()
+    )
+    return h.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -109,10 +181,22 @@ def _run_chunk(spec: Dict[str, Any]) -> List[IterationOutcome]:
     """Worker: run a contiguous chunk of iterations on one network build.
 
     Module-level so it pickles under every multiprocessing start method.
+    A ``net_token`` in the spec enables the worker-side LRU: the network
+    is constructed once per (graph, bandwidth, kwargs) per worker and
+    reused across chunks and across :func:`run_amplified` calls.
     """
-    net = CongestNetwork(
-        spec["graph"], bandwidth=spec["bandwidth"], **spec["network_kwargs"]
-    )
+    token = spec.get("net_token")
+    net = _NET_CACHE.get(token) if token is not None else None
+    if net is None:
+        net = CongestNetwork(
+            spec["graph"], bandwidth=spec["bandwidth"], **spec["network_kwargs"]
+        )
+        if token is not None:
+            _NET_CACHE[token] = net
+            while len(_NET_CACHE) > _NET_CACHE_MAX:
+                _NET_CACHE.popitem(last=False)
+    else:
+        _NET_CACHE.move_to_end(token)
     factory: Callable[[int], Algorithm] = spec["algo_factory"]
     out: List[IterationOutcome] = []
     for t in range(spec["start"], spec["stop"]):
@@ -154,8 +238,9 @@ def run_amplified(
             if res.rejected and stop_on_detect:
                 break
 
-    With ``jobs > 1`` chunks of the iteration range run in a process pool;
-    the first-rejecting-seed merge keeps the output independent of ``jobs``.
+    With ``jobs > 1`` chunks of the iteration range run in a *persistent*
+    process pool (reused across calls, see the module docstring); the
+    first-rejecting-seed merge keeps the output independent of ``jobs``.
     ``jobs <= 1`` runs inline with no executor (the exact sequential path).
     """
     if iterations < 1:
@@ -184,27 +269,40 @@ def run_amplified(
     bounds = [
         (iterations * i) // n_chunks for i in range(n_chunks + 1)
     ]
-    chunk_results: List[Optional[List[IterationOutcome]]] = [None] * n_chunks
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [
-            pool.submit(_run_chunk, {**spec_base, "start": lo, "stop": hi})
-            for lo, hi in zip(bounds, bounds[1:])
-        ]
-        try:
-            for i, fut in enumerate(futures):
-                chunk_results[i] = fut.result()
-                if stop_on_detect and any(o.rejected for o in chunk_results[i]):
-                    # Everything before the first rejecting seed is in hand;
-                    # later chunks can only lose the first-reject race.
-                    for later in futures[i + 1 :]:
-                        later.cancel()
-                    break
-        finally:
-            for fut in futures:
-                fut.cancel()
-    return _merge(
-        [c for c in chunk_results if c is not None], iterations, stop_on_detect
-    )
+    spec_base["net_token"] = _net_token(graph, bandwidth, network_kwargs)
+    specs = [
+        {**spec_base, "start": lo, "stop": hi}
+        for lo, hi in zip(bounds, bounds[1:])
+    ]
+    try:
+        chunks = _submit_and_gather(jobs, specs, stop_on_detect)
+    except BrokenProcessPool:
+        # A worker died (OOM-killed, signalled, ...).  The pool is
+        # unusable; rebuild it and retry the whole call once.
+        _discard_pool(jobs)
+        chunks = _submit_and_gather(jobs, specs, stop_on_detect)
+    return _merge(chunks, iterations, stop_on_detect)
+
+
+def _submit_and_gather(
+    jobs: int, specs: List[Dict[str, Any]], stop_on_detect: bool
+) -> List[List[IterationOutcome]]:
+    pool = _get_pool(jobs)
+    futures = [pool.submit(_run_chunk, s) for s in specs]
+    chunk_results: List[Optional[List[IterationOutcome]]] = [None] * len(specs)
+    try:
+        for i, fut in enumerate(futures):
+            chunk_results[i] = fut.result()
+            if stop_on_detect and any(o.rejected for o in chunk_results[i]):
+                # Everything before the first rejecting seed is in hand;
+                # later chunks can only lose the first-reject race.
+                for later in futures[i + 1 :]:
+                    later.cancel()
+                break
+    finally:
+        for fut in futures:
+            fut.cancel()
+    return [c for c in chunk_results if c is not None]
 
 
 def _merge(

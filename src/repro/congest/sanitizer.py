@@ -42,7 +42,13 @@ import numpy as np
 from .algorithm import NodeContext
 from .message import Message
 
-__all__ = ["SanitizerViolation", "AliasGuard", "TrafficDigest", "verify_replay"]
+__all__ = [
+    "SanitizerViolation",
+    "AliasGuard",
+    "TrafficDigest",
+    "VecTrafficDigest",
+    "verify_replay",
+]
 
 #: Types whose sharing across nodes constitutes a writable covert channel.
 _MUTABLE_TYPES: Tuple[type, ...] = (dict, list, set, deque, bytearray, np.ndarray)
@@ -64,9 +70,17 @@ class SanitizerViolation(RuntimeError):
 
 def _mutable_objects(value: Any, depth: int = 2) -> Iterator[Any]:
     """Yield mutable objects reachable from ``value`` (containers one
-    level deep -- the practical hiding spots without a full object walk)."""
+    level deep -- the practical hiding spots without a full object walk).
+
+    A numpy array whose ``writeable`` flag is off is *not* mutable and is
+    not yielded: nothing can be written through it, so sharing it across
+    nodes is not a channel.  The vectorized lane relies on this -- the
+    engine's edge index arrays are flagged read-only precisely so they
+    can be shared by every node and every run.
+    """
     if isinstance(value, _MUTABLE_TYPES):
-        yield value
+        if not (isinstance(value, np.ndarray) and not value.flags.writeable):
+            yield value
     if depth <= 0:
         return
     if isinstance(value, dict):
@@ -176,6 +190,59 @@ class TrafficDigest:
             self.guard.check(contexts, f"round {r}")
 
     def after_finish(self, contexts: Dict[int, NodeContext]) -> None:
+        for u in sorted(contexts):
+            self._h.update(f"D|{u}|{contexts[u].decision}".encode("utf-8"))
+        self.final_digest = self._h.hexdigest()
+        if self.guard is not None:
+            self.guard.check(contexts, "finish")
+
+
+class VecTrafficDigest:
+    """Observer for the vectorized lane (``execute_vectorized``).
+
+    Same contract as :class:`TrafficDigest` -- ``round_digests`` /
+    ``final_digest`` feed :func:`verify_replay` unchanged -- but the
+    digest is computed from the *packed* representation: each round folds
+    the outbox edge indices, the declared sizes, the raw payload bytes,
+    and the engine's per-node decision/halted arrays.  Any hidden
+    nondeterminism in a kernel (global RNG, iteration over an unordered
+    container) perturbs one of those arrays and diverges the replay.
+
+    With a ``guard`` it also drives :class:`AliasGuard` after init and
+    after every round (instance-attribute and shared-mutable-attribute
+    checks; the per-node state aliasing check runs on the synthesized
+    final contexts).
+    """
+
+    def __init__(self, guard: Optional[AliasGuard] = None):
+        self.guard = guard
+        self._h = hashlib.blake2b(digest_size=16)
+        self.round_digests: List[str] = []
+        self.final_digest: Optional[str] = None
+
+    # -- vectorized-engine hooks ---------------------------------------
+    def vec_after_init(self, run: Any) -> None:
+        if self.guard is not None:
+            self.guard.check({}, "init")
+
+    def vec_round(self, r: int, edges: Any, sizes: Any, payload: Any) -> None:
+        self._h.update(f"R|{r}|".encode())
+        self._h.update(np.ascontiguousarray(edges).tobytes())
+        if isinstance(sizes, np.ndarray):
+            self._h.update(np.ascontiguousarray(sizes).tobytes())
+        else:
+            self._h.update(f"s{sizes}".encode())
+        if payload is not None:
+            self._h.update(np.ascontiguousarray(payload).tobytes())
+
+    def vec_after_round(self, r: int, run: Any) -> None:
+        self._h.update(run.decision.tobytes())
+        self._h.update(run.halted.tobytes())
+        self.round_digests.append(self._h.hexdigest())
+        if self.guard is not None:
+            self.guard.check({}, f"round {r}")
+
+    def vec_after_finish(self, contexts: Dict[int, NodeContext]) -> None:
         for u in sorted(contexts):
             self._h.update(f"D|{u}|{contexts[u].decision}".encode("utf-8"))
         self.final_digest = self._h.hexdigest()

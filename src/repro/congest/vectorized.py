@@ -1,0 +1,517 @@
+"""The vectorized execution lane of the CONGEST engine.
+
+The object lane (:meth:`CongestNetwork.run` driving an
+:class:`~repro.congest.algorithm.Algorithm`) calls one Python method per
+node per round and allocates one :class:`~repro.congest.message.Message`
+per directed edge per round.  For the paper's uniform-message workloads --
+adjacency-bitmap shipping (clique detection [10]), pipelined color-coded
+BFS (Theorem 1.1 and the O(n) baseline), the one-round broadcast protocols
+of Section 5 -- that per-object overhead dominates the wall clock.
+
+This module is the opt-in fast lane: a :class:`VectorizedAlgorithm`
+declares a per-message payload dtype and implements **one** batched
+:meth:`~VectorizedAlgorithm.step_all` over numpy arrays covering every
+node at once.  The engine packs and unpacks inboxes through precomputed
+CSR-style edge index arrays (:class:`EdgeIndex`), so a round is a handful
+of array operations instead of ``n`` callbacks and ``2m`` allocations.
+
+Model fidelity is not relaxed:
+
+* **Bandwidth is enforced**, not merely recorded: a declared per-message
+  size above ``B`` raises :class:`~repro.congest.message.BandwidthExceeded`
+  exactly as in the object lane.
+* **Bit accounting is exact.**  Aggregates come from array shapes and
+  sums; ``metrics="full"`` is supported via lazy expansion (per-edge /
+  per-node totals are accumulated in flat arrays during the run and
+  expanded into the :class:`~repro.congest.metrics.CommMetrics`
+  dictionaries once, at the end).  A vectorized run and its object-lane
+  reference produce bit-identical ledgers -- the differential test suite
+  in ``tests/core/test_vectorized_diff.py`` pins this.
+* **At most one message per directed edge per round** is validated on
+  every outbox.
+* **Randomness** is spawned from the master seed per node in sorted-id
+  order -- the same derivation as the object lane, so color draws and
+  coin flips agree bit-for-bit between lanes.
+
+Inbox ordering contract: within one receiver, messages are ordered by
+ascending sender identifier -- the same order in which the object lane's
+``inbox.items()`` iterates (the engine visits senders in sorted-id order).
+Kernels that resolve same-round races by "first message wins" therefore
+agree with their object-lane reference by construction.
+
+When the object lane is mandatory: the lower-bound harnesses (transcript
+extraction, per-message adversaries) observe individual messages through
+the observer slot and through ``metrics="full"`` per-edge queries *during*
+the run; they must drive the object lane.  The vectorized lane is for
+upper-bound sweeps and benchmarks.  See ``docs/engine_performance.md``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .algorithm import Decision
+from .message import BandwidthExceeded
+from .metrics import METRIC_MODES, CommMetrics
+
+__all__ = [
+    "EdgeIndex",
+    "VecInbox",
+    "VecOutbox",
+    "VecRun",
+    "VectorizedAlgorithm",
+    "execute_vectorized",
+    "VEC_UNDECIDED",
+    "VEC_ACCEPT",
+    "VEC_REJECT",
+]
+
+#: Integer codes used in the engine-owned per-node ``decision`` array.
+VEC_UNDECIDED, VEC_ACCEPT, VEC_REJECT = 0, 1, 2
+
+_DECISION_OF_CODE = {
+    VEC_UNDECIDED: Decision.UNDECIDED,
+    VEC_ACCEPT: Decision.ACCEPT,
+    VEC_REJECT: Decision.REJECT,
+}
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_I64.setflags(write=False)
+
+
+def _ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(starts[i], starts[i]+counts[i])`` without a loop."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.repeat(starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+    return out + np.arange(total, dtype=np.int64)
+
+
+class EdgeIndex:
+    """Read-only CSR-style index of a network's directed edges.
+
+    Built once per :class:`~repro.congest.network.CongestNetwork` (see
+    :meth:`CongestNetwork.edge_index`) and shared by every vectorized run
+    on that network.  All arrays are flagged read-only so that sharing
+    them across runs -- and handing them to kernels -- can never become a
+    covert channel (the sanitizer's :class:`AliasGuard` exempts
+    non-writable arrays for exactly this reason).
+
+    Positions vs identifiers: kernels index nodes by *position*
+    ``0..n-1`` in sorted-identifier order; ``ids[pos]`` maps back to the
+    identifier, :meth:`pos_of` maps identifiers to positions.
+
+    Attributes
+    ----------
+    ids : ``(n,)`` node identifiers, ascending.
+    src, dst : ``(E,)`` endpoint *positions* of each directed edge, sorted
+        lexicographically by ``(src, dst)`` ("out order").
+    out_ptr : ``(n+1,)`` CSR offsets: node ``p``'s out-edges are
+        ``src[out_ptr[p]:out_ptr[p+1]]``.
+    in_rank : ``(E,)`` rank of each out-order edge in the ``(dst, src)``
+        ordering ("in order") -- the delivery permutation.
+    deg : ``(n,)`` node degrees.
+    """
+
+    __slots__ = ("n", "num_directed", "ids", "src", "dst", "out_ptr", "in_rank", "deg")
+
+    def __init__(
+        self,
+        node_ids: Sequence[int],
+        neighbor_tuples: Dict[int, Tuple[int, ...]],
+    ) -> None:
+        ids = np.asarray(node_ids, dtype=np.int64)
+        n = ids.shape[0]
+        pos = {int(u): p for p, u in enumerate(ids)}
+        src_l: List[int] = []
+        dst_l: List[int] = []
+        for p, u in enumerate(ids):
+            for v in neighbor_tuples[int(u)]:
+                src_l.append(p)
+                dst_l.append(pos[v])
+        src = np.asarray(src_l, dtype=np.int64)
+        dst = np.asarray(dst_l, dtype=np.int64)
+        # node_ids and each neighbor tuple are sorted ascending, so (src,
+        # dst) is already in lexicographic out order.
+        deg = np.bincount(src, minlength=n).astype(np.int64)
+        out_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(deg, out=out_ptr[1:])
+        in_order = np.lexsort((src, dst))
+        in_rank = np.empty_like(in_order)
+        in_rank[in_order] = np.arange(in_order.shape[0], dtype=np.int64)
+        for arr in (ids, src, dst, out_ptr, in_rank, deg):
+            arr.setflags(write=False)
+        self.n = n
+        self.num_directed = int(src.shape[0])
+        self.ids = ids
+        self.src = src
+        self.dst = dst
+        self.out_ptr = out_ptr
+        self.in_rank = in_rank
+        self.deg = deg
+
+    # ------------------------------------------------------------------
+    def pos_of(self, identifiers: np.ndarray) -> np.ndarray:
+        """Positions of the given identifiers (which must all be node ids)."""
+        return np.searchsorted(self.ids, identifiers)
+
+    def out_edges(self, sender_positions: np.ndarray) -> np.ndarray:
+        """Out-order edge indices of all edges leaving the given positions.
+
+        Within one sender the edges appear in ascending receiver order;
+        senders appear in the order given.  ``broadcast`` kernels build
+        their outbox edge list with this.
+        """
+        sender_positions = np.asarray(sender_positions, dtype=np.int64)
+        return _ranges(self.out_ptr[sender_positions], self.deg[sender_positions])
+
+    def all_edges(self) -> np.ndarray:
+        """Out-order indices of every directed edge (global broadcast)."""
+        return np.arange(self.num_directed, dtype=np.int64)
+
+
+@dataclass
+class VecInbox:
+    """One round's delivered traffic, packed.
+
+    Messages are sorted by ``(recv, send)`` -- i.e. grouped by receiver,
+    ascending sender within each receiver, matching the object lane's
+    inbox iteration order.  ``payload`` is ``None`` for an empty round.
+    ``sizes`` is per-message bit sizes when they vary, else ``None`` with
+    the uniform size in ``size_bits``.
+    """
+
+    recv: np.ndarray
+    send: np.ndarray
+    payload: Optional[np.ndarray]
+    sizes: Optional[np.ndarray] = None
+    size_bits: int = 0
+
+    @staticmethod
+    def empty() -> "VecInbox":
+        return VecInbox(recv=_EMPTY_I64, send=_EMPTY_I64, payload=None)
+
+    def __len__(self) -> int:
+        return int(self.recv.shape[0])
+
+
+@dataclass
+class VecOutbox:
+    """One round's sends, packed.
+
+    ``edges`` are out-order directed edge indices (at most one message per
+    edge per round -- the engine validates).  ``payload`` is an array with
+    leading dimension ``len(edges)``, row ``i`` riding edge ``edges[i]``.
+    ``size_bits`` is the honest on-wire cost: a scalar when every message
+    has the same size this round, else a per-message array.  It is a
+    required argument by design -- vectorized senders always declare their
+    bit cost (the L5 lint rule checks this statically).
+    """
+
+    edges: np.ndarray
+    payload: np.ndarray
+    size_bits: Union[int, np.ndarray]
+
+
+@dataclass
+class VecRun:
+    """Engine-owned run context handed to every kernel callback.
+
+    ``decision`` and ``halted`` are the engine's per-node output arrays
+    (indexed by position); kernels write them directly.  ``rngs`` holds
+    one per-node generator spawned from the master seed in sorted-id
+    order -- identical derivation to the object lane, so randomized
+    kernels reproduce their reference bit-for-bit.  ``inputs`` is keyed
+    by *identifier* (as in :class:`CongestNetwork`).
+    """
+
+    grid: EdgeIndex
+    n: int
+    namespace_size: int
+    bandwidth: Optional[int]
+    knows_n: bool
+    inputs: Dict[int, Any]
+    rngs: List[Optional[np.random.Generator]]
+    decision: np.ndarray = field(default=None)  # type: ignore[assignment]
+    halted: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.decision is None:
+            self.decision = np.zeros(self.n, dtype=np.int8)
+        if self.halted is None:
+            self.halted = np.zeros(self.n, dtype=bool)
+
+    def input_of(self, pos: int) -> Any:
+        return self.inputs.get(int(self.grid.ids[pos]))
+
+
+class VectorizedAlgorithm(abc.ABC):
+    """A CONGEST algorithm expressed as batched array kernels.
+
+    One instance describes what *every* node runs, exactly like
+    :class:`~repro.congest.algorithm.Algorithm`; but instead of a per-node
+    ``round`` callback it implements :meth:`step_all`, called once per
+    round with the whole network's packed inbox.  All run state lives in
+    the dict returned by :meth:`init_state` -- the instance itself must
+    stay read-only configuration (the sanitizer enforces this under
+    ``sanitize=True``).
+
+    The dtype contract: ``message_dtype`` (class attribute or per-run via
+    the payload arrays) fixes the wire format; every outbox declares its
+    honest per-message ``size_bits``.  The engine never infers sizes from
+    payload bytes -- declared bits are the accounting, as with
+    ``Message.of_record`` in the object lane.
+
+    Halting discipline: the engine skips :meth:`step_all` only once
+    **every** node has halted.  A kernel whose nodes halt at different
+    times must itself refrain from acting for halted positions.
+    """
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "vectorized-algorithm"
+    #: Fixed per-message payload dtype, when one exists for the whole
+    #: class (``None``: the kernel builds payloads per run, e.g. chunked
+    #: bitmaps whose width depends on ``B``).
+    message_dtype: Optional[np.dtype] = None
+
+    @abc.abstractmethod
+    def init_state(self, run: VecRun) -> Dict[str, Any]:
+        """Build the packed run state (the analogue of every ``init``)."""
+
+    @abc.abstractmethod
+    def step_all(
+        self, run: VecRun, r: int, state: Dict[str, Any], inbox: VecInbox
+    ) -> Optional[VecOutbox]:
+        """Execute round ``r`` for all nodes at once.
+
+        Returns the packed outbox, or ``None`` for a silent round.
+        """
+
+    def finish_all(self, run: VecRun, state: Dict[str, Any]) -> None:
+        """Called once after the last round (the analogue of ``finish``)."""
+
+    def all_quiescent(self, run: VecRun, state: Dict[str, Any]) -> bool:
+        """Affirm that every non-halted node is idle (quiescence probe).
+
+        Mirrors the object lane's optional ``is_quiescent`` hook: the
+        default ``False`` means "never assume quiescent", so silent
+        rounds mid-schedule are billed exactly as in the object lane.
+        """
+        return False
+
+    def node_state(self, run: VecRun, state: Dict[str, Any], pos: int) -> Dict[str, Any]:
+        """Per-node state dict for the synthesized final ``NodeContext``.
+
+        Ports expose whatever their object-lane reference leaves behind
+        that callers read -- e.g. ``{"witness": ...}`` for rejecting
+        nodes, consumed by ``run_amplified``'s summary.
+        """
+        return {}
+
+
+def execute_vectorized(
+    net: Any,
+    algorithm: VectorizedAlgorithm,
+    max_rounds: int,
+    seed: Optional[int],
+    stop_on_reject: bool,
+    metrics: str,
+    observer: Optional[Any] = None,
+):
+    """One pass of the vectorized round loop over ``net``.
+
+    Semantics mirror :meth:`CongestNetwork._execute` exactly: round
+    boundaries, ``stop_on_reject``, the terminal silent quiescence-probe
+    rollback, and the metrics ledger are all bit-identical to an
+    object-lane run of the same algorithm.  ``observer`` (when set)
+    receives ``vec_after_init`` / ``vec_round`` / ``vec_after_round`` /
+    ``vec_after_finish`` callbacks -- the sanitizer's attachment points.
+    """
+    from .network import ExecutionResult  # local import: network imports us
+    from .algorithm import NodeContext
+
+    if metrics not in METRIC_MODES:
+        raise ValueError(f"metrics must be one of {METRIC_MODES}, got {metrics!r}")
+    comm = CommMetrics(mode=metrics)
+    grid = net.edge_index()
+    n = grid.n
+    master = np.random.default_rng(seed) if seed is not None else None
+    rngs: List[Optional[np.random.Generator]] = [
+        np.random.default_rng(master.integers(0, 2**63)) if master is not None else None
+        for _ in range(n)
+    ]
+    run = VecRun(
+        grid=grid,
+        n=n,
+        namespace_size=net.namespace_size,
+        bandwidth=net.bandwidth,
+        knows_n=net.knows_n,
+        inputs=net.inputs,
+        rngs=rngs,
+    )
+    state = algorithm.init_state(run)
+    if observer is not None:
+        observer.vec_after_init(run)
+
+    full = metrics == "full"
+    if full:
+        edge_bits_acc = np.zeros(grid.num_directed, dtype=np.int64)
+        edge_msgs_acc = np.zeros(grid.num_directed, dtype=np.int64)
+        node_bits_acc = np.zeros(n, dtype=np.int64)
+        node_msgs_acc = np.zeros(n, dtype=np.int64)
+
+    bandwidth = net.bandwidth
+    inbox = VecInbox.empty()
+    rounds_run = 0
+    for r in range(max_rounds):
+        if run.halted.all():
+            break
+        if stop_on_reject and bool((run.decision == VEC_REJECT).any()):
+            break
+        out = algorithm.step_all(run, r, state, inbox)
+        any_traffic = out is not None and out.edges.shape[0] > 0
+        if any_traffic:
+            edges = np.asarray(out.edges, dtype=np.int64)
+            payload = np.asarray(out.payload)
+            if payload.shape[0] != edges.shape[0]:
+                raise ValueError(
+                    f"round {r}: outbox payload rows ({payload.shape[0]}) != "
+                    f"edges ({edges.shape[0]})"
+                )
+            sizes = out.size_bits
+            per_message = isinstance(sizes, np.ndarray)
+            if per_message and sizes.shape[0] != edges.shape[0]:
+                raise ValueError(
+                    f"round {r}: size_bits array length ({sizes.shape[0]}) != "
+                    f"edges ({edges.shape[0]})"
+                )
+            order = np.argsort(edges, kind="stable")
+            if not np.array_equal(order, np.arange(order.shape[0])):
+                edges = edges[order]
+                payload = payload[order]
+                if per_message:
+                    sizes = sizes[order]
+            if edges[0] < 0 or edges[-1] >= grid.num_directed:
+                raise ValueError(f"round {r}: outbox edge index out of range")
+            if edges.shape[0] > 1 and bool((np.diff(edges) == 0).any()):
+                dup = int(edges[np.nonzero(np.diff(edges) == 0)[0][0]])
+                u = int(grid.ids[grid.src[dup]])
+                v = int(grid.ids[grid.dst[dup]])
+                raise ValueError(
+                    f"node {u} tried to send two messages to {v} in round {r}; "
+                    "the model allows one message per edge per round"
+                )
+            if per_message:
+                sizes = sizes.astype(np.int64, copy=False)
+                max_size = int(sizes.max())
+                min_size = int(sizes.min())
+                bits = int(sizes.sum())
+            else:
+                max_size = min_size = int(sizes)
+                bits = max_size * edges.shape[0]
+            if min_size < 0:
+                raise ValueError(f"round {r}: negative size_bits")
+            if bandwidth is not None and max_size > bandwidth:
+                if per_message:
+                    bad = int(np.argmax(sizes > bandwidth))
+                else:
+                    bad = 0
+                e = int(edges[bad])
+                u = int(grid.ids[grid.src[e]])
+                v = int(grid.ids[grid.dst[e]])
+                sz = int(sizes[bad]) if per_message else max_size
+                raise BandwidthExceeded(
+                    f"node {u} -> {v}: message of {sz} bits exceeds B={bandwidth}"
+                )
+            comm.add_round(r, bits, int(edges.shape[0]), max_size)
+            if full:
+                if per_message:
+                    edge_bits_acc[edges] += sizes
+                    np.add.at(node_bits_acc, grid.src[edges], sizes)
+                else:
+                    edge_bits_acc[edges] += max_size
+                    np.add.at(node_bits_acc, grid.src[edges], max_size)
+                edge_msgs_acc[edges] += 1
+                np.add.at(node_msgs_acc, grid.src[edges], 1)
+            if observer is not None:
+                observer.vec_round(r, edges, sizes, payload)
+            # Deliver: reorder to (recv, send) -- ascending sender within
+            # each receiver, the object lane's inbox iteration order.
+            dorder = np.argsort(grid.in_rank[edges], kind="stable")
+            d_edges = edges[dorder]
+            inbox = VecInbox(
+                recv=grid.dst[d_edges],
+                send=grid.src[d_edges],
+                payload=payload[dorder],
+                sizes=sizes[dorder] if per_message else None,
+                size_bits=0 if per_message else max_size,
+            )
+        else:
+            inbox = VecInbox.empty()
+            if observer is not None:
+                observer.vec_round(r, _EMPTY_I64, 0, None)
+        rounds_run = r + 1
+        if observer is not None:
+            observer.vec_after_round(r, run)
+        if not any_traffic and algorithm.all_quiescent(run, state):
+            # Terminal silent quiescence probe: not billable (see the
+            # engine module docstring).  Identical rollback to the object
+            # lane.
+            rounds_run = r
+            break
+
+    algorithm.finish_all(run, state)
+
+    contexts: Dict[int, NodeContext] = {}
+    decisions: Dict[int, Decision] = {}
+    for p in range(n):
+        u = int(grid.ids[p])
+        d = _DECISION_OF_CODE[int(run.decision[p])]
+        ctx = NodeContext(
+            id=u,
+            neighbors=net._neighbor_tuples[u],
+            n=net.n if net.knows_n else None,
+            namespace_size=net.namespace_size,
+            bandwidth=net.bandwidth,
+            input=net.inputs.get(u),
+            rng=rngs[p],
+            state=dict(algorithm.node_state(run, state, p)),
+            round=max(rounds_run - 1, 0),
+            decision=d,
+        )
+        ctx._halted = bool(run.halted[p])
+        contexts[u] = ctx
+        decisions[u] = d
+    if observer is not None:
+        observer.vec_after_finish(contexts)
+
+    if full:
+        # Lazy expansion: the flat accumulators become the full-mode
+        # dictionaries only now, once, instead of 2m dict updates per round.
+        src_ids = grid.ids[grid.src]
+        dst_ids = grid.ids[grid.dst]
+        # Keyed on messages, not bits: the object lane creates a ledger
+        # entry even for a 0-bit message (e.g. silent one-round leaves).
+        for e in np.nonzero(edge_msgs_acc)[0]:
+            comm.edge_bits[(int(src_ids[e]), int(dst_ids[e]))] = int(edge_bits_acc[e])
+        for p in np.nonzero(node_msgs_acc)[0]:
+            u = int(grid.ids[p])
+            comm.node_bits[u] = int(node_bits_acc[p])
+            comm.node_messages[u] = int(node_msgs_acc[p])
+
+    if any(d is Decision.REJECT for d in decisions.values()):
+        global_decision = Decision.REJECT
+    else:
+        global_decision = Decision.ACCEPT
+    return ExecutionResult(
+        decision=global_decision,
+        rounds=rounds_run,
+        metrics=comm,
+        node_decisions=decisions,
+        contexts=contexts,
+    )

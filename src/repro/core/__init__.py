@@ -11,7 +11,7 @@
 * :mod:`~repro.core.generic_detection` -- LOCAL O(|H|)-round detection.
 """
 
-from .clique_detection import CliqueDetection, detect_clique
+from .clique_detection import CliqueDetection, VectorizedCliqueDetection, detect_clique
 from .color_coding import (
     ColorSource,
     OracleColorSource,
@@ -24,6 +24,7 @@ from .color_coding import (
 from .cycle_detection_linear import (
     LinearCycleIterationAlgorithm,
     LinearCycleReport,
+    VectorizedLinearCycle,
     detect_cycle_linear,
     linear_iterations_for_constant_success,
 )
@@ -82,6 +83,7 @@ from .triangle import (
 
 __all__ = [
     "CliqueDetection",
+    "VectorizedCliqueDetection",
     "detect_clique",
     "ColorSource",
     "OracleColorSource",
@@ -92,6 +94,7 @@ __all__ = [
     "success_probability",
     "LinearCycleIterationAlgorithm",
     "LinearCycleReport",
+    "VectorizedLinearCycle",
     "detect_cycle_linear",
     "linear_iterations_for_constant_success",
     "DetectOutcome",

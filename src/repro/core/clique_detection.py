@@ -19,15 +19,24 @@ from __future__ import annotations
 
 import math
 from itertools import combinations
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 
 import networkx as nx
+import numpy as np
 
 from ..congest.algorithm import Algorithm, Decision, NodeContext
 from ..congest.message import Message
 from ..congest.network import CongestNetwork, ExecutionResult
+from ..congest.vectorized import (
+    VEC_ACCEPT,
+    VEC_REJECT,
+    VecInbox,
+    VecOutbox,
+    VecRun,
+    VectorizedAlgorithm,
+)
 
-__all__ = ["CliqueDetection", "detect_clique"]
+__all__ = ["CliqueDetection", "VectorizedCliqueDetection", "detect_clique"]
 
 
 class CliqueDetection(Algorithm):
@@ -109,19 +118,144 @@ class CliqueDetection(Algorithm):
         return extend([], nbrs)
 
 
+class VectorizedCliqueDetection(VectorizedAlgorithm):
+    """Vectorized lane of :class:`CliqueDetection` (bit-exact port).
+
+    Same protocol, batched: every node ships its n-bit adjacency bitmap in
+    ``B``-bit chunks, one global array broadcast per round; the receivers'
+    accumulated knowledge lives in one ``(n, n)`` matrix assembled from the
+    delivered payload rows (every entry node ``v``'s local check consults
+    arrived in ``v``'s inbox, so locality is respected -- the matrix merely
+    stores each sender's shipped bits once instead of once per receiver).
+    The local K_{s-1} check runs as one matrix product for triangles and as
+    the object lane's greedy enumeration on the assembled rows for larger
+    cliques.  Decisions, rounds, and the full metrics ledger match the
+    object lane exactly; ``tests/core/test_vectorized_diff.py`` pins this.
+    """
+
+    name = "clique-detection-vec"
+
+    def __init__(self, s: int):
+        if s < 2:
+            raise ValueError("need s >= 2 (K_1 detection is vacuous)")
+        self.s = s
+
+    def init_state(self, run: VecRun) -> Dict[str, Any]:
+        if not run.knows_n:
+            raise ValueError("bitmap shipping requires knowledge of n")
+        if run.namespace_size > run.n or not np.array_equal(
+            run.grid.ids, np.arange(run.n)
+        ):
+            raise ValueError("CliqueDetection assumes ids in [n]; relabel first")
+        grid = run.grid
+        adj = np.zeros((run.n, run.n), dtype=np.uint8)
+        adj[grid.src, grid.dst] = 1
+        b = run.bandwidth if run.bandwidth is not None else run.n
+        chunk = max(1, b)
+        return {
+            "adj": adj,
+            "chunk": chunk,
+            "num_chunks": math.ceil(run.n / chunk),
+            "assembled": np.zeros((run.n, run.n), dtype=np.uint8),
+        }
+
+    def all_quiescent(self, run: VecRun, state: Dict[str, Any]) -> bool:
+        return bool(run.halted.all())
+
+    def step_all(
+        self, run: VecRun, r: int, state: Dict[str, Any], inbox: VecInbox
+    ) -> Optional[VecOutbox]:
+        grid = run.grid
+        chunk = state["chunk"]
+        if len(inbox):
+            lo = (r - 1) * chunk
+            # Each sender's chunk is identical on all its edges; duplicate
+            # row writes assign the same values.
+            state["assembled"][inbox.send, lo : lo + inbox.payload.shape[1]] = (
+                inbox.payload
+            )
+        num_chunks = state["num_chunks"]
+        if r < num_chunks:
+            lo = r * chunk
+            hi = min(run.n, lo + chunk)
+            edges = grid.all_edges()
+            payload = state["adj"][grid.src, lo:hi]
+            return VecOutbox(edges, payload, hi - lo)
+        if r == num_chunks:
+            self._decide_all(run, state)
+            run.halted[:] = True
+        return None
+
+    def _decide_all(self, run: VecRun, state: Dict[str, Any]) -> None:
+        s = self.s
+        grid = run.grid
+        asm = state["assembled"]
+        if s == 2:
+            reject = grid.deg >= 1
+        elif s == 3:
+            # v rejects iff some u, w in N(v) with the shipped bit
+            # asm[u, w] = 1 (u != w is free: asm has a zero diagonal).
+            # float32 routes through BLAS; counts <= n are exact, and only
+            # positivity is consulted.
+            a = state["adj"].astype(np.float32)
+            paths = a @ asm.astype(np.float32)
+            reject = ((paths > 0) & (a > 0)).any(axis=1)
+        else:
+            reject = np.zeros(run.n, dtype=bool)
+            for p in range(run.n):
+                nbrs = grid.dst[grid.out_ptr[p] : grid.out_ptr[p + 1]]
+                reject[p] = _neighborhood_has_clique(asm, nbrs, s)
+        run.decision[:] = np.where(reject, VEC_REJECT, VEC_ACCEPT)
+
+
+def _neighborhood_has_clique(asm: np.ndarray, nbrs: np.ndarray, s: int) -> bool:
+    """Is there a K_{s-1} among ``nbrs`` under the shipped adjacency ``asm``?
+
+    The same greedy degeneracy-ordered enumeration as
+    :meth:`CliqueDetection._local_clique_check`, over local indices.
+    """
+    k = int(nbrs.shape[0])
+    if k < s - 1:
+        return False
+    sub = asm[np.ix_(nbrs, nbrs)].astype(bool)
+    np.fill_diagonal(sub, False)
+    adjsets = [set(np.nonzero(sub[i])[0].tolist()) for i in range(k)]
+    order = sorted(range(k), key=lambda i: len(adjsets[i]))
+
+    def extend(base_len: int, candidates: List[int]) -> bool:
+        if base_len == s - 1:
+            return True
+        need = s - 1 - base_len
+        for i, v in enumerate(candidates):
+            if len(candidates) - i < need:
+                return False
+            nxt = [w for w in candidates[i + 1 :] if w in adjsets[v]]
+            if extend(base_len + 1, nxt):
+                return True
+        return False
+
+    return extend(0, order)
+
+
 def detect_clique(
     graph: nx.Graph,
     s: int,
     bandwidth: int,
     seed: int = 0,
     metrics: str = "full",
+    lane: str = "object",
 ) -> ExecutionResult:
     """Run the O(n) clique detector; deterministic, two-sided correct.
 
     ``metrics="lite"`` selects the engine fast path (aggregate counters
     only); the decision and aggregate bit totals are unchanged.
+    ``lane="vectorized"`` runs :class:`VectorizedCliqueDetection` (batched
+    array kernels, same decisions and ledger bit-for-bit).
     """
+    if lane not in ("object", "vectorized"):
+        raise ValueError(f"lane must be 'object' or 'vectorized', got {lane!r}")
     net = CongestNetwork(graph, bandwidth=bandwidth)
     n = graph.number_of_nodes()
     max_rounds = math.ceil(n / max(1, bandwidth)) + 2
-    return net.run(CliqueDetection(s), max_rounds=max_rounds, seed=seed, metrics=metrics)
+    algo = VectorizedCliqueDetection(s) if lane == "vectorized" else CliqueDetection(s)
+    return net.run(algo, max_rounds=max_rounds, seed=seed, metrics=metrics)

@@ -19,18 +19,29 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import networkx as nx
+import numpy as np
 
 from ..congest.algorithm import Algorithm, Decision, NodeContext, broadcast
 from ..congest.message import Message, int_width
 from ..congest.network import CongestNetwork, ExecutionResult
 from ..congest.parallel import run_amplified
+from ..congest.vectorized import (
+    VEC_ACCEPT,
+    VEC_REJECT,
+    VEC_UNDECIDED,
+    VecInbox,
+    VecOutbox,
+    VecRun,
+    VectorizedAlgorithm,
+)
 from .color_coding import ColorSource
 
 __all__ = [
     "LinearCycleIterationAlgorithm",
+    "VectorizedLinearCycle",
     "LinearCycleReport",
     "detect_cycle_linear",
     "linear_iterations_for_constant_success",
@@ -123,6 +134,159 @@ class LinearCycleIterationAlgorithm(Algorithm):
         )
 
 
+class VectorizedLinearCycle(VectorizedAlgorithm):
+    """Vectorized lane of :class:`LinearCycleIterationAlgorithm` (bit-exact).
+
+    The pipelined color-coded BFS, batched: one round ingests every
+    arrival at once (first-occurrence dedup per ``(receiver, origin,
+    hop)`` in ascending-sender order -- the object lane's ``seen`` check),
+    detects closures, relays trigger tokens into per-node FIFO queues,
+    and emits all pops as one packed broadcast.  Two object-lane quirks
+    are reproduced deliberately, because traffic (and hence the metrics
+    ledger) depends on them:
+
+    * relays are enqueued *without* consulting ``seen`` -- a token can be
+      enqueued, and later broadcast, more than once;
+    * an arrival ``(o, c)`` processed after a same-round relay trigger
+      ``(o, c-1)`` from a smaller sender is skipped (the trigger marks
+      ``(o, c)`` seen first), which can suppress a closure.
+
+    Colors are drawn from the same per-node generators in the same order,
+    so random colorings agree with the reference bit-for-bit.
+    """
+
+    name = "linear-cycle-detection-vec"
+    message_dtype = np.dtype([("origin", np.int64), ("hop", np.int64)])
+
+    def __init__(self, length: int, color_map: Optional[Mapping[int, int]] = None):
+        if length < 3:
+            raise ValueError("cycles have length >= 3")
+        self.length = length
+        self.color_map = dict(color_map) if color_map is not None else None
+
+    def init_state(self, run: VecRun) -> Dict[str, Any]:
+        if not run.knows_n:
+            raise ValueError("baseline requires knowledge of n")
+        ell = self.length
+        n = run.n
+        grid = run.grid
+        colors = np.empty(n, dtype=np.int64)
+        if self.color_map is not None:
+            cm = self.color_map
+            for p in range(n):
+                colors[p] = cm.get(int(grid.ids[p]), ell - 1)
+        else:
+            for p in range(n):
+                rng = run.rngs[p]
+                if rng is None:
+                    raise ValueError("random coloring needs per-node randomness")
+                colors[p] = int(rng.integers(0, ell))
+        seen = np.zeros((n, n, ell), dtype=bool)
+        queues: List[deque] = [deque() for _ in range(n)]
+        start = np.nonzero(colors == 0)[0]
+        for p in start:
+            queues[p].append((int(grid.ids[p]), 0))
+        seen[start, start, 0] = True
+        return {
+            "colors": colors,
+            "seen": seen,
+            "queues": queues,
+            "has_queue": colors == 0,
+            "witness": np.full(n, -1, dtype=np.int64),
+            "deadline": n + ell + 1,
+            "msg_bits": int_width(run.namespace_size) + int_width(ell),
+        }
+
+    def all_quiescent(self, run: VecRun, state: Dict[str, Any]) -> bool:
+        return bool(run.halted.all())
+
+    def node_state(self, run: VecRun, state: Dict[str, Any], pos: int) -> Dict[str, Any]:
+        w = int(state["witness"][pos])
+        return {"witness": w} if w >= 0 else {}
+
+    def step_all(
+        self, run: VecRun, r: int, state: Dict[str, Any], inbox: VecInbox
+    ) -> Optional[VecOutbox]:
+        grid = run.grid
+        ell = self.length
+        colors = state["colors"]
+        seen = state["seen"]
+        queues = state["queues"]
+        has_queue = state["has_queue"]
+        if len(inbox):
+            rv = inbox.recv
+            ov = inbox.payload["origin"]
+            hv = inbox.payload["hop"]
+            op = grid.pos_of(ov)
+            # First occurrence per (receiver, origin, hop); arrivals are in
+            # (receiver, ascending sender) order, so "first" is exactly the
+            # arrival the object lane's seen-check lets through.
+            key = (rv * grid.n + op) * ell + hv
+            _, first_idx = np.unique(key, return_index=True)
+            first = np.zeros(key.shape[0], dtype=bool)
+            first[first_idx] = True
+            processed = first & ~seen[rv, op, hv]
+            closure = processed & (ov == grid.ids[rv]) & (hv == ell - 1)
+            trigger = processed & ~closure & (hv + 1 < ell) & (colors[rv] == hv + 1)
+            # Same-round suppression: an arrival (o, c) at a node of color c
+            # is skipped if a trigger (o, c-1) from a smaller sender already
+            # marked (o, c) seen this round.
+            cand = processed & (hv == colors[rv])
+            if bool(trigger.any()) and bool(cand.any()):
+                t_idx = np.nonzero(trigger)[0]
+                t_key = rv[t_idx] * grid.n + op[t_idx]  # unique per trigger
+                t_order = np.argsort(t_key, kind="stable")
+                t_key_s = t_key[t_order]
+                t_idx_s = t_idx[t_order]
+                c_idx = np.nonzero(cand)[0]
+                c_key = rv[c_idx] * grid.n + op[c_idx]
+                where = np.searchsorted(t_key_s, c_key)
+                safe = np.minimum(where, t_key_s.shape[0] - 1)
+                hit = (where < t_key_s.shape[0]) & (t_key_s[safe] == c_key)
+                blocked_c = hit & (t_idx_s[safe] < c_idx)
+                if bool(blocked_c.any()):
+                    blocked = np.zeros_like(processed)
+                    blocked[c_idx[blocked_c]] = True
+                    processed &= ~blocked
+                    closure &= ~blocked
+                    # triggers are never blocked: their hop is c-1 != c.
+            seen[rv[processed], op[processed], hv[processed]] = True
+            if bool(trigger.any()):
+                seen[rv[trigger], op[trigger], hv[trigger] + 1] = True
+                # Enqueue relays in arrival order (FIFO parity with the
+                # object lane); deliberately no seen-check -- see class doc.
+                for i in np.nonzero(trigger)[0]:
+                    p = int(rv[i])
+                    queues[p].append((int(ov[i]), int(hv[i]) + 1))
+                    has_queue[p] = True
+            if bool(closure.any()):
+                run.decision[rv[closure]] = VEC_REJECT
+                # Fancy assignment: the last (largest-sender) closure wins,
+                # matching the object lane's per-arrival overwrite.
+                state["witness"][rv[closure]] = ov[closure]
+        if r >= state["deadline"]:
+            run.decision[run.decision == VEC_UNDECIDED] = VEC_ACCEPT
+            run.halted[:] = True
+            return None
+        senders = np.nonzero(has_queue)[0]
+        if senders.shape[0] == 0:
+            return None
+        origins = np.empty(senders.shape[0], dtype=np.int64)
+        hops = np.empty(senders.shape[0], dtype=np.int64)
+        for j, p in enumerate(senders):
+            o, h = queues[p].popleft()
+            origins[j] = o
+            hops[j] = h
+            if not queues[p]:
+                has_queue[p] = False
+        edges = grid.out_edges(senders)
+        deg = grid.deg[senders]
+        payload = np.empty(edges.shape[0], dtype=self.message_dtype)
+        payload["origin"] = np.repeat(origins, deg)
+        payload["hop"] = np.repeat(hops, deg)
+        return VecOutbox(edges, payload, state["msg_bits"])
+
+
 @dataclass
 class LinearCycleReport:
     detected: bool
@@ -140,10 +304,14 @@ class _LinearCycleFactory:
 
     length: int
     color_map: Optional[Tuple[Tuple[int, int], ...]]
+    lane: str = "object"
 
-    def __call__(self, iteration: int) -> LinearCycleIterationAlgorithm:
+    def __call__(self, iteration: int):
         cmap = dict(self.color_map) if self.color_map is not None else None
-        return LinearCycleIterationAlgorithm(self.length, color_map=cmap)
+        cls = VectorizedLinearCycle if self.lane == "vectorized" else (
+            LinearCycleIterationAlgorithm
+        )
+        return cls(self.length, color_map=cmap)
 
 
 def detect_cycle_linear(
@@ -157,13 +325,18 @@ def detect_cycle_linear(
     keep_results: bool = False,
     jobs: int = 1,
     metrics: str = "full",
+    lane: str = "object",
 ) -> LinearCycleReport:
     """Amplified O(n)-baseline detection of ``C_length``.
 
     ``jobs`` / ``metrics`` mirror :func:`repro.core.even_cycle.detect_even_cycle`:
     iterations fan out over a process pool with a first-rejecting-seed merge,
     so the decision is bit-identical to the sequential loop.
+    ``lane="vectorized"`` runs :class:`VectorizedLinearCycle` per iteration
+    (same decisions, witnesses, and bit totals as the object lane).
     """
+    if lane not in ("object", "vectorized"):
+        raise ValueError(f"lane must be 'object' or 'vectorized', got {lane!r}")
     n = graph.number_of_nodes()
     if bandwidth is None:
         bandwidth = int_width(max(n, 2)) + int_width(length)
@@ -178,6 +351,7 @@ def detect_cycle_linear(
         factory = _LinearCycleFactory(
             length,
             tuple(sorted(color_map.items())) if color_map is not None else None,
+            lane=lane,
         )
         amp = run_amplified(
             graph,
@@ -206,8 +380,11 @@ def detect_cycle_linear(
     total_bits = 0
     total_messages = 0
     results: List[ExecutionResult] = []
+    algo_cls = VectorizedLinearCycle if lane == "vectorized" else (
+        LinearCycleIterationAlgorithm
+    )
     for t in range(iterations):
-        algo = LinearCycleIterationAlgorithm(length, color_map=color_map)
+        algo = algo_cls(length, color_map=color_map)
         res = net.run(algo, max_rounds=rounds_per, seed=seed + t, metrics=metrics)
         runs += 1
         total_bits += res.metrics.total_bits

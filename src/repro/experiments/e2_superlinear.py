@@ -7,7 +7,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..commcomplexity.disjointness import random_instance
-from ..graphs.gkn_family import GknFamily
+from ..graphs.cache import cached_gkn_family
 from ..lowerbounds.superlinear import implied_round_lower_bound, run_reduction
 from ..theory.bounds import hk_exponent
 from .common import ExperimentReport, fit_against
@@ -30,7 +30,7 @@ def run(
     cuts = []
     bounds = []
     for n in ns:
-        fam = GknFamily(k, n)
+        fam = cached_gkn_family(k, n)
         cut = fam.expected_cut_size()
         lb = implied_round_lower_bound(n, cut, bandwidth)
         rows.append((n, cut, f"{lb:.1f}", n))

@@ -7,7 +7,7 @@ from typing import Optional, Sequence
 
 from ..core.generic_detection import detect_subgraph_local
 from ..graphs import generators as gen
-from ..graphs.hk_construction import build_hk
+from ..graphs.cache import cached_hk
 from ..theory.bounds import local_congest_separation
 from .common import ExperimentReport, FitCheck
 
@@ -50,7 +50,7 @@ def run_live(pad_sizes: Optional[Sequence[int]] = None) -> ExperimentReport:
     messages)."""
     if pad_sizes is None:
         pad_sizes = [0, 60, 200]
-    hk = build_hk(2).graph
+    hk = cached_hk(2).graph
     rows = []
     rounds = []
     for pad in pad_sizes:

@@ -9,6 +9,14 @@ isomorphism engine that serves as ground truth for every detector.
 
 from . import generators
 from .bipartite_gadget import BipartiteHost, BipartiteHostFamily, build_bipartite_hsk
+from .cache import (
+    cached_gkn_family,
+    cached_high_girth_graph,
+    cached_hk,
+    cached_projective_plane,
+    clear_construction_cache,
+    construction_cache_info,
+)
 from .extremal import high_girth_graph, projective_plane_incidence
 from .gkn_family import GknFamily, GXYGraph
 from .hk_construction import (
@@ -62,6 +70,12 @@ __all__ = [
     "BipartiteHost",
     "BipartiteHostFamily",
     "build_bipartite_hsk",
+    "cached_gkn_family",
+    "cached_high_girth_graph",
+    "cached_hk",
+    "cached_projective_plane",
+    "clear_construction_cache",
+    "construction_cache_info",
     "high_girth_graph",
     "projective_plane_incidence",
     "GknFamily",

@@ -1,0 +1,94 @@
+"""Parameter-keyed in-process cache for deterministic constructions.
+
+The paper's constructions are pure functions of their parameters: ``H_k``
+depends only on ``k``, a :class:`~repro.graphs.gkn_family.GknFamily` only
+on ``(k, n)``, a projective-plane incidence graph only on ``q``, and the
+greedy high-girth graph only on ``(n, min_girth, seed, max_edges)`` once
+the RNG is derived from an explicit seed.  Experiment sweeps and
+benchmarks rebuild them constantly -- e.g. every lower-bound adversary
+round starts from the same ``G_{k,n}`` skeleton -- so this module memoizes
+them behind tiny ``lru_cache`` wrappers.
+
+Mutation safety: cached ``networkx`` graphs are **frozen**
+(:func:`networkx.freeze`) before they are handed out, so a caller cannot
+poison the cache by adding edges; take ``nx.Graph(g)`` for a mutable
+copy.  :class:`HkGraph` and :class:`GknFamily` instances are shared --
+their public API is read-only (``GknFamily.build`` returns fresh graphs).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional
+
+import networkx as nx
+import numpy as np
+
+from .extremal import high_girth_graph, projective_plane_incidence
+from .gkn_family import GknFamily
+from .hk_construction import HkGraph, build_hk
+
+__all__ = [
+    "cached_hk",
+    "cached_gkn_family",
+    "cached_projective_plane",
+    "cached_high_girth_graph",
+    "clear_construction_cache",
+    "construction_cache_info",
+]
+
+_CACHE_SIZE = 32
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def cached_hk(k: int) -> HkGraph:
+    """Memoized :func:`~repro.graphs.hk_construction.build_hk` (frozen graph)."""
+    hk = build_hk(k)
+    nx.freeze(hk.graph)
+    return hk
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def cached_gkn_family(k: int, n: int) -> GknFamily:
+    """Memoized ``GknFamily(k, n)`` (shared instance, read-only API).
+
+    The big win is the endpoint encoding and the lazily-built skeleton,
+    which the shared instance computes once for every sweep point.
+    """
+    return GknFamily(k, n)
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def cached_projective_plane(q: int) -> nx.Graph:
+    """Memoized incidence graph of ``PG(2, q)`` (frozen)."""
+    return nx.freeze(projective_plane_incidence(q))
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def cached_high_girth_graph(
+    n: int, min_girth: int, seed: int, max_edges: Optional[int] = None
+) -> nx.Graph:
+    """Memoized greedy high-girth graph, deterministic via ``seed`` (frozen)."""
+    g = high_girth_graph(n, min_girth, np.random.default_rng(seed), max_edges)
+    return nx.freeze(g)
+
+
+def clear_construction_cache() -> None:
+    """Drop every memoized construction (e.g. between memory-sensitive runs)."""
+    for fn in (
+        cached_hk,
+        cached_gkn_family,
+        cached_projective_plane,
+        cached_high_girth_graph,
+    ):
+        fn.cache_clear()
+
+
+def construction_cache_info() -> Dict[str, "object"]:
+    """Hit/miss counters per construction, for tests and diagnostics."""
+    return {
+        "hk": cached_hk.cache_info(),
+        "gkn_family": cached_gkn_family.cache_info(),
+        "projective_plane": cached_projective_plane.cache_info(),
+        "high_girth": cached_high_girth_graph.cache_info(),
+    }

@@ -21,7 +21,10 @@ rule      violation
 ``L4``    wall-clock or OS entropy in round logic (``time.*``,
           ``os.urandom``, ``uuid``, ``secrets``, ``datetime.now``)
 ``L5``    messages whose compile-time-constant size is dishonest
-          (0 bits with a payload) or exceeds a configured bandwidth
+          (0 bits with a payload) or exceeds a configured bandwidth;
+          vectorized senders (``VecOutbox``) must declare their
+          per-message bit size, and constant declared sizes obey the
+          same honesty/bandwidth checks
 ``L6``    broadcast-model algorithms constructing per-neighbor
           payloads (a broadcast sends ONE message to all neighbors)
 ========  ============================================================
@@ -475,7 +478,8 @@ class MessageSizeRule(LintRule):
     severity = Severity.ERROR
     description = (
         "messages whose bit size is knowable at lint time must be honest "
-        "(no 0-bit payloads) and fit the configured bandwidth"
+        "(no 0-bit payloads) and fit the configured bandwidth; vectorized "
+        "senders must declare a per-message bit size on every VecOutbox"
     )
 
     def __init__(self, bandwidth: Optional[int] = None):
@@ -550,6 +554,62 @@ class MessageSizeRule(LintRule):
             return len(payload.keys) == 0
         return False
 
+    # -- vectorized senders --------------------------------------------
+    def _check_vec_outbox(
+        self,
+        model: ModuleModel,
+        call: ast.Call,
+        sym: str,
+        report: Reporter,
+    ) -> None:
+        """``VecOutbox(edges, payload, size_bits)``: the declared size IS
+        the bit accounting for the whole batch, so it must be present, and
+        a constant declaration obeys the same honesty/bandwidth checks as
+        an object-lane ``Message``."""
+        fn = call.func
+        if not (
+            isinstance(fn, ast.Name)
+            and model.original_name(fn.id) == "VecOutbox"
+        ):
+            return
+        kwargs: Dict[str, ast.expr] = {
+            kw.arg: kw.value for kw in call.keywords if kw.arg is not None
+        }
+        size_expr = (
+            call.args[2] if len(call.args) > 2 else kwargs.get("size_bits")
+        )
+        if size_expr is None:
+            report.add(
+                self,
+                call,
+                "VecOutbox without size_bits: a vectorized sender must "
+                "declare the per-message bit size its dtype implies -- "
+                "that declaration is the batch's entire bit accounting",
+                symbol=sym,
+            )
+            return
+        payload = call.args[1] if len(call.args) > 1 else kwargs.get("payload")
+        size = _int_const(size_expr)
+        if size is None:
+            return
+        if size == 0 and not self._payload_is_empty(payload):
+            report.add(
+                self,
+                call,
+                "VecOutbox declares size_bits=0 but ships a payload array; "
+                "free information violates the bit-accounting contract",
+                symbol=sym,
+            )
+        elif self.bandwidth is not None and size > self.bandwidth:
+            report.add(
+                self,
+                call,
+                f"VecOutbox declares a constant {size}-bit message, which "
+                f"exceeds the configured bandwidth B={self.bandwidth}; "
+                "chunk the batch over rounds",
+                symbol=sym,
+            )
+
     def visit_callback(
         self,
         model: ModuleModel,
@@ -561,6 +621,8 @@ class MessageSizeRule(LintRule):
         for node in ast.walk(func):
             if not isinstance(node, ast.Call):
                 continue
+            if cls.is_vectorized:
+                self._check_vec_outbox(model, node, sym, report)
             size, payload = self._constant_size(model, node)
             if size is None:
                 continue

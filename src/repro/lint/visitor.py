@@ -44,9 +44,12 @@ __all__ = [
 ]
 
 #: Class names that make a subclass an engine algorithm (per-node code).
-ALGORITHM_BASE_NAMES = {"Algorithm", "BroadcastAlgorithm"}
+ALGORITHM_BASE_NAMES = {"Algorithm", "BroadcastAlgorithm", "VectorizedAlgorithm"}
 #: Of those, the ones that additionally impose the broadcast restriction.
 BROADCAST_BASE_NAMES = {"BroadcastAlgorithm"}
+#: Of those, the ones whose kernels run batched over arrays (vectorized
+#: lane); their senders are ``VecOutbox`` calls, not ``Message`` objects.
+VECTORIZED_BASE_NAMES = {"VectorizedAlgorithm"}
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:
@@ -139,6 +142,7 @@ class AlgorithmClass:
     node: ast.ClassDef
     name: str
     is_broadcast: bool
+    is_vectorized: bool = False
     callbacks: List[ast.FunctionDef] = field(default_factory=list)
 
     def constructor(self) -> Optional[ast.FunctionDef]:
@@ -190,7 +194,9 @@ def find_algorithm_classes(model: ModuleModel) -> List[AlgorithmClass]:
     fan-out, it does not run under it.
     """
     classes = [n for n in ast.walk(model.tree) if isinstance(n, ast.ClassDef)]
-    algo: Dict[str, bool] = {}  # name -> is_broadcast
+    #: name -> (is_broadcast, is_vectorized)
+    algo: Dict[str, Tuple[bool, bool]] = {}
+    _NONE = (False, False)
     changed = True
     while changed:
         changed = False
@@ -202,17 +208,26 @@ def find_algorithm_classes(model: ModuleModel) -> List[AlgorithmClass]:
             if not hit:
                 continue
             is_broadcast = _declares_broadcast_model(cls) or any(
-                (b in BROADCAST_BASE_NAMES and b != cls.name) or algo.get(b, False)
+                (b in BROADCAST_BASE_NAMES and b != cls.name)
+                or algo.get(b, _NONE)[0]
                 for b in bases
             )
-            algo[cls.name] = is_broadcast
+            is_vectorized = any(
+                (b in VECTORIZED_BASE_NAMES and b != cls.name)
+                or algo.get(b, _NONE)[1]
+                for b in bases
+            )
+            algo[cls.name] = (is_broadcast, is_vectorized)
             changed = True
 
     out: List[AlgorithmClass] = []
     for cls in classes:
         if cls.name not in algo:
             continue
-        info = AlgorithmClass(node=cls, name=cls.name, is_broadcast=algo[cls.name])
+        is_b, is_v = algo[cls.name]
+        info = AlgorithmClass(
+            node=cls, name=cls.name, is_broadcast=is_b, is_vectorized=is_v
+        )
         for item in cls.body:
             if not isinstance(item, ast.FunctionDef):
                 continue

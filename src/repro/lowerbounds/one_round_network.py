@@ -20,15 +20,29 @@ potential neighbor, which never closes a triangle test).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Mapping, Optional
+from typing import Any, Dict, Hashable, Mapping, Optional
+
+import numpy as np
 
 from ..congest.algorithm import Algorithm, NodeContext
 from ..congest.message import Message
 from ..congest.network import CongestNetwork
+from ..congest.vectorized import (
+    VEC_ACCEPT,
+    VEC_REJECT,
+    VecInbox,
+    VecOutbox,
+    VecRun,
+    VectorizedAlgorithm,
+)
 from ..core.triangle import OneRoundOutcome, OneRoundProtocol
 from ..graphs.template_graph import SPECIALS, TemplateSample
 
-__all__ = ["OneRoundNetworkAlgorithm", "run_one_round_on_network"]
+__all__ = [
+    "OneRoundNetworkAlgorithm",
+    "VectorizedOneRoundAlgorithm",
+    "run_one_round_on_network",
+]
 
 
 class OneRoundNetworkAlgorithm(Algorithm):
@@ -87,6 +101,79 @@ class OneRoundNetworkAlgorithm(Algorithm):
         return {}
 
 
+class VectorizedOneRoundAlgorithm(VectorizedAlgorithm):
+    """Vectorized lane of :class:`OneRoundNetworkAlgorithm` (bit-exact port).
+
+    The protocol is inherently two engine rounds; the vectorized win here
+    is the broadcast itself: every node's bitstring message is packed once
+    into a byte matrix and shipped as a single array send with per-message
+    declared sizes (leaves declare 0 bits, exactly like the object lane's
+    empty ``of_bits`` message).  The decide step loops over the three
+    special nodes only.  No ``all_quiescent`` override: the object lane has
+    no quiescence hook either, so both lanes report ``rounds == 2``.
+    """
+
+    name = "one-round-network-vec"
+
+    def __init__(self, protocol: OneRoundProtocol):
+        self.protocol = protocol
+
+    def init_state(self, run: VecRun) -> Dict[str, Any]:
+        msgs = []
+        special = np.zeros(run.n, dtype=bool)
+        for p in range(run.n):
+            inp = run.input_of(p)
+            special[p] = bool(inp["is_special"])
+            m = (
+                self.protocol.message(inp["ids"], inp["bits"], inp["own_id"])
+                if inp["is_special"]
+                else ""
+            )
+            if not isinstance(m, str) or not set(m) <= {"0", "1"}:
+                raise ValueError(f"non-bitstring message {m!r}")
+            msgs.append(m)
+        lens = np.array([len(m) for m in msgs], dtype=np.int64)
+        packed = np.zeros((run.n, max(1, int(lens.max(initial=0)))), dtype=np.uint8)
+        for p, m in enumerate(msgs):
+            if m:
+                packed[p, : len(m)] = np.frombuffer(m.encode("ascii"), np.uint8)
+        return {"packed": packed, "lens": lens, "special": special}
+
+    def step_all(
+        self, run: VecRun, r: int, state: Dict[str, Any], inbox: VecInbox
+    ) -> Optional[VecOutbox]:
+        grid = run.grid
+        if r == 0:
+            return VecOutbox(
+                grid.all_edges(),
+                state["packed"][grid.src],
+                state["lens"][grid.src],
+            )
+        run.decision[:] = VEC_ACCEPT
+        for sp in np.nonzero(state["special"])[0]:
+            lo, hi = np.searchsorted(inbox.recv, [sp, sp + 1])
+            inp = run.input_of(int(sp))
+            received = {}
+            for j in range(int(lo), int(hi)):
+                sz = (
+                    int(inbox.sizes[j])
+                    if inbox.sizes is not None
+                    else inbox.size_bits
+                )
+                if sz == 0:
+                    continue  # silent leaves contribute nothing to decide()
+                sender_id = int(grid.ids[inbox.send[j]])
+                received[inp["id_of_engine_neighbor"][sender_id]] = (
+                    inbox.payload[j, :sz].tobytes().decode("ascii")
+                )
+            if self.protocol.decide(
+                inp["ids"], inp["bits"], inp["own_id"], received
+            ):
+                run.decision[sp] = VEC_REJECT
+        run.halted[:] = True
+        return None
+
+
 def _leaf_input(sample: TemplateSample, leaf: Hashable) -> Dict:
     """A leaf's paper-faithful input: one potential neighbor (its special)."""
     _, s, _ = leaf
@@ -104,13 +191,18 @@ def run_one_round_on_network(
     sample: TemplateSample,
     bandwidth: Optional[int] = None,
     seed: int = 0,
+    lane: str = "object",
 ) -> OneRoundOutcome:
     """Execute the protocol on the realized graph via the engine.
 
     ``bandwidth=None`` sizes the pipe to the largest message the protocol
     actually produced (so the run documents its own bandwidth, which the
     outcome reports -- the quantity Theorem 5.1 bounds).
+    ``lane="vectorized"`` runs :class:`VectorizedOneRoundAlgorithm`; the
+    decision, round count, and metrics ledger match the object lane.
     """
+    if lane not in ("object", "vectorized"):
+        raise ValueError(f"lane must be 'object' or 'vectorized', got {lane!r}")
     g = sample.graph
     inputs: Dict[Hashable, Dict] = {}
     for v in g.nodes():
@@ -151,7 +243,12 @@ def run_one_round_on_network(
         namespace_size=max(sample.identifiers.values()) + 1,
         inputs=inputs,
     )
-    res = net.run(OneRoundNetworkAlgorithm(protocol), max_rounds=2, seed=seed)
+    algo = (
+        VectorizedOneRoundAlgorithm(protocol)
+        if lane == "vectorized"
+        else OneRoundNetworkAlgorithm(protocol)
+    )
+    res = net.run(algo, max_rounds=2, seed=seed)
 
     rejected = res.rejected
     truth = sample.has_triangle()

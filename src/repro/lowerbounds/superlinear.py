@@ -32,6 +32,7 @@ from ..commcomplexity.reduction import SimulationRun, TwoPartySimulation
 from ..congest.algorithm import Algorithm, Decision, NodeContext
 from ..congest.message import Message, int_width
 from ..congest.network import CongestNetwork
+from ..graphs.cache import cached_gkn_family
 from ..graphs.gkn_family import GknFamily, GXYGraph, Pair
 
 __all__ = [
@@ -244,7 +245,7 @@ def run_reduction(
 ) -> ReductionResult:
     """The full Theorem 1.2 protocol: disjointness via jointly-simulated
     ``H_k``-detection on ``G_{X,Y}``."""
-    fam = GknFamily(k, n)
+    fam = cached_gkn_family(k, n)
     gxy = fam.build(x, y)
     if bandwidth is None:
         bandwidth = 2 * int_width(max(n, 2)) * 2 + 2
@@ -293,7 +294,7 @@ def run_direct(
     Tests assert its decision matches the two-party simulation's -- the
     faithfulness check of the reduction.
     """
-    fam = GknFamily(k, n)
+    fam = cached_gkn_family(k, n)
     gxy = fam.build(x, y)
     if bandwidth is None:
         bandwidth = 2 * int_width(max(n, 2)) * 2 + 2

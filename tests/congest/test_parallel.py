@@ -178,3 +178,35 @@ class TestRunAmplified:
             run_amplified(
                 g, factory, iterations=2, jobs=0, bandwidth=8, max_rounds=2
             )
+
+
+class TestPersistentPool:
+    """The worker pool persists across calls and shuts down cleanly."""
+
+    def test_pool_reused_across_calls(self):
+        from repro.congest import parallel as par
+
+        g = nx.path_graph(3)
+        factory = RejectAtIterations(frozenset())
+        run_amplified(g, factory, iterations=4, jobs=2, bandwidth=8, max_rounds=4)
+        pool = par._POOLS.get(2)
+        assert pool is not None
+        run_amplified(g, factory, iterations=4, jobs=2, bandwidth=8, max_rounds=4)
+        assert par._POOLS.get(2) is pool
+
+    def test_shutdown_pools_idempotent(self):
+        from repro.congest import parallel as par
+        from repro.congest import shutdown_pools
+
+        g = nx.path_graph(3)
+        factory = RejectAtIterations(frozenset())
+        run_amplified(g, factory, iterations=2, jobs=2, bandwidth=8, max_rounds=4)
+        assert par._POOLS
+        shutdown_pools()
+        assert not par._POOLS
+        shutdown_pools()  # idempotent: must not raise
+        # and a later amplified run transparently builds a fresh pool
+        amp = run_amplified(
+            g, factory, iterations=2, jobs=2, bandwidth=8, max_rounds=4
+        )
+        assert amp.iterations_run == 2

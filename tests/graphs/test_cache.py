@@ -1,0 +1,71 @@
+"""Construction cache: identity on hit, frozen handouts, clear/info."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    build_hk,
+    cached_gkn_family,
+    cached_high_girth_graph,
+    cached_hk,
+    cached_projective_plane,
+    clear_construction_cache,
+    construction_cache_info,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_construction_cache()
+    yield
+    clear_construction_cache()
+
+
+class TestCacheHits:
+    def test_hk_identity_and_equivalence(self):
+        a = cached_hk(2)
+        b = cached_hk(2)
+        assert a is b
+        fresh = build_hk(2)
+        assert nx.utils.graphs_equal(a.graph, fresh.graph)
+
+    def test_gkn_family_identity(self):
+        assert cached_gkn_family(2, 4) is cached_gkn_family(2, 4)
+        assert cached_gkn_family(2, 4) is not cached_gkn_family(2, 5)
+
+    def test_high_girth_keyed_by_seed(self):
+        a = cached_high_girth_graph(20, 5, 0)
+        assert a is cached_high_girth_graph(20, 5, 0)
+        assert a is not cached_high_girth_graph(20, 5, 1)
+
+    def test_info_counts_hits(self):
+        cached_hk(2)
+        cached_hk(2)
+        info = construction_cache_info()["hk"]
+        assert info.misses == 1 and info.hits == 1
+
+
+class TestMutationSafety:
+    def test_cached_graphs_are_frozen(self):
+        g = cached_hk(2).graph
+        assert nx.is_frozen(g)
+        with pytest.raises(nx.NetworkXError):
+            g.add_edge("poison-u", "poison-v")
+        pg = cached_projective_plane(2)
+        assert nx.is_frozen(pg)
+
+    def test_copy_is_mutable(self):
+        g = nx.Graph(cached_hk(2).graph)
+        g.add_edge("u", "v")  # must not raise
+        # and the cached original is untouched
+        assert not cached_hk(2).graph.has_edge("u", "v")
+
+
+class TestClear:
+    def test_clear_resets_counters(self):
+        cached_hk(2)
+        clear_construction_cache()
+        info = construction_cache_info()["hk"]
+        assert info.currsize == 0 and info.hits == 0 and info.misses == 0

@@ -21,7 +21,13 @@ import time
 
 import networkx as nx
 
-from repro.congest import Algorithm, BroadcastAlgorithm, Message
+from repro.congest import (
+    Algorithm,
+    BroadcastAlgorithm,
+    Message,
+    VecOutbox,
+    VectorizedAlgorithm,
+)
 
 
 class SharedDictCheat(Algorithm):
@@ -134,6 +140,27 @@ class FreePayloadCheat(Algorithm):
 
     def finish(self, node):
         node.accept()
+
+
+class VecDishonestSizeCheat(VectorizedAlgorithm):
+    """Cheat (vectorized lane): batch sends with missing, zero, and
+    oversized declared bit sizes.  Never executed -- the first send would
+    already be a TypeError -- but the static pass must flag each call."""
+
+    name = "cheat-vec-dishonest-size"
+
+    def init_state(self, run):
+        return {"rows": None}
+
+    def step_all(self, run, r, state, inbox):
+        edges = run.grid.all_edges()
+        rows = state["rows"]
+        if r == 0:
+            return VecOutbox(edges, rows)  # EXPECT[L5]
+        if r == 1:
+            return VecOutbox(edges, rows, 0)  # EXPECT[L5]
+        run.halted[:] = True
+        return VecOutbox(edges, rows, size_bits=4096)  # EXPECT-B[L5]
 
 
 class PerNeighborBroadcastCheat(BroadcastAlgorithm):
