@@ -18,6 +18,7 @@ from repro.core.color_coding import OracleColorSource, proper_coloring_for_cycle
 from repro.core.even_cycle import IterationSchedule, detect_even_cycle
 from repro.core.cycle_detection_linear import detect_cycle_linear
 from repro.graphs import generators as gen
+from repro.runtime import ExecutionPolicy
 from repro.theory.bounds import even_cycle_exponent, fit_power_law_exponent
 
 NS = [2**i for i in range(7, 15)]
@@ -128,4 +129,5 @@ class TestE1Execution:
                 ),
                 "theorem_iteration_seconds": round(t_thm, 4),
             },
+            policy=ExecutionPolicy(),
         )

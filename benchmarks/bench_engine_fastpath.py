@@ -43,6 +43,7 @@ from repro.core.even_cycle import (
     detect_even_cycle,
     required_bandwidth,
 )
+from repro.runtime import ExecutionPolicy
 
 NS = [65, 97, 129]  # odd => C_4-free; >= 64 per the bench contract
 K = 2
@@ -367,6 +368,7 @@ class TestEngineFastpath:
                 "iterations": ITERATIONS,
                 "jobs": JOBS,
             },
+            policy=ExecutionPolicy(metrics="lite", jobs=JOBS),
         )
 
 
@@ -439,6 +441,9 @@ class TestVectorizedCliqueLane:
                 "bandwidth": CLIQUE_B,
                 "p": CLIQUE_P,
             },
+            policy=ExecutionPolicy(
+                lane="vectorized", metrics="lite", bandwidth=CLIQUE_B
+            ),
         )
 
 
@@ -544,6 +549,7 @@ class TestPersistentPool:
                 "seeds": POOL_SEEDS,
                 "jobs": POOL_JOBS,
             },
+            policy=ExecutionPolicy(metrics="lite", jobs=POOL_JOBS, bandwidth=16),
         )
 
 

@@ -37,12 +37,32 @@ def current_commit() -> str:
         return "unknown"
 
 
-def emit(snapshot: str, name: str, payload: Dict[str, Any]) -> Path:
+def _environment_stamp(policy: Any = None) -> Dict[str, Any]:
+    """Git SHA / platform / policy stamp via :mod:`repro.runtime.record`.
+
+    Falls back to the local commit probe when ``repro`` is not importable
+    (snapshots must still be writable from a bare benchmarks checkout).
+    """
+    try:
+        from repro.runtime.record import environment_stamp
+
+        return environment_stamp(policy)
+    except ImportError:
+        return {"git_sha": current_commit()}
+
+
+def emit(
+    snapshot: str, name: str, payload: Dict[str, Any], policy: Any = None
+) -> Path:
     """Merge ``payload`` under ``benchmarks[name]`` in ``<snapshot>.json``.
 
     ``snapshot`` is the file stem (e.g. ``"BENCH_engine"``); the file
     lives at the repo root.  Existing entries for other benchmark names
-    are preserved; the commit stamp and generation time are refreshed.
+    are preserved; the commit stamp, platform info, and generation time
+    are refreshed.  Passing the ``policy``
+    (:class:`~repro.runtime.policy.ExecutionPolicy`) the numbers were
+    measured under embeds its snapshot and hash beside the payload, so a
+    diff can tell a code regression from a policy change.
     """
     path = REPO_ROOT / f"{snapshot}.json"
     data: Dict[str, Any] = {}
@@ -53,8 +73,14 @@ def emit(snapshot: str, name: str, payload: Dict[str, Any]) -> Path:
             data = {}
     if not isinstance(data, dict):
         data = {}
-    data["commit"] = current_commit()
+    stamp = _environment_stamp(policy)
+    data["commit"] = stamp.get("git_sha", "unknown")
+    data["platform"] = stamp.get("platform", {})
     data["generated_unix"] = int(time.time())
-    data.setdefault("benchmarks", {})[name] = payload
+    entry = dict(payload)
+    if "policy" in stamp:
+        entry["policy"] = stamp["policy"]
+        entry["policy_hash"] = stamp["policy_hash"]
+    data.setdefault("benchmarks", {})[name] = entry
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return path

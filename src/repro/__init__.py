@@ -18,6 +18,9 @@ Subpackages
     The Theorem 1.1 algorithm and every baseline detector.
 ``repro.lowerbounds``
     Executable adversaries for Theorems 1.2, 4.1, 5.1 and Lemma 1.3.
+``repro.runtime``
+    Execution policies, run sessions, and structured run artifacts --
+    the chassis every detector, experiment, and CLI path runs through.
 
 Quickstart
 ----------
@@ -32,7 +35,17 @@ See README.md for the architecture tour and EXPERIMENTS.md for the
 paper-vs-measured record of every theorem and figure.
 """
 
-from . import commcomplexity, congest, core, experiments, graphs, infotheory, lowerbounds, theory
+from . import (
+    commcomplexity,
+    congest,
+    core,
+    experiments,
+    graphs,
+    infotheory,
+    lowerbounds,
+    runtime,
+    theory,
+)
 
 __version__ = "1.0.0"
 
@@ -44,6 +57,7 @@ __all__ = [
     "graphs",
     "infotheory",
     "lowerbounds",
+    "runtime",
     "theory",
     "__version__",
 ]

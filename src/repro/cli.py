@@ -7,7 +7,15 @@ Commands
 ``reduce``     execute the Theorem 1.2 disjointness reduction on an instance
 ``fool``       run the Theorem 4.1 adversary against an algorithm family
 ``bounds``     print the paper's predicted complexities at given parameters
+``cache``      inspect or clear the construction cache
 ``lint``       static CONGEST model-soundness check (rules L1-L6)
+
+Engine-backed commands (``detect``, ``experiment``) execute inside a
+:class:`~repro.runtime.session.RunSession`: the individual flags
+(``--lane --jobs --metrics --seed``) build an
+:class:`~repro.runtime.policy.ExecutionPolicy`, ``--policy
+"field=value,..."`` overrides them, and ``--record PATH`` writes the
+session's JSONL run record.
 
 Examples
 --------
@@ -15,11 +23,14 @@ Examples
 
     python -m repro detect --pattern c4 --graph gnp --n 100 --p 0.05 --iterations 400
     python -m repro detect --pattern triangle --graph grid --rows 6 --cols 7
+    python -m repro detect --pattern k4 --policy "lane=vectorized,metrics=lite"
+    python -m repro detect --pattern c4 --record run.jsonl
     python -m repro construct --which hk --k 3 --out hk.edges
     python -m repro reduce --k 2 --n 6 --density 0.3
     python -m repro fool --bits 2 --n-per-part 10
     python -m repro experiment e1
     python -m repro bounds --n 4096 --k 3 --bandwidth 16
+    python -m repro cache stats
     python -m repro lint src/ --json
 """
 
@@ -69,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", default="full", choices=["full", "lite"],
                    help="engine accounting: 'lite' keeps aggregate totals "
                         "only (faster; same decision)")
+    p.add_argument("--policy", default=None, metavar="SPEC",
+                   help="execution-policy overrides as 'field=value,...' "
+                        "(e.g. 'lane=vectorized,jobs=4,metrics=lite'); "
+                        "applied on top of the individual flags")
+    p.add_argument("--record", default=None, metavar="PATH",
+                   help="write the session's JSONL run record here")
 
     p = sub.add_parser("construct", help="build a paper construction")
     p.add_argument("--which", required=True, choices=["hk", "gkn", "template", "bipartite"])
@@ -92,6 +109,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument("name", help="e1, e1-live, e2, e2-live, e3, e4, e4-scaling, "
                                 "e5, e5-live, e6, e6-live, e7, e8, or 'all'")
+    p.add_argument("--policy", default=None, metavar="SPEC",
+                   help="execution-policy overrides as 'field=value,...' "
+                        "for the session the runners execute in")
+    p.add_argument("--record", default=None, metavar="PATH",
+                   help="write the session's JSONL run record here")
+
+    p = sub.add_parser("cache", help="inspect or clear the construction cache")
+    p.add_argument("action", nargs="?", default="stats", choices=["stats", "clear"])
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable JSON instead of a table")
 
     p = sub.add_parser("bounds", help="print predicted complexities")
     p.add_argument("--n", type=int, required=True)
@@ -134,6 +161,28 @@ def _build_graph(args) -> nx.Graph:
     raise SystemExit(f"unknown graph kind {args.graph}")
 
 
+def _session_from_args(args) -> "object":
+    """Build the command's :class:`RunSession` from its policy flags.
+
+    The individual flags form the base policy; a ``--policy`` spec
+    overrides them field by field.  ``--record`` opens a trace record
+    (written by the caller after the session closes).
+    """
+    from .runtime import ExecutionPolicy, PolicyError, RunSession
+
+    fields = {}
+    for name in ("lane", "jobs", "metrics", "seed"):
+        if hasattr(args, name):
+            fields[name] = getattr(args, name)
+    try:
+        policy = ExecutionPolicy(**fields)
+        if getattr(args, "policy", None):
+            policy = ExecutionPolicy.from_spec(args.policy, base=policy)
+    except PolicyError as exc:
+        raise SystemExit(f"repro: bad execution policy: {exc}") from None
+    return RunSession(policy, record=bool(getattr(args, "record", None)))
+
+
 def _cmd_detect(args) -> int:
     from .core import (
         detect_clique,
@@ -148,45 +197,56 @@ def _cmd_detect(args) -> int:
     pat = args.pattern.lower()
     print(f"graph: {g.number_of_nodes()} nodes, {g.number_of_edges()} edges")
 
-    if pat == "triangle":
-        res = detect_triangle_congest(g, bandwidth=args.bandwidth or 16,
-                                      seed=args.seed, metrics=args.metrics)
-        print(f"triangle detected: {res.rejected} (rounds: {res.rounds}, "
-              f"bits: {res.metrics.total_bits})")
-        return 0
-    if pat.startswith("odd-c"):
-        length = int(pat[5:])
-        rep = detect_cycle_linear(g, length, iterations=args.iterations, seed=args.seed,
-                                  jobs=args.jobs, metrics=args.metrics,
-                                  lane=args.lane)
-        print(f"C_{length} detected: {rep.detected} "
-              f"({rep.iterations_run} iterations x {rep.rounds_per_iteration} rounds)")
-        return 0
-    if pat.startswith("c"):
-        length = int(pat[1:])
-        if length % 2 != 0 or length < 4:
-            raise SystemExit("use c<even length> or odd-c<length>")
-        k = length // 2
-        rep = detect_even_cycle(g, k, iterations=args.iterations, seed=args.seed,
-                                bandwidth=args.bandwidth,
-                                jobs=args.jobs, metrics=args.metrics)
-        print(f"C_{length} detected: {rep.detected} "
-              f"({rep.iterations_run} iterations x {rep.rounds_per_iteration} rounds; "
-              f"Theorem 1.1 schedule R1={rep.schedule.r1} R2={rep.schedule.r2})")
-        return 0
-    if pat.startswith("k"):
-        s = int(pat[1:])
-        res = detect_clique(g, s, bandwidth=args.bandwidth or 8, seed=args.seed,
-                            metrics=args.metrics, lane=args.lane)
-        print(f"K_{s} detected: {res.rejected} (rounds: {res.rounds})")
-        return 0
-    if pat.startswith("path"):
-        t = int(pat[4:])
-        rep = detect_tree(g, generators.path(t), iterations=args.iterations, seed=args.seed)
-        print(f"P_{t} detected: {rep.detected} "
-              f"({rep.iterations_run} iterations x {rep.rounds_per_iteration} rounds)")
-        return 0
-    raise SystemExit(f"unknown pattern {args.pattern!r}")
+    ses = _session_from_args(args)
+    seed = ses.policy.seed
+    with ses:
+        if pat == "triangle":
+            res = detect_triangle_congest(
+                g, bandwidth=args.bandwidth or 16, seed=seed, session=ses
+            )
+            print(f"triangle detected: {res.rejected} (rounds: {res.rounds}, "
+                  f"bits: {res.metrics.total_bits})")
+        elif pat.startswith("odd-c"):
+            length = int(pat[5:])
+            rep = detect_cycle_linear(
+                g, length, iterations=args.iterations, seed=seed, session=ses
+            )
+            print(f"C_{length} detected: {rep.detected} "
+                  f"({rep.iterations_run} iterations x "
+                  f"{rep.rounds_per_iteration} rounds)")
+        elif pat.startswith("c"):
+            length = int(pat[1:])
+            if length % 2 != 0 or length < 4:
+                raise SystemExit("use c<even length> or odd-c<length>")
+            k = length // 2
+            rep = detect_even_cycle(
+                g, k, iterations=args.iterations, seed=seed,
+                bandwidth=args.bandwidth, session=ses,
+            )
+            print(f"C_{length} detected: {rep.detected} "
+                  f"({rep.iterations_run} iterations x "
+                  f"{rep.rounds_per_iteration} rounds; "
+                  f"Theorem 1.1 schedule R1={rep.schedule.r1} R2={rep.schedule.r2})")
+        elif pat.startswith("k"):
+            s = int(pat[1:])
+            res = detect_clique(
+                g, s, bandwidth=args.bandwidth or 8, seed=seed, session=ses
+            )
+            print(f"K_{s} detected: {res.rejected} (rounds: {res.rounds})")
+        elif pat.startswith("path"):
+            t = int(pat[4:])
+            rep = detect_tree(
+                g, generators.path(t), iterations=args.iterations, seed=seed,
+                session=ses,
+            )
+            print(f"P_{t} detected: {rep.detected} "
+                  f"({rep.iterations_run} iterations x "
+                  f"{rep.rounds_per_iteration} rounds)")
+        else:
+            raise SystemExit(f"unknown pattern {args.pattern!r}")
+    if args.record:
+        print(f"run record: {ses.save_record(args.record)}")
+    return 0
 
 
 def _cmd_construct(args) -> int:
@@ -274,12 +334,37 @@ def _cmd_experiment(args) -> int:
 
     names = experiments.available() if args.name == "all" else [args.name]
     ok = True
-    for name in names:
-        report = experiments.run(name)
-        print(report.format_report())
-        print()
-        ok = ok and report.reproduced
+    ses = _session_from_args(args)
+    with ses:
+        for name in names:
+            report = experiments.run(name, session=ses)
+            print(report.format_report())
+            print()
+            ok = ok and report.reproduced
+    if args.record:
+        print(f"run record: {ses.save_record(args.record)}")
     return 0 if ok else 1
+
+
+def _cmd_cache(args) -> int:
+    from .graphs import cache_stats, clear_all
+
+    if args.action == "clear":
+        clear_all()
+        print("construction cache cleared")
+        return 0
+    stats = cache_stats()
+    if args.as_json:
+        import json
+
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"{'construction':<18} {'hits':>6} {'misses':>7} {'size':>5} {'max':>5}")
+    for name in sorted(stats):
+        s = stats[name]
+        print(f"{name:<18} {s['hits']:>6} {s['misses']:>7} "
+              f"{s['currsize']:>5} {s['maxsize']:>5}")
+    return 0
 
 
 def _cmd_bounds(args) -> int:
@@ -337,6 +422,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fool": _cmd_fool,
         "experiment": _cmd_experiment,
         "bounds": _cmd_bounds,
+        "cache": _cmd_cache,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

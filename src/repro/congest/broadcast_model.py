@@ -25,10 +25,12 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Mapping, Optional
 
 import networkx as nx
+import numpy as np
 
 from .algorithm import Algorithm, NodeContext
 from .message import Message
 from .network import CongestNetwork, ExecutionResult
+from .vectorized import VecInbox, VecOutbox, VecRun, VectorizedAlgorithm
 
 __all__ = [
     "BroadcastViolation",
@@ -54,7 +56,15 @@ class BroadcastNetwork(CongestNetwork):
         metrics: str = "full",
         sanitize: bool = False,
     ) -> ExecutionResult:
-        checked = _BroadcastChecked(algorithm)
+        checked: Algorithm | VectorizedAlgorithm
+        if isinstance(algorithm, VectorizedAlgorithm):
+            # The vectorized wrapper must itself be a VectorizedAlgorithm
+            # so the engine's lane dispatch keeps routing to the batched
+            # executor; it validates the broadcast restriction per round
+            # exactly like the object-lane wrapper.
+            checked = _VecBroadcastChecked(algorithm)
+        else:
+            checked = _BroadcastChecked(algorithm)
         return super().run(
             checked,
             max_rounds=max_rounds,
@@ -99,6 +109,81 @@ class _BroadcastChecked(Algorithm):
 
     def finish(self, node: NodeContext) -> None:
         self.inner.finish(node)
+
+
+class _VecBroadcastChecked(VectorizedAlgorithm):
+    """Vectorized-lane wrapper validating the broadcast restriction.
+
+    Mirrors :class:`_BroadcastChecked` on packed outboxes: per round,
+    every sending node's messages must ride *all* of its out-edges with
+    an identical payload row and identical declared bit size.  Duplicate
+    edges in one outbox are left for the engine's own one-message-per-
+    edge check (its diagnostic is the canonical one).
+    """
+
+    def __init__(self, inner: VectorizedAlgorithm):
+        self.inner = inner
+        self.name = f"broadcast({getattr(inner, 'name', 'vectorized-algorithm')})"
+        self.message_dtype = getattr(inner, "message_dtype", None)
+
+    def init_state(self, run: VecRun) -> Dict[str, Any]:
+        return self.inner.init_state(run)
+
+    def finish_all(self, run: VecRun, state: Dict[str, Any]) -> None:
+        self.inner.finish_all(run, state)
+
+    def all_quiescent(self, run: VecRun, state: Dict[str, Any]) -> bool:
+        return self.inner.all_quiescent(run, state)
+
+    def node_state(
+        self, run: VecRun, state: Dict[str, Any], pos: int
+    ) -> Dict[str, Any]:
+        return self.inner.node_state(run, state, pos)
+
+    def step_all(
+        self, run: VecRun, r: int, state: Dict[str, Any], inbox: VecInbox
+    ) -> Optional[VecOutbox]:
+        out = self.inner.step_all(run, r, state, inbox)
+        if out is None:
+            return out
+        edges = np.asarray(out.edges, dtype=np.int64)
+        if edges.shape[0] == 0:
+            return out
+        grid = run.grid
+        order = np.argsort(edges, kind="stable")
+        sorted_edges = edges[order]
+        if bool((sorted_edges[1:] == sorted_edges[:-1]).any()):
+            return out  # duplicate edge: the engine raises its own error
+        senders = grid.src[sorted_edges]
+        uniq, group_start, counts = np.unique(
+            senders, return_index=True, return_counts=True
+        )
+        short = counts != grid.deg[uniq]
+        if bool(short.any()):
+            bad = int(grid.ids[uniq[short][0]])
+            raise BroadcastViolation(
+                f"node {bad} sent to a strict subset of its neighbors; "
+                "a broadcast reaches all of them"
+            )
+        # One message per sender: every row (and declared size) in a
+        # sender's group must equal the group's first.
+        first_of = np.repeat(group_start, counts)
+        payload = np.asarray(out.payload)
+        eq = payload[order] == payload[order[first_of]]
+        eq = np.asarray(eq)
+        if eq.ndim > 1:
+            eq = eq.reshape(eq.shape[0], -1).all(axis=1)
+        sizes = out.size_bits
+        if isinstance(sizes, np.ndarray):
+            eq = eq & (sizes[order] == sizes[order[first_of]])
+        uniform = np.minimum.reduceat(eq.astype(np.int8), group_start) == 1
+        if not bool(uniform.all()):
+            bad = int(grid.ids[uniq[~uniform][0]])
+            raise BroadcastViolation(
+                f"node {bad} sent distinct messages in one round; "
+                "broadcast CONGEST allows exactly one"
+            )
+        return out
 
 
 class BroadcastAlgorithm(Algorithm):

@@ -244,18 +244,26 @@ def detect_clique(
     seed: int = 0,
     metrics: str = "full",
     lane: str = "object",
+    session: Optional["RunSession"] = None,
 ) -> ExecutionResult:
     """Run the O(n) clique detector; deterministic, two-sided correct.
 
     ``metrics="lite"`` selects the engine fast path (aggregate counters
     only); the decision and aggregate bit totals are unchanged.
     ``lane="vectorized"`` runs :class:`VectorizedCliqueDetection` (batched
-    array kernels, same decisions and ledger bit-for-bit).
+    array kernels, same decisions and ledger bit-for-bit).  With a
+    ``session``, its policy picks the lane/metrics and the legacy kwargs
+    are ignored.
     """
+    from ..runtime.session import use_session
+
     if lane not in ("object", "vectorized"):
         raise ValueError(f"lane must be 'object' or 'vectorized', got {lane!r}")
-    net = CongestNetwork(graph, bandwidth=bandwidth)
+    ses = use_session(session, metrics=metrics, lane=lane)
+    net = ses.network(graph, bandwidth=bandwidth)
     n = graph.number_of_nodes()
     max_rounds = math.ceil(n / max(1, bandwidth)) + 2
-    algo = VectorizedCliqueDetection(s) if lane == "vectorized" else CliqueDetection(s)
-    return net.run(algo, max_rounds=max_rounds, seed=seed, metrics=metrics)
+    algo_cls = ses.lane_class(CliqueDetection, VectorizedCliqueDetection)
+    return ses.run(
+        net, algo_cls(s), max_rounds=max_rounds, seed=seed, label=f"clique-K{s}"
+    )

@@ -326,6 +326,7 @@ def detect_cycle_linear(
     jobs: int = 1,
     metrics: str = "full",
     lane: str = "object",
+    session: Optional["RunSession"] = None,
 ) -> LinearCycleReport:
     """Amplified O(n)-baseline detection of ``C_length``.
 
@@ -333,16 +334,21 @@ def detect_cycle_linear(
     iterations fan out over a process pool with a first-rejecting-seed merge,
     so the decision is bit-identical to the sequential loop.
     ``lane="vectorized"`` runs :class:`VectorizedLinearCycle` per iteration
-    (same decisions, witnesses, and bit totals as the object lane).
+    (same decisions, witnesses, and bit totals as the object lane).  With a
+    ``session``, its policy supplies jobs/metrics/lane and those legacy
+    kwargs are ignored.
     """
+    from ..runtime.session import use_session
+
     if lane not in ("object", "vectorized"):
         raise ValueError(f"lane must be 'object' or 'vectorized', got {lane!r}")
+    ses = use_session(session, metrics=metrics, lane=lane, jobs=jobs)
     n = graph.number_of_nodes()
     if bandwidth is None:
         bandwidth = int_width(max(n, 2)) + int_width(length)
     rounds_per = n + length + 2
 
-    if jobs > 1:
+    if ses.policy.jobs > 1:
         if keep_results:
             raise ValueError(
                 "keep_results needs jobs=1: full ExecutionResults are not "
@@ -351,18 +357,17 @@ def detect_cycle_linear(
         factory = _LinearCycleFactory(
             length,
             tuple(sorted(color_map.items())) if color_map is not None else None,
-            lane=lane,
+            lane=ses.policy.lane,
         )
-        amp = run_amplified(
+        amp = ses.amplify(
             graph,
             factory,
             iterations,
-            jobs=jobs,
             seed=seed,
             bandwidth=bandwidth,
             max_rounds=rounds_per,
-            metrics=metrics,
             stop_on_detect=stop_on_detect,
+            label=f"linear-cycle-C{length}",
         )
         return LinearCycleReport(
             detected=amp.rejected,
@@ -374,18 +379,22 @@ def detect_cycle_linear(
             total_messages=amp.total_messages,
         )
 
-    net = CongestNetwork(graph, bandwidth=bandwidth)
+    net = ses.network(graph, bandwidth=bandwidth)
     detected = False
     runs = 0
     total_bits = 0
     total_messages = 0
     results: List[ExecutionResult] = []
-    algo_cls = VectorizedLinearCycle if lane == "vectorized" else (
-        LinearCycleIterationAlgorithm
-    )
+    algo_cls = ses.lane_class(LinearCycleIterationAlgorithm, VectorizedLinearCycle)
     for t in range(iterations):
         algo = algo_cls(length, color_map=color_map)
-        res = net.run(algo, max_rounds=rounds_per, seed=seed + t, metrics=metrics)
+        res = ses.run(
+            net,
+            algo,
+            max_rounds=rounds_per,
+            seed=seed + t,
+            label=f"linear-cycle-C{length}",
+        )
         runs += 1
         total_bits += res.metrics.total_bits
         total_messages += res.metrics.total_messages

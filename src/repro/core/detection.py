@@ -93,6 +93,7 @@ def detect(
     max_iterations: Optional[int] = None,
     jobs: int = 1,
     metrics: str = "full",
+    session: Optional["RunSession"] = None,
 ) -> DetectOutcome:
     """Detect ``pattern`` in ``graph`` with the best algorithm we have.
 
@@ -102,8 +103,14 @@ def detect(
     ``jobs``/``metrics`` select the fast-path engine for the amplified
     detectors: iterations fan out over ``jobs`` worker processes, and
     ``metrics="lite"`` skips the per-edge accounting (aggregate totals stay
-    exact).  Neither changes the detection decision.
+    exact).  Neither changes the detection decision.  A ``session``
+    carries those knobs as an
+    :class:`~repro.runtime.policy.ExecutionPolicy` instead and is threaded
+    through to whichever detector the dispatcher picks.
     """
+    from ..runtime.session import use_session
+
+    ses = use_session(session, metrics=metrics, jobs=jobs)
     kind = classify_pattern(pattern)
     n = graph.number_of_nodes()
 
@@ -117,7 +124,9 @@ def detect(
     if kind == "tree":
         t = pattern.number_of_nodes()
         want = _amplify(t**t, target_confidence, max_iterations)
-        rep = detect_tree(graph, pattern, iterations=want.iterations, seed=seed)
+        rep = detect_tree(
+            graph, pattern, iterations=want.iterations, seed=seed, session=ses
+        )
         return DetectOutcome(
             rep.detected, kind, "color-coded tree DP [12]", "CONGEST",
             rep.total_rounds,
@@ -127,7 +136,7 @@ def detect(
 
     if kind == "triangle":
         res = detect_triangle_congest(
-            graph, bandwidth=bandwidth or 16, seed=seed, metrics=metrics
+            graph, bandwidth=bandwidth or 16, seed=seed, session=ses
         )
         return DetectOutcome(
             res.rejected, kind, "neighbor exchange", "CONGEST", res.rounds,
@@ -137,7 +146,7 @@ def detect(
     if kind == "clique":
         s = pattern.number_of_nodes()
         res = detect_clique(
-            graph, s, bandwidth=bandwidth or 8, seed=seed, metrics=metrics
+            graph, s, bandwidth=bandwidth or 8, seed=seed, session=ses
         )
         return DetectOutcome(
             res.rejected, kind, "bitmap shipping [10]", "CONGEST", res.rounds, {}
@@ -152,8 +161,7 @@ def detect(
             iterations=want.iterations,
             seed=seed,
             bandwidth=bandwidth,
-            jobs=jobs,
-            metrics=metrics,
+            session=ses,
         )
         return DetectOutcome(
             rep.detected, kind, "Theorem 1.1 (sublinear)", "CONGEST",
@@ -172,8 +180,7 @@ def detect(
             iterations=want.iterations,
             seed=seed,
             bandwidth=bandwidth,
-            jobs=jobs,
-            metrics=metrics,
+            session=ses,
         )
         return DetectOutcome(
             rep.detected, kind, "linear color-BFS", "CONGEST", rep.total_rounds,
@@ -183,7 +190,7 @@ def detect(
 
     # General H: fall back to LOCAL (and say so) -- by Theorem 1.2 there is
     # no universally fast CONGEST algorithm to dispatch to.
-    res = detect_subgraph_local(graph, pattern, seed=seed)
+    res = detect_subgraph_local(graph, pattern, seed=seed, session=ses)
     return DetectOutcome(
         res.detected, kind, "LOCAL ball collection (no fast CONGEST "
         "algorithm exists for general H: Theorem 1.2)", "LOCAL",

@@ -478,6 +478,7 @@ def detect_even_cycle(
     layer_filter: bool = True,
     jobs: int = 1,
     metrics: str = "full",
+    session: Optional["RunSession"] = None,
 ) -> DetectionReport:
     """Run the Theorem 1.1 algorithm for up to ``iterations`` colorings.
 
@@ -491,14 +492,19 @@ def detect_even_cycle(
     (:func:`repro.congest.parallel.run_amplified`); the first-rejecting-seed
     merge keeps the decision and witness set bit-identical to the
     sequential loop.  ``metrics`` selects the engine's accounting mode
-    (``"lite"`` skips the per-edge ledger; aggregates stay exact).
+    (``"lite"`` skips the per-edge ledger; aggregates stay exact).  With
+    a ``session``, its policy supplies jobs/metrics and those legacy
+    kwargs are ignored.
     """
+    from ..runtime.session import use_session
+
+    ses = use_session(session, metrics=metrics, jobs=jobs)
     n = graph.number_of_nodes()
     sched = IterationSchedule.build(n, k, edge_constant)
     if bandwidth is None:
         bandwidth = required_bandwidth(n, k)
 
-    if jobs > 1:
+    if ses.policy.jobs > 1:
         if keep_results:
             raise ValueError(
                 "keep_results needs jobs=1: full ExecutionResults are not "
@@ -507,16 +513,15 @@ def detect_even_cycle(
         factory = _EvenCycleFactory(
             k, edge_constant, color_source, enable_phase1, layer_filter
         )
-        amp = run_amplified(
+        amp = ses.amplify(
             graph,
             factory,
             iterations,
-            jobs=jobs,
             seed=seed,
             bandwidth=bandwidth,
             max_rounds=sched.total_rounds + 1,
-            metrics=metrics,
             stop_on_detect=stop_on_detect,
+            label=f"even-cycle-C{2 * k}",
         )
         return DetectionReport(
             detected=amp.rejected,
@@ -530,7 +535,7 @@ def detect_even_cycle(
             total_messages=amp.total_messages,
         )
 
-    net = CongestNetwork(graph, bandwidth=bandwidth)
+    net = ses.network(graph, bandwidth=bandwidth)
     witnesses: List[Tuple] = []
     results: List[ExecutionResult] = []
     detected = False
@@ -545,8 +550,12 @@ def detect_even_cycle(
             enable_phase1=enable_phase1,
             layer_filter=layer_filter,
         )
-        res = net.run(
-            algo, max_rounds=sched.total_rounds + 1, seed=seed + t, metrics=metrics
+        res = ses.run(
+            net,
+            algo,
+            max_rounds=sched.total_rounds + 1,
+            seed=seed + t,
+            label=f"even-cycle-C{2 * k}",
         )
         iterations_run += 1
         total_bits += res.metrics.total_bits

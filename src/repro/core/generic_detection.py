@@ -47,6 +47,7 @@ def detect_subgraph_local(
     radius: Optional[int] = None,
     seed: int = 0,
     iso_budget: Optional[int] = 2_000_000,
+    session: Optional["RunSession"] = None,
 ) -> LocalDetectionResult:
     """Detect ``pattern`` in ``graph`` in the LOCAL model.
 
@@ -55,13 +56,18 @@ def detect_subgraph_local(
     ``v``; for disconnected patterns pass ``graph.number_of_nodes()``).
     Rounds used: ``radius``; message sizes unbounded (and metered).
     """
+    from ..runtime.session import use_session
+
+    ses = use_session(session)
     if pattern.number_of_nodes() == 0:
         return LocalDetectionResult(True, 0, CommMetrics(), None, 0)
     if radius is None:
         radius = max(0, pattern.number_of_nodes() - 1)
+    # Ball collection is a LOCAL-model algorithm by construction, whatever
+    # the policy's default model says.
     net = LocalNetwork(graph)
     algo = BallCollection(radius)
-    res = net.run(algo, max_rounds=radius + 1, seed=seed)
+    res = ses.run(net, algo, max_rounds=radius + 1, seed=seed, label="local-ball")
 
     witness: Optional[int] = None
     detected = False

@@ -224,20 +224,32 @@ def list_cliques_congested_clique(
     bandwidth: int,
     seed: int = 0,
     max_rounds: Optional[int] = None,
+    session: Optional["RunSession"] = None,
 ) -> CliqueListingResult:
     """List all ``K_s`` of ``graph`` in the congested clique; exact output.
 
     Raises if the run exceeds ``max_rounds`` (default: generous bound from
     the plan's worst-case queue length).
     """
+    from ..runtime.session import use_session
+
+    ses = use_session(session)
     n = graph.number_of_nodes()
     plan = CliqueListingPlan(n, s)
+    # The congested clique is intrinsic to this algorithm's routing plan,
+    # whatever the policy's default model says.
     clique_net = CongestedClique(graph, bandwidth=bandwidth)
     if max_rounds is None:
         w = int_width(max(n, 2))
         worst_edges_per_pair = n * n  # loose safety cap
         max_rounds = 10 + worst_edges_per_pair * 2 * w // max(1, bandwidth)
-    res = clique_net.run(CliqueListingAlgorithm(plan), max_rounds=max_rounds, seed=seed)
+    res = ses.run(
+        clique_net,
+        CliqueListingAlgorithm(plan),
+        max_rounds=max_rounds,
+        seed=seed,
+        label=f"clique-listing-K{s}",
+    )
     all_cliques: Set[Tuple[int, ...]] = set()
     for ctx in res.contexts.values():
         listed = ctx.state.get("listed", set())

@@ -119,14 +119,24 @@ def test_triangle_freeness(
     seed: int = 0,
     bandwidth: Optional[int] = None,
     constant: float = 8.0,
+    session: Optional["RunSession"] = None,
 ) -> ExecutionResult:
     """Run the tester; REJECT certifies a triangle (one-sided)."""
+    from ..runtime.session import use_session
+
+    ses = use_session(session)
     n = graph.number_of_nodes()
     if bandwidth is None:
         bandwidth = int_width(max(n, 2)) + 1
     tester = TriangleFreenessTester(epsilon, constant)
-    net = CongestNetwork(graph, bandwidth=bandwidth)
-    return net.run(tester, max_rounds=2 * tester.probe_rounds + 3, seed=seed)
+    net = ses.network(graph, bandwidth=bandwidth)
+    return ses.run(
+        net,
+        tester,
+        max_rounds=2 * tester.probe_rounds + 3,
+        seed=seed,
+        label="triangle-freeness",
+    )
 
 
 def edge_disjoint_triangle_packing(graph: nx.Graph) -> List[Tuple]:

@@ -233,16 +233,22 @@ def detect_tree(
     seed: int = 0,
     color_map: Optional[Mapping[int, int]] = None,
     stop_on_detect: bool = True,
+    session: Optional["RunSession"] = None,
 ) -> TreeDetectionReport:
     """Amplified tree detection; rounds per iteration = depth(T) + 2 = O(1)."""
+    from ..runtime.session import use_session
+
+    ses = use_session(session)
     pat = RootedTree.from_graph(pattern_tree)
-    net = CongestNetwork(graph, bandwidth=None)  # message size is O(1) in n
+    net = ses.network(graph, bandwidth=None)  # message size is O(1) in n
     rounds_per = pat.depth + 2
     detected = False
     runs = 0
     for i in range(iterations):
         algo = TreeDetectionIteration(pat, color_map=color_map)
-        res = net.run(algo, max_rounds=rounds_per + 1, seed=seed + i)
+        res = ses.run(
+            net, algo, max_rounds=rounds_per + 1, seed=seed + i, label="tree-dp"
+        )
         runs += 1
         if res.rejected:
             detected = True

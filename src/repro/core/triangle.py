@@ -110,25 +110,32 @@ def detect_triangle_congest(
     bandwidth: int,
     seed: int = 0,
     metrics: str = "full",
+    session: Optional["RunSession"] = None,
 ) -> ExecutionResult:
     """Run the neighbor-exchange detector; REJECT iff a triangle exists.
 
     ``metrics="lite"`` selects the engine fast path (aggregate counters
-    only); the decision and aggregate bit totals are unchanged.
+    only); the decision and aggregate bit totals are unchanged.  With a
+    ``session``, its :class:`~repro.runtime.policy.ExecutionPolicy`
+    governs instead and the legacy ``metrics`` kwarg is ignored.
     """
+    from ..runtime.session import use_session
+
+    ses = use_session(session, metrics=metrics)
     n = graph.number_of_nodes()
     w = int_width(max(n, 2))
     if bandwidth < w:
         raise ValueError(
             f"neighbor exchange needs B >= id width ({w}); got {bandwidth}"
         )
-    net = CongestNetwork(graph, bandwidth=bandwidth)
+    net = ses.network(graph, bandwidth=bandwidth)
     max_rounds = math.ceil(n * w / bandwidth) + 3
-    return net.run(
+    return ses.run(
+        net,
         NeighborExchangeTriangleDetection(),
         max_rounds=max_rounds,
         seed=seed,
-        metrics=metrics,
+        label="triangle-neighbor-exchange",
     )
 
 

@@ -51,15 +51,21 @@ def available() -> List[str]:
     return sorted(_REGISTRY)
 
 
-def run(name: str, **kwargs: Any) -> ExperimentReport:
-    """Run experiment ``name`` with runner-specific keyword overrides."""
+def run(name: str, session: Any = None, **kwargs: Any) -> ExperimentReport:
+    """Run experiment ``name`` with runner-specific keyword overrides.
+
+    Every runner accepts ``session`` (a
+    :class:`~repro.runtime.session.RunSession`): engine-backed runners
+    route their detector calls through it (policy-driven jobs / metrics /
+    lane, optional trace record); analytic runners annotate the record.
+    """
     try:
         runner = _REGISTRY[name.lower()]
     except KeyError:
         raise KeyError(
             f"unknown experiment {name!r}; available: {', '.join(available())}"
         ) from None
-    return runner(**kwargs)
+    return runner(session=session, **kwargs)
 
 
 __all__ = ["available", "run", "ExperimentReport", "FitCheck"]

@@ -20,9 +20,14 @@ def run(
     edge_constant: float = 1.0,
     tolerance: float = 0.12,
     r_squared_min: float = 0.9,
+    session: Optional["RunSession"] = None,
 ) -> ExperimentReport:
     """Sweep the per-iteration round schedule over ``ns`` and fit the
     exponent against ``1 - 1/(k(k-1))``; tabulate the linear baseline."""
+    from ..runtime.session import use_session
+
+    ses = use_session(session)
+    ses.note("e1-analytic", k=k)
     if ns is None:
         ns = [2**i for i in range(7, 15)]
     rows = []
@@ -72,6 +77,7 @@ def run_live(
     metrics: str = "lite",
     tolerance: float = 0.15,
     r_squared_min: float = 0.75,
+    session: Optional["RunSession"] = None,
 ) -> ExperimentReport:
     """Execute Theorem 1.1 end to end on a C_{2k}-free sweep.
 
@@ -82,8 +88,12 @@ def run_live(
     the iterations over worker processes and ``metrics`` selects the
     engine's accounting mode; neither changes decisions or bit totals.
     The fitted exponent uses *executed* rounds, so the R² floor is looser
-    than the analytic sweep's.
+    than the analytic sweep's.  With a ``session``, its policy supplies
+    jobs/metrics and those legacy kwargs are ignored.
     """
+    from ..runtime.session import use_session
+
+    ses = use_session(session, jobs=jobs, metrics=metrics)
     if ns is None:
         ns = [65, 97, 129, 193]
     rows = []
@@ -99,8 +109,7 @@ def run_live(
             iterations=iterations,
             seed=seed,
             edge_constant=edge_constant,
-            jobs=jobs,
-            metrics=metrics,
+            session=ses,
         )
         if rep.detected:
             raise RuntimeError(
@@ -120,7 +129,9 @@ def run_live(
         r_squared_min=r_squared_min,
     )
     return ExperimentReport(
-        experiment=f"E1-live (k={k}, jobs={jobs}, metrics={metrics})",
+        experiment=(
+            f"E1-live (k={k}, jobs={ses.policy.jobs}, metrics={ses.policy.metrics})"
+        ),
         claim=(
             f"Theorem 1.1 executed: measured rounds/iteration tracks "
             f"O(n^{{{even_cycle_exponent(k):.3f}}})"

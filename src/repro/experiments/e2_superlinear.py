@@ -21,9 +21,14 @@ def run(
     bandwidth: int = 16,
     tolerance: float = 0.12,
     r_squared_min: float = 0.9,
+    session: Optional["RunSession"] = None,
 ) -> ExperimentReport:
     """Analytic sweep: measured cut of ``G_{k,n}`` and the implied round
     lower bound; exponents fitted against ``1/k`` and ``2 - 1/k``."""
+    from ..runtime.session import use_session
+
+    ses = use_session(session)
+    ses.note("e2-analytic", k=k, bandwidth=bandwidth)
     if ns is None:
         ns = [2**i for i in range(6, 14)]
     rows = []
@@ -73,10 +78,29 @@ def run_live(
     density: float = 0.3,
     bandwidth: int = 16,
     seed: int = 0,
+    session: Optional["RunSession"] = None,
 ) -> ExperimentReport:
-    """One end-to-end execution of the disjointness-via-simulation protocol."""
+    """One end-to-end execution of the disjointness-via-simulation protocol.
+
+    The reduction drives a two-party joint simulation rather than the
+    engine, so a ``session`` only annotates the run record -- there is no
+    lane/jobs dispatch to steer.
+    """
+    from ..runtime.session import use_session
+
+    ses = use_session(session)
     inst = random_instance(n, np.random.default_rng(seed), density=density)
     r = run_reduction(k, n, inst.x, inst.y, bandwidth=bandwidth, seed=seed)
+    ses.note(
+        "e2-live-reduction",
+        k=k,
+        n=n,
+        bandwidth=bandwidth,
+        seed=seed,
+        rounds=r.rounds,
+        total_bits=r.total_bits,
+        correct=r.correct,
+    )
     rows = [
         ("|X| / |Y|", f"{len(inst.x)} / {len(inst.y)}"),
         ("ground truth disjoint", inst.disjoint),

@@ -26,8 +26,13 @@ def fooling_threshold(n_per_part: int, max_bits: int = 8) -> int:
 def run(
     ns_per_part: Optional[Sequence[int]] = None,
     max_bits: int = 7,
+    session: Optional["RunSession"] = None,
 ) -> ExperimentReport:
     """Threshold sweep + the full-identifier control."""
+    from ..runtime.session import use_session
+
+    ses = use_session(session)
+    ses.note("e3-fooling", max_bits=max_bits)
     if ns_per_part is None:
         ns_per_part = [4, 8, 16]
     rows = []

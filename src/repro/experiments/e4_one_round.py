@@ -20,8 +20,13 @@ def run(
     num_samples: int = 700,
     num_worlds: int = 4,
     seed: int = 7,
+    session: Optional["RunSession"] = None,
 ) -> ExperimentReport:
     """Error / floor / MI / ceiling across message budgets at one n."""
+    from ..runtime.session import use_session
+
+    ses = use_session(session)
+    ses.note("e4-one-round", n=n, id_width=id_width, seed=seed)
     if budgets is None:
         budgets = [0, id_width, 2 * id_width, 4 * id_width, (n + 3) * id_width]
     rows = []
@@ -71,8 +76,13 @@ def run(
 def run_scaling(
     bandwidth: int = 8,
     ns: Optional[Sequence[int]] = None,
+    session: Optional["RunSession"] = None,
 ) -> ExperimentReport:
     """Fixed B, growing n: the ceiling crosses below the 0.3 floor."""
+    from ..runtime.session import use_session
+
+    ses = use_session(session)
+    ses.note("e4-scaling", bandwidth=bandwidth)
     if ns is None:
         ns = [64, 128, 256, 512, 1024, 2048]
     rows = []

@@ -25,9 +25,14 @@ def run(
     ns: Optional[Sequence[int]] = None,
     tolerance: float = 0.25,
     r_squared_min: float = 0.9,
+    session: Optional["RunSession"] = None,
 ) -> ExperimentReport:
     """Bound-shape sweep (expected G(n,1/2) clique counts) plus a Lemma 1.3
     ratio audit on cliques."""
+    from ..runtime.session import use_session
+
+    ses = use_session(session)
+    ses.note("e5-analytic", s=s)
     if ns is None:
         ns = [2**i for i in range(7, 15)]
     rows = []
@@ -79,9 +84,13 @@ def run_live(
     s: int = 3,
     bandwidth: int = 32,
     seed: int = 0,
+    session: Optional["RunSession"] = None,
 ) -> ExperimentReport:
     """One lister execution checked against the information bound."""
-    exp = listing_experiment(n, s, bandwidth, np.random.default_rng(seed))
+    from ..runtime.session import use_session
+
+    ses = use_session(session)
+    exp = listing_experiment(n, s, bandwidth, np.random.default_rng(seed), session=ses)
     rows = [
         ("cliques listed (exact)", exp.clique_count),
         ("measured rounds", exp.measured_rounds),

@@ -14,8 +14,16 @@ from .common import ExperimentReport, FitCheck
 __all__ = ["run", "run_live"]
 
 
-def run(ns: Optional[Sequence[int]] = None, bandwidth_log: bool = True) -> ExperimentReport:
+def run(
+    ns: Optional[Sequence[int]] = None,
+    bandwidth_log: bool = True,
+    session: Optional["RunSession"] = None,
+) -> ExperimentReport:
     """Analytic separation table at ``k = Θ(log n)``."""
+    from ..runtime.session import use_session
+
+    ses = use_session(session)
+    ses.note("e6-analytic", bandwidth_log=bandwidth_log)
     if ns is None:
         ns = [2**10, 2**14, 2**18, 2**22]
     rows = []
@@ -45,9 +53,15 @@ def run(ns: Optional[Sequence[int]] = None, bandwidth_log: bool = True) -> Exper
     )
 
 
-def run_live(pad_sizes: Optional[Sequence[int]] = None) -> ExperimentReport:
+def run_live(
+    pad_sizes: Optional[Sequence[int]] = None,
+    session: Optional["RunSession"] = None,
+) -> ExperimentReport:
     """Measured LOCAL detection of H_2 in padded hosts (flat rounds, fat
     messages)."""
+    from ..runtime.session import use_session
+
+    ses = use_session(session)
     if pad_sizes is None:
         pad_sizes = [0, 60, 200]
     hk = cached_hk(2).graph
@@ -55,7 +69,7 @@ def run_live(pad_sizes: Optional[Sequence[int]] = None) -> ExperimentReport:
     rounds = []
     for pad in pad_sizes:
         host = gen.pad_with_path(hk.copy(), pad)
-        res = detect_subgraph_local(host, hk, radius=4)
+        res = detect_subgraph_local(host, hk, radius=4, session=ses)
         rows.append((host.number_of_nodes(), res.rounds, res.detected, res.max_message_bits))
         rounds.append(res.rounds)
     flat = len(set(rounds)) == 1 and all(r[2] for r in rows)

@@ -17,8 +17,12 @@ def run(
     tree_ns: Optional[Sequence[int]] = None,
     clique_ns: Optional[Sequence[int]] = None,
     bandwidth: int = 4,
+    session: Optional["RunSession"] = None,
 ) -> ExperimentReport:
     """Trees O(1), cliques O(n/B), odd cycles O(n): measured rounds."""
+    from ..runtime.session import use_session
+
+    ses = use_session(session)
     if tree_ns is None:
         tree_ns = [16, 64, 256]
     if clique_ns is None:
@@ -28,14 +32,16 @@ def run(
     pat = gen.path(4)
     tree_rounds = []
     for n in tree_ns:
-        rep = detect_tree(gen.cycle(n), pat, iterations=1, stop_on_detect=False)
+        rep = detect_tree(
+            gen.cycle(n), pat, iterations=1, stop_on_detect=False, session=ses
+        )
         rows.append((f"tree P4 @ n={n}", rep.rounds_per_iteration))
         tree_rounds.append(rep.rounds_per_iteration)
 
     clique_rounds = []
     for n in clique_ns:
         g = gen.disjoint_union_all([gen.clique(5), gen.path(n - 5)])
-        res = detect_clique(g, 5, bandwidth=bandwidth)
+        res = detect_clique(g, 5, bandwidth=bandwidth, session=ses)
         rows.append((f"K5 @ n={n}, B={bandwidth}", res.rounds))
         clique_rounds.append(res.rounds)
 
@@ -44,7 +50,11 @@ def run(
     for n in cyc_ns:
         g, verts = gen.planted_cycle_graph(n, 5, 0.0, np.random.default_rng(n))
         rep = detect_cycle_linear(
-            g, 5, iterations=1, color_map={v: i for i, v in enumerate(verts)}
+            g,
+            5,
+            iterations=1,
+            color_map={v: i for i, v in enumerate(verts)},
+            session=ses,
         )
         rows.append((f"C5 @ n={n}", rep.rounds_per_iteration))
         cycle_rounds.append(rep.rounds_per_iteration)

@@ -19,8 +19,12 @@ def run(
     epsilon: float = 0.3,
     ns: Optional[Sequence[int]] = None,
     runs: int = 8,
+    session: Optional["RunSession"] = None,
 ) -> ExperimentReport:
     """Tester rounds flat in n; one-sidedness; hidden-triangle miss."""
+    from ..runtime.session import use_session
+
+    ses = use_session(session)
     if ns is None:
         ns = [16, 32, 64, 128]
     rows = []
@@ -30,11 +34,13 @@ def run(
 
     clean = gen.complete_bipartite(8, 8)
     clean_rejects = sum(
-        test_triangle_freeness(clean, epsilon, seed=s).rejected for s in range(runs)
+        test_triangle_freeness(clean, epsilon, seed=s, session=ses).rejected
+        for s in range(runs)
     )
     far = gen.clique(12)
     far_rejects = sum(
-        test_triangle_freeness(far, epsilon, seed=s).rejected for s in range(runs)
+        test_triangle_freeness(far, epsilon, seed=s, session=ses).rejected
+        for s in range(runs)
     )
     hidden = nx.Graph([(0, 1), (1, 2), (2, 0)])
     nxt = 3
@@ -43,9 +49,10 @@ def run(
             hidden.add_edge(v, nxt)
             nxt += 1
     hidden_hits = sum(
-        test_triangle_freeness(hidden, 0.5, seed=s).rejected for s in range(runs)
+        test_triangle_freeness(hidden, 0.5, seed=s, session=ses).rejected
+        for s in range(runs)
     )
-    exact_found = detect_triangle_congest(hidden, bandwidth=16).rejected
+    exact_found = detect_triangle_congest(hidden, bandwidth=16, session=ses).rejected
     rows += [
         (f"K_8,8 rejections / {runs}", clean_rejects, "-"),
         (f"K_12 rejections / {runs}", far_rejects, "-"),

@@ -17,8 +17,13 @@ def run(
     gkn_params: Optional[Sequence[Tuple[int, int]]] = None,
     template_samples: int = 2000,
     seed: int = 0,
+    session: Optional["RunSession"] = None,
 ) -> ExperimentReport:
     """Audit H_k (F1), G_{k,n} + Lemma 3.1 (F2), and G_T + μ (F3)."""
+    from ..runtime.session import use_session
+
+    ses = use_session(session)
+    ses.note("f-constructions", template_samples=template_samples, seed=seed)
     if ks is None:
         ks = [1, 2, 3, 5]
     if gkn_params is None:

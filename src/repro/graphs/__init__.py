@@ -10,10 +10,12 @@ isomorphism engine that serves as ground truth for every detector.
 from . import generators
 from .bipartite_gadget import BipartiteHost, BipartiteHostFamily, build_bipartite_hsk
 from .cache import (
+    cache_stats,
     cached_gkn_family,
     cached_high_girth_graph,
     cached_hk,
     cached_projective_plane,
+    clear_all,
     clear_construction_cache,
     construction_cache_info,
 )
@@ -70,10 +72,12 @@ __all__ = [
     "BipartiteHost",
     "BipartiteHostFamily",
     "build_bipartite_hsk",
+    "cache_stats",
     "cached_gkn_family",
     "cached_high_girth_graph",
     "cached_hk",
     "cached_projective_plane",
+    "clear_all",
     "clear_construction_cache",
     "construction_cache_info",
     "high_girth_graph",

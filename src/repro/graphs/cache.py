@@ -33,6 +33,8 @@ __all__ = [
     "cached_gkn_family",
     "cached_projective_plane",
     "cached_high_girth_graph",
+    "cache_stats",
+    "clear_all",
     "clear_construction_cache",
     "construction_cache_info",
 ]
@@ -92,3 +94,26 @@ def construction_cache_info() -> Dict[str, "object"]:
         "projective_plane": cached_projective_plane.cache_info(),
         "high_girth": cached_high_girth_graph.cache_info(),
     }
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Plain-dict cache counters (JSON-friendly; the ``repro cache`` CLI).
+
+    One entry per construction: ``hits`` / ``misses`` / ``currsize`` /
+    ``maxsize``.  Same numbers as :func:`construction_cache_info`,
+    without the ``CacheInfo`` named tuples.
+    """
+    return {
+        name: {
+            "hits": info.hits,
+            "misses": info.misses,
+            "currsize": info.currsize,
+            "maxsize": info.maxsize,
+        }
+        for name, info in construction_cache_info().items()
+    }
+
+
+def clear_all() -> None:
+    """Alias of :func:`clear_construction_cache` (session / CLI surface)."""
+    clear_construction_cache()

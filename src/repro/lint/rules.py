@@ -199,13 +199,46 @@ def _is_mutable_value(node: ast.expr) -> bool:
     return False
 
 
+#: Engine internals whose direct use outside the engine and runtime layers
+#: bypasses the RunSession lifecycle (lane dispatch, pool shutdown).
+_ENGINE_INTERNAL_CALLS = frozenset({"execute_vectorized", "ProcessPoolExecutor"})
+_ENGINE_INTERNAL_HOMES = ("repro/congest/", "repro/runtime/")
+
+
 class SharedStateRule(LintRule):
     rule_id = "L2"
     severity = Severity.ERROR
     description = (
         "one Algorithm instance drives every node: mutable class attributes "
-        "and callback writes to self are covert cross-node channels"
+        "and callback writes to self are covert cross-node channels; engine "
+        "internals (execute_vectorized, worker pools) are shared state too "
+        "and must be reached through repro.runtime"
     )
+
+    def visit_module(self, model: ModuleModel, report: Reporter) -> None:
+        path = model.path.replace("\\", "/")
+        if any(home in path for home in _ENGINE_INTERNAL_HOMES):
+            return
+        for node in ast.walk(model.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if isinstance(fn, ast.Name):
+                name = model.original_name(fn.id)
+            elif isinstance(fn, ast.Attribute):
+                name = fn.attr
+            else:
+                continue
+            if name in _ENGINE_INTERNAL_CALLS:
+                report.add(
+                    self,
+                    node,
+                    f"direct {name} call outside the engine/runtime layers; "
+                    "the vectorized executor and worker pools are "
+                    "lifecycle-managed -- run through "
+                    "repro.runtime.RunSession (or repro.congest.parallel) "
+                    "instead",
+                )
 
     def visit_class(
         self, model: ModuleModel, cls: AlgorithmClass, report: Reporter

@@ -104,11 +104,12 @@ def listing_experiment(
     bandwidth: int,
     rng: np.random.Generator,
     p: float = 0.5,
+    session: Optional["RunSession"] = None,
 ) -> ListingExperiment:
     """Run the lister on ``G(n, p)`` and check it against the bound."""
     g = gen.erdos_renyi(n, p, rng)
     truth = count_cliques(g, s)
-    result = list_cliques_congested_clique(g, s, bandwidth=bandwidth)
+    result = list_cliques_congested_clique(g, s, bandwidth=bandwidth, session=session)
     if result.count != truth:
         raise AssertionError(
             f"lister is wrong: found {result.count}, truth {truth}"

@@ -192,6 +192,7 @@ def run_one_round_on_network(
     bandwidth: Optional[int] = None,
     seed: int = 0,
     lane: str = "object",
+    session: Optional["RunSession"] = None,
 ) -> OneRoundOutcome:
     """Execute the protocol on the realized graph via the engine.
 
@@ -200,9 +201,14 @@ def run_one_round_on_network(
     outcome reports -- the quantity Theorem 5.1 bounds).
     ``lane="vectorized"`` runs :class:`VectorizedOneRoundAlgorithm`; the
     decision, round count, and metrics ledger match the object lane.
+    With a ``session``, its policy picks the lane and the legacy ``lane``
+    kwarg is ignored.
     """
+    from ..runtime.session import use_session
+
     if lane not in ("object", "vectorized"):
         raise ValueError(f"lane must be 'object' or 'vectorized', got {lane!r}")
+    ses = use_session(session, lane=lane)
     g = sample.graph
     inputs: Dict[Hashable, Dict] = {}
     for v in g.nodes():
@@ -236,19 +242,15 @@ def run_one_round_on_network(
     if bandwidth is None:
         bandwidth = max((len(m) for m in messages.values()), default=1) or 1
 
-    net = CongestNetwork(
+    net = ses.network(
         g,
         bandwidth=bandwidth,
         assignment=assignment,
         namespace_size=max(sample.identifiers.values()) + 1,
         inputs=inputs,
     )
-    algo = (
-        VectorizedOneRoundAlgorithm(protocol)
-        if lane == "vectorized"
-        else OneRoundNetworkAlgorithm(protocol)
-    )
-    res = net.run(algo, max_rounds=2, seed=seed)
+    algo_cls = ses.lane_class(OneRoundNetworkAlgorithm, VectorizedOneRoundAlgorithm)
+    res = ses.run(net, algo_cls(protocol), max_rounds=2, seed=seed, label="one-round")
 
     rejected = res.rejected
     truth = sample.has_triangle()

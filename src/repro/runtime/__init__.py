@@ -1,0 +1,61 @@
+"""The execution runtime: policies, sessions, and run artifacts.
+
+Every knob the engine grew over the previous PRs -- execution lane
+(object / vectorized), process-pool amplification (``jobs``), metrics
+mode (``full`` / ``lite``), the runtime sanitizer, bandwidth, the model
+variant (CONGEST / broadcast / LOCAL / congested clique), seeding, and
+construction caching -- used to be threaded through every detector,
+experiment, and CLI path as a separate keyword argument.  This package
+is the single chassis that replaces that sprawl:
+
+``ExecutionPolicy``
+    A frozen, validated bundle of all engine knobs, with loaders from
+    dicts, ``REPRO_*`` environment variables, and ``key=value`` CLI
+    specs, plus a stable content hash for stamping artifacts.
+``RunSession``
+    The object that owns execution: it builds the right network for the
+    policy's model variant, applies lane/metrics/sanitize on every run,
+    fans amplified iterations over the persistent worker pool with the
+    policy's ``jobs``, scopes the construction cache, and (as a context
+    manager) shuts the worker pools down on exit.
+``RunRecord``
+    A structured run artifact: policy snapshot, git SHA, platform stamp,
+    and one trace event per engine run (seed, decision, rounds, bit
+    totals, per-round bits), written and re-loaded as JSONL so two runs
+    can be diffed (:func:`diff_records`).
+
+Detectors and experiments accept ``session=`` and route through it; their
+old keyword arguments remain as thin shims that build a policy
+internally, so results are bit-identical for fixed seeds either way.
+"""
+
+from .policy import (
+    LANES,
+    MODELS,
+    ExecutionPolicy,
+    PolicyError,
+)
+from .record import (
+    RunRecord,
+    TraceEvent,
+    diff_records,
+    environment_stamp,
+    git_sha,
+    platform_stamp,
+)
+from .session import RunSession, use_session
+
+__all__ = [
+    "ExecutionPolicy",
+    "PolicyError",
+    "LANES",
+    "MODELS",
+    "RunSession",
+    "use_session",
+    "RunRecord",
+    "TraceEvent",
+    "diff_records",
+    "environment_stamp",
+    "git_sha",
+    "platform_stamp",
+]

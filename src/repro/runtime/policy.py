@@ -1,0 +1,248 @@
+"""Execution policies: one validated bundle for every engine knob.
+
+An :class:`ExecutionPolicy` is the contract between callers and the
+engine stack.  Instead of threading ``lane=`` / ``jobs=`` / ``metrics=``
+/ ``sanitize=`` through every detector signature, a caller builds one
+policy (directly, from a dict, from ``REPRO_*`` environment variables,
+or from a CLI ``key=value,key=value`` spec) and hands it to a
+:class:`~repro.runtime.session.RunSession`.
+
+Validation happens at construction, not at the bottom of a run: illegal
+values *and* illegal combinations raise :class:`PolicyError` immediately.
+The combinations rejected here are the ones the engine cannot honor:
+
+* ``metrics="lite"`` + ``sanitize=True`` -- the sanitizer's replay
+  comparison audits the full traffic digest; the lite fast path elides
+  exactly the per-message observation it needs.
+* ``jobs > 1`` + ``sanitize=True`` -- sanitized runs re-execute the
+  algorithm in-process for replay comparison; amplified worker chunks
+  never arm the sanitizer, so the combination would silently drop it.
+* ``model="local"`` + a finite ``bandwidth`` -- the LOCAL model *is*
+  the unbounded-bandwidth engine; a ``B`` here is a contradiction.
+
+Policies are frozen and hashable; :meth:`ExecutionPolicy.policy_hash`
+is a stable content hash used to stamp benchmark snapshots and run
+records so perf trajectories stay attributable across commits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["LANES", "MODELS", "ExecutionPolicy", "PolicyError"]
+
+#: Execution lanes the engine implements (see docs/engine_performance.md).
+LANES = ("object", "vectorized")
+
+#: Model variants a session can dispatch to.
+MODELS = ("congest", "broadcast", "local", "clique")
+
+_METRIC_MODES = ("full", "lite")
+
+#: Environment variables read by :meth:`ExecutionPolicy.from_env`.
+_ENV_PREFIX = "REPRO_"
+
+_TRUE = {"1", "true", "yes", "on"}
+_FALSE = {"0", "false", "no", "off"}
+
+
+class PolicyError(ValueError):
+    """An invalid policy field or an illegal combination of fields."""
+
+
+def _parse_bool(field: str, raw: str) -> bool:
+    low = raw.strip().lower()
+    if low in _TRUE:
+        return True
+    if low in _FALSE:
+        return False
+    raise PolicyError(f"{field}: expected a boolean, got {raw!r}")
+
+
+def _parse_int(field: str, raw: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise PolicyError(f"{field}: expected an integer, got {raw!r}") from None
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Every engine knob, validated once, carried everywhere.
+
+    Fields
+    ------
+    lane:
+        ``"object"`` (reference semantics) or ``"vectorized"`` (batched
+        numpy kernels, bit-identical where a port exists).
+    jobs:
+        Worker processes for amplified detectors; ``1`` runs inline.
+    metrics:
+        ``"full"`` (exact per-edge ledger) or ``"lite"`` (aggregate
+        counters only; same decisions and totals).
+    sanitize:
+        Arm the runtime model-soundness sanitizer (alias guard + replay).
+    bandwidth:
+        Per-edge per-round bit budget ``B``; ``None`` lets each detector
+        pick its documented default (and means "unbounded" for LOCAL).
+    model:
+        Model variant a session's :meth:`~RunSession.network` builds:
+        ``congest`` / ``broadcast`` / ``local`` / ``clique``.
+    seed:
+        Master seed for runs that don't pass one explicitly.
+    cache:
+        Whether construction caching (:mod:`repro.graphs.cache`) may be
+        used; a session with ``cache=False`` clears the construction
+        cache when it closes, so no frozen graphs outlive it.
+    """
+
+    lane: str = "object"
+    jobs: int = 1
+    metrics: str = "full"
+    sanitize: bool = False
+    bandwidth: Optional[int] = None
+    model: str = "congest"
+    seed: int = 0
+    cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.lane not in LANES:
+            raise PolicyError(f"lane must be one of {LANES}, got {self.lane!r}")
+        if self.metrics not in _METRIC_MODES:
+            raise PolicyError(
+                f"metrics must be one of {_METRIC_MODES}, got {self.metrics!r}"
+            )
+        if self.model not in MODELS:
+            raise PolicyError(f"model must be one of {MODELS}, got {self.model!r}")
+        if not isinstance(self.jobs, int) or isinstance(self.jobs, bool):
+            raise PolicyError(f"jobs must be an int, got {self.jobs!r}")
+        if self.jobs < 1:
+            raise PolicyError(f"jobs must be >= 1, got {self.jobs}")
+        if self.bandwidth is not None:
+            if not isinstance(self.bandwidth, int) or isinstance(self.bandwidth, bool):
+                raise PolicyError(f"bandwidth must be an int, got {self.bandwidth!r}")
+            if self.bandwidth < 1:
+                raise PolicyError(f"bandwidth must be >= 1, got {self.bandwidth}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise PolicyError(f"seed must be an int, got {self.seed!r}")
+        # Illegal combinations (see the module docstring for why).
+        if self.sanitize and self.metrics == "lite":
+            raise PolicyError(
+                "sanitize=True needs metrics='full': the replay comparison "
+                "audits per-message traffic the lite fast path never records"
+            )
+        if self.sanitize and self.jobs > 1:
+            raise PolicyError(
+                "sanitize=True needs jobs=1: amplified worker chunks run "
+                "unsanitized, so the combination would silently drop the audit"
+            )
+        if self.model == "local" and self.bandwidth is not None:
+            raise PolicyError(
+                "model='local' is the unbounded-bandwidth engine; "
+                f"bandwidth={self.bandwidth} contradicts it"
+            )
+
+    # -- derivation ----------------------------------------------------
+    def merged(self, **overrides: Any) -> "ExecutionPolicy":
+        """A new policy with ``overrides`` applied (and re-validated)."""
+        return dataclasses.replace(self, **overrides)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict snapshot (JSON-serializable; round-trips via
+        :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    def policy_hash(self) -> str:
+        """Stable content hash of the policy (12 hex chars).
+
+        Two processes building the same policy get the same hash, so
+        benchmark snapshots and run records produced under identical
+        policies are directly comparable.
+        """
+        blob = json.dumps(self.as_dict(), sort_keys=True).encode()
+        return hashlib.blake2b(blob, digest_size=6).hexdigest()
+
+    # -- loaders -------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionPolicy":
+        """Build a policy from a mapping; unknown keys are an error."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - fields)
+        if unknown:
+            raise PolicyError(
+                f"unknown policy field(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(fields))}"
+            )
+        return cls(**dict(data))
+
+    @classmethod
+    def from_env(
+        cls,
+        environ: Optional[Mapping[str, str]] = None,
+        base: Optional["ExecutionPolicy"] = None,
+    ) -> "ExecutionPolicy":
+        """Build a policy from ``REPRO_*`` environment variables.
+
+        Recognized: ``REPRO_LANE``, ``REPRO_JOBS``, ``REPRO_METRICS``,
+        ``REPRO_SANITIZE``, ``REPRO_BANDWIDTH`` (empty / ``none`` means
+        unbounded), ``REPRO_MODEL``, ``REPRO_SEED``, ``REPRO_CACHE``.
+        Unset variables keep ``base``'s values (default policy if absent).
+        """
+        env = os.environ if environ is None else environ
+        overrides: Dict[str, Any] = {}
+        for f in dataclasses.fields(cls):
+            raw = env.get(_ENV_PREFIX + f.name.upper())
+            if raw is None:
+                continue
+            overrides[f.name] = cls._parse_field(f.name, raw)
+        return (base or cls()).merged(**overrides)
+
+    @classmethod
+    def from_spec(
+        cls, spec: str, base: Optional["ExecutionPolicy"] = None
+    ) -> "ExecutionPolicy":
+        """Build a policy from a CLI spec like ``"lane=vectorized,jobs=4"``.
+
+        Keys are policy field names; later keys win; an empty spec
+        returns ``base`` unchanged.  This is the grammar behind the CLI's
+        ``--policy`` flag.
+        """
+        policy = base or cls()
+        overrides: Dict[str, Any] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            key = key.strip()
+            if not sep or not key:
+                raise PolicyError(
+                    f"bad policy spec fragment {part!r}; expected key=value"
+                )
+            if key not in {f.name for f in dataclasses.fields(cls)}:
+                raise PolicyError(
+                    f"unknown policy field {key!r} in spec; known: "
+                    + ", ".join(sorted(f.name for f in dataclasses.fields(cls)))
+                )
+            overrides[key] = cls._parse_field(key, raw.strip())
+        return policy.merged(**overrides)
+
+    @staticmethod
+    def _parse_field(field: str, raw: str) -> Any:
+        """Parse one string value into the field's type."""
+        if field in ("lane", "metrics", "model"):
+            return raw
+        if field in ("jobs", "seed"):
+            return _parse_int(field, raw)
+        if field == "bandwidth":
+            return None if raw.lower() in ("", "none", "local") else _parse_int(
+                field, raw
+            )
+        if field in ("sanitize", "cache"):
+            return _parse_bool(field, raw)
+        raise PolicyError(f"unknown policy field {field!r}")

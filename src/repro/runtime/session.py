@@ -1,0 +1,284 @@
+"""Run sessions: policy-driven execution with owned lifecycles.
+
+A :class:`RunSession` is the one object between callers and the engine.
+It takes an :class:`~repro.runtime.policy.ExecutionPolicy` and
+
+* builds the right network for the policy's **model variant**
+  (:meth:`network`: CONGEST / broadcast / LOCAL / congested clique);
+* applies the policy's **metrics mode** and **sanitizer** on every
+  :meth:`run`, and its **lane** when a detector asks (:meth:`lane_class`);
+* fans amplified iterations over the persistent worker pool with the
+  policy's **jobs** (:meth:`amplify`), keeping the first-rejecting-seed
+  merge's sequential equivalence;
+* optionally keeps a :class:`~repro.runtime.record.RunRecord` with one
+  trace event per run (:attr:`record`, written via :meth:`save_record`);
+* owns **pool lifecycle**: an explicitly-constructed session is a
+  context manager whose exit shuts the amplification worker pools down
+  (`shutdown_pools`), so no ``ProcessPoolExecutor`` survives it; and
+  **cache scope**: a ``cache=False`` policy clears the construction
+  cache on close.
+
+Sessions created implicitly by the legacy keyword shims
+(:func:`use_session` with ``session=None``) set ``owns_pools=False``:
+they must not tear down the persistent pools between two detector calls,
+or the pool-reuse performance contract (and its tests) would break.
+Explicit sessions -- the CLI, experiment drivers, tests -- own their
+pools and clean up.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional, Type
+
+import networkx as nx
+
+from ..congest.broadcast_model import BroadcastNetwork
+from ..congest.congested_clique import CongestedClique
+from ..congest.local_model import LocalNetwork
+from ..congest.network import CongestNetwork, ExecutionResult
+from ..congest.parallel import AmplifiedOutcome, run_amplified, shutdown_pools
+from .policy import ExecutionPolicy
+from .record import (
+    RunRecord,
+    event_from_amplified,
+    event_from_result,
+)
+
+__all__ = ["RunSession", "use_session"]
+
+_UNSET = object()
+
+
+class RunSession:
+    """Policy-driven execution scope (see the module docstring).
+
+    Parameters
+    ----------
+    policy:
+        The execution policy; defaults to ``ExecutionPolicy()``.
+    record:
+        ``True`` to open a :class:`RunRecord` (one trace event per run),
+        or an existing record to append to.
+    owns_pools:
+        Whether closing this session shuts down the persistent
+        amplification pools.  Explicit sessions default to ``True``;
+        the legacy-shim sessions built by :func:`use_session` pass
+        ``False`` so back-to-back detector calls keep reusing pools.
+    **overrides:
+        Convenience policy overrides: ``RunSession(jobs=4)`` is
+        ``RunSession(ExecutionPolicy().merged(jobs=4))``.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[ExecutionPolicy] = None,
+        *,
+        record: "bool | RunRecord" = False,
+        owns_pools: bool = True,
+        **overrides: Any,
+    ) -> None:
+        base = policy if policy is not None else ExecutionPolicy()
+        self.policy = base.merged(**overrides) if overrides else base
+        self.owns_pools = owns_pools
+        self.record: Optional[RunRecord]
+        if record is True:
+            self.record = RunRecord.start(self.policy)
+        elif isinstance(record, RunRecord):
+            self.record = record
+        else:
+            self.record = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "RunSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Finalize the record and release owned resources (idempotent).
+
+        Owned-pool sessions shut down every persistent amplification
+        pool; a ``cache=False`` policy additionally clears the
+        construction cache so no frozen graphs outlive the session.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.record is not None:
+            self.record.finalize()
+        if self.owns_pools:
+            shutdown_pools()
+        if not self.policy.cache:
+            from ..graphs.cache import clear_construction_cache
+
+            clear_construction_cache()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- model dispatch ------------------------------------------------
+    def network(
+        self,
+        graph: nx.Graph,
+        bandwidth: Any = _UNSET,
+        **kwargs: Any,
+    ) -> CongestNetwork:
+        """Build the policy's model variant over ``graph``.
+
+        ``bandwidth`` defaults to the policy's; extra kwargs (assignment,
+        namespace_size, inputs, ...) pass through to the network class.
+        LOCAL ignores bandwidth by construction; the congested clique
+        requires one (its classical ``B = Θ(log n)``).
+        """
+        bw = self.policy.bandwidth if bandwidth is _UNSET else bandwidth
+        model = self.policy.model
+        if model == "congest":
+            return CongestNetwork(graph, bandwidth=bw, **kwargs)
+        if model == "broadcast":
+            return BroadcastNetwork(graph, bandwidth=bw, **kwargs)
+        if model == "local":
+            return LocalNetwork(graph, **kwargs)
+        if model == "clique":
+            if bw is None:
+                raise ValueError(
+                    "the congested clique needs an explicit bandwidth "
+                    "(policy.bandwidth or the bandwidth argument)"
+                )
+            return CongestedClique(graph, bandwidth=bw, **kwargs)
+        raise AssertionError(f"unreachable model {model!r}")
+
+    def lane_class(self, object_cls: Type, vectorized_cls: Type) -> Type:
+        """The algorithm class for the policy's execution lane.
+
+        Detectors with a vectorized port call this instead of branching
+        on a ``lane`` kwarg; the engine dispatches instances of the
+        returned class to the matching lane automatically.
+        """
+        return vectorized_cls if self.policy.lane == "vectorized" else object_cls
+
+    # -- execution -----------------------------------------------------
+    def run(
+        self,
+        net: CongestNetwork,
+        algorithm: Any,
+        max_rounds: int,
+        seed: Any = _UNSET,
+        stop_on_reject: bool = False,
+        label: Optional[str] = None,
+    ) -> ExecutionResult:
+        """Run ``algorithm`` on ``net`` under the session's policy.
+
+        Metrics mode and the sanitizer come from the policy; ``seed``
+        defaults to the policy's.  When the session keeps a record, one
+        ``run`` trace event (decision, rounds, bit totals, per-round
+        bits) is appended.
+        """
+        run_seed = self.policy.seed if seed is _UNSET else seed
+        t0 = time.perf_counter() if self.record is not None else 0.0
+        result = net.run(
+            algorithm,
+            max_rounds=max_rounds,
+            seed=run_seed,
+            stop_on_reject=stop_on_reject,
+            metrics=self.policy.metrics,
+            sanitize=self.policy.sanitize,
+        )
+        if self.record is not None:
+            wall_ms = (time.perf_counter() - t0) * 1000.0
+            self.record.add_event(
+                event_from_result(
+                    label or getattr(algorithm, "name", type(algorithm).__name__),
+                    run_seed,
+                    result,
+                    wall_ms=wall_ms,
+                )
+            )
+        return result
+
+    def amplify(
+        self,
+        graph: nx.Graph,
+        algo_factory: Callable[[int], Any],
+        iterations: int,
+        *,
+        bandwidth: Any = _UNSET,
+        max_rounds: int,
+        seed: Any = _UNSET,
+        stop_on_detect: bool = True,
+        chunks_per_job: int = 4,
+        network_kwargs: Optional[Dict[str, Any]] = None,
+        label: Optional[str] = None,
+    ) -> AmplifiedOutcome:
+        """Amplified fan-out under the policy's ``jobs`` and ``metrics``.
+
+        Exactly :func:`repro.congest.parallel.run_amplified` with the
+        parallelism knobs supplied by the policy -- the merged outcome is
+        bit-identical to the sequential loop regardless of ``jobs``.
+        """
+        run_seed = self.policy.seed if seed is _UNSET else seed
+        bw = self.policy.bandwidth if bandwidth is _UNSET else bandwidth
+        t0 = time.perf_counter() if self.record is not None else 0.0
+        outcome = run_amplified(
+            graph,
+            algo_factory,
+            iterations,
+            jobs=self.policy.jobs,
+            seed=run_seed,
+            bandwidth=bw,
+            max_rounds=max_rounds,
+            metrics=self.policy.metrics,
+            stop_on_detect=stop_on_detect,
+            chunks_per_job=chunks_per_job,
+            network_kwargs=network_kwargs,
+        )
+        if self.record is not None:
+            wall_ms = (time.perf_counter() - t0) * 1000.0
+            self.record.add_event(
+                event_from_amplified(
+                    label or "amplified", run_seed, outcome, wall_ms=wall_ms
+                )
+            )
+        return outcome
+
+    # -- artifacts and caches ------------------------------------------
+    def note(self, label: str, **extra: Any) -> None:
+        """Append a free-form annotation to the record (no-op without one)."""
+        if self.record is not None:
+            self.record.note(label, **extra)
+
+    def save_record(self, path: str) -> str:
+        """Write the session's :class:`RunRecord` as JSONL and return the
+        path; raises if the session was opened without ``record``."""
+        if self.record is None:
+            raise ValueError(
+                "session has no record; construct it with record=True"
+            )
+        return str(self.record.write(path))
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Construction-cache counters (see :mod:`repro.graphs.cache`)."""
+        from ..graphs.cache import cache_stats
+
+        return cache_stats()
+
+
+def use_session(
+    session: Optional[RunSession], **legacy: Any
+) -> RunSession:
+    """Resolve a detector's ``session=`` argument.
+
+    With an explicit session, return it unchanged -- its policy governs
+    and the caller's legacy keyword arguments are ignored.  Without one,
+    build an implicit session from the legacy kwargs (dropping ``None``
+    values so policy defaults apply).  Implicit sessions never own the
+    persistent pools: two back-to-back legacy-style detector calls must
+    keep reusing the same workers, exactly as before this layer existed.
+    """
+    if session is not None:
+        return session
+    fields = {k: v for k, v in legacy.items() if v is not None}
+    return RunSession(ExecutionPolicy(**fields), owns_pools=False)

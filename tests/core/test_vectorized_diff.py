@@ -16,6 +16,8 @@ import numpy as np
 import pytest
 
 from repro.congest import BandwidthExceeded, CongestNetwork
+from repro.congest.broadcast_model import BroadcastNetwork
+from repro.congest.congested_clique import CongestedClique
 from repro.core.clique_detection import (
     CliqueDetection,
     VectorizedCliqueDetection,
@@ -165,6 +167,77 @@ class TestLinearCycleDifferential:
         )
         b = net.run(VectorizedLinearCycle(4), max_rounds=20, seed=2, metrics="full")
         assert_equivalent(a, b, check_witness=True)
+
+
+class TestBroadcastDifferential:
+    """Lane parity under the broadcast restriction: the checked wrappers
+    (`_BroadcastChecked` / `_VecBroadcastChecked`) must be transparent for
+    a broadcast-legal algorithm, so both lanes keep the full-ledger
+    contract on a BroadcastNetwork too."""
+
+    @pytest.mark.parametrize("gname,g", GRAPHS, ids=[n for n, _ in GRAPHS])
+    @pytest.mark.parametrize("s", [3, 4])
+    def test_full_matrix(self, gname, g, s):
+        for bandwidth in (4, 16):
+            net = BroadcastNetwork(g, bandwidth=bandwidth)
+            a = net.run(CliqueDetection(s), max_rounds=g.number_of_nodes() + 3,
+                        seed=0, metrics="full")
+            b = net.run(VectorizedCliqueDetection(s),
+                        max_rounds=g.number_of_nodes() + 3,
+                        seed=0, metrics="full")
+            assert_equivalent(a, b)
+
+    def test_lite_metrics(self):
+        g = nx.gnp_random_graph(13, 0.4, seed=9)
+        net = BroadcastNetwork(g, bandwidth=8)
+        a = net.run(CliqueDetection(3), max_rounds=20, seed=1, metrics="lite")
+        b = net.run(VectorizedCliqueDetection(3), max_rounds=20, seed=1,
+                    metrics="lite")
+        assert_equivalent(a, b)
+
+    def test_agrees_with_plain_congest(self):
+        """A broadcast-legal algorithm pays the same bits either way."""
+        g = nx.gnp_random_graph(12, 0.35, seed=10)
+        plain = CongestNetwork(g, bandwidth=8)
+        bcast = BroadcastNetwork(g, bandwidth=8)
+        a = plain.run(VectorizedCliqueDetection(3), max_rounds=20, seed=0)
+        b = bcast.run(VectorizedCliqueDetection(3), max_rounds=20, seed=0)
+        assert_equivalent(a, b)
+
+
+class TestCongestedCliqueDifferential:
+    """Lane parity on a CongestedClique instance: the communication graph
+    is K_n with per-node inputs, and the vectorized executor must agree
+    with the object lane there exactly as on a plain CongestNetwork."""
+
+    @pytest.mark.parametrize("make_input", [
+        lambda: nx.cycle_graph(7),
+        lambda: nx.gnp_random_graph(8, 0.3, seed=11),
+        lambda: nx.empty_graph(6),
+    ], ids=["cycle", "gnp", "empty"])
+    def test_clique_kernel(self, make_input):
+        net = CongestedClique(make_input(), bandwidth=8)
+        a = net.run(CliqueDetection(4), max_rounds=20, seed=0, metrics="full")
+        b = net.run(VectorizedCliqueDetection(4), max_rounds=20, seed=0,
+                    metrics="full")
+        assert_equivalent(a, b)
+        assert a.rejected  # the communication graph is complete
+
+    def test_linear_cycle_kernel(self):
+        net = CongestedClique(nx.cycle_graph(6), bandwidth=32)
+        for seed in (0, 2):
+            a = net.run(LinearCycleIterationAlgorithm(3), max_rounds=15,
+                        seed=seed, metrics="full")
+            b = net.run(VectorizedLinearCycle(3), max_rounds=15,
+                        seed=seed, metrics="full")
+            assert_equivalent(a, b, check_witness=True)
+
+    def test_lite_metrics(self):
+        net = CongestedClique(nx.gnp_random_graph(7, 0.4, seed=12), bandwidth=8)
+        a = net.run(CliqueDetection(3), max_rounds=15, seed=3, metrics="lite")
+        b = net.run(VectorizedCliqueDetection(3), max_rounds=15, seed=3,
+                    metrics="lite")
+        assert_equivalent(a, b)
 
 
 PROTOCOLS = [

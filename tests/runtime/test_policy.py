@@ -1,0 +1,174 @@
+"""ExecutionPolicy: field validation, illegal combos, loaders, hashing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import LANES, MODELS, ExecutionPolicy, PolicyError
+
+
+class TestDefaults:
+    def test_default_policy(self):
+        p = ExecutionPolicy()
+        assert p.lane == "object"
+        assert p.jobs == 1
+        assert p.metrics == "full"
+        assert p.sanitize is False
+        assert p.bandwidth is None
+        assert p.model == "congest"
+        assert p.seed == 0
+        assert p.cache is True
+
+    def test_frozen_and_hashable(self):
+        p = ExecutionPolicy()
+        with pytest.raises(Exception):
+            p.jobs = 2  # type: ignore[misc]
+        assert {p: 1}[ExecutionPolicy()] == 1
+
+    def test_enums_exported(self):
+        assert "object" in LANES and "vectorized" in LANES
+        assert set(MODELS) == {"congest", "broadcast", "local", "clique"}
+
+
+class TestFieldValidation:
+    @pytest.mark.parametrize("bad", [{"lane": "simd"}, {"metrics": "none"},
+                                     {"model": "pram"}, {"jobs": 0},
+                                     {"jobs": "4"}, {"jobs": True},
+                                     {"bandwidth": 0}, {"bandwidth": 1.5},
+                                     {"seed": "7"}])
+    def test_bad_field_raises(self, bad):
+        with pytest.raises(PolicyError):
+            ExecutionPolicy(**bad)
+
+    def test_policy_error_is_value_error(self):
+        assert issubclass(PolicyError, ValueError)
+
+
+class TestIllegalCombos:
+    def test_sanitize_needs_full_metrics(self):
+        with pytest.raises(PolicyError, match="metrics='full'"):
+            ExecutionPolicy(sanitize=True, metrics="lite")
+
+    def test_sanitize_needs_single_job(self):
+        with pytest.raises(PolicyError, match="jobs=1"):
+            ExecutionPolicy(sanitize=True, jobs=2)
+
+    def test_local_model_has_no_bandwidth(self):
+        with pytest.raises(PolicyError, match="local"):
+            ExecutionPolicy(model="local", bandwidth=16)
+
+    def test_legal_neighbors_of_each_combo(self):
+        ExecutionPolicy(sanitize=True, metrics="full", jobs=1)
+        ExecutionPolicy(metrics="lite", jobs=4)
+        ExecutionPolicy(model="local", bandwidth=None)
+
+    def test_merged_revalidates(self):
+        p = ExecutionPolicy(sanitize=True)
+        with pytest.raises(PolicyError):
+            p.merged(metrics="lite")
+
+
+class TestMergedAndDict:
+    def test_merged_overrides(self):
+        p = ExecutionPolicy().merged(lane="vectorized", jobs=3)
+        assert (p.lane, p.jobs) == ("vectorized", 3)
+        assert p.metrics == "full"
+
+    def test_dict_roundtrip(self):
+        p = ExecutionPolicy(lane="vectorized", bandwidth=8, seed=42)
+        assert ExecutionPolicy.from_dict(p.as_dict()) == p
+
+    def test_from_dict_unknown_key(self):
+        with pytest.raises(PolicyError, match="unknown policy field"):
+            ExecutionPolicy.from_dict({"lane": "object", "warp": 9})
+
+
+class TestPolicyHash:
+    def test_stable_across_instances(self):
+        a = ExecutionPolicy(jobs=2, metrics="lite")
+        b = ExecutionPolicy(jobs=2, metrics="lite")
+        assert a.policy_hash() == b.policy_hash()
+
+    def test_sensitive_to_every_field(self):
+        base = ExecutionPolicy()
+        variants = [
+            base.merged(lane="vectorized"),
+            base.merged(jobs=2),
+            base.merged(metrics="lite"),
+            base.merged(sanitize=True),
+            base.merged(bandwidth=8),
+            base.merged(model="broadcast"),
+            base.merged(seed=1),
+            base.merged(cache=False),
+        ]
+        hashes = {base.policy_hash()} | {v.policy_hash() for v in variants}
+        assert len(hashes) == len(variants) + 1
+
+    def test_shape(self):
+        h = ExecutionPolicy().policy_hash()
+        assert len(h) == 12
+        int(h, 16)  # valid hex
+
+
+class TestFromSpec:
+    def test_basic(self):
+        p = ExecutionPolicy.from_spec("lane=vectorized,jobs=4,metrics=lite")
+        assert (p.lane, p.jobs, p.metrics) == ("vectorized", 4, "lite")
+
+    def test_base_kept_for_unset_keys(self):
+        base = ExecutionPolicy(seed=9, bandwidth=8)
+        p = ExecutionPolicy.from_spec("jobs=2", base=base)
+        assert (p.seed, p.bandwidth, p.jobs) == (9, 8, 2)
+
+    def test_empty_spec_is_base(self):
+        base = ExecutionPolicy(jobs=3)
+        assert ExecutionPolicy.from_spec("", base=base) == base
+        assert ExecutionPolicy.from_spec(" , ", base=base) == base
+
+    def test_bandwidth_none_spelling(self):
+        base = ExecutionPolicy(bandwidth=8)
+        assert ExecutionPolicy.from_spec("bandwidth=none", base=base).bandwidth is None
+
+    def test_bool_spellings(self):
+        assert ExecutionPolicy.from_spec("sanitize=yes").sanitize is True
+        assert ExecutionPolicy.from_spec("cache=off").cache is False
+        with pytest.raises(PolicyError, match="boolean"):
+            ExecutionPolicy.from_spec("sanitize=maybe")
+
+    def test_bad_fragment(self):
+        with pytest.raises(PolicyError, match="key=value"):
+            ExecutionPolicy.from_spec("jobs")
+
+    def test_unknown_key(self):
+        with pytest.raises(PolicyError, match="unknown policy field"):
+            ExecutionPolicy.from_spec("warp=9")
+
+    def test_spec_combos_still_validated(self):
+        with pytest.raises(PolicyError):
+            ExecutionPolicy.from_spec("sanitize=true,metrics=lite")
+
+
+class TestFromEnv:
+    def test_reads_prefixed_vars(self):
+        env = {"REPRO_LANE": "vectorized", "REPRO_JOBS": "4",
+               "REPRO_METRICS": "lite", "REPRO_BANDWIDTH": "16",
+               "REPRO_SEED": "7", "REPRO_CACHE": "false"}
+        p = ExecutionPolicy.from_env(env)
+        assert p == ExecutionPolicy(lane="vectorized", jobs=4, metrics="lite",
+                                    bandwidth=16, seed=7, cache=False)
+
+    def test_unset_keeps_base(self):
+        base = ExecutionPolicy(jobs=3, seed=5)
+        p = ExecutionPolicy.from_env({"REPRO_METRICS": "lite"}, base=base)
+        assert (p.jobs, p.seed, p.metrics) == (3, 5, "lite")
+
+    def test_empty_environment_is_default(self):
+        assert ExecutionPolicy.from_env({}) == ExecutionPolicy()
+
+    def test_bandwidth_unbounded_spelling(self):
+        p = ExecutionPolicy.from_env({"REPRO_BANDWIDTH": "none"})
+        assert p.bandwidth is None
+
+    def test_bad_value_raises(self):
+        with pytest.raises(PolicyError, match="integer"):
+            ExecutionPolicy.from_env({"REPRO_JOBS": "many"})

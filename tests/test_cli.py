@@ -143,6 +143,96 @@ class TestCLICommands:
         assert "Thm 1.1" in out and "Thm 1.2" in out and "listing K_3" in out
 
 
+class TestCLIPolicyAndRecord:
+    def test_detect_with_policy_spec(self, capsys):
+        rc = main(["detect", "--pattern", "k3", "--graph", "cycle",
+                   "--length", "9", "--policy", "lane=vectorized,metrics=lite"])
+        assert rc == 0
+        assert "K_3 detected: False" in capsys.readouterr().out
+
+    def test_policy_spec_matches_flags(self, capsys):
+        """--policy "lane=vectorized" and --lane vectorized are the same run."""
+        rc = main(["detect", "--pattern", "k3", "--graph", "gnp", "--n", "30",
+                   "--p", "0.2", "--seed", "5", "--lane", "vectorized"])
+        via_flags = capsys.readouterr().out
+        assert rc == 0
+        rc = main(["detect", "--pattern", "k3", "--graph", "gnp", "--n", "30",
+                   "--p", "0.2", "--seed", "5", "--policy", "lane=vectorized"])
+        via_spec = capsys.readouterr().out
+        assert rc == 0
+        assert via_flags == via_spec
+
+    def test_bad_policy_spec_exits(self):
+        with pytest.raises(SystemExit, match="bad execution policy"):
+            main(["detect", "--pattern", "k3", "--graph", "cycle",
+                  "--length", "6", "--policy", "warp=9"])
+
+    def test_illegal_policy_combo_exits(self):
+        with pytest.raises(SystemExit, match="bad execution policy"):
+            main(["detect", "--pattern", "k3", "--graph", "cycle",
+                  "--length", "6", "--policy", "sanitize=true,metrics=lite"])
+
+    def test_detect_record_roundtrips(self, capsys, tmp_path):
+        from repro.runtime import RunRecord
+
+        path = tmp_path / "run.jsonl"
+        rc = main(["detect", "--pattern", "k3", "--graph", "cycle",
+                   "--length", "9", "--seed", "3",
+                   "--policy", "metrics=lite", "--record", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"run record: {path}" in out
+
+        rec = RunRecord.load(path)
+        assert rec.policy["metrics"] == "lite"
+        assert rec.policy["seed"] == 3
+        assert len(rec.events) >= 1
+        assert rec.events[0].kind in ("run", "amplified")
+        assert rec.events[0].decision is not None
+
+    def test_experiment_record(self, capsys, tmp_path):
+        from repro.runtime import RunRecord
+
+        path = tmp_path / "e3.jsonl"
+        rc = main(["experiment", "e3", "--record", str(path)])
+        assert rc == 0
+        rec = RunRecord.load(path)
+        assert any(e.kind == "note" for e in rec.events)
+
+
+class TestCLICache:
+    def test_stats_table(self, capsys):
+        rc = main(["cache", "stats"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "construction" in out and "hits" in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        from repro.graphs.cache import cached_hk
+
+        cached_hk(2)
+        rc = main(["cache", "stats", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert any(v["currsize"] > 0 for v in data.values())
+
+    def test_clear(self, capsys):
+        from repro.graphs.cache import cache_stats, cached_hk
+
+        cached_hk(2)
+        rc = main(["cache", "clear"])
+        assert rc == 0
+        assert "cleared" in capsys.readouterr().out.lower()
+        assert all(v["currsize"] == 0 for v in cache_stats().values())
+
+    def test_default_action_is_stats(self, capsys):
+        rc = main(["cache"])
+        assert rc == 0
+        assert "construction" in capsys.readouterr().out
+
+
 @pytest.mark.slow
 def test_module_entrypoint_runs():
     proc = subprocess.run(
