@@ -55,6 +55,16 @@ if [ "${1:-}" != "--fast" ]; then
             python -m pytest -q -p no:cacheprovider \
             "bench_engine_fastpath.py::TestVectorizedCliqueLane::test_vectorized_clique_smoke"
     ) || fail=1
+
+    # Time-budgeted fault-matrix smoke: the cross-lane differential suite
+    # (every fault spec must execute bit-identically on both lanes) plus
+    # one end-to-end fault-sensitivity sweep through the CLI.  Catches
+    # injector/lane drift without the full tier-1 pass.
+    step "fault-matrix smoke (lane parity under faults, 120s budget)"
+    timeout 120 python -m pytest -q -p no:cacheprovider \
+        "tests/congest/test_faults.py::TestLaneParityUnderFaults" || fail=1
+    step "e9 fault-sensitivity smoke (120s budget)"
+    timeout 120 python -m repro experiment e9 > /dev/null || fail=1
 fi
 
 echo

@@ -25,6 +25,8 @@ Examples
     python -m repro detect --pattern triangle --graph grid --rows 6 --cols 7
     python -m repro detect --pattern k4 --policy "lane=vectorized,metrics=lite"
     python -m repro detect --pattern c4 --record run.jsonl
+    python -m repro detect --pattern k4 --faults "drop:0.1|seed:7"
+    python -m repro experiment e9 --resume e9.jsonl
     python -m repro construct --which hk --k 3 --out hk.edges
     python -m repro reduce --k 2 --n 6 --density 0.3
     python -m repro fool --bits 2 --n-per-part 10
@@ -84,6 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="execution-policy overrides as 'field=value,...' "
                         "(e.g. 'lane=vectorized,jobs=4,metrics=lite'); "
                         "applied on top of the individual flags")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="deterministic fault-injection plan, e.g. "
+                        "'drop:0.1|corrupt:0.05|crash:3@2|seed:7' "
+                        "(see repro.faults; same schedule in both lanes)")
     p.add_argument("--record", default=None, metavar="PATH",
                    help="write the session's JSONL run record here")
 
@@ -108,10 +114,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument("name", help="e1, e1-live, e2, e2-live, e3, e4, e4-scaling, "
-                                "e5, e5-live, e6, e6-live, e7, e8, or 'all'")
+                                "e5, e5-live, e6, e6-live, e7, e8, e9, "
+                                "or 'all'")
     p.add_argument("--policy", default=None, metavar="SPEC",
                    help="execution-policy overrides as 'field=value,...' "
                         "for the session the runners execute in")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="deterministic fault-injection plan applied to every "
+                        "engine run, e.g. 'drop:0.1|seed:7' (repro.faults)")
+    p.add_argument("--resume", default=None, metavar="RECORD",
+                   help="checkpoint journal (JSONL run record): completed "
+                        "sweep cells found here are skipped and fresh cells "
+                        "are journaled as they finish; pass a non-existent "
+                        "path to start a new resumable sweep")
     p.add_argument("--record", default=None, metavar="PATH",
                    help="write the session's JSONL run record here")
 
@@ -171,8 +186,8 @@ def _session_from_args(args) -> "object":
     from .runtime import ExecutionPolicy, PolicyError, RunSession
 
     fields = {}
-    for name in ("lane", "jobs", "metrics", "seed"):
-        if hasattr(args, name):
+    for name in ("lane", "jobs", "metrics", "seed", "faults"):
+        if getattr(args, name, None) is not None:
             fields[name] = getattr(args, name)
     try:
         policy = ExecutionPolicy(**fields)
@@ -335,12 +350,33 @@ def _cmd_experiment(args) -> int:
     names = experiments.available() if args.name == "all" else [args.name]
     ok = True
     ses = _session_from_args(args)
+    ckpt = None
+    if args.resume:
+        from pathlib import Path
+
+        from .runtime import CheckpointError, RunSession, SweepCheckpoint
+
+        try:
+            if Path(args.resume).exists():
+                ckpt = SweepCheckpoint.resume(args.resume, ses.policy)
+                print(f"resuming: {ckpt.completed} completed cells "
+                      f"in {args.resume}")
+            else:
+                ckpt = SweepCheckpoint.fresh(ses.policy, args.resume)
+        except CheckpointError as exc:
+            raise SystemExit(f"repro: cannot resume {args.resume}: {exc}") \
+                from None
+        # The checkpoint's journal doubles as the session's run record so
+        # engine trace events and cell entries land in the same file.
+        ses = RunSession(ses.policy, record=ckpt.record)
     with ses:
         for name in names:
-            report = experiments.run(name, session=ses)
+            report = experiments.run(name, session=ses, checkpoint=ckpt)
             print(report.format_report())
             print()
             ok = ok and report.reproduced
+    if ckpt is not None:
+        print(f"checkpoint journal: {ckpt.finish()}")
     if args.record:
         print(f"run record: {ses.save_record(args.record)}")
     return 0 if ok else 1

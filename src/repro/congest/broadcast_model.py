@@ -55,6 +55,7 @@ class BroadcastNetwork(CongestNetwork):
         stop_on_reject: bool = False,
         metrics: str = "full",
         sanitize: bool = False,
+        faults: Any = None,
     ) -> ExecutionResult:
         checked: Algorithm | VectorizedAlgorithm
         if isinstance(algorithm, VectorizedAlgorithm):
@@ -72,6 +73,7 @@ class BroadcastNetwork(CongestNetwork):
             stop_on_reject=stop_on_reject,
             metrics=metrics,
             sanitize=sanitize,
+            faults=faults,
         )
 
 
@@ -218,6 +220,7 @@ def run_broadcast_congest(
     stop_on_reject = kwargs.pop("stop_on_reject", False)
     metrics = kwargs.pop("metrics", "full")
     sanitize = kwargs.pop("sanitize", False)
+    faults = kwargs.pop("faults", None)
     net = BroadcastNetwork(graph, bandwidth=bandwidth, **kwargs)
     return net.run(
         algorithm,
@@ -226,4 +229,5 @@ def run_broadcast_congest(
         stop_on_reject=stop_on_reject,
         metrics=metrics,
         sanitize=sanitize,
+        faults=faults,
     )

@@ -188,6 +188,7 @@ class CongestNetwork:
         stop_on_reject: bool = False,
         metrics: str = "full",
         sanitize: bool = False,
+        faults: Any = None,
     ) -> ExecutionResult:
         """Execute ``algorithm`` for up to ``max_rounds`` rounds.
 
@@ -211,18 +212,27 @@ class CongestNetwork:
         be used with replayable algorithms (which the model demands
         anyway).
 
+        ``faults`` injects deterministic network faults: a
+        :class:`~repro.faults.plan.FaultPlan`, a spec string (see
+        :mod:`repro.faults.plan`), or ``None`` for a reliable network.
+        The schedule is a pure function of the plan, ``seed``, and each
+        ``(round, sender, receiver)`` triple, so both lanes -- and the
+        sanitizer's replay pass -- see identical faults.
+
         A :class:`~repro.congest.vectorized.VectorizedAlgorithm` is
         dispatched to the vectorized lane (batched array kernels over the
         precomputed edge index) with identical semantics -- decisions,
-        round accounting, metrics ledger, and ``sanitize`` support all
-        match the object lane bit-for-bit.
+        round accounting, metrics ledger, ``sanitize`` and ``faults``
+        support all match the object lane bit-for-bit.
         """
         from .vectorized import VectorizedAlgorithm, execute_vectorized
 
+        injector = _build_injector(faults, seed)
         if isinstance(algorithm, VectorizedAlgorithm):
             if not sanitize:
                 return execute_vectorized(
-                    self, algorithm, max_rounds, seed, stop_on_reject, metrics
+                    self, algorithm, max_rounds, seed, stop_on_reject, metrics,
+                    injector=injector,
                 )
             from .sanitizer import AliasGuard, VecTrafficDigest, verify_replay
 
@@ -230,29 +240,32 @@ class CongestNetwork:
             vfirst = VecTrafficDigest(guard=vguard)
             result = execute_vectorized(
                 self, algorithm, max_rounds, seed, stop_on_reject, metrics,
-                observer=vfirst,
+                observer=vfirst, injector=injector,
             )
             vreplay = VecTrafficDigest()
             execute_vectorized(
                 self, algorithm, max_rounds, seed, stop_on_reject, metrics,
-                observer=vreplay,
+                observer=vreplay, injector=injector,
             )
             verify_replay(vfirst, vreplay)
             return result
         if not sanitize:
             return self._execute(
-                algorithm, max_rounds, seed, stop_on_reject, metrics, observer=None
+                algorithm, max_rounds, seed, stop_on_reject, metrics,
+                observer=None, injector=injector,
             )
         from .sanitizer import AliasGuard, TrafficDigest, verify_replay
 
         guard = AliasGuard(algorithm)
         first = TrafficDigest(guard=guard)
         result = self._execute(
-            algorithm, max_rounds, seed, stop_on_reject, metrics, observer=first
+            algorithm, max_rounds, seed, stop_on_reject, metrics,
+            observer=first, injector=injector,
         )
         replay = TrafficDigest()
         self._execute(
-            algorithm, max_rounds, seed, stop_on_reject, metrics, observer=replay
+            algorithm, max_rounds, seed, stop_on_reject, metrics,
+            observer=replay, injector=injector,
         )
         verify_replay(first, replay)
         return result
@@ -265,11 +278,18 @@ class CongestNetwork:
         stop_on_reject: bool,
         metrics: str,
         observer: Optional[Any],
+        injector: Optional[Any] = None,
     ) -> ExecutionResult:
         """One pass of the round loop; ``observer`` (when set) receives
         ``after_init`` / ``on_message`` / ``after_round`` / ``after_finish``
         callbacks -- the sanitizer's attachment points.  ``observer=None``
-        keeps the hot loop free of per-message indirection."""
+        keeps the hot loop free of per-message indirection.
+
+        ``injector`` (a :class:`~repro.faults.inject.FaultInjector`, when
+        set) applies the fault plan: crash-stopped nodes are force-halted
+        at their scheduled round with their decision frozen at its
+        pre-crash value, and every send is billed normally but may be
+        dropped, stalled, throttled, or corrupted at delivery."""
         if metrics not in METRIC_MODES:
             raise ValueError(f"metrics must be one of {METRIC_MODES}, got {metrics!r}")
         comm = CommMetrics(mode=metrics)
@@ -307,9 +327,32 @@ class CongestNetwork:
         record = comm.record
         round_fn = algorithm.round
 
+        # Fault state: pending crash schedule (nodes present in this
+        # graph only) and the frozen decisions of activated crashes.
+        apply_delivery = injector is not None and injector.affects_delivery
+        crash_pending: Dict[int, int] = {}
+        if injector is not None:
+            crash_pending = {
+                u: cr
+                for u, cr in injector.crash_round_of.items()
+                if u in contexts
+            }
+        crashed_frozen: Dict[int, Decision] = {}
+
         inboxes: Dict[int, Dict[int, Message]] = {}
         rounds_run = 0
         for r in range(max_rounds):
+            if crash_pending:
+                # Crash-stop activation: from its scheduled round on, a
+                # crashed node is a forced halt -- it executes nothing and
+                # sends nothing -- and its decision freezes at the value it
+                # had when the crash round began.
+                for u, cr in tuple(crash_pending.items()):
+                    if r >= cr:
+                        ctx = contexts[u]
+                        crashed_frozen[u] = ctx.decision
+                        ctx._halted = True
+                        del crash_pending[u]
             if all(ctx._halted for ctx in ctx_values):
                 break
             if stop_on_reject and any(
@@ -353,11 +396,19 @@ class CongestNetwork:
                         record(r, u, v, size)
                     if on_message is not None:
                         on_message(r, u, v, msg)
+                    any_traffic = True
+                    if apply_delivery:
+                        # The send is billed (and observed) above; faults
+                        # act on the wire, between send and inbox.
+                        delivered, corrupted = injector.delivery(r, u, v, size)
+                        if not delivered:
+                            continue
+                        if corrupted:
+                            msg = injector.corrupted_message(msg)
                     box = next_inboxes.get(v)
                     if box is None:
                         box = next_inboxes[v] = {}
                     box[u] = msg
-                    any_traffic = True
             if lite and round_msgs:
                 comm.add_round(r, round_total, round_msgs, round_max)
             inboxes = next_inboxes
@@ -378,6 +429,12 @@ class CongestNetwork:
 
         for ctx in contexts.values():
             algorithm.finish(ctx)
+        if crashed_frozen:
+            # A crashed node never reaches finish: restore its frozen
+            # decision over whatever finish computed from its dead state.
+            for u, frozen in crashed_frozen.items():
+                contexts[u].decision = frozen
+                contexts[u]._halted = True
         if observer is not None:
             observer.after_finish(contexts)
 
@@ -418,6 +475,23 @@ class CongestNetwork:
         return all(ctx._halted or probe(ctx) for ctx in contexts.values())
 
 
+def _build_injector(faults: Any, seed: Optional[int]) -> Optional[Any]:
+    """Resolve a ``faults`` argument (plan / spec string / injector /
+    ``None``) into a :class:`~repro.faults.inject.FaultInjector`, or
+    ``None`` when the plan injects nothing."""
+    if faults is None:
+        return None
+    from ..faults.inject import FaultInjector
+    from ..faults.plan import FaultPlan
+
+    if isinstance(faults, FaultInjector):
+        return faults
+    plan = FaultPlan.from_spec(faults) if isinstance(faults, str) else faults
+    if plan.is_null:
+        return None
+    return FaultInjector(plan, seed)
+
+
 def run_congest(
     graph: nx.Graph,
     algorithm: Algorithm,
@@ -430,6 +504,7 @@ def run_congest(
     stop_on_reject = kwargs.pop("stop_on_reject", False)
     metrics = kwargs.pop("metrics", "full")
     sanitize = kwargs.pop("sanitize", False)
+    faults = kwargs.pop("faults", None)
     net = CongestNetwork(graph, bandwidth=bandwidth, **kwargs)
     return net.run(
         algorithm,
@@ -438,4 +513,5 @@ def run_congest(
         stop_on_reject=stop_on_reject,
         metrics=metrics,
         sanitize=sanitize,
+        faults=faults,
     )

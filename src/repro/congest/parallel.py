@@ -23,8 +23,19 @@ kept in a module-level registry, and reused by every later
 via :func:`shutdown_pools`).  Workers additionally keep a small LRU cache
 of constructed networks keyed by a content token of (graph, bandwidth,
 network kwargs), so repeated amplification over the same instance skips
-both process spawn *and* network construction.  A worker crash breaks a
-pool; the next call discards it, rebuilds, and retries once.
+both process spawn *and* network construction.
+
+Resilience (see ``docs/robustness.md``): a worker crash breaks a pool;
+:func:`run_amplified` discards it, sleeps a deterministic bounded
+exponential backoff, rebuilds, and retries up to ``pool_retries`` times
+before degrading to the inline serial path -- which is bit-identical to
+the parallel merge, so the degradation costs wall-clock only.  A
+``worker_timeout`` bounds each chunk wait; on expiry the (possibly hung)
+pool is discarded and the missing chunks are salvaged inline, preserving
+the first-rejecting-seed merge exactly.  ``KeyboardInterrupt`` cancels
+outstanding futures and tears the pool down before propagating, so Ctrl-C
+never leaks worker processes.  Fault plans ride along in the chunk specs:
+workers inject the same deterministic schedule the inline path would.
 
 Workers return compact :class:`IterationOutcome` summaries (decision,
 rounds, aggregate bits, witnesses) rather than full
@@ -39,8 +50,10 @@ from __future__ import annotations
 
 import atexit
 import hashlib
+import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -205,6 +218,7 @@ def _run_chunk(spec: Dict[str, Any]) -> List[IterationOutcome]:
             max_rounds=spec["max_rounds"],
             seed=spec["seed"] + t,
             metrics=spec["metrics"],
+            faults=spec.get("faults"),
         )
         out.append(_summarize(t, res))
         if res.rejected and spec["stop_on_detect"]:
@@ -225,6 +239,11 @@ def run_amplified(
     stop_on_detect: bool = True,
     chunks_per_job: int = 4,
     network_kwargs: Optional[Dict[str, Any]] = None,
+    faults: Optional[str] = None,
+    pool_retries: int = 2,
+    backoff_base: float = 0.05,
+    worker_timeout: Optional[float] = None,
+    on_degrade: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> AmplifiedOutcome:
     """Amplify ``algo_factory`` over ``iterations`` independent colorings.
 
@@ -234,7 +253,7 @@ def run_amplified(
         net = CongestNetwork(graph, bandwidth=bandwidth, **network_kwargs)
         for t in range(iterations):
             res = net.run(algo_factory(t), max_rounds, seed=seed + t,
-                          metrics=metrics)
+                          metrics=metrics, faults=faults)
             if res.rejected and stop_on_detect:
                 break
 
@@ -242,11 +261,35 @@ def run_amplified(
     process pool (reused across calls, see the module docstring); the
     first-rejecting-seed merge keeps the output independent of ``jobs``.
     ``jobs <= 1`` runs inline with no executor (the exact sequential path).
+
+    Resilience knobs (all on the parallel path only):
+
+    ``pool_retries``
+        How many times a :class:`BrokenProcessPool` is answered with a
+        pool rebuild before degrading to the serial path.  Rebuild ``k``
+        sleeps ``backoff_base * 2**(k-1)`` seconds first (deterministic,
+        bounded: the retry count caps the total wait).
+    ``worker_timeout``
+        Seconds to wait on each chunk future; ``None`` waits forever.
+        On expiry the pool is discarded (a hung worker poisons it) and
+        every unfinished chunk is salvaged inline, so the merged outcome
+        is still exactly the sequential one.
+    ``on_degrade``
+        Optional callback invoked (parent-side) with a dict describing
+        each degradation step taken -- pool rebuilds, the serial
+        fallback, timeout salvage.  Used by
+        :meth:`repro.runtime.session.RunSession.amplify` to record the
+        ladder in the run record.
+
+    ``KeyboardInterrupt`` during the gather cancels outstanding futures
+    and shuts the pool down before re-raising.
     """
     if iterations < 1:
         raise ValueError("need at least one iteration")
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if pool_retries < 0:
+        raise ValueError("pool_retries must be >= 0")
     network_kwargs = dict(network_kwargs or {})
 
     spec_base: Dict[str, Any] = {
@@ -258,6 +301,7 @@ def run_amplified(
         "metrics": metrics,
         "stop_on_detect": stop_on_detect,
         "network_kwargs": network_kwargs,
+        "faults": faults,
     }
 
     if jobs == 1 or iterations == 1:
@@ -274,35 +318,129 @@ def run_amplified(
         {**spec_base, "start": lo, "stop": hi}
         for lo, hi in zip(bounds, bounds[1:])
     ]
-    try:
-        chunks = _submit_and_gather(jobs, specs, stop_on_detect)
-    except BrokenProcessPool:
-        # A worker died (OOM-killed, signalled, ...).  The pool is
-        # unusable; rebuild it and retry the whole call once.
-        _discard_pool(jobs)
-        chunks = _submit_and_gather(jobs, specs, stop_on_detect)
+
+    attempt = 0
+    while True:
+        try:
+            results, timed_out = _submit_and_gather(
+                jobs, specs, stop_on_detect, worker_timeout
+            )
+            break
+        except BrokenProcessPool:
+            # A worker died (OOM-killed, signalled, ...).  The pool is
+            # unusable; discard it, back off, rebuild, retry -- and after
+            # pool_retries rebuilds give up on parallelism entirely: the
+            # serial path is bit-identical, just slower.
+            _discard_pool(jobs)
+            attempt += 1
+            if attempt > pool_retries:
+                _notify(
+                    on_degrade,
+                    step="serial-fallback",
+                    reason="broken-process-pool",
+                    rebuilds=attempt - 1,
+                )
+                outcomes = _run_chunk(
+                    {**spec_base, "start": 0, "stop": iterations}
+                )
+                return _merge([outcomes], iterations, stop_on_detect)
+            delay = backoff_base * (2 ** (attempt - 1))
+            _notify(
+                on_degrade,
+                step="pool-rebuild",
+                attempt=attempt,
+                of=pool_retries,
+                backoff_s=delay,
+            )
+            time.sleep(delay)
+
+    salvaged = sum(1 for r in results if r is None)
+    chunks = _salvage(results, specs, stop_on_detect)
+    if timed_out:
+        _notify(
+            on_degrade,
+            step="timeout-salvage",
+            timeout_s=worker_timeout,
+            chunks_salvaged=salvaged,
+        )
     return _merge(chunks, iterations, stop_on_detect)
 
 
+def _notify(
+    on_degrade: Optional[Callable[[Dict[str, Any]], None]], **step: Any
+) -> None:
+    if on_degrade is not None:
+        on_degrade(dict(step))
+
+
 def _submit_and_gather(
-    jobs: int, specs: List[Dict[str, Any]], stop_on_detect: bool
-) -> List[List[IterationOutcome]]:
+    jobs: int,
+    specs: List[Dict[str, Any]],
+    stop_on_detect: bool,
+    timeout: Optional[float],
+) -> Tuple[List[Optional[List[IterationOutcome]]], bool]:
+    """Submit every chunk spec; gather in order.
+
+    Returns ``(results, timed_out)`` where ``results`` is positionally
+    aligned with ``specs`` and holds ``None`` for chunks whose result was
+    not obtained -- either cancelled past the first rejecting chunk (the
+    merge never needs them) or abandoned on timeout (the caller salvages
+    them inline via :func:`_salvage`).  A timeout also discards the pool:
+    a worker that blew its deadline may hang forever, and a shared pool
+    with a wedged worker would stall every later caller.
+    """
     pool = _get_pool(jobs)
     futures = [pool.submit(_run_chunk, s) for s in specs]
-    chunk_results: List[Optional[List[IterationOutcome]]] = [None] * len(specs)
+    results: List[Optional[List[IterationOutcome]]] = [None] * len(specs)
+    timed_out = False
     try:
         for i, fut in enumerate(futures):
-            chunk_results[i] = fut.result()
-            if stop_on_detect and any(o.rejected for o in chunk_results[i]):
+            try:
+                results[i] = fut.result(timeout=timeout)
+            except FuturesTimeoutError:
+                timed_out = True
+                break
+            if stop_on_detect and any(o.rejected for o in results[i]):
                 # Everything before the first rejecting seed is in hand;
                 # later chunks can only lose the first-reject race.
-                for later in futures[i + 1 :]:
-                    later.cancel()
                 break
+    except KeyboardInterrupt:
+        # Ctrl-C: don't leak workers.  Cancel what hasn't started, tear
+        # the pool down without waiting on what has, propagate.
+        for fut in futures:
+            fut.cancel()
+        _discard_pool(jobs)
+        raise
     finally:
         for fut in futures:
             fut.cancel()
-    return [c for c in chunk_results if c is not None]
+    if timed_out:
+        _discard_pool(jobs)
+    return results, timed_out
+
+
+def _salvage(
+    results: List[Optional[List[IterationOutcome]]],
+    specs: List[Dict[str, Any]],
+    stop_on_detect: bool,
+) -> List[List[IterationOutcome]]:
+    """Fill result holes inline, stopping past the first rejecting chunk.
+
+    Walking specs in iteration order and re-running only the holes that
+    the sequential loop would have reached keeps the merge input exactly
+    what the sequential loop produces: holes after a rejecting chunk are
+    (correctly) never run, holes before it are recomputed inline --
+    deterministic, so a salvaged chunk equals the one the lost worker
+    was computing.
+    """
+    out: List[List[IterationOutcome]] = []
+    for i, res in enumerate(results):
+        if res is None:
+            res = _run_chunk(specs[i])
+        out.append(res)
+        if stop_on_detect and any(o.rejected for o in res):
+            break
+    return out
 
 
 def _merge(

@@ -322,6 +322,7 @@ def execute_vectorized(
     stop_on_reject: bool,
     metrics: str,
     observer: Optional[Any] = None,
+    injector: Optional[Any] = None,
 ):
     """One pass of the vectorized round loop over ``net``.
 
@@ -331,6 +332,13 @@ def execute_vectorized(
     object-lane run of the same algorithm.  ``observer`` (when set)
     receives ``vec_after_init`` / ``vec_round`` / ``vec_after_round`` /
     ``vec_after_finish`` callbacks -- the sanitizer's attachment points.
+
+    ``injector`` (a :class:`~repro.faults.inject.FaultInjector`, when
+    set) applies the same stateless fault schedule as the object lane:
+    crash-stopped positions are force-halted with frozen decisions and
+    their sends masked out of the outbox before validation and billing;
+    delivery faults mask and zero rows of the packed inbox *after*
+    billing, so the accounting still reflects what was sent.
     """
     from .network import ExecutionResult  # local import: network imports us
     from .algorithm import NodeContext
@@ -365,15 +373,46 @@ def execute_vectorized(
         node_bits_acc = np.zeros(n, dtype=np.int64)
         node_msgs_acc = np.zeros(n, dtype=np.int64)
 
+    # Fault state: per-position crash rounds (schedule entries naming
+    # identifiers absent from this graph are ignored, as in the object
+    # lane) and the frozen decisions of activated crashes.
+    apply_delivery = injector is not None and injector.affects_delivery
+    crash_round_pos: Optional[np.ndarray] = None
+    if injector is not None and injector.crash_round_of:
+        never = np.iinfo(np.int64).max
+        cr = np.full(n, never, dtype=np.int64)
+        for u, at in injector.crash_round_of.items():
+            p = int(np.searchsorted(grid.ids, u))
+            if p < n and int(grid.ids[p]) == u:
+                cr[p] = at
+        if bool((cr != never).any()):
+            crash_round_pos = cr
+    crash_halted = np.zeros(n, dtype=bool)
+    frozen_decision = np.zeros(n, dtype=run.decision.dtype)
+
     bandwidth = net.bandwidth
     inbox = VecInbox.empty()
     rounds_run = 0
     for r in range(max_rounds):
+        if crash_round_pos is not None:
+            # Crash-stop activation, identical to the object lane: the
+            # node is a forced halt from its scheduled round on and its
+            # decision freezes at the value it had when that round began.
+            newly = (~crash_halted) & (crash_round_pos <= r)
+            if newly.any():
+                frozen_decision[newly] = run.decision[newly]
+                crash_halted |= newly
+                run.halted[newly] = True
         if run.halted.all():
             break
         if stop_on_reject and bool((run.decision == VEC_REJECT).any()):
             break
         out = algorithm.step_all(run, r, state, inbox)
+        if crash_round_pos is not None and crash_halted.any():
+            # Kernels may keep writing crashed positions' outputs; the
+            # engine owns crash semantics, so pin them back every round.
+            run.decision[crash_halted] = frozen_decision[crash_halted]
+            run.halted |= crash_halted
         any_traffic = out is not None and out.edges.shape[0] > 0
         if any_traffic:
             edges = np.asarray(out.edges, dtype=np.int64)
@@ -390,6 +429,18 @@ def execute_vectorized(
                     f"round {r}: size_bits array length ({sizes.shape[0]}) != "
                     f"edges ({edges.shape[0]})"
                 )
+            if crash_round_pos is not None and crash_halted.any():
+                # A crashed node sends nothing: mask its edges out before
+                # validation and billing, exactly as the object lane's
+                # forced halt keeps its round callback from running.
+                alive = ~crash_halted[grid.src[edges]]
+                if not alive.all():
+                    edges = edges[alive]
+                    payload = payload[alive]
+                    if per_message:
+                        sizes = sizes[alive]
+                    any_traffic = edges.shape[0] > 0
+        if any_traffic:
             order = np.argsort(edges, kind="stable")
             if not np.array_equal(order, np.arange(order.shape[0])):
                 edges = edges[order]
@@ -440,17 +491,41 @@ def execute_vectorized(
                 np.add.at(node_msgs_acc, grid.src[edges], 1)
             if observer is not None:
                 observer.vec_round(r, edges, sizes, payload)
-            # Deliver: reorder to (recv, send) -- ascending sender within
-            # each receiver, the object lane's inbox iteration order.
-            dorder = np.argsort(grid.in_rank[edges], kind="stable")
-            d_edges = edges[dorder]
-            inbox = VecInbox(
-                recv=grid.dst[d_edges],
-                send=grid.src[d_edges],
-                payload=payload[dorder],
-                sizes=sizes[dorder] if per_message else None,
-                size_bits=0 if per_message else max_size,
-            )
+            if apply_delivery:
+                # Wire faults act between billing and the inbox: drops /
+                # stalls / throttles remove rows, corruption zeroes them.
+                # any_traffic stays True -- the messages *were* sent --
+                # matching the object lane's quiescence accounting.
+                keep, corrupt = injector.delivery_mask(
+                    r,
+                    grid.ids[grid.src[edges]],
+                    grid.ids[grid.dst[edges]],
+                    sizes if per_message else int(sizes),
+                )
+                if corrupt.any():
+                    payload = payload.copy()
+                    payload[corrupt] = np.zeros((), dtype=payload.dtype)
+                if not keep.all():
+                    edges = edges[keep]
+                    payload = payload[keep]
+                    if per_message:
+                        sizes = sizes[keep]
+            if edges.shape[0] == 0:
+                # Everything sent this round was lost in transit.
+                inbox = VecInbox.empty()
+            else:
+                # Deliver: reorder to (recv, send) -- ascending sender
+                # within each receiver, the object lane's inbox iteration
+                # order.
+                dorder = np.argsort(grid.in_rank[edges], kind="stable")
+                d_edges = edges[dorder]
+                inbox = VecInbox(
+                    recv=grid.dst[d_edges],
+                    send=grid.src[d_edges],
+                    payload=payload[dorder],
+                    sizes=sizes[dorder] if per_message else None,
+                    size_bits=0 if per_message else max_size,
+                )
         else:
             inbox = VecInbox.empty()
             if observer is not None:
@@ -466,6 +541,11 @@ def execute_vectorized(
             break
 
     algorithm.finish_all(run, state)
+    if crash_round_pos is not None and crash_halted.any():
+        # A crashed node never reaches finish: restore its frozen
+        # decision over whatever finish_all computed from its dead state.
+        run.decision[crash_halted] = frozen_decision[crash_halted]
+        run.halted |= crash_halted
 
     contexts: Dict[int, NodeContext] = {}
     decisions: Dict[int, Decision] = {}

@@ -13,6 +13,14 @@ restricted to the neighborhood.
 
 This is the linear-time baseline that Theorem 1.2 proves cannot exist for
 every subgraph: ``H_k`` sits at ``n^{2-1/k}``, strictly above.
+
+Fault tolerance: under injected faults (:mod:`repro.faults`) chunks can be
+lost or zeroed, so both lanes write arriving chunks at their *absolute*
+bit offset (the send round determines it) instead of concatenating, and
+the local check consults the symmetrized relation "``u`` shipped the bit
+for ``w``, or ``w`` shipped the bit for ``u``" -- on a reliable network
+this is exactly the old behavior, and under partial information the two
+lanes still agree bit-for-bit (``tests/faults``).
 """
 
 from __future__ import annotations
@@ -65,15 +73,23 @@ class CliqueDetection(Algorithm):
         b = node.bandwidth if node.bandwidth is not None else node.n
         st["chunk_size"] = max(1, b)
         st["num_chunks"] = math.ceil(node.n / st["chunk_size"])
-        st["nbr_bitmaps"]: Dict[int, List[int]] = {v: [] for v in node.neighbors}
+        # Preallocated so a lost chunk leaves zeros at its own offsets
+        # instead of shifting later chunks (fault tolerance).
+        st["nbr_bitmaps"]: Dict[int, List[int]] = {
+            v: [0] * node.n for v in node.neighbors
+        }
 
     def is_quiescent(self, node: NodeContext) -> bool:
         return node._halted
 
     def round(self, node: NodeContext, inbox: Mapping[int, Message]):
         st = node.state
+        # A message arriving in round r was sent in round r-1 and carries
+        # the chunk starting at bit (r-1) * chunk_size.
+        lo = (node.round - 1) * st["chunk_size"]
         for sender, msg in inbox.items():
-            st["nbr_bitmaps"][sender].extend(msg.payload)
+            chunk = list(msg.payload)
+            st["nbr_bitmaps"][sender][lo : lo + len(chunk)] = chunk
         r = node.round
         if r < st["num_chunks"]:
             lo = r * st["chunk_size"]
@@ -96,10 +112,17 @@ class CliqueDetection(Algorithm):
         if s == 2:
             return node.degree >= 1
         nbrs = list(node.neighbors)
+        bms = st["nbr_bitmaps"]
+        # Symmetrized relation: an edge (v, w) counts if either endpoint
+        # shipped it.  On a reliable network both always did (undirected
+        # adjacency), so this is the old check; under faults it makes the
+        # decision independent of *which* direction survived.
         adj: Dict[int, Set[int]] = {}
         for v in nbrs:
-            bm = st["nbr_bitmaps"][v]
-            adj[v] = {w for w in nbrs if w != v and w < len(bm) and bm[w] == 1}
+            bm = bms[v]
+            adj[v] = {
+                w for w in nbrs if w != v and (bm[w] == 1 or bms[w][v] == 1)
+            }
         # Greedy ordered enumeration of K_{s-1} in the neighborhood graph.
         nbrs.sort(key=lambda v: len(adj[v]))
 
@@ -157,6 +180,14 @@ class VectorizedCliqueDetection(VectorizedAlgorithm):
             "chunk": chunk,
             "num_chunks": math.ceil(run.n / chunk),
             "assembled": np.zeros((run.n, run.n), dtype=np.uint8),
+            # (src, dst) is lexicographically sorted in the grid, so this
+            # key array supports searchsorted edge lookup.
+            "edge_key": grid.src.astype(np.int64) * run.n + grid.dst,
+            # Per-edge received bits, allocated lazily the first time a
+            # delivery round is *non-uniform* (fault injection dropped or
+            # garbled some frames).  While None, every receiver saw the
+            # same rows and the shared ``assembled`` matrix is faithful.
+            "recv_bits": None,
         }
 
     def all_quiescent(self, run: VecRun, state: Dict[str, Any]) -> bool:
@@ -169,11 +200,22 @@ class VectorizedCliqueDetection(VectorizedAlgorithm):
         chunk = state["chunk"]
         if len(inbox):
             lo = (r - 1) * chunk
-            # Each sender's chunk is identical on all its edges; duplicate
-            # row writes assign the same values.
-            state["assembled"][inbox.send, lo : lo + inbox.payload.shape[1]] = (
-                inbox.payload
-            )
+            width = inbox.payload.shape[1]
+            if state["recv_bits"] is None and not _uniform_round(grid, inbox):
+                # Degrade to per-edge tracking: replay the (uniform)
+                # history every receiver shares, then record this and all
+                # later rounds per delivered edge.
+                state["recv_bits"] = state["assembled"][grid.src].copy()
+            if state["recv_bits"] is None:
+                # Each sender's chunk is identical on all its edges;
+                # duplicate row writes assign the same values.
+                state["assembled"][inbox.send, lo : lo + width] = inbox.payload
+            else:
+                e = np.searchsorted(
+                    state["edge_key"],
+                    inbox.send.astype(np.int64) * run.n + inbox.recv,
+                )
+                state["recv_bits"][e, lo : lo + width] = inbox.payload
         num_chunks = state["num_chunks"]
         if r < num_chunks:
             lo = r * chunk
@@ -189,36 +231,78 @@ class VectorizedCliqueDetection(VectorizedAlgorithm):
     def _decide_all(self, run: VecRun, state: Dict[str, Any]) -> None:
         s = self.s
         grid = run.grid
-        asm = state["assembled"]
         if s == 2:
-            reject = grid.deg >= 1
-        elif s == 3:
-            # v rejects iff some u, w in N(v) with the shipped bit
-            # asm[u, w] = 1 (u != w is free: asm has a zero diagonal).
-            # float32 routes through BLAS; counts <= n are exact, and only
-            # positivity is consulted.
-            a = state["adj"].astype(np.float32)
-            paths = a @ asm.astype(np.float32)
-            reject = ((paths > 0) & (a > 0)).any(axis=1)
-        else:
-            reject = np.zeros(run.n, dtype=bool)
-            for p in range(run.n):
-                nbrs = grid.dst[grid.out_ptr[p] : grid.out_ptr[p + 1]]
-                reject[p] = _neighborhood_has_clique(asm, nbrs, s)
+            run.decision[:] = np.where(grid.deg >= 1, VEC_REJECT, VEC_ACCEPT)
+            return
+        if state["recv_bits"] is None:
+            # Uniform delivery (always true on a reliable network): every
+            # receiver's knowledge is the shared assembled matrix, and the
+            # symmetrized relation is receiver-independent.
+            sym = state["assembled"] | state["assembled"].T
+            if s == 3:
+                # v rejects iff some u, w in N(v) with sym[u, w] = 1
+                # (u != w is free: sym has a zero diagonal).  float32
+                # routes through BLAS; counts <= n are exact, and only
+                # positivity is consulted.
+                a = state["adj"].astype(np.float32)
+                paths = a @ sym.astype(np.float32)
+                reject = ((paths > 0) & (a > 0)).any(axis=1)
+            else:
+                reject = np.zeros(run.n, dtype=bool)
+                for p in range(run.n):
+                    nbrs = grid.dst[grid.out_ptr[p] : grid.out_ptr[p + 1]]
+                    sub = sym[np.ix_(nbrs, nbrs)].astype(bool)
+                    np.fill_diagonal(sub, False)
+                    reject[p] = _sub_has_clique(sub, s)
+            run.decision[:] = np.where(reject, VEC_REJECT, VEC_ACCEPT)
+            return
+        # Degraded (faulty) delivery: each receiver decides on what *it*
+        # received.  For receiver p's out-edge (p -> u), the reverse edge
+        # (u -> p) indexes the bits p received from u.
+        recv_bits = state["recv_bits"]
+        rev = np.searchsorted(
+            state["edge_key"], grid.dst.astype(np.int64) * run.n + grid.src
+        )
+        reject = np.zeros(run.n, dtype=bool)
+        for p in range(run.n):
+            sl = slice(int(grid.out_ptr[p]), int(grid.out_ptr[p + 1]))
+            nbrs = grid.dst[sl]
+            if nbrs.shape[0] < s - 1:
+                continue
+            rows = recv_bits[rev[sl]]  # (k, n): row i = heard from nbrs[i]
+            sub = rows[:, nbrs]
+            sub = (sub | sub.T).astype(bool)
+            np.fill_diagonal(sub, False)
+            reject[p] = bool(sub.any()) if s == 3 else _sub_has_clique(sub, s)
         run.decision[:] = np.where(reject, VEC_REJECT, VEC_ACCEPT)
 
 
-def _neighborhood_has_clique(asm: np.ndarray, nbrs: np.ndarray, s: int) -> bool:
-    """Is there a K_{s-1} among ``nbrs`` under the shipped adjacency ``asm``?
+def _uniform_round(grid: Any, inbox: VecInbox) -> bool:
+    """Did every edge deliver, with identical rows per sender?
+
+    True on every round of a reliable run (senders broadcast one chunk to
+    all neighbors), so the fast shared-matrix path stays exact; fault
+    injection makes this false the moment receivers' views can diverge
+    (conservatively: any missing or garbled frame).
+    """
+    if len(inbox) != grid.num_directed:
+        return False
+    order = np.argsort(inbox.send, kind="stable")
+    sends = inbox.send[order]
+    rows = inbox.payload[order]
+    first = np.searchsorted(sends, sends)
+    return bool((rows == rows[first]).all())
+
+
+def _sub_has_clique(sub: np.ndarray, s: int) -> bool:
+    """Is there a K_{s-1} in the symmetric boolean relation ``sub``?
 
     The same greedy degeneracy-ordered enumeration as
     :meth:`CliqueDetection._local_clique_check`, over local indices.
     """
-    k = int(nbrs.shape[0])
+    k = int(sub.shape[0])
     if k < s - 1:
         return False
-    sub = asm[np.ix_(nbrs, nbrs)].astype(bool)
-    np.fill_diagonal(sub, False)
     adjsets = [set(np.nonzero(sub[i])[0].tolist()) for i in range(k)]
     order = sorted(range(k), key=lambda i: len(adjsets[i]))
 

@@ -24,6 +24,7 @@ from . import (
     e6_separation,
     e7_baselines,
     e8_property_testing,
+    e9_fault_sensitivity,
     f_constructions,
 )
 from .common import ExperimentReport, FitCheck
@@ -42,6 +43,7 @@ _REGISTRY: Dict[str, Callable[..., ExperimentReport]] = {
     "e6-live": e6_separation.run_live,
     "e7": e7_baselines.run,
     "e8": e8_property_testing.run,
+    "e9": e9_fault_sensitivity.run,
     "f": f_constructions.run,
 }
 
@@ -58,6 +60,11 @@ def run(name: str, session: Any = None, **kwargs: Any) -> ExperimentReport:
     :class:`~repro.runtime.session.RunSession`): engine-backed runners
     route their detector calls through it (policy-driven jobs / metrics /
     lane, optional trace record); analytic runners annotate the record.
+    Every runner also accepts ``checkpoint`` (a
+    :class:`~repro.runtime.checkpoint.SweepCheckpoint`); the engine-backed
+    sweeps (``e1-live``, ``e9``) journal each completed cell through it
+    and skip journaled cells on resume, the contract behind
+    ``repro experiment ... --resume``.
     """
     try:
         runner = _REGISTRY[name.lower()]

@@ -11,11 +11,51 @@ so users can sweep their own parameter ranges without pytest.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..theory.bounds import fit_power_law_exponent
 
-__all__ = ["FitCheck", "ExperimentReport", "fit_against", "format_table"]
+__all__ = [
+    "FitCheck",
+    "ExperimentReport",
+    "fit_against",
+    "format_table",
+    "run_cell",
+]
+
+
+def run_cell(
+    checkpoint: Optional["SweepCheckpoint"],
+    label: str,
+    seed: int,
+    n: int,
+    compute: Callable[[], Dict[str, Any]],
+) -> Tuple[Dict[str, Any], bool]:
+    """Run one sweep cell under an optional checkpoint journal.
+
+    ``compute()`` does the real work and returns the cell's measured
+    values as a JSON-serializable dict.  Without a checkpoint this is
+    just ``(compute(), False)``.  With one, a journaled ``(label, seed,
+    n)`` cell is replayed from the journal (``replayed=True``) without
+    recomputation, and a fresh cell's values are journaled with an
+    atomic flush before returning -- the contract behind ``repro
+    experiment ... --resume`` (see
+    :class:`~repro.runtime.checkpoint.SweepCheckpoint`).
+    """
+    if checkpoint is not None:
+        cached = checkpoint.done((label, seed, n))
+        if cached is not None:
+            return dict(cached.extra.get("values", {})), True
+    values = compute()
+    if checkpoint is not None:
+        from ..runtime.record import TraceEvent
+
+        checkpoint.complete(
+            (label, seed, n),
+            TraceEvent(kind="note", label=f"cell:{label}", seed=seed,
+                       extra={"values": values}),
+        )
+    return values, False
 
 
 @dataclass(frozen=True)

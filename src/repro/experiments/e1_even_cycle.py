@@ -9,7 +9,7 @@ import networkx as nx
 
 from ..core.even_cycle import IterationSchedule, detect_even_cycle
 from ..theory.bounds import even_cycle_exponent
-from .common import ExperimentReport, fit_against
+from .common import ExperimentReport, fit_against, run_cell
 
 __all__ = ["run", "run_live"]
 
@@ -21,6 +21,7 @@ def run(
     tolerance: float = 0.12,
     r_squared_min: float = 0.9,
     session: Optional["RunSession"] = None,
+    checkpoint: Optional["SweepCheckpoint"] = None,
 ) -> ExperimentReport:
     """Sweep the per-iteration round schedule over ``ns`` and fit the
     exponent against ``1 - 1/(k(k-1))``; tabulate the linear baseline."""
@@ -78,6 +79,7 @@ def run_live(
     tolerance: float = 0.15,
     r_squared_min: float = 0.75,
     session: Optional["RunSession"] = None,
+    checkpoint: Optional["SweepCheckpoint"] = None,
 ) -> ExperimentReport:
     """Execute Theorem 1.1 end to end on a C_{2k}-free sweep.
 
@@ -89,7 +91,9 @@ def run_live(
     engine's accounting mode; neither changes decisions or bit totals.
     The fitted exponent uses *executed* rounds, so the R² floor is looser
     than the analytic sweep's.  With a ``session``, its policy supplies
-    jobs/metrics and those legacy kwargs are ignored.
+    jobs/metrics and those legacy kwargs are ignored.  With a
+    ``checkpoint``, each ``n`` is one journaled cell: a resumed sweep
+    skips completed cells and reproduces the same report.
     """
     from ..runtime.session import use_session
 
@@ -102,21 +106,34 @@ def run_live(
     start = time.perf_counter()
     for n in ns:
         n_odd = n if n % 2 == 1 else n + 1  # odd cycles contain no C_{2k}
-        graph = nx.cycle_graph(n_odd)
-        rep = detect_even_cycle(
-            graph,
-            k,
-            iterations=iterations,
-            seed=seed,
-            edge_constant=edge_constant,
-            session=ses,
-        )
-        if rep.detected:
-            raise RuntimeError(
-                f"E1-live: detector claimed C_{2*k} in the odd cycle C_{n_odd}"
+
+        def _cell(n_odd: int = n_odd) -> dict:
+            graph = nx.cycle_graph(n_odd)
+            rep = detect_even_cycle(
+                graph,
+                k,
+                iterations=iterations,
+                seed=seed,
+                edge_constant=edge_constant,
+                session=ses,
             )
-        per_iter = rep.total_rounds / max(1, rep.iterations_run)
-        rows.append((n_odd, rep.iterations_run, f"{per_iter:.1f}", rep.total_bits))
+            if rep.detected:
+                raise RuntimeError(
+                    f"E1-live: detector claimed C_{2*k} in the odd cycle "
+                    f"C_{n_odd}"
+                )
+            return {
+                "iterations_run": rep.iterations_run,
+                "total_rounds": rep.total_rounds,
+                "total_bits": rep.total_bits,
+            }
+
+        values, _ = run_cell(checkpoint, f"e1-live-k{k}", seed, n_odd, _cell)
+        per_iter = values["total_rounds"] / max(1, values["iterations_run"])
+        rows.append(
+            (n_odd, values["iterations_run"], f"{per_iter:.1f}",
+             values["total_bits"])
+        )
         executed.append(per_iter)
         used_ns.append(n_odd)
     elapsed = time.perf_counter() - start

@@ -22,6 +22,7 @@ def run(
     tolerance: float = 0.12,
     r_squared_min: float = 0.9,
     session: Optional["RunSession"] = None,
+    checkpoint: Optional["SweepCheckpoint"] = None,
 ) -> ExperimentReport:
     """Analytic sweep: measured cut of ``G_{k,n}`` and the implied round
     lower bound; exponents fitted against ``1/k`` and ``2 - 1/k``."""
@@ -79,6 +80,7 @@ def run_live(
     bandwidth: int = 16,
     seed: int = 0,
     session: Optional["RunSession"] = None,
+    checkpoint: Optional["SweepCheckpoint"] = None,
 ) -> ExperimentReport:
     """One end-to-end execution of the disjointness-via-simulation protocol.
 

@@ -27,6 +27,7 @@ def run(
     ns_per_part: Optional[Sequence[int]] = None,
     max_bits: int = 7,
     session: Optional["RunSession"] = None,
+    checkpoint: Optional["SweepCheckpoint"] = None,
 ) -> ExperimentReport:
     """Threshold sweep + the full-identifier control."""
     from ..runtime.session import use_session

@@ -21,6 +21,7 @@ def run(
     num_worlds: int = 4,
     seed: int = 7,
     session: Optional["RunSession"] = None,
+    checkpoint: Optional["SweepCheckpoint"] = None,
 ) -> ExperimentReport:
     """Error / floor / MI / ceiling across message budgets at one n."""
     from ..runtime.session import use_session
@@ -77,6 +78,7 @@ def run_scaling(
     bandwidth: int = 8,
     ns: Optional[Sequence[int]] = None,
     session: Optional["RunSession"] = None,
+    checkpoint: Optional["SweepCheckpoint"] = None,
 ) -> ExperimentReport:
     """Fixed B, growing n: the ceiling crosses below the 0.3 floor."""
     from ..runtime.session import use_session

@@ -26,6 +26,7 @@ def run(
     tolerance: float = 0.25,
     r_squared_min: float = 0.9,
     session: Optional["RunSession"] = None,
+    checkpoint: Optional["SweepCheckpoint"] = None,
 ) -> ExperimentReport:
     """Bound-shape sweep (expected G(n,1/2) clique counts) plus a Lemma 1.3
     ratio audit on cliques."""
@@ -85,6 +86,7 @@ def run_live(
     bandwidth: int = 32,
     seed: int = 0,
     session: Optional["RunSession"] = None,
+    checkpoint: Optional["SweepCheckpoint"] = None,
 ) -> ExperimentReport:
     """One lister execution checked against the information bound."""
     from ..runtime.session import use_session

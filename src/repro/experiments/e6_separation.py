@@ -18,6 +18,7 @@ def run(
     ns: Optional[Sequence[int]] = None,
     bandwidth_log: bool = True,
     session: Optional["RunSession"] = None,
+    checkpoint: Optional["SweepCheckpoint"] = None,
 ) -> ExperimentReport:
     """Analytic separation table at ``k = Θ(log n)``."""
     from ..runtime.session import use_session
@@ -56,6 +57,7 @@ def run(
 def run_live(
     pad_sizes: Optional[Sequence[int]] = None,
     session: Optional["RunSession"] = None,
+    checkpoint: Optional["SweepCheckpoint"] = None,
 ) -> ExperimentReport:
     """Measured LOCAL detection of H_2 in padded hosts (flat rounds, fat
     messages)."""

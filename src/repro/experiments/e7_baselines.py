@@ -18,6 +18,7 @@ def run(
     clique_ns: Optional[Sequence[int]] = None,
     bandwidth: int = 4,
     session: Optional["RunSession"] = None,
+    checkpoint: Optional["SweepCheckpoint"] = None,
 ) -> ExperimentReport:
     """Trees O(1), cliques O(n/B), odd cycles O(n): measured rounds."""
     from ..runtime.session import use_session

@@ -20,6 +20,7 @@ def run(
     ns: Optional[Sequence[int]] = None,
     runs: int = 8,
     session: Optional["RunSession"] = None,
+    checkpoint: Optional["SweepCheckpoint"] = None,
 ) -> ExperimentReport:
     """Tester rounds flat in n; one-sidedness; hidden-triangle miss."""
     from ..runtime.session import use_session

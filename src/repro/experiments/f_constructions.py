@@ -18,6 +18,7 @@ def run(
     template_samples: int = 2000,
     seed: int = 0,
     session: Optional["RunSession"] = None,
+    checkpoint: Optional["SweepCheckpoint"] = None,
 ) -> ExperimentReport:
     """Audit H_k (F1), G_{k,n} + Lemma 3.1 (F2), and G_T + μ (F3)."""
     from ..runtime.session import use_session

@@ -17,7 +17,10 @@ rule      violation
           algorithm instance every node shares
 ``L3``    randomness outside the engine's seed tree: ``random.*`` or
           ``numpy.random.*`` in callbacks, module-level RNGs,
-          hardcoded generator seeds (breaks replay/derandomization)
+          hardcoded generator seeds (breaks replay/derandomization);
+          in the fault-injection subsystem additionally *unseeded*
+          RNG construction (fault schedules must derive from the
+          plan/policy seed)
 ``L4``    wall-clock or OS entropy in round logic (``time.*``,
           ``os.urandom``, ``uuid``, ``secrets``, ``datetime.now``)
 ``L5``    messages whose compile-time-constant size is dishonest
@@ -333,6 +336,22 @@ _SEEDED_CONSTRUCTORS = {
     "random.Random",
 }
 
+#: RNG constructors that must carry an explicit seed inside the
+#: fault-injection subsystem (see below).
+_FAULT_RNG_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "random.Random",
+}
+
+#: Path fragment identifying the fault-injection subsystem.  Fault
+#: schedules are part of a run's reproducible identity (the same plan and
+#: seed must drop the same frames in both lanes), so *unseeded* RNG
+#: construction there is a determinism bug even at module scope -- the
+#: mirror of the runtime guard in ``FaultInjector.__init__``, which
+#: raises a SanitizerViolation tagged L3 when a probabilistic plan has no
+#: resolvable seed.
+_FAULT_HOMES = ("repro/faults",)
+
 
 class RandomnessRule(LintRule):
     rule_id = "L3"
@@ -344,6 +363,8 @@ class RandomnessRule(LintRule):
     )
 
     def visit_module(self, model: ModuleModel, report: Reporter) -> None:
+        file_path = model.path.replace("\\", "/")
+        in_faults = any(home in file_path for home in _FAULT_HOMES)
         for node in ast.walk(model.tree):
             if isinstance(node, ast.Call):
                 path = self._call_path(model, node)
@@ -354,6 +375,21 @@ class RandomnessRule(LintRule):
                         f"hardcoded RNG seed in {path}(...); thread a "
                         "Generator from the caller (or node.rng) so runs "
                         "stay replayable from one master seed",
+                    )
+                if (
+                    in_faults
+                    and path in _FAULT_RNG_CONSTRUCTORS
+                    and self._is_unseeded(node)
+                ):
+                    report.add(
+                        self,
+                        node,
+                        f"unseeded {path}(...) in the fault-injection "
+                        "subsystem; fault schedules are part of a run's "
+                        "reproducible identity -- derive every decision "
+                        "from FaultPlan.seed / the policy seed (the "
+                        "runtime mirror: FaultInjector refuses a "
+                        "probabilistic plan with no resolvable seed)",
                     )
         # Module-level RNG singletons: shared mutable state across every
         # node and every run of the importing process.
@@ -375,6 +411,22 @@ class RandomnessRule(LintRule):
     @staticmethod
     def _call_path(model: ModuleModel, node: ast.Call) -> Optional[str]:
         return model.expr_module_path(node.func)
+
+    @staticmethod
+    def _is_unseeded(node: ast.Call) -> bool:
+        """True when the RNG constructor is called with no seed at all.
+
+        ``default_rng()``, ``default_rng(None)``, and ``Random()`` draw OS
+        entropy; any other argument shape at least *tries* to seed and is
+        judged by the hardcoded-seed check instead.
+        """
+        args = [a for a in node.args if not (
+            isinstance(a, ast.Constant) and a.value is None
+        )]
+        kwargs = [kw for kw in node.keywords if not (
+            isinstance(kw.value, ast.Constant) and kw.value.value is None
+        )]
+        return not args and not kwargs
 
     @staticmethod
     def _has_literal_seed(node: ast.Call) -> bool:

@@ -84,13 +84,17 @@ class OneRoundNetworkAlgorithm(Algorithm):
             node.accept()
             node.halt()
             return {}
-        received = {
-            node.input["id_of_engine_neighbor"][sender]: (
-                msg.payload if isinstance(msg.payload, str) else ""
-            )
-            for sender, msg in inbox.items()
-            if msg.payload  # silent leaves contribute nothing to decide()
-        }
+        received = {}
+        for sender, msg in inbox.items():
+            m = msg.payload if isinstance(msg.payload, str) else ""
+            # Silent leaves contribute nothing to decide().  A frame
+            # garbled in transit (fault injection's stuck-at-zero
+            # corruption) fails the bitstring check and is treated as
+            # lost -- the link-layer-CRC view of corruption, applied
+            # identically by the vectorized port.
+            if not m or set(m) - {"0", "1"}:
+                continue
+            received[node.input["id_of_engine_neighbor"][sender]] = m
         if self.protocol.decide(
             node.input["ids"], node.input["bits"], node.input["own_id"], received
         ):
@@ -162,10 +166,13 @@ class VectorizedOneRoundAlgorithm(VectorizedAlgorithm):
                 )
                 if sz == 0:
                     continue  # silent leaves contribute nothing to decide()
+                decoded = inbox.payload[j, :sz].tobytes().decode("ascii")
+                if set(decoded) - {"0", "1"}:
+                    # Garbled frame (stuck-at-zero corruption): treated
+                    # as lost, matching the object lane's check.
+                    continue
                 sender_id = int(grid.ids[inbox.send[j]])
-                received[inp["id_of_engine_neighbor"][sender_id]] = (
-                    inbox.payload[j, :sz].tobytes().decode("ascii")
-                )
+                received[inp["id_of_engine_neighbor"][sender_id]] = decoded
             if self.protocol.decide(
                 inp["ids"], inp["bits"], inp["own_id"], received
             ):

@@ -23,12 +23,18 @@ is the single chassis that replaces that sprawl:
     and one trace event per engine run (seed, decision, rounds, bit
     totals, per-round bits), written and re-loaded as JSONL so two runs
     can be diffed (:func:`diff_records`).
+``SweepCheckpoint``
+    Cell-level checkpoint/resume over a sweep's run record: completed
+    (label, seed, n) cells are journaled with an atomic flush and skipped
+    on resume, and a resumed sweep's final record diffs clean against an
+    uninterrupted one (see ``docs/robustness.md``).
 
 Detectors and experiments accept ``session=`` and route through it; their
 old keyword arguments remain as thin shims that build a policy
 internally, so results are bit-identical for fixed seeds either way.
 """
 
+from .checkpoint import CheckpointError, SweepCheckpoint, cell_key
 from .policy import (
     LANES,
     MODELS,
@@ -46,6 +52,9 @@ from .record import (
 from .session import RunSession, use_session
 
 __all__ = [
+    "CheckpointError",
+    "SweepCheckpoint",
+    "cell_key",
     "ExecutionPolicy",
     "PolicyError",
     "LANES",

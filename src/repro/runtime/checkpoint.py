@@ -1,0 +1,135 @@
+"""Resumable sweeps: a cell-level checkpoint journal over run records.
+
+Experiment sweeps (``repro experiment e1 ... e9``) iterate a deterministic
+grid of *cells* -- one (label, seed, n) triple per engine run under one
+policy.  A :class:`SweepCheckpoint` makes that loop resumable after a kill
+or crash:
+
+* every completed cell appends its :class:`~repro.runtime.record.TraceEvent`
+  (stamped with the cell key in ``extra["cell"]``) to the journal and
+  flushes the whole record atomically (temp file + ``os.replace`` -- see
+  :meth:`RunRecord.write`), so the on-disk journal is always a complete,
+  loadable prefix of the sweep;
+* resuming loads the journal, verifies the **policy hash** matches (a
+  resumed sweep under a different policy would silently mix
+  incomparable cells -- that's an error, not a merge), and answers
+  :meth:`done` from the journal so completed cells are skipped;
+* because the sweep grid and the engine are deterministic, the record a
+  resumed sweep finishes is event-for-event identical to an uninterrupted
+  one -- ``diff_records(killed_then_resumed, straight_through)`` reports
+  no divergence (wall-clock stamps excepted; the diff ignores them).
+
+The cell key is ``(label, seed, n)`` under the journal's policy hash.
+``n`` is the instance-size axis of the sweep; experiments sweeping some
+other axis fold it into ``label``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from .policy import ExecutionPolicy
+from .record import RunRecord, TraceEvent
+
+__all__ = ["CheckpointError", "SweepCheckpoint", "cell_key"]
+
+Cell = Tuple[str, int, int]
+
+
+class CheckpointError(ValueError):
+    """A journal that cannot be resumed (wrong policy, bad file)."""
+
+
+def cell_key(label: str, seed: int, n: int) -> Cell:
+    """Canonical cell key for one sweep point."""
+    return (str(label), int(seed), int(n))
+
+
+class SweepCheckpoint:
+    """Checkpoint/resume wrapper around one sweep's :class:`RunRecord`.
+
+    Build with :meth:`fresh` (start a new journal) or :meth:`resume`
+    (continue one from disk).  The experiment loop then reads::
+
+        done = ckpt.done(cell)
+        if done is None:
+            event = ... run the cell ...
+            ckpt.complete(cell, event)
+        else:
+            event = done          # replayed from the journal
+
+    and calls :meth:`finish` once the grid is exhausted.
+    """
+
+    def __init__(self, record: RunRecord, path: "str | Path") -> None:
+        self.record = record
+        self.path = Path(path)
+        self._done: Dict[Cell, TraceEvent] = {}
+        for event in record.events:
+            cell = event.extra.get("cell") if event.extra else None
+            if cell is not None:
+                self._done[cell_key(*cell)] = event
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def fresh(cls, policy: ExecutionPolicy, path: "str | Path") -> "SweepCheckpoint":
+        """Start a new journal for a sweep under ``policy``."""
+        return cls(RunRecord.start(policy), path)
+
+    @classmethod
+    def resume(
+        cls, path: "str | Path", policy: ExecutionPolicy
+    ) -> "SweepCheckpoint":
+        """Resume the journal at ``path`` for a sweep under ``policy``.
+
+        The journal's policy hash must equal ``policy``'s: cells computed
+        under a different policy are not interchangeable, and resuming
+        across policies would corrupt the sweep silently.
+        """
+        try:
+            record = RunRecord.load(path)
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(f"cannot resume {path}: {exc}") from None
+        if record.policy_hash != policy.policy_hash():
+            raise CheckpointError(
+                f"cannot resume {path}: journal policy hash "
+                f"{record.policy_hash} != current {policy.policy_hash()} "
+                "(the sweep would mix cells from incomparable policies)"
+            )
+        # A journal loaded mid-sweep is unfinished regardless of what a
+        # premature footer said.
+        record.finished_unix = None
+        return cls(record, path)
+
+    # -- the cell protocol ---------------------------------------------
+    def done(self, cell: Cell) -> Optional[TraceEvent]:
+        """The journaled event for ``cell``, or ``None`` if still to run."""
+        return self._done.get(cell_key(*cell))
+
+    def complete(self, cell: Cell, event: TraceEvent) -> TraceEvent:
+        """Record ``cell`` as completed by ``event`` and flush the journal.
+
+        The cell key is stamped into ``event.extra["cell"]`` so a later
+        :meth:`resume` can index it; the flush is atomic, so a kill at
+        any point leaves a loadable journal covering a prefix of the
+        sweep.
+        """
+        key = cell_key(*cell)
+        event.extra = {**(event.extra or {}), "cell": list(key)}
+        self._done[key] = event
+        # A session sharing this record has usually appended the event
+        # already; only add it if it is not the current tail.
+        if not self.record.events or self.record.events[-1] is not event:
+            self.record.add_event(event)
+        self.record.write(self.path, final=False)
+        return event
+
+    def finish(self) -> Path:
+        """Finalize and write the completed journal."""
+        return self.record.write(self.path, final=True)
+
+    @property
+    def completed(self) -> int:
+        """Number of journaled cells."""
+        return len(self._done)

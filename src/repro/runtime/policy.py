@@ -19,10 +19,15 @@ The combinations rejected here are the ones the engine cannot honor:
   never arm the sanitizer, so the combination would silently drop it.
 * ``model="local"`` + a finite ``bandwidth`` -- the LOCAL model *is*
   the unbounded-bandwidth engine; a ``B`` here is a contradiction.
+* ``model="local"`` + ``faults`` -- the LOCAL model abstracts the
+  network away entirely (free unbounded messaging); injecting link
+  faults into it has no defined semantics.
 
 Policies are frozen and hashable; :meth:`ExecutionPolicy.policy_hash`
 is a stable content hash used to stamp benchmark snapshots and run
-records so perf trajectories stay attributable across commits.
+records so perf trajectories stay attributable across commits.  A
+``faults=None`` policy hashes exactly as it did before the field
+existed, so historical benchmark snapshots stay comparable.
 """
 
 from __future__ import annotations
@@ -99,6 +104,12 @@ class ExecutionPolicy:
         Whether construction caching (:mod:`repro.graphs.cache`) may be
         used; a session with ``cache=False`` clears the construction
         cache when it closes, so no frozen graphs outlive it.
+    faults:
+        Fault-injection spec (``"drop:0.05|crash:3@2"``, see
+        :mod:`repro.faults.plan` for the grammar) or ``None`` for a
+        reliable network.  Stored in canonical form so equivalent specs
+        hash identically; the schedule itself is derived from the run's
+        seed, never from ambient randomness.
     """
 
     lane: str = "object"
@@ -109,6 +120,7 @@ class ExecutionPolicy:
     model: str = "congest"
     seed: int = 0
     cache: bool = True
+    faults: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.lane not in LANES:
@@ -130,6 +142,22 @@ class ExecutionPolicy:
                 raise PolicyError(f"bandwidth must be >= 1, got {self.bandwidth}")
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise PolicyError(f"seed must be an int, got {self.seed!r}")
+        if self.faults is not None:
+            if not isinstance(self.faults, str):
+                raise PolicyError(
+                    f"faults must be a spec string or None, got {self.faults!r}"
+                )
+            from ..faults.plan import FaultPlan, FaultSpecError
+
+            try:
+                plan = FaultPlan.from_spec(self.faults)
+            except FaultSpecError as exc:
+                raise PolicyError(f"faults: {exc}") from None
+            # Canonicalize (and collapse a no-op plan to None) so that
+            # equivalent specs produce equal policies and equal hashes.
+            object.__setattr__(
+                self, "faults", plan.spec() if not plan.is_null else None
+            )
         # Illegal combinations (see the module docstring for why).
         if self.sanitize and self.metrics == "lite":
             raise PolicyError(
@@ -145,6 +173,11 @@ class ExecutionPolicy:
             raise PolicyError(
                 "model='local' is the unbounded-bandwidth engine; "
                 f"bandwidth={self.bandwidth} contradicts it"
+            )
+        if self.model == "local" and self.faults is not None:
+            raise PolicyError(
+                "model='local' abstracts the network away; injecting link "
+                "faults into it has no defined semantics"
             )
 
     # -- derivation ----------------------------------------------------
@@ -162,10 +195,24 @@ class ExecutionPolicy:
 
         Two processes building the same policy get the same hash, so
         benchmark snapshots and run records produced under identical
-        policies are directly comparable.
+        policies are directly comparable.  ``faults=None`` is elided
+        from the hashed blob: a fault-free policy keeps the hash it had
+        before the field existed.
         """
-        blob = json.dumps(self.as_dict(), sort_keys=True).encode()
+        fields = self.as_dict()
+        if fields.get("faults") is None:
+            fields.pop("faults", None)
+        blob = json.dumps(fields, sort_keys=True).encode()
         return hashlib.blake2b(blob, digest_size=6).hexdigest()
+
+    def fault_plan(self) -> Optional["FaultPlan"]:
+        """The parsed :class:`~repro.faults.plan.FaultPlan`, or ``None``
+        for a reliable network."""
+        if self.faults is None:
+            return None
+        from ..faults.plan import FaultPlan
+
+        return FaultPlan.from_spec(self.faults)
 
     # -- loaders -------------------------------------------------------
     @classmethod
@@ -190,7 +237,8 @@ class ExecutionPolicy:
 
         Recognized: ``REPRO_LANE``, ``REPRO_JOBS``, ``REPRO_METRICS``,
         ``REPRO_SANITIZE``, ``REPRO_BANDWIDTH`` (empty / ``none`` means
-        unbounded), ``REPRO_MODEL``, ``REPRO_SEED``, ``REPRO_CACHE``.
+        unbounded), ``REPRO_MODEL``, ``REPRO_SEED``, ``REPRO_CACHE``,
+        ``REPRO_FAULTS`` (a fault spec; empty / ``none`` disables).
         Unset variables keep ``base``'s values (default policy if absent).
         """
         env = os.environ if environ is None else environ
@@ -245,4 +293,6 @@ class ExecutionPolicy:
             )
         if field in ("sanitize", "cache"):
             return _parse_bool(field, raw)
+        if field == "faults":
+            return None if raw.lower() in ("", "none") else raw
         raise PolicyError(f"unknown policy field {field!r}")

@@ -21,6 +21,7 @@ snapshot so perf trajectories stay attributable across PRs.
 from __future__ import annotations
 
 import json
+import os
 import platform as _platform
 import subprocess
 import time
@@ -151,9 +152,21 @@ class RunRecord:
             self.finished_unix = time.time()
 
     # -- persistence ---------------------------------------------------
-    def write(self, path: "str | Path") -> Path:
-        """Write the record as JSONL (header, events, footer)."""
-        self.finalize()
+    def write(self, path: "str | Path", final: bool = True) -> Path:
+        """Write the record as JSONL (header, events, footer).
+
+        Crash-safe: the lines are written to a sibling temp file which is
+        fsynced and atomically renamed over ``path``, so a process killed
+        mid-write leaves either the old complete record or the new one --
+        never a truncated file that :meth:`load` would half-parse.
+
+        ``final=False`` skips the :meth:`finalize` stamp -- the mode used
+        by :class:`~repro.runtime.checkpoint.SweepCheckpoint` for its
+        per-cell flushes, so an in-progress sweep journal is not marked
+        finished.
+        """
+        if final:
+            self.finalize()
         out = Path(path)
         lines = [
             json.dumps(
@@ -183,7 +196,16 @@ class RunRecord:
                 sort_keys=True,
             )
         )
-        out.write_text("\n".join(lines) + "\n")
+        tmp = out.with_name(out.name + f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "w") as fh:
+                fh.write("\n".join(lines) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, out)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
         return out
 
     @classmethod

@@ -24,6 +24,13 @@ they must not tear down the persistent pools between two detector calls,
 or the pool-reuse performance contract (and its tests) would break.
 Explicit sessions -- the CLI, experiment drivers, tests -- own their
 pools and clean up.
+
+Resilience (see ``docs/robustness.md``): a policy with a ``faults``
+spec threads its :class:`~repro.faults.plan.FaultPlan` into every
+:meth:`run` and :meth:`amplify`; and the session is the first rung of
+the graceful-degradation ladder -- :meth:`run` falls back from the
+vectorized lane to a caller-supplied object-lane algorithm when a numpy
+kernel faults, recording the degradation instead of dying.
 """
 
 from __future__ import annotations
@@ -48,6 +55,12 @@ from .record import (
 __all__ = ["RunSession", "use_session"]
 
 _UNSET = object()
+
+#: Kernel failures the vectorized->object degradation rung catches: hard
+#: numpy faults (array allocation failure, trapped floating-point error).
+#: Anything else -- kernel contract violations, model violations -- is a
+#: bug and must propagate.
+_NUMPY_FAULTS = (FloatingPointError, MemoryError)
 
 
 class RunSession:
@@ -88,6 +101,9 @@ class RunSession:
             self.record = record
         else:
             self.record = None
+        #: Degradation-ladder steps taken so far (lane fallbacks and the
+        #: like), for callers that report resilience events.
+        self.degradations: list = []
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------
@@ -169,24 +185,54 @@ class RunSession:
         seed: Any = _UNSET,
         stop_on_reject: bool = False,
         label: Optional[str] = None,
+        fallback: Any = None,
     ) -> ExecutionResult:
         """Run ``algorithm`` on ``net`` under the session's policy.
 
-        Metrics mode and the sanitizer come from the policy; ``seed``
-        defaults to the policy's.  When the session keeps a record, one
-        ``run`` trace event (decision, rounds, bit totals, per-round
-        bits) is appended.
+        Metrics mode, the sanitizer, and the fault plan come from the
+        policy; ``seed`` defaults to the policy's.  When the session
+        keeps a record, one ``run`` trace event (decision, rounds, bit
+        totals, per-round bits) is appended.
+
+        ``fallback`` (an object-lane algorithm instance, optional) arms
+        the first rung of the degradation ladder: if ``algorithm`` is a
+        vectorized kernel that dies with a hard numpy fault
+        (:data:`_NUMPY_FAULTS`), the run is retried with ``fallback``
+        under the same seed and policy, and the degradation is recorded
+        as a ``degradation`` note event and in :attr:`degradations`.
         """
         run_seed = self.policy.seed if seed is _UNSET else seed
         t0 = time.perf_counter() if self.record is not None else 0.0
-        result = net.run(
-            algorithm,
-            max_rounds=max_rounds,
-            seed=run_seed,
-            stop_on_reject=stop_on_reject,
-            metrics=self.policy.metrics,
-            sanitize=self.policy.sanitize,
-        )
+        try:
+            result = net.run(
+                algorithm,
+                max_rounds=max_rounds,
+                seed=run_seed,
+                stop_on_reject=stop_on_reject,
+                metrics=self.policy.metrics,
+                sanitize=self.policy.sanitize,
+                faults=self.policy.faults,
+            )
+        except _NUMPY_FAULTS as exc:
+            if fallback is None:
+                raise
+            step = {
+                "step": "lane-fallback",
+                "from": type(algorithm).__name__,
+                "to": type(fallback).__name__,
+                "error": repr(exc),
+            }
+            self.degradations.append(step)
+            self.note("degradation", **step)
+            result = net.run(
+                fallback,
+                max_rounds=max_rounds,
+                seed=run_seed,
+                stop_on_reject=stop_on_reject,
+                metrics=self.policy.metrics,
+                sanitize=self.policy.sanitize,
+                faults=self.policy.faults,
+            )
         if self.record is not None:
             wall_ms = (time.perf_counter() - t0) * 1000.0
             self.record.add_event(
@@ -212,16 +258,29 @@ class RunSession:
         chunks_per_job: int = 4,
         network_kwargs: Optional[Dict[str, Any]] = None,
         label: Optional[str] = None,
+        pool_retries: int = 2,
+        backoff_base: float = 0.05,
+        worker_timeout: Optional[float] = None,
     ) -> AmplifiedOutcome:
         """Amplified fan-out under the policy's ``jobs`` and ``metrics``.
 
         Exactly :func:`repro.congest.parallel.run_amplified` with the
         parallelism knobs supplied by the policy -- the merged outcome is
-        bit-identical to the sequential loop regardless of ``jobs``.
+        bit-identical to the sequential loop regardless of ``jobs``.  The
+        policy's fault plan rides into every worker chunk, and the
+        resilience knobs (``pool_retries`` / ``backoff_base`` /
+        ``worker_timeout``) arm the jobs>1 rungs of the degradation
+        ladder; any step taken lands in :attr:`degradations` and the
+        record.
         """
         run_seed = self.policy.seed if seed is _UNSET else seed
         bw = self.policy.bandwidth if bandwidth is _UNSET else bandwidth
         t0 = time.perf_counter() if self.record is not None else 0.0
+
+        def _degraded(step: Dict[str, Any]) -> None:
+            self.degradations.append(step)
+            self.note("degradation", **step)
+
         outcome = run_amplified(
             graph,
             algo_factory,
@@ -234,6 +293,11 @@ class RunSession:
             stop_on_detect=stop_on_detect,
             chunks_per_job=chunks_per_job,
             network_kwargs=network_kwargs,
+            faults=self.policy.faults,
+            pool_retries=pool_retries,
+            backoff_base=backoff_base,
+            worker_timeout=worker_timeout,
+            on_degrade=_degraded,
         )
         if self.record is not None:
             wall_ms = (time.perf_counter() - t0) * 1000.0

@@ -1,0 +1,169 @@
+"""Degradation ladder of :func:`repro.congest.parallel.run_amplified`.
+
+Worker crashes, hung workers, and Ctrl-C are injected for real (the
+algorithms below crash/sleep/raise only when executing inside a pool
+worker, so the inline salvage and serial fallback paths stay healthy) and
+every degraded outcome is asserted equal to the sequential reference --
+the ladder trades wall-clock, never results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import networkx as nx
+import pytest
+
+from repro.congest import Algorithm
+from repro.congest.parallel import _POOLS, run_amplified, shutdown_pools
+
+
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+class _MaybeReject(Algorithm):
+    """Deterministic stand-in for a color-coding iteration."""
+
+    name = "maybe-reject"
+
+    def __init__(self, reject: bool):
+        self.reject_flag = reject
+
+    def init(self, node):
+        pass
+
+    def round(self, node, inbox):
+        if self.reject_flag and node.id == 0:
+            node.reject()
+        node.halt()
+        return {}
+
+    def finish(self, node):
+        pass
+
+
+class _CrashInWorker(_MaybeReject):
+    """Kills its host *worker* process outright (parent stays healthy)."""
+
+    name = "crash-in-worker"
+
+    def init(self, node):
+        if _in_worker():
+            import os
+
+            os._exit(13)
+
+
+class _SleepInWorker(_MaybeReject):
+    """Hangs inside pool workers; instant inline."""
+
+    name = "sleep-in-worker"
+
+    def init(self, node):
+        if _in_worker() and node.id == 0:
+            time.sleep(3.0)
+
+
+class _InterruptInWorker(_MaybeReject):
+    """Raises Ctrl-C from inside a pool worker."""
+
+    name = "interrupt-in-worker"
+
+    def init(self, node):
+        if _in_worker():
+            raise KeyboardInterrupt
+
+
+def _factory(t: int) -> Algorithm:
+    return _MaybeReject(reject=(t == 5))
+
+
+def _crash_factory(t: int) -> Algorithm:
+    return _CrashInWorker(reject=(t == 5))
+
+
+def _sleep_factory(t: int) -> Algorithm:
+    return _SleepInWorker(reject=(t == 5))
+
+
+def _interrupt_factory(t: int) -> Algorithm:
+    return _InterruptInWorker(reject=(t == 5))
+
+
+GRAPH = nx.cycle_graph(4)
+KW = dict(iterations=12, seed=0, bandwidth=16, max_rounds=3)
+
+
+def _reference():
+    return run_amplified(GRAPH, _factory, jobs=1, **KW)
+
+
+def _same_outcome(a, b):
+    assert (a.rejected, a.first_reject, a.iterations_run) == (
+        b.rejected, b.first_reject, b.iterations_run
+    )
+    assert a.outcomes == b.outcomes
+
+
+class TestBrokenPoolRetries:
+    def test_crashing_workers_degrade_to_serial_with_identical_outcome(self):
+        steps = []
+        out = run_amplified(
+            GRAPH, _crash_factory, jobs=2, pool_retries=2,
+            backoff_base=0.01, on_degrade=steps.append, **KW,
+        )
+        # The crash algorithm only dies in workers, so the serial
+        # fallback computes the honest sequential answer.
+        _same_outcome(out, _reference())
+        assert [s["step"] for s in steps] == [
+            "pool-rebuild", "pool-rebuild", "serial-fallback",
+        ]
+        assert steps[0]["backoff_s"] == pytest.approx(0.01)
+        assert steps[1]["backoff_s"] == pytest.approx(0.02)  # doubled
+        assert steps[2]["rebuilds"] == 2
+
+    def test_zero_retries_falls_back_immediately(self):
+        steps = []
+        out = run_amplified(
+            GRAPH, _crash_factory, jobs=2, pool_retries=0,
+            on_degrade=steps.append, **KW,
+        )
+        _same_outcome(out, _reference())
+        assert [s["step"] for s in steps] == ["serial-fallback"]
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="pool_retries"):
+            run_amplified(GRAPH, _factory, jobs=2, pool_retries=-1, **KW)
+
+
+class TestWorkerTimeout:
+    def test_hung_worker_is_salvaged_inline(self):
+        steps = []
+        out = run_amplified(
+            GRAPH, _sleep_factory, jobs=2, worker_timeout=0.25,
+            on_degrade=steps.append, **KW,
+        )
+        _same_outcome(out, _reference())
+        assert any(s["step"] == "timeout-salvage" for s in steps)
+        salvage = next(s for s in steps if s["step"] == "timeout-salvage")
+        assert salvage["chunks_salvaged"] >= 1
+        # The poisoned pool must not be reused by later callers.
+        assert 2 not in _POOLS
+
+
+class TestKeyboardInterrupt:
+    def test_interrupt_cancels_and_tears_down_quickly(self):
+        shutdown_pools()
+        t0 = time.perf_counter()
+        with pytest.raises(KeyboardInterrupt):
+            run_amplified(GRAPH, _interrupt_factory, jobs=3, **KW)
+        elapsed = time.perf_counter() - t0
+        # No waiting on outstanding chunks, no pool left behind.
+        assert elapsed < 2.0
+        assert 3 not in _POOLS
+
+    def test_pool_registry_recovers_after_interrupt(self):
+        out = run_amplified(GRAPH, _factory, jobs=3, **KW)
+        _same_outcome(out, _reference())

@@ -1,0 +1,40 @@
+"""Deliberately-cheating fault scheduler for the L3 faults extension.
+
+This file lives under a ``repro/faults/`` path on purpose: lint rule L3
+treats the fault-injection subsystem specially -- fault schedules are part
+of a run's reproducible identity, so *unseeded* RNG construction there is
+flagged even where it would be legal elsewhere.  The same contract is
+enforced at runtime by ``FaultInjector.__init__``, which raises a
+``SanitizerViolation`` tagged L3 for a probabilistic plan with no
+resolvable seed; ``tests/lint/test_faults_rule.py`` asserts the two
+detections agree on the rule id.
+
+Never imported by the real package -- linted as a file, like
+``tests/lint/fixtures.py``.
+"""
+
+import random
+
+import numpy as np
+
+
+def crash_round_cheat(num_rounds):
+    """Cheat: crash schedule from OS entropy -- irreproducible."""
+    return random.Random().randrange(num_rounds)  # EXPECT[L3]
+
+
+def drop_coin_cheat():
+    """Cheat: per-edge drop decisions from a fresh entropy-seeded RNG."""
+    rng = np.random.default_rng()  # EXPECT[L3]
+    return rng.random()
+
+
+def entropy_fallback_cheat():
+    """Cheat: an explicit ``None`` seed still draws OS entropy."""
+    rng = np.random.default_rng(None)  # EXPECT[L3]
+    return rng.random()
+
+
+def seeded_schedule_ok(seed):
+    """Control: a threaded seed is the legal shape -- not flagged."""
+    return np.random.default_rng(seed).random()

@@ -1,0 +1,76 @@
+"""L3's faults extension: static and runtime detection agree.
+
+The static side flags unseeded RNG construction in files under a
+``repro/faults/`` path (``tests/lint/fixture_faults/.../cheating_plan.py``
+carries the ``# EXPECT[L3]`` markers); the runtime side is
+``FaultInjector.__init__`` raising a ``SanitizerViolation`` tagged with
+the same rule id when a probabilistic plan has no resolvable seed.  The
+acceptance criterion mirrors the sanitizer suite's: both passes name L3.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.congest.sanitizer import SanitizerViolation
+from repro.faults import FaultInjector, FaultPlan
+from repro.lint import build_rules, lint_file
+
+from .test_rules import _expected_markers, _flagged
+
+FAULTS_FIXTURE = str(
+    Path(__file__).parent / "fixture_faults" / "repro" / "faults"
+    / "cheating_plan.py"
+)
+
+
+class TestStaticPass:
+    def test_every_marked_cheat_and_nothing_else(self):
+        always, armed = _expected_markers(FAULTS_FIXTURE)
+        assert always, "faults fixture lost its EXPECT markers"
+        assert armed == []
+        assert _flagged(FAULTS_FIXTURE) == always
+        assert {rid for _, rid in always} == {"L3"}
+
+    def test_same_source_outside_faults_path_is_clean(self, tmp_path):
+        # The unseeded-RNG check is scoped to the fault subsystem: the
+        # identical source under a neutral path raises nothing (module
+        # functions may legitimately default to OS entropy elsewhere).
+        neutral = tmp_path / "scheduler.py"
+        neutral.write_text(Path(FAULTS_FIXTURE).read_text())
+        assert lint_file(str(neutral), build_rules()) == []
+
+    def test_real_faults_package_is_clean(self):
+        import repro.faults as pkg
+
+        for path in Path(pkg.__file__).parent.glob("*.py"):
+            assert lint_file(str(path), build_rules()) == [], str(path)
+
+
+class TestRuntimeAgreement:
+    def test_probabilistic_plan_without_seed_raises_l3(self):
+        plan = FaultPlan(drop=0.1)
+        with pytest.raises(SanitizerViolation) as exc:
+            FaultInjector(plan, master_seed=None)
+        assert exc.value.rule_id == "L3"
+
+    def test_rule_ids_agree_between_passes(self):
+        static_ids = {f.rule_id for f in lint_file(FAULTS_FIXTURE, build_rules())}
+        plan = FaultPlan(corrupt=0.2)
+        with pytest.raises(SanitizerViolation) as exc:
+            FaultInjector(plan, master_seed=None)
+        assert static_ids == {exc.value.rule_id} == {"L3"}
+
+    def test_plan_seed_or_master_seed_satisfies_the_guard(self):
+        FaultInjector(FaultPlan(drop=0.1, seed=7), master_seed=None)
+        FaultInjector(FaultPlan(drop=0.1), master_seed=3)
+
+    def test_deterministic_plan_needs_no_seed(self):
+        # Crash/stall/throttle schedules are fully explicit; no coin is
+        # ever flipped, so a missing seed is fine.
+        FaultInjector(
+            FaultPlan(crash=((0, 2),), stall=(1,), throttle=4),
+            master_seed=None,
+        )

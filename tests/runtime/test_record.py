@@ -90,6 +90,58 @@ class TestRoundTrip:
             RunRecord.load(path)
 
 
+class TestAtomicWrite:
+    """Crash safety: a write that dies mid-flight never clobbers the
+    journal on disk (temp file + ``os.replace``)."""
+
+    def test_crash_during_write_preserves_existing_record(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        path = tmp_path / "run.jsonl"
+        _record_with_events(bits=100).write(path)
+        before = path.read_text()
+
+        def _crash(fd):
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr(os, "fsync", _crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            _record_with_events(bits=999).write(path)
+        monkeypatch.undo()
+
+        assert path.read_text() == before  # old journal untouched
+        assert list(tmp_path.glob("*.tmp.*")) == []  # no temp debris
+        assert RunRecord.load(path).events[0].total_bits == 100
+
+    def test_replacement_is_complete_at_swap_time(self, tmp_path, monkeypatch):
+        import os
+
+        seen = {}
+        real_replace = os.replace
+
+        def _spy(src, dst):
+            # Whatever becomes visible at `dst` must already be a fully
+            # loadable journal when the swap happens.
+            seen["events"] = len(RunRecord.load(src).events)
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", _spy)
+        _record_with_events().write(tmp_path / "run.jsonl")
+        assert seen["events"] == 2
+
+    def test_successful_write_leaves_no_temp_file(self, tmp_path):
+        _record_with_events().write(tmp_path / "run.jsonl")
+        assert [p.name for p in tmp_path.iterdir()] == ["run.jsonl"]
+
+    def test_non_final_write_keeps_record_unfinished(self, tmp_path):
+        rec = _record_with_events()
+        rec.write(tmp_path / "run.jsonl", final=False)
+        assert rec.finished_unix is None
+        assert RunRecord.load(tmp_path / "run.jsonl").finished_unix is None
+
+
 class TestDiffRecords:
     def test_identical(self):
         a = _record_with_events()

@@ -200,6 +200,64 @@ class TestCLIPolicyAndRecord:
         assert any(e.kind == "note" for e in rec.events)
 
 
+class TestCLIFaultsAndResume:
+    def test_detect_faults_total_loss_blinds_the_detector(self, capsys):
+        args = ["detect", "--pattern", "k4", "--graph", "gnp", "--n", "24",
+                "--p", "0.4", "--seed", "0"]
+        rc = main(args)
+        assert rc == 0
+        assert "K_4 detected: True" in capsys.readouterr().out
+        rc = main(args + ["--faults", "drop:1.0"])
+        assert rc == 0
+        assert "K_4 detected: False" in capsys.readouterr().out
+
+    def test_faults_flag_matches_policy_spec(self, capsys):
+        """--faults SPEC and --policy "faults=SPEC" are the same run."""
+        base = ["detect", "--pattern", "k3", "--graph", "gnp", "--n", "20",
+                "--p", "0.3", "--seed", "2"]
+        rc = main(base + ["--faults", "drop:0.4|seed:9"])
+        via_flag = capsys.readouterr().out
+        assert rc == 0
+        rc = main(base + ["--policy", "faults=drop:0.4|seed:9"])
+        via_policy = capsys.readouterr().out
+        assert rc == 0
+        assert via_flag == via_policy
+
+    def test_bad_fault_spec_exits(self):
+        with pytest.raises(SystemExit, match="bad execution policy"):
+            main(["detect", "--pattern", "k3", "--graph", "cycle",
+                  "--length", "6", "--faults", "jam:0.5"])
+
+    def test_experiment_resume_journals_and_replays(self, capsys, tmp_path):
+        from repro.runtime import RunRecord
+
+        path = tmp_path / "e1.jsonl"
+        rc = main(["experiment", "e1-live", "--resume", str(path)])
+        first = capsys.readouterr().out
+        assert rc == 0
+        assert f"checkpoint journal: {path}" in first
+        rec = RunRecord.load(path)
+        cells = [e for e in rec.events if e.extra and "cell" in e.extra]
+        assert len(cells) == 4  # one per n in the default sweep
+        assert rec.finished_unix is not None
+
+        # Resuming over the finished journal replays every cell: same
+        # report, no new engine events.
+        rc = main(["experiment", "e1-live", "--resume", str(path)])
+        second = capsys.readouterr().out
+        assert rc == 0
+        assert f"resuming: {len(cells)} completed cells" in second
+        again = RunRecord.load(path)
+        assert len(again.events) == len(rec.events)
+
+    def test_resume_policy_mismatch_exits(self, tmp_path):
+        path = tmp_path / "e1.jsonl"
+        assert main(["experiment", "e1-live", "--resume", str(path)]) == 0
+        with pytest.raises(SystemExit, match="cannot resume"):
+            main(["experiment", "e1-live", "--policy", "metrics=lite",
+                  "--resume", str(path)])
+
+
 class TestCLICache:
     def test_stats_table(self, capsys):
         rc = main(["cache", "stats"])

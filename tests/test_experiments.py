@@ -79,6 +79,32 @@ class TestRunnersReproduce:
         rep = experiments.run("e8")
         assert rep.reproduced
 
+    def test_e9(self):
+        rep = experiments.run(
+            "e9", drop_rates=(0.0, 0.4), seeds=3, iterations=12
+        )
+        assert rep.reproduced
+        assert rep.extras["c4_success"][0] == 1.0
+        assert rep.extras["one_round_success"][0] == 1.0
+
+    def test_e9_full_checkpoint_replay_matches(self, tmp_path):
+        from repro.runtime import ExecutionPolicy, SweepCheckpoint
+
+        policy = ExecutionPolicy()
+        kwargs = dict(drop_rates=(0.0, 0.3), seeds=2, iterations=12)
+        ck = SweepCheckpoint.fresh(policy, tmp_path / "e9.jsonl")
+        first = experiments.run("e9", checkpoint=ck, **kwargs)
+        ck.finish()
+        journaled = ck.completed
+
+        # Re-running over the finished journal replays every cell (no
+        # fresh engine runs) and reproduces the same report rows.
+        ck = SweepCheckpoint.resume(tmp_path / "e9.jsonl", policy)
+        again = experiments.run("e9", checkpoint=ck, **kwargs)
+        assert ck.completed == journaled
+        assert again.rows == first.rows
+        assert again.extras == first.extras
+
 
 class TestReportFormatting:
     def test_format_report_contains_everything(self):
