@@ -1,0 +1,106 @@
+"""Adaptive early-stopping amplification vs. the fixed iteration budget.
+
+The color-coding detectors amplify a per-iteration success rate of
+``(2k)^(-2k)`` by brute seed count.  A fixed budget sized for the target
+confidence keeps running long after the sequential test has already
+settled the answer; the adaptive policy (``amplify_confidence``) stops at
+the test's accept threshold instead.  This bench measures the waste on
+the even-cycle workload: same decisions, same per-seed traces, >= 30%
+fewer seeds executed -- and snapshots the numbers into
+``BENCH_amplify.json``.
+"""
+
+import time
+
+import networkx as nx
+
+from conftest import print_table
+from emit import emit
+from repro.core.even_cycle import detect_even_cycle
+from repro.runtime import ExecutionPolicy, RunSession, seeds_for_confidence
+
+K = 2
+P_SUCCESS = float(2 * K) ** -(2 * K)  # the paper's per-iteration rate
+CONFIDENCE = 0.9
+# A fixed budget a cautious caller would pick: ~1.5x the seeds the
+# sequential test needs for the same confidence.
+FIXED_BUDGET = 900
+SAVINGS_FLOOR = 0.30
+
+
+def _detect(policy, graph, **kw):
+    with RunSession(policy, owns_pools=False) as ses:
+        t0 = time.perf_counter()
+        rep = detect_even_cycle(graph, K, session=ses, **kw)
+        return rep, time.perf_counter() - t0
+
+
+class TestAdaptiveAmplification:
+    def test_adaptive_saves_seeds_at_unchanged_decisions(self):
+        fixed_policy = ExecutionPolicy(metrics="lite")
+        adaptive_policy = ExecutionPolicy(
+            metrics="lite", amplify_confidence=CONFIDENCE
+        )
+
+        # Negative instance (C_9 is C_4-free): every seed accepts, so the
+        # fixed budget burns all 900 while the sequential test is settled
+        # at its accept threshold.
+        negative = nx.cycle_graph(9)
+        fixed, fixed_s = _detect(
+            fixed_policy, negative, iterations=FIXED_BUDGET, seed=0
+        )
+        adaptive, adaptive_s = _detect(
+            adaptive_policy, negative, iterations=FIXED_BUDGET, seed=0
+        )
+        target = seeds_for_confidence(CONFIDENCE, P_SUCCESS)
+        assert fixed.detected is False and adaptive.detected is False
+        assert fixed.iterations_run == FIXED_BUDGET
+        assert adaptive.iterations_run == target
+        assert adaptive.stop_reason == "confidence"
+        saved_fraction = adaptive.seeds_saved / FIXED_BUDGET
+        assert saved_fraction >= SAVINGS_FLOOR, (
+            f"adaptive stop saved only {saved_fraction:.1%} of "
+            f"{FIXED_BUDGET} seeds (floor {SAVINGS_FLOOR:.0%})"
+        )
+
+        # Positive instance (every grid face is a C_4): detection fires
+        # long before the accept threshold, so the adaptive run's
+        # decision, stopping seed, and witnesses are the fixed run's.
+        grid = nx.convert_node_labels_to_integers(
+            nx.grid_2d_graph(3, 3), ordering="sorted"
+        )
+        pos_fixed, _ = _detect(fixed_policy, grid, iterations=64, seed=0)
+        pos_adaptive, _ = _detect(adaptive_policy, grid, iterations=64, seed=0)
+        assert pos_fixed.detected and pos_adaptive.detected
+        assert pos_adaptive.iterations_run == pos_fixed.iterations_run
+        assert sorted(pos_adaptive.witnesses) == sorted(pos_fixed.witnesses)
+
+        print_table(
+            f"Amplification: fixed budget vs adaptive stop "
+            f"(k={K}, p={P_SUCCESS:.2e}, confidence {CONFIDENCE})",
+            ["variant", "seeds run", "seeds saved", "decision", "seconds"],
+            [
+                ("fixed", fixed.iterations_run, 0, "accept",
+                 f"{fixed_s:.2f}"),
+                ("adaptive", adaptive.iterations_run, adaptive.seeds_saved,
+                 "accept", f"{adaptive_s:.2f}"),
+            ],
+        )
+        emit(
+            "BENCH_amplify",
+            "adaptive_even_cycle",
+            {
+                "k": K,
+                "success_probability": P_SUCCESS,
+                "confidence": CONFIDENCE,
+                "fixed_budget": FIXED_BUDGET,
+                "target_accepts": target,
+                "adaptive_seeds_run": adaptive.iterations_run,
+                "seeds_saved": adaptive.seeds_saved,
+                "saved_fraction": round(saved_fraction, 4),
+                "decisions_unchanged": True,
+                "fixed_seconds": round(fixed_s, 3),
+                "adaptive_seconds": round(adaptive_s, 3),
+            },
+            policy=adaptive_policy,
+        )

@@ -56,6 +56,21 @@ if [ "${1:-}" != "--fast" ]; then
             "bench_engine_fastpath.py::TestVectorizedCliqueLane::test_vectorized_clique_smoke"
     ) || fail=1
 
+    # Time-budgeted adaptive-amplification smoke: the differential suite
+    # (adaptive outcomes bit-identical across jobs / chunking / faults)
+    # plus the seeds-saved benchmark, which snapshots BENCH_amplify.json.
+    step "adaptive amplification determinism (120s budget)"
+    timeout 120 python -m pytest -q -p no:cacheprovider \
+        "tests/congest/test_parallel_adaptive.py::TestDifferential" \
+        "tests/congest/test_parallel_adaptive.py::TestPolicyDrivenDetection" \
+        || fail=1
+    step "bench smoke (adaptive amplification, 120s budget)"
+    (
+        cd benchmarks &&
+        PYTHONPATH="../src${PYTHONPATH:+:$PYTHONPATH}" timeout 120 \
+            python -m pytest -q -p no:cacheprovider bench_amplify.py
+    ) || fail=1
+
     # Time-budgeted fault-matrix smoke: the cross-lane differential suite
     # (every fault spec must execute bit-identically on both lanes) plus
     # one end-to-end fault-sensitivity sweep through the CLI.  Catches

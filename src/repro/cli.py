@@ -84,7 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "only (faster; same decision)")
     p.add_argument("--policy", default=None, metavar="SPEC",
                    help="execution-policy overrides as 'field=value,...' "
-                        "(e.g. 'lane=vectorized,jobs=4,metrics=lite'); "
+                        "(e.g. 'lane=vectorized,jobs=4,metrics=lite', or "
+                        "adaptive amplification via "
+                        "'amplify_confidence=0.9,amplify_max_seeds=500' and "
+                        "load governing via 'governor_budget=100000'); "
                         "applied on top of the individual flags")
     p.add_argument("--faults", default=None, metavar="SPEC",
                    help="deterministic fault-injection plan, e.g. "
@@ -118,7 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 "or 'all'")
     p.add_argument("--policy", default=None, metavar="SPEC",
                    help="execution-policy overrides as 'field=value,...' "
-                        "for the session the runners execute in")
+                        "for the session the runners execute in (includes "
+                        "the adaptive-amplification and governor fields, "
+                        "e.g. 'amplify_confidence=0.9,governor_budget=1000000')")
     p.add_argument("--faults", default=None, metavar="SPEC",
                    help="deterministic fault-injection plan applied to every "
                         "engine run, e.g. 'drop:0.1|seed:7' (repro.faults)")

@@ -25,14 +25,35 @@ of constructed networks keyed by a content token of (graph, bandwidth,
 network kwargs), so repeated amplification over the same instance skips
 both process spawn *and* network construction.
 
+Adaptive early stopping: amplification exists to drive the one-sided
+miss probability of a single low-success iteration down to a target, and
+once enough all-accept seeds have run the target is met -- running the
+rest is waste.  ``run_amplified`` therefore supports a *sequential test*
+(``target_confidence`` + the iteration's documented
+``success_probability``): seeds are spawned in batches and the loop
+stops once the stopping rule fires.  The rule
+(:func:`_stopping_point`) is a pure function of the *ordered* seed
+outcomes -- never of timing, worker identity, or chunk boundaries -- so
+an adaptive run's decision, witness set, and seeds-run count are
+bit-identical across ``jobs`` and batch shapes, and compose with the
+first-rejecting-seed merge unchanged.
+
+Load governing: an optional peak-hold governor (see
+:mod:`repro.runtime.governor`) observes each seed run's cost (rounds x
+bits) and throttles how many chunks a batch submits concurrently.  The
+governor shapes scheduling only; outcomes are unaffected.
+
 Resilience (see ``docs/robustness.md``): a worker crash breaks a pool;
 :func:`run_amplified` discards it, sleeps a deterministic bounded
 exponential backoff, rebuilds, and retries up to ``pool_retries`` times
 before degrading to the inline serial path -- which is bit-identical to
-the parallel merge, so the degradation costs wall-clock only.  A
+the parallel merge, so the degradation costs wall-clock only.  Chunks
+that finished before the break are harvested from their futures and
+never recomputed; a rebuilt attempt resubmits only the true holes.  A
 ``worker_timeout`` bounds each chunk wait; on expiry the (possibly hung)
-pool is discarded and the missing chunks are salvaged inline, preserving
-the first-rejecting-seed merge exactly.  ``KeyboardInterrupt`` cancels
+pool is discarded, finished-but-uncollected results are harvested, and
+the remaining holes are salvaged inline, preserving the
+first-rejecting-seed merge exactly.  ``KeyboardInterrupt`` cancels
 outstanding futures and tears the pool down before propagating, so Ctrl-C
 never leaks worker processes.  Fault plans ride along in the chunk specs:
 workers inject the same deterministic schedule the inline path would.
@@ -147,12 +168,28 @@ class AmplifiedOutcome:
     have executed (``0 .. iterations_run - 1``), in order; extra iterations
     that parallel workers happened to run past the first rejecting seed are
     discarded by the merge.
+
+    ``seeds_requested`` is the caller's ``iterations`` argument;
+    ``stop_reason`` says why the loop stopped (``"detect"``: first
+    rejecting seed with ``stop_on_detect``; ``"confidence"``: the
+    sequential test met its all-accept target ``target_accepts``;
+    ``"exhausted"``: every permitted seed ran).  ``seeds_saved`` is the
+    adaptive win: requested seeds that never had to run.
     """
 
     rejected: bool
     first_reject: Optional[int]
     iterations_run: int
     outcomes: List[IterationOutcome] = field(default_factory=list)
+    seeds_requested: Optional[int] = None
+    target_accepts: Optional[int] = None
+    stop_reason: str = "exhausted"
+
+    @property
+    def seeds_saved(self) -> int:
+        if self.seeds_requested is None:
+            return 0
+        return max(0, self.seeds_requested - self.iterations_run)
 
     @property
     def witnesses(self) -> List[Any]:
@@ -226,6 +263,41 @@ def _run_chunk(spec: Dict[str, Any]) -> List[IterationOutcome]:
     return out
 
 
+def _stopping_point(
+    outcomes: List[IterationOutcome],
+    cap: int,
+    target: Optional[int],
+    stop_on_detect: bool,
+) -> Optional[Tuple[int, str]]:
+    """The sequential test, as a pure function of the ordered outcomes.
+
+    Given the contiguous prefix of seed outcomes run so far, returns
+    ``(seeds_to_keep, reason)`` for the smallest prefix at which the
+    stopping rule fires, or ``None`` if more seeds are needed.  Because
+    the rule inspects only the ordered outcomes -- never timing, worker
+    identity, or chunk boundaries -- an adaptive run stops at the same
+    seed for every ``jobs`` and batch shape:
+
+    * a rejecting seed with ``stop_on_detect`` stops at that seed
+      (``"detect"``, the classic first-rejecting-seed cut);
+    * ``target`` all-accept seeds from the start meet the confidence
+      target (``"confidence"``); a rejection with ``stop_on_detect``
+      off disables this stop -- the caller asked for every seed;
+    * ``cap`` seeds run is the hard stop (``"exhausted"``).
+    """
+    rejected_seen = False
+    for t, o in enumerate(outcomes):
+        if o.rejected:
+            if stop_on_detect:
+                return t + 1, "detect"
+            rejected_seen = True
+        if target is not None and not rejected_seen and t + 1 >= target:
+            return t + 1, "confidence"
+        if t + 1 >= cap:
+            return t + 1, "exhausted"
+    return None
+
+
 def run_amplified(
     graph: nx.Graph,
     algo_factory: Callable[[int], Algorithm],
@@ -244,6 +316,12 @@ def run_amplified(
     backoff_base: float = 0.05,
     worker_timeout: Optional[float] = None,
     on_degrade: Optional[Callable[[Dict[str, Any]], None]] = None,
+    success_probability: Optional[float] = None,
+    target_confidence: Optional[float] = None,
+    max_seeds: Optional[int] = None,
+    batch_seeds: Optional[int] = None,
+    governor: Optional[Any] = None,
+    on_govern: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> AmplifiedOutcome:
     """Amplify ``algo_factory`` over ``iterations`` independent colorings.
 
@@ -281,6 +359,26 @@ def run_amplified(
         :meth:`repro.runtime.session.RunSession.amplify` to record the
         ladder in the run record.
 
+    Adaptive stopping knobs (see the module docstring):
+
+    ``target_confidence`` / ``success_probability``
+        Arm the sequential test: stop once
+        ``seeds_for_confidence(target_confidence, success_probability)``
+        all-accept seeds have run.  ``target_confidence`` requires
+        ``success_probability`` (the iteration's documented
+        single-iteration success rate, e.g. ``(2k)^(-2k)`` for even-cycle
+        color coding).
+    ``max_seeds``
+        Hard cap on seeds run (clamped to ``iterations``).
+    ``batch_seeds``
+        Seeds per adaptive batch; ``None`` uses
+        ``jobs * chunks_per_job``.
+    ``governor`` / ``on_govern``
+        A peak-hold governor (``observe`` / ``allowed`` / ``snapshot``
+        duck type, see :class:`repro.runtime.governor.PeakHoldGovernor`)
+        throttling concurrent chunk submission; ``on_govern`` is called
+        with a snapshot dict each time a batch is actually throttled.
+
     ``KeyboardInterrupt`` during the gather cancels outstanding futures
     and shuts the pool down before re-raising.
     """
@@ -290,7 +388,24 @@ def run_amplified(
         raise ValueError("jobs must be >= 1")
     if pool_retries < 0:
         raise ValueError("pool_retries must be >= 0")
+    if max_seeds is not None and max_seeds < 1:
+        raise ValueError("max_seeds must be >= 1")
+    if batch_seeds is not None and batch_seeds < 1:
+        raise ValueError("batch_seeds must be >= 1")
     network_kwargs = dict(network_kwargs or {})
+
+    cap = iterations if max_seeds is None else min(iterations, max_seeds)
+    target: Optional[int] = None
+    if target_confidence is not None:
+        if success_probability is None:
+            raise ValueError(
+                "target_confidence needs success_probability: the "
+                "sequential test's accept threshold is a function of the "
+                "iteration's documented success rate"
+            )
+        from ..runtime.policy import seeds_for_confidence
+
+        target = seeds_for_confidence(target_confidence, success_probability)
 
     spec_base: Dict[str, Any] = {
         "graph": graph,
@@ -302,68 +417,94 @@ def run_amplified(
         "stop_on_detect": stop_on_detect,
         "network_kwargs": network_kwargs,
         "faults": faults,
+        # Parent- and worker-side network LRU alike key off this token,
+        # so serial and parallel paths share construction reuse.
+        "net_token": _net_token(graph, bandwidth, network_kwargs),
     }
 
-    if jobs == 1 or iterations == 1:
-        outcomes = _run_chunk({**spec_base, "start": 0, "stop": iterations})
-        return _merge([outcomes], iterations, stop_on_detect)
+    def _finish(
+        ordered: List[IterationOutcome], point: Tuple[int, str]
+    ) -> AmplifiedOutcome:
+        kept, reason = point
+        amp = _merge([ordered[:kept]], kept, stop_on_detect)
+        amp.seeds_requested = iterations
+        amp.target_accepts = target
+        amp.stop_reason = reason
+        return amp
 
-    jobs = min(jobs, iterations)
-    n_chunks = min(iterations, jobs * max(1, chunks_per_job))
-    bounds = [
-        (iterations * i) // n_chunks for i in range(n_chunks + 1)
-    ]
-    spec_base["net_token"] = _net_token(graph, bandwidth, network_kwargs)
-    specs = [
-        {**spec_base, "start": lo, "stop": hi}
-        for lo, hi in zip(bounds, bounds[1:])
-    ]
-
-    attempt = 0
-    while True:
-        try:
-            results, timed_out = _submit_and_gather(
-                jobs, specs, stop_on_detect, worker_timeout
+    if jobs == 1 or cap == 1:
+        # Inline path: run up to the first point the rule *could* fire
+        # (the confidence target if one is set, else the cap); only a
+        # rejection under stop_on_detect=False forces the continuation.
+        first_stop = cap if target is None else min(cap, target)
+        ordered = _run_chunk({**spec_base, "start": 0, "stop": first_stop})
+        if governor is not None:
+            for o in ordered:
+                governor.observe(o.rounds * o.total_bits)
+        point = _stopping_point(ordered, cap, target, stop_on_detect)
+        if point is None:
+            tail = _run_chunk(
+                {**spec_base, "start": len(ordered), "stop": cap}
             )
-            break
-        except BrokenProcessPool:
-            # A worker died (OOM-killed, signalled, ...).  The pool is
-            # unusable; discard it, back off, rebuild, retry -- and after
-            # pool_retries rebuilds give up on parallelism entirely: the
-            # serial path is bit-identical, just slower.
-            _discard_pool(jobs)
-            attempt += 1
-            if attempt > pool_retries:
+            if governor is not None:
+                for o in tail:
+                    governor.observe(o.rounds * o.total_bits)
+            ordered = ordered + tail
+            point = _stopping_point(ordered, cap, target, stop_on_detect)
+        assert point is not None
+        return _finish(ordered, point)
+
+    jobs = min(jobs, cap)
+    adaptive = (
+        target is not None or batch_seeds is not None or governor is not None
+    )
+    want = batch_seeds or (jobs * max(1, chunks_per_job) if adaptive else cap)
+
+    ordered = []
+    state: Dict[str, Any] = {"attempt": 0, "serial": False}
+    next_seed = 0
+    point = None
+    while point is None and next_seed < cap:
+        size = min(want, cap - next_seed)
+        eff_jobs = jobs
+        if governor is not None:
+            eff_jobs = governor.allowed(jobs)
+            if eff_jobs < jobs:
+                size = min(size, eff_jobs * max(1, chunks_per_job))
                 _notify(
-                    on_degrade,
-                    step="serial-fallback",
-                    reason="broken-process-pool",
-                    rebuilds=attempt - 1,
+                    on_govern,
+                    requested_jobs=jobs,
+                    granted_jobs=eff_jobs,
+                    batch=size,
+                    **governor.snapshot(),
                 )
-                outcomes = _run_chunk(
-                    {**spec_base, "start": 0, "stop": iterations}
-                )
-                return _merge([outcomes], iterations, stop_on_detect)
-            delay = backoff_base * (2 ** (attempt - 1))
-            _notify(
-                on_degrade,
-                step="pool-rebuild",
-                attempt=attempt,
-                of=pool_retries,
-                backoff_s=delay,
-            )
-            time.sleep(delay)
-
-    salvaged = sum(1 for r in results if r is None)
-    chunks = _salvage(results, specs, stop_on_detect)
-    if timed_out:
-        _notify(
-            on_degrade,
-            step="timeout-salvage",
-            timeout_s=worker_timeout,
-            chunks_salvaged=salvaged,
+        # Unthrottled, a batch fans out jobs * chunks_per_job chunks
+        # (small chunks keep the stop-on-detect cut tight); a throttled
+        # batch submits exactly eff_jobs chunks so at most that many run
+        # concurrently.
+        n_chunks = min(size, eff_jobs if eff_jobs < jobs else jobs * max(
+            1, chunks_per_job
+        ))
+        bounds = [
+            next_seed + (size * i) // n_chunks for i in range(n_chunks + 1)
+        ]
+        specs = [
+            {**spec_base, "start": lo, "stop": hi}
+            for lo, hi in zip(bounds, bounds[1:])
+        ]
+        chunks = _resilient_chunks(
+            jobs, specs, stop_on_detect, worker_timeout,
+            pool_retries, backoff_base, on_degrade, state,
         )
-    return _merge(chunks, iterations, stop_on_detect)
+        flat = [o for chunk in chunks for o in chunk]
+        if governor is not None:
+            for o in flat:
+                governor.observe(o.rounds * o.total_bits)
+        ordered.extend(flat)
+        next_seed += size
+        point = _stopping_point(ordered, cap, target, stop_on_detect)
+    assert point is not None
+    return _finish(ordered, point)
 
 
 def _notify(
@@ -373,32 +514,136 @@ def _notify(
         on_degrade(dict(step))
 
 
-def _submit_and_gather(
+def _resilient_chunks(
     jobs: int,
     specs: List[Dict[str, Any]],
     stop_on_detect: bool,
     timeout: Optional[float],
-) -> Tuple[List[Optional[List[IterationOutcome]]], bool]:
-    """Submit every chunk spec; gather in order.
+    pool_retries: int,
+    backoff_base: float,
+    on_degrade: Optional[Callable[[Dict[str, Any]], None]],
+    state: Dict[str, Any],
+) -> List[List[IterationOutcome]]:
+    """Run one batch of chunk specs to completion, surviving the ladder.
 
-    Returns ``(results, timed_out)`` where ``results`` is positionally
-    aligned with ``specs`` and holds ``None`` for chunks whose result was
-    not obtained -- either cancelled past the first rejecting chunk (the
-    merge never needs them) or abandoned on timeout (the caller salvages
-    them inline via :func:`_salvage`).  A timeout also discards the pool:
-    a worker that blew its deadline may hang forever, and a shared pool
-    with a wedged worker would stall every later caller.
+    ``state`` carries the degradation position across batches of one
+    :func:`run_amplified` call: ``attempt`` counts pool rebuilds (the
+    retry budget is per-call, not per-batch) and ``serial`` pins the
+    call to inline execution once the budget is spent.  Each gather pass
+    fills a positional ``results`` list; a broken pool costs only the
+    chunks that were genuinely lost -- finished futures are harvested,
+    and the rebuilt attempt resubmits the true holes alone.
     """
-    pool = _get_pool(jobs)
-    futures = [pool.submit(_run_chunk, s) for s in specs]
     results: List[Optional[List[IterationOutcome]]] = [None] * len(specs)
-    timed_out = False
+    while not state["serial"]:
+        timed_out, broken = _submit_and_gather(
+            jobs, specs, results, stop_on_detect, timeout
+        )
+        if timed_out:
+            # A worker blew its deadline and may hang forever; a shared
+            # pool with a wedged worker would stall every later caller.
+            _discard_pool(jobs)
+            salvaged = _salvage(results, specs, stop_on_detect)
+            _notify(
+                on_degrade,
+                step="timeout-salvage",
+                timeout_s=timeout,
+                chunks_salvaged=sum(
+                    1 for i in range(len(salvaged)) if results[i] is None
+                ),
+            )
+            return salvaged
+        if not broken:
+            return _salvage(results, specs, stop_on_detect)
+        # A worker died (OOM-killed, signalled, ...).  The pool is
+        # unusable; discard it, back off, rebuild, retry -- and after
+        # pool_retries rebuilds give up on parallelism entirely: the
+        # serial path is bit-identical, just slower.
+        _discard_pool(jobs)
+        state["attempt"] += 1
+        if state["attempt"] > pool_retries:
+            state["serial"] = True
+            _notify(
+                on_degrade,
+                step="serial-fallback",
+                reason="broken-process-pool",
+                rebuilds=state["attempt"] - 1,
+            )
+            break
+        delay = backoff_base * (2 ** (state["attempt"] - 1))
+        _notify(
+            on_degrade,
+            step="pool-rebuild",
+            attempt=state["attempt"],
+            of=pool_retries,
+            backoff_s=delay,
+            chunks_kept=sum(1 for r in results if r is not None),
+        )
+        time.sleep(delay)
+    return _salvage(results, specs, stop_on_detect)
+
+
+def _harvest_done(
+    futures: Dict[int, Any],
+    results: List[Optional[List[IterationOutcome]]],
+) -> None:
+    """Collect finished futures' results positionally.
+
+    Called before a pool is discarded (break or timeout): chunks that
+    completed must never be recomputed.  Futures whose result *is* the
+    failure (the crashed chunk, or siblings poisoned by the broken pool)
+    stay holes for the retry/salvage path.
+    """
+    for i, fut in futures.items():
+        if results[i] is not None or not fut.done():
+            continue
+        try:
+            results[i] = fut.result(timeout=0)
+        except Exception:
+            continue
+
+
+def _submit_and_gather(
+    jobs: int,
+    specs: List[Dict[str, Any]],
+    results: List[Optional[List[IterationOutcome]]],
+    stop_on_detect: bool,
+    timeout: Optional[float],
+) -> Tuple[bool, bool]:
+    """Submit the unresolved chunk specs; gather in order, in place.
+
+    Fills ``results`` (positionally aligned with ``specs``) and returns
+    ``(timed_out, broken)``.  Only holes are submitted -- indices already
+    resolved by a previous attempt are kept -- and holes past the first
+    known rejecting chunk are skipped entirely (the merge never needs
+    them).  On a timeout or a broken pool, finished-but-uncollected
+    futures are harvested before returning, so a failure costs only the
+    work that was genuinely lost.
+    """
+    holes = [i for i, r in enumerate(results) if r is None]
+    if stop_on_detect:
+        for j, r in enumerate(results):
+            if r is not None and any(o.rejected for o in r):
+                holes = [i for i in holes if i < j]
+                break
+    if not holes:
+        return False, False
+    pool = _get_pool(jobs)
     try:
-        for i, fut in enumerate(futures):
+        futures = {i: pool.submit(_run_chunk, specs[i]) for i in holes}
+    except BrokenProcessPool:
+        return False, True
+    timed_out = broken = False
+    try:
+        for i in holes:
+            fut = futures[i]
             try:
                 results[i] = fut.result(timeout=timeout)
             except FuturesTimeoutError:
                 timed_out = True
+                break
+            except BrokenProcessPool:
+                broken = True
                 break
             if stop_on_detect and any(o.rejected for o in results[i]):
                 # Everything before the first rejecting seed is in hand;
@@ -407,16 +652,16 @@ def _submit_and_gather(
     except KeyboardInterrupt:
         # Ctrl-C: don't leak workers.  Cancel what hasn't started, tear
         # the pool down without waiting on what has, propagate.
-        for fut in futures:
+        for fut in futures.values():
             fut.cancel()
         _discard_pool(jobs)
         raise
     finally:
-        for fut in futures:
+        if timed_out or broken:
+            _harvest_done(futures, results)
+        for fut in futures.values():
             fut.cancel()
-    if timed_out:
-        _discard_pool(jobs)
-    return results, timed_out
+    return timed_out, broken
 
 
 def _salvage(

@@ -296,6 +296,9 @@ class LinearCycleReport:
     results: List[ExecutionResult] = field(default_factory=list)
     total_bits: int = 0
     total_messages: int = 0
+    seeds_requested: int = 0
+    seeds_saved: int = 0
+    stop_reason: str = "exhausted"
 
 
 @dataclass(frozen=True)
@@ -347,8 +350,15 @@ def detect_cycle_linear(
     if bandwidth is None:
         bandwidth = int_width(max(n, 2)) + int_width(length)
     rounds_per = n + length + 2
+    # A uniform coloring assigns all `length` cycle positions correctly
+    # with probability length^(-length); a fixed color_map is
+    # deterministic, so one iteration suffices.
+    success_probability = (
+        1.0 if color_map is not None else float(length) ** -length
+    )
 
-    if ses.policy.jobs > 1:
+    adaptive = not ses.policy.amplification().is_null
+    if ses.policy.jobs > 1 or (adaptive and not keep_results):
         if keep_results:
             raise ValueError(
                 "keep_results needs jobs=1: full ExecutionResults are not "
@@ -368,6 +378,7 @@ def detect_cycle_linear(
             max_rounds=rounds_per,
             stop_on_detect=stop_on_detect,
             label=f"linear-cycle-C{length}",
+            success_probability=success_probability,
         )
         return LinearCycleReport(
             detected=amp.rejected,
@@ -377,8 +388,15 @@ def detect_cycle_linear(
             results=[],
             total_bits=amp.total_bits,
             total_messages=amp.total_messages,
+            seeds_requested=iterations,
+            seeds_saved=amp.seeds_saved,
+            stop_reason=amp.stop_reason,
         )
 
+    # keep_results pins the sequential loop; of the adaptive knobs only
+    # the max_seeds cap applies here.
+    if ses.policy.amplify_max_seeds is not None:
+        iterations = min(iterations, ses.policy.amplify_max_seeds)
     net = ses.network(graph, bandwidth=bandwidth)
     detected = False
     runs = 0
@@ -412,4 +430,7 @@ def detect_cycle_linear(
         results=results,
         total_bits=total_bits,
         total_messages=total_messages,
+        seeds_requested=iterations,
+        seeds_saved=iterations - runs,
+        stop_reason="detect" if detected and stop_on_detect else "exhausted",
     )

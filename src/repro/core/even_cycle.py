@@ -431,6 +431,13 @@ class DetectionReport:
     ``total_bits`` / ``total_messages`` aggregate the exact communication of
     every executed iteration; they are identical whichever ``metrics`` mode
     or ``jobs`` count produced them.
+
+    ``seeds_requested`` / ``seeds_saved`` / ``stop_reason`` report the
+    adaptive-amplification outcome (see
+    :mod:`repro.congest.parallel`): under a policy with
+    ``amplify_confidence`` set, the run may stop before exhausting the
+    requested iterations (``stop_reason="confidence"``), and
+    ``seeds_saved`` counts the iterations that never had to run.
     """
 
     detected: bool
@@ -442,6 +449,9 @@ class DetectionReport:
     results: List[ExecutionResult] = field(default_factory=list)
     total_bits: int = 0
     total_messages: int = 0
+    seeds_requested: int = 0
+    seeds_saved: int = 0
+    stop_reason: str = "exhausted"
 
 
 @dataclass(frozen=True)
@@ -503,8 +513,13 @@ def detect_even_cycle(
     sched = IterationSchedule.build(n, k, edge_constant)
     if bandwidth is None:
         bandwidth = required_bandwidth(n, k)
+    # One color-coding iteration finds an existing C_2k with probability
+    # at least (2k)^(-2k) (the 2k cycle vertices draw the right colors);
+    # this is the success rate the adaptive sequential test amplifies.
+    success_probability = float(2 * k) ** -(2 * k)
 
-    if ses.policy.jobs > 1:
+    adaptive = not ses.policy.amplification().is_null
+    if ses.policy.jobs > 1 or (adaptive and not keep_results):
         if keep_results:
             raise ValueError(
                 "keep_results needs jobs=1: full ExecutionResults are not "
@@ -522,6 +537,7 @@ def detect_even_cycle(
             max_rounds=sched.total_rounds + 1,
             stop_on_detect=stop_on_detect,
             label=f"even-cycle-C{2 * k}",
+            success_probability=success_probability,
         )
         return DetectionReport(
             detected=amp.rejected,
@@ -533,8 +549,16 @@ def detect_even_cycle(
             results=[],
             total_bits=amp.total_bits,
             total_messages=amp.total_messages,
+            seeds_requested=iterations,
+            seeds_saved=amp.seeds_saved,
+            stop_reason=amp.stop_reason,
         )
 
+    # keep_results pins the sequential loop; of the adaptive knobs only
+    # the max_seeds cap applies here (the confidence stop needs the
+    # amplified path's sequential-test bookkeeping).
+    if ses.policy.amplify_max_seeds is not None:
+        iterations = min(iterations, ses.policy.amplify_max_seeds)
     net = ses.network(graph, bandwidth=bandwidth)
     witnesses: List[Tuple] = []
     results: List[ExecutionResult] = []
@@ -581,4 +605,7 @@ def detect_even_cycle(
         results=results,
         total_bits=total_bits,
         total_messages=total_messages,
+        seeds_requested=iterations,
+        seeds_saved=iterations - iterations_run,
+        stop_reason="detect" if detected and stop_on_detect else "exhausted",
     )

@@ -113,10 +113,14 @@ def run(
     or_by_rate = []
     for rate in drop_rates:
         spec = _fault_spec(base_plan, float(rate))
+        # Sharing the parent's governor carries the peak-hold cost
+        # estimate across the per-rate derived sessions, so a governed
+        # sweep starts each rate already throttled to the observed load.
         cell_ses = RunSession(
             ses.policy.merged(faults=spec),
             record=ses.record if ses.record is not None else False,
             owns_pools=False,
+            governor=ses.governor,
         )
 
         c4_hits = 0

@@ -35,11 +35,14 @@ internally, so results are bit-identical for fixed seeds either way.
 """
 
 from .checkpoint import CheckpointError, SweepCheckpoint, cell_key
+from .governor import PeakHoldGovernor
 from .policy import (
     LANES,
     MODELS,
+    AmplificationPolicy,
     ExecutionPolicy,
     PolicyError,
+    seeds_for_confidence,
 )
 from .record import (
     RunRecord,
@@ -55,8 +58,11 @@ __all__ = [
     "CheckpointError",
     "SweepCheckpoint",
     "cell_key",
+    "AmplificationPolicy",
     "ExecutionPolicy",
+    "PeakHoldGovernor",
     "PolicyError",
+    "seeds_for_confidence",
     "LANES",
     "MODELS",
     "RunSession",

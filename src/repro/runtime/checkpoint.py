@@ -6,10 +6,15 @@ policy.  A :class:`SweepCheckpoint` makes that loop resumable after a kill
 or crash:
 
 * every completed cell appends its :class:`~repro.runtime.record.TraceEvent`
-  (stamped with the cell key in ``extra["cell"]``) to the journal and
-  flushes the whole record atomically (temp file + ``os.replace`` -- see
-  :meth:`RunRecord.write`), so the on-disk journal is always a complete,
-  loadable prefix of the sweep;
+  (stamped with the cell key in ``extra["cell"]``) to the journal with an
+  *appending* flush -- only the not-yet-flushed events are written and
+  fsynced, so checkpoint I/O across a sweep is linear in cells (the old
+  rewrite-everything flush made it quadratic).  The first flush creates
+  the file atomically (temp + ``os.replace``); a kill mid-append leaves
+  at worst one torn final line, which :meth:`resume` drops via lenient
+  loading -- the on-disk journal is always a loadable prefix of the
+  sweep.  The footer is only written by :meth:`finish`, so an
+  in-progress journal is header + events and never claims completion;
 * resuming loads the journal, verifies the **policy hash** matches (a
   resumed sweep under a different policy would silently mix
   incomparable cells -- that's an error, not a merge), and answers
@@ -26,6 +31,7 @@ other axis fold it into ``label``.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
@@ -66,6 +72,13 @@ class SweepCheckpoint:
         self.record = record
         self.path = Path(path)
         self._done: Dict[Cell, TraceEvent] = {}
+        #: Events already on disk (the append cursor) and whether the
+        #: header line has been written yet.
+        self._flushed = 0
+        self._header_written = False
+        #: Total journal bytes written by this checkpoint's flushes --
+        #: linear in cells now that flushes append (tested).
+        self.bytes_flushed = 0
         for event in record.events:
             cell = event.extra.get("cell") if event.extra else None
             if cell is not None:
@@ -86,9 +99,19 @@ class SweepCheckpoint:
         The journal's policy hash must equal ``policy``'s: cells computed
         under a different policy are not interchangeable, and resuming
         across policies would corrupt the sweep silently.
+
+        Loading is lenient: an appending writer killed mid-flush leaves
+        at worst a torn final line, which is dropped.  On an unfinished
+        journal, trailing events *without* a cell stamp are dropped too
+        -- a flush batch ends with its cell's completion event, so such
+        a tail is the intact half of a torn batch; the cell it belonged
+        to re-runs and regenerates those events, keeping the resumed
+        journal ``diff_records``-identical to a straight-through one.
+        The journal is then rewritten once (atomic, no footer) so later
+        appends land on a clean tail.
         """
         try:
-            record = RunRecord.load(path)
+            record = RunRecord.load(path, lenient=True)
         except (OSError, ValueError) as exc:
             raise CheckpointError(f"cannot resume {path}: {exc}") from None
         if record.policy_hash != policy.policy_hash():
@@ -97,10 +120,17 @@ class SweepCheckpoint:
                 f"{record.policy_hash} != current {policy.policy_hash()} "
                 "(the sweep would mix cells from incomparable policies)"
             )
+        if record.finished_unix is None:
+            while record.events and not (
+                record.events[-1].extra or {}
+            ).get("cell"):
+                record.events.pop()
         # A journal loaded mid-sweep is unfinished regardless of what a
         # premature footer said.
         record.finished_unix = None
-        return cls(record, path)
+        ckpt = cls(record, path)
+        ckpt._rewrite()
+        return ckpt
 
     # -- the cell protocol ---------------------------------------------
     def done(self, cell: Cell) -> Optional[TraceEvent]:
@@ -122,12 +152,57 @@ class SweepCheckpoint:
         # already; only add it if it is not the current tail.
         if not self.record.events or self.record.events[-1] is not event:
             self.record.add_event(event)
-        self.record.write(self.path, final=False)
+        self._flush()
         return event
 
+    # -- journal I/O ---------------------------------------------------
+    def _rewrite(self) -> None:
+        """Atomically write header + all events (no footer) and reset the
+        append cursor.  Used for the first flush and the resume-time
+        normalization; cost is O(events), paid once, not per cell."""
+        lines = [self.record.header_line()]
+        lines.extend(self.record.event_line(e) for e in self.record.events)
+        payload = "\n".join(lines) + "\n"
+        tmp = self.path.with_name(self.path.name + f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        self.bytes_flushed += len(payload)
+        self._flushed = len(self.record.events)
+        self._header_written = True
+
+    def _flush(self) -> None:
+        """Flush not-yet-journaled events: append-only after the first
+        write, so a sweep's total checkpoint I/O is linear in cells."""
+        if not self._header_written:
+            self._rewrite()
+            return
+        fresh_events = self.record.events[self._flushed:]
+        if not fresh_events:
+            return
+        payload = "".join(
+            self.record.event_line(e) + "\n" for e in fresh_events
+        )
+        with open(self.path, "a") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self.bytes_flushed += len(payload)
+        self._flushed = len(self.record.events)
+
     def finish(self) -> Path:
-        """Finalize and write the completed journal."""
-        return self.record.write(self.path, final=True)
+        """Finalize and write the completed journal (atomic full write,
+        stamping the footer; also repairs any torn tail)."""
+        out = self.record.write(self.path, final=True)
+        self._flushed = len(self.record.events)
+        self._header_written = True
+        return out
 
     @property
     def completed(self) -> int:

@@ -1,0 +1,86 @@
+"""Peak-hold load governor: throttle fan-out by observed run cost.
+
+Amplified detectors fan seed chunks out to a worker pool; on a large
+graph each seed run can be expensive (many rounds, many bits), and
+submitting ``jobs`` full-size chunks at once commits the machine to a
+burst of ``jobs x chunk x peak_cost`` work before the stopping rule is
+re-checked.  The governor bounds that burst: it keeps a *peak-hold*
+estimate of per-run cost -- a decaying maximum of ``rounds x
+total_bits`` observed per seed -- and allows only ``budget // peak``
+concurrent submission slots.
+
+The estimator is the classic peak-hold detector: each observation
+either becomes the new peak or decays the held peak by a constant
+factor, so a transient cost spike throttles immediately and the
+throttle relaxes geometrically once runs get cheap again.
+
+Crucially the governor only shapes *scheduling* (how many chunks are in
+flight, how large a batch is), never *semantics*: the stopping rule and
+the first-rejecting-seed merge are pure functions of the ordered seed
+outcomes, so a governed run returns a bit-identical outcome to an
+ungoverned one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = ["PeakHoldGovernor"]
+
+#: Default decay applied to the held peak per observation.
+DEFAULT_DECAY = 0.9
+
+
+class PeakHoldGovernor:
+    """Decaying-max cost estimator with a concurrency budget.
+
+    Parameters
+    ----------
+    budget:
+        Cost budget (rounds x bits units) the governor divides among
+        concurrent submission slots.  Must be >= 1.
+    decay:
+        Per-observation decay of the held peak, in ``(0, 1]``.  ``1.0``
+        holds the all-time maximum forever.
+    """
+
+    def __init__(self, budget: int, decay: Optional[float] = None) -> None:
+        if not isinstance(budget, int) or isinstance(budget, bool) or budget < 1:
+            raise ValueError(f"budget must be an int >= 1, got {budget!r}")
+        decay = DEFAULT_DECAY if decay is None else float(decay)
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay!r}")
+        self.budget = budget
+        self.decay = decay
+        self.peak = 0.0
+        self.observed = 0
+
+    def observe(self, cost: float) -> None:
+        """Fold one seed run's cost into the peak-hold estimate."""
+        if cost < 0:
+            raise ValueError(f"cost must be >= 0, got {cost!r}")
+        self.peak = max(float(cost), self.peak * self.decay)
+        self.observed += 1
+
+    def allowed(self, requested: int) -> int:
+        """Concurrency slots granted out of ``requested``.
+
+        Before any observation (peak unknown) the request is granted in
+        full; afterwards it is clamped to ``budget // peak``, never
+        below one slot (the governor throttles, it does not starve).
+        """
+        if requested < 1:
+            return 0
+        if self.peak <= 0.0:
+            return requested
+        slots = int(self.budget // self.peak)
+        return max(1, min(requested, slots))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """State for a ``governor`` note event."""
+        return {
+            "budget": self.budget,
+            "decay": self.decay,
+            "peak": self.peak,
+            "observed": self.observed,
+        }

@@ -27,7 +27,10 @@ Policies are frozen and hashable; :meth:`ExecutionPolicy.policy_hash`
 is a stable content hash used to stamp benchmark snapshots and run
 records so perf trajectories stay attributable across commits.  A
 ``faults=None`` policy hashes exactly as it did before the field
-existed, so historical benchmark snapshots stay comparable.
+existed, so historical benchmark snapshots stay comparable -- the same
+elision applies to every later optional field (the adaptive
+amplification and load-governor knobs): a policy that leaves them unset
+keeps its historical hash.
 """
 
 from __future__ import annotations
@@ -35,11 +38,19 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 import os
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional
 
-__all__ = ["LANES", "MODELS", "ExecutionPolicy", "PolicyError"]
+__all__ = [
+    "LANES",
+    "MODELS",
+    "AmplificationPolicy",
+    "ExecutionPolicy",
+    "PolicyError",
+    "seeds_for_confidence",
+]
 
 #: Execution lanes the engine implements (see docs/engine_performance.md).
 LANES = ("object", "vectorized")
@@ -76,6 +87,69 @@ def _parse_int(field: str, raw: str) -> int:
         raise PolicyError(f"{field}: expected an integer, got {raw!r}") from None
 
 
+def _parse_float(field: str, raw: str) -> float:
+    try:
+        return float(raw)
+    except ValueError:
+        raise PolicyError(f"{field}: expected a number, got {raw!r}") from None
+
+
+def seeds_for_confidence(confidence: float, success_probability: float) -> int:
+    """Seeds needed so that ``confidence`` of the mass is covered.
+
+    One amplification iteration succeeds (finds the witness when one
+    exists) with probability ``p``; after ``t`` independent all-accept
+    iterations the residual chance of a missed witness is ``(1-p)^t``.
+    This returns the smallest ``t`` with ``(1-p)^t <= 1 - confidence``
+    -- the sequential test's accept threshold.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise PolicyError(
+            f"confidence must be in (0, 1), got {confidence!r}"
+        )
+    if not 0.0 < success_probability <= 1.0:
+        raise PolicyError(
+            "success_probability must be in (0, 1], "
+            f"got {success_probability!r}"
+        )
+    if success_probability == 1.0:
+        return 1
+    t = math.log(1.0 - confidence) / math.log(1.0 - success_probability)
+    return max(1, math.ceil(t - 1e-12))
+
+
+@dataclass(frozen=True)
+class AmplificationPolicy:
+    """The adaptive-amplification view of a policy.
+
+    ``confidence`` is the sequential-test target: once that many
+    all-accept seeds have run (given the iteration's documented success
+    probability) the amplifier stops spawning seed chunks.  ``max_seeds``
+    caps the seeds run regardless, and ``batch`` fixes the chunk-batch
+    size (defaulting to ``jobs * chunks_per_job``).  Any field may be
+    ``None``, meaning "not constrained".
+    """
+
+    confidence: Optional[float] = None
+    batch: Optional[int] = None
+    max_seeds: Optional[int] = None
+
+    @property
+    def is_null(self) -> bool:
+        return (
+            self.confidence is None
+            and self.batch is None
+            and self.max_seeds is None
+        )
+
+    def target_accepts(self, success_probability: float) -> Optional[int]:
+        """Accept threshold for the sequential test, or ``None`` when no
+        confidence target is set (run every requested seed)."""
+        if self.confidence is None:
+            return None
+        return seeds_for_confidence(self.confidence, success_probability)
+
+
 @dataclass(frozen=True)
 class ExecutionPolicy:
     """Every engine knob, validated once, carried everywhere.
@@ -110,6 +184,30 @@ class ExecutionPolicy:
         reliable network.  Stored in canonical form so equivalent specs
         hash identically; the schedule itself is derived from the run's
         seed, never from ambient randomness.
+    amplify_confidence:
+        Target confidence for adaptive amplification, in ``(0, 1)``.
+        When set, ``run_amplified`` stops spawning seed chunks once
+        enough all-accept seeds have run that the residual miss
+        probability drops below ``1 - confidence`` (a pure function of
+        the ordered seed outcomes, so independent of ``jobs`` and chunk
+        boundaries).  ``None`` runs every requested seed.
+    amplify_batch:
+        Seeds per adaptive batch (>= 1).  Smaller batches re-check the
+        stopping rule more often at the cost of fan-out efficiency;
+        ``None`` uses ``jobs * chunks_per_job``.
+    amplify_max_seeds:
+        Hard cap on seeds run by one amplification (>= 1), applied
+        before the confidence target.  ``None`` leaves the caller's
+        ``iterations`` as the only cap.
+    governor_budget:
+        Peak-hold load-governor budget in cost units (rounds x bits per
+        seed run).  When set, concurrent chunk submission is throttled
+        to ``budget // peak_cost`` slots; ``None`` disables the
+        governor.
+    governor_decay:
+        Decay factor for the governor's peak-hold estimator, in
+        ``(0, 1]``; requires ``governor_budget``.  ``None`` uses the
+        governor's default.
     """
 
     lane: str = "object"
@@ -121,6 +219,11 @@ class ExecutionPolicy:
     seed: int = 0
     cache: bool = True
     faults: Optional[str] = None
+    amplify_confidence: Optional[float] = None
+    amplify_batch: Optional[int] = None
+    amplify_max_seeds: Optional[int] = None
+    governor_budget: Optional[int] = None
+    governor_decay: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.lane not in LANES:
@@ -158,6 +261,47 @@ class ExecutionPolicy:
             object.__setattr__(
                 self, "faults", plan.spec() if not plan.is_null else None
             )
+        if self.amplify_confidence is not None:
+            if isinstance(self.amplify_confidence, bool) or not isinstance(
+                self.amplify_confidence, (int, float)
+            ):
+                raise PolicyError(
+                    f"amplify_confidence must be a number, "
+                    f"got {self.amplify_confidence!r}"
+                )
+            if not 0.0 < self.amplify_confidence < 1.0:
+                raise PolicyError(
+                    "amplify_confidence must be in (0, 1), "
+                    f"got {self.amplify_confidence}"
+                )
+            object.__setattr__(
+                self, "amplify_confidence", float(self.amplify_confidence)
+            )
+        for name in ("amplify_batch", "amplify_max_seeds", "governor_budget"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise PolicyError(f"{name} must be an int, got {value!r}")
+            if value < 1:
+                raise PolicyError(f"{name} must be >= 1, got {value}")
+        if self.governor_decay is not None:
+            if isinstance(self.governor_decay, bool) or not isinstance(
+                self.governor_decay, (int, float)
+            ):
+                raise PolicyError(
+                    f"governor_decay must be a number, got {self.governor_decay!r}"
+                )
+            if not 0.0 < self.governor_decay <= 1.0:
+                raise PolicyError(
+                    f"governor_decay must be in (0, 1], got {self.governor_decay}"
+                )
+            object.__setattr__(self, "governor_decay", float(self.governor_decay))
+            if self.governor_budget is None:
+                raise PolicyError(
+                    "governor_decay tunes the peak-hold estimator; it needs "
+                    "governor_budget to enable the governor"
+                )
         # Illegal combinations (see the module docstring for why).
         if self.sanitize and self.metrics == "lite":
             raise PolicyError(
@@ -195,15 +339,33 @@ class ExecutionPolicy:
 
         Two processes building the same policy get the same hash, so
         benchmark snapshots and run records produced under identical
-        policies are directly comparable.  ``faults=None`` is elided
-        from the hashed blob: a fault-free policy keeps the hash it had
-        before the field existed.
+        policies are directly comparable.  Optional fields that are
+        ``None`` (``faults`` and the adaptive/governor knobs) are elided
+        from the hashed blob: a policy that leaves them unset keeps the
+        hash it had before the field existed.
         """
         fields = self.as_dict()
-        if fields.get("faults") is None:
-            fields.pop("faults", None)
+        for name in (
+            "faults",
+            "amplify_confidence",
+            "amplify_batch",
+            "amplify_max_seeds",
+            "governor_budget",
+            "governor_decay",
+        ):
+            if fields.get(name) is None:
+                fields.pop(name, None)
         blob = json.dumps(fields, sort_keys=True).encode()
         return hashlib.blake2b(blob, digest_size=6).hexdigest()
+
+    def amplification(self) -> AmplificationPolicy:
+        """The adaptive-amplification view of this policy (possibly
+        null: no confidence target, batch, or seed cap)."""
+        return AmplificationPolicy(
+            confidence=self.amplify_confidence,
+            batch=self.amplify_batch,
+            max_seeds=self.amplify_max_seeds,
+        )
 
     def fault_plan(self) -> Optional["FaultPlan"]:
         """The parsed :class:`~repro.faults.plan.FaultPlan`, or ``None``
@@ -238,7 +400,10 @@ class ExecutionPolicy:
         Recognized: ``REPRO_LANE``, ``REPRO_JOBS``, ``REPRO_METRICS``,
         ``REPRO_SANITIZE``, ``REPRO_BANDWIDTH`` (empty / ``none`` means
         unbounded), ``REPRO_MODEL``, ``REPRO_SEED``, ``REPRO_CACHE``,
-        ``REPRO_FAULTS`` (a fault spec; empty / ``none`` disables).
+        ``REPRO_FAULTS`` (a fault spec; empty / ``none`` disables),
+        ``REPRO_AMPLIFY_CONFIDENCE``, ``REPRO_AMPLIFY_BATCH``,
+        ``REPRO_AMPLIFY_MAX_SEEDS``, ``REPRO_GOVERNOR_BUDGET``,
+        ``REPRO_GOVERNOR_DECAY`` (empty / ``none`` disables each).
         Unset variables keep ``base``'s values (default policy if absent).
         """
         env = os.environ if environ is None else environ
@@ -295,4 +460,10 @@ class ExecutionPolicy:
             return _parse_bool(field, raw)
         if field == "faults":
             return None if raw.lower() in ("", "none") else raw
+        if field in ("amplify_batch", "amplify_max_seeds", "governor_budget"):
+            return None if raw.lower() in ("", "none") else _parse_int(field, raw)
+        if field in ("amplify_confidence", "governor_decay"):
+            return None if raw.lower() in ("", "none") else _parse_float(
+                field, raw
+            )
         raise PolicyError(f"unknown policy field {field!r}")

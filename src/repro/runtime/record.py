@@ -152,6 +152,37 @@ class RunRecord:
             self.finished_unix = time.time()
 
     # -- persistence ---------------------------------------------------
+    def header_line(self) -> str:
+        """The JSONL header line (no trailing newline)."""
+        return json.dumps(
+            {
+                "type": "header",
+                "format": RECORD_FORMAT,
+                "policy": self.policy,
+                "policy_hash": self.policy_hash,
+                "git_sha": self.git_sha,
+                "platform": self.platform,
+                "started_unix": self.started_unix,
+            },
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def event_line(event: TraceEvent) -> str:
+        """One JSONL event line (no trailing newline)."""
+        return json.dumps({"type": "event", **event.as_dict()}, sort_keys=True)
+
+    def footer_line(self) -> str:
+        """The JSONL footer line (no trailing newline)."""
+        return json.dumps(
+            {
+                "type": "footer",
+                "finished_unix": self.finished_unix,
+                "num_events": len(self.events),
+            },
+            sort_keys=True,
+        )
+
     def write(self, path: "str | Path", final: bool = True) -> Path:
         """Write the record as JSONL (header, events, footer).
 
@@ -162,40 +193,15 @@ class RunRecord:
 
         ``final=False`` skips the :meth:`finalize` stamp -- the mode used
         by :class:`~repro.runtime.checkpoint.SweepCheckpoint` for its
-        per-cell flushes, so an in-progress sweep journal is not marked
-        finished.
+        compacting rewrites, so an in-progress sweep journal is not
+        marked finished.
         """
         if final:
             self.finalize()
         out = Path(path)
-        lines = [
-            json.dumps(
-                {
-                    "type": "header",
-                    "format": RECORD_FORMAT,
-                    "policy": self.policy,
-                    "policy_hash": self.policy_hash,
-                    "git_sha": self.git_sha,
-                    "platform": self.platform,
-                    "started_unix": self.started_unix,
-                },
-                sort_keys=True,
-            )
-        ]
-        lines.extend(
-            json.dumps({"type": "event", **e.as_dict()}, sort_keys=True)
-            for e in self.events
-        )
-        lines.append(
-            json.dumps(
-                {
-                    "type": "footer",
-                    "finished_unix": self.finished_unix,
-                    "num_events": len(self.events),
-                },
-                sort_keys=True,
-            )
-        )
+        lines = [self.header_line()]
+        lines.extend(self.event_line(e) for e in self.events)
+        lines.append(self.footer_line())
         tmp = out.with_name(out.name + f".tmp.{os.getpid()}")
         try:
             with open(tmp, "w") as fh:
@@ -209,31 +215,49 @@ class RunRecord:
         return out
 
     @classmethod
-    def load(cls, path: "str | Path") -> "RunRecord":
-        """Load a record written by :meth:`write` (strict round-trip)."""
+    def load(cls, path: "str | Path", lenient: bool = False) -> "RunRecord":
+        """Load a record written by :meth:`write` (strict round-trip).
+
+        ``lenient=True`` tolerates a torn tail: an appending writer
+        killed mid-line leaves a final line that is not valid JSON, and
+        lenient loading stops at the first undecodable line and returns
+        the clean prefix (the loadable-prefix property
+        :class:`~repro.runtime.checkpoint.SweepCheckpoint` resumes
+        from).  A missing or wrong header is an error in both modes.
+        """
         header: Optional[Dict[str, Any]] = None
         footer: Dict[str, Any] = {}
         events: List[TraceEvent] = []
         for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
             if not line.strip():
                 continue
-            row = json.loads(line)
-            kind = row.get("type")
+            try:
+                row = json.loads(line)
+                kind = row.get("type")
+            except (json.JSONDecodeError, AttributeError):
+                if lenient:
+                    break
+                raise
             if kind == "header":
                 header = row
             elif kind == "event":
                 events.append(TraceEvent.from_dict(row))
             elif kind == "footer":
                 footer = row
+            elif lenient:
+                break
             else:
                 raise ValueError(f"{path}:{lineno}: unknown record line {kind!r}")
         if header is None:
             raise ValueError(f"{path}: no header line; not a RunRecord file")
         declared = footer.get("num_events")
         if declared is not None and declared != len(events):
-            raise ValueError(
-                f"{path}: footer declares {declared} events, found {len(events)}"
-            )
+            if not lenient:
+                raise ValueError(
+                    f"{path}: footer declares {declared} events, "
+                    f"found {len(events)}"
+                )
+            footer = {}
         return cls(
             policy=header["policy"],
             policy_hash=header["policy_hash"],
@@ -345,6 +369,10 @@ def event_from_amplified(
         extra={
             "iterations_run": outcome.iterations_run,
             "first_reject": outcome.first_reject,
+            "seeds_requested": getattr(outcome, "seeds_requested", None),
+            "target_accepts": getattr(outcome, "target_accepts", None),
+            "stop_reason": getattr(outcome, "stop_reason", None),
+            "seeds_saved": getattr(outcome, "seeds_saved", 0),
             **extra,
         },
     )

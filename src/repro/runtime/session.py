@@ -45,6 +45,7 @@ from ..congest.congested_clique import CongestedClique
 from ..congest.local_model import LocalNetwork
 from ..congest.network import CongestNetwork, ExecutionResult
 from ..congest.parallel import AmplifiedOutcome, run_amplified, shutdown_pools
+from .governor import PeakHoldGovernor
 from .policy import ExecutionPolicy
 from .record import (
     RunRecord,
@@ -78,6 +79,12 @@ class RunSession:
         amplification pools.  Explicit sessions default to ``True``;
         the legacy-shim sessions built by :func:`use_session` pass
         ``False`` so back-to-back detector calls keep reusing pools.
+    governor:
+        An existing :class:`~repro.runtime.governor.PeakHoldGovernor` to
+        share (e.g. one governor across the per-cell sessions of a
+        sweep, so the peak-hold estimate carries over); ``None`` builds
+        one from the policy's ``governor_budget`` / ``governor_decay``
+        if set, else runs ungoverned.
     **overrides:
         Convenience policy overrides: ``RunSession(jobs=4)`` is
         ``RunSession(ExecutionPolicy().merged(jobs=4))``.
@@ -89,6 +96,7 @@ class RunSession:
         *,
         record: "bool | RunRecord" = False,
         owns_pools: bool = True,
+        governor: Optional[PeakHoldGovernor] = None,
         **overrides: Any,
     ) -> None:
         base = policy if policy is not None else ExecutionPolicy()
@@ -104,6 +112,18 @@ class RunSession:
         #: Degradation-ladder steps taken so far (lane fallbacks and the
         #: like), for callers that report resilience events.
         self.degradations: list = []
+        #: Governor throttle decisions taken so far (mirrors the
+        #: ``governor`` note events in the record).
+        self.governor_events: list = []
+        self.governor: Optional[PeakHoldGovernor]
+        if governor is not None:
+            self.governor = governor
+        elif self.policy.governor_budget is not None:
+            self.governor = PeakHoldGovernor(
+                self.policy.governor_budget, self.policy.governor_decay
+            )
+        else:
+            self.governor = None
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------
@@ -233,6 +253,10 @@ class RunSession:
                 sanitize=self.policy.sanitize,
                 faults=self.policy.faults,
             )
+        if self.governor is not None:
+            # Keep the peak-hold estimate warm across direct runs too, so
+            # an amplify after expensive inline runs starts throttled.
+            self.governor.observe(result.rounds * result.metrics.total_bits)
         if self.record is not None:
             wall_ms = (time.perf_counter() - t0) * 1000.0
             self.record.add_event(
@@ -261,6 +285,7 @@ class RunSession:
         pool_retries: int = 2,
         backoff_base: float = 0.05,
         worker_timeout: Optional[float] = None,
+        success_probability: Optional[float] = None,
     ) -> AmplifiedOutcome:
         """Amplified fan-out under the policy's ``jobs`` and ``metrics``.
 
@@ -272,6 +297,14 @@ class RunSession:
         ``worker_timeout``) arm the jobs>1 rungs of the degradation
         ladder; any step taken lands in :attr:`degradations` and the
         record.
+
+        The policy's adaptive knobs (``amplify_confidence`` /
+        ``amplify_batch`` / ``amplify_max_seeds``) arm the sequential
+        test; detectors pass ``success_probability`` (their iteration's
+        documented success rate) so the confidence target translates to
+        an accept threshold.  The session's governor, if any, throttles
+        chunk submission; each throttle decision lands in
+        :attr:`governor_events` and as a ``governor`` note event.
         """
         run_seed = self.policy.seed if seed is _UNSET else seed
         bw = self.policy.bandwidth if bandwidth is _UNSET else bandwidth
@@ -280,6 +313,10 @@ class RunSession:
         def _degraded(step: Dict[str, Any]) -> None:
             self.degradations.append(step)
             self.note("degradation", **step)
+
+        def _governed(step: Dict[str, Any]) -> None:
+            self.governor_events.append(step)
+            self.note("governor", **step)
 
         outcome = run_amplified(
             graph,
@@ -298,6 +335,12 @@ class RunSession:
             backoff_base=backoff_base,
             worker_timeout=worker_timeout,
             on_degrade=_degraded,
+            success_probability=success_probability,
+            target_confidence=self.policy.amplify_confidence,
+            max_seeds=self.policy.amplify_max_seeds,
+            batch_seeds=self.policy.amplify_batch,
+            governor=self.governor,
+            on_govern=_governed,
         )
         if self.record is not None:
             wall_ms = (time.perf_counter() - t0) * 1000.0

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 
 import networkx as nx
 import pytest
@@ -166,4 +168,112 @@ class TestKeyboardInterrupt:
 
     def test_pool_registry_recovers_after_interrupt(self):
         out = run_amplified(GRAPH, _factory, jobs=3, **KW)
+        _same_outcome(out, _reference())
+
+
+class _FakeFuture:
+    """Scripted Future: a finished value, a scripted failure, or a hang."""
+
+    def __init__(self, value=None, exc=None, finished=True):
+        self._value = value
+        self._exc = exc
+        self._finished = finished
+
+    def done(self):
+        return self._finished
+
+    def result(self, timeout=None):
+        if not self._finished:
+            raise FuturesTimeoutError()
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def cancel(self):
+        return not self._finished
+
+
+class _ScriptedPool:
+    """Stands in for the process pool: chunks run inline at submit time,
+    except the scripted failures -- which lets a test break the pool at an
+    exact chunk while its siblings finish, the worst case for rework."""
+
+    def __init__(self, fail):
+        self.fail = fail  # chunk start -> "break" | "hang" (consumed once)
+        self.submitted = []
+
+    def submit(self, fn, spec):
+        self.submitted.append((spec["start"], spec["stop"]))
+        mode = self.fail.pop(spec["start"], None)
+        if mode == "break":
+            return _FakeFuture(exc=BrokenProcessPool("worker died"))
+        if mode == "hang":
+            return _FakeFuture(finished=False)
+        return _FakeFuture(value=fn(spec))
+
+
+class TestHarvestRegression:
+    """Finished chunks survive a pool failure; only true holes re-run.
+
+    Regression for the rework bug where a BrokenProcessPool threw away
+    every gathered chunk of the batch and a timeout discarded
+    finished-but-uncollected futures -- both previously recomputed work
+    that was already in hand.
+    """
+
+    @pytest.fixture
+    def counts(self, monkeypatch):
+        from repro.congest import parallel as par
+
+        executed = {}
+        real = par._run_chunk
+
+        def counting(spec):
+            key = (spec["start"], spec["stop"])
+            executed[key] = executed.get(key, 0) + 1
+            return real(spec)
+
+        monkeypatch.setattr(par, "_run_chunk", counting)
+        return executed
+
+    def test_pool_break_reruns_only_the_lost_chunk(self, monkeypatch, counts):
+        from repro.congest import parallel as par
+
+        # 12 iterations over 4 chunks: [0,3) [3,6) [6,9) [9,12); the
+        # rejecting seed t=5 sits in chunk [3,6), which is the one that
+        # breaks -- its siblings all finish.
+        pool = _ScriptedPool(fail={3: "break"})
+        monkeypatch.setattr(par, "_get_pool", lambda jobs: pool)
+        steps = []
+        out = run_amplified(
+            GRAPH, _factory, jobs=2, chunks_per_job=2, pool_retries=2,
+            backoff_base=0.01, on_degrade=steps.append, **KW,
+        )
+        executed = dict(counts)
+        # Every chunk ran exactly once: the three survivors were
+        # harvested, the rebuilt attempt resubmitted the hole alone.
+        assert executed == {(0, 3): 1, (3, 6): 1, (6, 9): 1, (9, 12): 1}
+        assert pool.submitted == [
+            (0, 3), (3, 6), (6, 9), (9, 12), (3, 6),
+        ]
+        rebuilds = [s for s in steps if s["step"] == "pool-rebuild"]
+        assert len(rebuilds) == 1 and rebuilds[0]["chunks_kept"] == 3
+        _same_outcome(out, _reference())
+
+    def test_timeout_harvests_finished_futures(self, monkeypatch, counts):
+        from repro.congest import parallel as par
+
+        pool = _ScriptedPool(fail={3: "hang"})
+        monkeypatch.setattr(par, "_get_pool", lambda jobs: pool)
+        steps = []
+        out = run_amplified(
+            GRAPH, _factory, jobs=2, chunks_per_job=2, worker_timeout=0.25,
+            on_degrade=steps.append, **KW,
+        )
+        executed = dict(counts)
+        # The hung chunk is salvaged inline; the two finished-but-not-yet-
+        # collected futures behind it are harvested, not recomputed.
+        assert executed == {(0, 3): 1, (3, 6): 1, (6, 9): 1, (9, 12): 1}
+        salvage = [s for s in steps if s["step"] == "timeout-salvage"]
+        assert len(salvage) == 1 and salvage[0]["chunks_salvaged"] == 1
         _same_outcome(out, _reference())

@@ -111,6 +111,88 @@ class TestSweepCheckpoint:
         assert ck.done(("a", 0, 4)) is tail
 
 
+class TestAppendingFlush:
+    """Checkpoint I/O is linear in cells, and torn tails resume cleanly.
+
+    Regression for the quadratic flush: ``complete`` used to rewrite the
+    whole journal per cell, so total bytes written grew as cells².  Now
+    only the fresh events are appended.
+    """
+
+    def _run(self, path, cells):
+        ck = SweepCheckpoint.fresh(POLICY, path)
+        for n in range(cells):
+            ck.complete(
+                ("lin", 0, n), _cell_event("lin", 0, {"value": n})
+            )
+        return ck
+
+    def test_flush_bytes_are_linear_in_cells(self, tmp_path):
+        small = self._run(tmp_path / "small.jsonl", 20)
+        big = self._run(tmp_path / "big.jsonl", 40)
+        # Quadratic flushing would make 2x cells cost ~4x bytes; allow
+        # generous slack over the ideal 2x for header amortization.
+        assert big.bytes_flushed < 2.5 * small.bytes_flushed
+        # And the journal on disk is the record, not a multiple of it.
+        size = (tmp_path / "big.jsonl").stat().st_size
+        assert big.bytes_flushed == size
+
+    def test_torn_final_line_is_dropped_on_resume(self, tmp_path):
+        straight = tmp_path / "straight.jsonl"
+        torn = tmp_path / "torn.jsonl"
+
+        done = []
+        ck = SweepCheckpoint.fresh(POLICY, straight)
+        _sweep(ck, done)
+        ck.finish()
+
+        first, second = [], []
+        ck = SweepCheckpoint.fresh(POLICY, torn)
+        with pytest.raises(KeyboardInterrupt):
+            _sweep(ck, first, die_after=3)
+        # Simulate a kill mid-append: half a JSON line at the tail.
+        with open(torn, "a") as fh:
+            fh.write('{"type": "eve')
+
+        ck = SweepCheckpoint.resume(torn, POLICY)
+        assert ck.completed == 3
+        _sweep(ck, second)
+        ck.finish()
+        assert second == done[3:]
+        diff = diff_records(RunRecord.load(straight), RunRecord.load(torn))
+        assert diff["identical"], diff
+
+    def test_torn_batch_reruns_its_cell(self, tmp_path):
+        # A batch whose cell-stamped completion event was lost leaves
+        # unstamped run events at the tail; resume must drop them and
+        # re-run that cell, or the resumed journal would double them.
+        straight = tmp_path / "straight.jsonl"
+        torn = tmp_path / "torn.jsonl"
+
+        done = []
+        ck = SweepCheckpoint.fresh(POLICY, straight)
+        _sweep(ck, done)
+        ck.finish()
+
+        first, second = [], []
+        ck = SweepCheckpoint.fresh(POLICY, torn)
+        with pytest.raises(KeyboardInterrupt):
+            _sweep(ck, first, die_after=2)
+        orphan = TraceEvent(kind="note", label="mid-cell", seed=0)
+        with open(torn, "a") as fh:
+            fh.write(RunRecord.event_line(orphan) + "\n")
+            fh.write('{"type"')
+
+        ck = SweepCheckpoint.resume(torn, POLICY)
+        assert ck.completed == 2
+        assert all(
+            (e.extra or {}).get("cell") for e in ck.record.events
+        )
+        _sweep(ck, second)
+        ck.finish()
+        assert second == done[2:]
+
+
 from repro.congest.algorithm import Algorithm
 
 

@@ -1,0 +1,145 @@
+"""The peak-hold load governor: estimator math and session integration."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest import Algorithm, Message, broadcast
+from repro.runtime import (
+    ExecutionPolicy,
+    PeakHoldGovernor,
+    PolicyError,
+    RunSession,
+)
+
+
+class TestPeakHold:
+    def test_peak_holds_then_decays(self):
+        gov = PeakHoldGovernor(budget=1000, decay=0.5)
+        gov.observe(100.0)
+        assert gov.peak == 100.0
+        gov.observe(10.0)  # below the decayed peak: hold at 50
+        assert gov.peak == 50.0
+        gov.observe(200.0)  # a new spike resets the hold
+        assert gov.peak == 200.0
+        assert gov.observed == 3
+
+    def test_allowed_scales_with_budget_over_peak(self):
+        gov = PeakHoldGovernor(budget=1000)
+        gov.observe(400.0)
+        assert gov.allowed(8) == 2  # 1000 // 400
+        gov.observe(2500.0)
+        assert gov.allowed(8) == 1  # never below one lane
+        assert gov.allowed(0) == 0
+
+    def test_no_observations_grants_everything(self):
+        gov = PeakHoldGovernor(budget=1)
+        assert gov.allowed(16) == 16
+
+    def test_zero_cost_runs_never_throttle(self):
+        gov = PeakHoldGovernor(budget=1)
+        for _ in range(5):
+            gov.observe(0.0)
+        assert gov.peak == 0.0
+        assert gov.allowed(16) == 16
+
+    def test_snapshot_is_a_plain_dict(self):
+        gov = PeakHoldGovernor(budget=64, decay=0.75)
+        gov.observe(8.0)
+        assert gov.snapshot() == {
+            "budget": 64, "decay": 0.75, "peak": 8.0, "observed": 1,
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="budget"):
+            PeakHoldGovernor(budget=0)
+        with pytest.raises(ValueError, match="decay"):
+            PeakHoldGovernor(budget=10, decay=0.0)
+        with pytest.raises(ValueError, match="decay"):
+            PeakHoldGovernor(budget=10, decay=1.5)
+        gov = PeakHoldGovernor(budget=10)
+        with pytest.raises(ValueError, match="cost"):
+            gov.observe(-1.0)
+
+
+class _Chatty(Algorithm):
+    """Two rounds of 4-bit broadcasts, then accept: real nonzero cost."""
+
+    name = "chatty"
+
+    def round(self, node, inbox):
+        if node.round < 2:
+            return broadcast(node, Message.of_bits("1111"))
+        node.accept()
+        node.halt()
+        return {}
+
+
+def _chatty_factory(t: int) -> Algorithm:
+    return _Chatty()
+
+
+class TestSessionIntegration:
+    def test_policy_budget_builds_a_governor(self):
+        ses = RunSession(
+            ExecutionPolicy(governor_budget=500, governor_decay=0.5),
+            owns_pools=False,
+        )
+        assert isinstance(ses.governor, PeakHoldGovernor)
+        assert ses.governor.budget == 500 and ses.governor.decay == 0.5
+
+    def test_no_budget_means_no_governor(self):
+        assert RunSession(owns_pools=False).governor is None
+
+    def test_decay_without_budget_is_a_policy_error(self):
+        with pytest.raises(PolicyError, match="governor_decay"):
+            ExecutionPolicy(governor_decay=0.5)
+
+    def test_shared_governor_instance_is_used_as_is(self):
+        gov = PeakHoldGovernor(budget=7)
+        ses = RunSession(governor=gov, owns_pools=False)
+        derived = RunSession(
+            ses.policy.merged(faults="drop:0.1"),
+            owns_pools=False, governor=ses.governor,
+        )
+        assert ses.governor is gov and derived.governor is gov
+
+    def test_session_run_feeds_the_estimator(self):
+        ses = RunSession(
+            ExecutionPolicy(governor_budget=10**9), owns_pools=False
+        )
+        net = ses.network(nx.cycle_graph(4), bandwidth=8)
+        result = ses.run(net, _Chatty(), max_rounds=5)
+        assert ses.governor.observed == 1
+        assert ses.governor.peak == result.rounds * result.metrics.total_bits
+        assert ses.governor.peak > 0
+
+    def test_governed_amplify_throttles_and_keeps_outcomes(self):
+        graph = nx.cycle_graph(5)
+        kw = dict(iterations=12, bandwidth=8, max_rounds=5, seed=0)
+        free = RunSession(
+            ExecutionPolicy(jobs=4, amplify_batch=4), owns_pools=False
+        )
+        ungoverned = free.amplify(graph, _chatty_factory, **kw)
+        # A one-unit budget forces single-lane batches once any cost has
+        # been observed; the outcome must not change.
+        tight = RunSession(
+            ExecutionPolicy(
+                jobs=4, amplify_batch=4, governor_budget=1
+            ),
+            record=True,
+            owns_pools=False,
+        )
+        governed = tight.amplify(graph, _chatty_factory, **kw)
+        assert governed.outcomes == ungoverned.outcomes
+        assert tight.governor_events, "expected at least one throttle"
+        for step in tight.governor_events:
+            assert step["requested_jobs"] == 4
+            assert step["granted_jobs"] == 1
+            assert step["peak"] > 0
+        notes = [
+            e for e in tight.record.events
+            if e.kind == "note" and e.label == "governor"
+        ]
+        assert len(notes) == len(tight.governor_events)

@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.runtime import LANES, MODELS, ExecutionPolicy, PolicyError
+from repro.runtime import (
+    LANES,
+    MODELS,
+    AmplificationPolicy,
+    ExecutionPolicy,
+    PolicyError,
+    seeds_for_confidence,
+)
 
 
 class TestDefaults:
@@ -100,6 +107,12 @@ class TestPolicyHash:
             base.merged(model="broadcast"),
             base.merged(seed=1),
             base.merged(cache=False),
+            base.merged(faults="drop:0.1"),
+            base.merged(amplify_confidence=0.9),
+            base.merged(amplify_batch=4),
+            base.merged(amplify_max_seeds=100),
+            base.merged(governor_budget=1000),
+            base.merged(governor_budget=1000, governor_decay=0.5),
         ]
         hashes = {base.policy_hash()} | {v.policy_hash() for v in variants}
         assert len(hashes) == len(variants) + 1
@@ -172,3 +185,105 @@ class TestFromEnv:
     def test_bad_value_raises(self):
         with pytest.raises(PolicyError, match="integer"):
             ExecutionPolicy.from_env({"REPRO_JOBS": "many"})
+
+
+class TestAdaptivePolicy:
+    """The amplification/governor fields and their hash-elision contract."""
+
+    def test_pinned_legacy_hashes(self):
+        # The optional fields are elided from the hash when unset, so
+        # journals and caches from before they existed stay addressable.
+        # These digests are load-bearing: changing them orphans every
+        # existing record.
+        assert ExecutionPolicy().policy_hash() == "c09cd823b554"
+        assert (
+            ExecutionPolicy(jobs=2, metrics="lite").policy_hash()
+            == "216a784595e9"
+        )
+        assert (
+            ExecutionPolicy(faults="drop:0.1").policy_hash()
+            == "a381a22e8d47"
+        )
+
+    def test_defaults_are_null(self):
+        p = ExecutionPolicy()
+        assert p.amplify_confidence is None
+        assert p.amplify_batch is None
+        assert p.amplify_max_seeds is None
+        assert p.governor_budget is None
+        assert p.governor_decay is None
+        assert p.amplification().is_null
+
+    def test_amplification_view(self):
+        p = ExecutionPolicy(
+            amplify_confidence=0.9, amplify_batch=8, amplify_max_seeds=500
+        )
+        amp = p.amplification()
+        assert (amp.confidence, amp.batch, amp.max_seeds) == (0.9, 8, 500)
+        assert not amp.is_null
+        assert amp.target_accepts(0.5) == 4
+        assert AmplificationPolicy().target_accepts(0.5) is None
+
+    @pytest.mark.parametrize("bad", [
+        {"amplify_confidence": 0.0}, {"amplify_confidence": 1.0},
+        {"amplify_confidence": "high"}, {"amplify_batch": 0},
+        {"amplify_max_seeds": 0}, {"governor_budget": 0},
+        {"governor_budget": 100, "governor_decay": 0.0},
+        {"governor_budget": 100, "governor_decay": 1.5},
+        {"governor_decay": 0.5},  # decay without a budget is meaningless
+    ])
+    def test_bad_adaptive_fields_raise(self, bad):
+        with pytest.raises(PolicyError):
+            ExecutionPolicy(**bad)
+
+    def test_from_spec_parses_adaptive_fields(self):
+        p = ExecutionPolicy.from_spec(
+            "amplify_confidence=0.99,amplify_batch=8,amplify_max_seeds=500,"
+            "governor_budget=100000,governor_decay=0.8"
+        )
+        assert p.amplify_confidence == 0.99
+        assert p.amplify_batch == 8
+        assert p.amplify_max_seeds == 500
+        assert p.governor_budget == 100000
+        assert p.governor_decay == 0.8
+        assert ExecutionPolicy.from_spec(
+            "amplify_confidence=none", base=p.merged(
+                governor_budget=None, governor_decay=None
+            )
+        ).amplify_confidence is None
+
+    def test_from_env_parses_adaptive_fields(self):
+        p = ExecutionPolicy.from_env({
+            "REPRO_AMPLIFY_CONFIDENCE": "0.95",
+            "REPRO_AMPLIFY_MAX_SEEDS": "800",
+            "REPRO_GOVERNOR_BUDGET": "50000",
+        })
+        assert p.amplify_confidence == 0.95
+        assert p.amplify_max_seeds == 800
+        assert p.governor_budget == 50000
+
+    def test_dict_roundtrip_with_adaptive_fields(self):
+        p = ExecutionPolicy(
+            amplify_confidence=0.9, governor_budget=10, governor_decay=0.5
+        )
+        assert ExecutionPolicy.from_dict(p.as_dict()) == p
+
+
+class TestSeedsForConfidence:
+    def test_sequential_test_threshold(self):
+        # ceil(ln(1-c) / ln(1-p)): the classic amplification count.
+        assert seeds_for_confidence(0.9, 0.5) == 4
+        assert seeds_for_confidence(0.99, 0.5) == 7
+        # The paper's C_4 iteration success rate (2k)^(-2k) = 1/256.
+        assert seeds_for_confidence(0.9, 1 / 256) == 589
+        assert seeds_for_confidence(0.5, 1 / 256) == 178
+
+    def test_certain_iteration_needs_one_seed(self):
+        assert seeds_for_confidence(0.999, 1.0) == 1
+
+    @pytest.mark.parametrize("bad", [
+        (0.0, 0.5), (1.0, 0.5), (0.9, 0.0), (0.9, 1.1),
+    ])
+    def test_domain_errors(self, bad):
+        with pytest.raises(PolicyError):
+            seeds_for_confidence(*bad)
