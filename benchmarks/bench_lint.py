@@ -27,6 +27,11 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: Wall-clock ceiling for one full-repo walk.  Measured ~0.8 s on a
 #: development container; 10 s leaves an order of magnitude of headroom.
 TIME_BUDGET_SECONDS = 10.0
+#: Ceiling for one deep (call-graph + dataflow) pass over src/.
+#: Measured ~2.3 s on a development container; the fixpoints are linear
+#: in resolved edges, so a blowup here means the analysis went
+#: super-linear, not that the repo grew a little.
+DEEP_TIME_BUDGET_SECONDS = 20.0
 REPEATS = 3  # best-of damps scheduler noise
 
 
@@ -63,3 +68,39 @@ def test_full_repo_lint_under_budget():
     # the deliberate cheats in tests/lint/fixtures.py must keep tripping
     # the linter -- an accidentally-pacified rule set would pass silently
     assert any("fixtures.py" in f.path for f in report.errors)
+
+
+def test_deep_lint_src_under_budget():
+    """The --deep gate (call graph + dataflow + L7/L8) over src/ must
+    stay cheap enough for verify.sh to run it on every change."""
+    target = [str(REPO_ROOT / "src")]
+    best = float("inf")
+    report = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        report = lint_paths(target, deep=True)
+        best = min(best, time.perf_counter() - t0)
+
+    print_table(
+        "LINT: deep (whole-program) pass over src/",
+        ["surface", "files", "errors", "suppressed", "best wall (s)"],
+        [
+            ("src (deep, gated)", report.files_checked,
+             len(report.errors), len(report.suppressed), f"{best:.3f}"),
+        ],
+    )
+
+    assert best < DEEP_TIME_BUDGET_SECONDS, (
+        f"deep lint of src/ took {best:.2f}s (budget "
+        f"{DEEP_TIME_BUDGET_SECONDS}s); the verify gate is no longer cheap"
+    )
+    assert report.errors == [], (
+        "gated surface has unsuppressed deep errors:\n" + report.render_text()
+    )
+    # the deliberate deep cheats must keep tripping the analysis
+    deep_report = lint_paths(
+        [str(REPO_ROOT / "tests" / "lint" / "fixtures_deep.py")], deep=True
+    )
+    assert {"L3", "L5", "L7", "L8"} <= {
+        f.rule_id for f in deep_report.errors
+    }, "deep rule set was accidentally pacified"

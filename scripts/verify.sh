@@ -20,8 +20,8 @@ step() {
     echo "== $1"
 }
 
-step "repro lint (CONGEST model-soundness, rules L1-L6)"
-python -m repro lint src/ || fail=1
+step "repro lint --deep (CONGEST model-soundness, rules L1-L8)"
+python -m repro lint src/ --deep || fail=1
 
 if python -c "import ruff" >/dev/null 2>&1 || command -v ruff >/dev/null 2>&1; then
     step "ruff (permissive baseline)"
@@ -35,7 +35,7 @@ else
 fi
 
 if python -c "import mypy" >/dev/null 2>&1; then
-    step "mypy (permissive baseline)"
+    step "mypy (permissive baseline; strict for repro.lint)"
     python -m mypy --config-file pyproject.toml || fail=1
 else
     step "mypy: SKIP (not installed)"

@@ -8,7 +8,7 @@ Commands
 ``fool``       run the Theorem 4.1 adversary against an algorithm family
 ``bounds``     print the paper's predicted complexities at given parameters
 ``cache``      inspect or clear the construction cache
-``lint``       static CONGEST model-soundness check (rules L1-L6)
+``lint``       static CONGEST model-soundness check (rules L1-L8)
 
 Engine-backed commands (``detect``, ``experiment``) execute inside a
 :class:`~repro.runtime.session.RunSession`: the individual flags
@@ -147,7 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bandwidth", type=int, default=16)
 
     p = sub.add_parser(
-        "lint", help="static CONGEST model-soundness check (rules L1-L6)"
+        "lint", help="static CONGEST model-soundness check (rules L1-L8)"
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
@@ -159,6 +159,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rules", default=None,
                    help="comma-separated subset of rule ids to run "
                         "(e.g. L2,L3)")
+    p.add_argument("--deep", action="store_true",
+                   help="whole-program analysis: call-graph seed taint "
+                        "(L3), wrapped message sizes (L5), determinism "
+                        "(L7) and pool concurrency (L8)")
+    p.add_argument("--diff", metavar="BASE", default=None,
+                   help="report only findings in .py files changed "
+                        "against git ref BASE (analysis still covers "
+                        "the whole tree)")
 
     return parser
 
@@ -442,11 +450,18 @@ def _cmd_bounds(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from .lint import lint_paths
+    from .lint import changed_files, lint_paths
 
     include = args.rules.split(",") if args.rules else None
     try:
-        report = lint_paths(args.paths, bandwidth=args.bandwidth, include=include)
+        restrict = changed_files(args.diff) if args.diff else None
+        report = lint_paths(
+            args.paths,
+            bandwidth=args.bandwidth,
+            include=include,
+            deep=args.deep,
+            restrict=restrict,
+        )
     except (FileNotFoundError, ValueError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2

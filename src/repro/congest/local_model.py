@@ -60,14 +60,16 @@ class BallCollection(Algorithm):
 
     def round(self, node: NodeContext, inbox: Mapping[int, Message]):
         for msg in inbox.values():
-            node.state["ball_edges"] |= msg.payload
+            node.state["ball_edges"].update(msg.payload)
         if node.round >= self.radius:
             node.halt()
             return {}
         edges: Set[Tuple[int, int]] = node.state["ball_edges"]
         # Honest accounting: each edge is a pair of identifiers.
         width = 2 * max(1, (node.namespace_size - 1).bit_length())
-        payload = frozenset(edges)
+        # Sorted tuple, not a set: the wire format must not depend on
+        # hash order.
+        payload = tuple(sorted(edges))
         return broadcast(
             node, Message.of_record(payload, size_bits=width * len(edges), kind="ball")
         )

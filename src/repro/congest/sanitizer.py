@@ -23,6 +23,20 @@ tree (global ``random``, wall clock, id-dependent hashing of unordered
 sets, ...) and a :class:`SanitizerViolation` with ``rule_id == "L3"``
 reports the first divergent round.
 
+**No unordered wire formats (rule L7).**  A message payload that is (or
+contains, one container level deep) a ``set``/``frozenset`` has a
+hash-dependent serialization and receiver-side iteration order, so two
+runs of the "same" algorithm can disagree across processes and Python
+builds.  :meth:`TrafficDigest.on_message` raises
+``SanitizerViolation("L7", ...)`` the moment such a payload hits the
+wire -- the dynamic twin of the static determinism pass.
+
+**No mutable state across the pool boundary (rule L8).**
+:func:`check_pool_crossing` rejects non-``frozen`` dataclass instances
+(shallowly, one container level deep) before they are pickled into a
+worker: a worker mutating its copy diverges silently from the parent.
+``run_amplified`` calls it on every factory it ships.
+
 Scope, honestly stated: aliasing detection tracks *mutable* objects
 (dict / list / set / deque / bytearray / ndarray) one container level deep
 -- sharing immutable values is not a channel; and replay detection sees
@@ -32,6 +46,7 @@ exactly when it can corrupt a result.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from collections import deque
 from itertools import zip_longest
@@ -47,6 +62,7 @@ __all__ = [
     "AliasGuard",
     "TrafficDigest",
     "VecTrafficDigest",
+    "check_pool_crossing",
     "verify_replay",
 ]
 
@@ -89,6 +105,48 @@ def _mutable_objects(value: Any, depth: int = 2) -> Iterator[Any]:
     elif isinstance(value, (list, tuple, set, frozenset, deque)):
         for v in value:
             yield from _mutable_objects(v, depth - 1)
+
+
+def _unordered_parts(value: Any, depth: int = 2) -> Iterator[Any]:
+    """Yield set/frozenset objects reachable from ``value`` (containers
+    one level deep -- the same practical scope as :func:`_mutable_objects`)."""
+    if isinstance(value, (set, frozenset)):
+        yield value
+    if depth <= 0:
+        return
+    if isinstance(value, dict):
+        for v in value.values():
+            yield from _unordered_parts(v, depth - 1)
+    elif isinstance(value, (list, tuple, deque)):
+        for v in value:
+            yield from _unordered_parts(v, depth - 1)
+
+
+def check_pool_crossing(obj: Any, what: str = "object") -> None:
+    """Raise ``SanitizerViolation("L8", ...)`` if ``obj`` is -- or
+    shallowly contains -- an instance of a non-``frozen`` dataclass.
+
+    Called on everything :func:`repro.congest.parallel.run_amplified`
+    ships to a worker.  A mutable dataclass crossing the pool boundary is
+    the runtime shape of lint rule L8: each worker gets a pickled copy,
+    mutations diverge per process, and nothing is merged back.
+    """
+    candidates: List[Tuple[Any, str]] = [(obj, what)]
+    if isinstance(obj, dict):
+        candidates += [(v, f"{what}[{k!r}]") for k, v in obj.items()]
+    elif isinstance(obj, (list, tuple)):
+        candidates += [(v, f"{what}[{i}]") for i, v in enumerate(obj)]
+    for value, label in candidates:
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            if not value.__dataclass_params__.frozen:  # type: ignore[attr-defined]
+                raise SanitizerViolation(
+                    "L8",
+                    f"{label} is an instance of non-frozen dataclass "
+                    f"{type(value).__name__} crossing the process-pool "
+                    "boundary; each worker mutates its own pickled copy "
+                    "and the parent never sees the writes -- declare the "
+                    "dataclass frozen=True or pass plain immutable data",
+                )
 
 
 class AliasGuard:
@@ -181,6 +239,15 @@ class TrafficDigest:
             self.guard.check(contexts, "init")
 
     def on_message(self, r: int, u: int, v: int, msg: Message) -> None:
+        for part in _unordered_parts(msg.payload):
+            raise SanitizerViolation(
+                "L7",
+                f"message {u}->{v} at round {r} carries an unordered "
+                f"{type(part).__name__} in its payload; its serialization "
+                "and receiver-side iteration order are hash-dependent, so "
+                "the wire format is not deterministic -- send a sorted "
+                "tuple instead",
+            )
         rec = f"{r}|{u}|{v}|{msg.kind}|{msg.size_bits}|{msg.payload!r}"
         self._h.update(rec.encode("utf-8", "backslashreplace"))
 

@@ -181,7 +181,9 @@ class CliqueListingAlgorithm(Algorithm):
             adj[u].add(v)
             adj[v].add(u)
         listed: Set[Tuple[int, ...]] = set()
-        owned = set(plan.owned.get(node.id, []))
+        # Sorted: the visit order feeds which cliques get listed first,
+        # and set order is hash-dependent.
+        owned = sorted(set(plan.owned.get(node.id, [])))
         for t in owned:
             members = [
                 v for v in range(plan.n) if plan.group_of[v] in set(t)

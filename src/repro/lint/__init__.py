@@ -5,18 +5,25 @@ that *obey the model*.  This package proves, at the AST level, that the
 repo's ``Algorithm`` subclasses cannot cheat: no global-graph access (L1),
 no cross-node shared state (L2), no unseeded randomness (L3), no
 wall-clock/OS entropy (L4), honest compile-time message sizes (L5), and
-uniform broadcast payloads (L6).  The runtime complement lives in
+uniform broadcast payloads (L6).  The ``--deep`` mode builds a
+project-wide call graph (:mod:`repro.lint.callgraph`) and runs the
+interprocedural passes in :mod:`repro.lint.deep`: seed taint through
+helpers (L3), message sizes through wrappers (L5), determinism (L7),
+and process-pool concurrency (L8).  The runtime complement lives in
 :mod:`repro.congest.sanitizer` and is armed with
 ``CongestNetwork.run(..., sanitize=True)``.
 
 Typical use::
 
     from repro.lint import lint_paths
-    report = lint_paths(["src"])
+    report = lint_paths(["src"], deep=True)
     assert report.exit_code() == 0, report.render_text()
 
-or, from the shell, ``repro lint src/ --json``.
+or, from the shell, ``repro lint src/ --deep --json``.
 """
+
+from .callgraph import CallGraph, FunctionInfo, ProjectModel
+from .deep import deep_findings
 
 from .findings import (
     LintFinding,
@@ -25,8 +32,14 @@ from .findings import (
     apply_suppressions,
     parse_noqa_directives,
 )
-from .rules import ALL_RULE_IDS, RULE_CATALOG, build_rules
-from .runner import LintReport, discover_files, lint_file, lint_paths
+from .rules import ALL_RULE_IDS, PER_FILE_RULE_IDS, RULE_CATALOG, build_rules
+from .runner import (
+    LintReport,
+    changed_files,
+    discover_files,
+    lint_file,
+    lint_paths,
+)
 from .visitor import (
     AlgorithmClass,
     LintRule,
@@ -39,16 +52,22 @@ from .visitor import (
 __all__ = [
     "ALL_RULE_IDS",
     "AlgorithmClass",
+    "CallGraph",
+    "FunctionInfo",
     "LintFinding",
     "LintReport",
     "LintRule",
     "ModuleModel",
     "NoqaDirectives",
+    "PER_FILE_RULE_IDS",
+    "ProjectModel",
     "Reporter",
     "RULE_CATALOG",
     "Severity",
     "apply_suppressions",
     "build_rules",
+    "changed_files",
+    "deep_findings",
     "discover_files",
     "find_algorithm_classes",
     "lint_file",

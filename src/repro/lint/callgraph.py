@@ -1,0 +1,423 @@
+"""Project-wide symbol table and call graph for the deep lint passes.
+
+The per-file rules in :mod:`repro.lint.rules` see one AST at a time, which
+is exactly the blind spot every recent failure class lived in: a hardcoded
+seed is invisible once it is laundered through a helper, a dishonest
+``size_bits`` hides behind a wrapper, and pool-unsafe globals sit in a
+different function than the ``submit`` call that ships them.  This module
+builds the whole-program view those checks need:
+
+* :class:`ProjectModel` parses every file once (reusing
+  :class:`~repro.lint.visitor.ModuleModel`), derives each file's dotted
+  module name from its package layout, and indexes every module-level
+  function, method, and class in the project.
+* :meth:`ProjectModel.resolve_call` statically resolves a call expression
+  to the :class:`FunctionInfo` it invokes -- through ``import`` aliases,
+  ``from X import Y as Z`` bindings, package-facade re-exports, and
+  ``self.method`` dispatch -- returning ``None`` for anything dynamic
+  rather than guessing.
+* :class:`CallGraph` records, per function, every resolved call site and
+  every *reference* to a project function (a function passed as a value,
+  e.g. to ``pool.submit``), and answers reachability queries: the
+  per-node callback closure (everything an ``Algorithm`` callback can
+  reach) and the pool closure (everything a pooled function can reach).
+
+Resolution is deliberately best-effort and sound-by-silence: an
+unresolvable callee contributes no edge and therefore no finding.  The
+deep rules only ever claim what the graph can actually show.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .visitor import ModuleModel, find_algorithm_classes
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "CallSite",
+    "CallGraph",
+    "ProjectModel",
+    "module_name_for_path",
+]
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name of ``path``, derived from its package layout.
+
+    Walks up from the file as long as the directory holds an
+    ``__init__.py``; the climb's last package directory is the root
+    package.  A file outside any package is its own single-segment module.
+    """
+    path = os.path.abspath(path)
+    parts: List[str] = [os.path.splitext(os.path.basename(path))[0]]
+    d = os.path.dirname(path)
+    while os.path.isfile(os.path.join(d, "__init__.py")):
+        parts.append(os.path.basename(d))
+        d = os.path.dirname(d)
+    name = ".".join(reversed(parts))
+    return name[: -len(".__init__")] if name.endswith(".__init__") else name
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project symbol table."""
+
+    qualname: str  #: ``module.fn`` or ``module.Class.method``
+    module: str
+    path: str
+    node: ast.FunctionDef
+    cls_name: Optional[str] = None  #: enclosing class, if a method
+    is_callback: bool = False  #: a per-node callback of an Algorithm class
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def display(self) -> str:
+        """Short human name: ``Class.method`` or ``fn``."""
+        return f"{self.cls_name}.{self.name}" if self.cls_name else self.name
+
+    def param_names(self) -> List[str]:
+        a = self.node.args
+        names = [p.arg for p in a.posonlyargs + a.args + a.kwonlyargs]
+        if a.vararg:
+            names.append(a.vararg.arg)
+        if a.kwarg:
+            names.append(a.kwarg.arg)
+        return names
+
+    def positional_params(self) -> List[str]:
+        """Parameter names addressable by position (methods drop self)."""
+        a = self.node.args
+        names = [p.arg for p in a.posonlyargs + a.args]
+        if self.cls_name and names and names[0] in ("self", "cls"):
+            names = names[1:]
+        return names
+
+
+@dataclass
+class ClassInfo:
+    """One class definition, with the facts the deep rules ask about."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    is_dataclass: bool = False
+    dataclass_frozen: bool = False
+
+
+@dataclass
+class CallSite:
+    """One resolved call (or function reference) inside a function."""
+
+    caller: str  #: qualname of the enclosing function
+    callee: str  #: qualname of the resolved target
+    node: ast.AST  #: the ``ast.Call`` (or the referencing expression)
+    is_reference: bool = False  #: target passed as a value, not called
+
+
+class CallGraph:
+    """Resolved call/reference edges over a :class:`ProjectModel`."""
+
+    def __init__(self) -> None:
+        #: caller qualname -> call sites inside it
+        self.calls: Dict[str, List[CallSite]] = {}
+        #: callee qualname -> sites that call it
+        self.callers: Dict[str, List[CallSite]] = {}
+
+    def add(self, site: CallSite) -> None:
+        self.calls.setdefault(site.caller, []).append(site)
+        self.callers.setdefault(site.callee, []).append(site)
+
+    def reachable(
+        self, roots: Iterable[str], include_references: bool = True
+    ) -> Set[str]:
+        """Qualnames reachable from ``roots`` over call (and, optionally,
+        reference) edges, roots included."""
+        seen: Set[str] = set()
+        frontier = list(roots)
+        while frontier:
+            fn = frontier.pop()
+            if fn in seen:
+                continue
+            seen.add(fn)
+            for site in self.calls.get(fn, []):
+                if site.is_reference and not include_references:
+                    continue
+                if site.callee not in seen:
+                    frontier.append(site.callee)
+        return seen
+
+
+def _dataclass_facts(
+    model: ModuleModel, cls: ast.ClassDef
+) -> Tuple[bool, bool]:
+    """(is_dataclass, frozen) from the decorator list."""
+    for deco in cls.decorator_list:
+        call = deco if isinstance(deco, ast.Call) else None
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name: Optional[str] = None
+        if isinstance(target, ast.Name):
+            name = model.original_name(target.id)
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name != "dataclass":
+            continue
+        frozen = False
+        if call is not None:
+            for kw in call.keywords:
+                if (
+                    kw.arg == "frozen"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                ):
+                    frozen = True
+        return True, frozen
+    return False, False
+
+
+class ProjectModel:
+    """Every parsed module of one lint run, plus its symbol table.
+
+    ``failures`` records files that could not be parsed or decoded --
+    the deep passes skip them, the runner reports them as ``L0``.
+    """
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleModel] = {}  #: dotted name -> model
+        self.module_paths: Dict[str, str] = {}  #: dotted name -> file path
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: bare function name -> qualnames sharing it (facade resolution)
+        self.by_name: Dict[str, List[str]] = {}
+        #: bare class name -> qualnames sharing it
+        self.classes_by_name: Dict[str, List[str]] = {}
+        self.failures: List[Tuple[str, Exception]] = []
+        self.graph = CallGraph()
+
+    # -- construction --------------------------------------------------
+    @staticmethod
+    def build(files: Sequence[Tuple[str, str]]) -> "ProjectModel":
+        """Build from ``(path, source)`` pairs (already read by the runner)."""
+        project = ProjectModel()
+        for path, source in files:
+            try:
+                model = ModuleModel.parse(path, source)
+            except SyntaxError as exc:
+                project.failures.append((path, exc))
+                continue
+            mod = module_name_for_path(path)
+            project.modules[mod] = model
+            project.module_paths[mod] = path
+            project._index_module(mod, model)
+        project._resolve_edges()
+        return project
+
+    def _index_module(self, mod: str, model: ModuleModel) -> None:
+        callbacks: Set[int] = set()
+        for algo in find_algorithm_classes(model):
+            for func in algo.callbacks:
+                callbacks.add(id(func))
+        for stmt in model.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if isinstance(stmt, ast.FunctionDef):
+                    self._add_function(mod, model, stmt, None, callbacks)
+            elif isinstance(stmt, ast.ClassDef):
+                is_dc, frozen = _dataclass_facts(model, stmt)
+                cinfo = ClassInfo(
+                    qualname=f"{mod}.{stmt.name}",
+                    module=mod,
+                    path=model.path,
+                    node=stmt,
+                    is_dataclass=is_dc,
+                    dataclass_frozen=frozen,
+                )
+                self.classes[cinfo.qualname] = cinfo
+                self.classes_by_name.setdefault(stmt.name, []).append(
+                    cinfo.qualname
+                )
+                for item in stmt.body:
+                    if isinstance(item, ast.FunctionDef):
+                        self._add_function(
+                            mod, model, item, stmt.name, callbacks
+                        )
+
+    def _add_function(
+        self,
+        mod: str,
+        model: ModuleModel,
+        node: ast.FunctionDef,
+        cls_name: Optional[str],
+        callback_ids: Set[int],
+    ) -> None:
+        qual = (
+            f"{mod}.{cls_name}.{node.name}" if cls_name else f"{mod}.{node.name}"
+        )
+        info = FunctionInfo(
+            qualname=qual,
+            module=mod,
+            path=model.path,
+            node=node,
+            cls_name=cls_name,
+            is_callback=id(node) in callback_ids,
+        )
+        self.functions[qual] = info
+        self.by_name.setdefault(node.name, []).append(qual)
+
+    # -- name resolution -----------------------------------------------
+    def _resolve_name(
+        self, model: ModuleModel, mod: str, name: str, index: Dict[str, List[str]]
+    ) -> Optional[str]:
+        """Resolve a bare local name to a project qualname, or ``None``.
+
+        Tries, in order: a definition in the same module, a ``from X
+        import Y`` binding (exact, then through X's package facade), and
+        finally a unique project-wide match on the original name.
+        """
+        local = f"{mod}.{name}"
+        if local in index.get(name, ()) or local in self.functions or (
+            local in self.classes
+        ):
+            if local in index.get(name, ()):
+                return local
+        origin = model.imported_names.get(name)
+        if origin is not None:
+            src, orig = origin
+            exact = f"{src}.{orig}"
+            if exact in index.get(orig, ()):
+                return exact
+            # Facade re-export: ``from repro.congest import X`` where X
+            # lives in a submodule of repro.congest.
+            candidates = [
+                q for q in index.get(orig, ()) if q.startswith(src + ".")
+            ]
+            if len(candidates) == 1:
+                return candidates[0]
+            if len(index.get(orig, ())) == 1:
+                return index[orig][0]
+            return None
+        return None
+
+    def resolve_function_name(
+        self, model: ModuleModel, mod: str, name: str
+    ) -> Optional[str]:
+        return self._resolve_name(model, mod, name, self.by_name)
+
+    def resolve_class_name(
+        self, model: ModuleModel, mod: str, name: str
+    ) -> Optional[str]:
+        return self._resolve_name(model, mod, name, self.classes_by_name)
+
+    def resolve_callable(
+        self,
+        model: ModuleModel,
+        mod: str,
+        expr: ast.AST,
+        cls_name: Optional[str] = None,
+    ) -> Optional[str]:
+        """Resolve a call/reference target expression to a qualname."""
+        if isinstance(expr, ast.Name):
+            return self.resolve_function_name(model, mod, expr.id)
+        if isinstance(expr, ast.Attribute):
+            # self.method(...) inside a class body
+            if (
+                cls_name is not None
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id in ("self", "cls")
+            ):
+                qual = f"{mod}.{cls_name}.{expr.attr}"
+                return qual if qual in self.functions else None
+            # module.attr(...) through an import alias
+            path = model.expr_module_path(expr.value)
+            if path is not None:
+                qual = f"{path}.{expr.attr}"
+                if qual in self.functions:
+                    return qual
+                candidates = [
+                    q
+                    for q in self.by_name.get(expr.attr, ())
+                    if q.startswith(path + ".")
+                ]
+                if len(candidates) == 1:
+                    return candidates[0]
+        return None
+
+    # -- edge construction ----------------------------------------------
+    def _resolve_edges(self) -> None:
+        for info in self.functions.values():
+            model = self.modules[info.module]
+            called_spans: Set[int] = set()
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Call):
+                    callee = self.resolve_callable(
+                        model, info.module, node.func, info.cls_name
+                    )
+                    if callee is not None:
+                        called_spans.add(id(node.func))
+                        self.graph.add(
+                            CallSite(info.qualname, callee, node)
+                        )
+                    # A function passed as an argument is a reference.
+                    for arg in list(node.args) + [
+                        kw.value for kw in node.keywords
+                    ]:
+                        if isinstance(arg, (ast.Name, ast.Attribute)):
+                            target = self.resolve_callable(
+                                model, info.module, arg, info.cls_name
+                            )
+                            if target is not None:
+                                self.graph.add(
+                                    CallSite(
+                                        info.qualname,
+                                        target,
+                                        node,
+                                        is_reference=True,
+                                    )
+                                )
+
+    # -- closures the deep rules ask for ---------------------------------
+    def callback_qualnames(self) -> List[str]:
+        return [q for q, f in self.functions.items() if f.is_callback]
+
+    def callback_closure(self) -> Set[str]:
+        """Every function reachable from a per-node callback (callbacks
+        included): the scope in which per-node discipline applies."""
+        return self.graph.reachable(self.callback_qualnames())
+
+    def pooled_roots(self) -> Dict[str, CallSite]:
+        """Functions shipped to a process/thread pool: first argument of
+        an ``<executor>.submit(...)`` call, or the function argument of an
+        ``<executor>.map(...)`` call, resolved to a project function.
+        Returns ``{qualname: the submitting call site}``."""
+        roots: Dict[str, CallSite] = {}
+        for info in self.functions.values():
+            model = self.modules[info.module]
+            for node in ast.walk(info.node):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("submit", "map")
+                ):
+                    continue
+                if not node.args:
+                    continue
+                target = self.resolve_callable(
+                    model, info.module, node.args[0], info.cls_name
+                )
+                if target is not None and target not in roots:
+                    roots[target] = CallSite(info.qualname, target, node)
+        return roots
+
+    def pool_closure(self) -> Set[str]:
+        """Everything a pooled function can reach (pooled roots included):
+        the code that actually executes inside worker processes."""
+        return self.graph.reachable(
+            self.pooled_roots(), include_references=False
+        )

@@ -1,4 +1,4 @@
-"""The CONGEST model-soundness rule catalog (L1-L6).
+"""The CONGEST model-soundness rule catalog (L1-L8).
 
 Every upper bound in this reproduction is a claim of the form "*per-node
 code obeying the CONGEST contract* decides H-freeness in R rounds", and
@@ -30,7 +30,18 @@ rule      violation
           same honesty/bandwidth checks
 ``L6``    broadcast-model algorithms constructing per-neighbor
           payloads (a broadcast sends ONE message to all neighbors)
+``L7``    determinism (deep mode): iteration over unordered sets,
+          ``id()``-derived keys/ordering, set payloads on the wire,
+          wall-clock/OS entropy in callback-reachable helpers
+``L8``    concurrency (deep mode): mutable module-level globals
+          read/written by functions shipped to a process pool;
+          non-``frozen`` dataclasses crossing the pool boundary
 ========  ============================================================
+
+L1-L6 are per-file AST rules implemented here.  L7 and L8 (and the
+interprocedural extensions of L3/L5) need the project-wide call graph
+and live in :mod:`repro.lint.deep`; their catalog entries are defined
+here so the registry stays in one place.
 
 Suppress a deliberate exception per site with ``# repro: noqa[Lxx]``
 (see :mod:`repro.lint.findings`).
@@ -51,7 +62,14 @@ from .visitor import (
     dotted_name,
 )
 
-__all__ = ["RULE_CATALOG", "build_rules", "ALL_RULE_IDS"]
+__all__ = [
+    "RULE_CATALOG",
+    "build_rules",
+    "ALL_RULE_IDS",
+    "PER_FILE_RULE_IDS",
+    "DETERMINISM_DESCRIPTION",
+    "CONCURRENCY_DESCRIPTION",
+]
 
 
 def _symbol(cls: AlgorithmClass, func: Optional[ast.FunctionDef] = None) -> str:
@@ -343,6 +361,28 @@ _FAULT_RNG_CONSTRUCTORS = {
     "random.Random",
 }
 
+#: Global-RNG seeding calls: the seed *value* is scrutinized everywhere
+#: (untracked variables, entropy sources), because reseeding a process
+#: -global generator rewrites shared state for every later draw.
+_GLOBAL_SEED_CALLS = {
+    "numpy.random.seed",
+    "random.seed",
+}
+
+#: Wall-clock / OS-entropy sources that must never become seed material
+#: (mirrors rule L4's tables; shared with the deep passes).
+_ENTROPY_SOURCE_PREFIXES = ("time", "uuid", "secrets")
+_ENTROPY_SOURCE_EXACT = frozenset(
+    {
+        "os.urandom",
+        "os.getrandom",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
 #: Path fragment identifying the fault-injection subsystem.  Fault
 #: schedules are part of a run's reproducible identity (the same plan and
 #: seed must drop the same frames in both lanes), so *unseeded* RNG
@@ -376,6 +416,34 @@ class RandomnessRule(LintRule):
                         "Generator from the caller (or node.rng) so runs "
                         "stay replayable from one master seed",
                     )
+                if path in _SEEDED_CONSTRUCTORS or path in _GLOBAL_SEED_CALLS:
+                    for arg in self._seed_args(node):
+                        if self._is_entropy_source(model, arg):
+                            report.add(
+                                self,
+                                node,
+                                f"wall-clock/OS entropy used as seed "
+                                f"material in {path}(...); a seed derived "
+                                "from the clock or os.urandom makes the "
+                                "run unreplayable from the master seed",
+                            )
+                if path in _GLOBAL_SEED_CALLS:
+                    for arg in self._seed_args(node):
+                        if (
+                            not isinstance(arg, ast.Constant)
+                            and not self._is_entropy_source(model, arg)
+                            and not self._mentions_seed_name(arg)
+                        ):
+                            report.add(
+                                self,
+                                node,
+                                f"{path}(...) reseeds the process-global "
+                                "RNG from an untracked value "
+                                f"({ast.unparse(arg)}); global reseeding "
+                                "is shared state, and a seed not visibly "
+                                "derived from the policy/master seed "
+                                "cannot be replayed",
+                            )
                 if (
                     in_faults
                     and path in _FAULT_RNG_CONSTRUCTORS
@@ -411,6 +479,47 @@ class RandomnessRule(LintRule):
     @staticmethod
     def _call_path(model: ModuleModel, node: ast.Call) -> Optional[str]:
         return model.expr_module_path(node.func)
+
+    @staticmethod
+    def _seed_args(node: ast.Call) -> List[ast.expr]:
+        """The argument expressions that act as the seed of an RNG call."""
+        args: List[ast.expr] = list(node.args[:1])
+        for kw in node.keywords:
+            if kw.arg in (None, "seed", "a", "x"):
+                args.append(kw.value)
+        return args
+
+    @staticmethod
+    def _is_entropy_source(model: ModuleModel, expr: ast.expr) -> bool:
+        """``time.time()`` / ``os.urandom(8)`` / ... used as a value."""
+        if not isinstance(expr, ast.Call):
+            return False
+        path = model.expr_module_path(expr.func)
+        if path is None:
+            return False
+        return path in _ENTROPY_SOURCE_EXACT or any(
+            path == p or path.startswith(p + ".")
+            for p in _ENTROPY_SOURCE_PREFIXES
+        )
+
+    @staticmethod
+    def _mentions_seed_name(expr: ast.expr) -> bool:
+        """Does the expression visibly derive from seed-like state?
+
+        ``random.seed(self.seed)`` or ``np.random.seed(seed + t)`` is a
+        tracked re-seed; ``random.seed(user_input)`` is not.
+        """
+        for node in ast.walk(expr):
+            name = None
+            if isinstance(node, ast.Name):
+                name = node.id
+            elif isinstance(node, ast.Attribute):
+                name = node.attr
+            if name is not None and (
+                "seed" in name.lower() or "rng" in name.lower()
+            ):
+                return True
+        return False
 
     @staticmethod
     def _is_unseeded(node: ast.Call) -> bool:
@@ -797,6 +906,25 @@ class BroadcastUniformityRule(LintRule):
 # Registry
 # ----------------------------------------------------------------------
 
+#: Catalog text for the deep-mode rule families (engine:
+#: :mod:`repro.lint.deep`).  Defined here so the registry -- ids,
+#: descriptions, and the docs/fixture contract tests keyed on it -- stays
+#: in one place.
+DETERMINISM_DESCRIPTION = (
+    "determinism (deep): iteration over unordered sets, id()-derived "
+    "keys/ordering, unordered payloads on the wire, and wall-clock/OS "
+    "entropy in callback-reachable helpers make message and merge order "
+    "hash- or process-dependent -- the property the deterministic "
+    "broadcast detectors require to hold statically"
+)
+
+CONCURRENCY_DESCRIPTION = (
+    "concurrency (deep): mutable module-level globals read or written by "
+    "functions shipped to the process pool, and non-frozen dataclasses "
+    "crossing the pool boundary, silently fork state between parent and "
+    "workers -- the static twin of the runtime pool-crossing guard"
+)
+
 RULE_CATALOG: Dict[str, str] = {
     "L1": LocalityRule.description,
     "L2": SharedStateRule.description,
@@ -804,19 +932,27 @@ RULE_CATALOG: Dict[str, str] = {
     "L4": WallClockRule.description,
     "L5": MessageSizeRule.description,
     "L6": BroadcastUniformityRule.description,
+    "L7": DETERMINISM_DESCRIPTION,
+    "L8": CONCURRENCY_DESCRIPTION,
 }
 
 ALL_RULE_IDS: Tuple[str, ...] = tuple(sorted(RULE_CATALOG))
+
+#: The subset with a per-file AST rule class in this module; L7/L8 (and
+#: the interprocedural halves of L3/L5) run only under ``--deep``.
+PER_FILE_RULE_IDS: Tuple[str, ...] = ("L1", "L2", "L3", "L4", "L5", "L6")
 
 
 def build_rules(
     bandwidth: Optional[int] = None,
     include: Optional[Iterable[str]] = None,
 ) -> List[LintRule]:
-    """Instantiate the rule set.
+    """Instantiate the per-file rule set.
 
     ``bandwidth`` arms L5's exceeds-B check.  ``include`` restricts to a
-    subset of rule ids (unknown ids raise, so typos fail loudly).
+    subset of rule ids (unknown ids raise, so typos fail loudly; L7/L8
+    are valid ids but have no per-file rule -- they select the deep
+    passes in :mod:`repro.lint.deep`).
     """
     rules: List[LintRule] = [
         LocalityRule(),

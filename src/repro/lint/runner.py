@@ -1,29 +1,55 @@
 """File discovery, orchestration, and rendering for ``repro lint``.
 
 The runner is deliberately dumb: find ``.py`` files, parse each once, run
-the rule set, apply per-site suppressions, aggregate.  All judgment lives
-in :mod:`repro.lint.rules`; all policy about what fails a run lives in
-:meth:`LintReport.exit_code` (unsuppressed errors fail, warnings and
-suppressed findings do not -- but both are reported, so nothing is waved
-through silently).
+the per-file rule set, optionally run the whole-program deep passes, apply
+per-site suppressions, aggregate.  All judgment lives in
+:mod:`repro.lint.rules` and :mod:`repro.lint.deep`; all policy about what
+fails a run lives in :meth:`LintReport.exit_code` (unsuppressed errors
+fail with 1, tool-level failures -- files that cannot be read or parsed --
+fail with 2, warnings and suppressed findings do not; everything is
+reported, so nothing is waved through silently).
 
-Files that do not parse yield a synthetic ``L0`` error rather than
-aborting the walk: a lint pass that dies on the first broken file is
+Files that do not parse or decode yield a synthetic ``L0`` finding rather
+than aborting the walk: a lint pass that dies on the first broken file is
 useless in CI.
+
+Two CI-oriented modes layer on top:
+
+* ``deep=True`` builds the project-wide call graph once and adds the
+  interprocedural findings (deep L3/L5, determinism L7, concurrency L8)
+  to the per-file ones.
+* ``restrict`` (the ``--diff BASE`` fast path) limits *reported* findings
+  to a set of files -- analysis still sees the whole tree, because an
+  interprocedural finding in a changed file may be caused by an edge
+  into an unchanged one.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import subprocess
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from .findings import LintFinding, Severity, apply_suppressions, parse_noqa_directives
+from .callgraph import ProjectModel
+from .findings import (
+    LintFinding,
+    NoqaDirectives,
+    Severity,
+    apply_suppressions,
+    parse_noqa_directives,
+)
 from .rules import RULE_CATALOG, build_rules
 from .visitor import LintRule, ModuleModel, Reporter, run_rules
 
-__all__ = ["LintReport", "discover_files", "lint_file", "lint_paths"]
+__all__ = [
+    "LintReport",
+    "changed_files",
+    "discover_files",
+    "lint_file",
+    "lint_paths",
+]
 
 #: Directories never worth descending into.
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "venv", "node_modules", ".mypy_cache"}
@@ -35,6 +61,7 @@ class LintReport:
 
     findings: List[LintFinding] = field(default_factory=list)
     files_checked: int = 0
+    deep: bool = False
 
     # -- tallies -------------------------------------------------------
     @property
@@ -42,7 +69,9 @@ class LintReport:
         return [
             f
             for f in self.findings
-            if f.severity is Severity.ERROR and not f.suppressed
+            if f.severity is Severity.ERROR
+            and not f.suppressed
+            and f.rule_id != "L0"
         ]
 
     @property
@@ -57,17 +86,28 @@ class LintReport:
     def suppressed(self) -> List[LintFinding]:
         return [f for f in self.findings if f.suppressed]
 
+    @property
+    def tool_failures(self) -> List[LintFinding]:
+        """Files the linter could not analyze (syntax / encoding / IO)."""
+        return [f for f in self.findings if f.rule_id == "L0"]
+
     def exit_code(self) -> int:
-        """0 clean, 1 unsuppressed errors -- the CI contract."""
+        """The CI contract: 0 clean, 1 unsuppressed rule errors, 2 when
+        any file could not be analyzed at all (an unanalyzable file is a
+        tool-level failure, not a clean pass -- the rules never saw it)."""
+        if self.tool_failures:
+            return 2
         return 1 if self.errors else 0
 
     # -- rendering -----------------------------------------------------
     def render_text(self) -> str:
         lines = [f.format() for f in self.findings]
         lines.append(
-            f"{self.files_checked} file(s) checked: "
+            f"{self.files_checked} file(s) checked"
+            f"{' (deep)' if self.deep else ''}: "
             f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
-            f"{len(self.suppressed)} suppressed"
+            f"{len(self.suppressed)} suppressed, "
+            f"{len(self.tool_failures)} unanalyzable"
         )
         return "\n".join(lines)
 
@@ -75,9 +115,11 @@ class LintReport:
         return json.dumps(
             {
                 "files_checked": self.files_checked,
+                "deep": self.deep,
                 "errors": len(self.errors),
                 "warnings": len(self.warnings),
                 "suppressed": len(self.suppressed),
+                "unanalyzable": len(self.tool_failures),
                 "rules": RULE_CATALOG,
                 "findings": [f.to_dict() for f in self.findings],
             },
@@ -113,10 +155,63 @@ def discover_files(paths: Sequence[str]) -> List[str]:
     return out
 
 
-def lint_file(path: str, rules: Sequence[LintRule]) -> List[LintFinding]:
-    """Lint one file; parse failures become a single L0 error finding."""
-    with open(path, "r", encoding="utf-8") as fh:
-        source = fh.read()
+def changed_files(base: str) -> Set[str]:
+    """Absolute paths of ``.py`` files changed against git ref ``base``.
+
+    The ``--diff`` fast path for CI: lint analyzes the whole tree (deep
+    findings need cross-file context) but reports only what the change
+    under review touched.  Raises ``ValueError`` when git cannot resolve
+    the ref -- a misconfigured CI diff must fail loudly, not lint nothing.
+    """
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", base, "--"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=top,
+        )
+    except (OSError, subprocess.CalledProcessError) as exc:
+        detail = getattr(exc, "stderr", "") or str(exc)
+        raise ValueError(f"cannot diff against {base!r}: {detail.strip()}")
+    return {
+        os.path.abspath(os.path.join(top, line))
+        for line in diff.stdout.splitlines()
+        if line.endswith(".py")
+    }
+
+
+def _read_source(path: str) -> Tuple[Optional[str], Optional[LintFinding]]:
+    """Read one file; IO/decoding failures become an L0 finding.
+
+    A file the linter cannot read is exactly as suspect as one that does
+    not parse: the rules never saw it, so the walk must keep going and
+    the run must not report clean.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return fh.read(), None
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, LintFinding(
+            path=path,
+            line=1,
+            col=0,
+            rule_id="L0",
+            severity=Severity.ERROR,
+            message=f"file is not readable as UTF-8 source: {exc}",
+        )
+
+
+def _lint_source(
+    path: str, source: str, rules: Sequence[LintRule]
+) -> List[LintFinding]:
+    """Per-file pass over already-read source (parse errors become L0)."""
     try:
         model = ModuleModel.parse(path, source)
     except SyntaxError as exc:
@@ -132,14 +227,19 @@ def lint_file(path: str, rules: Sequence[LintRule]) -> List[LintFinding]:
         ]
     report = Reporter(path)
     run_rules(model, rules, report)
-    findings = apply_suppressions(report.findings, parse_noqa_directives(source))
-    # One rule can hit the same construct from two hooks (e.g. L3 flags a
-    # hardcoded seed module-wide and again inside a callback); report each
-    # site once per rule.
+    return apply_suppressions(report.findings, parse_noqa_directives(source))
+
+
+def _dedupe(findings: Iterable[LintFinding]) -> List[LintFinding]:
+    """One finding per (path, line, col, rule): a rule can hit the same
+    construct from two hooks, and a deep pass can rediscover a per-file
+    site; report each site once per rule."""
     unique: List[LintFinding] = []
     seen = set()
-    for f in sorted(findings, key=lambda f: (f.line, f.col, f.rule_id, not f.symbol)):
-        key = (f.line, f.col, f.rule_id)
+    for f in sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule_id, not f.symbol)
+    ):
+        key = (f.path, f.line, f.col, f.rule_id)
         if key in seen:
             continue
         seen.add(key)
@@ -147,16 +247,60 @@ def lint_file(path: str, rules: Sequence[LintRule]) -> List[LintFinding]:
     return unique
 
 
+def lint_file(path: str, rules: Sequence[LintRule]) -> List[LintFinding]:
+    """Lint one file; parse/read failures become a single L0 finding."""
+    source, failure = _read_source(path)
+    if failure is not None:
+        return [failure]
+    assert source is not None
+    return _dedupe(_lint_source(path, source, rules))
+
+
 def lint_paths(
     paths: Sequence[str],
     bandwidth: Optional[int] = None,
     include: Optional[Iterable[str]] = None,
+    deep: bool = False,
+    restrict: Optional[Set[str]] = None,
 ) -> LintReport:
-    """Lint every ``.py`` file under ``paths`` with the L1-L6 rule set."""
-    rules = build_rules(bandwidth=bandwidth, include=include)
-    report = LintReport()
+    """Lint every ``.py`` file under ``paths``.
+
+    ``deep`` adds the interprocedural passes (call-graph L3/L5, L7, L8)
+    on top of the per-file rules.  ``restrict`` (absolute paths) limits
+    reported findings to those files; the analysis itself always covers
+    all of ``paths`` so cross-file findings keep their context.
+    """
+    include_list = list(include) if include is not None else None
+    rules = build_rules(bandwidth=bandwidth, include=include_list)
+    report = LintReport(deep=deep)
+    sources: List[Tuple[str, str]] = []
+    directives: Dict[str, NoqaDirectives] = {}
     for path in discover_files(paths):
-        report.findings.extend(lint_file(path, rules))
         report.files_checked += 1
+        source, failure = _read_source(path)
+        if failure is not None:
+            report.findings.append(failure)
+            continue
+        assert source is not None
+        sources.append((path, source))
+        directives[path] = parse_noqa_directives(source)
+        report.findings.extend(_lint_source(path, source, rules))
+
+    if deep:
+        from .deep import deep_findings
+
+        project = ProjectModel.build(sources)
+        for f in deep_findings(project, bandwidth=bandwidth, include=include_list):
+            d = directives.get(f.path)
+            if d is not None:
+                f = apply_suppressions([f], d)[0]
+            report.findings.append(f)
+
+    report.findings = _dedupe(report.findings)
+    if restrict is not None:
+        allowed = {os.path.abspath(p) for p in restrict}
+        report.findings = [
+            f for f in report.findings if os.path.abspath(f.path) in allowed
+        ]
     report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return report

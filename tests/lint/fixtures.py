@@ -207,6 +207,18 @@ class SuppressedCheat(Algorithm):
         node.accept()
 
 
+def _global_reseed_cheats(trial_index):
+    """Cheats: reseeding the process-global RNG (module-wide L3 checks).
+
+    Reseeding ``random``/``numpy.random`` rewrites shared state for every
+    later draw; entropy or untracked values as seed material additionally
+    break replay-from-one-master-seed.
+    """
+    random.seed(time.time())  # EXPECT[L3]
+    random.seed(trial_index)  # EXPECT[L3]
+    return random.Random(time.time())  # EXPECT[L3]
+
+
 class CleanFloodAlgorithm(Algorithm):
     """Contract-abiding control: floods ids for three rounds, no cheats."""
 

@@ -1,0 +1,142 @@
+"""Deliberately-cheating code for the *deep* (whole-program) lint passes.
+
+Everything here is invisible to the per-file rules by construction: the
+hardcoded seed hides behind a helper, the 0-bit message behind a wrapper,
+the determinism and pool-safety violations span function boundaries.
+``tests/lint/test_deep.py`` asserts the call-graph passes flag every
+marked line, and -- for L7 and L8 -- that the runtime sanitizer catches
+the same cheat under the same rule id.
+
+Lines carrying a deliberate violation are marked with a trailing
+``# EXPECT-D[Lxx]`` comment; tests locate expectations by scanning for
+the markers, so the file can be edited without re-pinning line numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.congest import Algorithm, Message
+
+
+# ----------------------------------------------------------------------
+# deep L3: a hardcoded seed laundered through a helper
+# ----------------------------------------------------------------------
+
+
+def _fresh_rng(seed):
+    """Innocent-looking helper; its parameter flows into default_rng."""
+    return np.random.default_rng(seed)
+
+
+def _laundered_rng():
+    """Cheat: pins the generator exactly like default_rng(12345) would."""
+    return _fresh_rng(12345)  # EXPECT-D[L3]
+
+
+def _clocked_rng():
+    """Cheat: seeds from the wall clock, so runs are not replayable."""
+    return _fresh_rng(time.time())  # EXPECT-D[L3]
+
+
+# ----------------------------------------------------------------------
+# deep L5: a 0-bit declaration hidden behind a wrapper
+# ----------------------------------------------------------------------
+
+
+def _ship(payload, size_bits):
+    """Wrapper: forwards its declared size straight into the constructor."""
+    return Message.of_record(payload, size_bits=size_bits, kind="wrapped")
+
+
+class WrappedZeroBitCheat(Algorithm):
+    """Cheat: ships a real payload while declaring zero bits, via _ship."""
+
+    name = "cheat-wrapped-zero-bits"
+
+    def init(self, node):
+        node.state["ready"] = True
+
+    def round(self, node, inbox):
+        out = {}
+        for v in sorted(node.neighbors):
+            out[v] = _ship((node.id, 99), 0)  # EXPECT-D[L5]
+        node.halt()
+        return out
+
+    def finish(self, node):
+        node.accept()
+
+
+# ----------------------------------------------------------------------
+# L7 determinism: hash-order, id(), and wall-clock influence
+# ----------------------------------------------------------------------
+
+
+def _tiebreak():
+    """Helper reachable from a callback: wall clock decides a tie."""
+    return time.time()  # EXPECT-D[L7]
+
+
+class UnorderedCheat(Algorithm):
+    """Cheat: unordered containers and ambient entropy drive outcomes."""
+
+    name = "cheat-unordered"
+
+    def init(self, node):
+        node.state["seen"] = []
+        for v in {u for u in node.neighbors}:  # EXPECT-D[L7]
+            node.state["seen"].append(v)
+
+    def round(self, node, inbox):
+        ballots = {node.id} | set(inbox)
+        node.state["tick"] = _tiebreak()
+        out = {}
+        for v in sorted(node.neighbors):
+            out[v] = Message.of_record(ballots, size_bits=32, kind="ballot")  # EXPECT-D[L7]
+        node.halt()
+        return out
+
+    def finish(self, node):
+        node.state["order"] = id(node.state)  # EXPECT-D[L7]
+        node.accept()
+
+
+# ----------------------------------------------------------------------
+# L8 concurrency: fork-shared globals and mutable pool crossings
+# ----------------------------------------------------------------------
+
+#: Mutable module-level global: inherited at fork, never merged back.
+_RESULTS: Dict[int, Any] = {}
+
+
+@dataclass
+class MutableOutcome:
+    """Cheat: a non-frozen dataclass that crosses the pool boundary."""
+
+    detected: bool = False
+
+
+def _pool_worker(spec: int) -> MutableOutcome:
+    """Cheat: a pooled function scribbling on module state."""
+    _RESULTS[spec] = True  # EXPECT-D[L8]
+    return MutableOutcome(detected=bool(spec))  # EXPECT-D[L8]
+
+
+def _pool_worker_passthrough(outcome: MutableOutcome) -> MutableOutcome:
+    return outcome
+
+
+def _amplify_badly(n: int) -> List[MutableOutcome]:
+    """Cheat: ships mutable state into (and back out of) the pool."""
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(_pool_worker, i) for i in range(n)]
+        futures.append(
+            pool.submit(_pool_worker_passthrough, MutableOutcome())  # EXPECT-D[L8]
+        )
+        return [f.result() for f in futures]

@@ -4,6 +4,7 @@ exit codes, and the machine-readable JSON report."""
 from __future__ import annotations
 
 import json
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -72,7 +73,9 @@ class TestCli:
         assert payload["errors"] == len(
             [f for f in payload["findings"] if not f["suppressed"]]
         )
-        assert set(payload["rules"]) == {"L1", "L2", "L3", "L4", "L5", "L6"}
+        assert set(payload["rules"]) == {
+            "L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8",
+        }
         flagged = {f["rule"] for f in payload["findings"]}
         assert {"L1", "L2", "L3", "L4", "L5", "L6"} <= flagged
         # the armed bandwidth check contributes the wide of_bits finding
@@ -93,4 +96,79 @@ class TestCli:
 
     def test_bad_rule_exits_two(self, capsys):
         rc = main(["lint", FIXTURES, "--rules", "L99"])
+        assert rc == 2
+
+
+class TestCrashRobustness:
+    """A broken file must become a structured L0 finding (exit 2), not a
+    crash, and the rest of the tree must still get linted."""
+
+    def test_syntax_error_becomes_l0_and_linting_continues(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        (tmp_path / "good.py").write_text("x = 1\n")
+        report = lint_paths([str(tmp_path)])
+        assert report.files_checked == 2
+        assert report.exit_code() == 2
+        [l0] = report.tool_failures
+        assert l0.rule_id == "L0"
+        assert l0.path.endswith("bad.py")
+        assert "does not parse" in l0.message
+
+    def test_unreadable_encoding_becomes_l0(self, tmp_path):
+        (tmp_path / "junk.py").write_bytes(b"x = '\xff\xfe\x00'\n")
+        report = lint_paths([str(tmp_path)])
+        assert report.exit_code() == 2
+        [l0] = report.tool_failures
+        assert "not readable" in l0.message
+
+    def test_cli_exits_two_on_bad_syntax(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("def broken(:\n    pass\n")
+        rc = main(["lint", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert " L0: " in out
+
+
+class TestDeepAndDiffFlags:
+    def test_deep_flag_runs_clean_on_src(self, capsys):
+        rc = main(["lint", str(REPO_ROOT / "src"), "--deep"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "(deep)" in out
+
+    @staticmethod
+    def _git(repo, *argv):
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t", *argv],
+            cwd=repo,
+            check=True,
+            capture_output=True,
+        )
+
+    def test_diff_restricts_findings_to_changed_files(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """Findings in files untouched since BASE are filtered out; the
+        same tree fails the gate without --diff."""
+        cheat = (
+            "class Cheat(Algorithm):\n"
+            "    blackboard = {}\n"
+            "    def round(self, node, inbox):\n"
+            "        self.blackboard[node.id] = 1\n"
+            "        return {}\n"
+        )
+        (tmp_path / "cheat.py").write_text(cheat)
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "base")
+        (tmp_path / "clean.py").write_text("x = 1\ny = 2\n")
+        monkeypatch.chdir(tmp_path)
+
+        assert main(["lint", ".", "--diff", "HEAD"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+        assert main(["lint", "."]) == 1
+
+    def test_diff_bad_ref_exits_two(self, capsys):
+        rc = main(["lint", FIXTURES, "--diff", "definitely-not-a-ref"])
         assert rc == 2
