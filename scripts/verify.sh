@@ -56,6 +56,17 @@ if [ "${1:-}" != "--fast" ]; then
             "bench_engine_fastpath.py::TestVectorizedCliqueLane::test_vectorized_clique_smoke"
     ) || fail=1
 
+    # Time-budgeted scale smoke: one mid-size fused-vs-reference point
+    # (n=16384, parity checked inline) so a fused-kernel or lazy-RNG
+    # regression fails the gate without paying for the full scale sweep.
+    step "bench smoke (fused kernel scale point, 120s budget)"
+    (
+        cd benchmarks &&
+        PYTHONPATH="../src${PYTHONPATH:+:$PYTHONPATH}" timeout 120 \
+            python -m pytest -q -p no:cacheprovider \
+            "bench_scale.py::TestScaleSmoke::test_scale_smoke"
+    ) || fail=1
+
     # Time-budgeted adaptive-amplification smoke: the differential suite
     # (adaptive outcomes bit-identical across jobs / chunking / faults)
     # plus the seeds-saved benchmark, which snapshots BENCH_amplify.json.

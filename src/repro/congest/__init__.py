@@ -19,12 +19,20 @@ from .identifiers import (
     partitioned_namespace,
     random_assignment,
 )
+from .kernels import BACKENDS, BackendUnavailable, KernelProfile, backend_available
 from .local_model import BallCollection, LocalNetwork, run_local
 from .message import BandwidthExceeded, Message, id_width, int_width
-from .metrics import CommMetrics, MetricsModeError
+from .metrics import (
+    DEFAULT_ROUND_WINDOW,
+    CommMetrics,
+    LiteLedgerGuard,
+    MetricsModeError,
+    RoundLedger,
+)
 from .network import CongestNetwork, ExecutionResult, run_congest
 from .parallel import AmplifiedOutcome, IterationOutcome, run_amplified, shutdown_pools
 from .sanitizer import AliasGuard, SanitizerViolation, VecTrafficDigest
+from .shm import GRAPH_SHARE_MIN_NODES, release_shared_graphs
 from .vectorized import (
     VEC_ACCEPT,
     VEC_REJECT,
@@ -35,6 +43,7 @@ from .vectorized import (
     VecRun,
     VectorizedAlgorithm,
     execute_vectorized,
+    execute_vectorized_reference,
 )
 
 __all__ = [
@@ -62,6 +71,15 @@ __all__ = [
     "int_width",
     "CommMetrics",
     "MetricsModeError",
+    "RoundLedger",
+    "LiteLedgerGuard",
+    "DEFAULT_ROUND_WINDOW",
+    "BACKENDS",
+    "BackendUnavailable",
+    "KernelProfile",
+    "backend_available",
+    "GRAPH_SHARE_MIN_NODES",
+    "release_shared_graphs",
     "CongestNetwork",
     "ExecutionResult",
     "run_congest",
@@ -81,4 +99,5 @@ __all__ = [
     "VecRun",
     "VectorizedAlgorithm",
     "execute_vectorized",
+    "execute_vectorized_reference",
 ]

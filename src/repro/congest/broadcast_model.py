@@ -56,6 +56,8 @@ class BroadcastNetwork(CongestNetwork):
         metrics: str = "full",
         sanitize: bool = False,
         faults: Any = None,
+        backend: Optional[str] = None,
+        profile: Any = None,
     ) -> ExecutionResult:
         checked: Algorithm | VectorizedAlgorithm
         if isinstance(algorithm, VectorizedAlgorithm):
@@ -74,6 +76,8 @@ class BroadcastNetwork(CongestNetwork):
             metrics=metrics,
             sanitize=sanitize,
             faults=faults,
+            backend=backend,
+            profile=profile,
         )
 
 

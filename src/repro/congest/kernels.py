@@ -1,0 +1,418 @@
+"""Fused per-round kernels for the vectorized execution lane.
+
+The pre-fusion vectorized round loop (kept verbatim as
+:func:`repro.congest.vectorized.execute_vectorized_reference`) paid three
+avoidable costs per round on its way from an outbox to an inbox:
+
+* an ``O(E log E)`` stable ``argsort`` of the outbox edge list just to
+  *check* it was sorted (kernels almost always emit out-order edges);
+* a second ``O(E log E)`` ``argsort`` of ``in_rank[edges]`` to compute the
+  delivery permutation -- even for the global-broadcast case where that
+  permutation is a constant of the graph;
+* a fresh set of temporaries (masks, gathered rank arrays) every round.
+
+:class:`RoundKernel` collapses the mask -> permute -> deliver sequence into
+one pass over the CSR :class:`~repro.congest.vectorized.EdgeIndex`:
+
+* **Trusted fast path.**  ``EdgeIndex.all_edges()`` returns one cached
+  read-only array; an outbox built from it is recognised *by identity* and
+  skips the sortedness / range / duplicate validation entirely (the array
+  is the engine's own constant).  Any other outbox is validated with a
+  single ``O(E)`` strictly-increasing check, falling back to the original
+  stable-sort path only for genuinely unsorted outboxes.
+* **Precomputed delivery permutation.**  A full outbox (every directed
+  edge, the common broadcast shape) is delivered through the index's
+  precomputed ``in_order`` / ``in_recv`` / ``in_send`` arrays: the only
+  per-round allocation left is the payload gather itself.  Partial
+  outboxes gather ranks into a preallocated scratch buffer before the
+  (unavoidable) argsort.
+* **Backends.**  The handful of primitive array operations the fused pass
+  needs is factored into a :class:`KernelOps` bundle so a compiled backend
+  can substitute its own loops (``backend="numba"``, feature-gated in
+  :mod:`repro.congest._numba_kernels`).  The pure-numpy bundle is the
+  reference; the differential suites assert bit-identical ledgers, fault
+  masks, and error strings across backends.
+
+Semantics are bit-identical to the reference loop: validation order, error
+strings, billing, observer callbacks, fault masking, and inbox ordering
+all match -- ``tests/congest/test_kernels.py`` pins this differentially.
+
+:class:`KernelProfile` is the lightweight per-phase wall-clock counter the
+tentpole profiling asked for: sessions thread one through
+``net.run(..., profile=...)`` and surface it as a ``vec_profile`` note
+event in the run record.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from .message import BandwidthExceeded
+
+__all__ = [
+    "BACKENDS",
+    "BackendUnavailable",
+    "KernelOps",
+    "KernelProfile",
+    "RoundKernel",
+    "backend_available",
+    "resolve_backend",
+]
+
+#: Kernel backends the vectorized lane can run on.  ``numpy`` is always
+#: available and is the reference; ``numba`` is feature-gated on the
+#: import actually succeeding (the container may not ship it).
+BACKENDS = ("numpy", "numba")
+
+
+class BackendUnavailable(RuntimeError):
+    """A kernel backend was requested that this environment cannot provide."""
+
+
+@dataclass(frozen=True)
+class KernelOps:
+    """The backend-swappable primitives of the fused round pass.
+
+    Each operation is small and loop-shaped on purpose: a compiled backend
+    replaces exactly these, and nothing else, so the surrounding control
+    flow (validation order, error strings, billing) is shared by
+    construction.
+
+    ``is_strictly_increasing(a)``
+        True iff the int64 array ``a`` is strictly increasing (hence
+        sorted with no duplicates).
+    ``delivery_order(ranks)``
+        Stable argsort of an int64 rank array -- the permutation taking a
+        partial outbox to ``(recv, send)`` delivery order.
+    ``size_stats(sizes)``
+        ``(total, max, min)`` of an int64 per-message size array in one
+        pass.
+    """
+
+    name: str
+    is_strictly_increasing: Callable[[np.ndarray], bool]
+    delivery_order: Callable[[np.ndarray], np.ndarray]
+    size_stats: Callable[[np.ndarray], Tuple[int, int, int]]
+
+
+def _np_is_strictly_increasing(a: np.ndarray) -> bool:
+    if a.shape[0] < 2:
+        return True
+    return bool(np.all(a[1:] > a[:-1]))
+
+
+def _np_delivery_order(ranks: np.ndarray) -> np.ndarray:
+    return np.argsort(ranks, kind="stable")
+
+
+def _np_size_stats(sizes: np.ndarray) -> Tuple[int, int, int]:
+    return int(sizes.sum()), int(sizes.max()), int(sizes.min())
+
+
+NUMPY_OPS = KernelOps(
+    name="numpy",
+    is_strictly_increasing=_np_is_strictly_increasing,
+    delivery_order=_np_delivery_order,
+    size_stats=_np_size_stats,
+)
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` can actually run in this environment."""
+    if name == "numpy":
+        return True
+    if name == "numba":
+        try:
+            import numba  # noqa: F401
+        except Exception:
+            return False
+        return True
+    return False
+
+
+def resolve_backend(name: Optional[str]) -> KernelOps:
+    """The :class:`KernelOps` bundle for ``name`` (``None`` = numpy).
+
+    Raises :class:`BackendUnavailable` when a known backend cannot be
+    imported here, and for unknown names -- policy validation turns both
+    into a :class:`~repro.runtime.policy.PolicyError` at construction, so
+    a run never discovers a missing backend mid-loop.
+    """
+    if name is None or name == "numpy":
+        return NUMPY_OPS
+    if name == "numba":
+        if not backend_available("numba"):
+            raise BackendUnavailable(
+                "backend='numba' requested but numba is not importable in "
+                "this environment; install numba or use backend='numpy'"
+            )
+        from ._numba_kernels import numba_ops
+
+        return numba_ops()
+    raise BackendUnavailable(
+        f"unknown kernel backend {name!r}; known backends: {BACKENDS}"
+    )
+
+
+class KernelProfile:
+    """Per-phase wall-clock counters for one vectorized run.
+
+    Cheap enough to leave on for recorded runs (a few ``perf_counter``
+    calls per round); ``None`` in the engine keeps the hot loop entirely
+    timer-free.  Phases follow the round structure: ``step`` (the
+    algorithm's batched kernel), ``mask`` (crash masking plus outbox
+    validation), ``bill`` (size stats, bandwidth enforcement, ledger and
+    observer), ``permute`` (computing the delivery permutation), and
+    ``deliver`` (fault masking plus inbox assembly).  ``fast_rounds``
+    counts rounds that hit the full-broadcast fast path.
+    """
+
+    __slots__ = (
+        "backend",
+        "rounds",
+        "fast_rounds",
+        "messages",
+        "step_s",
+        "mask_s",
+        "bill_s",
+        "permute_s",
+        "deliver_s",
+    )
+
+    def __init__(self) -> None:
+        self.backend = "numpy"
+        self.rounds = 0
+        self.fast_rounds = 0
+        self.messages = 0
+        self.step_s = 0.0
+        self.mask_s = 0.0
+        self.bill_s = 0.0
+        self.permute_s = 0.0
+        self.deliver_s = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot for a ``vec_profile`` note event."""
+        return {
+            "backend": self.backend,
+            "rounds": self.rounds,
+            "fast_rounds": self.fast_rounds,
+            "messages": self.messages,
+            "step_ms": round(self.step_s * 1000.0, 3),
+            "mask_ms": round(self.mask_s * 1000.0, 3),
+            "bill_ms": round(self.bill_s * 1000.0, 3),
+            "permute_ms": round(self.permute_s * 1000.0, 3),
+            "deliver_ms": round(self.deliver_s * 1000.0, 3),
+        }
+
+
+class RoundKernel:
+    """One network's fused validate -> bill -> deliver pass.
+
+    Built once per :func:`execute_vectorized` call; owns the preallocated
+    scratch buffers and (optionally) the full-mode ledger accumulators.
+    :meth:`process` consumes one round's crash-masked outbox and returns
+    the packed inbox, reproducing the reference loop's checks, error
+    strings, billing, observer callbacks, and fault masking exactly.
+    """
+
+    def __init__(
+        self,
+        grid: Any,
+        bandwidth: Optional[int],
+        comm: Any,
+        *,
+        observer: Optional[Any] = None,
+        injector: Optional[Any] = None,
+        ops: KernelOps = NUMPY_OPS,
+        profile: Optional[KernelProfile] = None,
+        track_full: bool = False,
+    ) -> None:
+        from .vectorized import VecInbox  # deferred: vectorized imports us
+
+        self._inbox_cls = VecInbox
+        self.grid = grid
+        self.bandwidth = bandwidth
+        self.comm = comm
+        self.observer = observer
+        self.injector = injector
+        self.apply_delivery = injector is not None and injector.affects_delivery
+        self.ops = ops
+        self.profile = profile
+        if profile is not None:
+            profile.backend = ops.name
+        e = max(1, grid.num_directed)
+        # Scratch reused every round by the partial-outbox path, so the
+        # steady state allocates nothing but the payload gather.
+        self._rank_scratch = np.empty(e, dtype=np.int64)
+        self.track_full = track_full
+        if track_full:
+            self.edge_bits_acc = np.zeros(grid.num_directed, dtype=np.int64)
+            self.edge_msgs_acc = np.zeros(grid.num_directed, dtype=np.int64)
+            self.node_bits_acc = np.zeros(grid.n, dtype=np.int64)
+            self.node_msgs_acc = np.zeros(grid.n, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def process(
+        self,
+        r: int,
+        edges: np.ndarray,
+        payload: np.ndarray,
+        sizes: Any,
+        per_message: bool,
+    ) -> Any:
+        """Validate, bill, and deliver one round's (non-empty) outbox."""
+        grid = self.grid
+        ops = self.ops
+        prof = self.profile
+        if prof is not None:
+            t = time.perf_counter()
+
+        # -- mask: sortedness / range / duplicate validation ------------
+        trusted = edges is grid._all_edges
+        if not trusted:
+            if not ops.is_strictly_increasing(edges):
+                order = np.argsort(edges, kind="stable")
+                edges = edges[order]
+                payload = payload[order]
+                if per_message:
+                    sizes = sizes[order]
+            if edges[0] < 0 or edges[-1] >= grid.num_directed:
+                raise ValueError(f"round {r}: outbox edge index out of range")
+            if edges.shape[0] > 1 and bool((np.diff(edges) == 0).any()):
+                dup = int(edges[np.nonzero(np.diff(edges) == 0)[0][0]])
+                u = int(grid.ids[grid.src[dup]])
+                v = int(grid.ids[grid.dst[dup]])
+                raise ValueError(
+                    f"node {u} tried to send two messages to {v} in round {r}; "
+                    "the model allows one message per edge per round"
+                )
+        if prof is not None:
+            t2 = time.perf_counter()
+            prof.mask_s += t2 - t
+            t = t2
+
+        # -- bill: size stats, bandwidth, ledger, observer ---------------
+        if per_message:
+            sizes = sizes.astype(np.int64, copy=False)
+            bits, max_size, min_size = ops.size_stats(sizes)
+        else:
+            max_size = min_size = int(sizes)
+            bits = max_size * edges.shape[0]
+        if min_size < 0:
+            raise ValueError(f"round {r}: negative size_bits")
+        bandwidth = self.bandwidth
+        if bandwidth is not None and max_size > bandwidth:
+            if per_message:
+                bad = int(np.argmax(sizes > bandwidth))
+            else:
+                bad = 0
+            e = int(edges[bad])
+            u = int(grid.ids[grid.src[e]])
+            v = int(grid.ids[grid.dst[e]])
+            sz = int(sizes[bad]) if per_message else max_size
+            raise BandwidthExceeded(
+                f"node {u} -> {v}: message of {sz} bits exceeds B={bandwidth}"
+            )
+        self.comm.add_round(r, bits, int(edges.shape[0]), max_size)
+        if self.track_full:
+            if per_message:
+                self.edge_bits_acc[edges] += sizes
+                np.add.at(self.node_bits_acc, grid.src[edges], sizes)
+            else:
+                self.edge_bits_acc[edges] += max_size
+                np.add.at(self.node_bits_acc, grid.src[edges], max_size)
+            self.edge_msgs_acc[edges] += 1
+            np.add.at(self.node_msgs_acc, grid.src[edges], 1)
+        if self.observer is not None:
+            self.observer.vec_round(r, edges, sizes, payload)
+        if prof is not None:
+            prof.rounds += 1
+            prof.messages += int(edges.shape[0])
+            t2 = time.perf_counter()
+            prof.bill_s += t2 - t
+            t = t2
+
+        # -- deliver: wire faults, permutation, inbox assembly -----------
+        if self.apply_delivery:
+            keep, corrupt = self.injector.delivery_mask(
+                r,
+                grid.ids[grid.src[edges]],
+                grid.ids[grid.dst[edges]],
+                sizes if per_message else int(sizes),
+            )
+            if corrupt.any():
+                payload = payload.copy()
+                payload[corrupt] = np.zeros((), dtype=payload.dtype)
+            if not keep.all():
+                edges = edges[keep]
+                payload = payload[keep]
+                if per_message:
+                    sizes = sizes[keep]
+        m = int(edges.shape[0])
+        if m == 0:
+            # Everything sent this round was lost in transit.
+            if prof is not None:
+                prof.deliver_s += time.perf_counter() - t
+            return self._inbox_cls.empty()
+        if m == grid.num_directed:
+            # Full broadcast: sorted, unique, in-range edges of length E
+            # are exactly arange(E), so the delivery permutation is the
+            # precomputed graph constant.
+            if prof is not None:
+                prof.fast_rounds += 1
+            inbox = self._inbox_cls(
+                recv=grid.in_recv,
+                send=grid.in_send,
+                payload=payload[grid.in_order],
+                sizes=sizes[grid.in_order] if per_message else None,
+                size_bits=0 if per_message else max_size,
+            )
+            if prof is not None:
+                prof.deliver_s += time.perf_counter() - t
+            return inbox
+        ranks = np.take(grid.in_rank, edges, out=self._rank_scratch[:m])
+        if prof is not None:
+            tp = time.perf_counter()
+        dorder = self.ops.delivery_order(ranks)
+        if prof is not None:
+            t2 = time.perf_counter()
+            prof.permute_s += t2 - tp
+        d_edges = edges[dorder]
+        inbox = self._inbox_cls(
+            recv=grid.dst[d_edges],
+            send=grid.src[d_edges],
+            payload=payload[dorder],
+            sizes=sizes[dorder] if per_message else None,
+            size_bits=0 if per_message else max_size,
+        )
+        if prof is not None:
+            prof.deliver_s += time.perf_counter() - t
+        return inbox
+
+    # ------------------------------------------------------------------
+    def expand_full_ledger(self) -> None:
+        """Flush the flat full-mode accumulators into the metrics dicts.
+
+        Called once at the end of a ``metrics="full"`` run -- the lazy
+        expansion the reference loop performs, unchanged.  Keyed on
+        messages, not bits: the object lane creates a ledger entry even
+        for a 0-bit message.
+        """
+        if not self.track_full:
+            return
+        grid = self.grid
+        comm = self.comm
+        src_ids = grid.ids[grid.src]
+        dst_ids = grid.ids[grid.dst]
+        for e in np.nonzero(self.edge_msgs_acc)[0]:
+            comm.edge_bits[(int(src_ids[e]), int(dst_ids[e]))] = int(
+                self.edge_bits_acc[e]
+            )
+        for p in np.nonzero(self.node_msgs_acc)[0]:
+            u = int(grid.ids[p])
+            comm.node_bits[u] = int(self.node_bits_acc[p])
+            comm.node_messages[u] = int(self.node_msgs_acc[p])

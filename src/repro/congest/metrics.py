@@ -25,22 +25,214 @@ bit-identical to what a full-mode run of the same execution would report --
 only the per-edge breakdown is missing.  Calling a per-edge query
 (:meth:`cut_bits`, :meth:`max_bits_per_node`, :meth:`max_bits_per_edge`) on
 a lite ledger raises :class:`MetricsModeError`.
+
+Memory model at scale (see ``docs/engine_performance.md``): a lite ledger
+is *streaming* -- ``round_bits`` is a :class:`RoundLedger`, a bounded ring
+holding the most recent :data:`DEFAULT_ROUND_WINDOW` rounds, and the
+per-edge / per-node dictionaries are replaced by :class:`LiteLedgerGuard`
+sentinels that raise :class:`MetricsModeError` on any access.  A lite run
+therefore *cannot* silently materialize the O(n·rounds) full ledger: code
+that tries trips the guard instead of allocating.  Aggregate counters stay
+exact regardless of the window; only per-round history older than the
+window is evicted (querying an evicted round raises rather than guessing).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Set, Tuple
+from typing import Any, Dict, Iterable, Iterator, Optional, Set, Tuple
 
-__all__ = ["CommMetrics", "MetricsModeError", "METRIC_MODES"]
+__all__ = [
+    "CommMetrics",
+    "LiteLedgerGuard",
+    "MetricsModeError",
+    "METRIC_MODES",
+    "RoundLedger",
+    "DEFAULT_ROUND_WINDOW",
+]
 
 #: The metric modes :class:`CommMetrics` (and the engine) accept.
 METRIC_MODES = ("full", "lite")
 
+#: Per-round history retained by a lite ledger's :class:`RoundLedger`.
+#: Far above any experiment's round count, so sweeps see every round;
+#: bounded, so a pathological million-round run stays O(window) instead
+#: of O(rounds).
+DEFAULT_ROUND_WINDOW = 4096
+
 
 class MetricsModeError(RuntimeError):
     """A per-edge query was asked of a ``mode="lite"`` ledger."""
+
+
+class RoundLedger:
+    """Per-round bit totals bounded to a ring of recent rounds.
+
+    Behaves like the ``{round: bits}`` defaultdict it replaces for every
+    operation the engine and its consumers use -- ``ledger[r] += bits``,
+    ``get``, ``items``, iteration, equality -- but retains at most
+    ``window`` rounds: inserting a new round past the window evicts the
+    oldest retained one.  Reading an evicted round raises
+    :class:`MetricsModeError` (the truthful answer is gone; returning 0
+    would be silently wrong).  Equality compares retained contents, so
+    two lite runs of the same execution compare equal exactly as their
+    dict-backed ledgers used to.
+    """
+
+    __slots__ = ("window", "_data", "_evicted_before")
+
+    def __init__(self, window: int = DEFAULT_ROUND_WINDOW) -> None:
+        if not isinstance(window, int) or isinstance(window, bool) or window < 1:
+            raise ValueError(f"round window must be an int >= 1, got {window!r}")
+        self.window = window
+        self._data: Dict[int, int] = {}
+        #: Rounds below this bound have been evicted and are unanswerable.
+        self._evicted_before = 0
+
+    # -- mapping protocol (the engine writes via ``ledger[r] += bits``) --
+    def __getitem__(self, round_no: int) -> int:
+        if round_no in self._data:
+            return self._data[round_no]
+        self._check_retained(round_no)
+        return 0
+
+    def __setitem__(self, round_no: int, bits: int) -> None:
+        if round_no in self._data:
+            self._data[round_no] = bits
+            return
+        self._check_retained(round_no)
+        self._data[round_no] = bits
+        if len(self._data) > self.window:
+            # Rounds are recorded in ascending order, so insertion order
+            # is round order and the first key is the oldest round.
+            oldest = next(iter(self._data))
+            del self._data[oldest]
+            if oldest + 1 > self._evicted_before:
+                self._evicted_before = oldest + 1
+
+    def _check_retained(self, round_no: int) -> None:
+        if round_no < self._evicted_before:
+            raise MetricsModeError(
+                f"round {round_no} has been evicted from this lite ledger's "
+                f"{self.window}-round window; run with metrics='full' (or a "
+                "larger round_window) to keep the whole per-round history"
+            )
+
+    def get(self, round_no: int, default: int = 0) -> int:
+        if round_no in self._data:
+            return self._data[round_no]
+        self._check_retained(round_no)
+        return default
+
+    def keys(self) -> Iterator[int]:
+        return iter(self._data.keys())
+
+    def values(self) -> Iterator[int]:
+        return iter(self._data.values())
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._data.items())
+
+    def as_dict(self) -> Dict[int, int]:
+        """Plain-dict snapshot of the retained window."""
+        return dict(self._data)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._data)
+
+    def __contains__(self, round_no: object) -> bool:
+        return round_no in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RoundLedger):
+            return self._data == other._data
+        if isinstance(other, dict):
+            return self._data == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"RoundLedger(window={self.window}, rounds={len(self._data)}, "
+            f"evicted_before={self._evicted_before})"
+        )
+
+
+class LiteLedgerGuard:
+    """Tripwire standing in for a lite ledger's per-edge dictionaries.
+
+    The O(n·rounds) danger at scale is code that *writes* ``edge_bits`` /
+    ``node_bits`` / ``node_messages`` on a run that asked for lite
+    metrics -- historically that allocated the full ledger silently.  In
+    lite mode those fields hold this sentinel instead: every read or
+    write raises :class:`MetricsModeError` naming the field, so the
+    regression is a loud test failure instead of a memory blow-up.
+    """
+
+    __slots__ = ("_field",)
+
+    def __init__(self, field_name: str) -> None:
+        self._field = field_name
+
+    def _trip(self) -> None:
+        raise MetricsModeError(
+            f"CommMetrics.{self._field} is not maintained under "
+            "metrics='lite'; materializing it would reintroduce the "
+            "O(n*rounds) full ledger.  Run with metrics='full' if the "
+            "per-edge breakdown is needed."
+        )
+
+    def __getitem__(self, key: Any) -> int:
+        self._trip()
+        raise AssertionError("unreachable")
+
+    def __setitem__(self, key: Any, value: int) -> None:
+        self._trip()
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self._trip()
+
+    def keys(self) -> Any:
+        self._trip()
+
+    def values(self) -> Any:
+        self._trip()
+
+    def items(self) -> Any:
+        self._trip()
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        self._trip()
+
+    def __iter__(self) -> Iterator[Any]:
+        self._trip()
+        raise AssertionError("unreachable")
+
+    def __contains__(self, key: object) -> bool:
+        self._trip()
+        raise AssertionError("unreachable")
+
+    def __len__(self) -> int:
+        return 0
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LiteLedgerGuard):
+            return True
+        if isinstance(other, dict):
+            return len(other) == 0
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"LiteLedgerGuard({self._field!r})"
 
 
 @dataclass
@@ -65,10 +257,32 @@ class CommMetrics:
     total_messages: int = 0
     max_message_bits: int = 0
     mode: str = "full"
+    #: Per-round history window for lite mode (``None`` uses
+    #: :data:`DEFAULT_ROUND_WINDOW`); ignored in full mode.
+    round_window: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mode not in METRIC_MODES:
             raise ValueError(f"metrics mode must be one of {METRIC_MODES}, got {self.mode!r}")
+        if self.mode != "lite":
+            return
+        # Streaming lite ledger: bounded per-round ring, guarded per-edge
+        # fields (see the module docstring's memory model).
+        if not isinstance(self.round_bits, RoundLedger):
+            ring = RoundLedger(self.round_window or DEFAULT_ROUND_WINDOW)
+            for r in sorted(self.round_bits):
+                ring[r] = self.round_bits[r]
+            self.round_bits = ring
+        for name in ("edge_bits", "node_bits", "node_messages"):
+            current = getattr(self, name)
+            if isinstance(current, LiteLedgerGuard):
+                continue
+            if current:
+                raise MetricsModeError(
+                    f"CommMetrics(mode='lite') cannot carry a populated "
+                    f"{name} ledger; per-edge accounting is full-mode only"
+                )
+            setattr(self, name, LiteLedgerGuard(name))
 
     def record(self, round_no: int, sender: int, receiver: int, size_bits: int) -> None:
         """Record one message of ``size_bits`` bits from sender to receiver."""

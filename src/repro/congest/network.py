@@ -171,6 +171,82 @@ class CongestNetwork:
         # and shared (read-only) by every vectorized run on this network.
         self._edge_index_cache: Optional["EdgeIndex"] = None
 
+    @classmethod
+    def from_csr(
+        cls,
+        edge_index: "EdgeIndex",
+        bandwidth: Optional[int],
+        *,
+        namespace_size: Optional[int] = None,
+        knows_n: bool = True,
+    ) -> "CongestNetwork":
+        """Build a network directly over a prebuilt CSR edge index.
+
+        The shared-memory attach path (:mod:`repro.congest.shm`) uses this
+        so amplification workers wrap the parent's exported arrays without
+        re-deriving anything from a networkx graph.  Identifiers are the
+        index's ``ids`` with the identity assignment; private ``inputs``
+        are not supported (they never ride shared memory).  The
+        object-lane structures (``graph``, ``_adj``, ``_neighbor_tuples``)
+        materialize lazily on first use -- see :meth:`__getattr__` -- so
+        purely vectorized runs only ever pay for the neighbor tuples the
+        final contexts need.
+        """
+        grid = edge_index
+        if grid.n == 0:
+            raise ValueError("cannot simulate an empty network")
+        self = object.__new__(cls)
+        identity = {int(u): int(u) for u in grid.ids}
+        self.original_graph = None
+        self.assignment = identity
+        self.vertex_of = dict(identity)
+        self.bandwidth = bandwidth
+        self.n = grid.n
+        self.namespace_size = (
+            namespace_size
+            if namespace_size is not None
+            else max(int(grid.ids[-1]) + 1, grid.n)
+        )
+        self.knows_n = knows_n
+        self.inputs = {}
+        self._node_ids = tuple(identity)
+        self._edge_index_cache = grid
+        return self
+
+    def __getattr__(self, name: str) -> Any:
+        # Lazy object-lane structures for from_csr networks; regular
+        # construction sets all of these eagerly in __init__, so this
+        # only fires on CSR-built instances (or truly missing names).
+        if name in ("_neighbor_tuples", "_adj", "graph"):
+            grid = self.__dict__.get("_edge_index_cache")
+            if grid is None:
+                raise AttributeError(name)
+            if name == "_neighbor_tuples":
+                out_ptr = grid.out_ptr.tolist()
+                dst_ids = grid.ids[grid.dst].tolist()
+                value: Any = {
+                    int(u): tuple(dst_ids[out_ptr[p] : out_ptr[p + 1]])
+                    for p, u in enumerate(grid.ids.tolist())
+                }
+            elif name == "_adj":
+                value = {
+                    u: frozenset(t) for u, t in self._neighbor_tuples.items()
+                }
+            else:
+                value = nx.Graph()
+                value.add_nodes_from(self._node_ids)
+                src_ids = grid.ids[grid.src]
+                dst_ids = grid.ids[grid.dst]
+                fwd = src_ids < dst_ids
+                value.add_edges_from(
+                    zip(src_ids[fwd].tolist(), dst_ids[fwd].tolist())
+                )
+            setattr(self, name, value)
+            return value
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
     def edge_index(self) -> "EdgeIndex":
         """The network's read-only CSR edge index (vectorized lane)."""
         if self._edge_index_cache is None:
@@ -189,6 +265,8 @@ class CongestNetwork:
         metrics: str = "full",
         sanitize: bool = False,
         faults: Any = None,
+        backend: Optional[str] = None,
+        profile: Any = None,
     ) -> ExecutionResult:
         """Execute ``algorithm`` for up to ``max_rounds`` rounds.
 
@@ -223,7 +301,13 @@ class CongestNetwork:
         dispatched to the vectorized lane (batched array kernels over the
         precomputed edge index) with identical semantics -- decisions,
         round accounting, metrics ledger, ``sanitize`` and ``faults``
-        support all match the object lane bit-for-bit.
+        support all match the object lane bit-for-bit.  ``backend``
+        selects the vectorized lane's kernel backend
+        (``None``/``"numpy"`` is the reference; ``"numba"`` is
+        feature-gated) and ``profile`` (a
+        :class:`~repro.congest.kernels.KernelProfile`) opts into
+        per-phase wall-clock counters; both are ignored by the object
+        lane.
         """
         from .vectorized import VectorizedAlgorithm, execute_vectorized
 
@@ -232,7 +316,7 @@ class CongestNetwork:
             if not sanitize:
                 return execute_vectorized(
                     self, algorithm, max_rounds, seed, stop_on_reject, metrics,
-                    injector=injector,
+                    injector=injector, backend=backend, profile=profile,
                 )
             from .sanitizer import AliasGuard, VecTrafficDigest, verify_replay
 
@@ -240,12 +324,13 @@ class CongestNetwork:
             vfirst = VecTrafficDigest(guard=vguard)
             result = execute_vectorized(
                 self, algorithm, max_rounds, seed, stop_on_reject, metrics,
-                observer=vfirst, injector=injector,
+                observer=vfirst, injector=injector, backend=backend,
+                profile=profile,
             )
             vreplay = VecTrafficDigest()
             execute_vectorized(
                 self, algorithm, max_rounds, seed, stop_on_reject, metrics,
-                observer=vreplay, injector=injector,
+                observer=vreplay, injector=injector, backend=backend,
             )
             verify_replay(vfirst, vreplay)
             return result

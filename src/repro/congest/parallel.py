@@ -115,10 +115,16 @@ def shutdown_pools() -> None:
     """Shut down every persistent amplification pool (idempotent).
 
     Registered with :mod:`atexit`; call it directly to reclaim the worker
-    processes early (e.g. between benchmark scenarios).
+    processes early (e.g. between benchmark scenarios).  Also releases
+    every shared-memory graph segment this process exported or attached
+    (see :mod:`repro.congest.shm`), so no named segment outlives the
+    pools that were using it.
     """
     for jobs in list(_POOLS):
         _discard_pool(jobs)
+    from .shm import release_shared_graphs
+
+    release_shared_graphs()
 
 
 atexit.register(shutdown_pools)
@@ -127,6 +133,18 @@ atexit.register(shutdown_pools)
 
 _NET_CACHE: "OrderedDict[str, CongestNetwork]" = OrderedDict()
 _NET_CACHE_MAX = 8
+
+
+def _release_evicted(token: str) -> None:
+    """Close any shared-memory attachment backing an evicted cache entry.
+
+    No-op for networks built from pickled graphs; for shm-attached
+    networks the eviction just dropped the cache's reference to the
+    mapped arrays, so this process's attachment can close with it.
+    """
+    from .shm import release_attachment
+
+    release_attachment(token)
 
 
 def _net_token(
@@ -243,13 +261,24 @@ def _run_chunk(spec: Dict[str, Any]) -> List[IterationOutcome]:
     token = spec.get("net_token")
     net = _NET_CACHE.get(token) if token is not None else None  # repro: noqa[L8]
     if net is None:
-        net = CongestNetwork(
-            spec["graph"], bandwidth=spec["bandwidth"], **spec["network_kwargs"]
-        )
+        handle = spec.get("shm_graph")
+        if handle is not None:
+            # Shared-graph spec: attach to the parent's exported CSR
+            # arrays instead of rebuilding the network from a pickled
+            # graph (namespace_size / knows_n travel in the handle).
+            from .shm import attach_network
+
+            net = attach_network(handle, bandwidth=spec["bandwidth"])
+        else:
+            net = CongestNetwork(
+                spec["graph"], bandwidth=spec["bandwidth"], **spec["network_kwargs"]
+            )
         if token is not None:
             _NET_CACHE[token] = net  # repro: noqa[L8]
             while len(_NET_CACHE) > _NET_CACHE_MAX:  # repro: noqa[L8]
-                _NET_CACHE.popitem(last=False)  # repro: noqa[L8]
+                evicted, stale = _NET_CACHE.popitem(last=False)  # repro: noqa[L8]
+                del stale  # drop the array views before closing the segment
+                _release_evicted(evicted)
     else:
         _NET_CACHE.move_to_end(token)  # repro: noqa[L8]
     factory: Callable[[int], Algorithm] = spec["algo_factory"]
@@ -316,6 +345,7 @@ def run_amplified(
     stop_on_detect: bool = True,
     chunks_per_job: int = 4,
     network_kwargs: Optional[Dict[str, Any]] = None,
+    share_graph: Optional[bool] = None,
     faults: Optional[str] = None,
     pool_retries: int = 2,
     backoff_base: float = 0.05,
@@ -364,6 +394,18 @@ def run_amplified(
         :meth:`repro.runtime.session.RunSession.amplify` to record the
         ladder in the run record.
 
+    ``share_graph``
+        Place the parent's CSR edge index in shared memory and ship
+        workers a small handle instead of the pickled graph (see
+        :mod:`repro.congest.shm`).  ``None`` (default) auto-enables for
+        graphs with at least ``GRAPH_SHARE_MIN_NODES`` nodes when the
+        network is built from the graph alone (plus ``namespace_size`` /
+        ``knows_n``); ``True`` forces sharing (and raises
+        :class:`ValueError` for ineligible ``network_kwargs`` -- custom
+        ``inputs`` / ``assignment`` never ride shared memory); ``False``
+        always pickles the graph.  Sharing changes wall-clock and peak
+        RSS only, never outcomes.
+
     Adaptive stopping knobs (see the module docstring):
 
     ``target_confidence`` / ``success_probability``
@@ -398,6 +440,24 @@ def run_amplified(
     if batch_seeds is not None and batch_seeds < 1:
         raise ValueError("batch_seeds must be >= 1")
     network_kwargs = dict(network_kwargs or {})
+
+    # Sharing eligibility: only networks fully determined by (graph,
+    # bandwidth, namespace_size, knows_n) can be rebuilt from the CSR
+    # arrays alone -- custom inputs / assignments would be silently lost.
+    shareable_kwargs = set(network_kwargs) <= {"namespace_size", "knows_n"}
+    if share_graph and not shareable_kwargs:
+        raise ValueError(
+            "share_graph=True requires a network built from the graph "
+            "alone (plus namespace_size / knows_n); custom network_kwargs "
+            "cannot ride shared memory"
+        )
+    if share_graph is None:
+        from .shm import GRAPH_SHARE_MIN_NODES
+
+        share_graph = (
+            shareable_kwargs
+            and graph.number_of_nodes() >= GRAPH_SHARE_MIN_NODES
+        )
 
     cap = iterations if max_seeds is None else min(iterations, max_seeds)
     target: Optional[int] = None
@@ -464,6 +524,29 @@ def run_amplified(
         return _finish(ordered, point)
 
     jobs = min(jobs, cap)
+    if share_graph and jobs > 1:
+        # Build (or reuse) the network parent-side, export its CSR arrays
+        # once, and swap the pickled graph out of the specs for a small
+        # handle.  The parent-side LRU entry means the inline fallback
+        # paths (_salvage, serial degradation) hit the cache -- and
+        # attach_network reuses the export mapping in-process anyway.
+        from .shm import export_network
+
+        token = spec_base["net_token"]
+        net = _NET_CACHE.get(token)  # repro: noqa[L8]
+        if net is None:
+            net = CongestNetwork(graph, bandwidth=bandwidth, **network_kwargs)
+            _NET_CACHE[token] = net  # repro: noqa[L8]
+            while len(_NET_CACHE) > _NET_CACHE_MAX:  # repro: noqa[L8]
+                evicted, stale = _NET_CACHE.popitem(last=False)  # repro: noqa[L8]
+                del stale  # drop the array views before closing the segment
+                _release_evicted(evicted)
+        else:
+            _NET_CACHE.move_to_end(token)  # repro: noqa[L8]
+        spec_base = {
+            k: v for k, v in spec_base.items() if k != "graph"
+        }
+        spec_base["shm_graph"] = export_network(net, token)
     adaptive = (
         target is not None or batch_seeds is not None or governor is not None
     )

@@ -49,12 +49,15 @@ upper-bound sweeps and benchmarks.  See ``docs/engine_performance.md``.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .algorithm import Decision
+from .kernels import KernelProfile, RoundKernel, resolve_backend
 from .message import BandwidthExceeded
 from .metrics import METRIC_MODES, CommMetrics
 
@@ -65,6 +68,7 @@ __all__ = [
     "VecRun",
     "VectorizedAlgorithm",
     "execute_vectorized",
+    "execute_vectorized_reference",
     "VEC_UNDECIDED",
     "VEC_ACCEPT",
     "VEC_REJECT",
@@ -116,9 +120,27 @@ class EdgeIndex:
     in_rank : ``(E,)`` rank of each out-order edge in the ``(dst, src)``
         ordering ("in order") -- the delivery permutation.
     deg : ``(n,)`` node degrees.
+    in_order : ``(E,)`` inverse of ``in_rank``: the out-order edge index at
+        each in-order rank (``in_rank[in_order] == arange(E)``).
+    in_recv, in_send : ``(E,)`` receiver / sender positions in in order --
+        the precomputed ``(recv, send)`` layout a full-broadcast round
+        delivers into without any per-round sorting.
     """
 
-    __slots__ = ("n", "num_directed", "ids", "src", "dst", "out_ptr", "in_rank", "deg")
+    __slots__ = (
+        "n",
+        "num_directed",
+        "ids",
+        "src",
+        "dst",
+        "out_ptr",
+        "in_rank",
+        "deg",
+        "in_order",
+        "in_recv",
+        "in_send",
+        "_all_edges",
+    )
 
     def __init__(
         self,
@@ -127,33 +149,116 @@ class EdgeIndex:
     ) -> None:
         ids = np.asarray(node_ids, dtype=np.int64)
         n = ids.shape[0]
-        pos = {int(u): p for p, u in enumerate(ids)}
-        src_l: List[int] = []
-        dst_l: List[int] = []
-        for p, u in enumerate(ids):
-            for v in neighbor_tuples[int(u)]:
-                src_l.append(p)
-                dst_l.append(pos[v])
-        src = np.asarray(src_l, dtype=np.int64)
-        dst = np.asarray(dst_l, dtype=np.int64)
+        deg = np.fromiter(
+            (len(neighbor_tuples[int(u)]) for u in ids), dtype=np.int64, count=n
+        )
+        e = int(deg.sum())
+        src = np.repeat(np.arange(n, dtype=np.int64), deg)
+        nbr_ids = np.fromiter(
+            chain.from_iterable(neighbor_tuples[int(u)] for u in ids),
+            dtype=np.int64,
+            count=e,
+        )
+        # Every neighbor identifier is a node identifier, so searchsorted
+        # against the sorted id array is the id -> position map.
+        dst = np.searchsorted(ids, nbr_ids)
         # node_ids and each neighbor tuple are sorted ascending, so (src,
         # dst) is already in lexicographic out order.
-        deg = np.bincount(src, minlength=n).astype(np.int64)
-        out_ptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(deg, out=out_ptr[1:])
-        in_order = np.lexsort((src, dst))
-        in_rank = np.empty_like(in_order)
-        in_rank[in_order] = np.arange(in_order.shape[0], dtype=np.int64)
-        for arr in (ids, src, dst, out_ptr, in_rank, deg):
+        self._finalize(ids, src, dst, deg=deg)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        ids: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        *,
+        deg: Optional[np.ndarray] = None,
+        out_ptr: Optional[np.ndarray] = None,
+        in_rank: Optional[np.ndarray] = None,
+        in_order: Optional[np.ndarray] = None,
+        in_recv: Optional[np.ndarray] = None,
+        in_send: Optional[np.ndarray] = None,
+    ) -> "EdgeIndex":
+        """Build an index directly from CSR arrays.
+
+        The shared-memory attach path (:mod:`repro.congest.shm`) uses this
+        to wrap a worker's zero-copy views of the parent's arrays; any
+        derived array not supplied is recomputed.  ``src``/``dst`` must be
+        in lexicographic out order and ``ids`` ascending -- exactly what
+        a regular construction produces.
+        """
+        self = object.__new__(cls)
+        self._finalize(
+            np.asarray(ids, dtype=np.int64),
+            np.asarray(src, dtype=np.int64),
+            np.asarray(dst, dtype=np.int64),
+            deg=deg,
+            out_ptr=out_ptr,
+            in_rank=in_rank,
+            in_order=in_order,
+            in_recv=in_recv,
+            in_send=in_send,
+        )
+        return self
+
+    def _finalize(
+        self,
+        ids: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        *,
+        deg: Optional[np.ndarray] = None,
+        out_ptr: Optional[np.ndarray] = None,
+        in_rank: Optional[np.ndarray] = None,
+        in_order: Optional[np.ndarray] = None,
+        in_recv: Optional[np.ndarray] = None,
+        in_send: Optional[np.ndarray] = None,
+    ) -> None:
+        n = ids.shape[0]
+        e = int(src.shape[0])
+        if deg is None:
+            deg = np.bincount(src, minlength=n).astype(np.int64)
+        if out_ptr is None:
+            out_ptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(deg, out=out_ptr[1:])
+        if in_rank is None:
+            in_order = np.lexsort((src, dst)).astype(np.int64, copy=False)
+            in_rank = np.empty_like(in_order)
+            in_rank[in_order] = np.arange(e, dtype=np.int64)
+        elif in_order is None:
+            in_order = np.empty_like(in_rank)
+            in_order[in_rank] = np.arange(e, dtype=np.int64)
+        if in_recv is None:
+            in_recv = dst[in_order]
+        if in_send is None:
+            in_send = src[in_order]
+        all_edges = np.arange(e, dtype=np.int64)
+        for arr in (
+            ids,
+            src,
+            dst,
+            out_ptr,
+            in_rank,
+            deg,
+            in_order,
+            in_recv,
+            in_send,
+            all_edges,
+        ):
             arr.setflags(write=False)
-        self.n = n
-        self.num_directed = int(src.shape[0])
+        self.n = int(n)
+        self.num_directed = e
         self.ids = ids
         self.src = src
         self.dst = dst
         self.out_ptr = out_ptr
         self.in_rank = in_rank
         self.deg = deg
+        self.in_order = in_order
+        self.in_recv = in_recv
+        self.in_send = in_send
+        self._all_edges = all_edges
 
     # ------------------------------------------------------------------
     def pos_of(self, identifiers: np.ndarray) -> np.ndarray:
@@ -171,8 +276,14 @@ class EdgeIndex:
         return _ranges(self.out_ptr[sender_positions], self.deg[sender_positions])
 
     def all_edges(self) -> np.ndarray:
-        """Out-order indices of every directed edge (global broadcast)."""
-        return np.arange(self.num_directed, dtype=np.int64)
+        """Out-order indices of every directed edge (global broadcast).
+
+        Returns the index's cached read-only arange: an outbox built from
+        it is recognised *by identity* in the fused round kernel and skips
+        outbox validation entirely (the array is the engine's own
+        constant, necessarily sorted / unique / in range).
+        """
+        return self._all_edges
 
 
 @dataclass
@@ -250,6 +361,43 @@ class VecRun:
         return self.inputs.get(int(self.grid.ids[pos]))
 
 
+class _LazyRngs:
+    """Per-node generators spawned on first touch (fused lane only).
+
+    Constructing ``n`` :class:`numpy.random.Generator` objects dominates
+    the whole engine wrapper at ``n ~ 10^5`` (well over a second at
+    ``n = 65536``), yet most vectorized kernels never read ``run.rngs``.
+    This sequence holds only the derived seeds and builds each generator
+    at its first ``[p]`` access, caching it for repeat reads.
+
+    Seed derivation is bit-identical to the eager list: numpy's bounded
+    ``integers(0, 2**63)`` consumes exactly one 64-bit word per value
+    (the bound is a power of two, so masking never rejects), hence the
+    vectorized ``size=n`` draw yields the same stream as ``n`` sequential
+    single-value draws -- pinned by a regression test.
+    """
+
+    __slots__ = ("_seeds", "_made")
+
+    def __init__(self, seeds: np.ndarray):
+        self._seeds = seeds
+        self._made: Dict[int, np.random.Generator] = {}
+
+    def __len__(self) -> int:
+        return int(self._seeds.shape[0])
+
+    def __getitem__(self, pos: int) -> np.random.Generator:
+        rng = self._made.get(pos)
+        if rng is None:
+            rng = np.random.default_rng(int(self._seeds[pos]))
+            self._made[pos] = rng
+        return rng
+
+    def materialized(self, pos: int) -> Optional[np.random.Generator]:
+        """The generator for ``pos`` if the run ever touched it."""
+        return self._made.get(pos)
+
+
 class VectorizedAlgorithm(abc.ABC):
     """A CONGEST algorithm expressed as batched array kernels.
 
@@ -323,6 +471,8 @@ def execute_vectorized(
     metrics: str,
     observer: Optional[Any] = None,
     injector: Optional[Any] = None,
+    backend: Optional[str] = None,
+    profile: Optional[KernelProfile] = None,
 ):
     """One pass of the vectorized round loop over ``net``.
 
@@ -339,6 +489,215 @@ def execute_vectorized(
     their sends masked out of the outbox before validation and billing;
     delivery faults mask and zero rows of the packed inbox *after*
     billing, so the accounting still reflects what was sent.
+
+    The per-round validate -> bill -> deliver sequence runs on a fused
+    :class:`~repro.congest.kernels.RoundKernel` (``backend`` selects its
+    primitive implementation; ``None``/``"numpy"`` is the reference).
+    :func:`execute_vectorized_reference` is the frozen pre-fusion loop the
+    differential suites and benchmarks compare against.  ``profile``
+    (a :class:`~repro.congest.kernels.KernelProfile`, opt-in) accumulates
+    per-phase wall-clock for the run; ``None`` keeps the loop timer-free.
+    """
+    from .network import ExecutionResult  # local import: network imports us
+    from .algorithm import NodeContext
+
+    if metrics not in METRIC_MODES:
+        raise ValueError(f"metrics must be one of {METRIC_MODES}, got {metrics!r}")
+    ops = resolve_backend(backend)
+    comm = CommMetrics(mode=metrics)
+    grid = net.edge_index()
+    n = grid.n
+    if seed is not None:
+        master = np.random.default_rng(seed)
+        # One vectorized draw, same stream as n sequential draws (see
+        # _LazyRngs); generators themselves are built only on first use.
+        rngs: Any = _LazyRngs(master.integers(0, 2**63, size=n))
+    else:
+        rngs = [None] * n
+    run = VecRun(
+        grid=grid,
+        n=n,
+        namespace_size=net.namespace_size,
+        bandwidth=net.bandwidth,
+        knows_n=net.knows_n,
+        inputs=net.inputs,
+        rngs=rngs,
+    )
+    state = algorithm.init_state(run)
+    if observer is not None:
+        observer.vec_after_init(run)
+
+    full = metrics == "full"
+    kernel = RoundKernel(
+        grid,
+        net.bandwidth,
+        comm,
+        observer=observer,
+        injector=injector,
+        ops=ops,
+        profile=profile,
+        track_full=full,
+    )
+
+    # Fault state: per-position crash rounds (schedule entries naming
+    # identifiers absent from this graph are ignored, as in the object
+    # lane) and the frozen decisions of activated crashes.
+    crash_round_pos: Optional[np.ndarray] = None
+    if injector is not None and injector.crash_round_of:
+        never = np.iinfo(np.int64).max
+        cr = np.full(n, never, dtype=np.int64)
+        for u, at in injector.crash_round_of.items():
+            p = int(np.searchsorted(grid.ids, u))
+            if p < n and int(grid.ids[p]) == u:
+                cr[p] = at
+        if bool((cr != never).any()):
+            crash_round_pos = cr
+    crash_halted = np.zeros(n, dtype=bool)
+    frozen_decision = np.zeros(n, dtype=run.decision.dtype)
+
+    inbox = VecInbox.empty()
+    rounds_run = 0
+    for r in range(max_rounds):
+        if crash_round_pos is not None:
+            # Crash-stop activation, identical to the object lane: the
+            # node is a forced halt from its scheduled round on and its
+            # decision freezes at the value it had when that round began.
+            newly = (~crash_halted) & (crash_round_pos <= r)
+            if newly.any():
+                frozen_decision[newly] = run.decision[newly]
+                crash_halted |= newly
+                run.halted[newly] = True
+        if run.halted.all():
+            break
+        if stop_on_reject and bool((run.decision == VEC_REJECT).any()):
+            break
+        if profile is not None:
+            t0 = time.perf_counter()
+        out = algorithm.step_all(run, r, state, inbox)
+        if profile is not None:
+            profile.step_s += time.perf_counter() - t0
+        if crash_round_pos is not None and crash_halted.any():
+            # Kernels may keep writing crashed positions' outputs; the
+            # engine owns crash semantics, so pin them back every round.
+            run.decision[crash_halted] = frozen_decision[crash_halted]
+            run.halted |= crash_halted
+        any_traffic = out is not None and out.edges.shape[0] > 0
+        if any_traffic:
+            edges = np.asarray(out.edges, dtype=np.int64)
+            payload = np.asarray(out.payload)
+            if payload.shape[0] != edges.shape[0]:
+                raise ValueError(
+                    f"round {r}: outbox payload rows ({payload.shape[0]}) != "
+                    f"edges ({edges.shape[0]})"
+                )
+            sizes = out.size_bits
+            per_message = isinstance(sizes, np.ndarray)
+            if per_message and sizes.shape[0] != edges.shape[0]:
+                raise ValueError(
+                    f"round {r}: size_bits array length ({sizes.shape[0]}) != "
+                    f"edges ({edges.shape[0]})"
+                )
+            if crash_round_pos is not None and crash_halted.any():
+                # A crashed node sends nothing: mask its edges out before
+                # validation and billing, exactly as the object lane's
+                # forced halt keeps its round callback from running.
+                alive = ~crash_halted[grid.src[edges]]
+                if not alive.all():
+                    edges = edges[alive]
+                    payload = payload[alive]
+                    if per_message:
+                        sizes = sizes[alive]
+                    any_traffic = edges.shape[0] > 0
+        if any_traffic:
+            # Fused validate -> bill -> deliver pass (see kernels.py).
+            inbox = kernel.process(r, edges, payload, sizes, per_message)
+        else:
+            inbox = VecInbox.empty()
+            if observer is not None:
+                observer.vec_round(r, _EMPTY_I64, 0, None)
+        rounds_run = r + 1
+        if observer is not None:
+            observer.vec_after_round(r, run)
+        if not any_traffic and algorithm.all_quiescent(run, state):
+            # Terminal silent quiescence probe: not billable (see the
+            # engine module docstring).  Identical rollback to the object
+            # lane.
+            rounds_run = r
+            break
+
+    algorithm.finish_all(run, state)
+    if crash_round_pos is not None and crash_halted.any():
+        # A crashed node never reaches finish: restore its frozen
+        # decision over whatever finish_all computed from its dead state.
+        run.decision[crash_halted] = frozen_decision[crash_halted]
+        run.halted |= crash_halted
+
+    contexts: Dict[int, NodeContext] = {}
+    decisions: Dict[int, Decision] = {}
+    lazy_rngs = rngs if isinstance(rngs, _LazyRngs) else None
+    for p in range(n):
+        u = int(grid.ids[p])
+        d = _DECISION_OF_CODE[int(run.decision[p])]
+        ctx = NodeContext(
+            id=u,
+            neighbors=net._neighbor_tuples[u],
+            n=net.n if net.knows_n else None,
+            namespace_size=net.namespace_size,
+            bandwidth=net.bandwidth,
+            input=net.inputs.get(u),
+            # Only generators the kernel actually touched ride into the
+            # synthesized contexts; spawning n untouched ones here would
+            # undo the lazy win.  (node.rng is only ever *used* during
+            # object-lane execution.)
+            rng=lazy_rngs.materialized(p) if lazy_rngs is not None else rngs[p],
+            state=dict(algorithm.node_state(run, state, p)),
+            round=max(rounds_run - 1, 0),
+            decision=d,
+        )
+        ctx._halted = bool(run.halted[p])
+        contexts[u] = ctx
+        decisions[u] = d
+    if observer is not None:
+        observer.vec_after_finish(contexts)
+
+    # Lazy full-mode expansion: the kernel's flat accumulators become the
+    # per-edge / per-node dictionaries only now, once, instead of 2m dict
+    # updates per round.  No-op under lite metrics.
+    kernel.expand_full_ledger()
+
+    if any(d is Decision.REJECT for d in decisions.values()):
+        global_decision = Decision.REJECT
+    else:
+        global_decision = Decision.ACCEPT
+    return ExecutionResult(
+        decision=global_decision,
+        rounds=rounds_run,
+        metrics=comm,
+        node_decisions=decisions,
+        contexts=contexts,
+    )
+
+
+def execute_vectorized_reference(
+    net: Any,
+    algorithm: VectorizedAlgorithm,
+    max_rounds: int,
+    seed: Optional[int],
+    stop_on_reject: bool,
+    metrics: str,
+    observer: Optional[Any] = None,
+    injector: Optional[Any] = None,
+):
+    """The frozen pre-fusion vectorized round loop.
+
+    A verbatim copy of :func:`execute_vectorized` as it stood before the
+    fused :class:`~repro.congest.kernels.RoundKernel` landed: per-round
+    stable argsorts for outbox validation and delivery ordering, fresh
+    temporaries every round, inline full-mode accumulators.  Kept as the
+    baseline the fused engine is differentially tested against
+    (``tests/congest/test_kernels.py``) and benchmarked against
+    (``benchmarks/bench_scale.py`` asserts the fused speedup).  Not part
+    of the production call path -- do not optimise.
     """
     from .network import ExecutionResult  # local import: network imports us
     from .algorithm import NodeContext
@@ -373,9 +732,6 @@ def execute_vectorized(
         node_bits_acc = np.zeros(n, dtype=np.int64)
         node_msgs_acc = np.zeros(n, dtype=np.int64)
 
-    # Fault state: per-position crash rounds (schedule entries naming
-    # identifiers absent from this graph are ignored, as in the object
-    # lane) and the frozen decisions of activated crashes.
     apply_delivery = injector is not None and injector.affects_delivery
     crash_round_pos: Optional[np.ndarray] = None
     if injector is not None and injector.crash_round_of:
@@ -395,9 +751,6 @@ def execute_vectorized(
     rounds_run = 0
     for r in range(max_rounds):
         if crash_round_pos is not None:
-            # Crash-stop activation, identical to the object lane: the
-            # node is a forced halt from its scheduled round on and its
-            # decision freezes at the value it had when that round began.
             newly = (~crash_halted) & (crash_round_pos <= r)
             if newly.any():
                 frozen_decision[newly] = run.decision[newly]
@@ -409,8 +762,6 @@ def execute_vectorized(
             break
         out = algorithm.step_all(run, r, state, inbox)
         if crash_round_pos is not None and crash_halted.any():
-            # Kernels may keep writing crashed positions' outputs; the
-            # engine owns crash semantics, so pin them back every round.
             run.decision[crash_halted] = frozen_decision[crash_halted]
             run.halted |= crash_halted
         any_traffic = out is not None and out.edges.shape[0] > 0
@@ -430,9 +781,6 @@ def execute_vectorized(
                     f"edges ({edges.shape[0]})"
                 )
             if crash_round_pos is not None and crash_halted.any():
-                # A crashed node sends nothing: mask its edges out before
-                # validation and billing, exactly as the object lane's
-                # forced halt keeps its round callback from running.
                 alive = ~crash_halted[grid.src[edges]]
                 if not alive.all():
                     edges = edges[alive]
@@ -492,10 +840,6 @@ def execute_vectorized(
             if observer is not None:
                 observer.vec_round(r, edges, sizes, payload)
             if apply_delivery:
-                # Wire faults act between billing and the inbox: drops /
-                # stalls / throttles remove rows, corruption zeroes them.
-                # any_traffic stays True -- the messages *were* sent --
-                # matching the object lane's quiescence accounting.
                 keep, corrupt = injector.delivery_mask(
                     r,
                     grid.ids[grid.src[edges]],
@@ -511,12 +855,8 @@ def execute_vectorized(
                     if per_message:
                         sizes = sizes[keep]
             if edges.shape[0] == 0:
-                # Everything sent this round was lost in transit.
                 inbox = VecInbox.empty()
             else:
-                # Deliver: reorder to (recv, send) -- ascending sender
-                # within each receiver, the object lane's inbox iteration
-                # order.
                 dorder = np.argsort(grid.in_rank[edges], kind="stable")
                 d_edges = edges[dorder]
                 inbox = VecInbox(
@@ -534,16 +874,11 @@ def execute_vectorized(
         if observer is not None:
             observer.vec_after_round(r, run)
         if not any_traffic and algorithm.all_quiescent(run, state):
-            # Terminal silent quiescence probe: not billable (see the
-            # engine module docstring).  Identical rollback to the object
-            # lane.
             rounds_run = r
             break
 
     algorithm.finish_all(run, state)
     if crash_round_pos is not None and crash_halted.any():
-        # A crashed node never reaches finish: restore its frozen
-        # decision over whatever finish_all computed from its dead state.
         run.decision[crash_halted] = frozen_decision[crash_halted]
         run.halted |= crash_halted
 
@@ -571,12 +906,8 @@ def execute_vectorized(
         observer.vec_after_finish(contexts)
 
     if full:
-        # Lazy expansion: the flat accumulators become the full-mode
-        # dictionaries only now, once, instead of 2m dict updates per round.
         src_ids = grid.ids[grid.src]
         dst_ids = grid.ids[grid.dst]
-        # Keyed on messages, not bits: the object lane creates a ledger
-        # entry even for a 0-bit message (e.g. silent one-round leaves).
         for e in np.nonzero(edge_msgs_acc)[0]:
             comm.edge_bits[(int(src_ids[e]), int(dst_ids[e]))] = int(edge_bits_acc[e])
         for p in np.nonzero(node_msgs_acc)[0]:

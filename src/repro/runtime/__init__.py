@@ -35,7 +35,7 @@ internally, so results are bit-identical for fixed seeds either way.
 """
 
 from .checkpoint import CheckpointError, SweepCheckpoint, cell_key
-from .governor import PeakHoldGovernor
+from .governor import GovernorStateStore, PeakHoldGovernor
 from .policy import (
     LANES,
     MODELS,
@@ -61,6 +61,7 @@ __all__ = [
     "AmplificationPolicy",
     "ExecutionPolicy",
     "PeakHoldGovernor",
+    "GovernorStateStore",
     "PolicyError",
     "seeds_for_confidence",
     "LANES",

@@ -23,9 +23,13 @@ ungoverned one.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
 
-__all__ = ["PeakHoldGovernor"]
+__all__ = ["GovernorStateStore", "PeakHoldGovernor"]
 
 #: Default decay applied to the held peak per observation.
 DEFAULT_DECAY = 0.9
@@ -76,6 +80,22 @@ class PeakHoldGovernor:
         slots = int(self.budget // self.peak)
         return max(1, min(requested, slots))
 
+    def restore(self, peak: float, observed: int) -> None:
+        """Adopt a persisted estimate (see :class:`GovernorStateStore`).
+
+        A restored governor starts throttled at the carried peak instead
+        of granting the first batch unthrottled -- the point of
+        persistence: a cold CLI process inherits the previous process's
+        cost estimate.  The estimate then evolves normally (new
+        observations decay or replace it).
+        """
+        peak = float(peak)
+        observed = int(observed)
+        if peak < 0 or observed < 0:
+            raise ValueError("persisted governor state must be non-negative")
+        self.peak = peak
+        self.observed = observed
+
     def snapshot(self) -> Dict[str, Any]:
         """State for a ``governor`` note event."""
         return {
@@ -84,3 +104,54 @@ class PeakHoldGovernor:
             "peak": self.peak,
             "observed": self.observed,
         }
+
+
+class GovernorStateStore:
+    """JSON sidecar persisting peak-hold estimates across processes.
+
+    One file holds one entry per *policy hash*: runs under different
+    policies (different bandwidth, lane, fault plan...) have unrelated
+    cost profiles, so their estimates never mix.  Writes are atomic
+    (temp file + :func:`os.replace` in the same directory), so a crashed
+    or concurrent writer can corrupt nothing -- readers see either the
+    old snapshot or the new one.
+
+    Wired into :class:`~repro.runtime.session.RunSession` via its
+    ``governor_state`` argument or the ``REPRO_GOVERNOR_STATE``
+    environment variable; a session restores its governor's estimate at
+    open and saves it at close, so back-to-back CLI invocations start
+    throttled instead of re-learning the peak from scratch.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def _read_all(self) -> Dict[str, Any]:
+        try:
+            data = json.loads(self.path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def load(self, policy_hash: str) -> Optional[Dict[str, Any]]:
+        """The persisted entry for ``policy_hash``, or ``None``."""
+        entry = self._read_all().get(policy_hash)
+        if not isinstance(entry, dict) or "peak" not in entry:
+            return None
+        return entry
+
+    def save(self, policy_hash: str, governor: PeakHoldGovernor) -> Path:
+        """Merge ``governor``'s estimate under ``policy_hash``; atomic."""
+        data = self._read_all()
+        data[policy_hash] = {
+            "peak": governor.peak,
+            "observed": governor.observed,
+            "budget": governor.budget,
+            "decay": governor.decay,
+            "saved_unix": int(time.time()),
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.parent / f".{self.path.name}.tmp.{os.getpid()}"
+        tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, self.path)
+        return self.path

@@ -45,7 +45,7 @@ from ..congest.congested_clique import CongestedClique
 from ..congest.local_model import LocalNetwork
 from ..congest.network import CongestNetwork, ExecutionResult
 from ..congest.parallel import AmplifiedOutcome, run_amplified, shutdown_pools
-from .governor import PeakHoldGovernor
+from .governor import GovernorStateStore, PeakHoldGovernor
 from .policy import ExecutionPolicy
 from .record import (
     RunRecord,
@@ -85,6 +85,20 @@ class RunSession:
         sweep, so the peak-hold estimate carries over); ``None`` builds
         one from the policy's ``governor_budget`` / ``governor_decay``
         if set, else runs ungoverned.
+    governor_state:
+        A :class:`~repro.runtime.governor.GovernorStateStore` (or a path
+        to one) persisting the governor's peak-hold estimate across
+        processes, keyed by policy hash: the session restores the
+        estimate at open and saves it at close, so a cold CLI invocation
+        starts throttled instead of re-learning the peak.  ``None``
+        falls back to the ``REPRO_GOVERNOR_STATE`` environment variable;
+        unset means no persistence.  Ignored for ungoverned sessions.
+    profile:
+        ``True`` threads a :class:`~repro.congest.kernels.KernelProfile`
+        through every vectorized :meth:`run` and appends its per-phase
+        wall-clock breakdown as a ``vec_profile`` note event (recorded
+        sessions only).  Off by default: profile notes carry timings, so
+        they would (correctly) show up as divergence in record diffs.
     **overrides:
         Convenience policy overrides: ``RunSession(jobs=4)`` is
         ``RunSession(ExecutionPolicy().merged(jobs=4))``.
@@ -97,6 +111,8 @@ class RunSession:
         record: "bool | RunRecord" = False,
         owns_pools: bool = True,
         governor: Optional[PeakHoldGovernor] = None,
+        governor_state: "str | GovernorStateStore | None" = None,
+        profile: bool = False,
         **overrides: Any,
     ) -> None:
         base = policy if policy is not None else ExecutionPolicy()
@@ -124,6 +140,25 @@ class RunSession:
             )
         else:
             self.governor = None
+        if governor_state is None:
+            import os
+
+            env_path = os.environ.get("REPRO_GOVERNOR_STATE")
+            governor_state = env_path if env_path else None
+        self.governor_store: Optional[GovernorStateStore]
+        if governor_state is None:
+            self.governor_store = None
+        elif isinstance(governor_state, GovernorStateStore):
+            self.governor_store = governor_state
+        else:
+            self.governor_store = GovernorStateStore(governor_state)
+        if self.governor is not None and self.governor_store is not None:
+            persisted = self.governor_store.load(self.policy.policy_hash())
+            if persisted is not None:
+                self.governor.restore(
+                    persisted["peak"], persisted.get("observed", 0)
+                )
+        self.profile_runs = bool(profile)
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------
@@ -145,6 +180,14 @@ class RunSession:
         self._closed = True
         if self.record is not None:
             self.record.finalize()
+        if (
+            self.governor is not None
+            and self.governor_store is not None
+            and self.governor.observed > 0
+        ):
+            # Persist the learned estimate (only when something was
+            # observed -- a fresh governor must not clobber a prior one).
+            self.governor_store.save(self.policy.policy_hash(), self.governor)
         if self.owns_pools:
             shutdown_pools()
         if not self.policy.cache:
@@ -220,9 +263,19 @@ class RunSession:
         (:data:`_NUMPY_FAULTS`), the run is retried with ``fallback``
         under the same seed and policy, and the degradation is recorded
         as a ``degradation`` note event and in :attr:`degradations`.
+
+        A ``profile=True`` session threads a
+        :class:`~repro.congest.kernels.KernelProfile` through vectorized
+        runs; its per-phase timings land as a ``vec_profile`` note event
+        after the run event.  Otherwise the round loop stays timer-free.
         """
         run_seed = self.policy.seed if seed is _UNSET else seed
         t0 = time.perf_counter() if self.record is not None else 0.0
+        profile = None
+        if self.profile_runs and self.record is not None:
+            from ..congest.kernels import KernelProfile
+
+            profile = KernelProfile()
         try:
             result = net.run(
                 algorithm,
@@ -232,6 +285,8 @@ class RunSession:
                 metrics=self.policy.metrics,
                 sanitize=self.policy.sanitize,
                 faults=self.policy.faults,
+                backend=self.policy.backend,
+                profile=profile,
             )
         except _NUMPY_FAULTS as exc:
             if fallback is None:
@@ -267,6 +322,10 @@ class RunSession:
                     wall_ms=wall_ms,
                 )
             )
+            if profile is not None and profile.rounds > 0:
+                # Object-lane runs leave the profile untouched (rounds=0):
+                # only vectorized runs emit the phase breakdown.
+                self.note("vec_profile", **profile.as_dict())
         return result
 
     def amplify(
@@ -281,6 +340,7 @@ class RunSession:
         stop_on_detect: bool = True,
         chunks_per_job: int = 4,
         network_kwargs: Optional[Dict[str, Any]] = None,
+        share_graph: Optional[bool] = None,
         label: Optional[str] = None,
         pool_retries: int = 2,
         backoff_base: float = 0.05,
@@ -330,6 +390,7 @@ class RunSession:
             stop_on_detect=stop_on_detect,
             chunks_per_job=chunks_per_job,
             network_kwargs=network_kwargs,
+            share_graph=share_graph,
             faults=self.policy.faults,
             pool_retries=pool_retries,
             backoff_base=backoff_base,

@@ -1,0 +1,196 @@
+"""Tests for shared-memory graph sharding (:mod:`repro.congest.shm`).
+
+Pinned contracts:
+
+* an attached network is *bit-identical* to one built from the graph --
+  same decisions, rounds, and aggregate metrics;
+* ``run_amplified(share_graph=...)`` changes transport only, never the
+  merged outcome;
+* every exported segment is released by ``shutdown_pools()`` -- no named
+  shared-memory object outlives the run (the leak test).
+"""
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import networkx as nx
+import pytest
+
+from repro.congest import Algorithm, CongestNetwork, Message, broadcast, run_amplified
+from repro.congest.parallel import shutdown_pools
+from repro.congest.shm import (
+    GRAPH_SHARE_MIN_NODES,
+    attach_network,
+    export_network,
+    release_shared_graphs,
+    shared_export_names,
+)
+
+
+class Chatter(Algorithm):
+    """Deterministic traffic whose metrics depend on ids and topology."""
+
+    name = "chatter"
+
+    def __init__(self, rounds: int = 3):
+        self.rounds = rounds
+
+    def is_quiescent(self, node) -> bool:
+        return node.round >= self.rounds
+
+    def round(self, node, inbox):
+        if node.round >= self.rounds:
+            return {}
+        width = 1 + (node.id + node.round) % 5
+        return broadcast(node, Message.of_bits("1" * width))
+
+
+@dataclass(frozen=True)
+class RejectAt:
+    """Picklable factory: iteration ``t`` rejects iff ``t in targets``."""
+
+    targets: frozenset
+
+    def __call__(self, iteration: int) -> Algorithm:
+        return _MaybeReject(iteration in self.targets)
+
+
+class _MaybeReject(Algorithm):
+    name = "maybe-reject"
+
+    def __init__(self, reject: bool):
+        self.reject_flag = reject
+
+    def round(self, node, inbox):
+        if self.reject_flag and node.id == 0:
+            node.reject()
+            node.state["witness"] = ("it", node.id)
+        else:
+            node.accept()
+        node.halt()
+        return {}
+
+
+@pytest.fixture(autouse=True)
+def _clean_segments():
+    yield
+    release_shared_graphs()
+
+
+class TestExportAttach:
+    def test_attached_network_is_bit_identical(self):
+        g = nx.random_regular_graph(4, 24, seed=3)
+        net = CongestNetwork(g, bandwidth=16)
+        handle = export_network(net, "tok-identical")
+        twin = attach_network(handle, bandwidth=16)
+
+        a = net.run(Chatter(), max_rounds=8, seed=5)
+        b = twin.run(Chatter(), max_rounds=8, seed=5)
+        assert a.rounds == b.rounds
+        assert a.rejected == b.rejected
+        assert a.metrics.total_bits == b.metrics.total_bits
+        assert a.metrics.total_messages == b.metrics.total_messages
+        assert a.metrics.max_message_bits == b.metrics.max_message_bits
+
+    def test_export_is_idempotent_per_token(self):
+        g = nx.path_graph(8)
+        net = CongestNetwork(g, bandwidth=4)
+        h1 = export_network(net, "tok-idem")
+        h2 = export_network(net, "tok-idem")
+        assert h1["shm_name"] == h2["shm_name"]
+        assert len(shared_export_names()) == 1
+
+    def test_handle_carries_network_identity(self):
+        g = nx.cycle_graph(10)
+        net = CongestNetwork(g, bandwidth=8, namespace_size=64, knows_n=False)
+        twin = attach_network(export_network(net, "tok-ident"), bandwidth=8)
+        assert twin.namespace_size == 64
+        assert twin.knows_n is False
+        assert twin.n == net.n
+
+    def test_lazy_adjacency_matches_original(self):
+        g = nx.random_regular_graph(3, 16, seed=1)
+        net = CongestNetwork(g, bandwidth=8)
+        twin = attach_network(export_network(net, "tok-adj"), bandwidth=8)
+        # from_csr leaves adjacency unmaterialized; touching it must
+        # rebuild exactly the original neighbour structure from the CSR.
+        assert twin._neighbor_tuples == net._neighbor_tuples
+        assert twin._adj == net._adj
+        assert sorted(map(sorted, twin.graph.edges())) == sorted(
+            map(sorted, net.graph.edges())
+        )
+
+    def test_release_unlinks_segments(self):
+        g = nx.path_graph(6)
+        net = CongestNetwork(g, bandwidth=4)
+        handle = export_network(net, "tok-release")
+        name = handle["shm_name"]
+        assert name in shared_export_names()
+        release_shared_graphs()
+        assert shared_export_names() == ()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestAmplifiedSharing:
+    def test_shared_outcome_matches_pickled(self):
+        g = nx.random_regular_graph(3, 20, seed=7)
+        factory = RejectAt(frozenset({5}))
+        kwargs = dict(
+            iterations=8, seed=0, bandwidth=8, max_rounds=4, jobs=2
+        )
+        shared = run_amplified(g, factory, share_graph=True, **kwargs)
+        plain = run_amplified(g, factory, share_graph=False, **kwargs)
+        assert shared.rejected == plain.rejected
+        assert shared.first_reject == plain.first_reject == 5
+        assert shared.iterations_run == plain.iterations_run
+        assert [o.total_bits for o in shared.outcomes] == [
+            o.total_bits for o in plain.outcomes
+        ]
+        assert shared.witnesses == plain.witnesses
+
+    def test_shared_graph_ineligible_kwargs_raise(self):
+        g = nx.path_graph(2048)
+        with pytest.raises(ValueError, match="share_graph"):
+            run_amplified(
+                g,
+                RejectAt(frozenset()),
+                iterations=4,
+                jobs=2,
+                bandwidth=8,
+                max_rounds=2,
+                share_graph=True,
+                network_kwargs={"inputs": {0: "x"}},
+            )
+
+    def test_auto_share_skips_small_graphs(self):
+        g = nx.path_graph(16)
+        assert g.number_of_nodes() < GRAPH_SHARE_MIN_NODES
+        run_amplified(
+            g,
+            RejectAt(frozenset()),
+            iterations=4,
+            jobs=2,
+            bandwidth=8,
+            max_rounds=2,
+        )
+        assert shared_export_names() == ()
+
+    def test_no_segment_leak_after_shutdown(self):
+        g = nx.random_regular_graph(3, 24, seed=2)
+        run_amplified(
+            g,
+            RejectAt(frozenset()),
+            iterations=6,
+            jobs=2,
+            bandwidth=8,
+            max_rounds=2,
+            share_graph=True,
+        )
+        names = shared_export_names()
+        assert names, "sharing was requested but nothing was exported"
+        shutdown_pools()
+        assert shared_export_names() == ()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
