@@ -1,0 +1,287 @@
+"""Serving-stack load benchmark: throughput, latency, coalescing, cache.
+
+Drives an in-process :class:`~repro.serve.server.DetectionServer` with
+1000+ concurrent mixed-policy requests over real loopback TCP and
+records the serving metrics into ``BENCH_serve.json``:
+
+* **duplicate-heavy profile** -- ~50 unique requests repeated across a
+  concurrent wave: duplicates arriving while their leader is pending
+  must coalesce (factor >= 2x asserted), and a follow-up wave of repeats
+  must hit the result cache (hit rate > 0 asserted);
+* **bit-identity** -- sampled responses (miss, coalesced, and hit) are
+  rebuilt into :class:`RunRecord` objects and diffed clean against
+  executing the same request directly on a plain session
+  (:func:`diff_records`), the acceptance criterion for serving results;
+* **overload profile** -- a tiny admission box with a governor budget:
+  a burst past the budgeted limit must reject cleanly (``overload``
+  error lines, counted) while admitted requests still answer.
+
+Wall-clock here is dominated by the detectors, not the serving layers,
+so the numbers are a serving-overhead ceiling, not an engine benchmark.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from emit import emit
+from repro.runtime import ExecutionPolicy, RunRecord, TraceEvent, diff_records
+from repro.serve import DetectionServer, execute_request
+from repro.serve.protocol import parse_request
+
+# Duplicate-heavy profile: WAVE1 concurrent requests over UNIQUES
+# distinct (graph, pattern, policy, seed) profiles, then WAVE2 repeats
+# after the first wave drains (pure cache-hit traffic).
+UNIQUES = 50
+WAVE1 = 800
+WAVE2 = 200
+CONNECTIONS = 20
+REQUIRED_COALESCING = 2.0
+
+PATTERNS = ["c4", "c6", "odd-c5", "triangle", "k4"]
+POLICIES = ["", "metrics=lite"]
+GRAPHS = [
+    {"kind": "gnp", "n": 24, "p": 0.15, "seed": 1},
+    {"kind": "gnp", "n": 32, "p": 0.12, "seed": 2},
+    {"kind": "gnp", "n": 40, "p": 0.10, "seed": 3},
+    {"kind": "cycle", "k": 12},
+    {"kind": "clique", "s": 6},
+]
+
+
+def unique_profiles():
+    """The ~UNIQUES distinct request bodies the load is built from."""
+    out = []
+    i = 0
+    while len(out) < UNIQUES:
+        out.append({
+            "pattern": PATTERNS[i % len(PATTERNS)],
+            "graph": GRAPHS[i % len(GRAPHS)],
+            "policy": POLICIES[i % len(POLICIES)],
+            "seed": i // len(PATTERNS),
+            "iterations": 8,
+        })
+        i += 1
+    return out
+
+
+def record_from_rows(rows):
+    header, footer = rows[0], rows[-1]
+    return RunRecord(
+        policy=header["policy"],
+        policy_hash=header["policy_hash"],
+        git_sha=header["git_sha"],
+        platform=header["platform"],
+        started_unix=header["started_unix"],
+        finished_unix=footer["finished_unix"],
+        events=[TraceEvent.from_dict(r) for r in rows[1:-1]],
+    )
+
+
+def direct_record(body):
+    req = parse_request({"id": "baseline", **body})
+    result = execute_request(req, req.policy(base=ExecutionPolicy()))
+    return record_from_rows(result.rows)
+
+
+class LoadConnection:
+    """One pipelined connection: timestamped sends, streamed collection."""
+
+    def __init__(self, reader, writer, sent, done, records):
+        self.reader, self.writer = reader, writer
+        self.sent, self.done, self.records = sent, done, records
+        self.terminals = {}
+
+    @classmethod
+    async def connect(cls, port, sent, done, records):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        return cls(reader, writer, sent, done, records)
+
+    async def drive(self, requests, keep_records):
+        async def pump():
+            for obj in requests:
+                self.sent[obj["id"]] = time.perf_counter()
+                self.writer.write(json.dumps(obj).encode() + b"\n")
+            await self.writer.drain()
+
+        async def collect():
+            remaining = len(requests)
+            while remaining:
+                row = json.loads(await self.reader.readline())
+                rid = row["id"]
+                if row["type"] == "record":
+                    if rid in keep_records:
+                        self.records.setdefault(rid, []).append(row["row"])
+                else:
+                    self.done[rid] = time.perf_counter()
+                    self.terminals[rid] = row
+                    remaining -= 1
+
+        await asyncio.gather(pump(), collect())
+
+    async def close(self):
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def run_wave(port, requests, keep_records):
+    """Fire ``requests`` across CONNECTIONS pipelined connections."""
+    sent, done, records = {}, {}, {}
+    conns = [
+        await LoadConnection.connect(port, sent, done, records)
+        for _ in range(CONNECTIONS)
+    ]
+    slices = [requests[i::CONNECTIONS] for i in range(CONNECTIONS)]
+    await asyncio.gather(*(
+        conn.drive(chunk, keep_records)
+        for conn, chunk in zip(conns, slices)
+    ))
+    terminals = {}
+    for conn in conns:
+        terminals.update(conn.terminals)
+        await conn.close()
+    latencies = sorted(
+        (done[rid] - sent[rid]) * 1000.0 for rid in terminals
+    )
+    return terminals, latencies, records
+
+
+def percentile(latencies, q):
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+class TestServeLoad:
+    def test_duplicate_heavy_load_coalesces_and_hits(self):
+        profiles = unique_profiles()
+        wave1 = [
+            {"id": f"w1-{i}", **profiles[i % UNIQUES]} for i in range(WAVE1)
+        ]
+        wave2 = [
+            {"id": f"w2-{i}", **profiles[i % UNIQUES]} for i in range(WAVE2)
+        ]
+        # Bit-identity samples: one wave-1 id per pattern class plus its
+        # wave-2 repeat (a cache hit by construction).
+        sample_ids = {f"w1-{i}" for i in range(len(PATTERNS))}
+        sample_ids |= {f"w2-{i}" for i in range(len(PATTERNS))}
+
+        async def scenario():
+            srv = DetectionServer(max_inflight=8, max_queue=WAVE1,
+                                  cache_size=4 * UNIQUES)
+            await srv.start()
+            try:
+                t0 = time.perf_counter()
+                term1, lat1, recs1 = await run_wave(
+                    srv.bound_port, wave1, sample_ids
+                )
+                term2, lat2, recs2 = await run_wave(
+                    srv.bound_port, wave2, sample_ids
+                )
+                wall = time.perf_counter() - t0
+                return srv, term1 | term2, lat1 + lat2, recs1 | recs2, wall
+            finally:
+                await srv.stop()
+
+        srv, terminals, latencies, records, wall = asyncio.run(scenario())
+
+        total = WAVE1 + WAVE2
+        assert len(terminals) == total
+        failures = [t for t in terminals.values() if t["type"] != "result"]
+        assert failures == [], failures[:3]
+
+        cache_stats = srv.cache.stats()
+        coalesce = srv.coalescer.snapshot()
+        # The profile's two headline claims: concurrent duplicates merge
+        # into shared batches, and drained repeats hit the cache.
+        assert coalesce["coalescing_factor"] >= REQUIRED_COALESCING, coalesce
+        assert cache_stats["hits"] > 0, cache_stats
+        assert srv.stats.executed <= len(profiles)
+
+        # Bit-identity: every sampled response (miss / coalesced / hit)
+        # diffs clean against a direct run of the same request body.
+        sources = set()
+        for rid in sorted(sample_ids):
+            body = profiles[int(rid.split("-")[1]) % UNIQUES]
+            served = record_from_rows(records[rid])
+            diff = diff_records(direct_record(body), served)
+            assert diff["identical"], (rid, diff)
+            sources.add(terminals[rid]["cache"])
+        assert "hit" in sources  # wave-2 samples replayed from cache
+
+        payload = {
+            "requests": total,
+            "unique_profiles": len(profiles),
+            "wall_s": round(wall, 3),
+            "throughput_rps": round(total / wall, 1),
+            "p50_ms": round(percentile(latencies, 0.50), 2),
+            "p99_ms": round(percentile(latencies, 0.99), 2),
+            "cache_hit_rate": round(cache_stats["hit_rate"], 4),
+            "cache_hits": cache_stats["hits"],
+            "coalescing_factor": round(coalesce["coalescing_factor"], 2),
+            "followers_merged": coalesce["followers_merged"],
+            "groups_executed": coalesce["groups_started"],
+            "bit_identity_samples": len(sample_ids),
+        }
+        emit("BENCH_serve", "serve_load", payload)
+        print(f"\nBENCH_serve load: {json.dumps(payload, sort_keys=True)}")
+
+    def test_admission_rejects_cleanly_past_governor_budget(self):
+        # A deliberately tiny box: two slots, no queue, and a governor
+        # budget every real run exhausts -- once the first costs land,
+        # the admission limit collapses to 1 and the burst must reject.
+        burst = [
+            {"id": f"ov-{i}", "pattern": "c4",
+             "graph": {"kind": "gnp", "n": 24, "p": 0.15, "seed": 1},
+             "seed": 1000 + i, "iterations": 8}
+            for i in range(32)
+        ]
+
+        async def scenario():
+            srv = DetectionServer(max_inflight=2, max_queue=0,
+                                  governor_budget=100)
+            await srv.start()
+            try:
+                terminals, _, _ = await run_wave(
+                    srv.bound_port, burst, set()
+                )
+                # The box recovers: a fresh request after the burst is
+                # admitted and served.
+                after, _, _ = await run_wave(
+                    srv.bound_port,
+                    [{"id": "after", "pattern": "triangle",
+                      "graph": {"kind": "clique", "s": 4}}],
+                    set(),
+                )
+                return srv, terminals, after
+            finally:
+                await srv.stop()
+
+        srv, terminals, after = asyncio.run(scenario())
+        overloads = [
+            t for t in terminals.values()
+            if t["type"] == "error" and t["code"] == "overload"
+        ]
+        served = [t for t in terminals.values() if t["type"] == "result"]
+        assert overloads, "burst never tripped admission"
+        assert served, "admission starved the burst entirely"
+        assert len(overloads) + len(served) == len(burst)
+        assert srv.stats.rejected == len(overloads)
+        assert after["after"]["type"] == "result"
+
+        payload = {
+            "burst": len(burst),
+            "rejected_overload": len(overloads),
+            "served": len(served),
+            "admission_limit_final": srv.admission.limit(),
+            "governor_budget": 100,
+        }
+        emit("BENCH_serve", "serve_overload", payload)
+        print(f"\nBENCH_serve overload: {json.dumps(payload, sort_keys=True)}")

@@ -82,6 +82,23 @@ if [ "${1:-}" != "--fast" ]; then
             python -m pytest -q -p no:cacheprovider bench_amplify.py
     ) || fail=1
 
+    # Time-budgeted serve smoke: start the detection server in-process,
+    # fire a mixed-policy burst over loopback TCP, and assert the two
+    # serving invariants -- responses bit-identical to direct runs
+    # (diff_records) and result-cache hits > 0 -- plus zero shm segments
+    # surviving a SIGTERM mid-request.
+    step "serve smoke (bit-identity + shutdown safety, 120s budget)"
+    timeout 120 python -m pytest -q -p no:cacheprovider \
+        "tests/serve/test_server.py::TestBitIdentity" \
+        "tests/serve/test_server.py::TestStatsEndpoint" \
+        "tests/serve/test_shutdown_safety.py" || fail=1
+    step "bench smoke (serve load: 1000 requests, coalescing >= 2x, 240s budget)"
+    (
+        cd benchmarks &&
+        PYTHONPATH="../src${PYTHONPATH:+:$PYTHONPATH}" timeout 240 \
+            python -m pytest -q -p no:cacheprovider bench_serve.py
+    ) || fail=1
+
     # Time-budgeted fault-matrix smoke: the cross-lane differential suite
     # (every fault spec must execute bit-identically on both lanes) plus
     # one end-to-end fault-sensitivity sweep through the CLI.  Catches

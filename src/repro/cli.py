@@ -9,6 +9,8 @@ Commands
 ``bounds``     print the paper's predicted complexities at given parameters
 ``cache``      inspect or clear the construction cache
 ``lint``       static CONGEST model-soundness check (rules L1-L8)
+``serve``      run the JSONL-over-TCP detection server (repro.serve)
+``policy``     inspect an execution-policy spec (canonical form + hash)
 
 Engine-backed commands (``detect``, ``experiment``) execute inside a
 :class:`~repro.runtime.session.RunSession`: the individual flags
@@ -167,6 +169,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report only findings in .py files changed "
                         "against git ref BASE (analysis still covers "
                         "the whole tree)")
+
+    p = sub.add_parser(
+        "serve", help="run the JSONL-over-TCP detection server"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = pick a free one; the bound port is "
+                        "printed on startup)")
+    p.add_argument("--policy", default=None, metavar="SPEC",
+                   help="base execution policy as 'field=value,...'; "
+                        "per-request policy specs are applied on top")
+    p.add_argument("--max-inflight", type=int, default=8,
+                   help="admission ceiling on concurrently executing "
+                        "requests (scaled down by the governor when a "
+                        "budget is set)")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="admission queue depth; requests beyond it are "
+                        "rejected with an 'overload' error")
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="result-cache capacity (LRU entries)")
+    p.add_argument("--governor-budget", type=int, default=None,
+                   help="peak-hold load-governor budget (bit-rounds); "
+                        "enables load-aware admission")
+    p.add_argument("--governor-decay", type=float, default=None,
+                   help="peak-hold decay factor in (0, 1]")
+
+    p = sub.add_parser(
+        "policy", help="inspect an execution-policy spec"
+    )
+    p.add_argument("action", choices=["hash"],
+                   help="'hash': print the 12-hex policy hash and the "
+                        "canonical spec")
+    p.add_argument("spec", nargs="?", default="",
+                   help="policy spec as 'field=value,...' (empty = the "
+                        "default policy)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable JSON instead of two lines")
 
     return parser
 
@@ -469,6 +508,67 @@ def _cmd_lint(args) -> int:
     return report.exit_code()
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .runtime import ExecutionPolicy, PolicyError
+    from .serve import DetectionServer
+
+    base = None
+    if args.policy:
+        try:
+            base = ExecutionPolicy.from_spec(args.policy)
+        except PolicyError as exc:
+            raise SystemExit(f"repro: bad execution policy: {exc}") from None
+
+    async def _run() -> None:
+        srv = DetectionServer(
+            host=args.host,
+            port=args.port,
+            base_policy=base,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            cache_size=args.cache_size,
+            governor_budget=args.governor_budget,
+            governor_decay=args.governor_decay,
+        )
+        await srv.start()
+        # Handlers before the banner: a supervisor may signal the moment
+        # it reads the port.  Flushed so scripts reading our stdout can
+        # discover the bound port (--port 0) before the first request.
+        srv.install_signal_handlers(asyncio.get_running_loop())
+        print(f"serving on {args.host}:{srv.bound_port}", flush=True)
+        await srv.serve_forever()
+
+    asyncio.run(_run())
+    return 0
+
+
+def _cmd_policy(args) -> int:
+    from .runtime import ExecutionPolicy, PolicyError
+
+    try:
+        policy = ExecutionPolicy.from_spec(args.spec)
+    except PolicyError as exc:
+        raise SystemExit(f"repro: bad execution policy: {exc}") from None
+    if args.as_json:
+        import json
+
+        print(json.dumps(
+            {
+                "policy_hash": policy.policy_hash(),
+                "spec": policy.spec(),
+                "fields": policy.as_dict(),
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
+    print(f"policy_hash: {policy.policy_hash()}")
+    print(f"spec: {policy.spec() or '(default)'}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -480,6 +580,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bounds": _cmd_bounds,
         "cache": _cmd_cache,
         "lint": _cmd_lint,
+        "serve": _cmd_serve,
+        "policy": _cmd_policy,
     }
     return handlers[args.command](args)
 

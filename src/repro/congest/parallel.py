@@ -71,6 +71,7 @@ from __future__ import annotations
 
 import atexit
 import hashlib
+import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
@@ -88,6 +89,7 @@ from .sanitizer import check_pool_crossing
 __all__ = [
     "IterationOutcome",
     "AmplifiedOutcome",
+    "prefix_outcome",
     "run_amplified",
     "shutdown_pools",
 ]
@@ -96,19 +98,35 @@ __all__ = [
 
 _POOLS: Dict[int, ProcessPoolExecutor] = {}
 
+#: Serializes registry access across engine threads and signal handlers.
+#: Reentrant on purpose: a SIGTERM arriving while the main thread holds
+#: the lock inside ``_get_pool`` runs the handler's ``shutdown_pools`` on
+#: that same thread, and a plain Lock would deadlock the process right
+#: when it is trying to die cleanly.
+_POOL_LOCK = threading.RLock()
+
 
 def _get_pool(jobs: int) -> ProcessPoolExecutor:
-    pool = _POOLS.get(jobs)
-    if pool is None:
-        pool = ProcessPoolExecutor(max_workers=jobs)
-        _POOLS[jobs] = pool
-    return pool
+    # The registry is parent-side state reached through the engine's
+    # *thread* pool (no fork boundary); access is serialized by the lock.
+    with _POOL_LOCK:
+        pool = _POOLS.get(jobs)  # repro: noqa[L8]
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=jobs)
+            _POOLS[jobs] = pool  # repro: noqa[L8]
+        return pool
 
 
 def _discard_pool(jobs: int) -> None:
-    pool = _POOLS.pop(jobs, None)
+    with _POOL_LOCK:
+        pool = _POOLS.pop(jobs, None)  # repro: noqa[L8]
     if pool is not None:
-        pool.shutdown(wait=False, cancel_futures=True)
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            # A pool broken by worker death (or half-torn-down by a
+            # concurrent shutdown) must not abort the teardown sweep.
+            pass
 
 
 def shutdown_pools() -> None:
@@ -119,8 +137,15 @@ def shutdown_pools() -> None:
     every shared-memory graph segment this process exported or attached
     (see :mod:`repro.congest.shm`), so no named segment outlives the
     pools that were using it.
+
+    Safe to call from signal handlers and from several threads at once:
+    each pool is popped from the registry under the (reentrant) lock
+    before being shut down, so a second caller -- or a reentrant one, a
+    SIGTERM landing mid-teardown -- finds nothing left to do.
     """
-    for jobs in list(_POOLS):
+    with _POOL_LOCK:
+        stale = list(_POOLS)
+    for jobs in stale:
         _discard_pool(jobs)
     from .shm import release_shared_graphs
 
@@ -330,6 +355,48 @@ def _stopping_point(
         if t + 1 >= cap:
             return t + 1, "exhausted"
     return None
+
+
+def prefix_outcome(
+    ordered: List[IterationOutcome],
+    iterations: int,
+    *,
+    stop_on_detect: bool = True,
+    target: Optional[int] = None,
+) -> AmplifiedOutcome:
+    """Derive the outcome a run with ``iterations`` seeds would produce.
+
+    Because the stopping rule (:func:`_stopping_point`) and the
+    first-rejecting-seed merge are pure functions of the *ordered* seed
+    outcomes, a request for a seed-prefix of an already-executed run
+    needs no new execution: replay the rule over the prefix and merge
+    what it keeps.  This is what lets the serving layer's batch coalescer
+    (:mod:`repro.serve.coalesce`) attach a follower request to a leader
+    with a superset iteration budget and still answer bit-identically --
+    same decision, same kept iterations, same ``stop_reason`` -- to a run
+    it never performed.
+
+    ``ordered`` must cover seeds ``0 .. iterations-1`` *or* end at a
+    point where the rule already fired (a shorter leader run is fine as
+    long as it stopped for a reason the prefix shares); otherwise the
+    derivation would have to invent outcomes, and raises ``ValueError``
+    instead.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    prefix = ordered[:iterations]
+    point = _stopping_point(prefix, iterations, target, stop_on_detect)
+    if point is None:
+        raise ValueError(
+            f"ordered outcomes ({len(ordered)}) do not cover the requested "
+            f"prefix of {iterations} iterations"
+        )
+    kept, reason = point
+    amp = _merge([prefix[:kept]], kept, stop_on_detect)
+    amp.seeds_requested = iterations
+    amp.target_accepts = target
+    amp.stop_reason = reason
+    return amp
 
 
 def run_amplified(
@@ -799,7 +866,9 @@ def _merge(
     if len(outcomes) != iterations_run:
         missing = [i for i in range(iterations_run) if i not in by_index]
         raise RuntimeError(f"amplification lost iterations {missing[:5]}")
-    return AmplifiedOutcome(
+    # Parent-side merge: the outcome never crosses into a worker, and its
+    # fields are deliberately settable post-merge (stop_reason, targets).
+    return AmplifiedOutcome(  # repro: noqa[L8]
         rejected=first_reject is not None,
         first_reject=first_reject,
         iterations_run=iterations_run,

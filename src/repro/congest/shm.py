@@ -106,7 +106,9 @@ def export_network(net: Any, token: str) -> Dict[str, Any]:
     is a small picklable dict -- ship it in chunk specs in place of the
     graph and hand it to :func:`attach_network` worker-side.
     """
-    entry = _EXPORTS.get(token)
+    # Export registry is parent-side only (workers receive the handle
+    # dict); reached via the engine's thread pool, not across a fork.
+    entry = _EXPORTS.get(token)  # repro: noqa[L8]
     if entry is not None:
         return dict(entry[1])
     grid = net.edge_index()
@@ -126,7 +128,7 @@ def export_network(net: Any, token: str) -> Dict[str, Any]:
         "namespace_size": net.namespace_size,
         "knows_n": net.knows_n,
     }
-    _EXPORTS[token] = (shm, handle, os.getpid())
+    _EXPORTS[token] = (shm, handle, os.getpid())  # repro: noqa[L8]
     return dict(handle)
 
 
@@ -208,15 +210,22 @@ def release_shared_graphs() -> int:
         release_attachment(token)
         released += 1
     for token in list(_EXPORTS):
-        shm, _handle, owner = _EXPORTS.pop(token)
+        # pop with a default: a signal handler re-entering this loop (or
+        # a concurrent teardown) may have released the token already.
+        entry = _EXPORTS.pop(token, None)
+        if entry is None:
+            continue
+        shm, _handle, owner = entry
         try:
             shm.close()
-        except BufferError:
+        except (BufferError, OSError):
             pass
         if owner == os.getpid():
             try:
                 shm.unlink()
-            except FileNotFoundError:
+            except OSError:
+                # Already unlinked (FileNotFoundError) or torn down by a
+                # concurrent/reentrant teardown -- the goal state anyway.
                 pass
         released += 1
     return released

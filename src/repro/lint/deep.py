@@ -39,6 +39,14 @@ functions returning non-``frozen`` dataclasses.  It is the static twin
 of the runtime sanitizer's pool-crossing guard
 (:func:`repro.congest.sanitizer.check_pool_crossing`).
 
+The pass also enforces the serving layer's state rule: modules under
+``repro/serve`` may not bind mutable values at module scope *at all*
+(not merely inside pooled closures).  The server handles requests from
+event-loop tasks and engine threads simultaneously; its design keeps
+every piece of mutable state on the engine core or a server/controller
+instance where locking is explicit, so a module-level dict or list there
+is a latent cross-request race even before any pool is involved.
+
 Every claim is grounded in a resolved call-graph edge; anything dynamic
 resolves to nothing and is never guessed at.
 """
@@ -716,11 +724,19 @@ class _DeterminismPass(_Pass):
 # ----------------------------------------------------------------------
 
 
+#: Serving-layer homes (path fragments, / separated): modules here must
+#: keep mutable state on the engine core or a server/controller instance,
+#: never at module scope -- requests touch them from event-loop tasks and
+#: engine threads at once.
+_SERVE_HOMES = ("repro/serve",)
+
+
 class _ConcurrencyPass(_Pass):
     def run(self) -> None:
         roots = self.project.pooled_roots()
         closure = self.project.pool_closure()
         mutable_globals = self._module_mutable_globals()
+        self._check_serve_module_state(mutable_globals)
         for qual in sorted(closure):
             info = self.project.functions.get(qual)
             if info is None:
@@ -729,6 +745,40 @@ class _ConcurrencyPass(_Pass):
             self._check_returns(info)
         for target, site in sorted(roots.items()):
             self._check_submit_site(site)
+
+    def _check_serve_module_state(
+        self, mutable_globals: Dict[str, Dict[str, int]]
+    ) -> None:
+        """Serving modules may not bind mutable values at module scope."""
+        for mod in sorted(mutable_globals):
+            path = self.project.module_paths.get(mod, "")
+            norm = path.replace("\\", "/")
+            if not any(home in norm for home in _SERVE_HOMES):
+                continue
+            for name, lineno in sorted(
+                mutable_globals[mod].items(), key=lambda kv: kv[1]
+            ):
+                if name.startswith("__") and name.endswith("__"):
+                    continue  # export lists and other module metadata
+                self.findings.append(
+                    LintFinding(
+                        path=path,
+                        line=lineno,
+                        col=0,
+                        rule_id="L8",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"serving module binds mutable module-level "
+                            f"global '{name}': the server touches state "
+                            "from event-loop tasks and engine threads at "
+                            "once, so mutable server state must live on "
+                            "the engine core or a server/controller "
+                            "instance (with explicit locking), never at "
+                            "module scope"
+                        ),
+                        symbol="<module>",
+                    )
+                )
 
     def _module_mutable_globals(self) -> Dict[str, Dict[str, int]]:
         """Per module: names bound at module level to mutable values."""

@@ -12,12 +12,19 @@ is the single chassis that replaces that sprawl:
     A frozen, validated bundle of all engine knobs, with loaders from
     dicts, ``REPRO_*`` environment variables, and ``key=value`` CLI
     specs, plus a stable content hash for stamping artifacts.
+``ExecutionEngine``
+    The execution core: the blocking run/amplify primitives (degradation
+    ladder included) plus a submit/await surface over a bounded
+    orchestration thread pool, shared by sessions and the serving layer
+    (:mod:`repro.serve`).  One :func:`default_engine` per process unless
+    a client injects its own.
 ``RunSession``
-    The object that owns execution: it builds the right network for the
-    policy's model variant, applies lane/metrics/sanitize on every run,
-    fans amplified iterations over the persistent worker pool with the
-    policy's ``jobs``, scopes the construction cache, and (as a context
-    manager) shuts the worker pools down on exit.
+    A client of the engine that owns the caller-facing scope: it builds
+    the right network for the policy's model variant, applies
+    lane/metrics/sanitize on every run, fans amplified iterations over
+    the persistent worker pool with the policy's ``jobs``, scopes the
+    construction cache, and (as a context manager) shuts the worker
+    pools down on exit.
 ``RunRecord``
     A structured run artifact: policy snapshot, git SHA, platform stamp,
     and one trace event per engine run (seed, decision, rounds, bit
@@ -35,6 +42,7 @@ internally, so results are bit-identical for fixed seeds either way.
 """
 
 from .checkpoint import CheckpointError, SweepCheckpoint, cell_key
+from .engine import ExecutionEngine, default_engine, shutdown_default_engine
 from .governor import GovernorStateStore, PeakHoldGovernor
 from .policy import (
     LANES,
@@ -58,6 +66,9 @@ __all__ = [
     "CheckpointError",
     "SweepCheckpoint",
     "cell_key",
+    "ExecutionEngine",
+    "default_engine",
+    "shutdown_default_engine",
     "AmplificationPolicy",
     "ExecutionPolicy",
     "PeakHoldGovernor",

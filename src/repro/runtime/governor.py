@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
@@ -58,13 +59,18 @@ class PeakHoldGovernor:
         self.decay = decay
         self.peak = 0.0
         self.observed = 0
+        # One governor is shared by every concurrent request of a serving
+        # session; the peak/counter update is a read-modify-write, so it
+        # serializes here rather than racing across engine threads.
+        self._lock = threading.Lock()
 
     def observe(self, cost: float) -> None:
         """Fold one seed run's cost into the peak-hold estimate."""
         if cost < 0:
             raise ValueError(f"cost must be >= 0, got {cost!r}")
-        self.peak = max(float(cost), self.peak * self.decay)
-        self.observed += 1
+        with self._lock:
+            self.peak = max(float(cost), self.peak * self.decay)
+            self.observed += 1
 
     def allowed(self, requested: int) -> int:
         """Concurrency slots granted out of ``requested``.
@@ -75,9 +81,11 @@ class PeakHoldGovernor:
         """
         if requested < 1:
             return 0
-        if self.peak <= 0.0:
+        with self._lock:
+            peak = self.peak
+        if peak <= 0.0:
             return requested
-        slots = int(self.budget // self.peak)
+        slots = int(self.budget // peak)
         return max(1, min(requested, slots))
 
     def restore(self, peak: float, observed: int) -> None:
@@ -93,17 +101,19 @@ class PeakHoldGovernor:
         observed = int(observed)
         if peak < 0 or observed < 0:
             raise ValueError("persisted governor state must be non-negative")
-        self.peak = peak
-        self.observed = observed
+        with self._lock:
+            self.peak = peak
+            self.observed = observed
 
     def snapshot(self) -> Dict[str, Any]:
         """State for a ``governor`` note event."""
-        return {
-            "budget": self.budget,
-            "decay": self.decay,
-            "peak": self.peak,
-            "observed": self.observed,
-        }
+        with self._lock:
+            return {
+                "budget": self.budget,
+                "decay": self.decay,
+                "peak": self.peak,
+                "observed": self.observed,
+            }
 
 
 class GovernorStateStore:

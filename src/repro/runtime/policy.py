@@ -384,6 +384,29 @@ class ExecutionPolicy:
         blob = json.dumps(fields, sort_keys=True).encode()
         return hashlib.blake2b(blob, digest_size=6).hexdigest()
 
+    def spec(self) -> str:
+        """The canonical ``--policy`` spec string for this policy.
+
+        Lists exactly the fields that differ from the default policy, in
+        field-declaration order, so ``ExecutionPolicy.from_spec(p.spec())
+        == p`` and two equal policies render identical specs.  The empty
+        string is the default policy.  This is what ``repro policy hash``
+        prints so operators can read a cache key's policy component back
+        as a spec they can pass to ``--policy``.
+        """
+        default = type(self)()
+        parts = []
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if value == getattr(default, f.name):
+                continue
+            if isinstance(value, bool):
+                rendered = "true" if value else "false"
+            else:
+                rendered = str(value)
+            parts.append(f"{f.name}={rendered}")
+        return ",".join(parts)
+
     def amplification(self) -> AmplificationPolicy:
         """The adaptive-amplification view of this policy (possibly
         null: no confidence target, batch, or seed cap)."""

@@ -24,6 +24,7 @@ import json
 import os
 import platform as _platform
 import subprocess
+import threading
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -128,6 +129,22 @@ class RunRecord:
     finished_unix: Optional[float] = None
     events: List[TraceEvent] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # Not a dataclass field: a lock must not ride into asdict() /
+        # pickle.  Appends from concurrent engine threads (a session
+        # shared by many asyncio tasks) serialize on it, so the event
+        # list never interleaves partially-constructed writes.
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     @classmethod
     def start(cls, policy: ExecutionPolicy) -> "RunRecord":
         """Open a record for a session running under ``policy``."""
@@ -140,7 +157,8 @@ class RunRecord:
         )
 
     def add_event(self, event: TraceEvent) -> TraceEvent:
-        self.events.append(event)
+        with self._lock:
+            self.events.append(event)
         return event
 
     def note(self, label: str, **extra: Any) -> TraceEvent:

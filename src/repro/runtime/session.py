@@ -25,6 +25,15 @@ or the pool-reuse performance contract (and its tests) would break.
 Explicit sessions -- the CLI, experiment drivers, tests -- own their
 pools and clean up.
 
+Since the serving refactor, the session no longer *is* the execution
+stack: the blocking primitives live in
+:class:`~repro.runtime.engine.ExecutionEngine` and the session is one
+client of it -- :meth:`run` and :meth:`amplify` delegate to the engine
+and keep only the client-side bookkeeping (trace events, degradation /
+governor notes, profiles, lifecycle).  The asyncio server
+(:mod:`repro.serve`) is the other client, driving the same engine
+through its submit/await surface.
+
 Resilience (see ``docs/robustness.md``): a policy with a ``faults``
 spec threads its :class:`~repro.faults.plan.FaultPlan` into every
 :meth:`run` and :meth:`amplify`; and the session is the first rung of
@@ -44,7 +53,8 @@ from ..congest.broadcast_model import BroadcastNetwork
 from ..congest.congested_clique import CongestedClique
 from ..congest.local_model import LocalNetwork
 from ..congest.network import CongestNetwork, ExecutionResult
-from ..congest.parallel import AmplifiedOutcome, run_amplified, shutdown_pools
+from ..congest.parallel import AmplifiedOutcome
+from .engine import _NUMPY_FAULTS, ExecutionEngine, default_engine
 from .governor import GovernorStateStore, PeakHoldGovernor
 from .policy import ExecutionPolicy
 from .record import (
@@ -55,13 +65,10 @@ from .record import (
 
 __all__ = ["RunSession", "use_session"]
 
-_UNSET = object()
+# _NUMPY_FAULTS moved to the engine core with the execution primitives;
+# importing it from here keeps working (re-export, see the import above).
 
-#: Kernel failures the vectorized->object degradation rung catches: hard
-#: numpy faults (array allocation failure, trapped floating-point error).
-#: Anything else -- kernel contract violations, model violations -- is a
-#: bug and must propagate.
-_NUMPY_FAULTS = (FloatingPointError, MemoryError)
+_UNSET = object()
 
 
 class RunSession:
@@ -99,6 +106,12 @@ class RunSession:
         wall-clock breakdown as a ``vec_profile`` note event (recorded
         sessions only).  Off by default: profile notes carry timings, so
         they would (correctly) show up as divergence in record diffs.
+    engine:
+        The :class:`~repro.runtime.engine.ExecutionEngine` to execute
+        through; ``None`` (the default) uses the process-wide shared
+        engine.  The server injects its own so every request rides one
+        submit/await surface.  Sessions never shut an engine's threads
+        down -- engines outlive their clients by design.
     **overrides:
         Convenience policy overrides: ``RunSession(jobs=4)`` is
         ``RunSession(ExecutionPolicy().merged(jobs=4))``.
@@ -113,11 +126,13 @@ class RunSession:
         governor: Optional[PeakHoldGovernor] = None,
         governor_state: "str | GovernorStateStore | None" = None,
         profile: bool = False,
+        engine: Optional[ExecutionEngine] = None,
         **overrides: Any,
     ) -> None:
         base = policy if policy is not None else ExecutionPolicy()
         self.policy = base.merged(**overrides) if overrides else base
         self.owns_pools = owns_pools
+        self.engine = engine if engine is not None else default_engine()
         self.record: Optional[RunRecord]
         if record is True:
             self.record = RunRecord.start(self.policy)
@@ -189,7 +204,7 @@ class RunSession:
             # observed -- a fresh governor must not clobber a prior one).
             self.governor_store.save(self.policy.policy_hash(), self.governor)
         if self.owns_pools:
-            shutdown_pools()
+            self.engine.release_pools()
         if not self.policy.cache:
             from ..graphs.cache import clear_construction_cache
 
@@ -276,42 +291,23 @@ class RunSession:
             from ..congest.kernels import KernelProfile
 
             profile = KernelProfile()
-        try:
-            result = net.run(
-                algorithm,
-                max_rounds=max_rounds,
-                seed=run_seed,
-                stop_on_reject=stop_on_reject,
-                metrics=self.policy.metrics,
-                sanitize=self.policy.sanitize,
-                faults=self.policy.faults,
-                backend=self.policy.backend,
-                profile=profile,
-            )
-        except _NUMPY_FAULTS as exc:
-            if fallback is None:
-                raise
-            step = {
-                "step": "lane-fallback",
-                "from": type(algorithm).__name__,
-                "to": type(fallback).__name__,
-                "error": repr(exc),
-            }
+
+        def _degraded(step: Dict[str, Any]) -> None:
             self.degradations.append(step)
             self.note("degradation", **step)
-            result = net.run(
-                fallback,
-                max_rounds=max_rounds,
-                seed=run_seed,
-                stop_on_reject=stop_on_reject,
-                metrics=self.policy.metrics,
-                sanitize=self.policy.sanitize,
-                faults=self.policy.faults,
-            )
-        if self.governor is not None:
-            # Keep the peak-hold estimate warm across direct runs too, so
-            # an amplify after expensive inline runs starts throttled.
-            self.governor.observe(result.rounds * result.metrics.total_bits)
+
+        result = self.engine.execute_run(
+            self.policy,
+            net,
+            algorithm,
+            max_rounds=max_rounds,
+            seed=run_seed,
+            stop_on_reject=stop_on_reject,
+            fallback=fallback,
+            profile=profile,
+            governor=self.governor,
+            on_degrade=_degraded,
+        )
         if self.record is not None:
             wall_ms = (time.perf_counter() - t0) * 1000.0
             self.record.add_event(
@@ -378,29 +374,24 @@ class RunSession:
             self.governor_events.append(step)
             self.note("governor", **step)
 
-        outcome = run_amplified(
+        outcome = self.engine.execute_amplify(
+            self.policy,
             graph,
             algo_factory,
             iterations,
-            jobs=self.policy.jobs,
-            seed=run_seed,
             bandwidth=bw,
             max_rounds=max_rounds,
-            metrics=self.policy.metrics,
+            seed=run_seed,
             stop_on_detect=stop_on_detect,
             chunks_per_job=chunks_per_job,
             network_kwargs=network_kwargs,
             share_graph=share_graph,
-            faults=self.policy.faults,
             pool_retries=pool_retries,
             backoff_base=backoff_base,
             worker_timeout=worker_timeout,
-            on_degrade=_degraded,
             success_probability=success_probability,
-            target_confidence=self.policy.amplify_confidence,
-            max_seeds=self.policy.amplify_max_seeds,
-            batch_seeds=self.policy.amplify_batch,
             governor=self.governor,
+            on_degrade=_degraded,
             on_govern=_governed,
         )
         if self.record is not None:

@@ -1,0 +1,141 @@
+"""Request admission + back-pressure, as a deterministic state machine.
+
+A daemon must bound in-flight work *before* it starts, not discover the
+overload mid-burst.  The controller tracks two numbers -- requests
+running and requests queued -- and answers :meth:`admit` with exactly one
+of ``"admit"`` / ``"queue"`` / ``"reject"``:
+
+* **admit** while fewer than :meth:`limit` requests run;
+* **queue** while the wait line is shorter than ``max_queue``;
+* **reject** beyond that (the caller answers ``overload`` and the client
+  retries with back-off -- deliberately, no silent unbounded queue).
+
+The running limit is governor-aware: with a
+:class:`~repro.runtime.governor.PeakHoldGovernor` attached, the limit is
+``min(max_inflight, governor.allowed(max_inflight))`` -- as observed
+per-run cost grows, ``budget // peak`` shrinks and the controller admits
+fewer concurrent requests, which is the serving-time face of the same
+back-pressure the governor applies to chunk fan-out inside one run.
+
+Pure and synchronous by design: no asyncio primitives, no clock, no
+randomness.  Given the same call sequence it produces the same decisions
+on every platform, which is what makes reject/queue semantics *testable*
+-- the server owns the futures and wakes queued waiters when
+:meth:`release` says a slot opened.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded admit/queue/reject gate over concurrent requests.
+
+    Parameters
+    ----------
+    max_inflight:
+        Hard ceiling on concurrently running requests (>= 1).
+    max_queue:
+        How many requests may wait for a slot; ``0`` disables queueing
+        (beyond the running limit everything rejects).
+    governor:
+        Optional shared peak-hold governor; its cost estimate tightens
+        the running limit (never widens it past ``max_inflight``).
+    """
+
+    def __init__(
+        self,
+        max_inflight: int,
+        max_queue: int = 0,
+        governor: Optional[Any] = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.governor = governor
+        self.running = 0
+        self.queued = 0
+        self.admitted_total = 0
+        self.queued_total = 0
+        self.rejected_total = 0
+        self._lock = threading.Lock()
+
+    def limit(self) -> int:
+        """The current running limit (governor-tightened, >= 1)."""
+        if self.governor is None:
+            return self.max_inflight
+        return max(1, min(self.max_inflight, self.governor.allowed(self.max_inflight)))
+
+    def admit(self) -> str:
+        """Decide one arriving request: ``admit`` / ``queue`` / ``reject``.
+
+        An admitted request occupies a running slot until
+        :meth:`release`; a queued one occupies a queue slot until
+        :meth:`start_queued` promotes it (or :meth:`abandon_queued`
+        drops it).
+        """
+        with self._lock:
+            if self.running < self.limit():
+                self.running += 1
+                self.admitted_total += 1
+                return "admit"
+            if self.queued < self.max_queue:
+                self.queued += 1
+                self.queued_total += 1
+                return "queue"
+            self.rejected_total += 1
+            return "reject"
+
+    def start_queued(self) -> None:
+        """Promote one queued request into a running slot.
+
+        Only valid after :meth:`release` signalled a free slot; the
+        server calls it when it wakes the next waiter.
+        """
+        with self._lock:
+            if self.queued < 1:
+                raise RuntimeError("no queued request to promote")
+            self.queued -= 1
+            self.running += 1
+            self.admitted_total += 1
+
+    def abandon_queued(self) -> None:
+        """Drop one queued request (client gone before its slot opened)."""
+        with self._lock:
+            if self.queued < 1:
+                raise RuntimeError("no queued request to abandon")
+            self.queued -= 1
+
+    def release(self) -> bool:
+        """Return a running slot; ``True`` if a queued waiter can start.
+
+        The controller never wakes waiters itself (it holds no futures);
+        the caller promotes exactly one waiter via :meth:`start_queued`
+        per ``True`` return, keeping the handoff deterministic.
+        """
+        with self._lock:
+            if self.running < 1:
+                raise RuntimeError("release without a running request")
+            self.running -= 1
+            return self.queued > 0 and self.running < self.limit()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters for the stats endpoint."""
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "limit": self.limit(),
+                "running": self.running,
+                "queued": self.queued,
+                "admitted_total": self.admitted_total,
+                "queued_total": self.queued_total,
+                "rejected_total": self.rejected_total,
+            }

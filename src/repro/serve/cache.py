@@ -1,0 +1,76 @@
+"""The policy-keyed result cache: LRU over fully-determined responses.
+
+A detection response is a pure function of its cache key -- construction
+fingerprint, pattern, policy hash, seed block, iteration budget,
+bandwidth (see :func:`repro.serve.protocol.cache_key`) -- because every
+run in this engine is deterministic per seed.  So the server may replay
+a recorded response verbatim for a repeated key: the replay diffs clean
+against a fresh direct run under :func:`repro.runtime.record.diff_records`
+(wall-clock is metadata, not an output).
+
+This sits *above* the construction cache (:mod:`repro.graphs.cache`):
+that one memoizes graph building inside the process, this one memoizes
+entire responses across requests.  Capacity-bounded LRU with hit / miss /
+eviction counters for the stats endpoint; thread-safe because cache fills
+arrive from engine threads while lookups run on the event loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Thread-safe LRU mapping cache keys to finished serve results."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached result for ``key`` (refreshed to most-recent), or
+        ``None``; every call counts as a hit or a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU tail past capacity."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for the stats endpoint."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            }

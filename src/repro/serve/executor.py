@@ -1,0 +1,289 @@
+"""Request execution: one plan per pattern class, records included.
+
+:func:`execute_request` is the single function standing between a parsed
+:class:`~repro.serve.protocol.DetectRequest` and the runtime: it builds
+the graph, opens a recording :class:`~repro.runtime.session.RunSession`
+(a *client* of the shared engine -- ``owns_pools=False``), and dispatches
+on the pattern class with **exactly the parameters the standalone
+detectors use** -- same factories, same round budgets, same bandwidth
+defaults, same success probabilities.  That symmetry is the bit-identity
+contract: a served response's record diffs clean
+(:func:`~repro.runtime.record.diff_records`) against a direct
+``RunSession`` run of the same request, which the verify gate and
+``benchmarks/bench_serve.py`` assert.
+
+Amplified patterns (cycles) always take the :meth:`RunSession.amplify`
+path -- one ``amplified`` trace event carrying the ordered per-iteration
+outcomes -- because that is the shape the batch coalescer can derive
+follower answers from: :func:`derive_follower` replays the pure stopping
+rule over the leader's ordered outcomes
+(:func:`repro.congest.parallel.prefix_outcome`) and synthesizes a record
+that is indistinguishable from having run the follower directly.
+
+Single-run patterns (triangle, cliques) route through their detector
+functions with ``session=``, producing one ``run`` trace event.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..congest.message import int_width
+from ..congest.parallel import AmplifiedOutcome, prefix_outcome
+from ..core.clique_detection import detect_clique
+from ..core.cycle_detection_linear import _LinearCycleFactory
+from ..core.even_cycle import (
+    IterationSchedule,
+    _EvenCycleFactory,
+    required_bandwidth,
+)
+from ..core.triangle import detect_triangle_congest
+from ..runtime.engine import ExecutionEngine
+from ..runtime.governor import PeakHoldGovernor
+from ..runtime.policy import ExecutionPolicy
+from ..runtime.record import (
+    RunRecord,
+    event_from_amplified,
+    git_sha,
+    platform_stamp,
+)
+from ..runtime.session import RunSession
+from .protocol import DetectRequest, ProtocolError, build_graph
+
+__all__ = ["RecordStamp", "ServeResult", "derive_follower", "execute_request"]
+
+
+@dataclass(frozen=True)
+class RecordStamp:
+    """Captured-once attribution for synthesized records.
+
+    ``RunRecord.start`` shells out for the git SHA on every call; a
+    server answering thousands of requests captures the (per-process
+    constant) stamp once and stamps records directly.
+    """
+
+    git_sha: str
+    platform: Dict[str, str]
+
+    @classmethod
+    def capture(cls) -> "RecordStamp":
+        return cls(git_sha=git_sha(), platform=platform_stamp())
+
+
+@dataclass
+class ServeResult:
+    """Everything the serving layers need from one executed request.
+
+    ``rows`` is the response's record as parsed JSONL rows (header,
+    events, footer) ready to stream; ``outcome`` carries the ordered
+    iteration outcomes for amplified patterns so the coalescer can derive
+    follower results; single-run patterns leave it ``None``.
+    """
+
+    payload: Dict[str, Any]
+    rows: List[Dict[str, Any]]
+    amplified: bool
+    label: str
+    outcome: Optional[AmplifiedOutcome] = None
+
+
+def _fresh_record(policy: ExecutionPolicy, stamp: Optional[RecordStamp]) -> RunRecord:
+    if stamp is None:
+        return RunRecord.start(policy)
+    return RunRecord(
+        policy=policy.as_dict(),
+        policy_hash=policy.policy_hash(),
+        git_sha=stamp.git_sha,
+        platform=stamp.platform,
+        started_unix=time.time(),
+    )
+
+
+def _record_rows(record: RunRecord) -> List[Dict[str, Any]]:
+    rows = [json.loads(record.header_line())]
+    rows.extend(json.loads(RunRecord.event_line(e)) for e in record.events)
+    rows.append(json.loads(record.footer_line()))
+    return rows
+
+
+def _amplified_payload(amp: AmplifiedOutcome) -> Dict[str, Any]:
+    return {
+        "detected": amp.rejected,
+        "iterations_run": amp.iterations_run,
+        "seeds_requested": amp.seeds_requested,
+        "seeds_saved": amp.seeds_saved,
+        "stop_reason": amp.stop_reason,
+        "total_bits": amp.total_bits,
+        "total_messages": amp.total_messages,
+    }
+
+
+def execute_request(
+    req: DetectRequest,
+    policy: ExecutionPolicy,
+    *,
+    engine: Optional[ExecutionEngine] = None,
+    governor: Optional[PeakHoldGovernor] = None,
+    stamp: Optional[RecordStamp] = None,
+) -> ServeResult:
+    """Execute one request under ``policy``; return payload + record rows.
+
+    Blocking -- the server submits it to the engine's thread pool; tests
+    and the bench baseline call it directly on a plain session, which is
+    precisely what "bit-identical to a direct RunSession run" quantifies
+    over.
+    """
+    graph = build_graph(req.graph_spec)
+    n = graph.number_of_nodes()
+    record = _fresh_record(policy, stamp)
+    ses = RunSession(
+        policy,
+        record=record,
+        owns_pools=False,
+        governor=governor,
+        engine=engine,
+    )
+    try:
+        if req.pattern_kind == "triangle":
+            bw = req.bandwidth or int_width(max(n, 2))
+            result = detect_triangle_congest(
+                graph, bw, seed=req.seed, session=ses
+            )
+            payload = {
+                "detected": result.rejected,
+                "decision": result.decision.name,
+                "rounds": result.rounds,
+                "total_bits": result.metrics.total_bits,
+                "total_messages": result.metrics.total_messages,
+            }
+            out = ServeResult(
+                payload=payload,
+                rows=[],
+                amplified=False,
+                label="triangle-neighbor-exchange",
+            )
+        elif req.pattern_kind == "clique":
+            bw = req.bandwidth or 8
+            result = detect_clique(
+                graph, req.pattern_arg, bw, seed=req.seed, session=ses
+            )
+            payload = {
+                "detected": result.rejected,
+                "decision": result.decision.name,
+                "rounds": result.rounds,
+                "total_bits": result.metrics.total_bits,
+                "total_messages": result.metrics.total_messages,
+            }
+            out = ServeResult(
+                payload=payload,
+                rows=[],
+                amplified=False,
+                label=f"clique-K{req.pattern_arg}",
+            )
+        elif req.pattern_kind == "even-cycle":
+            k = req.pattern_arg
+            sched = IterationSchedule.build(n, k, 1.0)
+            bw = req.bandwidth or required_bandwidth(n, k)
+            label = f"even-cycle-C{2 * k}"
+            amp = ses.amplify(
+                graph,
+                _EvenCycleFactory(k, 1.0, None, True, True),
+                req.iterations,
+                seed=req.seed,
+                bandwidth=bw,
+                max_rounds=sched.total_rounds + 1,
+                stop_on_detect=True,
+                label=label,
+                success_probability=float(2 * k) ** -(2 * k),
+            )
+            out = ServeResult(
+                payload=_amplified_payload(amp),
+                rows=[],
+                amplified=True,
+                label=label,
+                outcome=amp,
+            )
+        elif req.pattern_kind == "odd-cycle":
+            length = req.pattern_arg
+            bw = req.bandwidth or int_width(max(n, 2)) + int_width(length)
+            label = f"linear-cycle-C{length}"
+            amp = ses.amplify(
+                graph,
+                _LinearCycleFactory(length, None, lane=ses.policy.lane),
+                req.iterations,
+                seed=req.seed,
+                bandwidth=bw,
+                max_rounds=n + length + 2,
+                stop_on_detect=True,
+                label=label,
+                success_probability=float(length) ** -length,
+            )
+            out = ServeResult(
+                payload=_amplified_payload(amp),
+                rows=[],
+                amplified=True,
+                label=label,
+                outcome=amp,
+            )
+        else:  # pragma: no cover - parse_pattern bounds the kinds
+            raise ProtocolError(f"unsupported pattern kind {req.pattern_kind!r}")
+    finally:
+        ses.close()
+    out.rows = _record_rows(record)
+    return out
+
+
+def derive_follower(
+    leader: ServeResult,
+    req: DetectRequest,
+    policy: ExecutionPolicy,
+    stamp: Optional[RecordStamp] = None,
+) -> ServeResult:
+    """A follower's exact result, derived from its group leader's.
+
+    No execution: the stopping rule is replayed over the prefix of the
+    leader's ordered seed outcomes that the follower's budget covers
+    (:func:`~repro.congest.parallel.prefix_outcome`), and a fresh record
+    is synthesized around the derived event.  The result diffs clean
+    against running the follower directly -- same policy hash, same
+    event fields; only wall-clock (not compared) differs.
+
+    Single-run leaders coalesce exact duplicates only, so their
+    followers reuse the leader's rows as-is (the cache-replay shape).
+    """
+    if not leader.amplified:
+        return ServeResult(
+            payload=dict(leader.payload),
+            rows=leader.rows,
+            amplified=False,
+            label=leader.label,
+        )
+    assert leader.outcome is not None
+    cap = req.iterations
+    if policy.amplify_max_seeds is not None:
+        cap = min(cap, policy.amplify_max_seeds)
+    amp = prefix_outcome(
+        leader.outcome.outcomes,
+        cap,
+        stop_on_detect=True,
+        target=leader.outcome.target_accepts,
+    )
+    # seeds_requested reports the caller's ask, pre max_seeds cap --
+    # mirroring run_amplified, which caps execution but not the field.
+    amp.seeds_requested = req.iterations
+    record = _fresh_record(policy, stamp)
+    record.add_event(
+        event_from_amplified(leader.label, req.seed, amp, wall_ms=0.0)
+    )
+    record.finalize()
+    return ServeResult(
+        payload=_amplified_payload(amp),
+        rows=_record_rows(record),
+        amplified=True,
+        label=leader.label,
+        outcome=amp,
+    )

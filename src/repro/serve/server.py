@@ -1,0 +1,376 @@
+"""The asyncio detection server: JSONL over TCP, stdlib only.
+
+One connection carries any number of pipelined requests (one JSON object
+per line); each request is answered with zero or more ``record`` lines
+(the run's :class:`~repro.runtime.record.RunRecord` as JSONL rows) and
+exactly one terminal line -- ``result``, ``stats``, or ``error`` -- all
+echoing the request ``id``.  Requests on one connection execute
+concurrently; response *lines* of one request are never interleaved with
+another's mid-write (a per-connection write lock covers each full
+response).
+
+Request lifecycle (the layer ordering is the design):
+
+1. **parse** (:mod:`.protocol`) -- malformed input answers ``error``.
+2. **result cache** (:mod:`.cache`) -- a hit replays the recorded
+   response; no admission needed, cached work adds no load.
+3. **coalesce** (:mod:`.coalesce`) -- a compatible pending group absorbs
+   the request as a follower; it awaits the leader, then derives its
+   bit-identical result (:func:`.executor.derive_follower`).  Followers
+   bypass admission too: they add no engine work.
+4. **admission** (:mod:`.admission`) -- leaders only.  ``admit`` runs
+   now; ``queue`` waits (FIFO) for a released slot; ``reject`` answers
+   ``error`` with code ``overload``.
+5. **execute** -- the leader's work runs on the shared
+   :class:`~repro.runtime.engine.ExecutionEngine` via submit/await
+   (``asyncio.wrap_future``), off the event loop.
+6. **respond + fill** -- result cached, group resolved, waiters woken.
+
+Shutdown is signal-safe: ``SIGTERM``/``SIGINT`` stop accepting, cancel
+in-flight work, and release the engine pools + shared-memory segments
+(idempotent ``shutdown_pools``), so a killed server leaks nothing --
+``tests/serve/test_shutdown_safety.py`` pins that.
+
+All mutable serving state lives on :class:`DetectionServer` (deep-lint
+rule L8 rejects module-level mutable state in this package).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..graphs.cache import cache_stats
+from ..runtime.engine import ExecutionEngine, default_engine
+from ..runtime.governor import PeakHoldGovernor
+from ..runtime.policy import ExecutionPolicy, PolicyError
+from .admission import AdmissionController
+from .cache import ResultCache
+from .coalesce import BatchCoalescer
+from .executor import RecordStamp, ServeResult, derive_follower, execute_request
+from .protocol import DetectRequest, ProtocolError, cache_key, group_key, parse_request
+
+__all__ = ["DetectionServer", "ServerStats"]
+
+
+@dataclass
+class ServerStats:
+    """Top-level request counters (layer internals snapshot separately)."""
+
+    requests: int = 0
+    responses: int = 0
+    cache_hits: int = 0
+    coalesced: int = 0
+    executed: int = 0
+    rejected: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "responses": self.responses,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "executed": self.executed,
+            "rejected": self.rejected,
+            "errors": self.errors,
+        }
+
+
+class DetectionServer:
+    """Detection-as-a-service over one shared engine (see module docstring).
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; port ``0`` picks a free port (read it back from
+        :attr:`bound_port` after :meth:`start` -- the test/bench idiom).
+    base_policy:
+        Policy that request ``policy`` specs merge over.
+    engine:
+        Shared :class:`ExecutionEngine`; ``None`` uses the process-wide
+        default.  The server never shuts the engine's threads down
+        unless it created them (``owns_engine``).
+    max_inflight, max_queue:
+        Admission bounds (see :class:`AdmissionController`).
+    cache_size:
+        Result-cache capacity (entries).
+    governor_budget, governor_decay:
+        When set, one shared :class:`PeakHoldGovernor` both throttles
+        in-run fan-out and tightens the admission limit as observed cost
+        grows.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        base_policy: Optional[ExecutionPolicy] = None,
+        engine: Optional[ExecutionEngine] = None,
+        max_inflight: int = 8,
+        max_queue: int = 64,
+        cache_size: int = 256,
+        governor_budget: Optional[int] = None,
+        governor_decay: Optional[float] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.base_policy = base_policy or ExecutionPolicy()
+        self.owns_engine = engine is None
+        self.engine = engine or default_engine()
+        self.governor: Optional[PeakHoldGovernor] = None
+        if governor_budget is not None:
+            self.governor = PeakHoldGovernor(governor_budget, governor_decay)
+        self.admission = AdmissionController(
+            max_inflight, max_queue, governor=self.governor
+        )
+        self.cache = ResultCache(cache_size)
+        self.coalescer = BatchCoalescer()
+        self.stats = ServerStats()
+        self.stamp = RecordStamp.capture()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._waiters: "asyncio.Queue[asyncio.Future[None]]" = None  # type: ignore[assignment]
+        self._stopping = asyncio.Event()
+        self._policies: Dict[str, ExecutionPolicy] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def bound_port(self) -> int:
+        """The actually-bound port (after :meth:`start`)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._waiters = asyncio.Queue()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+
+    async def stop(self) -> None:
+        """Stop accepting, drop waiters, release pools (idempotent)."""
+        self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Wake queued leaders with cancellation so their handlers unwind.
+        if self._waiters is not None:
+            while not self._waiters.empty():
+                waiter = self._waiters.get_nowait()
+                if not waiter.done():
+                    waiter.cancel()
+        self.release_resources()
+
+    def release_resources(self) -> None:
+        """Release engine pools + shm segments; safe to call repeatedly
+        (and from signal handlers -- everything downstream is idempotent
+        and reentrancy-guarded)."""
+        if self.owns_engine:
+            self.engine.release_pools()
+
+    def install_signal_handlers(self, loop: asyncio.AbstractEventLoop) -> None:
+        """SIGTERM/SIGINT -> graceful stop on the loop (CLI mode)."""
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                sig, lambda: asyncio.ensure_future(self.stop())
+            )
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._stopping.wait()
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks: set = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                task = asyncio.ensure_future(
+                    self._handle_line(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Server stopping while blocked on readline: unwind quietly
+            # (the streams protocol logs a cancelled handler otherwise).
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        lines: Any,
+    ) -> None:
+        payload = b"".join(
+            json.dumps(row, sort_keys=True).encode() + b"\n" for row in lines
+        )
+        async with write_lock:
+            writer.write(payload)
+            await writer.drain()
+        self.stats.responses += 1
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        self.stats.requests += 1
+        req_id: Any = None
+        try:
+            obj = json.loads(line)
+            req_id = obj.get("id") if isinstance(obj, dict) else None
+            if isinstance(obj, dict) and obj.get("op") == "stats":
+                await self._respond(
+                    writer, write_lock, [self._stats_row(req_id)]
+                )
+                return
+            req = parse_request(obj)
+            policy = req.policy(base=self.base_policy)
+        except (ProtocolError, PolicyError, json.JSONDecodeError) as exc:
+            self.stats.errors += 1
+            await self._respond(
+                writer,
+                write_lock,
+                [{"id": req_id, "type": "error", "code": "bad-request",
+                  "message": str(exc)}],
+            )
+            return
+        try:
+            lines = await self._serve_detect(req, policy)
+        except OverloadError:
+            self.stats.rejected += 1
+            lines = [{"id": req.req_id, "type": "error", "code": "overload",
+                      "message": "admission rejected: server at capacity"}]
+        except asyncio.CancelledError:
+            # Server stopping mid-request: answer cleanly if we still can.
+            lines = [{"id": req.req_id, "type": "error", "code": "shutdown",
+                      "message": "server is shutting down"}]
+        except Exception as exc:
+            self.stats.errors += 1
+            lines = [{"id": req.req_id, "type": "error", "code": "execution",
+                      "message": f"{type(exc).__name__}: {exc}"}]
+        await self._respond(writer, write_lock, lines)
+
+    # -- the layered request path --------------------------------------
+    async def _serve_detect(
+        self, req: DetectRequest, policy: ExecutionPolicy
+    ) -> Any:
+        phash = policy.policy_hash()
+        ckey = cache_key(req, phash)
+
+        cached = self.cache.get(ckey)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return self._result_lines(req, cached, "hit")
+
+        gkey = group_key(req, phash)
+        group = self.coalescer.join(gkey, req.iterations)
+        if group is not None:
+            leader_result: ServeResult = await asyncio.shield(group.future)
+            derived = derive_follower(leader_result, req, policy, self.stamp)
+            self.cache.put(ckey, derived)
+            self.stats.coalesced += 1
+            return self._result_lines(req, derived, "coalesced")
+
+        # Leader path: admission, then execution on the engine.
+        decision = self.admission.admit()
+        if decision == "reject":
+            raise OverloadError()
+        group = self.coalescer.lead(gkey, req.iterations, req.amplified)
+        try:
+            if decision == "queue":
+                waiter: "asyncio.Future[None]" = (
+                    asyncio.get_running_loop().create_future()
+                )
+                await self._waiters.put(waiter)
+                try:
+                    await waiter
+                except asyncio.CancelledError:
+                    self.admission.abandon_queued()
+                    raise
+                self.admission.start_queued()
+            try:
+                result: ServeResult = await asyncio.wrap_future(
+                    self.engine.submit(
+                        execute_request,
+                        req,
+                        policy,
+                        engine=self.engine,
+                        governor=self.governor,
+                        stamp=self.stamp,
+                    )
+                )
+            finally:
+                if self.admission.release():
+                    self._wake_next_waiter()
+        except BaseException as exc:
+            self.coalescer.resolve(group, error=exc)
+            raise
+        self.coalescer.resolve(group, result)
+        self.cache.put(ckey, result)
+        self.stats.executed += 1
+        return self._result_lines(req, result, "miss")
+
+    def _wake_next_waiter(self) -> None:
+        while self._waiters is not None and not self._waiters.empty():
+            waiter = self._waiters.get_nowait()
+            if not waiter.done():
+                waiter.set_result(None)
+                return
+
+    def _result_lines(
+        self, req: DetectRequest, result: ServeResult, source: str
+    ) -> Any:
+        lines = [
+            {"id": req.req_id, "type": "record", "row": row}
+            for row in result.rows
+        ]
+        lines.append(
+            {
+                "id": req.req_id,
+                "type": "result",
+                "cache": source,
+                "pattern": req.pattern,
+                "label": result.label,
+                **result.payload,
+            }
+        )
+        return lines
+
+    def _stats_row(self, req_id: Any) -> Dict[str, Any]:
+        row: Dict[str, Any] = {
+            "id": req_id,
+            "type": "stats",
+            "server": self.stats.as_dict(),
+            "admission": self.admission.snapshot(),
+            "result_cache": self.cache.stats(),
+            "coalescer": self.coalescer.snapshot(),
+            "construction_cache": cache_stats(),
+        }
+        if self.governor is not None:
+            row["governor"] = self.governor.snapshot()
+        return row
+
+
+class OverloadError(Exception):
+    """Internal control flow: admission said reject."""

@@ -1,0 +1,42 @@
+"""Deep-L8 fixture: module-level mutable state in a serving module.
+
+Lives under a ``repro/serve/`` path on purpose -- the deep concurrency
+pass keys the serving-layer state rule off the module path, exactly like
+the L3 faults extension keys off ``repro/faults/``.  Every marked line
+binds a mutable value at module scope, which the server's design forbids
+(state must live on the engine core or a server/controller instance);
+the unmarked bindings are the legitimate shapes: immutable constants,
+export lists, and instance state.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["CheatingServer"]  # dunder metadata: exempt
+
+# Immutable module constants are fine.
+_DEFAULT_PORT = 0
+_HOMES = ("127.0.0.1", "::1")
+_KINDS = frozenset({"triangle", "clique"})
+
+# Cross-request caches and counters at module scope: every connection
+# task and engine thread shares these with no lock anywhere in sight.
+_RESULTS: Dict[str, Any] = {}  # EXPECT-D[L8]
+_PENDING: List[str] = []  # EXPECT-D[L8]
+_COUNTERS = dict(requests=0, responses=0)  # EXPECT-D[L8]
+
+
+@dataclass
+class CheatingServer:
+    """Instance state is the sanctioned home for mutable server state."""
+
+    host: str = "127.0.0.1"
+    port: int = _DEFAULT_PORT
+    inflight: Dict[str, Any] = field(default_factory=dict)
+
+    def remember(self, key: str, value: Any) -> None:
+        # Writing the module-level cache instead of self.inflight is the
+        # cheat the rule exists for; the binding line above carries the
+        # marker, so this access site needs none.
+        _RESULTS[key] = value
+        self.inflight[key] = value

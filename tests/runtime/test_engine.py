@@ -1,0 +1,169 @@
+"""Engine-core tests: submit/await semantics and concurrent session use.
+
+The headline scenario is the ISSUE's satellite: one :class:`RunSession`
+driven by 50+ concurrent asyncio tasks through the engine's
+submit/await surface, with the record's event log, the governor
+estimate, and the construction cache all staying consistent -- the exact
+regime the detection server puts the runtime in.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import networkx as nx
+import pytest
+
+from repro.congest import CongestNetwork
+from repro.core import detect_triangle_congest
+from repro.runtime import ExecutionPolicy, RunSession
+from repro.runtime.engine import (
+    ExecutionEngine,
+    default_engine,
+    shutdown_default_engine,
+)
+
+
+class TestSubmitAwait:
+    def test_submit_runs_on_an_engine_thread_and_returns_a_future(self):
+        engine = ExecutionEngine(max_concurrency=2)
+        try:
+            fut = engine.submit(lambda a, b: a + b, 2, 3)
+            assert fut.result(timeout=10) == 5
+        finally:
+            engine.shutdown(pools=False)
+
+    def test_submit_after_shutdown_raises(self):
+        engine = ExecutionEngine()
+        engine.shutdown(pools=False)
+        with pytest.raises(RuntimeError, match="shut down"):
+            engine.submit(lambda: None)
+
+    def test_shutdown_is_idempotent(self):
+        engine = ExecutionEngine()
+        engine.submit(lambda: 1).result(timeout=10)
+        engine.shutdown(pools=False)
+        engine.shutdown(pools=False)
+        assert engine.closed
+
+    def test_default_engine_rebuilds_after_shutdown(self):
+        first = default_engine()
+        assert default_engine() is first
+        shutdown_default_engine()
+        second = default_engine()
+        assert second is not first and not second.closed
+
+    def test_constructor_validates_concurrency(self):
+        with pytest.raises(ValueError):
+            ExecutionEngine(max_concurrency=0)
+
+
+class TestExecutePrimitives:
+    def test_execute_run_matches_session_run(self):
+        g = nx.complete_graph(5)
+        policy = ExecutionPolicy()
+        engine = ExecutionEngine(max_concurrency=2)
+        ses = RunSession(policy, owns_pools=False, engine=engine)
+        try:
+            direct = detect_triangle_congest(g, 8, seed=3, session=ses)
+            again = detect_triangle_congest(g, 8, seed=3, session=ses)
+            assert direct.rejected == again.rejected
+            assert direct.metrics.total_bits == again.metrics.total_bits
+        finally:
+            ses.close()
+            engine.shutdown(pools=False)
+
+    def test_submit_run_equals_execute_run(self):
+        g = nx.cycle_graph(8)
+        policy = ExecutionPolicy()
+        engine = ExecutionEngine(max_concurrency=2)
+        try:
+            def one():
+                from repro.core.triangle import NeighborExchangeTriangleDetection
+
+                net = CongestNetwork(g, bandwidth=8)
+                return engine.execute_run(
+                    policy, net, NeighborExchangeTriangleDetection(),
+                    max_rounds=4, seed=1,
+                )
+
+            blocking = one()
+            fut = engine.submit(one)
+            threaded = fut.result(timeout=30)
+            assert blocking.rejected == threaded.rejected
+            assert blocking.rounds == threaded.rounds
+            assert blocking.metrics.total_bits == threaded.metrics.total_bits
+        finally:
+            engine.shutdown(pools=False)
+
+
+class TestConcurrentSessionUse:
+    N_TASKS = 60
+
+    def test_fifty_plus_concurrent_submissions_stay_consistent(self):
+        policy = ExecutionPolicy(governor_budget=10_000_000)
+        engine = ExecutionEngine(max_concurrency=8)
+        ses = RunSession(policy, record=True, owns_pools=False, engine=engine)
+        g = nx.complete_graph(6)
+
+        async def one(i):
+            fut = engine.submit(
+                detect_triangle_congest, g, 8, seed=i, session=ses
+            )
+            return await asyncio.wrap_future(fut)
+
+        async def drive():
+            return await asyncio.gather(
+                *(one(i) for i in range(self.N_TASKS))
+            )
+
+        try:
+            results = asyncio.run(drive())
+            # Every submission ran, every one detected the triangle, and
+            # every one appended exactly one run event -- no lost or torn
+            # appends under 60-way concurrency.
+            assert len(results) == self.N_TASKS
+            assert all(r.rejected for r in results)
+            runs = [e for e in ses.record.events if e.kind == "run"]
+            assert len(runs) == self.N_TASKS
+            assert sorted(e.seed for e in runs) == list(range(self.N_TASKS))
+            # All runs hit the same graph with the same budget, so the
+            # cost estimate is the same number every run observed.
+            assert ses.governor is not None
+            snap = ses.governor.snapshot()
+            assert snap["observed"] == self.N_TASKS
+            assert snap["peak"] == runs[0].rounds * runs[0].total_bits
+        finally:
+            ses.close()
+            engine.shutdown(pools=False)
+
+    def test_concurrent_amplifies_share_one_governor_estimate(self):
+        policy = ExecutionPolicy(governor_budget=10_000_000)
+        engine = ExecutionEngine(max_concurrency=4)
+        ses = RunSession(policy, record=True, owns_pools=False, engine=engine)
+        g = nx.cycle_graph(10)
+
+        from repro.core.cycle_detection_linear import _LinearCycleFactory
+
+        def amplify(seed):
+            return ses.amplify(
+                g, _LinearCycleFactory(5, None), 6, seed=seed,
+                bandwidth=8, max_rounds=17, label="c5",
+                success_probability=5.0 ** -5,
+            )
+
+        async def drive():
+            futs = [engine.submit(amplify, s) for s in (0, 100, 200, 300)]
+            return await asyncio.gather(
+                *(asyncio.wrap_future(f) for f in futs)
+            )
+
+        try:
+            outcomes = asyncio.run(drive())
+            assert len(outcomes) == 4
+            amped = [e for e in ses.record.events if e.kind == "amplified"]
+            assert len(amped) == 4
+            assert ses.governor.snapshot()["observed"] > 0
+        finally:
+            ses.close()
+            engine.shutdown(pools=False)

@@ -1,0 +1,82 @@
+"""Admission-controller unit tests: the deterministic gate, in isolation.
+
+The controller is pure and synchronous, so reject/queue semantics are
+pinned as plain call sequences -- the same sequences the server drives
+through it under load.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import PeakHoldGovernor
+from repro.serve import AdmissionController
+
+
+class TestDecisionSequence:
+    def test_admit_then_queue_then_reject(self):
+        gate = AdmissionController(max_inflight=2, max_queue=1)
+        assert gate.admit() == "admit"
+        assert gate.admit() == "admit"
+        assert gate.admit() == "queue"
+        assert gate.admit() == "reject"
+        snap = gate.snapshot()
+        assert (snap["admitted_total"], snap["queued_total"],
+                snap["rejected_total"]) == (2, 1, 1)
+
+    def test_zero_queue_rejects_immediately(self):
+        gate = AdmissionController(max_inflight=1, max_queue=0)
+        assert gate.admit() == "admit"
+        assert gate.admit() == "reject"
+
+    def test_release_signals_exactly_when_a_waiter_can_start(self):
+        gate = AdmissionController(max_inflight=1, max_queue=2)
+        gate.admit()
+        gate.admit()  # queue
+        assert gate.release() is True
+        gate.start_queued()
+        assert gate.snapshot()["running"] == 1
+        assert gate.release() is False  # nothing left waiting
+
+    def test_abandon_queued_frees_the_queue_slot(self):
+        gate = AdmissionController(max_inflight=1, max_queue=1)
+        gate.admit()
+        assert gate.admit() == "queue"
+        gate.abandon_queued()
+        assert gate.admit() == "queue"  # slot reusable
+        assert gate.release() is True
+
+
+class TestMisuseAndValidation:
+    def test_ctor_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=1, max_queue=-1)
+
+    def test_release_without_running_raises(self):
+        with pytest.raises(RuntimeError):
+            AdmissionController(max_inflight=1).release()
+
+    def test_promote_without_queued_raises(self):
+        with pytest.raises(RuntimeError):
+            AdmissionController(max_inflight=1).start_queued()
+
+
+class TestGovernorCoupling:
+    def test_limit_tightens_as_observed_cost_grows(self):
+        gov = PeakHoldGovernor(budget=100)
+        gate = AdmissionController(max_inflight=8, governor=gov)
+        assert gate.limit() == 8  # nothing observed yet
+        gov.observe(50)  # budget // peak = 2
+        assert gate.limit() == 2
+        assert gate.admit() == "admit"
+        assert gate.admit() == "admit"
+        assert gate.admit() == "reject"
+
+    def test_limit_never_drops_below_one_or_above_max(self):
+        gov = PeakHoldGovernor(budget=10)
+        gate = AdmissionController(max_inflight=4, governor=gov)
+        gov.observe(1_000_000)
+        assert gate.limit() == 1
+        assert gate.admit() == "admit"

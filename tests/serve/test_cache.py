@@ -1,0 +1,57 @@
+"""Result-cache unit tests: LRU order, counters, and capacity bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ResultCache
+
+
+class TestLruSemantics:
+    def test_eviction_follows_recency_of_use(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh 'a'; 'b' is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_put_refreshes_existing_key_without_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert cache.stats()["size"] == 2
+        assert cache.stats()["evictions"] == 0
+        assert cache.get("a") == 10
+
+
+class TestCounters:
+    def test_every_lookup_counts_hit_or_miss(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("x") is None
+        cache.put("x", 1)
+        assert cache.get("x") == 1
+        s = cache.stats()
+        assert (s["hits"], s["misses"]) == (1, 1)
+        assert s["hit_rate"] == 0.5
+
+    def test_hit_rate_defined_before_any_lookup(self):
+        assert ResultCache(capacity=1).stats()["hit_rate"] == 0.0
+
+    def test_clear_empties_but_keeps_counters(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert cache.get("a") is None
+        s = cache.stats()
+        assert s["size"] == 0 and s["hits"] == 1 and s["misses"] == 1
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)

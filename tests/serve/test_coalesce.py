@@ -1,0 +1,91 @@
+"""Coalescer unit tests: group lifecycle on a real event loop.
+
+``lead``/``join``/``resolve`` are loop-native (asyncio futures), so each
+test drives them inside ``asyncio.run`` -- the same single-threaded
+regime the server guarantees.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve import BatchCoalescer
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestGroupLifecycle:
+    def test_followers_receive_the_leaders_result(self):
+        async def scenario():
+            co = BatchCoalescer()
+            group = co.lead("k", cap=16, amplified=True)
+            assert co.join("k", 8) is group
+            assert co.join("k", 16) is group
+            co.resolve(group, "answer")
+            assert await group.future == "answer"
+            assert co.pending() == 0
+            return co.snapshot()
+
+        snap = _run(scenario())
+        assert snap["groups_started"] == 1
+        assert snap["followers_merged"] == 2
+        assert snap["largest_group"] == 3
+        assert snap["coalescing_factor"] == 3.0
+
+    def test_budget_above_the_leaders_cap_cannot_join(self):
+        async def scenario():
+            co = BatchCoalescer()
+            group = co.lead("k", cap=8, amplified=True)
+            assert co.join("k", 9) is None
+            assert co.join("k", 8) is group
+            co.resolve(group, None)
+
+        _run(scenario())
+
+    def test_resolved_and_unknown_groups_are_not_joinable(self):
+        async def scenario():
+            co = BatchCoalescer()
+            assert co.join("missing", 1) is None
+            group = co.lead("k", cap=4, amplified=True)
+            co.resolve(group, "done")
+            assert co.join("k", 1) is None  # must start a fresh leader
+            fresh = co.lead("k", cap=4, amplified=True)
+            assert co.join("k", 4) is fresh
+            co.resolve(fresh, None)
+
+        _run(scenario())
+
+    def test_leader_error_propagates_to_followers(self):
+        async def scenario():
+            co = BatchCoalescer()
+            group = co.lead("k", cap=4, amplified=True)
+            co.join("k", 2)
+            co.resolve(group, error=RuntimeError("engine died"))
+            try:
+                await group.future
+            except RuntimeError as exc:
+                return str(exc)
+            return None
+
+        assert _run(scenario()) == "engine died"
+
+    def test_resolve_is_idempotent(self):
+        async def scenario():
+            co = BatchCoalescer()
+            group = co.lead("k", cap=4, amplified=True)
+            co.resolve(group, "first")
+            co.resolve(group, "second")  # no-op: future already done
+            assert await group.future == "first"
+
+        _run(scenario())
+
+    def test_factor_is_one_with_no_duplicates(self):
+        async def scenario():
+            co = BatchCoalescer()
+            for key in ("a", "b", "c"):
+                co.resolve(co.lead(key, cap=1, amplified=False), None)
+            return co.snapshot()
+
+        assert _run(scenario())["coalescing_factor"] == 1.0

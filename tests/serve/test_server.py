@@ -1,0 +1,276 @@
+"""End-to-end server tests over a real TCP socket, in-process.
+
+Each scenario starts a :class:`DetectionServer` on a loopback port
+inside ``asyncio.run``, speaks the JSONL protocol through
+``asyncio.open_connection``, and stops the server before asserting.  The
+acceptance criterion rides on :class:`TestBitIdentity`: a served
+response's record -- streamed as JSONL rows, rebuilt into a
+:class:`RunRecord` -- diffs clean against executing the same request
+directly, for all three sources (miss, cache hit, coalesced follower).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.runtime import ExecutionPolicy, RunRecord, TraceEvent, diff_records
+from repro.serve import DetectionServer, execute_request
+from repro.serve.protocol import parse_request
+
+GRAPH = {"kind": "gnp", "n": 24, "p": 0.15, "seed": 5}
+
+
+def record_from_rows(rows):
+    """Rebuild a RunRecord from streamed JSONL rows (the client's view)."""
+    header, footer = rows[0], rows[-1]
+    assert header["type"] == "header" and footer["type"] == "footer"
+    return RunRecord(
+        policy=header["policy"],
+        policy_hash=header["policy_hash"],
+        git_sha=header["git_sha"],
+        platform=header["platform"],
+        started_unix=header["started_unix"],
+        finished_unix=footer["finished_unix"],
+        events=[TraceEvent.from_dict(r) for r in rows[1:-1]],
+    )
+
+
+def direct_record(reqobj, base_policy=None):
+    """The bit-identity baseline: the same request run directly."""
+    req = parse_request(reqobj)
+    result = execute_request(req, req.policy(base=base_policy or ExecutionPolicy()))
+    return record_from_rows(result.rows)
+
+
+class Client:
+    """Minimal JSONL client: send requests, collect per-id responses."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, port):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        return cls(reader, writer)
+
+    async def send(self, obj):
+        self.writer.write(json.dumps(obj).encode() + b"\n")
+        await self.writer.drain()
+
+    async def collect(self, n_terminal):
+        """Read until ``n_terminal`` terminal lines arrived; group by id."""
+        out = {}
+        seen = 0
+        while seen < n_terminal:
+            row = json.loads(await self.reader.readline())
+            bucket = out.setdefault(row["id"], {"records": []})
+            if row["type"] == "record":
+                bucket["records"].append(row["row"])
+            else:
+                bucket["terminal"] = row
+                seen += 1
+        return out
+
+    async def close(self):
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def _with_server(scenario, **server_kwargs):
+    srv = DetectionServer(**server_kwargs)
+    await srv.start()
+    try:
+        return await scenario(srv)
+    finally:
+        await srv.stop()
+
+
+class TestBitIdentity:
+    def test_all_three_sources_diff_clean_against_direct_runs(self):
+        reqobj = {"pattern": "c4", "graph": GRAPH, "seed": 2, "iterations": 12}
+
+        async def scenario(srv):
+            client = await Client.connect(srv.bound_port)
+            # Fire the leader and a coalescable duplicate concurrently,
+            # then repeat the leader for a cache hit.
+            await client.send({"id": "miss", **reqobj})
+            await client.send({"id": "dup", **reqobj})
+            got = await client.collect(2)
+            await client.send({"id": "hit", **reqobj})
+            got.update(await client.collect(1))
+            await client.close()
+            return got
+
+        got = asyncio.run(_with_server(scenario))
+        sources = {rid: got[rid]["terminal"]["cache"] for rid in got}
+        assert sources["miss"] == "miss"
+        assert sorted(sources[r] for r in ("dup", "hit")) == \
+            ["coalesced", "hit"]
+        baseline = direct_record({"id": "base", **reqobj})
+        for rid in ("miss", "dup", "hit"):
+            served = record_from_rows(got[rid]["records"])
+            diff = diff_records(baseline, served)
+            assert diff["identical"], (rid, diff)
+
+    def test_shorter_follower_derives_its_own_exact_answer(self):
+        long = {"pattern": "odd-c5", "graph": GRAPH, "seed": 1,
+                "iterations": 20}
+        short = dict(long, iterations=6)
+
+        async def scenario(srv):
+            client = await Client.connect(srv.bound_port)
+            await client.send({"id": "long", **long})
+            await client.send({"id": "short", **short})
+            got = await client.collect(2)
+            await client.close()
+            return got
+
+        got = asyncio.run(_with_server(scenario))
+        assert got["short"]["terminal"]["cache"] == "coalesced"
+        baseline = direct_record({"id": "b", **short})
+        served = record_from_rows(got["short"]["records"])
+        assert diff_records(baseline, served)["identical"]
+        assert got["short"]["terminal"]["seeds_requested"] == 6
+
+
+class TestSingleRunPatterns:
+    def test_triangle_and_clique_roundtrip(self):
+        async def scenario(srv):
+            client = await Client.connect(srv.bound_port)
+            await client.send({"id": "t", "pattern": "triangle",
+                               "graph": {"kind": "clique", "s": 4}})
+            await client.send({"id": "k", "pattern": "k4",
+                               "graph": {"kind": "clique", "s": 4}})
+            got = await client.collect(2)
+            await client.close()
+            return got
+
+        got = asyncio.run(_with_server(scenario))
+        assert got["t"]["terminal"]["detected"] is True
+        assert got["k"]["terminal"]["detected"] is True
+        baseline = direct_record({"id": "b", "pattern": "k4",
+                                  "graph": {"kind": "clique", "s": 4}})
+        served = record_from_rows(got["k"]["records"])
+        assert diff_records(baseline, served)["identical"]
+
+
+class TestAdmission:
+    def test_burst_past_queue_rejects_cleanly_and_recovers(self):
+        # One slot, no queue: of N concurrent distinct requests, exactly
+        # one runs at a time, so most of the burst must reject.
+        def reqs(n):
+            return [{"id": f"r{i}", "pattern": "c4",
+                     "graph": GRAPH, "seed": 100 + i} for i in range(n)]
+
+        async def scenario(srv):
+            client = await Client.connect(srv.bound_port)
+            for obj in reqs(6):
+                await client.send(obj)
+            got = await client.collect(6)
+            # After the burst drains, the server still serves.
+            await client.send({"id": "after", "pattern": "c4",
+                               "graph": GRAPH, "seed": 999})
+            got.update(await client.collect(1))
+            await client.close()
+            return got, srv.stats.rejected
+
+        got, rejected = asyncio.run(
+            _with_server(scenario, max_inflight=1, max_queue=0)
+        )
+        codes = [got[f"r{i}"]["terminal"] for i in range(6)]
+        overloads = [c for c in codes if c.get("code") == "overload"]
+        served = [c for c in codes if c["type"] == "result"]
+        assert overloads and served
+        assert rejected == len(overloads)
+        assert got["after"]["terminal"]["type"] == "result"
+
+    def test_queued_requests_run_after_a_slot_frees(self):
+        def reqs(n):
+            return [{"id": f"q{i}", "pattern": "c4",
+                     "graph": GRAPH, "seed": 200 + i} for i in range(n)]
+
+        async def scenario(srv):
+            client = await Client.connect(srv.bound_port)
+            for obj in reqs(4):
+                await client.send(obj)
+            got = await client.collect(4)
+            await client.close()
+            return got, srv.admission.snapshot()
+
+        got, snap = asyncio.run(
+            _with_server(scenario, max_inflight=1, max_queue=8)
+        )
+        assert all(
+            got[f"q{i}"]["terminal"]["type"] == "result" for i in range(4)
+        )
+        assert snap["queued_total"] >= 1
+        assert snap["running"] == 0 and snap["queued"] == 0
+
+
+class TestProtocolErrors:
+    def test_bad_lines_answer_errors_not_disconnects(self):
+        async def scenario(srv):
+            client = await Client.connect(srv.bound_port)
+            self_id = {"id": "bad1", "pattern": "nope",
+                       "graph": {"kind": "cycle", "k": 5}}
+            await client.send(self_id)
+            got = await client.collect(1)
+            client.writer.write(b"this is not json\n")
+            await client.writer.drain()
+            row = json.loads(await client.reader.readline())
+            got["nojson"] = {"terminal": row}
+            # The connection survives both errors.
+            await client.send({"id": "ok", "pattern": "triangle",
+                               "graph": {"kind": "clique", "s": 3}})
+            got.update(await client.collect(1))
+            await client.close()
+            return got
+
+        got = asyncio.run(_with_server(scenario))
+        assert got["bad1"]["terminal"]["code"] == "bad-request"
+        assert got["nojson"]["terminal"]["code"] == "bad-request"
+        assert got["ok"]["terminal"]["type"] == "result"
+
+
+class TestStatsEndpoint:
+    def test_stats_row_reflects_layer_counters(self):
+        reqobj = {"pattern": "c4", "graph": GRAPH, "seed": 7}
+
+        async def scenario(srv):
+            client = await Client.connect(srv.bound_port)
+            await client.send({"id": "one", **reqobj})
+            await client.collect(1)
+            await client.send({"id": "two", **reqobj})
+            await client.collect(1)
+            await client.send({"id": "s", "op": "stats"})
+            row = json.loads(await client.reader.readline())
+            await client.close()
+            return row
+
+        row = asyncio.run(_with_server(scenario))
+        assert row["type"] == "stats"
+        assert row["server"]["executed"] == 1
+        assert row["server"]["cache_hits"] == 1
+        assert row["result_cache"]["hits"] == 1
+        assert row["coalescer"]["groups_started"] == 1
+        assert row["admission"]["admitted_total"] == 1
+        assert "construction_cache" in row
+
+    def test_governor_snapshot_present_when_budget_set(self):
+        async def scenario(srv):
+            client = await Client.connect(srv.bound_port)
+            await client.send({"id": "s", "op": "stats"})
+            row = json.loads(await client.reader.readline())
+            await client.close()
+            return row
+
+        row = asyncio.run(
+            _with_server(scenario, governor_budget=1_000_000)
+        )
+        assert "governor" in row
+        assert row["admission"]["limit"] == row["admission"]["max_inflight"]
