@@ -1,0 +1,306 @@
+"""Chaos-matrix benchmark: availability and recovery under infra faults.
+
+Drives an in-process :class:`~repro.serve.server.DetectionServer` through
+a matrix of :class:`~repro.serve.chaos.InfraFaultPlan` plans over real
+loopback TCP and records, per plan, into ``BENCH_chaos.json``:
+
+* **availability** -- the fraction of requests answered with a result
+  row (the baseline plan must score 1.0; the worker-kill plan must too,
+  because the submission retry loop absorbs the deaths);
+* **terminal honesty** -- every request ends in a terminal row or a
+  severed connection (the conn-drop plan), never a hang: the whole wave
+  completing inside the harness timeout is itself the assertion;
+* **latency** -- p50/p99 over answered requests;
+* **error histogram** -- terminal error rows by code (the deadline plan
+  must show ``deadline-exceeded``, nothing may show ``execution``);
+* **recovery profile** -- a second wave of the same bodies after the
+  fault wave: cached results make the survivors' availability 1.0 for
+  plans whose faults only delay or kill work (not connections);
+* **restart profile** -- the kill->restart->replay story with a journal:
+  a chaos run (worker kills + a torn journal tail) followed by a fresh
+  server on the same journal, which must restore the surviving fills and
+  answer everything.
+
+Sampled successful responses are rebuilt into records and diffed clean
+against direct execution (:func:`diff_records`) -- chaos may cost
+latency and availability, never bit-identity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from emit import emit
+from repro.runtime import ExecutionPolicy, RunRecord, TraceEvent, diff_records
+from repro.serve import DetectionServer, execute_request
+from repro.serve.protocol import parse_request
+
+UNIQUES = 10
+WAVE = 40
+CONCURRENCY = 8
+
+GRAPHS = [
+    {"kind": "gnp", "n": 24, "p": 0.15, "seed": 1},
+    {"kind": "gnp", "n": 28, "p": 0.12, "seed": 2},
+    {"kind": "cycle", "k": 12},
+    {"kind": "clique", "s": 5},
+]
+PATTERNS = ["c4", "odd-c5", "triangle", "k4"]
+
+# The matrix: name -> (chaos spec, server kwargs, per-plan assertions).
+PLANS = [
+    ("baseline", "", {}),
+    ("conn_drop", "conn-drop:0.15|seed:7", {}),
+    ("worker_kill", "worker-kill:0@3+1@7|seed:7", {"submit_retries": 2}),
+    ("slow_deadline", "engine-slow:150|seed:7",
+     {"default_deadline_ms": 75}),
+    ("composite",
+     "conn-drop:0.1|req-stall:0.05|worker-kill:0@5|engine-slow:20|seed:7",
+     {"submit_retries": 2, "default_deadline_ms": 2000}),
+]
+
+
+def unique_profiles():
+    out = []
+    for i in range(UNIQUES):
+        out.append({
+            "pattern": PATTERNS[i % len(PATTERNS)],
+            "graph": GRAPHS[i % len(GRAPHS)],
+            "seed": i,
+            "iterations": 6,
+        })
+    return out
+
+
+def record_from_rows(rows):
+    header, footer = rows[0], rows[-1]
+    return RunRecord(
+        policy=header["policy"],
+        policy_hash=header["policy_hash"],
+        git_sha=header["git_sha"],
+        platform=header["platform"],
+        started_unix=header["started_unix"],
+        finished_unix=footer["finished_unix"],
+        events=[TraceEvent.from_dict(r) for r in rows[1:-1]],
+    )
+
+
+def direct_record(body):
+    req = parse_request({"id": "baseline", **body})
+    result = execute_request(req, req.policy(base=ExecutionPolicy()))
+    return record_from_rows(result.rows)
+
+
+async def issue(port, obj, sem):
+    """One request on its own connection: terminal row, rows, or EOF."""
+    async with sem:
+        t0 = time.perf_counter()
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(json.dumps(obj).encode() + b"\n")
+        await writer.drain()
+        rows, terminal = [], None
+        while True:
+            line = await reader.readline()
+            if not line:
+                break  # chaos severed the connection
+            row = json.loads(line)
+            if row["type"] == "record":
+                rows.append(row["row"])
+            else:
+                terminal = row
+                break
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        return {
+            "terminal": terminal,
+            "rows": rows,
+            "latency_ms": (time.perf_counter() - t0) * 1000.0,
+        }
+
+
+async def run_wave(port, requests):
+    sem = asyncio.Semaphore(CONCURRENCY)
+    return await asyncio.gather(*(issue(port, obj, sem) for obj in requests))
+
+
+def percentile(values, q):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def summarize(outcomes):
+    answered = [o for o in outcomes if o["terminal"] is not None]
+    results = [o for o in answered if o["terminal"]["type"] == "result"]
+    errors = {}
+    for o in answered:
+        if o["terminal"]["type"] == "error":
+            code = o["terminal"]["code"]
+            errors[code] = errors.get(code, 0) + 1
+    latencies = [o["latency_ms"] for o in answered]
+    return {
+        "requests": len(outcomes),
+        "availability": round(len(results) / len(outcomes), 4),
+        "dropped_connections": len(outcomes) - len(answered),
+        "errors": errors,
+        "p50_ms": round(percentile(latencies, 0.50), 2),
+        "p99_ms": round(percentile(latencies, 0.99), 2),
+    }
+
+
+class TestChaosMatrix:
+    def test_availability_under_the_fault_matrix(self):
+        profiles = unique_profiles()
+        baselines = {}
+
+        def requests(prefix):
+            return [
+                {"id": f"{prefix}-{i}", **profiles[i % UNIQUES]}
+                for i in range(WAVE)
+            ]
+
+        async def settle(srv):
+            # Deadlined leaders detach; their work keeps running and
+            # fills the cache when it lands.  Wait for a quiet window so
+            # the repeat wave measures recovery, not the fault's tail.
+            prev = -1
+            while True:
+                cur = srv.stats.executed + srv.stats.errors
+                if cur == prev:
+                    return
+                prev = cur
+                await asyncio.sleep(0.3)
+
+        async def drive(spec, kwargs):
+            srv = DetectionServer(
+                max_inflight=4, max_queue=WAVE,
+                chaos=spec or None, **kwargs,
+            )
+            await srv.start()
+            try:
+                fault = await run_wave(srv.bound_port, requests("f"))
+                await settle(srv)
+                repeat = await run_wave(srv.bound_port, requests("r"))
+                return srv, fault, repeat
+            finally:
+                await srv.stop()
+
+        matrix = {}
+        for name, spec, kwargs in PLANS:
+            t0 = time.perf_counter()
+            srv, fault, repeat = asyncio.run(drive(spec, kwargs))
+            wall = time.perf_counter() - t0
+            entry = {
+                "spec": spec,
+                "fault_wave": summarize(fault),
+                "repeat_wave": summarize(repeat),
+                "wall_s": round(wall, 3),
+                "server": {
+                    k: v for k, v in srv.stats.as_dict().items() if v
+                },
+            }
+            matrix[name] = entry
+
+            # Bit-identity: chaos never corrupts an answered result.
+            checked = 0
+            for o in fault + repeat:
+                if checked >= 3 or o["terminal"] is None:
+                    continue
+                if o["terminal"]["type"] != "result" or not o["rows"]:
+                    continue
+                idx = int(o["terminal"]["id"].split("-")[1]) % UNIQUES
+                body = profiles[idx]
+                key = json.dumps(body, sort_keys=True)
+                if key not in baselines:
+                    baselines[key] = direct_record(body)
+                diff = diff_records(
+                    baselines[key], record_from_rows(o["rows"])
+                )
+                assert diff["identical"], (name, o["terminal"]["id"], diff)
+                checked += 1
+            entry["bit_identity_samples"] = checked
+
+            # Nothing in the matrix may die on an unclassified error.
+            for wave in ("fault_wave", "repeat_wave"):
+                assert "execution" not in entry[wave]["errors"], entry
+
+        assert matrix["baseline"]["fault_wave"]["availability"] == 1.0
+        assert matrix["baseline"]["repeat_wave"]["availability"] == 1.0
+        # Worker kills are absorbed by the retry loop.
+        assert matrix["worker_kill"]["fault_wave"]["availability"] == 1.0
+        assert matrix["worker_kill"]["server"]["worker_deaths"] >= 2
+        # Deadlines fire under the slow engine, and the detached work
+        # lands in the cache: the repeat wave answers everything.
+        slow = matrix["slow_deadline"]
+        assert slow["fault_wave"]["errors"].get("deadline-exceeded"), slow
+        assert slow["repeat_wave"]["availability"] == 1.0
+        # Conn-drop severs responses but answers the rest.
+        drop = matrix["conn_drop"]
+        assert drop["fault_wave"]["dropped_connections"] >= 1
+        assert (
+            drop["fault_wave"]["availability"] > 0.5
+        ), drop
+
+        emit("BENCH_chaos", "chaos_matrix", matrix)
+        print(f"\nBENCH_chaos matrix: {json.dumps(matrix, sort_keys=True)}")
+
+    def test_restart_replay_profile(self, tmp_path):
+        profiles = unique_profiles()
+        journal = tmp_path / "cache.jsonl"
+        bodies = [
+            {"id": f"m-{i}", **profiles[i % UNIQUES]} for i in range(UNIQUES)
+        ]
+
+        async def phase(spec, kwargs):
+            srv = DetectionServer(
+                max_inflight=4, max_queue=len(bodies),
+                cache_journal=journal, chaos=spec or None, **kwargs,
+            )
+            await srv.start()
+            try:
+                outcomes = await run_wave(srv.bound_port, bodies)
+                return srv, outcomes
+            finally:
+                await srv.stop()
+
+        t0 = time.perf_counter()
+        srv1, chaos_run = asyncio.run(phase(
+            "worker-kill:0@2|cache-torn|seed:9", {"submit_retries": 0}
+        ))
+        chaos_wall = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        srv2, replay = asyncio.run(phase("", {}))
+        replay_wall = time.perf_counter() - t1
+
+        replay_summary = summarize(replay)
+        assert replay_summary["availability"] == 1.0, replay_summary
+        hits = sum(
+            1 for o in replay
+            if o["terminal"] is not None
+            and o["terminal"].get("cache") == "hit"
+        )
+        assert srv2.cache.restored >= 1
+        assert hits >= srv2.cache.restored
+
+        payload = {
+            "requests": len(bodies),
+            "chaos_wave": summarize(chaos_run),
+            "chaos_wall_s": round(chaos_wall, 3),
+            "replay_wave": replay_summary,
+            "replay_wall_s": round(replay_wall, 3),
+            "journal_restored": srv2.cache.restored,
+            "journal_dropped_tail": srv2.cache.stats()["journal"][
+                "dropped_tail"
+            ],
+            "replay_cache_hits": hits,
+        }
+        emit("BENCH_chaos", "restart_replay", payload)
+        print(f"\nBENCH_chaos restart: {json.dumps(payload, sort_keys=True)}")

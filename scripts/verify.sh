@@ -99,6 +99,23 @@ if [ "${1:-}" != "--fast" ]; then
             python -m pytest -q -p no:cacheprovider bench_serve.py
     ) || fail=1
 
+    # Time-budgeted chaos smoke: the serving-plane recovery proofs --
+    # the kill->restart->replay matrix (surviving chaos responses
+    # bit-identical to fault-free runs, journal-warm restart) plus the
+    # SIGKILL subprocess test (zero leaked shm, journal restores).
+    step "chaos smoke (kill->restart->replay matrix, 180s budget)"
+    timeout 180 python -m pytest -q -p no:cacheprovider \
+        "tests/serve/test_chaos.py::TestKillRestartReplayMatrix" \
+        "tests/serve/test_chaos.py::TestWorkerDeath" \
+        "tests/serve/test_shutdown_safety.py::TestSigkillIsRecoverable" \
+        || fail=1
+    step "bench smoke (chaos matrix: availability under faults, 240s budget)"
+    (
+        cd benchmarks &&
+        PYTHONPATH="../src${PYTHONPATH:+:$PYTHONPATH}" timeout 240 \
+            python -m pytest -q -p no:cacheprovider bench_chaos.py
+    ) || fail=1
+
     # Time-budgeted fault-matrix smoke: the cross-lane differential suite
     # (every fault spec must execute bit-identically on both lanes) plus
     # one end-to-end fault-sensitivity sweep through the CLI.  Catches

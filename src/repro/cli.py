@@ -194,6 +194,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "enables load-aware admission")
     p.add_argument("--governor-decay", type=float, default=None,
                    help="peak-hold decay factor in (0, 1]")
+    p.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="deterministic infra fault plan, e.g. "
+                        "'conn-drop:0.1|worker-kill:0@3|seed:7' (see "
+                        "docs/robustness.md for the grammar)")
+    p.add_argument("--deadline-ms", type=int, default=None,
+                   help="default per-request deadline in milliseconds "
+                        "(requests may carry their own 'deadline_ms')")
+    p.add_argument("--cache-journal", default=None, metavar="PATH",
+                   help="crash-safe result-cache journal (JSONL, "
+                        "restored on start; see docs/serving.md)")
+    p.add_argument("--governor-state", default=None, metavar="PATH",
+                   help="governor sidecar restored on start and saved "
+                        "on stop (same format as REPRO_GOVERNOR_STATE)")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   help="consecutive pool breaks before the engine "
+                        "circuit opens")
+    p.add_argument("--breaker-backoff-base", type=float, default=0.05,
+                   help="circuit-breaker backoff base (seconds)")
+    p.add_argument("--breaker-backoff-cap", type=float, default=2.0,
+                   help="circuit-breaker backoff cap (seconds)")
+    p.add_argument("--submit-retries", type=int, default=2,
+                   help="leader re-submissions after a pool break before "
+                        "answering 'worker-death'")
 
     p = sub.add_parser(
         "policy", help="inspect an execution-policy spec"
@@ -512,7 +535,7 @@ def _cmd_serve(args) -> int:
     import asyncio
 
     from .runtime import ExecutionPolicy, PolicyError
-    from .serve import DetectionServer
+    from .serve import DetectionServer, InfraFaultSpecError
 
     base = None
     if args.policy:
@@ -520,6 +543,14 @@ def _cmd_serve(args) -> int:
             base = ExecutionPolicy.from_spec(args.policy)
         except PolicyError as exc:
             raise SystemExit(f"repro: bad execution policy: {exc}") from None
+    chaos = None
+    if args.chaos:
+        from .serve import InfraFaultPlan
+
+        try:
+            chaos = InfraFaultPlan.from_spec(args.chaos)
+        except InfraFaultSpecError as exc:
+            raise SystemExit(f"repro: bad chaos spec: {exc}") from None
 
     async def _run() -> None:
         srv = DetectionServer(
@@ -531,6 +562,14 @@ def _cmd_serve(args) -> int:
             cache_size=args.cache_size,
             governor_budget=args.governor_budget,
             governor_decay=args.governor_decay,
+            chaos=chaos,
+            default_deadline_ms=args.deadline_ms,
+            cache_journal=args.cache_journal,
+            governor_state=args.governor_state,
+            breaker_threshold=args.breaker_threshold,
+            breaker_backoff_base=args.breaker_backoff_base,
+            breaker_backoff_cap=args.breaker_backoff_cap,
+            submit_retries=args.submit_retries,
         )
         await srv.start()
         # Handlers before the banner: a supervisor may signal the moment

@@ -25,10 +25,17 @@ one-shot CLI invocations.  This package re-layers it for requests:
     Request execution against a :class:`~repro.runtime.session.RunSession`:
     one plan per pattern class, mirroring the standalone detectors'
     parameters exactly so served responses diff clean against direct runs.
+:mod:`~repro.serve.chaos`
+    Deterministic infrastructure fault injection (torn connections,
+    stalled requests, worker kills, torn journals, slow engines) on a
+    replayable SplitMix64 schedule, plus the circuit breaker guarding
+    engine submission; ``--chaos`` on the CLI.
 :mod:`~repro.serve.server`
     The asyncio server tying the layers together, streaming
     :class:`~repro.runtime.record.RunRecord` JSONL per request plus a
-    ``stats`` snapshot endpoint; ``repro serve`` on the CLI.
+    ``stats`` snapshot endpoint; ``repro serve`` on the CLI.  Deadlines,
+    retry/backoff, leader re-election, and journal-backed cache recovery
+    live here (see ``docs/serving.md`` for the guarantees table).
 
 Design rule, enforced by deep-lint rule L8: modules in this package hold
 **no mutable module-level state**.  Every counter, cache, queue, and
@@ -38,9 +45,23 @@ stale copy.
 """
 
 from .admission import AdmissionController
-from .cache import ResultCache
-from .coalesce import BatchCoalescer
-from .executor import ServeResult, derive_follower, execute_request
+from .cache import CacheJournal, ResultCache
+from .chaos import (
+    CircuitBreaker,
+    CircuitOpenError,
+    InfraFaultInjector,
+    InfraFaultPlan,
+    InfraFaultSpecError,
+    InjectedWorkerDeath,
+)
+from .coalesce import BatchCoalescer, LeaderDied
+from .executor import (
+    ServeResult,
+    decode_result,
+    derive_follower,
+    encode_result,
+    execute_request,
+)
 from .protocol import (
     DetectRequest,
     ProtocolError,
@@ -48,20 +69,39 @@ from .protocol import (
     construction_fingerprint,
     parse_request,
 )
-from .server import DetectionServer, ServerStats
+from .server import (
+    DeadlineExceeded,
+    DetectionServer,
+    OverloadError,
+    ServerStats,
+    WorkerDeathError,
+)
 
 __all__ = [
     "AdmissionController",
     "BatchCoalescer",
+    "CacheJournal",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineExceeded",
     "DetectRequest",
     "DetectionServer",
+    "InfraFaultInjector",
+    "InfraFaultPlan",
+    "InfraFaultSpecError",
+    "InjectedWorkerDeath",
+    "LeaderDied",
+    "OverloadError",
     "ProtocolError",
     "ResultCache",
     "ServeResult",
     "ServerStats",
+    "WorkerDeathError",
     "build_graph",
     "construction_fingerprint",
+    "decode_result",
     "derive_follower",
+    "encode_result",
     "execute_request",
     "parse_request",
 ]

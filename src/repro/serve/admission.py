@@ -10,6 +10,13 @@ of ``"admit"`` / ``"queue"`` / ``"reject"``:
 * **reject** beyond that (the caller answers ``overload`` and the client
   retries with back-off -- deliberately, no silent unbounded queue).
 
+A reject is only actionable if the client learns *how* overloaded the
+server is: :meth:`reject_context` packages the queue depth, the running
+count, the governor-tightened limit, the governor's peak estimate, and a
+deterministic :meth:`retry_after_hint` for the error row.  The hint is a
+pure function of the controller's counters (no clock, no randomness), so
+replays of the same request sequence carry identical hints.
+
 The running limit is governor-aware: with a
 :class:`~repro.runtime.governor.PeakHoldGovernor` attached, the limit is
 ``min(max_inflight, governor.allowed(max_inflight))`` -- as observed
@@ -112,6 +119,34 @@ class AdmissionController:
             if self.queued < 1:
                 raise RuntimeError("no queued request to abandon")
             self.queued -= 1
+
+    def retry_after_hint(self) -> float:
+        """Deterministic back-off hint (seconds) for a rejected client.
+
+        Scales linearly with the work ahead of a retry -- everything
+        running plus everything queued, plus one for the retry itself --
+        at a nominal 50 ms per outstanding request.  Deliberately not a
+        measurement: a pure counter function keeps replayed reject rows
+        bit-identical.
+        """
+        with self._lock:
+            return round(0.05 * (self.running + self.queued + 1), 3)
+
+    def reject_context(self) -> Dict[str, Any]:
+        """What an overload error row should carry (see module docs)."""
+        with self._lock:
+            peak = None
+            if self.governor is not None:
+                peak = self.governor.snapshot().get("peak")
+            return {
+                "queue_depth": self.queued,
+                "running": self.running,
+                "limit": self.limit(),
+                "governor_peak": peak,
+                "retry_after_hint": round(
+                    0.05 * (self.running + self.queued + 1), 3
+                ),
+            }
 
     def release(self) -> bool:
         """Return a running slot; ``True`` if a queued waiter can start.

@@ -13,29 +13,236 @@ that one memoizes graph building inside the process, this one memoizes
 entire responses across requests.  Capacity-bounded LRU with hit / miss /
 eviction counters for the stats endpoint; thread-safe because cache fills
 arrive from engine threads while lookups run on the event loop.
+
+**Crash-safe persistence.**  With a :class:`CacheJournal` attached, every
+fill is also appended to a write-ahead JSONL journal keyed by the cache
+key, and a restarted server rebuilds the cache from the journal before
+accepting connections -- repeated work survives the process, not just
+the connection.  The journal follows the repo's two durability idioms
+(:class:`~repro.runtime.checkpoint.SweepCheckpoint`):
+
+* **appends are crash-tolerant, loads are torn-tail-tolerant**: a crash
+  mid-append leaves at most one undecodable trailing line, and
+  :meth:`CacheJournal.load` stops at the first undecodable line and
+  returns the clean prefix (the torn entry simply re-executes later);
+* **rewrites are atomic**: compaction writes a temp file, fsyncs, and
+  ``os.replace``\\ s it over the journal, so no observer ever sees a
+  half-compacted file.
+
+Journal order is replay order: a key journalled twice restores to its
+*latest* entry (last-write-wins), and restore trims to the cache's
+capacity keeping the most recently written keys -- exactly the state an
+uninterrupted LRU would hold.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Hashable, Optional
+from pathlib import Path
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
-__all__ = ["ResultCache"]
+__all__ = ["CacheJournal", "ResultCache"]
+
+#: Journal appends past the live entry count before an automatic
+#: compaction rewrites the file (bounds journal growth under churn).
+DEFAULT_COMPACT_SLACK = 512
+
+
+class CacheJournal:
+    """Append-only JSONL write-ahead journal for the result cache.
+
+    One line per fill: ``{"entry": ..., "key": [...]}``.  ``key`` is the
+    cache-key tuple as a JSON list (scalars only, so the round trip is
+    exact); ``entry`` is the encoded serve result.
+
+    Parameters
+    ----------
+    path:
+        Journal file; created on first append, parents must exist.
+    tear_first_append:
+        Chaos hook (``cache-torn`` in an infra fault plan): the first
+        append writes only a prefix of its line and no newline --
+        exactly the on-disk state of a crash mid-``write`` -- so tests
+        can prove loads tolerate a torn tail without killing a process
+        at a precise instruction.  The next append repairs the tail
+        (truncates the fragment) before writing, like a restart would.
+    """
+
+    def __init__(
+        self,
+        path: Any,
+        *,
+        tear_first_append: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.tear_first_append = tear_first_append
+        self._lock = threading.Lock()
+        self._torn_written = False
+        self._repair_to: Optional[int] = None
+        self.appended = 0
+        self.torn_appends = 0
+        self.loaded = 0
+        self.dropped_tail = 0
+        self.compactions = 0
+
+    @staticmethod
+    def _encode_line(key: Hashable, entry: Any) -> str:
+        return json.dumps(
+            {"key": list(key), "entry": entry}, sort_keys=True
+        )
+
+    def load(self) -> List[Tuple[Hashable, Any]]:
+        """Journalled ``(key, entry)`` pairs, in append order.
+
+        Torn-tail-tolerant: parsing stops at the first undecodable line
+        and returns the clean prefix (``dropped_tail`` counts the cut).
+        A missing file is an empty journal, not an error.
+        """
+        entries: List[Tuple[Hashable, Any]] = []
+        if not self.path.exists():
+            return entries
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    row = json.loads(stripped)
+                    key = tuple(row["key"])
+                    entry = row["entry"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    self.dropped_tail += 1
+                    break
+                entries.append((key, entry))
+        self.loaded = len(entries)
+        return entries
+
+    def append(self, key: Hashable, entry: Any) -> bool:
+        """Durably append one fill; ``True`` iff the line landed whole.
+
+        Flush + fsync per line: a fill acknowledged to the cache is on
+        disk before the next request can hit it.  Under the
+        ``tear_first_append`` chaos hook the first call deliberately
+        leaves a torn tail and returns ``False``.
+        """
+        line = self._encode_line(key, entry)
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if self._repair_to is not None:
+                with self.path.open("r+b") as fh:
+                    fh.truncate(self._repair_to)
+                self._repair_to = None
+            if self.tear_first_append and not self._torn_written:
+                clean_len = (
+                    self.path.stat().st_size if self.path.exists() else 0
+                )
+                fragment = line[: max(1, len(line) // 2)]
+                with self.path.open("a", encoding="utf-8") as fh:
+                    fh.write(fragment)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                self._torn_written = True
+                self._repair_to = clean_len
+                self.torn_appends += 1
+                return False
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            self.appended += 1
+            return True
+
+    def compact(self, entries: List[Tuple[Hashable, Any]]) -> None:
+        """Atomically rewrite the journal to exactly ``entries``.
+
+        Temp file + fsync + ``os.replace``: the journal is always either
+        the old file or the new one, never a prefix of the new one.
+        """
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with tmp.open("w", encoding="utf-8") as fh:
+                for key, entry in entries:
+                    fh.write(self._encode_line(key, entry) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            self._repair_to = None
+            self.compactions += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters for the stats endpoint."""
+        with self._lock:
+            return {
+                "path": str(self.path),
+                "appended": self.appended,
+                "torn_appends": self.torn_appends,
+                "loaded": self.loaded,
+                "dropped_tail": self.dropped_tail,
+                "compactions": self.compactions,
+            }
 
 
 class ResultCache:
-    """Thread-safe LRU mapping cache keys to finished serve results."""
+    """Thread-safe LRU mapping cache keys to finished serve results.
 
-    def __init__(self, capacity: int = 256) -> None:
+    With ``journal`` attached, fills are written through to the journal
+    (encoded via ``encode``) and construction restores the journalled
+    state (decoded via ``decode``): journal order is LRU order, repeated
+    keys keep their latest entry, and the restore trims to ``capacity``
+    keeping the most recent keys.  A compaction after restore -- and
+    whenever the journal has grown :data:`DEFAULT_COMPACT_SLACK` appends
+    past the live entry count -- keeps the file proportional to the
+    cache, not to its history.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        journal: Optional[CacheJournal] = None,
+        encode: Optional[Callable[[Any], Any]] = None,
+        decode: Optional[Callable[[Any], Any]] = None,
+        compact_slack: int = DEFAULT_COMPACT_SLACK,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.journal = journal
+        self._encode = encode
+        self._decode = decode
+        self._compact_slack = max(1, compact_slack)
+        self._appends_since_compact = 0
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.restored = 0
+        if journal is not None:
+            self._restore()
+
+    def _restore(self) -> None:
+        assert self.journal is not None
+        for key, entry in self.journal.load():
+            value = self._decode(entry) if self._decode else entry
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        self.restored = len(self._entries)
+        # Rewrite the pruned state so the next restart loads exactly the
+        # live entries (and any torn tail is gone from disk).
+        self.journal.compact(self._encoded_entries())
+
+    def _encoded_entries(self) -> List[Tuple[Hashable, Any]]:
+        return [
+            (key, self._encode(value) if self._encode else value)
+            for key, value in self._entries.items()
+        ]
 
     def get(self, key: Hashable) -> Optional[Any]:
         """The cached result for ``key`` (refreshed to most-recent), or
@@ -50,13 +257,29 @@ class ResultCache:
             return entry
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert (or refresh) ``key``, evicting the LRU tail past capacity."""
+        """Insert (or refresh) ``key``, evicting the LRU tail past capacity.
+
+        Journal first, then mutate: the write-ahead order means a crash
+        between the two leaves a journalled entry the restart restores,
+        never a served-but-unjournalled one.
+        """
         with self._lock:
+            if self.journal is not None:
+                encoded = self._encode(value) if self._encode else value
+                self.journal.append(key, encoded)
+                self._appends_since_compact += 1
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+            if (
+                self.journal is not None
+                and self._appends_since_compact
+                >= len(self._entries) + self._compact_slack
+            ):
+                self.journal.compact(self._encoded_entries())
+                self._appends_since_compact = 0
 
     def clear(self) -> None:
         with self._lock:
@@ -66,11 +289,15 @@ class ResultCache:
         """Counters for the stats endpoint."""
         with self._lock:
             lookups = self.hits + self.misses
-            return {
+            out = {
                 "capacity": self.capacity,
                 "size": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "restored": self.restored,
                 "hit_rate": (self.hits / lookups) if lookups else 0.0,
             }
+            if self.journal is not None:
+                out["journal"] = self.journal.snapshot()
+            return out

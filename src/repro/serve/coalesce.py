@@ -31,6 +31,20 @@ The coalescer is event-loop-native (asyncio futures, no locks): all
 mutation happens on the server's loop; only the leader's *execution*
 leaves the loop, and its completion is marshalled back before
 :meth:`resolve` runs.
+
+**Leader death and re-election.**  A leader can die without an answer:
+its client disconnects (the handler task is cancelled), or its engine
+submission lands on a killed worker.  Failing the whole group would
+punish followers for the leader's bad luck, so a recoverable leader
+death resolves the group with :class:`LeaderDied` instead of a result.
+Followers waking on ``LeaderDied`` *re-elect*: each re-enters the
+join-or-lead path, and the first one back becomes the new leader for a
+fresh group with the same key.  Because every group member would run
+the same seed sequence (``seed + t``) and the stopping rule is a pure
+function of the ordered outcomes, the re-elected leader's batch is
+bit-identical to the one the dead leader would have produced -- the
+promotion is observable only in the server's counters, never in the
+response bits (``tests/serve/test_chaos.py`` pins this).
 """
 
 from __future__ import annotations
@@ -39,7 +53,21 @@ import asyncio
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Optional
 
-__all__ = ["BatchCoalescer", "CoalesceGroup"]
+__all__ = ["BatchCoalescer", "CoalesceGroup", "LeaderDied"]
+
+
+class LeaderDied(Exception):
+    """A group's leader died recoverably; followers should re-elect.
+
+    Wraps the underlying cause (cancellation, injected worker death,
+    broken pool).  This is control flow, not a client-visible error: a
+    follower catching it loops back into join-or-lead instead of
+    answering anything.
+    """
+
+    def __init__(self, cause: BaseException) -> None:
+        super().__init__(f"group leader died: {cause!r}")
+        self.cause = cause
 
 
 @dataclass
@@ -60,6 +88,7 @@ class BatchCoalescer:
         self._groups: Dict[Hashable, CoalesceGroup] = {}
         self.groups_started = 0
         self.followers_merged = 0
+        self.followers_left = 0
         self.largest_group = 0
 
     def lead(self, key: Hashable, cap: int, amplified: bool) -> CoalesceGroup:
@@ -97,6 +126,21 @@ class BatchCoalescer:
         self.largest_group = max(self.largest_group, group.followers + 1)
         return group
 
+    def leave(self, group: CoalesceGroup) -> None:
+        """Unregister one follower from a still-pending group.
+
+        Called when a follower stops waiting before the leader resolves:
+        its client disconnected (writer closed) or its deadline expired.
+        The leader keeps executing -- the work is already in flight and
+        other followers may still want it -- but the departed follower
+        must not be counted, or a dropped connection would leave the
+        group's accounting (and a future promotion vote) wedged on a
+        waiter that no longer exists.
+        """
+        if group.followers > 0 and not group.future.done():
+            group.followers -= 1
+            self.followers_left += 1
+
     def resolve(self, group: CoalesceGroup, result: Any = None,
                 error: Optional[BaseException] = None) -> None:
         """Complete a group: wake every follower, retire the key.
@@ -129,6 +173,7 @@ class BatchCoalescer:
         return {
             "groups_started": self.groups_started,
             "followers_merged": self.followers_merged,
+            "followers_left": self.followers_left,
             "largest_group": self.largest_group,
             "pending": len(self._groups),
             "coalescing_factor": (self.groups_started + self.followers_merged)

@@ -33,7 +33,11 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from ..congest.message import int_width
-from ..congest.parallel import AmplifiedOutcome, prefix_outcome
+from ..congest.parallel import (
+    AmplifiedOutcome,
+    IterationOutcome,
+    prefix_outcome,
+)
 from ..core.clique_detection import detect_clique
 from ..core.cycle_detection_linear import _LinearCycleFactory
 from ..core.even_cycle import (
@@ -54,7 +58,14 @@ from ..runtime.record import (
 from ..runtime.session import RunSession
 from .protocol import DetectRequest, ProtocolError, build_graph
 
-__all__ = ["RecordStamp", "ServeResult", "derive_follower", "execute_request"]
+__all__ = [
+    "RecordStamp",
+    "ServeResult",
+    "decode_result",
+    "derive_follower",
+    "encode_result",
+    "execute_request",
+]
 
 
 @dataclass(frozen=True)
@@ -120,6 +131,94 @@ def _amplified_payload(amp: AmplifiedOutcome) -> Dict[str, Any]:
         "total_bits": amp.total_bits,
         "total_messages": amp.total_messages,
     }
+
+
+def _tuplize(value: Any) -> Any:
+    """Recursively restore JSON lists to the tuples the runtime uses.
+
+    Witness and rejecting-node fields are tuples (hashable, comparable)
+    before a journal round-trip turns them into lists; decoding must
+    restore the exact shapes or a journal-warm hit would not be
+    bit-identical to the live result it replays.
+    """
+    if isinstance(value, list):
+        return tuple(_tuplize(v) for v in value)
+    return value
+
+
+def encode_result(result: ServeResult) -> Dict[str, Any]:
+    """The JSON-serializable form of a :class:`ServeResult`.
+
+    Everything the cache journal persists for one entry: payload, record
+    rows, and -- for amplified patterns -- the ordered per-iteration
+    outcomes, so a restored entry can still seed follower derivation
+    (:func:`derive_follower`) exactly like a live one.
+    """
+    amp = None
+    if result.outcome is not None:
+        amp = {
+            "rejected": result.outcome.rejected,
+            "first_reject": result.outcome.first_reject,
+            "iterations_run": result.outcome.iterations_run,
+            "seeds_requested": result.outcome.seeds_requested,
+            "target_accepts": result.outcome.target_accepts,
+            "stop_reason": result.outcome.stop_reason,
+            "outcomes": [
+                [
+                    o.index,
+                    o.rejected,
+                    o.rounds,
+                    o.total_bits,
+                    o.total_messages,
+                    o.max_message_bits,
+                    list(o.witnesses),
+                    list(o.rejecting_nodes),
+                ]
+                for o in result.outcome.outcomes
+            ],
+        }
+    return {
+        "payload": result.payload,
+        "rows": result.rows,
+        "amplified": result.amplified,
+        "label": result.label,
+        "outcome": amp,
+    }
+
+
+def decode_result(obj: Dict[str, Any]) -> ServeResult:
+    """Inverse of :func:`encode_result` (bit-exact round trip)."""
+    amp = None
+    raw = obj.get("outcome")
+    if raw is not None:
+        amp = AmplifiedOutcome(
+            rejected=raw["rejected"],
+            first_reject=raw["first_reject"],
+            iterations_run=raw["iterations_run"],
+            outcomes=[
+                IterationOutcome(
+                    index=row[0],
+                    rejected=row[1],
+                    rounds=row[2],
+                    total_bits=row[3],
+                    total_messages=row[4],
+                    max_message_bits=row[5],
+                    witnesses=_tuplize(row[6]),
+                    rejecting_nodes=_tuplize(row[7]),
+                )
+                for row in raw["outcomes"]
+            ],
+            seeds_requested=raw["seeds_requested"],
+            target_accepts=raw["target_accepts"],
+            stop_reason=raw["stop_reason"],
+        )
+    return ServeResult(
+        payload=obj["payload"],
+        rows=obj["rows"],
+        amplified=obj["amplified"],
+        label=obj["label"],
+        outcome=amp,
+    )
 
 
 def execute_request(

@@ -89,6 +89,11 @@ class DetectRequest:
     iterations: int
     bandwidth: Optional[int]
     policy_spec: str
+    #: Optional per-request deadline in milliseconds.  Deliberately NOT
+    #: part of :func:`cache_key` / :func:`group_key`: the deadline bounds
+    #: *waiting*, it never changes the answer bits, so requests differing
+    #: only in patience still share cache entries and coalescing groups.
+    deadline_ms: Optional[int] = None
 
     def policy(self, base: Optional[ExecutionPolicy] = None) -> ExecutionPolicy:
         """Resolve the request's policy over the server's base policy."""
@@ -285,6 +290,13 @@ def parse_request(obj: Any) -> DetectRequest:
         not isinstance(bandwidth, int) or bandwidth < 1
     ):
         raise ProtocolError(f"bandwidth must be an int >= 1, got {bandwidth!r}")
+    deadline_ms = obj.get("deadline_ms")
+    if deadline_ms is not None and (
+        not isinstance(deadline_ms, int) or deadline_ms < 1
+    ):
+        raise ProtocolError(
+            f"deadline_ms must be an int >= 1, got {deadline_ms!r}"
+        )
     policy_spec = obj.get("policy", "")
     if not isinstance(policy_spec, str):
         raise ProtocolError(f"policy must be a spec string, got {policy_spec!r}")
@@ -303,4 +315,5 @@ def parse_request(obj: Any) -> DetectRequest:
         iterations=iterations,
         bandwidth=bandwidth,
         policy_spec=policy_spec,
+        deadline_ms=deadline_ms,
     )

@@ -13,23 +13,54 @@ Request lifecycle (the layer ordering is the design):
 
 1. **parse** (:mod:`.protocol`) -- malformed input answers ``error``.
 2. **result cache** (:mod:`.cache`) -- a hit replays the recorded
-   response; no admission needed, cached work adds no load.
+   response; no admission needed, cached work adds no load.  With a
+   journal attached the cache survives restarts (see below).
 3. **coalesce** (:mod:`.coalesce`) -- a compatible pending group absorbs
    the request as a follower; it awaits the leader, then derives its
    bit-identical result (:func:`.executor.derive_follower`).  Followers
    bypass admission too: they add no engine work.
 4. **admission** (:mod:`.admission`) -- leaders only.  ``admit`` runs
    now; ``queue`` waits (FIFO) for a released slot; ``reject`` answers
-   ``error`` with code ``overload``.
+   ``error`` with code ``overload`` carrying the queue depth, governor
+   estimate, and a deterministic ``retry_after_hint``.
 5. **execute** -- the leader's work runs on the shared
    :class:`~repro.runtime.engine.ExecutionEngine` via submit/await
-   (``asyncio.wrap_future``), off the event loop.
-6. **respond + fill** -- result cached, group resolved, waiters woken.
+   (``asyncio.wrap_future``), off the event loop, guarded by a
+   :class:`~repro.serve.chaos.CircuitBreaker` and retried with capped
+   exponential backoff on pool breaks.
+6. **respond + fill** -- result cached (journalled), group resolved,
+   waiters woken.
 
-Shutdown is signal-safe: ``SIGTERM``/``SIGINT`` stop accepting, cancel
-in-flight work, and release the engine pools + shared-memory segments
+**Recovery semantics** (what each failure class means to a client):
+
+===================  ==================================================
+failure              behavior
+===================  ==================================================
+deadline exceeded    deterministic terminal ``deadline-exceeded`` error
+                     row -- a deadlined request can never hang
+leader death         followers re-elect: the next one back leads a
+                     fresh group; the re-run batch is bit-identical
+                     (pure stopping rule over the same seed sequence)
+pool break / worker  leader retries with capped exponential backoff;
+death                consecutive breaks open the circuit breaker, which
+                     fails submissions fast until its backoff elapses
+overload / shutdown  surfaced error rows with ``retry_after_hint`` so
+                     clients back off deterministically
+process kill         the journalled cache restores at the next start;
+                     shm segments die with the resource tracker
+===================  ==================================================
+
+Shutdown is signal-safe: ``SIGTERM``/``SIGINT`` stop accepting, drain
+queued waiters with ``shutdown`` error rows (retry-after hints
+included), and release the engine pools + shared-memory segments
 (idempotent ``shutdown_pools``), so a killed server leaks nothing --
-``tests/serve/test_shutdown_safety.py`` pins that.
+``tests/serve/test_shutdown_safety.py`` pins that, and
+``tests/serve/test_chaos.py`` pins the kill->restart->replay matrix.
+
+Deterministic infrastructure chaos (:mod:`.chaos`) threads through the
+same path: ``DetectionServer(chaos=...)`` severs connections, stalls
+requests, kills engine submissions, and tears the cache journal on a
+replayable SplitMix64 schedule keyed by the request sequence number.
 
 All mutable serving state lives on :class:`DetectionServer` (deep-lint
 rule L8 rejects module-level mutable state in this package).
@@ -40,20 +71,103 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
-from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, Optional, Union
 
 from ..graphs.cache import cache_stats
-from ..runtime.engine import ExecutionEngine, default_engine
-from ..runtime.governor import PeakHoldGovernor
+from ..runtime.engine import (
+    POOL_BREAK_EXCEPTIONS,
+    ExecutionEngine,
+    default_engine,
+)
+from ..runtime.governor import GovernorStateStore, PeakHoldGovernor
 from ..runtime.policy import ExecutionPolicy, PolicyError
 from .admission import AdmissionController
-from .cache import ResultCache
-from .coalesce import BatchCoalescer
-from .executor import RecordStamp, ServeResult, derive_follower, execute_request
+from .cache import CacheJournal, ResultCache
+from .chaos import (
+    CircuitBreaker,
+    CircuitOpenError,
+    InfraFaultInjector,
+    InfraFaultPlan,
+    InjectedWorkerDeath,
+    chaos_execute,
+)
+from .coalesce import BatchCoalescer, LeaderDied
+from .executor import (
+    RecordStamp,
+    ServeResult,
+    decode_result,
+    derive_follower,
+    encode_result,
+    execute_request,
+)
 from .protocol import DetectRequest, ProtocolError, cache_key, group_key, parse_request
 
-__all__ = ["DetectionServer", "ServerStats"]
+__all__ = [
+    "DeadlineExceeded",
+    "DetectionServer",
+    "OverloadError",
+    "ServerStats",
+    "WorkerDeathError",
+]
+
+#: Exceptions meaning "the execution backend broke under this leader":
+#: real pool breaks plus the chaos-injected stand-in.  These drive the
+#: retry loop and the circuit breaker; anything else is a per-request
+#: error.
+_LEADER_RETRYABLE = POOL_BREAK_EXCEPTIONS + (InjectedWorkerDeath,)
+
+
+class OverloadError(Exception):
+    """Internal control flow: admission said reject.
+
+    Carries the controller's :meth:`~.admission.AdmissionController
+    .reject_context` so the error row tells the client how loaded the
+    server is and when to retry.
+    """
+
+    def __init__(self, context: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__("admission rejected: server at capacity")
+        self.context = context or {}
+
+
+class DeadlineExceeded(Exception):
+    """A request's deadline fired before its answer was ready.
+
+    Always terminal and always answered (a deadlined request can never
+    hang): the row is deterministic -- it carries the request's own
+    ``deadline_ms`` and a counter-derived retry hint, never a measured
+    elapsed time.
+    """
+
+    def __init__(self, deadline_ms: int) -> None:
+        super().__init__(f"deadline of {deadline_ms}ms exceeded")
+        self.deadline_ms = deadline_ms
+
+
+class WorkerDeathError(Exception):
+    """A leader exhausted its submission retries against a breaking pool."""
+
+    def __init__(self, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"execution failed after {attempts} attempt(s): {cause!r}"
+        )
+        self.attempts = attempts
+        self.cause = cause
+
+
+class _DetachedExit(Exception):
+    """Internal: the leader's wait ended but its work was detached.
+
+    Carries the exception the handler should surface (``None`` means
+    re-raise the cancellation).  The detach callback -- not the unwinding
+    handler -- now owns group resolution, cache fill, and the admission
+    slot, so the leader's cleanup must skip all three.
+    """
+
+    def __init__(self, cause: Optional[BaseException]) -> None:
+        super().__init__("leader detached")
+        self.cause = cause
 
 
 @dataclass
@@ -67,17 +181,17 @@ class ServerStats:
     executed: int = 0
     rejected: int = 0
     errors: int = 0
+    deadline_exceeded: int = 0
+    stalled: int = 0
+    promotions: int = 0
+    worker_deaths: int = 0
+    circuit_open: int = 0
+    conn_dropped: int = 0
+    drained: int = 0
+    detached: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
-            "requests": self.requests,
-            "responses": self.responses,
-            "cache_hits": self.cache_hits,
-            "coalesced": self.coalesced,
-            "executed": self.executed,
-            "rejected": self.rejected,
-            "errors": self.errors,
-        }
+        return asdict(self)
 
 
 class DetectionServer:
@@ -102,6 +216,26 @@ class DetectionServer:
         When set, one shared :class:`PeakHoldGovernor` both throttles
         in-run fan-out and tightens the admission limit as observed cost
         grows.
+    chaos:
+        An :class:`InfraFaultPlan` (or its spec string) of deterministic
+        infrastructure faults to inject; ``None`` injects nothing.
+    default_deadline_ms:
+        Deadline applied to requests that do not carry their own
+        ``deadline_ms``; ``None`` means no implicit deadline.
+    cache_journal:
+        Path of the result cache's write-ahead journal; restored at
+        construction, appended per fill (see :class:`CacheJournal`).
+    governor_state:
+        Path of a :class:`GovernorStateStore` sidecar: the governor's
+        peak estimate is restored at :meth:`start` and saved at
+        :meth:`stop`, so a restarted server begins throttled.
+    breaker_threshold, breaker_backoff_base, breaker_backoff_cap:
+        Circuit-breaker knobs around engine submission (see
+        :class:`CircuitBreaker`).
+    submit_retries:
+        How many times a leader re-submits after a pool break before
+        answering ``worker-death`` (the retry backoff reuses the breaker
+        ladder constants).
     """
 
     def __init__(
@@ -116,6 +250,14 @@ class DetectionServer:
         cache_size: int = 256,
         governor_budget: Optional[int] = None,
         governor_decay: Optional[float] = None,
+        chaos: Union[InfraFaultPlan, str, None] = None,
+        default_deadline_ms: Optional[int] = None,
+        cache_journal: Optional[Any] = None,
+        governor_state: Optional[Any] = None,
+        breaker_threshold: int = 3,
+        breaker_backoff_base: float = 0.05,
+        breaker_backoff_cap: float = 2.0,
+        submit_retries: int = 2,
     ) -> None:
         self.host = host
         self.port = port
@@ -128,14 +270,40 @@ class DetectionServer:
         self.admission = AdmissionController(
             max_inflight, max_queue, governor=self.governor
         )
-        self.cache = ResultCache(cache_size)
+        if isinstance(chaos, str):
+            chaos = InfraFaultPlan.from_spec(chaos)
+        self.chaos = chaos or InfraFaultPlan()
+        self._injector = InfraFaultInjector(self.chaos)
+        journal = None
+        if cache_journal is not None:
+            journal = CacheJournal(
+                cache_journal, tear_first_append=self.chaos.cache_torn
+            )
+        self.cache = ResultCache(
+            cache_size,
+            journal=journal,
+            encode=encode_result,
+            decode=decode_result,
+        )
         self.coalescer = BatchCoalescer()
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold,
+            backoff_base=breaker_backoff_base,
+            backoff_cap=breaker_backoff_cap,
+        )
+        self.submit_retries = submit_retries
+        self.default_deadline_ms = default_deadline_ms
+        self._governor_store: Optional[GovernorStateStore] = None
+        if governor_state is not None:
+            self._governor_store = GovernorStateStore(governor_state)
         self.stats = ServerStats()
         self.stamp = RecordStamp.capture()
         self._server: Optional[asyncio.AbstractServer] = None
         self._waiters: "asyncio.Queue[asyncio.Future[None]]" = None  # type: ignore[assignment]
         self._stopping = asyncio.Event()
         self._policies: Dict[str, ExecutionPolicy] = {}
+        self._seq = 0
+        self._submissions = 0
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -145,13 +313,23 @@ class DetectionServer:
         return self._server.sockets[0].getsockname()[1]
 
     async def start(self) -> None:
+        if self._governor_store is not None and self.governor is not None:
+            entry = self._governor_store.load(self.base_policy.policy_hash())
+            if entry is not None:
+                self.governor.restore(entry["peak"], entry["observed"])
         self._waiters = asyncio.Queue()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
 
     async def stop(self) -> None:
-        """Stop accepting, drop waiters, release pools (idempotent)."""
+        """Stop accepting, drain waiters, release pools (idempotent).
+
+        Queued leaders are *drained*, not dropped: their waiter futures
+        are cancelled, which unwinds into a ``shutdown`` error row with
+        a retry-after hint (the client knows to come back, and where its
+        place in line went).
+        """
         self._stopping.set()
         if self._server is not None:
             self._server.close()
@@ -163,6 +341,10 @@ class DetectionServer:
                 waiter = self._waiters.get_nowait()
                 if not waiter.done():
                     waiter.cancel()
+        if self._governor_store is not None and self.governor is not None:
+            self._governor_store.save(
+                self.base_policy.policy_hash(), self.governor
+            )
         self.release_resources()
 
     def release_resources(self) -> None:
@@ -207,6 +389,12 @@ class DetectionServer:
             pass
         finally:
             if tasks:
+                # The client is gone (or the server is stopping): cancel
+                # outstanding request tasks so follower waits unregister
+                # from their groups and executing leaders detach -- a
+                # dropped connection must never wedge a coalescing group.
+                for task in list(tasks):
+                    task.cancel()
                 await asyncio.gather(*tasks, return_exceptions=True)
             try:
                 writer.close()
@@ -219,13 +407,24 @@ class DetectionServer:
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
         lines: Any,
+        seq: Optional[int] = None,
     ) -> None:
+        if seq is not None and self._injector.drop_connection(seq):
+            # Chaos: sever the connection instead of answering -- the
+            # client sees EOF mid-stream, exactly a crashed frontend.
+            self.stats.conn_dropped += 1
+            async with write_lock:
+                writer.close()
+            return
         payload = b"".join(
             json.dumps(row, sort_keys=True).encode() + b"\n" for row in lines
         )
-        async with write_lock:
-            writer.write(payload)
-            await writer.drain()
+        try:
+            async with write_lock:
+                writer.write(payload)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            return
         self.stats.responses += 1
 
     async def _handle_line(
@@ -255,26 +454,77 @@ class DetectionServer:
                   "message": str(exc)}],
             )
             return
+        seq = self._seq
+        self._seq += 1
         try:
-            lines = await self._serve_detect(req, policy)
-        except OverloadError:
+            lines = await self._serve_detect(req, policy, seq)
+        except OverloadError as exc:
             self.stats.rejected += 1
             lines = [{"id": req.req_id, "type": "error", "code": "overload",
-                      "message": "admission rejected: server at capacity"}]
+                      "message": "admission rejected: server at capacity",
+                      **exc.context}]
+        except DeadlineExceeded as exc:
+            self.stats.deadline_exceeded += 1
+            lines = [{"id": req.req_id, "type": "error",
+                      "code": "deadline-exceeded",
+                      "message": f"deadline of {exc.deadline_ms}ms exceeded",
+                      "deadline_ms": exc.deadline_ms,
+                      "retry_after_hint": self.admission.retry_after_hint()}]
+        except CircuitOpenError as exc:
+            self.stats.circuit_open += 1
+            lines = [{"id": req.req_id, "type": "error",
+                      "code": "circuit-open",
+                      "message": "engine circuit open: failing fast",
+                      "retry_after_hint": round(exc.retry_after, 3)}]
+        except WorkerDeathError as exc:
+            self.stats.errors += 1
+            lines = [{"id": req.req_id, "type": "error",
+                      "code": "worker-death",
+                      "message": str(exc),
+                      "attempts": exc.attempts,
+                      "retry_after_hint": self.admission.retry_after_hint()}]
         except asyncio.CancelledError:
-            # Server stopping mid-request: answer cleanly if we still can.
+            if not self._stopping.is_set():
+                # The client disconnected: nobody is left to answer.
+                raise
+            # Server stopping mid-request: drain with a clean error row.
+            self.stats.drained += 1
             lines = [{"id": req.req_id, "type": "error", "code": "shutdown",
-                      "message": "server is shutting down"}]
+                      "message": "server is shutting down",
+                      "retry_after_hint": self.admission.retry_after_hint()}]
         except Exception as exc:
             self.stats.errors += 1
             lines = [{"id": req.req_id, "type": "error", "code": "execution",
                       "message": f"{type(exc).__name__}: {exc}"}]
-        await self._respond(writer, write_lock, lines)
+        await self._respond(writer, write_lock, lines, seq=seq)
 
     # -- the layered request path --------------------------------------
+    def _deadline_ms(self, req: DetectRequest) -> Optional[int]:
+        return (
+            req.deadline_ms
+            if req.deadline_ms is not None
+            else self.default_deadline_ms
+        )
+
     async def _serve_detect(
-        self, req: DetectRequest, policy: ExecutionPolicy
+        self, req: DetectRequest, policy: ExecutionPolicy, seq: int
     ) -> Any:
+        deadline_ms = self._deadline_ms(req)
+        loop = asyncio.get_running_loop()
+        deadline_at = (
+            loop.time() + deadline_ms / 1000.0
+            if deadline_ms is not None
+            else None
+        )
+
+        def remaining() -> Optional[float]:
+            if deadline_at is None:
+                return None
+            return deadline_at - loop.time()
+
+        if self._injector.stall_request(seq):
+            await self._stall(deadline_ms, remaining())
+
         phash = policy.policy_hash()
         ckey = cache_key(req, phash)
 
@@ -284,19 +534,68 @@ class DetectionServer:
             return self._result_lines(req, cached, "hit")
 
         gkey = group_key(req, phash)
-        group = self.coalescer.join(gkey, req.iterations)
-        if group is not None:
-            leader_result: ServeResult = await asyncio.shield(group.future)
+        while True:
+            group = self.coalescer.join(gkey, req.iterations)
+            if group is None:
+                return await self._lead(
+                    req, policy, ckey, gkey, deadline_ms, remaining
+                )
+            try:
+                leader_result: ServeResult = await _wait(
+                    asyncio.shield(group.future), remaining()
+                )
+            except asyncio.TimeoutError:
+                self.coalescer.leave(group)
+                raise DeadlineExceeded(deadline_ms) from None  # type: ignore[arg-type]
+            except asyncio.CancelledError:
+                # Client gone or shutdown: this follower stops waiting;
+                # the group's accounting must not keep counting it.
+                self.coalescer.leave(group)
+                raise
+            except LeaderDied:
+                # Re-elect: loop back to join-or-lead; the first
+                # follower back leads a fresh, bit-identical batch.
+                self.stats.promotions += 1
+                continue
             derived = derive_follower(leader_result, req, policy, self.stamp)
             self.cache.put(ckey, derived)
             self.stats.coalesced += 1
             return self._result_lines(req, derived, "coalesced")
 
-        # Leader path: admission, then execution on the engine.
+    async def _stall(
+        self, deadline_ms: Optional[int], timeout: Optional[float]
+    ) -> None:
+        """Chaos: hold this request until its deadline or server drain.
+
+        With a deadline the stall resolves into a deterministic
+        ``deadline-exceeded`` row; without one it parks until shutdown
+        drains it -- either way the client gets a terminal line, never a
+        silent hang.
+        """
+        self.stats.stalled += 1
+        try:
+            await _wait(self._stopping.wait(), timeout)
+        except asyncio.TimeoutError:
+            raise DeadlineExceeded(deadline_ms) from None  # type: ignore[arg-type]
+        raise asyncio.CancelledError()
+
+    async def _lead(
+        self,
+        req: DetectRequest,
+        policy: ExecutionPolicy,
+        ckey: Any,
+        gkey: Any,
+        deadline_ms: Optional[int],
+        remaining: Callable[[], Optional[float]],
+    ) -> Any:
+        if not self.breaker.allow():
+            raise CircuitOpenError(self.breaker.retry_after())
         decision = self.admission.admit()
         if decision == "reject":
-            raise OverloadError()
+            raise OverloadError(self.admission.reject_context())
         group = self.coalescer.lead(gkey, req.iterations, req.amplified)
+        holds_slot = decision == "admit"
+        detached = False
         try:
             if decision == "queue":
                 waiter: "asyncio.Future[None]" = (
@@ -304,14 +603,74 @@ class DetectionServer:
                 )
                 await self._waiters.put(waiter)
                 try:
-                    await waiter
+                    await _wait(waiter, remaining())
+                except asyncio.TimeoutError:
+                    self.admission.abandon_queued()
+                    raise DeadlineExceeded(deadline_ms) from None  # type: ignore[arg-type]
                 except asyncio.CancelledError:
                     self.admission.abandon_queued()
                     raise
                 self.admission.start_queued()
-            try:
-                result: ServeResult = await asyncio.wrap_future(
+                holds_slot = True
+            result = await self._execute_leader(
+                req, policy, group, ckey, deadline_ms, remaining
+            )
+        except _DetachedExit as exc:
+            # The detach callback now owns the group, the cache fill,
+            # and the admission slot; surface the handler-facing error.
+            detached = True
+            if exc.cause is None:
+                raise asyncio.CancelledError() from None
+            raise exc.cause from None
+        except BaseException as exc:
+            if isinstance(exc, (DeadlineExceeded, asyncio.CancelledError)):
+                # Recoverable from the group's point of view: the
+                # leader gave up waiting, not the work itself --
+                # followers re-elect and re-derive bit-identically.
+                self.coalescer.resolve(group, error=LeaderDied(exc))
+            else:
+                self.coalescer.resolve(group, error=exc)
+            raise
+        finally:
+            if holds_slot and not detached:
+                if self.admission.release():
+                    self._wake_next_waiter()
+        self.coalescer.resolve(group, result)
+        self.cache.put(ckey, result)
+        self.stats.executed += 1
+        return self._result_lines(req, result, "miss")
+
+    async def _execute_leader(
+        self,
+        req: DetectRequest,
+        policy: ExecutionPolicy,
+        group: Any,
+        ckey: Any,
+        deadline_ms: Optional[int],
+        remaining: Callable[[], Optional[float]],
+    ) -> Any:
+        """Submit (and re-submit, on pool breaks) the leader's execution.
+
+        If the awaiting handler stops first (deadline fired / client
+        vanished), the in-flight work is handed to a completion callback
+        that will resolve the group, fill the cache, and release the
+        admission slot -- abandoning a wait never abandons the group --
+        and :class:`_DetachedExit` tells the caller to skip its own
+        cleanup.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            submission = self._submissions
+            self._submissions += 1
+            worker = self._injector.kill_worker(submission)
+            kill = (worker, submission) if worker is not None else None
+            fut = asyncio.ensure_future(
+                asyncio.wrap_future(
                     self.engine.submit(
+                        chaos_execute,
+                        kill,
+                        self._injector.engine_delay_s(),
                         execute_request,
                         req,
                         policy,
@@ -320,16 +679,65 @@ class DetectionServer:
                         stamp=self.stamp,
                     )
                 )
-            finally:
-                if self.admission.release():
-                    self._wake_next_waiter()
-        except BaseException as exc:
-            self.coalescer.resolve(group, error=exc)
-            raise
-        self.coalescer.resolve(group, result)
-        self.cache.put(ckey, result)
-        self.stats.executed += 1
-        return self._result_lines(req, result, "miss")
+            )
+            try:
+                result: ServeResult = await _wait(
+                    asyncio.shield(fut), remaining()
+                )
+            except asyncio.TimeoutError:
+                self._detach(fut, group, ckey)
+                raise _DetachedExit(DeadlineExceeded(deadline_ms)) from None  # type: ignore[arg-type]
+            except asyncio.CancelledError:
+                self._detach(fut, group, ckey)
+                raise _DetachedExit(None) from None
+            except _LEADER_RETRYABLE as exc:
+                self.stats.worker_deaths += 1
+                self.breaker.record_failure()
+                if attempts > self.submit_retries:
+                    raise WorkerDeathError(attempts, exc) from exc
+                # The PR 5 backoff discipline, at the submission plane.
+                await asyncio.sleep(
+                    min(
+                        self.breaker.backoff_cap,
+                        self.breaker.backoff_base * (2 ** (attempts - 1)),
+                    )
+                )
+                continue
+            self.breaker.record_success()
+            return result
+
+    def _detach(self, fut: "asyncio.Future[Any]", group: Any, ckey: Any) -> None:
+        """Hand an in-flight leader execution to a completion callback.
+
+        The handler is unwinding (deadline fired / client vanished) but
+        the engine work keeps running; when it lands, the callback does
+        everything the handler would have: breaker bookkeeping, group
+        resolution (``LeaderDied`` on pool breaks so followers
+        re-elect), cache fill, admission release.
+        """
+        self.stats.detached += 1
+
+        def _done(f: "asyncio.Future[Any]") -> None:
+            try:
+                result = f.result()
+            except _LEADER_RETRYABLE as exc:
+                self.breaker.record_failure()
+                self.coalescer.resolve(group, error=LeaderDied(exc))
+            except asyncio.CancelledError:
+                self.coalescer.resolve(
+                    group, error=LeaderDied(asyncio.CancelledError())
+                )
+            except BaseException as exc:
+                self.coalescer.resolve(group, error=exc)
+            else:
+                self.breaker.record_success()
+                self.coalescer.resolve(group, result)
+                self.cache.put(ckey, result)
+                self.stats.executed += 1
+            if self.admission.release():
+                self._wake_next_waiter()
+
+        fut.add_done_callback(_done)
 
     def _wake_next_waiter(self) -> None:
         while self._waiters is not None and not self._waiters.empty():
@@ -366,11 +774,17 @@ class DetectionServer:
             "result_cache": self.cache.stats(),
             "coalescer": self.coalescer.snapshot(),
             "construction_cache": cache_stats(),
+            "breaker": self.breaker.snapshot(),
         }
+        if not self.chaos.is_null:
+            row["chaos"] = {"spec": self.chaos.spec(), **self.chaos.as_dict()}
         if self.governor is not None:
             row["governor"] = self.governor.snapshot()
         return row
 
 
-class OverloadError(Exception):
-    """Internal control flow: admission said reject."""
+async def _wait(awaitable: Any, timeout: Optional[float]) -> Any:
+    """``wait_for`` that treats ``None`` as "no deadline"."""
+    if timeout is None:
+        return await awaitable
+    return await asyncio.wait_for(awaitable, timeout)

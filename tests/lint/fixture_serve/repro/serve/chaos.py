@@ -1,0 +1,53 @@
+"""Deep-L8 fixture: unjournaled mutable state in a chaos module.
+
+Lives under a ``repro/serve/chaos.py`` path on purpose -- the deep
+concurrency pass keys the chaos extension off that filename, one notch
+tighter than the serving-layer module-state rule (which also fires here:
+a chaos module is still a serving module).  Chaos plans are journaled by
+their canonical spec, so the rule's three cheats are: a module-level
+mutable schedule, a *non-frozen* plan dataclass, and mutable class-scope
+state shared across injector instances.  The unmarked shapes are the
+sanctioned ones: immutable constants, a frozen plan, and instance state
+derived from it.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["CheatingPlan", "HonestPlan", "CheatingInjector"]
+
+# Immutable module constants are fine.
+_STREAM_DROP = 11
+_KNOWN_FIELDS = ("conn-drop", "req-stall")
+
+# A module-level fault schedule: the serving-layer module-state rule
+# flags it (chaos modules are serving modules too).
+_SCHEDULE: Dict[int, int] = {}  # EXPECT-D[L8]
+
+
+@dataclass
+class CheatingPlan:  # EXPECT-D[L8]
+    """Mutable plan: drifts from the spec it was journaled under."""
+
+    conn_drop: float = 0.0
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class HonestPlan:
+    """Frozen plans are the sanctioned shape."""
+
+    conn_drop: float = 0.0
+    seed: int = 0
+
+
+class CheatingInjector:
+    """Class-scope schedule state shared across every injector."""
+
+    pending_kills: List[Tuple[int, int]] = []  # EXPECT-D[L8]
+    stream = _STREAM_DROP  # immutable class constant: fine
+
+    def __init__(self, plan: HonestPlan) -> None:
+        # Instance state derived from the frozen plan is the sanctioned
+        # home; the class-level list above is the cheat.
+        self.threshold = plan.conn_drop

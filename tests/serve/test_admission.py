@@ -63,6 +63,38 @@ class TestMisuseAndValidation:
             AdmissionController(max_inflight=1).start_queued()
 
 
+class TestRejectContext:
+    def test_reject_context_reports_load_and_a_deterministic_hint(self):
+        gate = AdmissionController(max_inflight=1, max_queue=1)
+        gate.admit()
+        gate.admit()  # queue
+        ctx = gate.reject_context()
+        assert ctx["running"] == 1 and ctx["queue_depth"] == 1
+        assert ctx["limit"] == 1
+        assert ctx["governor_peak"] is None
+        # 50 ms per outstanding request (1 running + 1 queued + the retry).
+        assert ctx["retry_after_hint"] == 0.15
+        assert gate.retry_after_hint() == ctx["retry_after_hint"]
+
+    def test_hint_is_a_pure_counter_function(self):
+        # Two controllers driven through the same call sequence emit the
+        # same hint -- no clock, no randomness, replayable error rows.
+        seq = ["admit", "admit", "queue"]
+        hints = []
+        for _ in range(2):
+            gate = AdmissionController(max_inflight=2, max_queue=4)
+            for expected in seq:
+                assert gate.admit() == expected
+            hints.append(gate.retry_after_hint())
+        assert hints[0] == hints[1] == 0.2
+
+    def test_governor_peak_rides_along(self):
+        gov = PeakHoldGovernor(budget=100)
+        gov.observe(40)
+        gate = AdmissionController(max_inflight=4, governor=gov)
+        assert gate.reject_context()["governor_peak"] == 40.0
+
+
 class TestGovernorCoupling:
     def test_limit_tightens_as_observed_cost_grows(self):
         gov = PeakHoldGovernor(budget=100)

@@ -1,0 +1,540 @@
+"""The chaos harness: infra fault plans, recovery semantics, and the
+kill -> restart -> replay matrix.
+
+Three layers of proof:
+
+* **unit** -- the plan grammar, the SplitMix64 injector's replayability,
+  the circuit breaker's backoff ladder (driven by a fake clock);
+* **scenario** -- a live server under each fault class answers the
+  deterministic terminal row the recovery table in ``docs/serving.md``
+  promises (deadline-exceeded, worker-death, circuit-open, shutdown),
+  followers are promoted when leaders die, and dropped connections
+  never wedge a coalescing group;
+* **matrix** -- the acceptance gate: a chaos run's surviving responses
+  are ``diff_records``-identical to a fault-free run, and a restarted
+  server serves the journalled results as warm hits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.runtime import diff_records
+from repro.serve import (
+    CircuitBreaker,
+    InfraFaultInjector,
+    InfraFaultPlan,
+    InfraFaultSpecError,
+    InjectedWorkerDeath,
+)
+from repro.serve.chaos import chaos_execute
+from tests.serve.test_server import (
+    GRAPH,
+    Client,
+    _with_server,
+    direct_record,
+    record_from_rows,
+)
+
+
+class TestPlanGrammar:
+    def test_spec_round_trips_canonically(self):
+        spec = "conn-drop:0.25|req-stall:0.1|worker-kill:0@2+1@5" \
+               "|cache-torn|engine-slow:30|seed:7"
+        plan = InfraFaultPlan.from_spec(spec)
+        assert InfraFaultPlan.from_spec(plan.spec()) == plan
+        assert plan.conn_drop == 0.25 and plan.req_stall == 0.1
+        assert plan.worker_kill == ((0, 2), (1, 5))
+        assert plan.cache_torn and plan.engine_slow_ms == 30
+        assert plan.seed == 7
+
+    def test_empty_spec_is_the_null_plan(self):
+        plan = InfraFaultPlan.from_spec("")
+        assert plan.is_null and not plan.probabilistic
+        assert plan.spec() == ""
+
+    @pytest.mark.parametrize("bad", [
+        "conn-drop:1.5",          # probability out of range
+        "conn-drop:maybe",        # not a number
+        "cache-torn:1",           # flag takes no value
+        "worker-kill:3",          # missing @submission
+        "worker-kill:0@2+1@2",    # same submission twice
+        "engine-slow:-5",         # negative delay
+        "frobnicate:1",           # unknown field
+        "conn-drop:0.1|conn-drop:0.2",  # duplicate field
+    ])
+    def test_invalid_specs_raise(self, bad):
+        with pytest.raises(InfraFaultSpecError):
+            InfraFaultPlan.from_spec(bad)
+
+
+class TestInjectorReplayability:
+    def test_same_seed_same_schedule(self):
+        plan = InfraFaultPlan(conn_drop=0.4, req_stall=0.3, seed=11)
+        a = InfraFaultInjector(plan)
+        b = InfraFaultInjector(InfraFaultPlan.from_spec(plan.spec()))
+        for seq in range(200):
+            assert a.drop_connection(seq) == b.drop_connection(seq)
+            assert a.stall_request(seq) == b.stall_request(seq)
+
+    def test_streams_are_independent_and_seed_sensitive(self):
+        base = InfraFaultInjector(InfraFaultPlan(
+            conn_drop=0.5, req_stall=0.5, seed=1))
+        other = InfraFaultInjector(InfraFaultPlan(
+            conn_drop=0.5, req_stall=0.5, seed=2))
+        drops = [base.drop_connection(s) for s in range(64)]
+        stalls = [base.stall_request(s) for s in range(64)]
+        assert drops != stalls  # distinct stream constants
+        assert drops != [other.drop_connection(s) for s in range(64)]
+
+    def test_extreme_probabilities_are_certainties(self):
+        always = InfraFaultInjector(InfraFaultPlan(conn_drop=1.0, seed=3))
+        never = InfraFaultInjector(InfraFaultPlan(conn_drop=0.0, seed=3))
+        assert all(always.drop_connection(s) for s in range(32))
+        assert not any(never.drop_connection(s) for s in range(32))
+
+    def test_worker_kill_schedule_keys_on_submission(self):
+        inj = InfraFaultInjector(
+            InfraFaultPlan(worker_kill=((0, 2), (1, 5))))
+        assert inj.kill_worker(2) == 0
+        assert inj.kill_worker(5) == 1
+        assert inj.kill_worker(0) is None
+
+
+class TestChaosExecute:
+    def test_kill_fires_before_any_work(self):
+        ran = []
+        with pytest.raises(InjectedWorkerDeath) as err:
+            chaos_execute((3, 7), 0.0, lambda: ran.append(1))
+        assert err.value.worker_id == 3 and err.value.submission == 7
+        assert not ran  # crash-stop: no partial execution
+
+    def test_transparent_without_faults(self):
+        assert chaos_execute(None, 0.0, lambda x: x + 1, 41) == 42
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        clock = {"now": 0.0}
+        br = CircuitBreaker(clock=lambda: clock["now"], **kwargs)
+        return br, clock
+
+    def test_opens_at_threshold_and_fails_fast(self):
+        br, clock = self._breaker(threshold=3, backoff_base=0.1)
+        for _ in range(2):
+            br.record_failure()
+        assert br.state == "closed" and br.allow()
+        br.record_failure()
+        assert br.state == "open"
+        assert not br.allow()
+        assert br.retry_after() == pytest.approx(0.1)
+
+    def test_half_open_probe_success_resets_the_ladder(self):
+        br, clock = self._breaker(threshold=1, backoff_base=0.1)
+        br.record_failure()
+        clock["now"] = 0.2
+        assert br.allow()  # the probe
+        assert br.state == "half-open"
+        assert not br.allow()  # one probe at a time
+        br.record_success()
+        assert br.state == "closed" and br.openings == 0
+        assert br.allow()
+
+    def test_probe_failure_climbs_the_capped_ladder(self):
+        br, clock = self._breaker(
+            threshold=1, backoff_base=0.1, backoff_cap=0.35)
+        backoffs = []
+        for _ in range(4):
+            clock["now"] += 100.0
+            assert br.allow()
+            br.record_failure()
+            backoffs.append(br.retry_after())
+        assert backoffs == pytest.approx([0.1, 0.2, 0.35, 0.35])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(backoff_base=0.5, backoff_cap=0.1)
+
+
+async def _drain_detached(srv, want_executed, tries=200):
+    """Wait for detached background work to land before loop teardown."""
+    for _ in range(tries):
+        if srv.stats.executed + srv.stats.errors >= want_executed:
+            return
+        await asyncio.sleep(0.05)
+
+
+class TestDeadlines:
+    REQ = {"pattern": "c4", "graph": GRAPH, "seed": 51, "iterations": 6}
+
+    def test_slow_engine_plus_deadline_answers_deterministically(self):
+        async def scenario(srv):
+            client = await Client.connect(srv.bound_port)
+            await client.send({"id": "d", "deadline_ms": 80, **self.REQ})
+            got = await client.collect(1)
+            # The detached work lands, fills the cache, and a patient
+            # retry is served from it -- the deadline bounded the wait,
+            # not the work.
+            await _drain_detached(srv, 1)
+            await client.send({"id": "retry", **self.REQ})
+            got.update(await client.collect(1))
+            await client.close()
+            return got, srv.stats.detached
+
+        got, detached = asyncio.run(_with_server(
+            scenario, chaos="engine-slow:500|seed:1"))
+        row = got["d"]["terminal"]
+        assert row["code"] == "deadline-exceeded"
+        assert row["deadline_ms"] == 80
+        assert row["retry_after_hint"] > 0
+        assert detached == 1
+        assert got["retry"]["terminal"]["cache"] == "hit"
+        served = record_from_rows(got["retry"]["records"])
+        baseline = direct_record({"id": "b", **self.REQ})
+        assert diff_records(baseline, served)["identical"]
+
+    def test_default_deadline_applies_to_stalled_requests(self):
+        async def scenario(srv):
+            client = await Client.connect(srv.bound_port)
+            await client.send({"id": "s", **self.REQ})
+            got = await client.collect(1)
+            await client.close()
+            return got, srv.stats.stalled
+
+        got, stalled = asyncio.run(_with_server(
+            scenario, chaos="req-stall:1.0|seed:2", default_deadline_ms=80))
+        assert got["s"]["terminal"]["code"] == "deadline-exceeded"
+        assert stalled == 1
+
+    def test_deadline_rows_replay_bit_identically(self):
+        # Two servers, same chaos schedule, same request sequence: the
+        # terminal error rows must be byte-equal -- no clocks leak in.
+        async def scenario(srv):
+            client = await Client.connect(srv.bound_port)
+            await client.send({"id": "d", "deadline_ms": 60, **self.REQ})
+            got = await client.collect(1)
+            await client.close()
+            return got["d"]["terminal"]
+
+        rows = [
+            asyncio.run(_with_server(
+                scenario, chaos="req-stall:1.0|seed:5"))
+            for _ in range(2)
+        ]
+        assert rows[0] == rows[1]
+
+
+class TestStallDraining:
+    def test_shutdown_drains_stalled_requests_with_retry_hints(self):
+        req = {"pattern": "c4", "graph": GRAPH, "seed": 52}
+
+        async def scenario(srv):
+            client = await Client.connect(srv.bound_port)
+            await client.send({"id": "parked", **req})  # stalls, no deadline
+            await asyncio.sleep(0.15)
+            assert srv.stats.stalled == 1
+            await srv.stop()
+            got = await client.collect(1)
+            await client.close()
+            return got, srv.stats.drained
+
+        got, drained = asyncio.run(_with_server(
+            scenario, chaos="req-stall:1.0|seed:3"))
+        row = got["parked"]["terminal"]
+        assert row["code"] == "shutdown"
+        assert row["retry_after_hint"] > 0
+        assert drained == 1
+
+
+class TestWorkerDeath:
+    REQ = {"pattern": "c4", "graph": GRAPH, "seed": 53, "iterations": 6}
+
+    def test_killed_submission_retries_to_a_bit_identical_answer(self):
+        async def scenario(srv):
+            client = await Client.connect(srv.bound_port)
+            await client.send({"id": "w", **self.REQ})
+            got = await client.collect(1)
+            await client.close()
+            return got, srv.stats.worker_deaths, srv.breaker.state
+
+        got, deaths, state = asyncio.run(_with_server(
+            scenario, chaos="worker-kill:0@0", submit_retries=2))
+        assert got["w"]["terminal"]["type"] == "result"
+        assert deaths == 1 and state == "closed"
+        served = record_from_rows(got["w"]["records"])
+        baseline = direct_record({"id": "b", **self.REQ})
+        assert diff_records(baseline, served)["identical"]
+
+    def test_exhausted_retries_surface_worker_death_and_open_the_circuit(self):
+        other = dict(self.REQ, seed=54)
+
+        async def scenario(srv):
+            client = await Client.connect(srv.bound_port)
+            await client.send({"id": "doomed", **self.REQ})
+            got = await client.collect(1)
+            await client.send({"id": "fast-fail", **other})
+            got.update(await client.collect(1))
+            await client.close()
+            return got
+
+        # submit_retries=0: the first death is terminal; threshold=1:
+        # one failure opens the circuit, and the long backoff keeps it
+        # open for the second request's fast-fail.
+        got = asyncio.run(_with_server(
+            scenario, chaos="worker-kill:0@0", submit_retries=0,
+            breaker_threshold=1, breaker_backoff_base=30.0,
+            breaker_backoff_cap=60.0))
+        doomed = got["doomed"]["terminal"]
+        assert doomed["code"] == "worker-death"
+        assert doomed["attempts"] == 1
+        assert doomed["retry_after_hint"] > 0
+        fast = got["fast-fail"]["terminal"]
+        assert fast["code"] == "circuit-open"
+        assert fast["retry_after_hint"] > 0
+
+    def test_circuit_recovers_through_a_successful_probe(self):
+        other = dict(self.REQ, seed=55)
+
+        async def scenario(srv):
+            client = await Client.connect(srv.bound_port)
+            await client.send({"id": "doomed", **self.REQ})
+            got = await client.collect(1)
+            await asyncio.sleep(0.05)  # let the tiny backoff elapse
+            await client.send({"id": "probe", **other})
+            got.update(await client.collect(1))
+            await client.close()
+            return got, srv.breaker.state
+
+        got, state = asyncio.run(_with_server(
+            scenario, chaos="worker-kill:0@0", submit_retries=0,
+            breaker_threshold=1, breaker_backoff_base=0.01,
+            breaker_backoff_cap=0.02))
+        assert got["doomed"]["terminal"]["code"] == "worker-death"
+        assert got["probe"]["terminal"]["type"] == "result"
+        assert state == "closed"
+
+
+class TestConnectionChaos:
+    REQ = {"pattern": "c4", "graph": GRAPH, "seed": 56, "iterations": 6}
+
+    @staticmethod
+    def _seed_dropping_only_seq0():
+        for s in range(500):
+            inj = InfraFaultInjector(InfraFaultPlan(conn_drop=0.5, seed=s))
+            if inj.drop_connection(0) and not inj.drop_connection(1):
+                return s
+        raise AssertionError("no such seed in range")
+
+    def test_dropped_response_loses_the_connection_not_the_work(self):
+        seed = self._seed_dropping_only_seq0()
+
+        async def scenario(srv):
+            a = await Client.connect(srv.bound_port)
+            await a.send({"id": "victim", **self.REQ})
+            eof = await a.reader.readline()
+            await a.close()
+            await _drain_detached(srv, 1)
+            b = await Client.connect(srv.bound_port)
+            await b.send({"id": "again", **self.REQ})
+            got = await b.collect(1)
+            await b.close()
+            return eof, got, srv.stats.conn_dropped
+
+        eof, got, dropped = asyncio.run(_with_server(
+            scenario, chaos=f"conn-drop:0.5|seed:{seed}"))
+        assert eof == b""  # the victim saw EOF mid-stream
+        assert dropped == 1
+        # The severed response's work still executed and was cached.
+        assert got["again"]["terminal"]["cache"] == "hit"
+        served = record_from_rows(got["again"]["records"])
+        baseline = direct_record({"id": "b", **self.REQ})
+        assert diff_records(baseline, served)["identical"]
+
+
+class TestLeaderPromotion:
+    SLOW = {"pattern": "c4", "graph": GRAPH, "seed": 57, "iterations": 6}
+    SHARED = {"pattern": "c4", "graph": GRAPH, "seed": 58, "iterations": 6}
+
+    def test_dropped_leader_connection_promotes_a_follower(self):
+        async def scenario(srv):
+            a = await Client.connect(srv.bound_port)
+            b = await Client.connect(srv.bound_port)
+            await a.send({"id": "slow", **self.SLOW})  # takes the one slot
+            await asyncio.sleep(0.15)
+            await a.send({"id": "lead", **self.SHARED})  # queued leader
+            await asyncio.sleep(0.15)
+            await b.send({"id": "follow", **self.SHARED})  # follower
+            await asyncio.sleep(0.15)
+            await a.close()  # leader's client vanishes mid-wait
+            got = await b.collect(1)
+            await b.close()
+            await _drain_detached(srv, 2)
+            return got, srv.stats.promotions
+
+        got, promotions = asyncio.run(_with_server(
+            scenario, max_inflight=1, max_queue=8,
+            chaos="engine-slow:500|seed:1"))
+        assert promotions >= 1
+        assert got["follow"]["terminal"]["type"] == "result"
+        served = record_from_rows(got["follow"]["records"])
+        baseline = direct_record({"id": "b", **self.SHARED})
+        assert diff_records(baseline, served)["identical"]
+
+    def test_dropped_follower_does_not_wedge_the_group(self):
+        async def scenario(srv):
+            a = await Client.connect(srv.bound_port)
+            b = await Client.connect(srv.bound_port)
+            await a.send({"id": "lead", **self.SHARED})
+            await asyncio.sleep(0.15)
+            await b.send({"id": "follow", **self.SHARED})
+            await asyncio.sleep(0.15)
+            await b.close()  # follower gone before the leader resolves
+            got = await a.collect(1)
+            await a.close()
+            return got, srv.coalescer.snapshot()
+
+        got, snap = asyncio.run(_with_server(
+            scenario, chaos="engine-slow:400|seed:1"))
+        assert got["lead"]["terminal"]["type"] == "result"
+        assert snap["followers_left"] == 1
+        assert snap["pending"] == 0
+
+
+class TestKillRestartReplayMatrix:
+    """The acceptance gate: chaos, restart, replay, bit-identity."""
+
+    REQS = [
+        {"id": "m0", "pattern": "c4", "graph": GRAPH, "seed": 60,
+         "iterations": 6},
+        {"id": "m1", "pattern": "odd-c5", "graph": GRAPH, "seed": 61,
+         "iterations": 6},
+        {"id": "m2", "pattern": "triangle",
+         "graph": {"kind": "clique", "s": 4}},
+        {"id": "m3", "pattern": "c4", "graph": GRAPH, "seed": 62,
+         "iterations": 4},
+        {"id": "m4", "pattern": "k4", "graph": {"kind": "clique", "s": 5}},
+    ]
+
+    async def _drive(self, srv):
+        """Send the matrix sequentially (deterministic submission order)."""
+        client = await Client.connect(srv.bound_port)
+        got = {}
+        for obj in self.REQS:
+            await client.send(obj)
+            got.update(await client.collect(1))
+        await client.close()
+        return got
+
+    def test_matrix(self, tmp_path):
+        journal = tmp_path / "cache.jsonl"
+        baselines = {
+            obj["id"]: direct_record(obj) for obj in self.REQS
+        }
+
+        # -- phase 1: chaos run.  Submission 1 (m1) dies with no
+        # retries; the journal's first append (m0's fill) is torn.
+        got1 = asyncio.run(_with_server(
+            self._drive, cache_journal=journal,
+            chaos="worker-kill:0@1|cache-torn|seed:9", submit_retries=0,
+            breaker_threshold=3))
+        completed1 = {
+            rid for rid, b in got1.items()
+            if b["terminal"]["type"] == "result"
+        }
+        assert completed1 == {"m0", "m2", "m3", "m4"}
+        assert got1["m1"]["terminal"]["code"] == "worker-death"
+        # Every completed chaos response is bit-identical to fault-free.
+        for rid in completed1:
+            served = record_from_rows(got1[rid]["records"])
+            assert diff_records(baselines[rid], served)["identical"], rid
+
+        # -- phase 2: restart against the same journal, no chaos.
+        async def replay(srv):
+            got = await self._drive(srv)
+            return got, srv.cache.restored, srv.cache.stats()
+
+        got2, restored, cstats = asyncio.run(_with_server(
+            replay, cache_journal=journal))
+        # m0's fill was torn, m1 never completed: both re-execute.  The
+        # other three restore journal-warm.
+        assert restored == 3
+        sources = {rid: got2[rid]["terminal"].get("cache")
+                   for rid in got2}
+        assert sources["m2"] == "hit"
+        assert sources["m3"] == "hit"
+        assert sources["m4"] == "hit"
+        assert sources["m0"] == "miss"
+        assert sources["m1"] == "miss"
+        # Replay answers everything, and every response -- warm or
+        # re-executed -- diffs clean against the fault-free baseline.
+        for obj in self.REQS:
+            rid = obj["id"]
+            assert got2[rid]["terminal"]["type"] == "result", rid
+            served = record_from_rows(got2[rid]["records"])
+            assert diff_records(baselines[rid], served)["identical"], rid
+
+        # -- phase 3: one more restart proves the journal now carries
+        # everything (phase 2 journalled the re-executions).
+        got3, restored3, _ = asyncio.run(_with_server(
+            replay, cache_journal=journal))
+        assert restored3 == 5
+        assert all(
+            got3[o["id"]]["terminal"]["cache"] == "hit" for o in self.REQS
+        )
+
+
+class TestGovernorStatePersistence:
+    def test_peak_estimate_survives_a_restart(self, tmp_path):
+        state = tmp_path / "governor.json"
+        req = {"pattern": "c4", "graph": GRAPH, "seed": 63, "iterations": 4}
+
+        async def phase1(srv):
+            client = await Client.connect(srv.bound_port)
+            await client.send({"id": "warm", **req})
+            await client.collect(1)
+            await client.close()
+            return srv.governor.snapshot()
+
+        snap1 = asyncio.run(_with_server(
+            phase1, governor_budget=10_000_000, governor_state=state))
+        assert snap1["observed"] >= 1
+
+        async def phase2(srv):
+            return srv.governor.snapshot()
+
+        snap2 = asyncio.run(_with_server(
+            phase2, governor_budget=10_000_000, governor_state=state))
+        # The restarted server starts throttled at the carried peak.
+        assert snap2["peak"] == snap1["peak"]
+        assert snap2["observed"] == snap1["observed"]
+
+
+class TestOverloadContext:
+    def test_reject_row_carries_queue_depth_and_hint(self):
+        def reqs(n):
+            return [{"id": f"r{i}", "pattern": "c4", "graph": GRAPH,
+                     "seed": 70 + i} for i in range(n)]
+
+        async def scenario(srv):
+            client = await Client.connect(srv.bound_port)
+            for obj in reqs(5):
+                await client.send(obj)
+            got = await client.collect(5)
+            await client.close()
+            return got
+
+        got = asyncio.run(_with_server(
+            scenario, max_inflight=1, max_queue=1))
+        overloads = [b["terminal"] for b in got.values()
+                     if b["terminal"].get("code") == "overload"]
+        assert overloads
+        for row in overloads:
+            assert row["queue_depth"] >= 0
+            assert row["running"] >= 1
+            assert row["limit"] == 1
+            assert row["retry_after_hint"] > 0
+            assert "governor_peak" in row

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import asyncio
 
-from repro.serve import BatchCoalescer
+from repro.serve import BatchCoalescer, LeaderDied
 
 
 def _run(coro):
@@ -80,6 +80,47 @@ class TestGroupLifecycle:
             assert await group.future == "first"
 
         _run(scenario())
+
+    def test_leave_unregisters_a_departed_follower(self):
+        # A follower whose client disconnects (or whose deadline fires)
+        # must stop being counted, or a dropped connection would wedge
+        # the group's accounting forever.
+        async def scenario():
+            co = BatchCoalescer()
+            group = co.lead("k", cap=8, amplified=True)
+            co.join("k", 4)
+            co.join("k", 4)
+            co.leave(group)
+            assert group.followers == 1
+            co.resolve(group, "answer")
+            co.leave(group)  # post-resolve: no-op, never negative
+            assert group.followers == 1
+            return co.snapshot()
+
+        snap = _run(scenario())
+        assert snap["followers_left"] == 1
+        assert snap["followers_merged"] == 2
+
+    def test_leader_died_resolution_wakes_followers_for_reelection(self):
+        # The recoverable-death protocol: the group resolves with
+        # LeaderDied, each follower re-enters join-or-lead, and the key
+        # is immediately leadable again for a fresh, bit-identical batch.
+        async def scenario():
+            co = BatchCoalescer()
+            group = co.lead("k", cap=8, amplified=True)
+            co.join("k", 8)
+            cause = RuntimeError("connection dropped")
+            co.resolve(group, error=LeaderDied(cause))
+            try:
+                await group.future
+            except LeaderDied as exc:
+                assert exc.cause is cause
+            assert co.join("k", 8) is None  # group retired with its leader
+            fresh = co.lead("k", cap=8, amplified=True)
+            co.resolve(fresh, "re-run")
+            return await fresh.future
+
+        assert _run(scenario()) == "re-run"
 
     def test_factor_is_one_with_no_duplicates(self):
         async def scenario():

@@ -1,14 +1,18 @@
-"""Shutdown safety: idempotent teardown and zero shm leaks under SIGTERM.
+"""Shutdown safety: idempotent teardown and zero shm leaks under kills.
 
-Three layers of the same guarantee:
+Four layers of the same guarantee:
 
 * ``shutdown_pools`` / ``RunSession.close`` may be called any number of
   times, from any interleaving (the signal-handler regime), without
   raising or double-releasing;
 * a server stopped twice releases its resources exactly once-effectively;
-* -- the regression the ISSUE names -- a ``SIGTERM`` landing mid-request
-  on a serving process with live shared-memory exports leaves **zero**
-  surviving segments behind (child process asserted from the parent).
+* a ``SIGTERM`` landing mid-request on a serving process with live
+  shared-memory exports leaves **zero** surviving segments behind
+  (child process asserted from the parent);
+* a ``SIGKILL`` -- no handler ever runs -- still leaks nothing (the
+  multiprocessing resource tracker outlives the process and unlinks its
+  registered segments), and the cache journal's per-append fsync means a
+  restarted server serves the pre-kill fills journal-warm.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ import signal
 import subprocess
 import sys
 import textwrap
+import time
 from multiprocessing import shared_memory
 from pathlib import Path
 
@@ -31,6 +36,7 @@ from repro.congest.parallel import shutdown_pools
 from repro.congest.shm import export_network, shared_export_names
 from repro.runtime import ExecutionPolicy, RunSession
 from repro.serve import DetectionServer
+from tests.serve.test_server import Client, _with_server
 
 REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
 
@@ -127,3 +133,117 @@ class TestSigtermLeavesNoSegments:
         for name in banner["segments"]:
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=name)
+
+
+class TestSigkillIsRecoverable:
+    """SIGKILL mid-request: no shm leak, and the journal restores.
+
+    SIGKILL cannot be handled, so nothing in-process runs: the proof is
+    that the durability story never depended on a clean exit.  Shared
+    segments are registered with the multiprocessing resource tracker (a
+    separate process that survives the kill and unlinks on parent
+    death), and every cache fill was fsynced to the journal before it
+    was answered -- so a fresh server on the same journal starts warm.
+    """
+
+    CHILD = textwrap.dedent("""
+        import asyncio, json, sys
+
+        import networkx as nx
+
+        from repro.congest import CongestNetwork
+        from repro.congest.shm import export_network, shared_export_names
+        from repro.serve import DetectionServer
+
+        async def main():
+            net = CongestNetwork(nx.path_graph(64), bandwidth=8)
+            export_network(net, "tok-sigkill-regression")
+            srv = DetectionServer(max_inflight=2, cache_journal=sys.argv[1])
+            await srv.start()
+            print(json.dumps({
+                "port": srv.bound_port,
+                "segments": list(shared_export_names()),
+            }), flush=True)
+            await srv.serve_forever()
+
+        asyncio.run(main())
+    """)
+
+    WARM = {"id": "warm", "pattern": "c4",
+            "graph": {"kind": "gnp", "n": 24, "p": 0.15, "seed": 5},
+            "seed": 80, "iterations": 6}
+
+    def test_sigkill_mid_request_leaks_nothing_and_the_journal_restores(
+        self, tmp_path
+    ):
+        journal = tmp_path / "cache.jsonl"
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        proc = subprocess.Popen(
+            [sys.executable, "-c", self.CHILD, str(journal)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env,
+        )
+        try:
+            banner = json.loads(proc.stdout.readline())
+            assert banner["segments"], "child exported no segments"
+
+            async def warm_then_kill_in_flight():
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", banner["port"]
+                )
+                # One request completes cleanly: its fill is fsynced
+                # into the journal before the terminal row arrives.
+                writer.write(json.dumps(self.WARM).encode() + b"\n")
+                await writer.drain()
+                while True:
+                    row = json.loads(await reader.readline())
+                    if row["type"] != "record":
+                        break
+                # A second request is mid-execution when the hard kill
+                # lands -- the regression scenario.
+                writer.write(json.dumps({
+                    "id": "inflight", "pattern": "odd-c5",
+                    "graph": {"kind": "gnp", "n": 48, "p": 0.1, "seed": 0},
+                    "iterations": 200,
+                }).encode() + b"\n")
+                await writer.drain()
+                proc.send_signal(signal.SIGKILL)
+                writer.close()
+                return row
+
+            row = asyncio.run(warm_then_kill_in_flight())
+            assert row["type"] == "result"
+            rc = proc.wait(timeout=30)
+        finally:
+            proc.kill()
+            proc.wait(timeout=10)
+        assert rc == -signal.SIGKILL
+        # The resource tracker outlives the kill; give it a moment.
+        leaked = list(banner["segments"])
+        deadline = time.monotonic() + 20
+        while leaked and time.monotonic() < deadline:
+            for name in list(leaked):
+                try:
+                    seg = shared_memory.SharedMemory(name=name)
+                except FileNotFoundError:
+                    leaked.remove(name)
+                else:
+                    seg.close()
+            if leaked:
+                time.sleep(0.25)
+        assert leaked == [], f"segments survived SIGKILL: {leaked}"
+
+        # The journal survived the hard kill: a fresh server restores
+        # the completed fill and serves it as a warm hit.
+        async def replay(srv):
+            client = await Client.connect(srv.bound_port)
+            await client.send(self.WARM)
+            got = await client.collect(1)
+            await client.close()
+            return got, srv.cache.restored
+
+        got, restored = asyncio.run(
+            _with_server(replay, cache_journal=journal)
+        )
+        assert restored == 1
+        assert got["warm"]["terminal"]["cache"] == "hit"
